@@ -1,0 +1,134 @@
+/**
+ * Ablation (paper §VIII): cost of multi-level nesting.
+ *
+ * The paper argues arbitrary nesting depth adds only validation time on
+ * the TLB-miss path (the outer-chain walk) and transition cost per
+ * level. This bench quantifies both on the model: TLB-miss validation
+ * latency when the accessed page belongs to an ancestor k levels up, and
+ * the cost of entering a depth-k nest.
+ */
+#include <vector>
+
+#include "bench_util.h"
+
+namespace nesgx::bench {
+namespace {
+
+struct Chain {
+    std::unique_ptr<BenchWorld> world;
+    std::vector<sdk::LoadedEnclave*> levels;  // [0] = outermost
+    std::vector<hw::Vaddr> heapVa;
+
+    hw::Paddr firstTcs(sdk::LoadedEnclave* e)
+    {
+        const auto* rec = world->kernel.enclaveRecord(e->secsPage());
+        for (const auto& [va, pa] : rec->pages) {
+            if (world->machine.epcm()
+                    .entry(world->machine.mem().epcPageIndex(pa))
+                    .type == sgx::PageType::Tcs) {
+                return pa;
+            }
+        }
+        return 0;
+    }
+};
+
+Chain
+buildChain(std::size_t depth)
+{
+    Chain chain;
+    chain.world = std::make_unique<BenchWorld>(defaultConfig());
+    const auto& key = core::defaultAuthorKey();
+
+    for (std::size_t level = 0; level < depth; ++level) {
+        sdk::EnclaveSpec spec;
+        spec.name = "lvl" + std::to_string(level);
+        spec.codePages = 2;
+        spec.heapPages = 8;
+        spec.allowedInners.push_back(
+            sgx::PeerExpectation{std::nullopt, key.pub.signerMeasurement()});
+        if (level > 0) {
+            spec.expectedOuter = sgx::PeerExpectation{
+                std::nullopt, key.pub.signerMeasurement()};
+        }
+        auto e = chain.world->urts->load(sdk::buildImage(spec, key))
+                     .orThrow("load");
+        if (level > 0) {
+            chain.world->urts->associate(e, chain.levels.back())
+                .orThrow("associate");
+        }
+        chain.levels.push_back(e);
+        chain.heapVa.push_back(e->heap().alloc(64));
+    }
+    return chain;
+}
+
+}  // namespace
+}  // namespace nesgx::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace nesgx::bench;
+    Flags flags(argc, argv);
+    std::uint64_t iterations = flags.u64("iterations", 5000);
+    std::size_t maxDepth = flags.u64("depth", 6);
+
+    header("Ablation: multi-level nesting cost (paper §VIII)");
+    note("validation latency grows with the chain-walk distance; entry");
+    note("cost grows one NEENTER per level");
+
+    Chain chain = buildChain(maxDepth);
+    auto& machine = chain.world->machine;
+
+    // Enter the deepest level once.
+    machine.eenter(0, chain.firstTcs(chain.levels[0])).orThrow("eenter");
+    for (std::size_t level = 1; level < maxDepth; ++level) {
+        machine.neenter(0, chain.firstTcs(chain.levels[level]))
+            .orThrow("neenter");
+    }
+
+    std::printf("\n  TLB-miss validation latency from the innermost "
+                "enclave (depth %zu):\n", maxDepth);
+    std::printf("  %-26s %14s\n", "accessed level", "ns per miss");
+    for (std::size_t target = maxDepth; target-- > 0;) {
+        std::uint8_t buf[8];
+        std::uint64_t total = 0;
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+            machine.core(0).tlb().flushAll();  // force a miss each time
+            std::uint64_t before = machine.clock().cycles();
+            machine.read(0, chain.heapVa[target], buf, 8).orThrow("read");
+            total += machine.clock().cycles() - before;
+        }
+        double ns = double(total) / double(iterations) /
+                    double(machine.clock().frequencyHz()) * 1e9;
+        std::printf("  %2zu hop(s) up the chain %17.1f\n",
+                    maxDepth - 1 - target, ns);
+    }
+    for (std::size_t level = maxDepth; level-- > 1;) {
+        machine.neexit(0).orThrow("neexit");
+    }
+    machine.eexit(0).orThrow("eexit");
+
+    std::printf("\n  nest entry cost (EENTER + k NEENTERs), per entry:\n");
+    std::printf("  %-26s %14s\n", "depth", "us per entry");
+    for (std::size_t depth = 1; depth <= maxDepth; ++depth) {
+        std::uint64_t before = machine.clock().cycles();
+        for (std::uint64_t i = 0; i < iterations; ++i) {
+            machine.eenter(0, chain.firstTcs(chain.levels[0])).orThrow("e");
+            for (std::size_t level = 1; level < depth; ++level) {
+                machine.neenter(0, chain.firstTcs(chain.levels[level]))
+                    .orThrow("ne");
+            }
+            for (std::size_t level = depth; level-- > 1;) {
+                machine.neexit(0).orThrow("nx");
+            }
+            machine.eexit(0).orThrow("x");
+        }
+        double us = machine.clock().cyclesToMicros(
+                        machine.clock().cycles() - before) /
+                    double(iterations);
+        std::printf("  %-26zu %14.2f\n", depth, us);
+    }
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * Reproduces paper Fig. 7: echo-server throughput with varying chunk
+ * sizes (128 B .. 16 KB), normalized to the monolithic baseline, plus
+ * the number of ecalls/ocalls per run (for nested, n_ecalls/n_ocalls are
+ * included in the count, as in the paper).
+ *
+ * A fixed data volume is exchanged at each chunk size, so smaller chunks
+ * mean more transitions — which is why the nested degradation is largest
+ * there (paper: 2-6%).
+ */
+#include "apps/echo_app.h"
+#include "bench_util.h"
+
+namespace nesgx::bench {
+namespace {
+
+struct RunResult {
+    double secs = 0;
+    std::uint64_t calls = 0;
+};
+
+RunResult
+run(apps::Layout layout, std::uint64_t chunk, std::uint64_t messages)
+{
+    BenchWorld world(defaultConfig());
+    Bytes key(16, 0x5c);
+    auto server = apps::EchoServer::create(*world.urts, layout, key)
+                      .orThrow("server");
+    apps::EchoClient client(key);
+    for (std::uint64_t i = 0; i < messages; ++i) {
+        client.sendData(server->network(), chunk);
+    }
+
+    world.urts->resetStats();
+    std::uint64_t before = world.machine.clock().cycles();
+    server->run(messages).orThrow("run");
+    std::uint64_t cycles = world.machine.clock().cycles() - before;
+
+    while (client.receive(server->network()).isOk()) {
+    }
+    if (client.echoedOk() != messages) {
+        std::fprintf(stderr, "echo mismatch: %llu/%llu\n",
+                     (unsigned long long)client.echoedOk(),
+                     (unsigned long long)messages);
+        std::exit(1);
+    }
+
+    RunResult result;
+    result.secs = double(cycles) / double(world.machine.clock().frequencyHz());
+    const auto& s = world.urts->stats();
+    result.calls = s.totalCalls();
+    return result;
+}
+
+}  // namespace
+}  // namespace nesgx::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace nesgx::bench;
+    Flags flags(argc, argv);
+    // Total exchanged volume per configuration (paper exchanges a fixed
+    // volume; 2 MiB default keeps the sweep quick).
+    std::uint64_t volume = flags.u64("volume", 2ull << 20);
+
+    header("Fig. 7: echo-server throughput vs chunk size "
+           "(normalized to monolithic)");
+    note("paper: nested within 2-6% of monolithic, worst at small chunks;");
+    note("call counts fall as chunk size grows");
+
+    std::printf("\n  %8s %12s %12s %10s %12s %12s\n", "chunk", "mono MB/s",
+                "nested MB/s", "norm", "mono calls", "nested calls");
+
+    for (std::uint64_t chunk : {128u, 256u, 512u, 1024u, 2048u, 4096u,
+                                8192u, 16384u}) {
+        std::uint64_t messages = std::max<std::uint64_t>(volume / chunk, 4);
+        RunResult mono = run(nesgx::apps::Layout::Monolithic, chunk, messages);
+        RunResult nested = run(nesgx::apps::Layout::Nested, chunk, messages);
+
+        double bytes = double(chunk * messages);
+        double monoMBs = bytes / mono.secs / 1e6;
+        double nestedMBs = bytes / nested.secs / 1e6;
+        std::printf("  %7lluB %12.1f %12.1f %10.3f %12llu %12llu\n",
+                    (unsigned long long)chunk, monoMBs, nestedMBs,
+                    nestedMBs / monoMBs, (unsigned long long)mono.calls,
+                    (unsigned long long)nested.calls);
+    }
+    return 0;
+}

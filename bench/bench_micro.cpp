@@ -1,0 +1,132 @@
+/**
+ * Wall-clock microbenchmarks (google-benchmark) of the substrate
+ * primitives: crypto kernels, the access-validation path, and the data
+ * structures behind the case studies. These measure the *host* cost of
+ * the model itself — useful for keeping the simulator fast — as opposed
+ * to the simulated-clock figures the table/figure binaries report.
+ */
+#include <benchmark/benchmark.h>
+
+#include "crypto/gcm.h"
+#include "crypto/rsa.h"
+#include "crypto/sha256.h"
+#include "db/btree.h"
+#include "os/kernel.h"
+#include "sdk/image.h"
+#include "sdk/runtime.h"
+#include "svm/kernel.h"
+
+namespace {
+
+using namespace nesgx;
+
+void
+BM_Sha256(benchmark::State& state)
+{
+    Bytes data(std::size_t(state.range(0)), 0xab);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::Sha256::hash(data));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(4096)->Arg(65536);
+
+void
+BM_AesGcmSeal(benchmark::State& state)
+{
+    crypto::AesGcm gcm(Bytes(16, 0x11));
+    Bytes iv(12, 0x22);
+    Bytes data(std::size_t(state.range(0)), 0x33);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gcm.seal(iv, {}, data));
+    }
+    state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AesGcmSeal)->Arg(64)->Arg(4096);
+
+void
+BM_RsaVerify(benchmark::State& state)
+{
+    Rng rng(1);
+    auto key = crypto::RsaKeyPair::generate(rng, 1024);
+    Bytes msg = bytesOf("sigstruct body");
+    Bytes sig = crypto::rsaSign(key, msg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::rsaVerify(key.pub, msg, sig));
+    }
+}
+BENCHMARK(BM_RsaVerify);
+
+/** The hot path of the whole model: validated translate + data copy. */
+void
+BM_ValidatedRead(benchmark::State& state)
+{
+    sgx::Machine::Config config;
+    config.dramBytes = 64ull << 20;
+    config.prmBase = 32ull << 20;
+    config.prmBytes = 16ull << 20;
+    sgx::Machine machine(config);
+    os::Kernel kernel(machine);
+    auto pid = kernel.createProcess();
+    kernel.schedule(0, pid);
+    sdk::Urts urts(kernel, pid);
+
+    Rng rng(7);
+    auto key = crypto::RsaKeyPair::generate(rng, 512);
+    sdk::EnclaveSpec spec;
+    spec.name = "bm";
+    spec.codePages = 2;
+    spec.heapPages = 8;
+    auto enclave = urts.load(sdk::buildImage(spec, key)).orThrow("load");
+    const auto* rec = kernel.enclaveRecord(enclave->secsPage());
+    hw::Paddr tcs = 0;
+    for (const auto& [va, pa] : rec->pages) {
+        if (machine.epcm().entry(machine.mem().epcPageIndex(pa)).type ==
+            sgx::PageType::Tcs) {
+            tcs = pa;
+            break;
+        }
+    }
+    machine.eenter(0, tcs).orThrow("eenter");
+    hw::Vaddr heap = enclave->heap().alloc(4096);
+
+    std::uint8_t buf[256];
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(machine.read(0, heap, buf, sizeof(buf)));
+    }
+    state.SetBytesProcessed(state.iterations() * sizeof(buf));
+}
+BENCHMARK(BM_ValidatedRead);
+
+void
+BM_BtreeInsertFind(benchmark::State& state)
+{
+    db::Btree tree;
+    Rng rng(3);
+    db::Key next = 0;
+    for (int i = 0; i < 10000; ++i) tree.insert(next++, {"v"});
+    for (auto _ : state) {
+        tree.insert(next++, {"v"});
+        benchmark::DoNotOptimize(
+            tree.find(db::Key(rng.nextBelow(std::uint64_t(next)))));
+    }
+}
+BENCHMARK(BM_BtreeInsertFind);
+
+void
+BM_RbfKernel(benchmark::State& state)
+{
+    Rng rng(4);
+    auto data = svm::generate(svm::shapeByName("protein"), 2, rng);
+    svm::KernelParams params;
+    std::uint64_t flops = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(svm::kernel(params, data.samples[0],
+                                             data.samples[1], flops));
+    }
+}
+BENCHMARK(BM_RbfKernel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,161 @@
+/**
+ * Reproduces paper Table III: lines of code modified to port each
+ * application from the conventional (monolithic) enclave to nested
+ * enclave.
+ *
+ * Methodology mirrors the paper's: the library itself is untouched
+ * (minissl/minisvm/minidb play the roles of SGX-OpenSSL/SGX-LibSVM/
+ * SGX-SQLite — 0 modified lines), the C/C++ delta is the nested-layout
+ * wiring in the application, and the "EDL" delta is the count of new
+ * boundary-interface declarations (addNEcall/addNOcallTarget
+ * registrations, our EDL equivalent).
+ *
+ * Counts are computed from this repository's sources at run time, so the
+ * table tracks the code as it evolves.
+ */
+#include <fstream>
+#include <sstream>
+
+#include "bench_util.h"
+
+namespace nesgx::bench {
+namespace {
+
+std::string
+readFile(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Counts non-empty, non-comment lines in a source region. */
+int
+countCodeLines(const std::string& text)
+{
+    std::istringstream lines(text);
+    std::string line;
+    int count = 0;
+    while (std::getline(lines, line)) {
+        std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        if (line.compare(first, 2, "//") == 0) continue;
+        ++count;
+    }
+    return count;
+}
+
+/** Total code lines across the given files. */
+int
+totalLines(const std::vector<std::string>& files)
+{
+    int total = 0;
+    for (const auto& f : files) {
+        total += countCodeLines(readFile(std::string(NESGX_SOURCE_DIR) +
+                                         "/" + f));
+    }
+    return total;
+}
+
+/** Lines between the monolithic block end and file end = nested delta. */
+int
+nestedDelta(const std::string& file, const std::string& marker)
+{
+    std::string text =
+        readFile(std::string(NESGX_SOURCE_DIR) + "/" + file);
+    std::size_t pos = text.find(marker);
+    if (pos == std::string::npos) return 0;
+    return countCodeLines(text.substr(pos));
+}
+
+/** Counts occurrences of a token (the EDL-declaration count proxy). */
+int
+countToken(const std::vector<std::string>& files, const std::string& token)
+{
+    int count = 0;
+    for (const auto& f : files) {
+        std::string text =
+            readFile(std::string(NESGX_SOURCE_DIR) + "/" + f);
+        for (std::size_t pos = text.find(token); pos != std::string::npos;
+             pos = text.find(token, pos + 1)) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+struct PortRow {
+    std::string name;
+    std::string kind;
+    int modified;
+    int original;
+};
+
+}  // namespace
+}  // namespace nesgx::bench
+
+int
+main()
+{
+    using namespace nesgx::bench;
+
+    header("Table III: lines of code modified for porting applications to "
+           "nested enclave");
+    note("paper: echo 34+10, SQLite 19+5, svm 27+10/24+10 modified lines;");
+    note("library code (OpenSSL/SQLite/LibSVM): 0 modified lines");
+
+    const std::vector<std::string> sslLib = {
+        "src/ssl/minissl.cpp", "src/ssl/minissl.h", "src/ssl/handshake.cpp",
+        "src/ssl/handshake.h"};
+    const std::vector<std::string> dbLib = {
+        "src/db/btree.cpp", "src/db/btree.h", "src/db/parser.cpp",
+        "src/db/parser.h", "src/db/executor.cpp", "src/db/executor.h",
+        "src/db/ycsb.cpp", "src/db/ycsb.h"};
+    const std::vector<std::string> svmLib = {
+        "src/svm/kernel.cpp", "src/svm/kernel.h", "src/svm/solver.cpp",
+        "src/svm/solver.h", "src/svm/model.cpp", "src/svm/model.h",
+        "src/svm/dataset.cpp", "src/svm/dataset.h"};
+
+    // The nested-layout deltas inside each application wiring file.
+    int echoDelta =
+        nestedDelta("src/apps/echo_app.cpp", "// --- nested layout");
+    int sqlDelta = nestedDelta("src/apps/sql_app.cpp",
+                               "// Nested: shared SQLite outer");
+    int mlDelta = nestedDelta("src/apps/ml_app.cpp",
+                              "// Nested: shared libsvm outer");
+
+    // EDL-equivalent declarations added for nested layouts.
+    int echoEdl = countToken({"src/apps/echo_app.cpp"}, "addNOcallTarget") +
+                  countToken({"src/apps/echo_app.cpp"}, "addNEcall");
+    int sqlEdl = countToken({"src/apps/sql_app.cpp"}, "addNOcallTarget") +
+                 countToken({"src/apps/sql_app.cpp"}, "addNEcall");
+    int mlEdl = countToken({"src/apps/ml_app.cpp"}, "addNOcallTarget") +
+                countToken({"src/apps/ml_app.cpp"}, "addNEcall");
+
+    std::vector<PortRow> rows = {
+        {"echo server", "C/C++ code", echoDelta,
+         totalLines({"src/apps/echo_app.cpp", "src/apps/echo_app.h"})},
+        {"echo server", "EDL (interface decls)", echoEdl, 0},
+        {"echo server", "minissl (lib)", 0, totalLines(sslLib)},
+        {"SQLite server", "C/C++ code", sqlDelta,
+         totalLines({"src/apps/sql_app.cpp", "src/apps/sql_app.h"})},
+        {"SQLite server", "EDL (interface decls)", sqlEdl, 0},
+        {"SQLite server", "minidb (lib)", 0, totalLines(dbLib)},
+        {"svm train+predict", "C/C++ code", mlDelta,
+         totalLines({"src/apps/ml_app.cpp", "src/apps/ml_app.h"})},
+        {"svm train+predict", "EDL (interface decls)", mlEdl, 0},
+        {"svm train+predict", "minisvm (lib)", 0, totalLines(svmLib)},
+    };
+
+    std::printf("\n  %-20s %-24s %10s %10s\n", "Name", "Modification",
+                "Modified", "Original");
+    for (const auto& row : rows) {
+        std::printf("  %-20s %-24s %10d %10d\n", row.name.c_str(),
+                    row.kind.c_str(), row.modified, row.original);
+    }
+    note("");
+    note("Shape check vs the paper: per-app nested deltas are tens-to-low-");
+    note("hundreds of lines while libraries stay at 0 modified lines.");
+    return 0;
+}

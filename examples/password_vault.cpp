@@ -1,0 +1,162 @@
+/**
+ * password_vault — a fourth domain scenario combining nested isolation
+ * with sealed storage: the vault (secrets + master key) lives in an
+ * inner enclave; a 3rd-party "sync/format" library lives in the outer
+ * enclave and only ever sees sealed blobs; the OS stores the blobs.
+ *
+ * Demonstrates: n_ocall with by-reference data, sealData/unsealData
+ * (MRSIGNER-bound), confinement of the library tier, and the state-dump
+ * helpers.
+ *
+ *   ./build/examples/password_vault
+ */
+#include <cstdio>
+#include <map>
+
+#include "core/compose.h"
+#include "core/dump.h"
+#include "os/kernel.h"
+#include "sdk/sealing.h"
+
+using namespace nesgx;
+
+namespace {
+
+/** Untrusted "disk" the OS offers. */
+std::map<std::string, Bytes> g_disk;
+
+}  // namespace
+
+int
+main()
+{
+    sgx::Machine machine;
+    os::Kernel kernel(machine);
+    os::Pid pid = kernel.createProcess();
+    kernel.schedule(0, pid);
+    sdk::Urts urts(kernel, pid);
+
+    urts.registerOcall("disk_write", [](ByteView arg) -> Result<Bytes> {
+        // arg = [name_len u8][name][blob]
+        if (arg.empty()) return Err::BadCallBuffer;
+        std::size_t nameLen = arg[0];
+        std::string name(arg.begin() + 1, arg.begin() + 1 + nameLen);
+        g_disk[name] = Bytes(arg.begin() + 1 + nameLen, arg.end());
+        return Bytes{};
+    });
+    urts.registerOcall("disk_read", [](ByteView arg) -> Result<Bytes> {
+        std::string name(arg.begin(), arg.end());
+        auto it = g_disk.find(name);
+        if (it == g_disk.end()) return Err::OsError;
+        return it->second;
+    });
+
+    // Outer: the 3rd-party sync library. It can push blobs to disk but
+    // cannot open them (no seal key for this author's data... it *does*
+    // share the author here, so confinement rests on it never receiving
+    // plaintext, plus the inner-memory isolation).
+    sdk::EnclaveSpec outer;
+    outer.name = "vault-sync-lib";
+    outer.interface->addNOcallTarget(
+        "sync_store", [](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            return env.ocall("disk_write", arg);
+        });
+    outer.interface->addNOcallTarget(
+        "sync_fetch", [](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            return env.ocall("disk_read", arg);
+        });
+
+    // Inner: the vault. Entries live in the inner heap; persistence goes
+    // through sealData so only sealed bytes ever reach the outer tier.
+    auto vaultState = std::make_shared<std::map<std::string, std::string>>();
+    sdk::EnclaveSpec inner;
+    inner.name = "vault-core";
+    inner.interface->addNEcall(
+        "put", [vaultState](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            // arg = "site\npassword"
+            std::string s(arg.begin(), arg.end());
+            auto nl = s.find('\n');
+            if (nl == std::string::npos) return Err::BadCallBuffer;
+            (*vaultState)[s.substr(0, nl)] = s.substr(nl + 1);
+
+            // Persist: seal the whole vault, hand it to the sync lib.
+            std::string serialized;
+            for (const auto& [site, pw] : *vaultState) {
+                serialized += site + "\n" + pw + "\n";
+            }
+            auto blob = sdk::sealData(env, bytesOf(serialized));
+            if (!blob) return blob.status();
+            Bytes msg;
+            msg.push_back(5);
+            append(msg, bytesOf("vault"));
+            append(msg, blob.value());
+            return env.nOcall("sync_store", msg);
+        });
+    inner.interface->addNEcall(
+        "get", [vaultState](sdk::TrustedEnv&, ByteView arg) -> Result<Bytes> {
+            auto it = vaultState->find(std::string(arg.begin(), arg.end()));
+            if (it == vaultState->end()) return Err::NoSuchCall;
+            return bytesOf(it->second);
+        });
+    inner.interface->addNEcall(
+        "restore", [vaultState](sdk::TrustedEnv& env, ByteView) -> Result<Bytes> {
+            auto blob = env.nOcall("sync_fetch", bytesOf("vault"));
+            if (!blob) return blob.status();
+            auto plain = sdk::unsealData(env, blob.value());
+            if (!plain) return plain.status();
+            vaultState->clear();
+            std::string s(plain.value().begin(), plain.value().end());
+            std::size_t pos = 0;
+            while (pos < s.size()) {
+                auto nl1 = s.find('\n', pos);
+                auto nl2 = s.find('\n', nl1 + 1);
+                if (nl1 == std::string::npos || nl2 == std::string::npos) break;
+                (*vaultState)[s.substr(pos, nl1 - pos)] =
+                    s.substr(nl1 + 1, nl2 - nl1 - 1);
+                pos = nl2 + 1;
+            }
+            return Bytes{};
+        });
+
+    auto app = core::NestedAppBuilder(urts)
+                   .outer(outer)
+                   .addInner(inner)
+                   .build()
+                   .orThrow("build");
+
+    std::printf("password vault over a confined sync library\n\n");
+    app.callInner("vault-core", "put", bytesOf("example.com\nhunter2"))
+        .orThrow("put");
+    app.callInner("vault-core", "put",
+                  bytesOf("bank.example\ncorrect-horse-battery"))
+        .orThrow("put");
+
+    auto pw = app.callInner("vault-core", "get", bytesOf("bank.example"))
+                  .orThrow("get");
+    std::printf("retrieved in-enclave: %s\n",
+                std::string(pw.begin(), pw.end()).c_str());
+
+    // What the OS holds is sealed: the plaintext never appears on disk.
+    const Bytes& onDisk = g_disk.at("vault");
+    bool plaintextOnDisk = false;
+    Bytes needle = bytesOf("hunter2");
+    for (std::size_t i = 0; i + needle.size() <= onDisk.size(); ++i) {
+        if (std::equal(needle.begin(), needle.end(), onDisk.begin() + i)) {
+            plaintextOnDisk = true;
+        }
+    }
+    std::printf("disk blob: %zu bytes, plaintext visible: %s\n",
+                onDisk.size(), plaintextOnDisk ? "YES (BUG!)" : "no");
+
+    // Wipe the in-memory vault, restore from the sealed blob.
+    vaultState->clear();
+    app.callInner("vault-core", "restore", {}).orThrow("restore");
+    auto again = app.callInner("vault-core", "get", bytesOf("example.com"))
+                     .orThrow("get");
+    std::printf("restored from sealed blob: %s\n",
+                std::string(again.begin(), again.end()).c_str());
+
+    std::printf("\n%s\n%s", core::dumpEnclaveTree(machine).c_str(),
+                core::dumpStats(machine).c_str());
+    return plaintextOnDisk ? 1 : 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * secure_echo — the paper's §VI-A confinement case study, live.
+ *
+ * Runs the SSL echo server twice: once monolithic (application +
+ * vulnerable minissl in one enclave) and once nested (minissl confined
+ * to the outer enclave). Both get attacked with a HeartBleed request
+ * after the application handled a login whose secret transited the heap.
+ *
+ *   ./build/examples/secure_echo
+ */
+#include <cstdio>
+
+#include "apps/echo_app.h"
+#include "os/kernel.h"
+
+using namespace nesgx;
+
+namespace {
+
+const char* kSecret = "CUSTOMER-CARD-4242-4242-4242-4242";
+
+void
+attack(apps::Layout layout)
+{
+    sgx::Machine machine;
+    os::Kernel kernel(machine);
+    os::Pid pid = kernel.createProcess();
+    for (hw::CoreId c = 0; c < machine.coreCount(); ++c) {
+        kernel.schedule(c, pid);
+    }
+    sdk::Urts urts(kernel, pid);
+
+    Bytes sessionKey(16, 0x42);
+    auto server =
+        apps::EchoServer::create(urts, layout, sessionKey).orThrow("server");
+    apps::EchoClient client(sessionKey);
+
+    std::printf("\n--- %s layout ---\n",
+                layout == apps::Layout::Monolithic ? "monolithic SGX"
+                                                   : "nested enclave");
+
+    // Normal operation: a login (the secret passes through the app heap)
+    // and an echoed message.
+    server->login(kSecret).orThrow("login");
+    client.sendData(server->network(), 128);
+
+    // The attack: a heartbeat claiming 2 KB with one real byte.
+    client.sendHeartbleed(server->network(), 2048);
+    server->run(1).orThrow("run");
+
+    auto echoed = client.receive(server->network()).orThrow("echo");
+    std::printf("echo round trip: ok (%zu bytes)\n", echoed.size());
+
+    auto leak = client.receive(server->network()).orThrow("heartbeat");
+    std::printf("heartbeat response: %zu bytes\n", leak.size());
+    if (apps::containsBytes(leak, bytesOf(kSecret))) {
+        std::printf(">>> HEARTBLEED LEAKED THE SECRET: \"%s\"\n", kSecret);
+    } else {
+        std::printf(">>> secret not present in the overread "
+                    "(confined to the outer enclave's heap)\n");
+    }
+}
+
+}  // namespace
+
+int
+main()
+{
+    std::printf("HeartBleed (CVE-2014-0160) against the minissl echo "
+                "server, paper §VI-A\n");
+    attack(apps::Layout::Monolithic);
+    attack(apps::Layout::Nested);
+    std::printf("\nSame library, same bug, same attack — the nested layout "
+                "confines it.\n");
+    return 0;
+}

@@ -1,0 +1,343 @@
+#include "apps/echo_app.h"
+
+#include <algorithm>
+
+namespace nesgx::apps {
+
+namespace {
+
+/** Inner-enclave record session (the app owns the record keys). */
+struct RecordSession {
+    crypto::AesGcm gcm;
+    std::uint64_t sendSeq = 0;
+    std::uint64_t recvSeq = 0;
+
+    explicit RecordSession(ByteView key) : gcm(key) {}
+
+    Bytes seal(ByteView plain)
+    {
+        Bytes iv(crypto::kGcmIvSize, 0);
+        storeLe64(iv.data(), sendSeq);
+        Bytes aad(8);
+        storeLe64(aad.data(), sendSeq);
+        ++sendSeq;
+        return gcm.seal(iv, aad, plain);
+    }
+
+    Result<Bytes> open(ByteView sealed)
+    {
+        Bytes iv(crypto::kGcmIvSize, 0);
+        storeLe64(iv.data(), recvSeq);
+        Bytes aad(8);
+        storeLe64(aad.data(), recvSeq);
+        auto out = gcm.open(iv, aad, sealed);
+        if (out) ++recvSeq;
+        return out;
+    }
+};
+
+/**
+ * The application's login path: stage the secret in a heap buffer the
+ * size of an SSL record buffer, derive a token from it, free the buffer.
+ * The residue (never scrubbed) is what HeartBleed can reach when the SSL
+ * record buffers share the same heap.
+ */
+Result<Bytes>
+doLogin(sdk::TrustedEnv& env, ByteView secret)
+{
+    hw::Vaddr buf = env.alloc(ssl::kRecordBufferSize);
+    if (buf == 0) return Err::OutOfMemory;
+    // The secret lands mid-buffer (a realistic struct layout, past the
+    // region small records clobber on recycle); the residual bytes
+    // survive the free() below, which is all HeartBleed needs.
+    constexpr std::uint64_t kSecretOffset = 512;
+    Status st = env.writeBytes(buf + kSecretOffset, secret);
+    if (!st) return st;
+    // "Use" the secret: hash it into a session token.
+    auto staged = env.readBytes(buf + kSecretOffset, secret.size());
+    if (!staged) return staged.status();
+    auto token = crypto::Sha256::hash(staged.value());
+    env.free(buf);
+    return Bytes(token.begin(), token.begin() + 16);
+}
+
+}  // namespace
+
+bool
+containsBytes(ByteView haystack, ByteView needle)
+{
+    if (needle.empty() || haystack.size() < needle.size()) return false;
+    auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                          needle.end());
+    return it != haystack.end();
+}
+
+Result<std::unique_ptr<EchoServer>>
+EchoServer::create(sdk::Urts& urts, Layout layout, ByteView sessionKey)
+{
+    auto server = std::unique_ptr<EchoServer>(new EchoServer());
+    server->urts_ = &urts;
+    server->layout_ = layout;
+    server->network_ = std::make_shared<EchoNetwork>();
+
+    auto net = server->network_;
+    sgx::Machine* machine = &urts.machine();
+
+    // --- the untrusted socket surface (ocalls) --------------------------
+    urts.registerOcall("net_recv", [net, machine](ByteView) -> Result<Bytes> {
+        if (net->toServer.empty()) return Bytes{};
+        Bytes wire = std::move(net->toServer.front());
+        net->toServer.pop_front();
+        machine->charge(net->socketBaseCycles + wire.size());
+        return wire;
+    });
+    urts.registerOcall("net_send",
+                       [net, machine](ByteView wire) -> Result<Bytes> {
+                           machine->charge(net->socketBaseCycles +
+                                           wire.size());
+                           net->toClient.emplace_back(wire.begin(),
+                                                      wire.end());
+                           return Bytes{};
+                       });
+
+    Bytes key(sessionKey.begin(), sessionKey.end());
+
+    if (layout == Layout::Monolithic) {
+        // One enclave hosts both the app and the minissl library; the
+        // record buffers and the app's secrets share one heap.
+        sdk::EnclaveSpec spec;
+        spec.name = "echo-mono";
+        spec.codePages = 64;  // app + statically linked SSL text
+        spec.heapPages = 64;
+        auto sslLib = std::make_shared<ssl::MiniSsl>(key);
+
+        spec.interface->addEcall(
+            "login", [](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+                return doLogin(env, arg);
+            });
+        spec.interface->addEcall(
+            "run",
+            [sslLib](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+                // Serve until the connection drains; `arg` carries the
+                // expected data-message count for accounting only.
+                std::uint64_t echoed = 0;
+                (void)loadLe64(arg.data());
+                for (;;) {
+                    auto wire = env.ocall("net_recv", {});
+                    if (!wire) return wire.status();
+                    if (wire.value().empty()) break;  // drained
+
+                    ssl::FrameType type;
+                    ByteView payload;
+                    if (!ssl::parseFrame(wire.value(), type, payload)) {
+                        continue;
+                    }
+                    if (type == ssl::FrameType::Heartbeat) {
+                        auto resp = sslLib->handleHeartbeat(env, wire.value());
+                        if (!resp) return resp.status();
+                        auto sent = env.ocall("net_send", resp.value());
+                        if (!sent) return sent.status();
+                        continue;
+                    }
+                    auto plain = sslLib->sslRead(env, wire.value());
+                    if (!plain) return plain.status();
+                    // Echo application logic: reflect the payload.
+                    auto reply = sslLib->sslWrite(env, plain.value());
+                    if (!reply) return reply.status();
+                    auto sent = env.ocall("net_send", reply.value());
+                    if (!sent) return sent.status();
+                    ++echoed;
+                }
+                Bytes out(8);
+                storeLe64(out.data(), echoed);
+                return out;
+            });
+
+        auto loaded = core::loadMonolithic(urts, spec);
+        if (!loaded) return loaded.status();
+        server->mono_ = loaded.value();
+        return server;
+    }
+
+    // --- nested layout ----------------------------------------------------
+    // Outer enclave: the minissl library (framing, heartbeat, sockets).
+    sdk::EnclaveSpec outerSpec;
+    outerSpec.name = "echo-ssl-outer";
+    outerSpec.codePages = 48;  // the SSL library text
+    outerSpec.heapPages = 64;
+    // The outer SSL instance never holds the record keys (the paper's
+    // point): it only frames, de-frames and answers heartbeats.
+    auto outerSsl = std::make_shared<ssl::MiniSsl>(Bytes(16, 0));
+
+    outerSpec.interface->addNOcallTarget(
+        "SSL_read",
+        [outerSsl](sdk::TrustedEnv& env, ByteView) -> Result<Bytes> {
+            for (;;) {
+                auto wire = env.ocall("net_recv", {});
+                if (!wire) return wire.status();
+                if (wire.value().empty()) return Bytes{};  // drained
+
+                ssl::FrameType type;
+                ByteView payload;
+                if (!ssl::parseFrame(wire.value(), type, payload)) continue;
+                if (type == ssl::FrameType::Heartbeat) {
+                    // Handled entirely inside the (vulnerable) library.
+                    auto resp = outerSsl->handleHeartbeat(env, wire.value());
+                    if (!resp) return resp.status();
+                    auto sent = env.ocall("net_send", resp.value());
+                    if (!sent) return sent.status();
+                    continue;
+                }
+                // Stage through the outer heap like a real record layer,
+                // then hand the protected record up to the application.
+                hw::Vaddr buf = env.alloc(std::max<std::uint64_t>(
+                    ssl::kRecordBufferSize, payload.size()));
+                if (buf == 0) return Err::OutOfMemory;
+                Status st = env.writeBytes(buf, payload);
+                if (!st) return st;
+                auto staged = env.readBytes(buf, payload.size());
+                env.free(buf);
+                if (!staged) return staged.status();
+                return staged.value();
+            }
+        });
+    outerSpec.interface->addNOcallTarget(
+        "SSL_write",
+        [](sdk::TrustedEnv& env, ByteView sealed) -> Result<Bytes> {
+            hw::Vaddr buf = env.alloc(std::max<std::uint64_t>(
+                ssl::kRecordBufferSize, sealed.size()));
+            if (buf == 0) return Err::OutOfMemory;
+            Status st = env.writeBytes(buf, sealed);
+            if (!st) return st;
+            auto staged = env.readBytes(buf, sealed.size());
+            env.free(buf);
+            if (!staged) return staged.status();
+            Bytes wire = ssl::frame(ssl::FrameType::Data, staged.value());
+            auto sent = env.ocall("net_send", wire);
+            if (!sent) return sent.status();
+            return Bytes{};
+        });
+
+    // Inner enclave: the application; it owns the record session keys.
+    sdk::EnclaveSpec innerSpec;
+    innerSpec.name = "echo-app-inner";
+    innerSpec.codePages = 16;
+    innerSpec.heapPages = 32;
+    auto session = std::make_shared<RecordSession>(key);
+
+    innerSpec.interface->addNEcall(
+        "login", [](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            return doLogin(env, arg);
+        });
+    innerSpec.interface->addNEcall(
+        "run",
+        [session](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            std::uint64_t echoed = 0;
+            (void)loadLe64(arg.data());
+            for (;;) {
+                auto sealed = env.nOcall("SSL_read", {});
+                if (!sealed) return sealed.status();
+                if (sealed.value().empty()) break;  // drained
+
+                // Decrypt in the inner enclave (paper §VI-A): the outer
+                // SSL library never sees plaintext or keys.
+                auto plain = session->open(sealed.value());
+                env.chargeGcm(sealed.value().size());
+                if (!plain) return plain.status();
+
+                Bytes reply = session->seal(plain.value());
+                env.chargeGcm(plain.value().size());
+                auto sent = env.nOcall("SSL_write", reply);
+                if (!sent) return sent.status();
+                ++echoed;
+            }
+            Bytes out(8);
+            storeLe64(out.data(), echoed);
+            return out;
+        });
+
+    auto app = core::NestedAppBuilder(urts)
+                   .outer(std::move(outerSpec))
+                   .addInner(std::move(innerSpec))
+                   .build();
+    if (!app) return app.status();
+    server->nested_ = std::move(app.value());
+    return server;
+}
+
+Status
+EchoServer::run(std::uint64_t messages)
+{
+    Bytes arg(8);
+    storeLe64(arg.data(), messages);
+    if (layout_ == Layout::Monolithic) {
+        return urts_->ecall(mono_, "run", arg).status();
+    }
+    return nested_.callInner("echo-app-inner", "run", arg).status();
+}
+
+Status
+EchoServer::login(const std::string& secret)
+{
+    Bytes arg = bytesOf(secret);
+    if (layout_ == Layout::Monolithic) {
+        return urts_->ecall(mono_, "login", arg).status();
+    }
+    return nested_.callInner("echo-app-inner", "login", arg).status();
+}
+
+EchoClient::EchoClient(ByteView sessionKey) : gcm_(sessionKey) {}
+
+void
+EchoClient::sendData(EchoNetwork& net, std::uint64_t chunk)
+{
+    Bytes plain = rng_.bytes(chunk);
+    Bytes iv(crypto::kGcmIvSize, 0);
+    storeLe64(iv.data(), sendSeq_);
+    Bytes aad(8);
+    storeLe64(aad.data(), sendSeq_);
+    ++sendSeq_;
+    net.toServer.push_back(
+        ssl::frame(ssl::FrameType::Data, gcm_.seal(iv, aad, plain)));
+    outstanding_.push_back(std::move(plain));
+}
+
+void
+EchoClient::sendHeartbleed(EchoNetwork& net, std::uint16_t claimed)
+{
+    Bytes payload = {0x41};  // one real byte
+    net.toServer.push_back(ssl::makeHeartbeatRequest(claimed, payload));
+}
+
+Result<Bytes>
+EchoClient::receive(EchoNetwork& net)
+{
+    if (net.toClient.empty()) return Err::BadCallBuffer;
+    Bytes wire = std::move(net.toClient.front());
+    net.toClient.pop_front();
+
+    ssl::FrameType type;
+    ByteView payload;
+    if (!ssl::parseFrame(wire, type, payload)) return Err::BadCallBuffer;
+
+    if (type == ssl::FrameType::Heartbeat) {
+        // Heartbeat responses come back unprotected (attack channel).
+        return Bytes(payload.begin(), payload.end());
+    }
+
+    Bytes iv(crypto::kGcmIvSize, 0);
+    storeLe64(iv.data(), recvSeq_);
+    Bytes aad(8);
+    storeLe64(aad.data(), recvSeq_);
+    auto plain = gcm_.open(iv, aad, payload);
+    if (!plain) return plain.status();
+    ++recvSeq_;
+
+    if (!outstanding_.empty() && plain.value() == outstanding_.front()) {
+        ++echoedOk_;
+        outstanding_.pop_front();
+    }
+    return plain;
+}
+
+}  // namespace nesgx::apps

@@ -1,0 +1,110 @@
+/**
+ * The echo-server case study (paper §VI-A, Fig. 7, Table VII row 1).
+ *
+ * An SSL-protected echo server deployed in two layouts:
+ *
+ *  - Monolithic: application code and the minissl library share one
+ *    enclave (today's SGX practice). HeartBleed leaks application
+ *    secrets out of the shared heap.
+ *
+ *  - Nested: minissl (the untrusted 3rd-party library) is confined to
+ *    the *outer* enclave; the application — and the record keys — live
+ *    in an *inner* enclave. The same attack only sees outer-heap bytes.
+ *
+ * The server runs the paper's loop shape: one long-lived ecall that
+ * receives via socket ocalls, processes records, and responds. In the
+ * nested layout, the inner app reaches the library through n_ocalls
+ * (SSL_read/SSL_write), exactly the call structure Fig. 7 charges for.
+ */
+#pragma once
+
+#include <deque>
+#include <memory>
+
+#include "core/compose.h"
+#include "ssl/handshake.h"
+#include "ssl/minissl.h"
+
+namespace nesgx::apps {
+
+enum class Layout { Monolithic, Nested };
+
+/** The in-memory "network": request queue in, response queue out. */
+struct EchoNetwork {
+    std::deque<Bytes> toServer;
+    std::deque<Bytes> toClient;
+    /** Modelled kernel/NIC cost per socket call. */
+    std::uint64_t socketBaseCycles = 50000;
+};
+
+class EchoServer {
+  public:
+    /**
+     * Builds and loads the server in the given layout.
+     * @param sessionKey 16-byte record key shared with the client.
+     */
+    static Result<std::unique_ptr<EchoServer>> create(sdk::Urts& urts,
+                                                      Layout layout,
+                                                      ByteView sessionKey);
+
+    /**
+     * Runs the server loop until the connection drains (no more queued
+     * requests). Heartbeat frames are consumed by the SSL layer and
+     * answered transparently; `messages` is the expected data-frame
+     * count, carried for accounting.
+     */
+    Status run(std::uint64_t messages);
+
+    /**
+     * Simulates the application handling a login: a secret is staged in
+     * an application heap buffer, used, and freed (the residue HeartBleed
+     * goes after). In the nested layout this touches only the inner heap.
+     */
+    Status login(const std::string& secret);
+
+    EchoNetwork& network() { return *network_; }
+    Layout layout() const { return layout_; }
+
+    /** Call statistics snapshot helpers for the Fig. 7 harness. */
+    sdk::Urts& urts() { return *urts_; }
+
+  private:
+    EchoServer() = default;
+
+    sdk::Urts* urts_ = nullptr;
+    Layout layout_ = Layout::Monolithic;
+    std::shared_ptr<EchoNetwork> network_;
+    // Monolithic: the single enclave; Nested: outer = ssl, inner = app.
+    sdk::LoadedEnclave* mono_ = nullptr;
+    core::NestedApp nested_;
+};
+
+/** Client-side codec: shares the session key, frames/opens records. */
+class EchoClient {
+  public:
+    explicit EchoClient(ByteView sessionKey);
+
+    /** Enqueues one data message of `chunk` bytes; remembers plaintext. */
+    void sendData(EchoNetwork& net, std::uint64_t chunk);
+
+    /** Enqueues a HeartBleed attempt: 1 real byte, `claimed` length. */
+    void sendHeartbleed(EchoNetwork& net, std::uint16_t claimed);
+
+    /** Opens the next server response; checks the echo matches. */
+    Result<Bytes> receive(EchoNetwork& net);
+
+    std::uint64_t echoedOk() const { return echoedOk_; }
+
+  private:
+    crypto::AesGcm gcm_;
+    std::uint64_t sendSeq_ = 0;
+    std::uint64_t recvSeq_ = 0;
+    std::deque<Bytes> outstanding_;
+    std::uint64_t echoedOk_ = 0;
+    Rng rng_{0xEC40};
+};
+
+/** Looks for `needle` anywhere in `haystack` (leak detection). */
+bool containsBytes(ByteView haystack, ByteView needle);
+
+}  // namespace nesgx::apps

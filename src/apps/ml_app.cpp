@@ -1,0 +1,324 @@
+#include "apps/ml_app.h"
+
+namespace nesgx::apps {
+
+namespace {
+
+Bytes
+datasetIv(std::uint64_t seq)
+{
+    Bytes iv(crypto::kGcmIvSize, 0);
+    storeLe64(iv.data(), seq);
+    return iv;
+}
+
+/** Shared service state: per-user model slots. */
+struct ServiceState {
+    std::vector<svm::Model> models;
+    explicit ServiceState(std::size_t users) : models(users) {}
+};
+
+MlResult
+decodeResult(ByteView wire)
+{
+    MlResult out;
+    if (wire.size() != 25) return out;
+    out.ok = wire[0] == 1;
+    std::uint64_t accBits = loadLe64(wire.data() + 1);
+    double acc;
+    static_assert(sizeof(acc) == 8);
+    std::memcpy(&acc, &accBits, 8);
+    out.accuracy = acc;
+    out.supportVectors = loadLe64(wire.data() + 9);
+    out.predictions = loadLe64(wire.data() + 17);
+    return out;
+}
+
+Bytes
+encodeResult(const MlResult& r)
+{
+    Bytes out(25);
+    out[0] = r.ok ? 1 : 0;
+    std::uint64_t accBits;
+    std::memcpy(&accBits, &r.accuracy, 8);
+    storeLe64(out.data() + 1, accBits);
+    storeLe64(out.data() + 9, r.supportVectors);
+    storeLe64(out.data() + 17, r.predictions);
+    return out;
+}
+
+/** Request framing: [user u32][seq u64][train u8][C f64][gamma f64]|blob. */
+struct MlRequest {
+    std::uint32_t user = 0;
+    std::uint64_t seq = 0;
+    bool train = false;
+    double c = 1.0;
+    double gamma = 0.1;
+    ByteView blob;
+};
+
+Bytes
+encodeRequest(const MlRequest& req)
+{
+    Bytes out(4 + 8 + 1 + 16 + req.blob.size());
+    storeLe32(out.data(), req.user);
+    storeLe64(out.data() + 4, req.seq);
+    out[12] = req.train ? 1 : 0;
+    std::uint64_t bits;
+    std::memcpy(&bits, &req.c, 8);
+    storeLe64(out.data() + 13, bits);
+    std::memcpy(&bits, &req.gamma, 8);
+    storeLe64(out.data() + 21, bits);
+    std::memcpy(out.data() + 29, req.blob.data(), req.blob.size());
+    return out;
+}
+
+bool
+decodeRequest(ByteView wire, MlRequest& req)
+{
+    if (wire.size() < 29) return false;
+    req.user = loadLe32(wire.data());
+    req.seq = loadLe64(wire.data() + 4);
+    req.train = wire[12] == 1;
+    std::uint64_t bits = loadLe64(wire.data() + 13);
+    std::memcpy(&req.c, &bits, 8);
+    bits = loadLe64(wire.data() + 21);
+    std::memcpy(&req.gamma, &bits, 8);
+    req.blob = ByteView(wire.data() + 29, wire.size() - 29);
+    return true;
+}
+
+/**
+ * The trusted preprocessing every user's request goes through: decrypt
+ * the sealed dataset with the user key and privacy-filter it. Runs in
+ * the inner enclave (nested) or the shared enclave (monolithic).
+ */
+Result<svm::Dataset>
+decryptAndFilter(sdk::TrustedEnv& env, const crypto::AesGcm& gcm,
+                 std::uint64_t seq, ByteView blob)
+{
+    auto plain = gcm.open(datasetIv(seq), {}, blob);
+    env.chargeGcm(blob.size());
+    if (!plain) return plain.status();
+    std::string text(plain.value().begin(), plain.value().end());
+    svm::Dataset data = svm::fromLibsvmFormat(text);
+    // Anonymize: strip the first (identifying) feature column.
+    return privacyFilter(data, 1);
+}
+
+/** The shared SVM library entry points (run wherever the lib is hosted). */
+MlResult
+serveTrain(sdk::TrustedEnv& env, ServiceState& state, std::uint32_t user,
+           const svm::Dataset& data, double c, double gamma)
+{
+    svm::TrainParams params;
+    params.c = c;
+    params.kernel.gamma = gamma;
+    svm::TrainStats stats;
+    svm::Model model = svm::train(data, params, &stats);
+    env.chargeCycles(stats.flops * kFlopCycles);
+
+    MlResult result;
+    result.ok = true;
+    std::uint64_t flops = 0;
+    result.accuracy = model.accuracy(data, flops);
+    env.chargeCycles(flops * kFlopCycles);
+    result.supportVectors = model.totalSupportVectors();
+    state.models[user] = std::move(model);
+    return result;
+}
+
+MlResult
+servePredict(sdk::TrustedEnv& env, ServiceState& state, std::uint32_t user,
+             const svm::Dataset& data)
+{
+    MlResult result;
+    std::uint64_t flops = 0;
+    result.accuracy = state.models[user].accuracy(data, flops);
+    env.chargeCycles(flops * kFlopCycles);
+    result.predictions = data.size();
+    result.ok = true;
+    return result;
+}
+
+}  // namespace
+
+svm::Dataset
+privacyFilter(const svm::Dataset& data, int dropBelowFeature)
+{
+    svm::Dataset out;
+    out.nFeatures = data.nFeatures;
+    out.nClasses = data.nClasses;
+    out.labels = data.labels;
+    out.samples.reserve(data.size());
+    for (const auto& sample : data.samples) {
+        svm::SparseVector filtered;
+        for (const auto& [idx, val] : sample) {
+            if (idx >= dropBelowFeature) filtered.emplace_back(idx, val);
+        }
+        out.samples.push_back(std::move(filtered));
+    }
+    return out;
+}
+
+Bytes
+sealDataset(const svm::Dataset& data, ByteView clientKey, std::uint64_t seq)
+{
+    crypto::AesGcm gcm(clientKey);
+    std::string text = svm::toLibsvmFormat(data);
+    return gcm.seal(datasetIv(seq), {}, bytesOf(text));
+}
+
+Result<std::unique_ptr<MlService>>
+MlService::create(sdk::Urts& urts, MlLayout layout, std::size_t users)
+{
+    auto service = std::unique_ptr<MlService>(new MlService());
+    service->urts_ = &urts;
+    service->layout_ = layout;
+
+    // Deterministic per-user keys (provisioned via attestation in the
+    // full protocol; see examples/ml_service.cpp for that flow).
+    Rng keyRng(0x331A55);
+    for (std::size_t u = 0; u < users; ++u) {
+        service->keys_.push_back(keyRng.bytes(16));
+    }
+
+    auto state = std::make_shared<ServiceState>(users);
+    auto keys = service->keys_;
+
+    if (layout == MlLayout::Monolithic) {
+        sdk::EnclaveSpec spec;
+        spec.name = "ml-mono";
+        spec.codePages = 96;  // app + statically linked libsvm
+        spec.heapPages = 96;
+        spec.interface->addEcall(
+            "ml_request",
+            [state, keys](sdk::TrustedEnv& env,
+                          ByteView arg) -> Result<Bytes> {
+                MlRequest req;
+                if (!decodeRequest(arg, req) || req.user >= keys.size()) {
+                    return Err::BadCallBuffer;
+                }
+                crypto::AesGcm gcm(keys[req.user]);
+                auto data = decryptAndFilter(env, gcm, req.seq, req.blob);
+                if (!data) return data.status();
+                MlResult result =
+                    req.train
+                        ? serveTrain(env, *state, req.user, data.value(),
+                                     req.c, req.gamma)
+                        : servePredict(env, *state, req.user, data.value());
+                return encodeResult(result);
+            });
+        auto loaded = core::loadMonolithic(urts, spec);
+        if (!loaded) return loaded.status();
+        service->mono_ = loaded.value();
+        return service;
+    }
+
+    // Nested: shared libsvm outer + one inner per user.
+    sdk::EnclaveSpec outerSpec;
+    outerSpec.name = "libsvm-outer";
+    outerSpec.codePages = 96;
+    outerSpec.heapPages = 96;
+    outerSpec.interface->addNOcallTarget(
+        "svm_train",
+        [state](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            MlRequest req;
+            if (!decodeRequest(arg, req)) return Err::BadCallBuffer;
+            // The blob here is already privacy-filtered plaintext.
+            std::string text(req.blob.begin(), req.blob.end());
+            svm::Dataset data = svm::fromLibsvmFormat(text);
+            return encodeResult(serveTrain(env, *state, req.user, data,
+                                           req.c, req.gamma));
+        });
+    outerSpec.interface->addNOcallTarget(
+        "svm_predict",
+        [state](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            MlRequest req;
+            if (!decodeRequest(arg, req)) return Err::BadCallBuffer;
+            std::string text(req.blob.begin(), req.blob.end());
+            svm::Dataset data = svm::fromLibsvmFormat(text);
+            return encodeResult(servePredict(env, *state, req.user, data));
+        });
+
+    core::NestedAppBuilder builder(urts);
+    builder.outer(std::move(outerSpec));
+    for (std::size_t u = 0; u < users; ++u) {
+        sdk::EnclaveSpec innerSpec;
+        innerSpec.name = "ml-user-" + std::to_string(u);
+        innerSpec.codePages = 8;
+        innerSpec.heapPages = 32;
+        Bytes userKey = keys[u];
+        innerSpec.interface->addNEcall(
+            "ml_request",
+            [userKey](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+                MlRequest req;
+                if (!decodeRequest(arg, req)) return Err::BadCallBuffer;
+                crypto::AesGcm gcm(userKey);
+                // Decrypt + privacy-filter inside the user's inner
+                // enclave; only sanitized data reaches the shared outer.
+                auto data = decryptAndFilter(env, gcm, req.seq, req.blob);
+                if (!data) return data.status();
+                std::string text = svm::toLibsvmFormat(data.value());
+
+                MlRequest downstream = req;
+                Bytes textBytes = bytesOf(text);
+                downstream.blob = textBytes;
+                return env.nOcall(req.train ? "svm_train" : "svm_predict",
+                                  encodeRequest(downstream));
+            });
+        service->innerNames_.push_back(innerSpec.name);
+        builder.addInner(std::move(innerSpec));
+    }
+    auto app = builder.build();
+    if (!app) return app.status();
+    service->nested_ = std::move(app.value());
+    return service;
+}
+
+Bytes
+MlService::clientKey(std::size_t user) const
+{
+    return keys_.at(user);
+}
+
+Result<MlResult>
+MlService::train(std::size_t user, ByteView sealedDataset,
+                 const svm::TrainParams& params)
+{
+    MlRequest req;
+    req.user = std::uint32_t(user);
+    req.seq = 0;
+    req.train = true;
+    req.c = params.c;
+    req.gamma = params.kernel.gamma;
+    req.blob = sealedDataset;
+    Bytes wire = encodeRequest(req);
+
+    Result<Bytes> raw =
+        (layout_ == MlLayout::Monolithic)
+            ? urts_->ecall(mono_, "ml_request", wire)
+            : nested_.callInner(innerNames_.at(user), "ml_request", wire);
+    if (!raw) return raw.status();
+    return decodeResult(raw.value());
+}
+
+Result<MlResult>
+MlService::predict(std::size_t user, ByteView sealedDataset)
+{
+    MlRequest req;
+    req.user = std::uint32_t(user);
+    req.seq = 1;
+    req.train = false;
+    req.blob = sealedDataset;
+    Bytes wire = encodeRequest(req);
+
+    Result<Bytes> raw =
+        (layout_ == MlLayout::Monolithic)
+            ? urts_->ecall(mono_, "ml_request", wire)
+            : nested_.callInner(innerNames_.at(user), "ml_request", wire);
+    if (!raw) return raw.status();
+    return decodeResult(raw.value());
+}
+
+}  // namespace nesgx::apps

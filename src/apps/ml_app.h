@@ -1,0 +1,85 @@
+/**
+ * The machine-learning-as-a-service case study (paper §VI-B, Fig. 8/9).
+ *
+ * A shared minisvm service hosts training/inference APIs. Each client's
+ * privacy-sensitive preprocessing (decrypting the uploaded data with the
+ * client key and filtering private columns) runs:
+ *
+ *  - Monolithic: in the same enclave as the SVM library (baseline).
+ *  - Nested: in a per-user *inner* enclave; only privacy-filtered data
+ *    flows down to the shared LibSVM-like library in the outer enclave.
+ *
+ * Datasets cross the untrusted boundary encrypted under the client key
+ * (real AES-GCM), so "the clients do not want to expose their private
+ * data to the service provider" is an enforced property, not a comment.
+ */
+#pragma once
+
+#include <memory>
+
+#include "core/compose.h"
+#include "crypto/gcm.h"
+#include "svm/solver.h"
+
+namespace nesgx::apps {
+
+/** Per-kernel-op simulated cost (cycles per sparse-pair operation). */
+constexpr std::uint64_t kFlopCycles = 4;
+
+/** Client-side helper: seals a dataset under the client key. */
+Bytes sealDataset(const svm::Dataset& data, ByteView clientKey,
+                  std::uint64_t seq);
+
+struct MlResult {
+    bool ok = false;
+    double accuracy = 0.0;
+    std::uint64_t supportVectors = 0;
+    std::uint64_t predictions = 0;
+};
+
+class MlService {
+  public:
+    enum class MlLayout { Monolithic, Nested };
+
+    /**
+     * @param users number of clients; nested layout gets one inner
+     *              enclave per user, monolithic shares one enclave.
+     */
+    static Result<std::unique_ptr<MlService>> create(sdk::Urts& urts,
+                                                     MlLayout layout,
+                                                     std::size_t users);
+
+    /** Per-user client key (pre-provisioned via attestation). */
+    Bytes clientKey(std::size_t user) const;
+
+    /**
+     * Trains on the user's sealed dataset; returns model stats. The
+     * trained model stays inside the service (per-user slot).
+     */
+    Result<MlResult> train(std::size_t user, ByteView sealedDataset,
+                           const svm::TrainParams& params);
+
+    /** Runs prediction of the user's sealed test set against their model. */
+    Result<MlResult> predict(std::size_t user, ByteView sealedDataset);
+
+  private:
+    MlService() = default;
+
+    struct UserSlot;
+
+    sdk::Urts* urts_ = nullptr;
+    MlLayout layout_ = MlLayout::Monolithic;
+    sdk::LoadedEnclave* mono_ = nullptr;
+    core::NestedApp nested_;
+    std::vector<Bytes> keys_;
+    std::vector<std::string> innerNames_;
+};
+
+/**
+ * Privacy filter applied inside the user's trusted tier before data
+ * reaches the shared library: drops the configured "private" feature
+ * columns (the paper's anonymization hook).
+ */
+svm::Dataset privacyFilter(const svm::Dataset& data, int dropBelowFeature);
+
+}  // namespace nesgx::apps

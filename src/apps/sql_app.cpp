@@ -1,0 +1,183 @@
+#include "apps/sql_app.h"
+
+namespace nesgx::apps {
+
+namespace {
+
+struct DbState {
+    db::Database database;
+    std::uint64_t chargedWork = 0;
+
+    /** Charges only the work performed since the last call. */
+    void chargeDelta(sdk::TrustedEnv& env)
+    {
+        std::uint64_t total = database.workUnits();
+        env.chargeCycles((total - chargedWork) * kDbWorkCycles +
+                         kQueryBaseCycles);
+        chargedWork = total;
+    }
+};
+
+Bytes
+encodeSqlResult(const SqlResult& r)
+{
+    Bytes out(9);
+    out[0] = r.ok ? 1 : 0;
+    storeLe64(out.data() + 1, r.rows);
+    return out;
+}
+
+SqlResult
+decodeSqlResult(ByteView wire)
+{
+    SqlResult r;
+    if (wire.size() != 9) return r;
+    r.ok = wire[0] == 1;
+    r.rows = loadLe64(wire.data() + 1);
+    return r;
+}
+
+Result<Bytes>
+executeSql(sdk::TrustedEnv& env, DbState& state, const std::string& sql)
+{
+    db::QueryResult qr = state.database.execute(sql);
+    state.chargeDelta(env);
+    SqlResult r;
+    r.ok = qr.ok;
+    r.rows = qr.rows.size() + qr.rowsAffected;
+    return encodeSqlResult(r);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SqlService>>
+SqlService::create(sdk::Urts& urts, SqlLayout layout)
+{
+    auto service = std::unique_ptr<SqlService>(new SqlService());
+    service->urts_ = &urts;
+    service->layout_ = layout;
+
+    auto state = std::make_shared<DbState>();
+
+    if (layout == SqlLayout::Monolithic) {
+        sdk::EnclaveSpec spec;
+        spec.name = "sqlite-mono";
+        spec.codePages = 128;  // app + statically linked sqlite
+        spec.heapPages = 64;
+        spec.interface->addEcall(
+            "query",
+            [state](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+                return executeSql(env, *state,
+                                  std::string(arg.begin(), arg.end()));
+            });
+        auto loaded = core::loadMonolithic(urts, spec);
+        if (!loaded) return loaded.status();
+        service->mono_ = loaded.value();
+        return service;
+    }
+
+    // Nested: shared SQLite outer; client tier in the inner enclave.
+    sdk::EnclaveSpec outerSpec;
+    outerSpec.name = "sqlite-outer";
+    outerSpec.codePages = 128;
+    outerSpec.heapPages = 64;
+    outerSpec.interface->addNOcallTarget(
+        "sql_exec",
+        [state](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            return executeSql(env, *state,
+                              std::string(arg.begin(), arg.end()));
+        });
+
+    sdk::EnclaveSpec innerSpec;
+    innerSpec.name = "sql-client-inner";
+    innerSpec.codePages = 16;
+    innerSpec.heapPages = 32;
+    // The client key protecting sensitive field values from the shared
+    // database tier (the outer only ever stores ciphertext).
+    Bytes clientKey(16, 0x42);
+    innerSpec.interface->addNEcall(
+        "query",
+        [clientKey](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            std::string sql(arg.begin(), arg.end());
+            // Parse in the inner tier; encrypt sensitive values so the
+            // shared service never sees plaintext fields (paper §VI-B).
+            auto parsed = db::parseSql(sql);
+            if (!parsed) return parsed.status();
+            db::Statement stmt = parsed.value();
+
+            crypto::AesGcm gcm(clientKey);
+            auto sealValue = [&](const std::string& v) {
+                Bytes iv(crypto::kGcmIvSize, 0);
+                Bytes sealed = gcm.seal(iv, {}, bytesOf(v));
+                env.chargeGcm(v.size());
+                return toHex(sealed);
+            };
+            if (stmt.kind == db::StatementKind::Insert &&
+                stmt.values.size() > 1) {
+                for (std::size_t i = 1; i < stmt.values.size(); ++i) {
+                    stmt.values[i] = sealValue(stmt.values[i]);
+                }
+            } else if (stmt.kind == db::StatementKind::Update) {
+                stmt.setValue = sealValue(stmt.setValue);
+            }
+
+            // Re-render and forward to the shared engine.
+            std::string rewritten;
+            switch (stmt.kind) {
+              case db::StatementKind::Insert: {
+                rewritten = "INSERT INTO " + stmt.table + " VALUES (";
+                for (std::size_t i = 0; i < stmt.values.size(); ++i) {
+                    if (i) rewritten += ", ";
+                    rewritten += (i == 0) ? stmt.values[i]
+                                          : "'" + stmt.values[i] + "'";
+                }
+                rewritten += ")";
+                break;
+              }
+              case db::StatementKind::Update:
+                rewritten = "UPDATE " + stmt.table + " SET " +
+                            stmt.setColumn + " = '" + stmt.setValue +
+                            "' WHERE ycsb_key = " +
+                            std::to_string(*stmt.whereKey);
+                break;
+              default:
+                rewritten = sql;  // reads / DDL pass through
+                break;
+            }
+            return env.nOcall("sql_exec", bytesOf(rewritten));
+        });
+
+    auto app = core::NestedAppBuilder(urts)
+                   .outer(std::move(outerSpec))
+                   .addInner(std::move(innerSpec))
+                   .build();
+    if (!app) return app.status();
+    service->nested_ = std::move(app.value());
+    return service;
+}
+
+Result<SqlResult>
+SqlService::query(const std::string& sql)
+{
+    Result<Bytes> raw =
+        (layout_ == SqlLayout::Monolithic)
+            ? urts_->ecall(mono_, "query", bytesOf(sql))
+            : nested_.callInner("sql-client-inner", "query", bytesOf(sql));
+    if (!raw) return raw.status();
+    return decodeSqlResult(raw.value());
+}
+
+Status
+SqlService::load(const std::vector<db::Statement>& statements)
+{
+    for (const auto& stmt : statements) {
+        // Load-phase rows go straight in as INSERT SQL.
+        std::string sql = "INSERT INTO " + stmt.table + " VALUES (" +
+                          stmt.values[0] + ", '" + stmt.values[1] + "')";
+        auto r = query(sql);
+        if (!r || !r.value().ok) return Err::OsError;
+    }
+    return Status::ok();
+}
+
+}  // namespace nesgx::apps

@@ -1,0 +1,56 @@
+/**
+ * The SQLite-service case study (paper §VI-B, Table VI).
+ *
+ * A shared minidb service answers YCSB-style queries. Each client's
+ * trusted tier parses the query and encrypts sensitive field values with
+ * the client key before they reach the shared database:
+ *
+ *  - Monolithic: parsing + execution in one enclave (baseline; no extra
+ *    field encryption needed since everything shares one domain).
+ *  - Nested: a per-client inner enclave parses and field-encrypts, then
+ *    forwards the request to the shared SQLite-like outer via n_ocall.
+ */
+#pragma once
+
+#include <memory>
+
+#include "core/compose.h"
+#include "crypto/gcm.h"
+#include "db/executor.h"
+#include "db/ycsb.h"
+
+namespace nesgx::apps {
+
+/** Fixed per-query engine cost beyond tree work (buffer/locking/etc.). */
+constexpr std::uint64_t kQueryBaseCycles = 400000;
+/** Cycles per B-tree work unit. */
+constexpr std::uint64_t kDbWorkCycles = 8;
+
+struct SqlResult {
+    bool ok = false;
+    std::uint64_t rows = 0;
+};
+
+class SqlService {
+  public:
+    enum class SqlLayout { Monolithic, Nested };
+
+    static Result<std::unique_ptr<SqlService>> create(sdk::Urts& urts,
+                                                      SqlLayout layout);
+
+    /** Executes one SQL statement on behalf of the (single) client. */
+    Result<SqlResult> query(const std::string& sql);
+
+    /** Bulk-executes statements (load phases) with one call each. */
+    Status load(const std::vector<db::Statement>& statements);
+
+  private:
+    SqlService() = default;
+
+    sdk::Urts* urts_ = nullptr;
+    SqlLayout layout_ = SqlLayout::Monolithic;
+    sdk::LoadedEnclave* mono_ = nullptr;
+    core::NestedApp nested_;
+};
+
+}  // namespace nesgx::apps

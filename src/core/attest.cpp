@@ -1,0 +1,52 @@
+#include "core/attest.h"
+
+#include <algorithm>
+
+namespace nesgx::core {
+
+namespace {
+
+bool
+sameMeasurement(const sgx::Measurement& a, const sgx::Measurement& b)
+{
+    return constantTimeEqual(ByteView(a.data(), a.size()),
+                             ByteView(b.data(), b.size()));
+}
+
+}  // namespace
+
+AttestationResult
+verifyNestedAttestation(const sgx::Machine& machine,
+                        const sgx::NestedReport& report,
+                        const sgx::Measurement& verifierMr,
+                        const AttestationPolicy& policy)
+{
+    AttestationResult result;
+    result.macValid = machine.verifyNestedReport(report, verifierMr);
+    result.identityMatch =
+        sameMeasurement(report.base.mrenclave, policy.expectedMrEnclave);
+
+    if (policy.expectedOuter) {
+        result.outerMatch =
+            report.hasOuter &&
+            sameMeasurement(report.outerMeasurement, *policy.expectedOuter);
+    } else {
+        result.outerMatch = !report.hasOuter;
+    }
+
+    result.noUnexpectedInners = true;
+    for (const auto& inner : report.innerMeasurements) {
+        bool known = std::any_of(
+            policy.allowedInners.begin(), policy.allowedInners.end(),
+            [&](const sgx::Measurement& m) {
+                return sameMeasurement(m, inner);
+            });
+        if (!known) {
+            result.noUnexpectedInners = false;
+            break;
+        }
+    }
+    return result;
+}
+
+}  // namespace nesgx::core

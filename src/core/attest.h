@@ -1,0 +1,49 @@
+/**
+ * Local-attestation helpers for nested enclaves (paper §IV-E).
+ *
+ * A challenger enclave verifies a peer's NEREPORT and, beyond the base
+ * SGX identity, checks the *association relations*: which outer the peer
+ * is nested in, and which inner enclaves share that outer. This is the
+ * mechanism that makes the "secure binding" of §VII-B checkable by
+ * software.
+ */
+#pragma once
+
+#include "sdk/runtime.h"
+#include "sgx/report.h"
+
+namespace nesgx::core {
+
+/** Result of verifying a nested report against expectations. */
+struct AttestationResult {
+    bool macValid = false;           ///< report MAC verified
+    bool identityMatch = false;      ///< MRENCLAVE as expected
+    bool outerMatch = false;         ///< nested inside the expected outer
+    bool noUnexpectedInners = false; ///< all attested inners were expected
+
+    bool trusted() const
+    {
+        return macValid && identityMatch && outerMatch && noUnexpectedInners;
+    }
+};
+
+/** What the challenger expects of the attested enclave. */
+struct AttestationPolicy {
+    sgx::Measurement expectedMrEnclave{};
+    /** Expected outer measurement; unset = must not be nested. */
+    std::optional<sgx::Measurement> expectedOuter;
+    /** Inner measurements the challenger tolerates sharing the outer. */
+    std::vector<sgx::Measurement> allowedInners;
+};
+
+/**
+ * Verifies a NestedReport as target enclave `verifierMr` would: MAC,
+ * identity, outer binding, and the absence of unexpected co-resident
+ * inner enclaves.
+ */
+AttestationResult verifyNestedAttestation(const sgx::Machine& machine,
+                                          const sgx::NestedReport& report,
+                                          const sgx::Measurement& verifierMr,
+                                          const AttestationPolicy& policy);
+
+}  // namespace nesgx::core

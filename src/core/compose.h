@@ -1,0 +1,80 @@
+/**
+ * High-level nested-enclave composition.
+ *
+ * NestedAppBuilder wires up the full paper workflow in one place: it
+ * predicts peer measurements, embeds the mutual expectations into each
+ * signed file (paper §IV-C / Fig. 4), builds + loads every image, and
+ * runs NASSO for each (inner, outer) pair. This is the public API an
+ * application developer would use; the case studies and benchmarks all go
+ * through it.
+ */
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdk/runtime.h"
+
+namespace nesgx::core {
+
+class NestedApp {
+  public:
+    sdk::LoadedEnclave* outer() const { return outer_; }
+    sdk::LoadedEnclave* inner(const std::string& name) const;
+    const std::vector<sdk::LoadedEnclave*>& inners() const { return inners_; }
+
+    /** ecall into the outer enclave. */
+    Result<Bytes> callOuter(const std::string& fn, ByteView arg,
+                            hw::CoreId core = 0);
+
+    /** ecall + n_ecall into a named inner enclave. */
+    Result<Bytes> callInner(const std::string& innerName,
+                            const std::string& fn, ByteView arg,
+                            hw::CoreId core = 0);
+
+  private:
+    friend class NestedAppBuilder;
+    sdk::Urts* urts_ = nullptr;
+    sdk::LoadedEnclave* outer_ = nullptr;
+    std::vector<sdk::LoadedEnclave*> inners_;
+    std::map<std::string, sdk::LoadedEnclave*> byName_;
+};
+
+class NestedAppBuilder {
+  public:
+    explicit NestedAppBuilder(sdk::Urts& urts) : urts_(&urts) {}
+
+    /** Sets the outer enclave spec (library / shared tier). */
+    NestedAppBuilder& outer(sdk::EnclaveSpec spec);
+
+    /** Adds an inner enclave spec (security-sensitive tier). */
+    NestedAppBuilder& addInner(sdk::EnclaveSpec spec);
+
+    /** Signs with this author key (defaults to a fresh deterministic key). */
+    NestedAppBuilder& signer(const crypto::RsaKeyPair& key);
+
+    /**
+     * Builds, loads and associates everything.
+     * The outer's signed file lists each inner's measurement; each inner's
+     * signed file names the outer's measurement.
+     */
+    Result<NestedApp> build();
+
+  private:
+    sdk::Urts* urts_;
+    sdk::EnclaveSpec outerSpec_;
+    std::vector<sdk::EnclaveSpec> innerSpecs_;
+    const crypto::RsaKeyPair* signer_ = nullptr;
+};
+
+/** Deterministic library-wide default author key (RSA-1024). */
+const crypto::RsaKeyPair& defaultAuthorKey();
+
+/** Builds + loads a single monolithic enclave (the paper's baseline). */
+Result<sdk::LoadedEnclave*> loadMonolithic(sdk::Urts& urts,
+                                           sdk::EnclaveSpec spec,
+                                           const crypto::RsaKeyPair* key =
+                                               nullptr);
+
+}  // namespace nesgx::core

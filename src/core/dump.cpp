@@ -1,0 +1,121 @@
+#include "core/dump.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace nesgx::core {
+
+namespace {
+
+std::string
+shortHex(const sgx::Measurement& m)
+{
+    return toHex(ByteView(m.data(), 6));
+}
+
+/** Collects all live SECS pages by probing the EPCM. */
+std::vector<hw::Paddr>
+liveSecsPages(const sgx::Machine& machine)
+{
+    std::vector<hw::Paddr> out;
+    const auto& mem = machine.mem();
+    for (std::uint64_t i = 0; i < machine.epcm().pageCount(); ++i) {
+        const auto& entry = machine.epcm().entry(i);
+        if (entry.valid && entry.type == sgx::PageType::Secs) {
+            out.push_back(mem.epcPageAddr(i));
+        }
+    }
+    return out;
+}
+
+void
+dumpSubtree(const sgx::Machine& machine, hw::Paddr secsPa, int depth,
+            std::set<hw::Paddr>& printed, std::ostringstream& out)
+{
+    const sgx::Secs* secs = machine.secsAt(secsPa);
+    if (!secs) return;
+    for (int i = 0; i < depth; ++i) out << "    ";
+    out << "- eid " << secs->eid << " @0x" << std::hex << secsPa << std::dec
+        << " mrenclave " << shortHex(secs->mrenclave) << "..."
+        << (secs->initialized ? "" : " (uninitialized)");
+    if (secs->outerEids.size() > 1) {
+        out << " [multi-outer: " << secs->outerEids.size() << "]";
+    }
+    out << "\n";
+    printed.insert(secsPa);
+    for (hw::Paddr inner : secs->innerEids) {
+        dumpSubtree(machine, inner, depth + 1, printed, out);
+    }
+}
+
+}  // namespace
+
+std::string
+dumpEnclaveTree(const sgx::Machine& machine)
+{
+    std::ostringstream out;
+    out << "enclave association forest:\n";
+    std::set<hw::Paddr> printed;
+    // Roots first (no outer), then anything unreachable (defensive).
+    for (hw::Paddr pa : liveSecsPages(machine)) {
+        const sgx::Secs* secs = machine.secsAt(pa);
+        if (secs && secs->outerEids.empty()) {
+            dumpSubtree(machine, pa, 1, printed, out);
+        }
+    }
+    for (hw::Paddr pa : liveSecsPages(machine)) {
+        if (!printed.count(pa)) dumpSubtree(machine, pa, 1, printed, out);
+    }
+    return out.str();
+}
+
+std::string
+dumpStats(const sgx::Machine& machine)
+{
+    const auto& s = machine.stats();
+    std::ostringstream out;
+    out << "platform stats:\n"
+        << "  simulated time    " << machine.clock().micros() << " us\n"
+        << "  tlb hits/misses   " << s.tlbHits << " / " << s.tlbMisses << "\n"
+        << "  nested checks     " << s.nestedChecks << "\n"
+        << "  access faults     " << s.accessFaults << "\n"
+        << "  eenter/eexit      " << s.eenterCount << " / " << s.eexitCount
+        << "\n"
+        << "  neenter/neexit    " << s.neenterCount << " / " << s.neexitCount
+        << "\n"
+        << "  aex / ipi         " << s.aexCount << " / " << s.ipiCount << "\n"
+        << "  mee / llc lines   " << s.meeLines << " / " << s.llcHitLines
+        << "\n";
+    return out.str();
+}
+
+std::string
+dumpEpcUsage(const sgx::Machine& machine)
+{
+    std::uint64_t total = machine.epcm().pageCount();
+    std::uint64_t used = 0;
+    std::map<sgx::PageType, std::uint64_t> byType;
+    std::map<hw::Paddr, std::uint64_t> byOwner;
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const auto& entry = machine.epcm().entry(i);
+        if (!entry.valid) continue;
+        ++used;
+        ++byType[entry.type];
+        ++byOwner[entry.ownerSecs];
+    }
+
+    std::ostringstream out;
+    out << "EPC: " << used << "/" << total << " pages in use ("
+        << byType[sgx::PageType::Secs] << " SECS, "
+        << byType[sgx::PageType::Tcs] << " TCS, "
+        << byType[sgx::PageType::Reg] << " REG)\n";
+    for (const auto& [owner, pages] : byOwner) {
+        const sgx::Secs* secs = machine.secsAt(owner);
+        out << "  owner eid " << (secs ? secs->eid : 0) << ": " << pages
+            << " pages (" << pages * hw::kPageSize / 1024 << " KiB)\n";
+    }
+    return out.str();
+}
+
+}  // namespace nesgx::core

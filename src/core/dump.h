@@ -1,0 +1,23 @@
+/**
+ * Human-readable machine-state inspection: the enclave association
+ * forest, per-enclave EPC usage, and platform statistics. Used by the
+ * examples (and handy when debugging a new nested topology).
+ */
+#pragma once
+
+#include <string>
+
+#include "sgx/machine.h"
+
+namespace nesgx::core {
+
+/** Multi-line description of every live enclave and its associations. */
+std::string dumpEnclaveTree(const sgx::Machine& machine);
+
+/** One-line-per-counter platform statistics. */
+std::string dumpStats(const sgx::Machine& machine);
+
+/** EPC occupancy summary (per page type and per owner). */
+std::string dumpEpcUsage(const sgx::Machine& machine);
+
+}  // namespace nesgx::core

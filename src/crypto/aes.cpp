@@ -1,0 +1,269 @@
+#include "crypto/aes.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nesgx::crypto {
+
+namespace {
+
+// S-box generated from the AES definition (multiplicative inverse in
+// GF(2^8) followed by the affine transform); table computed at startup so
+// the source carries the construction, not 256 magic numbers.
+struct SboxTables {
+    std::uint8_t sbox[256];
+    std::uint8_t inv[256];
+
+    SboxTables()
+    {
+        // Build log/alog tables over GF(2^8) with generator 3.
+        std::uint8_t alog[256];
+        std::uint8_t log[256] = {0};
+        std::uint8_t x = 1;
+        for (int i = 0; i < 255; ++i) {
+            alog[i] = x;
+            log[x] = static_cast<std::uint8_t>(i);
+            // multiply by generator 0x03 = x ^ (x * 2)
+            std::uint8_t x2 = static_cast<std::uint8_t>(
+                (x << 1) ^ ((x & 0x80) ? 0x1b : 0));
+            x = static_cast<std::uint8_t>(x2 ^ x);
+        }
+        alog[255] = alog[0];
+
+        for (int i = 0; i < 256; ++i) {
+            std::uint8_t q = (i == 0)
+                ? 0
+                : alog[(255 - log[static_cast<std::uint8_t>(i)]) % 255];
+            // Affine transform.
+            std::uint8_t s = static_cast<std::uint8_t>(
+                q ^ rotl8(q, 1) ^ rotl8(q, 2) ^ rotl8(q, 3) ^ rotl8(q, 4) ^
+                0x63);
+            sbox[i] = s;
+            inv[s] = static_cast<std::uint8_t>(i);
+        }
+    }
+
+    static std::uint8_t rotl8(std::uint8_t v, int n)
+    {
+        return static_cast<std::uint8_t>((v << n) | (v >> (8 - n)));
+    }
+};
+
+const SboxTables& tables()
+{
+    static const SboxTables t;
+    return t;
+}
+
+std::uint8_t
+xtime(std::uint8_t a)
+{
+    return static_cast<std::uint8_t>((a << 1) ^ ((a & 0x80) ? 0x1b : 0));
+}
+
+std::uint8_t
+gmul(std::uint8_t a, std::uint8_t b)
+{
+    std::uint8_t p = 0;
+    for (int i = 0; i < 8; ++i) {
+        if (b & 1) p ^= a;
+        a = xtime(a);
+        b >>= 1;
+    }
+    return p;
+}
+
+std::uint32_t
+subWord(std::uint32_t w)
+{
+    const auto& t = tables();
+    return (std::uint32_t(t.sbox[(w >> 24) & 0xff]) << 24) |
+           (std::uint32_t(t.sbox[(w >> 16) & 0xff]) << 16) |
+           (std::uint32_t(t.sbox[(w >> 8) & 0xff]) << 8) |
+           std::uint32_t(t.sbox[w & 0xff]);
+}
+
+std::uint32_t
+rotWord(std::uint32_t w)
+{
+    return (w << 8) | (w >> 24);
+}
+
+}  // namespace
+
+Aes::Aes(ByteView key)
+{
+    if (key.size() != 16 && key.size() != 32) {
+        throw std::invalid_argument("Aes: key must be 16 or 32 bytes");
+    }
+    expandKey(key);
+}
+
+void
+Aes::expandKey(ByteView key)
+{
+    const int nk = static_cast<int>(key.size() / 4);
+    rounds_ = nk + 6;
+    const int total = 4 * (rounds_ + 1);
+
+    for (int i = 0; i < nk; ++i) {
+        roundKeys_[i] = loadBe32(key.data() + 4 * i);
+    }
+    std::uint32_t rcon = 0x01000000;
+    for (int i = nk; i < total; ++i) {
+        std::uint32_t temp = roundKeys_[i - 1];
+        if (i % nk == 0) {
+            temp = subWord(rotWord(temp)) ^ rcon;
+            rcon = std::uint32_t(gmul(std::uint8_t(rcon >> 24), 2)) << 24;
+        } else if (nk > 6 && i % nk == 4) {
+            temp = subWord(temp);
+        }
+        roundKeys_[i] = roundKeys_[i - nk] ^ temp;
+    }
+}
+
+void
+Aes::encryptBlock(std::uint8_t* block) const
+{
+    const auto& t = tables();
+    std::uint8_t s[16];
+    std::memcpy(s, block, 16);
+
+    auto addRoundKey = [&](int round) {
+        for (int c = 0; c < 4; ++c) {
+            std::uint32_t k = roundKeys_[4 * round + c];
+            s[4 * c + 0] ^= std::uint8_t(k >> 24);
+            s[4 * c + 1] ^= std::uint8_t(k >> 16);
+            s[4 * c + 2] ^= std::uint8_t(k >> 8);
+            s[4 * c + 3] ^= std::uint8_t(k);
+        }
+    };
+
+    auto subBytes = [&]() {
+        for (auto& b : s) b = t.sbox[b];
+    };
+
+    auto shiftRows = [&]() {
+        std::uint8_t tmp[16];
+        for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c) {
+                tmp[4 * c + r] = s[4 * ((c + r) % 4) + r];
+            }
+        }
+        std::memcpy(s, tmp, 16);
+    };
+
+    auto mixColumns = [&]() {
+        // xtime-based forms: 2a = xtime(a), 3a = xtime(a) ^ a.
+        for (int c = 0; c < 4; ++c) {
+            std::uint8_t* col = s + 4 * c;
+            std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+            std::uint8_t all = std::uint8_t(a0 ^ a1 ^ a2 ^ a3);
+            col[0] = std::uint8_t(a0 ^ all ^ xtime(std::uint8_t(a0 ^ a1)));
+            col[1] = std::uint8_t(a1 ^ all ^ xtime(std::uint8_t(a1 ^ a2)));
+            col[2] = std::uint8_t(a2 ^ all ^ xtime(std::uint8_t(a2 ^ a3)));
+            col[3] = std::uint8_t(a3 ^ all ^ xtime(std::uint8_t(a3 ^ a0)));
+        }
+    };
+
+    addRoundKey(0);
+    for (int round = 1; round < rounds_; ++round) {
+        subBytes();
+        shiftRows();
+        mixColumns();
+        addRoundKey(round);
+    }
+    subBytes();
+    shiftRows();
+    addRoundKey(rounds_);
+
+    std::memcpy(block, s, 16);
+}
+
+void
+Aes::decryptBlock(std::uint8_t* block) const
+{
+    const auto& t = tables();
+    std::uint8_t s[16];
+    std::memcpy(s, block, 16);
+
+    auto addRoundKey = [&](int round) {
+        for (int c = 0; c < 4; ++c) {
+            std::uint32_t k = roundKeys_[4 * round + c];
+            s[4 * c + 0] ^= std::uint8_t(k >> 24);
+            s[4 * c + 1] ^= std::uint8_t(k >> 16);
+            s[4 * c + 2] ^= std::uint8_t(k >> 8);
+            s[4 * c + 3] ^= std::uint8_t(k);
+        }
+    };
+
+    auto invSubBytes = [&]() {
+        for (auto& b : s) b = t.inv[b];
+    };
+
+    auto invShiftRows = [&]() {
+        std::uint8_t tmp[16];
+        for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c) {
+                tmp[4 * ((c + r) % 4) + r] = s[4 * c + r];
+            }
+        }
+        std::memcpy(s, tmp, 16);
+    };
+
+    auto invMixColumns = [&]() {
+        // Decomposition: apply the forward MixColumns preceded by the
+        // standard (xtime-only) correction with 4a and 8a terms.
+        for (int c = 0; c < 4; ++c) {
+            std::uint8_t* col = s + 4 * c;
+            std::uint8_t a0 = col[0], a1 = col[1], a2 = col[2], a3 = col[3];
+            std::uint8_t u = xtime(xtime(std::uint8_t(a0 ^ a2)));
+            std::uint8_t v = xtime(xtime(std::uint8_t(a1 ^ a3)));
+            a0 ^= u;
+            a1 ^= v;
+            a2 ^= u;
+            a3 ^= v;
+            std::uint8_t all = std::uint8_t(a0 ^ a1 ^ a2 ^ a3);
+            col[0] = std::uint8_t(a0 ^ all ^ xtime(std::uint8_t(a0 ^ a1)));
+            col[1] = std::uint8_t(a1 ^ all ^ xtime(std::uint8_t(a1 ^ a2)));
+            col[2] = std::uint8_t(a2 ^ all ^ xtime(std::uint8_t(a2 ^ a3)));
+            col[3] = std::uint8_t(a3 ^ all ^ xtime(std::uint8_t(a3 ^ a0)));
+        }
+    };
+
+    addRoundKey(rounds_);
+    invShiftRows();
+    invSubBytes();
+    for (int round = rounds_ - 1; round >= 1; --round) {
+        addRoundKey(round);
+        invMixColumns();
+        invShiftRows();
+        invSubBytes();
+    }
+    addRoundKey(0);
+
+    std::memcpy(block, s, 16);
+}
+
+void
+aesCtrXcrypt(const Aes& aes, const AesBlock& iv, ByteView in, std::uint8_t* out)
+{
+    AesBlock counter = iv;
+    std::uint8_t keystream[16];
+    std::size_t offset = 0;
+    while (offset < in.size()) {
+        std::memcpy(keystream, counter.data(), 16);
+        aes.encryptBlock(keystream);
+        std::size_t take = std::min<std::size_t>(16, in.size() - offset);
+        for (std::size_t i = 0; i < take; ++i) {
+            out[offset + i] = in[offset + i] ^ keystream[i];
+        }
+        offset += take;
+        // Increment the big-endian counter in the low 4 bytes.
+        for (int i = 15; i >= 12; --i) {
+            if (++counter[i] != 0) break;
+        }
+    }
+}
+
+}  // namespace nesgx::crypto

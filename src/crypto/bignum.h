@@ -1,0 +1,92 @@
+/**
+ * Arbitrary-precision unsigned integers, sized for RSA (512-3072 bit).
+ *
+ * Backs the SIGSTRUCT signing path: real SGX signs enclaves with RSA-3072;
+ * the model defaults to RSA-1024 to keep key generation fast on one core
+ * while exercising the identical code path (configurable up to 3072).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/bytes.h"
+#include "support/rng.h"
+
+namespace nesgx::crypto {
+
+/** Unsigned big integer stored as little-endian 32-bit limbs. */
+class BigUint {
+  public:
+    BigUint() = default;
+    explicit BigUint(std::uint64_t v);
+
+    /** Builds from big-endian bytes (standard crypto wire format). */
+    static BigUint fromBytesBe(ByteView bytes);
+
+    /** Builds from a hex string. */
+    static BigUint fromHex(const std::string& hex);
+
+    /** Uniform random value with exactly `bits` bits (top bit set). */
+    static BigUint randomBits(Rng& rng, std::size_t bits);
+
+    /** Serializes as big-endian bytes, left-padded to `width` (0 = minimal). */
+    Bytes toBytesBe(std::size_t width = 0) const;
+
+    std::string toHex() const;
+
+    bool isZero() const;
+    bool isOdd() const;
+    std::size_t bitLength() const;
+    bool bit(std::size_t i) const;
+
+    // Comparison.
+    static int compare(const BigUint& a, const BigUint& b);
+    bool operator==(const BigUint& o) const { return compare(*this, o) == 0; }
+    bool operator!=(const BigUint& o) const { return compare(*this, o) != 0; }
+    bool operator<(const BigUint& o) const { return compare(*this, o) < 0; }
+    bool operator<=(const BigUint& o) const { return compare(*this, o) <= 0; }
+    bool operator>(const BigUint& o) const { return compare(*this, o) > 0; }
+    bool operator>=(const BigUint& o) const { return compare(*this, o) >= 0; }
+
+    // Arithmetic.
+    BigUint operator+(const BigUint& o) const;
+    /** Requires *this >= o. */
+    BigUint operator-(const BigUint& o) const;
+    BigUint operator*(const BigUint& o) const;
+    BigUint operator%(const BigUint& m) const;
+    BigUint operator/(const BigUint& d) const;
+    BigUint operator<<(std::size_t bits) const;
+    BigUint operator>>(std::size_t bits) const;
+
+    /** (this + o) mod m; operands must already be < m. */
+    BigUint addMod(const BigUint& o, const BigUint& m) const;
+    /** (this - o) mod m; operands must already be < m. */
+    BigUint subMod(const BigUint& o, const BigUint& m) const;
+    /** (this * o) mod m. */
+    BigUint mulMod(const BigUint& o, const BigUint& m) const;
+    /** this^e mod m via square-and-multiply. */
+    BigUint powMod(const BigUint& e, const BigUint& m) const;
+    /** Modular inverse; m must be coprime with *this. */
+    BigUint invMod(const BigUint& m) const;
+
+    static BigUint gcd(BigUint a, BigUint b);
+
+    /** Miller-Rabin probabilistic primality test. */
+    bool isProbablyPrime(Rng& rng, int rounds = 24) const;
+
+    /** Generates a random prime with exactly `bits` bits. */
+    static BigUint generatePrime(Rng& rng, std::size_t bits);
+
+    const std::vector<std::uint32_t>& limbs() const { return limbs_; }
+
+  private:
+    void trim();
+    static void divMod(const BigUint& num, const BigUint& den, BigUint& q,
+                       BigUint& r);
+
+    std::vector<std::uint32_t> limbs_;  // little-endian, no trailing zeros
+};
+
+}  // namespace nesgx::crypto

@@ -1,0 +1,135 @@
+#include "crypto/gcm.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nesgx::crypto {
+
+namespace {
+
+/** Multiplies x by y in GF(2^128) with the GCM polynomial. */
+void
+gfMul(std::uint8_t x[16], const std::uint8_t y[16])
+{
+    std::uint64_t zh = 0, zl = 0;
+    std::uint64_t vh = loadBe64(y);
+    std::uint64_t vl = loadBe64(y + 8);
+
+    for (int i = 0; i < 128; ++i) {
+        int byte = i / 8;
+        int bit = 7 - (i % 8);
+        if ((x[byte] >> bit) & 1) {
+            zh ^= vh;
+            zl ^= vl;
+        }
+        bool lsb = vl & 1;
+        vl = (vl >> 1) | (vh << 63);
+        vh >>= 1;
+        if (lsb) vh ^= 0xe100000000000000ull;
+    }
+    storeBe64(x, zh);
+    storeBe64(x + 8, zl);
+}
+
+}  // namespace
+
+AesGcm::AesGcm(ByteView key) : aes_(key)
+{
+    std::memset(h_, 0, sizeof(h_));
+    aes_.encryptBlock(h_);
+}
+
+void
+AesGcm::ghash(ByteView aad, ByteView ct, std::uint8_t out[16]) const
+{
+    std::memset(out, 0, 16);
+
+    auto absorb = [&](ByteView data) {
+        std::size_t offset = 0;
+        while (offset < data.size()) {
+            std::size_t take = std::min<std::size_t>(16, data.size() - offset);
+            for (std::size_t i = 0; i < take; ++i) {
+                out[i] ^= data[offset + i];
+            }
+            gfMul(out, h_);
+            offset += take;
+        }
+    };
+
+    absorb(aad);
+    absorb(ct);
+
+    std::uint8_t lengths[16];
+    storeBe64(lengths, std::uint64_t(aad.size()) * 8);
+    storeBe64(lengths + 8, std::uint64_t(ct.size()) * 8);
+    for (int i = 0; i < 16; ++i) out[i] ^= lengths[i];
+    gfMul(out, h_);
+}
+
+Bytes
+AesGcm::seal(ByteView iv, ByteView aad, ByteView plaintext) const
+{
+    if (iv.size() != kGcmIvSize) {
+        throw std::invalid_argument("AesGcm: IV must be 12 bytes");
+    }
+
+    AesBlock j0{};
+    std::memcpy(j0.data(), iv.data(), 12);
+    j0[15] = 1;
+
+    AesBlock ctr = j0;
+    for (int i = 15; i >= 12; --i) {
+        if (++ctr[i] != 0) break;
+    }
+
+    Bytes out(plaintext.size() + kGcmTagSize);
+    aesCtrXcrypt(aes_, ctr, plaintext, out.data());
+
+    std::uint8_t s[16];
+    ghash(aad, ByteView(out.data(), plaintext.size()), s);
+
+    std::uint8_t ek0[16];
+    std::memcpy(ek0, j0.data(), 16);
+    aes_.encryptBlock(ek0);
+    for (int i = 0; i < 16; ++i) {
+        out[plaintext.size() + i] = s[i] ^ ek0[i];
+    }
+    return out;
+}
+
+Result<Bytes>
+AesGcm::open(ByteView iv, ByteView aad, ByteView sealed) const
+{
+    if (iv.size() != kGcmIvSize || sealed.size() < kGcmTagSize) {
+        return Err::BadCallBuffer;
+    }
+    std::size_t ctLen = sealed.size() - kGcmTagSize;
+
+    AesBlock j0{};
+    std::memcpy(j0.data(), iv.data(), 12);
+    j0[15] = 1;
+
+    std::uint8_t s[16];
+    ghash(aad, ByteView(sealed.data(), ctLen), s);
+
+    std::uint8_t ek0[16];
+    std::memcpy(ek0, j0.data(), 16);
+    aes_.encryptBlock(ek0);
+    std::uint8_t tag[16];
+    for (int i = 0; i < 16; ++i) tag[i] = s[i] ^ ek0[i];
+
+    if (!constantTimeEqual(ByteView(tag, 16),
+                           ByteView(sealed.data() + ctLen, kGcmTagSize))) {
+        return Err::ReportMacMismatch;
+    }
+
+    AesBlock ctr = j0;
+    for (int i = 15; i >= 12; --i) {
+        if (++ctr[i] != 0) break;
+    }
+    Bytes plain(ctLen);
+    aesCtrXcrypt(aes_, ctr, ByteView(sealed.data(), ctLen), plain.data());
+    return plain;
+}
+
+}  // namespace nesgx::crypto

@@ -1,0 +1,45 @@
+/**
+ * AES-GCM authenticated encryption (NIST SP 800-38D).
+ *
+ * This is the software-encryption baseline the paper compares against for
+ * enclave-to-enclave communication through untrusted memory (§VI-C,
+ * Fig. 11): "we use AES-GCM for the protected communication between
+ * monolithic enclaves".
+ */
+#pragma once
+
+#include "crypto/aes.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace nesgx::crypto {
+
+constexpr std::size_t kGcmTagSize = 16;
+constexpr std::size_t kGcmIvSize = 12;
+
+/** AES-GCM context bound to one key. */
+class AesGcm {
+  public:
+    /** key.size() must be 16 or 32. */
+    explicit AesGcm(ByteView key);
+
+    /**
+     * Encrypts `plaintext` with the given 12-byte IV and additional data.
+     * Output is ciphertext || 16-byte tag.
+     */
+    Bytes seal(ByteView iv, ByteView aad, ByteView plaintext) const;
+
+    /**
+     * Verifies and decrypts ciphertext||tag. Returns the plaintext or a
+     * ReportMacMismatch fault when the tag does not verify.
+     */
+    Result<Bytes> open(ByteView iv, ByteView aad, ByteView sealed) const;
+
+  private:
+    void ghash(ByteView aad, ByteView ct, std::uint8_t out[16]) const;
+
+    Aes aes_;
+    std::uint8_t h_[16];  // GHASH subkey E(0^128)
+};
+
+}  // namespace nesgx::crypto

@@ -1,0 +1,36 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace nesgx::crypto {
+
+Sha256Digest
+hmacSha256(ByteView key, ByteView data)
+{
+    std::uint8_t block[64];
+    std::memset(block, 0, sizeof(block));
+    if (key.size() > 64) {
+        Sha256Digest kd = Sha256::hash(key);
+        std::memcpy(block, kd.data(), kd.size());
+    } else {
+        std::memcpy(block, key.data(), key.size());
+    }
+
+    std::uint8_t ipad[64], opad[64];
+    for (int i = 0; i < 64; ++i) {
+        ipad[i] = block[i] ^ 0x36;
+        opad[i] = block[i] ^ 0x5c;
+    }
+
+    Sha256 inner;
+    inner.update(ByteView(ipad, 64));
+    inner.update(data);
+    Sha256Digest innerDigest = inner.finish();
+
+    Sha256 outer;
+    outer.update(ByteView(opad, 64));
+    outer.update(ByteView(innerDigest.data(), innerDigest.size()));
+    return outer.finish();
+}
+
+}  // namespace nesgx::crypto

@@ -1,0 +1,15 @@
+/**
+ * HMAC-SHA256 (RFC 2104). Used for SGX key derivation (EGETKEY), report
+ * MACs (EREPORT/NEREPORT) and EWB paging MACs in the model.
+ */
+#pragma once
+
+#include "crypto/sha256.h"
+#include "support/bytes.h"
+
+namespace nesgx::crypto {
+
+/** Computes HMAC-SHA256(key, data). */
+Sha256Digest hmacSha256(ByteView key, ByteView data);
+
+}  // namespace nesgx::crypto

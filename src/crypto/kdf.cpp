@@ -1,0 +1,23 @@
+#include "crypto/kdf.h"
+
+namespace nesgx::crypto {
+
+Sha256Digest
+deriveKey256(ByteView rootKey, const std::string& label, ByteView context)
+{
+    Bytes input = bytesOf(label);
+    input.push_back(0);
+    append(input, context);
+    return hmacSha256(rootKey, input);
+}
+
+std::array<std::uint8_t, 16>
+deriveKey128(ByteView rootKey, const std::string& label, ByteView context)
+{
+    Sha256Digest full = deriveKey256(rootKey, label, context);
+    std::array<std::uint8_t, 16> out;
+    std::copy(full.begin(), full.begin() + 16, out.begin());
+    return out;
+}
+
+}  // namespace nesgx::crypto

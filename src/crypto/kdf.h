@@ -1,0 +1,22 @@
+/**
+ * Key derivation for the SGX model: all enclave keys (seal, report) derive
+ * from the per-device root key with HMAC-SHA256 over a labelled context,
+ * mirroring EGETKEY's derivation-from-fuse-key structure.
+ */
+#pragma once
+
+#include "crypto/hmac.h"
+#include "support/bytes.h"
+
+namespace nesgx::crypto {
+
+/** Derives a 16-byte key: HMAC(root, label || context) truncated. */
+std::array<std::uint8_t, 16> deriveKey128(ByteView rootKey,
+                                          const std::string& label,
+                                          ByteView context);
+
+/** Derives a full 32-byte key. */
+Sha256Digest deriveKey256(ByteView rootKey, const std::string& label,
+                          ByteView context);
+
+}  // namespace nesgx::crypto

@@ -1,0 +1,83 @@
+#include "crypto/rsa.h"
+
+#include <stdexcept>
+
+namespace nesgx::crypto {
+
+namespace {
+
+// DER prefix for a SHA-256 DigestInfo (RFC 8017 §9.2 note 1).
+const std::uint8_t kSha256DigestInfo[] = {
+    0x30, 0x31, 0x30, 0x0d, 0x06, 0x09, 0x60, 0x86, 0x48, 0x01,
+    0x65, 0x03, 0x04, 0x02, 0x01, 0x05, 0x00, 0x04, 0x20,
+};
+
+/** EMSA-PKCS1-v1_5 encoding of SHA-256(message) into `width` bytes. */
+Bytes
+pkcs1Encode(ByteView message, std::size_t width)
+{
+    Sha256Digest digest = Sha256::hash(message);
+    std::size_t tLen = sizeof(kSha256DigestInfo) + digest.size();
+    if (width < tLen + 11) {
+        throw std::invalid_argument("rsa: modulus too small for PKCS#1");
+    }
+    Bytes em(width, 0xff);
+    em[0] = 0x00;
+    em[1] = 0x01;
+    em[width - tLen - 1] = 0x00;
+    std::copy(std::begin(kSha256DigestInfo), std::end(kSha256DigestInfo),
+              em.begin() + (width - tLen));
+    std::copy(digest.begin(), digest.end(),
+              em.begin() + (width - digest.size()));
+    return em;
+}
+
+}  // namespace
+
+Sha256Digest
+RsaPublicKey::signerMeasurement() const
+{
+    Bytes modulus = n.toBytesBe();
+    return Sha256::hash(modulus);
+}
+
+RsaKeyPair
+RsaKeyPair::generate(Rng& rng, std::size_t modulusBits)
+{
+    const BigUint e(65537);
+    for (;;) {
+        BigUint p = BigUint::generatePrime(rng, modulusBits / 2);
+        BigUint q = BigUint::generatePrime(rng, modulusBits - modulusBits / 2);
+        if (p == q) continue;
+        BigUint n = p * q;
+        BigUint phi = (p - BigUint(1)) * (q - BigUint(1));
+        if (BigUint::gcd(e, phi) != BigUint(1)) continue;
+        BigUint d = e.invMod(phi);
+        return RsaKeyPair{RsaPublicKey{n, e}, d};
+    }
+}
+
+Bytes
+rsaSign(const RsaKeyPair& key, ByteView message)
+{
+    std::size_t width = key.pub.modulusBytes();
+    Bytes em = pkcs1Encode(message, width);
+    BigUint m = BigUint::fromBytesBe(em);
+    BigUint s = m.powMod(key.d, key.pub.n);
+    return s.toBytesBe(width);
+}
+
+bool
+rsaVerify(const RsaPublicKey& key, ByteView message, ByteView signature)
+{
+    std::size_t width = key.modulusBytes();
+    if (signature.size() != width) return false;
+    BigUint s = BigUint::fromBytesBe(signature);
+    if (s >= key.n) return false;
+    BigUint m = s.powMod(key.e, key.n);
+    Bytes em = m.toBytesBe(width);
+    Bytes expected = pkcs1Encode(message, width);
+    return constantTimeEqual(em, expected);
+}
+
+}  // namespace nesgx::crypto

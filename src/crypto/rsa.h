@@ -1,0 +1,44 @@
+/**
+ * RSA PKCS#1 v1.5 signatures over SHA-256.
+ *
+ * Real SGX enclave authors sign SIGSTRUCT with RSA-3072; the model uses the
+ * identical format with a configurable modulus size (default 1024 bits for
+ * single-core test speed). MRSIGNER is SHA-256 over the public modulus,
+ * exactly as in SGX.
+ */
+#pragma once
+
+#include "crypto/bignum.h"
+#include "crypto/sha256.h"
+#include "support/bytes.h"
+#include "support/rng.h"
+
+namespace nesgx::crypto {
+
+/** RSA public key (n, e). */
+struct RsaPublicKey {
+    BigUint n;
+    BigUint e;
+
+    /** SHA-256 over the big-endian modulus; SGX's MRSIGNER value. */
+    Sha256Digest signerMeasurement() const;
+
+    std::size_t modulusBytes() const { return (n.bitLength() + 7) / 8; }
+};
+
+/** RSA key pair. */
+struct RsaKeyPair {
+    RsaPublicKey pub;
+    BigUint d;
+
+    /** Generates a fresh key pair with the given modulus size. */
+    static RsaKeyPair generate(Rng& rng, std::size_t modulusBits = 1024);
+};
+
+/** Signs SHA-256(message) with PKCS#1 v1.5 padding. */
+Bytes rsaSign(const RsaKeyPair& key, ByteView message);
+
+/** Verifies a PKCS#1 v1.5 SHA-256 signature. */
+bool rsaVerify(const RsaPublicKey& key, ByteView message, ByteView signature);
+
+}  // namespace nesgx::crypto

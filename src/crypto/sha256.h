@@ -1,0 +1,47 @@
+/**
+ * SHA-256 (FIPS 180-4).
+ *
+ * Used for enclave measurement (MRENCLAVE accumulation over
+ * ECREATE/EADD/EEXTEND records, MRSIGNER = SHA-256 of the signer's RSA
+ * modulus), the MEE integrity tree, and the RSA PKCS#1 digest.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace nesgx::crypto {
+
+constexpr std::size_t kSha256DigestSize = 32;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/** Incremental SHA-256 context. */
+class Sha256 {
+  public:
+    Sha256();
+
+    /** Absorbs more message bytes. */
+    void update(ByteView data);
+
+    /** Finalizes and returns the digest; the context must not be reused. */
+    Sha256Digest finish();
+
+    /** One-shot convenience. */
+    static Sha256Digest hash(ByteView data);
+
+  private:
+    void processBlock(const std::uint8_t* block);
+
+    std::uint32_t state_[8];
+    std::uint8_t buffer_[64];
+    std::size_t bufferLen_ = 0;
+    std::uint64_t totalLen_ = 0;
+};
+
+/** Digest as a byte vector (handy for concatenations). */
+Bytes toBytes(const Sha256Digest& d);
+
+}  // namespace nesgx::crypto

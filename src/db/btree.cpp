@@ -1,0 +1,250 @@
+#include "db/btree.h"
+
+#include <functional>
+
+namespace nesgx::db {
+
+Btree::Btree() : root_(std::make_unique<Node>()) {}
+
+std::size_t
+Btree::height() const
+{
+    return heightOf(root_.get());
+}
+
+std::size_t
+Btree::heightOf(const Node* node) const
+{
+    std::size_t h = 1;
+    while (!node->leaf) {
+        node = node->children.front().get();
+        ++h;
+    }
+    return h;
+}
+
+void
+Btree::splitChild(Node* parent, std::size_t index)
+{
+    Node* child = parent->children[index].get();
+    auto sibling = std::make_unique<Node>();
+    sibling->leaf = child->leaf;
+    std::size_t mid = kOrder / 2;
+
+    Key midKey = child->keys[mid];
+    if (child->leaf) {
+        // Leaves keep the middle key (B+-tree style separation).
+        sibling->keys.assign(child->keys.begin() + mid, child->keys.end());
+        sibling->rows.assign(std::make_move_iterator(child->rows.begin() + mid),
+                             std::make_move_iterator(child->rows.end()));
+        child->keys.resize(mid);
+        child->rows.resize(mid);
+    } else {
+        sibling->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+        sibling->children.assign(
+            std::make_move_iterator(child->children.begin() + mid + 1),
+            std::make_move_iterator(child->children.end()));
+        child->keys.resize(mid);
+        child->children.resize(mid + 1);
+    }
+
+    parent->keys.insert(parent->keys.begin() + index, midKey);
+    parent->children.insert(parent->children.begin() + index + 1,
+                            std::move(sibling));
+}
+
+void
+Btree::insertNonFull(Node* node, Key key, Row&& row, bool& replaced)
+{
+    ++stats_.nodeVisits;
+    if (node->leaf) {
+        auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+        std::size_t pos = it - node->keys.begin();
+        if (it != node->keys.end() && *it == key) {
+            node->rows[pos] = std::move(row);
+            replaced = true;
+            return;
+        }
+        node->keys.insert(it, key);
+        node->rows.insert(node->rows.begin() + pos, std::move(row));
+        ++stats_.rowsTouched;
+        return;
+    }
+
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    std::size_t idx = it - node->keys.begin();
+    if (node->children[idx]->keys.size() == kOrder) {
+        splitChild(node, idx);
+        if (key >= node->keys[idx]) ++idx;
+    }
+    insertNonFull(node->children[idx].get(), key, std::move(row), replaced);
+}
+
+bool
+Btree::insert(Key key, Row row)
+{
+    if (root_->keys.size() == kOrder) {
+        auto newRoot = std::make_unique<Node>();
+        newRoot->leaf = false;
+        newRoot->children.push_back(std::move(root_));
+        root_ = std::move(newRoot);
+        splitChild(root_.get(), 0);
+    }
+    bool replaced = false;
+    insertNonFull(root_.get(), key, std::move(row), replaced);
+    if (!replaced) ++size_;
+    return !replaced;
+}
+
+std::optional<Row>
+Btree::find(Key key)
+{
+    Node* node = root_.get();
+    for (;;) {
+        ++stats_.nodeVisits;
+        if (node->leaf) {
+            auto it =
+                std::lower_bound(node->keys.begin(), node->keys.end(), key);
+            if (it != node->keys.end() && *it == key) {
+                ++stats_.rowsTouched;
+                return node->rows[it - node->keys.begin()];
+            }
+            return std::nullopt;
+        }
+        auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+        node = node->children[it - node->keys.begin()].get();
+    }
+}
+
+bool
+Btree::update(Key key, const Row& row)
+{
+    Node* node = root_.get();
+    for (;;) {
+        ++stats_.nodeVisits;
+        if (node->leaf) {
+            auto it =
+                std::lower_bound(node->keys.begin(), node->keys.end(), key);
+            if (it != node->keys.end() && *it == key) {
+                node->rows[it - node->keys.begin()] = row;
+                ++stats_.rowsTouched;
+                return true;
+            }
+            return false;
+        }
+        auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+        node = node->children[it - node->keys.begin()].get();
+    }
+}
+
+bool
+Btree::eraseFrom(Node* node, Key key)
+{
+    ++stats_.nodeVisits;
+    if (node->leaf) {
+        auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+        if (it == node->keys.end() || *it != key) return false;
+        std::size_t pos = it - node->keys.begin();
+        node->keys.erase(it);
+        node->rows.erase(node->rows.begin() + pos);
+        ++stats_.rowsTouched;
+        return true;
+    }
+    auto it = std::upper_bound(node->keys.begin(), node->keys.end(), key);
+    std::size_t idx = it - node->keys.begin();
+    bool erased = eraseFrom(node->children[idx].get(), key);
+    if (erased) rebalanceChild(node, idx);
+    return erased;
+}
+
+void
+Btree::rebalanceChild(Node* node, std::size_t index)
+{
+    // Lazy rebalancing: only collapse an empty child. Fill invariants are
+    // relaxed for deletions (checked accordingly in checkInvariants),
+    // which is sufficient for the workloads minidb serves.
+    Node* child = node->children[index].get();
+    if (!child->keys.empty()) return;
+    if (child->leaf) {
+        node->children.erase(node->children.begin() + index);
+        if (index < node->keys.size()) {
+            node->keys.erase(node->keys.begin() + index);
+        } else if (!node->keys.empty()) {
+            node->keys.pop_back();
+        }
+    }
+}
+
+bool
+Btree::erase(Key key)
+{
+    bool erased = eraseFrom(root_.get(), key);
+    if (erased) {
+        --size_;
+        if (!root_->leaf && root_->children.size() == 1) {
+            root_ = std::move(root_->children.front());
+        }
+    }
+    return erased;
+}
+
+void
+Btree::scanNode(Node* node, Key lo, Key hi,
+                const std::function<void(Key, const Row&)>& fn)
+{
+    ++stats_.nodeVisits;
+    if (node->leaf) {
+        auto it = std::lower_bound(node->keys.begin(), node->keys.end(), lo);
+        for (std::size_t i = it - node->keys.begin();
+             i < node->keys.size() && node->keys[i] <= hi; ++i) {
+            ++stats_.rowsTouched;
+            fn(node->keys[i], node->rows[i]);
+        }
+        return;
+    }
+    for (std::size_t i = 0; i <= node->keys.size(); ++i) {
+        bool inRange = (i == 0 || node->keys[i - 1] <= hi) &&
+                       (i == node->keys.size() || node->keys[i] >= lo);
+        if (inRange) scanNode(node->children[i].get(), lo, hi, fn);
+    }
+}
+
+void
+Btree::scan(Key lo, Key hi, const std::function<void(Key, const Row&)>& fn)
+{
+    scanNode(root_.get(), lo, hi, fn);
+}
+
+bool
+Btree::checkNode(const Node* node, const Key* lo, const Key* hi,
+                 std::size_t depth, std::size_t leafDepth) const
+{
+    for (std::size_t i = 0; i + 1 < node->keys.size(); ++i) {
+        if (node->keys[i] >= node->keys[i + 1]) return false;
+    }
+    if (!node->keys.empty()) {
+        if (lo && node->keys.front() < *lo) return false;
+        if (hi && node->keys.back() > *hi) return false;
+    }
+    if (node->leaf) {
+        return depth == leafDepth && node->keys.size() == node->rows.size();
+    }
+    if (node->children.size() != node->keys.size() + 1) return false;
+    for (std::size_t i = 0; i < node->children.size(); ++i) {
+        const Key* childLo = (i == 0) ? lo : &node->keys[i - 1];
+        const Key* childHi = (i == node->keys.size()) ? hi : &node->keys[i];
+        if (!checkNode(node->children[i].get(), childLo, childHi, depth + 1,
+                       leafDepth)) {
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+Btree::checkInvariants() const
+{
+    return checkNode(root_.get(), nullptr, nullptr, 1, heightOf(root_.get()));
+}
+
+}  // namespace nesgx::db

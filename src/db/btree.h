@@ -1,0 +1,79 @@
+/**
+ * minidb storage: an in-memory B-tree keyed by the table's integer
+ * primary key, storing row payloads. Node fan-out is fixed; the tree
+ * counts node visits and row touches so enclave wrappers can convert
+ * work into simulated cycles.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nesgx::db {
+
+using Key = std::int64_t;
+using Row = std::vector<std::string>;  ///< column values as text
+
+struct BtreeStats {
+    std::uint64_t nodeVisits = 0;
+    std::uint64_t rowsTouched = 0;
+};
+
+class Btree {
+  public:
+    static constexpr std::size_t kOrder = 32;  ///< max keys per node
+
+    Btree();
+
+    /** Inserts or replaces the row at `key`; returns false on replace. */
+    bool insert(Key key, Row row);
+
+    /** Point lookup. */
+    std::optional<Row> find(Key key);
+
+    /** Overwrites columns of an existing row; false when absent. */
+    bool update(Key key, const Row& row);
+
+    /** Removes a key; false when absent. */
+    bool erase(Key key);
+
+    /** In-order scan of [lo, hi] invoking `fn(key, row)`. */
+    void scan(Key lo, Key hi,
+              const std::function<void(Key, const Row&)>& fn);
+
+    std::size_t size() const { return size_; }
+    std::size_t height() const;
+
+    BtreeStats& stats() { return stats_; }
+
+    /** Validates B-tree invariants (ordering, fill, uniform depth). */
+    bool checkInvariants() const;
+
+  private:
+    struct Node {
+        bool leaf = true;
+        std::vector<Key> keys;
+        std::vector<Row> rows;                           // leaf payloads
+        std::vector<std::unique_ptr<Node>> children;     // internal
+    };
+
+    void splitChild(Node* parent, std::size_t index);
+    void insertNonFull(Node* node, Key key, Row&& row, bool& replaced);
+    bool eraseFrom(Node* node, Key key);
+    void rebalanceChild(Node* node, std::size_t index);
+    std::size_t heightOf(const Node* node) const;
+    bool checkNode(const Node* node, const Key* lo, const Key* hi,
+                   std::size_t depth, std::size_t leafDepth) const;
+    void scanNode(Node* node, Key lo, Key hi,
+                  const std::function<void(Key, const Row&)>& fn);
+
+    std::unique_ptr<Node> root_;
+    std::size_t size_ = 0;
+    BtreeStats stats_;
+};
+
+}  // namespace nesgx::db

@@ -1,0 +1,132 @@
+#include "db/executor.h"
+
+namespace nesgx::db {
+
+namespace {
+
+QueryResult
+fail(const std::string& error)
+{
+    QueryResult r;
+    r.error = error;
+    return r;
+}
+
+std::optional<Key>
+rowKey(const std::vector<std::string>& values)
+{
+    try {
+        return std::stoll(values.at(0));
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+}  // namespace
+
+QueryResult
+Database::execute(const std::string& sql)
+{
+    auto parsed = parseSql(sql);
+    if (!parsed) return fail("syntax error");
+    return execute(parsed.value());
+}
+
+QueryResult
+Database::execute(const Statement& stmt)
+{
+    QueryResult result;
+
+    if (stmt.kind == StatementKind::CreateTable) {
+        if (tables_.count(stmt.table)) return fail("table exists");
+        tables_[stmt.table].columns = stmt.columns;
+        result.ok = true;
+        return result;
+    }
+
+    auto it = tables_.find(stmt.table);
+    if (it == tables_.end()) return fail("no such table");
+    Table& table = it->second;
+
+    switch (stmt.kind) {
+      case StatementKind::Insert: {
+        if (stmt.values.size() != table.columns.size()) {
+            return fail("column count mismatch");
+        }
+        auto key = rowKey(stmt.values);
+        if (!key) return fail("primary key must be an integer");
+        Row row(stmt.values.begin() + 1, stmt.values.end());
+        table.tree.insert(*key, std::move(row));
+        result.rowsAffected = 1;
+        result.ok = true;
+        return result;
+      }
+      case StatementKind::Select: {
+        if (stmt.whereKey) {
+            auto row = table.tree.find(*stmt.whereKey);
+            if (row) result.rows.emplace_back(*stmt.whereKey, *row);
+        } else if (stmt.rangeLo && stmt.rangeHi) {
+            table.tree.scan(*stmt.rangeLo, *stmt.rangeHi,
+                            [&](Key k, const Row& row) {
+                                result.rows.emplace_back(k, row);
+                            });
+        } else {
+            return fail("SELECT requires a key predicate");
+        }
+        result.ok = true;
+        return result;
+      }
+      case StatementKind::Update: {
+        if (!stmt.whereKey) return fail("UPDATE requires a key predicate");
+        auto row = table.tree.find(*stmt.whereKey);
+        if (!row) {
+            result.ok = true;  // zero rows matched
+            return result;
+        }
+        // Resolve the target column (first column is the PK).
+        std::size_t col = table.columns.size();
+        for (std::size_t i = 1; i < table.columns.size(); ++i) {
+            if (table.columns[i] == stmt.setColumn) {
+                col = i;
+                break;
+            }
+        }
+        if (col == table.columns.size()) return fail("no such column");
+        (*row)[col - 1] = stmt.setValue;
+        table.tree.update(*stmt.whereKey, *row);
+        result.rowsAffected = 1;
+        result.ok = true;
+        return result;
+      }
+      case StatementKind::Delete: {
+        if (!stmt.whereKey) return fail("DELETE requires a key predicate");
+        result.rowsAffected = table.tree.erase(*stmt.whereKey) ? 1 : 0;
+        result.ok = true;
+        return result;
+      }
+      case StatementKind::CreateTable:
+        break;  // handled above
+    }
+    return fail("unsupported statement");
+}
+
+std::uint64_t
+Database::workUnits() const
+{
+    std::uint64_t total = 0;
+    for (const auto& [name, table] : tables_) {
+        (void)name;
+        const auto& stats = const_cast<Btree&>(table.tree).stats();
+        total += stats.nodeVisits * 8 + stats.rowsTouched * 4;
+    }
+    return total;
+}
+
+std::size_t
+Database::tableSize(const std::string& name) const
+{
+    auto it = tables_.find(name);
+    return it == tables_.end() ? 0 : it->second.tree.size();
+}
+
+}  // namespace nesgx::db

@@ -1,0 +1,203 @@
+#include "db/parser.h"
+
+#include <cctype>
+
+namespace nesgx::db {
+
+std::vector<std::string>
+tokenize(const std::string& sql)
+{
+    std::vector<std::string> tokens;
+    std::size_t i = 0;
+    while (i < sql.size()) {
+        char c = sql[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '\'') {
+            // String literal; kept with quotes to distinguish from idents.
+            std::size_t j = i + 1;
+            std::string lit = "'";
+            while (j < sql.size() && sql[j] != '\'') lit += sql[j++];
+            lit += '\'';
+            tokens.push_back(lit);
+            i = j + 1;
+            continue;
+        }
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == '-') {
+            std::size_t j = i;
+            std::string word;
+            while (j < sql.size() &&
+                   (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                    sql[j] == '_' || sql[j] == '-')) {
+                word += sql[j++];
+            }
+            tokens.push_back(word);
+            i = j;
+            continue;
+        }
+        tokens.push_back(std::string(1, c));
+        ++i;
+    }
+    return tokens;
+}
+
+namespace {
+
+std::string
+upper(const std::string& s)
+{
+    std::string out = s;
+    for (auto& c : out) c = char(std::toupper(static_cast<unsigned char>(c)));
+    return out;
+}
+
+bool
+isStringLiteral(const std::string& token)
+{
+    return token.size() >= 2 && token.front() == '\'' && token.back() == '\'';
+}
+
+std::string
+literalValue(const std::string& token)
+{
+    if (isStringLiteral(token)) return token.substr(1, token.size() - 2);
+    return token;
+}
+
+std::optional<std::int64_t>
+parseInt(const std::string& token)
+{
+    try {
+        std::size_t pos = 0;
+        std::int64_t v = std::stoll(token, &pos);
+        if (pos != token.size()) return std::nullopt;
+        return v;
+    } catch (...) {
+        return std::nullopt;
+    }
+}
+
+/** Cursor over the token stream. */
+class Tokens {
+  public:
+    explicit Tokens(std::vector<std::string> tokens)
+        : tokens_(std::move(tokens))
+    {
+    }
+
+    bool done() const { return pos_ >= tokens_.size(); }
+    const std::string& peek() const { return tokens_[pos_]; }
+    std::string next() { return tokens_[pos_++]; }
+
+    bool accept(const std::string& keyword)
+    {
+        if (done() || upper(tokens_[pos_]) != keyword) return false;
+        ++pos_;
+        return true;
+    }
+
+    bool expect(const std::string& keyword) { return accept(keyword); }
+
+  private:
+    std::vector<std::string> tokens_;
+    std::size_t pos_ = 0;
+};
+
+Result<Statement>
+parseWhere(Tokens& t, Statement stmt)
+{
+    if (!t.expect("WHERE")) return Err::BadCallBuffer;
+    if (t.done()) return Err::BadCallBuffer;
+    t.next();  // PK column name (only PK predicates supported)
+    if (t.accept("BETWEEN")) {
+        if (t.done()) return Err::BadCallBuffer;
+        auto lo = parseInt(t.next());
+        if (!t.expect("AND") || t.done()) return Err::BadCallBuffer;
+        auto hi = parseInt(t.next());
+        if (!lo || !hi) return Err::BadCallBuffer;
+        stmt.rangeLo = lo;
+        stmt.rangeHi = hi;
+        return stmt;
+    }
+    if (!t.expect("=") || t.done()) return Err::BadCallBuffer;
+    auto key = parseInt(t.next());
+    if (!key) return Err::BadCallBuffer;
+    stmt.whereKey = key;
+    return stmt;
+}
+
+}  // namespace
+
+Result<Statement>
+parseSql(const std::string& sql)
+{
+    Tokens t(tokenize(sql));
+    Statement stmt;
+    if (t.done()) return Err::BadCallBuffer;
+
+    if (t.accept("CREATE")) {
+        if (!t.expect("TABLE") || t.done()) return Err::BadCallBuffer;
+        stmt.kind = StatementKind::CreateTable;
+        stmt.table = t.next();
+        if (!t.expect("(")) return Err::BadCallBuffer;
+        while (!t.done() && t.peek() != ")") {
+            if (t.peek() == ",") {
+                t.next();
+                continue;
+            }
+            stmt.columns.push_back(t.next());
+        }
+        if (!t.expect(")") || stmt.columns.empty()) return Err::BadCallBuffer;
+        return stmt;
+    }
+
+    if (t.accept("INSERT")) {
+        if (!t.expect("INTO") || t.done()) return Err::BadCallBuffer;
+        stmt.kind = StatementKind::Insert;
+        stmt.table = t.next();
+        if (!t.expect("VALUES") || !t.expect("(")) return Err::BadCallBuffer;
+        while (!t.done() && t.peek() != ")") {
+            if (t.peek() == ",") {
+                t.next();
+                continue;
+            }
+            stmt.values.push_back(literalValue(t.next()));
+        }
+        if (!t.expect(")") || stmt.values.empty()) return Err::BadCallBuffer;
+        return stmt;
+    }
+
+    if (t.accept("SELECT")) {
+        if (!t.expect("*") || !t.expect("FROM") || t.done()) {
+            return Err::BadCallBuffer;
+        }
+        stmt.kind = StatementKind::Select;
+        stmt.table = t.next();
+        return parseWhere(t, std::move(stmt));
+    }
+
+    if (t.accept("UPDATE")) {
+        if (t.done()) return Err::BadCallBuffer;
+        stmt.kind = StatementKind::Update;
+        stmt.table = t.next();
+        if (!t.expect("SET") || t.done()) return Err::BadCallBuffer;
+        stmt.setColumn = t.next();
+        if (!t.expect("=") || t.done()) return Err::BadCallBuffer;
+        stmt.setValue = literalValue(t.next());
+        return parseWhere(t, std::move(stmt));
+    }
+
+    if (t.accept("DELETE")) {
+        if (!t.expect("FROM") || t.done()) return Err::BadCallBuffer;
+        stmt.kind = StatementKind::Delete;
+        stmt.table = t.next();
+        return parseWhere(t, std::move(stmt));
+    }
+
+    return Err::BadCallBuffer;
+}
+
+}  // namespace nesgx::db

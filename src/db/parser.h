@@ -1,0 +1,44 @@
+/**
+ * minidb SQL front-end: tokenizer and parser for the subset the YCSB case
+ * study needs (paper §VI-B / Table VI):
+ *
+ *   CREATE TABLE t (col0, col1, ...)        -- first column = INTEGER PK
+ *   INSERT INTO t VALUES (k, 'v1', ...)
+ *   SELECT * FROM t WHERE col0 = k
+ *   SELECT * FROM t WHERE col0 BETWEEN a AND b
+ *   UPDATE t SET colN = 'v' WHERE col0 = k
+ *   DELETE FROM t WHERE col0 = k
+ */
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/status.h"
+
+namespace nesgx::db {
+
+enum class StatementKind { CreateTable, Insert, Select, Update, Delete };
+
+struct Statement {
+    StatementKind kind = StatementKind::Select;
+    std::string table;
+    std::vector<std::string> columns;     ///< CREATE column names
+    std::vector<std::string> values;      ///< INSERT values (text form)
+    std::string setColumn;                ///< UPDATE target column
+    std::string setValue;
+    std::optional<std::int64_t> whereKey; ///< point predicate on the PK
+    std::optional<std::int64_t> rangeLo;  ///< BETWEEN bounds
+    std::optional<std::int64_t> rangeHi;
+};
+
+/** Parses one SQL statement; error text on failure. */
+Result<Statement> parseSql(const std::string& sql);
+
+/** Tokenizer exposed for tests: uppercases keywords, keeps literals. */
+std::vector<std::string> tokenize(const std::string& sql);
+
+}  // namespace nesgx::db

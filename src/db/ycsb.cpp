@@ -1,0 +1,125 @@
+#include "db/ycsb.h"
+
+namespace nesgx::db {
+
+std::vector<YcsbMix>
+tableVIMixes()
+{
+    return {
+        {"100% INSERT", 100, 0, 0},
+        {"50% SELECT & 50% UPDATE", 0, 50, 50},
+        {"95% SELECT & 5% UPDATE", 0, 95, 5},
+        {"100% SELECT", 0, 100, 0},
+    };
+}
+
+YcsbWorkload::YcsbWorkload(std::uint64_t recordCount, std::size_t valueBytes,
+                           std::uint64_t seed)
+    : recordCount_(recordCount),
+      valueBytes_(valueBytes),
+      nextInsertKey_(recordCount),
+      rng_(seed)
+{
+}
+
+std::string
+YcsbWorkload::createTableSql() const
+{
+    return "CREATE TABLE usertable (ycsb_key, field0)";
+}
+
+std::string
+YcsbWorkload::randomValue()
+{
+    static const char alphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(valueBytes_);
+    for (std::size_t i = 0; i < valueBytes_; ++i) {
+        out += alphabet[rng_.nextBelow(sizeof(alphabet) - 1)];
+    }
+    return out;
+}
+
+std::vector<Statement>
+YcsbWorkload::loadPhase()
+{
+    std::vector<Statement> out;
+    out.reserve(recordCount_);
+    for (std::uint64_t k = 0; k < recordCount_; ++k) {
+        Statement stmt;
+        stmt.kind = StatementKind::Insert;
+        stmt.table = "usertable";
+        stmt.values = {std::to_string(k), randomValue()};
+        out.push_back(std::move(stmt));
+    }
+    return out;
+}
+
+std::vector<YcsbOp>
+YcsbWorkload::run(const YcsbMix& mix, std::uint64_t opCount)
+{
+    std::vector<YcsbOp> ops;
+    ops.reserve(opCount);
+    for (std::uint64_t i = 0; i < opCount; ++i) {
+        YcsbOp op;
+        std::uint64_t roll = rng_.nextBelow(100);
+        if (roll < std::uint64_t(mix.insertPct)) {
+            op.type = OpType::Insert;
+            op.key = Key(nextInsertKey_++);
+            op.value = randomValue();
+        } else if (roll < std::uint64_t(mix.insertPct + mix.selectPct)) {
+            op.type = OpType::Select;
+            op.key = Key(rng_.nextBelow(recordCount_));
+        } else {
+            op.type = OpType::Update;
+            op.key = Key(rng_.nextBelow(recordCount_));
+            op.value = randomValue();
+        }
+        ops.push_back(std::move(op));
+    }
+    return ops;
+}
+
+std::string
+YcsbWorkload::toSql(const YcsbOp& op) const
+{
+    switch (op.type) {
+      case OpType::Insert:
+        return "INSERT INTO usertable VALUES (" + std::to_string(op.key) +
+               ", '" + op.value + "')";
+      case OpType::Select:
+        return "SELECT * FROM usertable WHERE ycsb_key = " +
+               std::to_string(op.key);
+      case OpType::Update:
+        return "UPDATE usertable SET field0 = '" + op.value +
+               "' WHERE ycsb_key = " + std::to_string(op.key);
+    }
+    return "";
+}
+
+Statement
+YcsbWorkload::toStatement(const YcsbOp& op) const
+{
+    Statement stmt;
+    stmt.table = "usertable";
+    switch (op.type) {
+      case OpType::Insert:
+        stmt.kind = StatementKind::Insert;
+        stmt.values = {std::to_string(op.key), op.value};
+        break;
+      case OpType::Select:
+        stmt.kind = StatementKind::Select;
+        stmt.whereKey = op.key;
+        break;
+      case OpType::Update:
+        stmt.kind = StatementKind::Update;
+        stmt.setColumn = "field0";
+        stmt.setValue = op.value;
+        stmt.whereKey = op.key;
+        break;
+    }
+    return stmt;
+}
+
+}  // namespace nesgx::db

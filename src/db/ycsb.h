@@ -1,0 +1,70 @@
+/**
+ * YCSB-style workload generation for the SQLite case study (paper
+ * Table VI): uniform-random key distribution over the four reported
+ * mixes: 100% INSERT, 50/50 SELECT/UPDATE, 95/5 SELECT/UPDATE and
+ * 100% SELECT.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/btree.h"
+#include "db/parser.h"
+#include "support/rng.h"
+
+namespace nesgx::db {
+
+enum class OpType { Insert, Select, Update };
+
+struct YcsbOp {
+    OpType type = OpType::Select;
+    Key key = 0;
+    std::string value;  ///< payload for Insert/Update
+};
+
+struct YcsbMix {
+    std::string name;
+    int insertPct = 0;
+    int selectPct = 0;
+    int updatePct = 0;
+};
+
+/** The four Table VI workload mixes. */
+std::vector<YcsbMix> tableVIMixes();
+
+class YcsbWorkload {
+  public:
+    /**
+     * @param recordCount keyspace size (preloaded rows for non-insert ops)
+     * @param valueBytes  payload size per row
+     */
+    YcsbWorkload(std::uint64_t recordCount, std::size_t valueBytes,
+                 std::uint64_t seed);
+
+    /** SQL to create the table. */
+    std::string createTableSql() const;
+
+    /** Statements preloading `recordCount` rows. */
+    std::vector<Statement> loadPhase();
+
+    /** `opCount` operations drawn from the mix (uniform keys). */
+    std::vector<YcsbOp> run(const YcsbMix& mix, std::uint64_t opCount);
+
+    /** Renders an op as SQL text (what a client would send). */
+    std::string toSql(const YcsbOp& op) const;
+
+    /** Converts an op to a pre-parsed statement (server-side hot path). */
+    Statement toStatement(const YcsbOp& op) const;
+
+  private:
+    std::string randomValue();
+
+    std::uint64_t recordCount_;
+    std::size_t valueBytes_;
+    std::uint64_t nextInsertKey_;
+    Rng rng_;
+};
+
+}  // namespace nesgx::db

@@ -1,0 +1,37 @@
+#include "hw/cache.h"
+
+namespace nesgx::hw {
+
+LastLevelCache::LastLevelCache(std::uint64_t capacityBytes)
+    : capacityLines_(capacityBytes / kCacheLineSize)
+{
+}
+
+bool
+LastLevelCache::touch(Paddr pa)
+{
+    Paddr line = lineBase(pa);
+    auto it = lines_.find(line);
+    if (it != lines_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        ++hits_;
+        return true;
+    }
+    ++misses_;
+    lru_.push_front(line);
+    lines_[line] = lru_.begin();
+    if (lines_.size() > capacityLines_) {
+        lines_.erase(lru_.back());
+        lru_.pop_back();
+    }
+    return false;
+}
+
+void
+LastLevelCache::flush()
+{
+    lru_.clear();
+    lines_.clear();
+}
+
+}  // namespace nesgx::hw

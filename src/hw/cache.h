@@ -1,0 +1,42 @@
+/**
+ * Last-level-cache capacity model.
+ *
+ * Fig. 11's headline effect is that intra-enclave communication costs no
+ * MEE work when the communicated footprint fits inside the LLC ("the data
+ * exist in plaintext within the CPU boundary"). A fully-associative LRU
+ * set of cachelines captures exactly that capacity effect; i7-7700 = 8 MB.
+ */
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "hw/types.h"
+
+namespace nesgx::hw {
+
+class LastLevelCache {
+  public:
+    explicit LastLevelCache(std::uint64_t capacityBytes = 8ull << 20);
+
+    /** Touches the line containing `pa`; returns true on hit. */
+    bool touch(Paddr pa);
+
+    /** Drops everything (used between benchmark configurations). */
+    void flush();
+
+    std::uint64_t capacityLines() const { return capacityLines_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    void resetStats() { hits_ = misses_ = 0; }
+
+  private:
+    std::uint64_t capacityLines_;
+    std::list<Paddr> lru_;  // front = most recent
+    std::unordered_map<Paddr, std::list<Paddr>::iterator> lines_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace nesgx::hw

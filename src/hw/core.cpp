@@ -1,0 +1,3 @@
+#include "hw/core.h"
+
+// Core is header-only today; this translation unit anchors the target.

@@ -1,0 +1,64 @@
+/**
+ * Logical processor state relevant to SGX.
+ *
+ * Mirrors the control-register view "Intel SGX Explained" describes:
+ * enclave-mode flag, the active SECS (CR_ACTIVE_SECS), the active TCS, and
+ * the per-core TLB. Nested enclave adds a small stack of enclave contexts
+ * because NEENTER pushes the outer context rather than leaving the enclave.
+ */
+#pragma once
+
+#include <vector>
+
+#include "hw/tlb.h"
+#include "hw/types.h"
+
+namespace nesgx::hw {
+
+/** One saved enclave execution context (outer frame under NEENTER). */
+struct EnclaveFrame {
+    Paddr secs = 0;  ///< SECS physical address of the enclave
+    Paddr tcs = 0;   ///< TCS physical address in use
+};
+
+class Core {
+  public:
+    explicit Core(CoreId id) : id_(id) {}
+
+    CoreId id() const { return id_; }
+
+    bool inEnclaveMode() const { return !frames_.empty(); }
+
+    /** Currently executing enclave (innermost frame). */
+    Paddr currentSecs() const { return frames_.empty() ? 0 : frames_.back().secs; }
+    Paddr currentTcs() const { return frames_.empty() ? 0 : frames_.back().tcs; }
+
+    /** Enclave nesting depth on this core (0 = untrusted). */
+    std::size_t depth() const { return frames_.size(); }
+
+    const std::vector<EnclaveFrame>& frames() const { return frames_; }
+
+    void pushFrame(Paddr secs, Paddr tcs) { frames_.push_back({secs, tcs}); }
+    EnclaveFrame popFrame()
+    {
+        EnclaveFrame f = frames_.back();
+        frames_.pop_back();
+        return f;
+    }
+    void clearFrames() { frames_.clear(); }
+
+    /** Page-table root (set by the OS when scheduling a process). */
+    void setPageTable(const void* pt) { pageTable_ = pt; }
+    const void* pageTable() const { return pageTable_; }
+
+    Tlb& tlb() { return tlb_; }
+    const Tlb& tlb() const { return tlb_; }
+
+  private:
+    CoreId id_;
+    std::vector<EnclaveFrame> frames_;
+    const void* pageTable_ = nullptr;
+    Tlb tlb_;
+};
+
+}  // namespace nesgx::hw

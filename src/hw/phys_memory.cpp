@@ -1,0 +1,47 @@
+#include "hw/phys_memory.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nesgx::hw {
+
+PhysicalMemory::PhysicalMemory(std::uint64_t totalBytes, Paddr prmBase,
+                               std::uint64_t prmBytes)
+    : data_(totalBytes, 0), prmBase_(prmBase), prmSize_(prmBytes)
+{
+    if (totalBytes % kPageSize || prmBase % kPageSize || prmBytes % kPageSize) {
+        throw std::invalid_argument("PhysicalMemory: page-align all sizes");
+    }
+    if (prmBase + prmBytes > totalBytes) {
+        throw std::invalid_argument("PhysicalMemory: PRM outside DRAM");
+    }
+}
+
+void
+PhysicalMemory::read(Paddr pa, std::uint8_t* out, std::uint64_t len) const
+{
+    if (!contains(pa, len)) {
+        throw std::out_of_range("PhysicalMemory::read out of range");
+    }
+    std::memcpy(out, data_.data() + pa, len);
+}
+
+void
+PhysicalMemory::write(Paddr pa, const std::uint8_t* in, std::uint64_t len)
+{
+    if (!contains(pa, len)) {
+        throw std::out_of_range("PhysicalMemory::write out of range");
+    }
+    std::memcpy(data_.data() + pa, in, len);
+}
+
+void
+PhysicalMemory::fill(Paddr pa, std::uint8_t value, std::uint64_t len)
+{
+    if (!contains(pa, len)) {
+        throw std::out_of_range("PhysicalMemory::fill out of range");
+    }
+    std::memset(data_.data() + pa, value, len);
+}
+
+}  // namespace nesgx::hw

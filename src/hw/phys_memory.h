@@ -1,0 +1,73 @@
+/**
+ * Emulated physical memory with a Processor Reserved Memory (PRM) window.
+ *
+ * Pages inside the PRM form the Enclave Page Cache (EPC). Content is kept
+ * as plaintext in the model; the confidentiality/integrity the MEE would
+ * provide against physical attacks is modelled by (a) the MEE cycle cost
+ * (see CostModel) and (b) real authenticated encryption on the one path
+ * where bits leave the PRM (EWB paging).
+ */
+#pragma once
+
+#include <vector>
+
+#include "hw/types.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace nesgx::hw {
+
+class PhysicalMemory {
+  public:
+    /**
+     * @param totalBytes  size of emulated DRAM (page-aligned)
+     * @param prmBase     physical base of the reserved region
+     * @param prmBytes    size of the reserved region (the EPC)
+     */
+    PhysicalMemory(std::uint64_t totalBytes, Paddr prmBase,
+                   std::uint64_t prmBytes);
+
+    std::uint64_t size() const { return data_.size(); }
+    Paddr prmBase() const { return prmBase_; }
+    std::uint64_t prmSize() const { return prmSize_; }
+
+    bool contains(Paddr pa, std::uint64_t len = 1) const
+    {
+        return pa + len <= data_.size() && pa + len >= pa;
+    }
+
+    /** True when the physical address falls inside the PRM. */
+    bool inPrm(Paddr pa) const
+    {
+        return pa >= prmBase_ && pa < prmBase_ + prmSize_;
+    }
+
+    /** Index of an EPC page within the PRM (caller checks inPrm). */
+    std::uint64_t epcPageIndex(Paddr pa) const
+    {
+        return (pa - prmBase_) >> kPageShift;
+    }
+
+    std::uint64_t epcPageCount() const { return prmSize_ >> kPageShift; }
+
+    /** Physical address of EPC page `index`. */
+    Paddr epcPageAddr(std::uint64_t index) const
+    {
+        return prmBase_ + (index << kPageShift);
+    }
+
+    // Raw access used by the machine after validation succeeded.
+    void read(Paddr pa, std::uint8_t* out, std::uint64_t len) const;
+    void write(Paddr pa, const std::uint8_t* in, std::uint64_t len);
+    void fill(Paddr pa, std::uint8_t value, std::uint64_t len);
+
+    std::uint8_t* raw(Paddr pa) { return data_.data() + pa; }
+    const std::uint8_t* raw(Paddr pa) const { return data_.data() + pa; }
+
+  private:
+    std::vector<std::uint8_t> data_;
+    Paddr prmBase_;
+    std::uint64_t prmSize_;
+};
+
+}  // namespace nesgx::hw

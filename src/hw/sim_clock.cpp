@@ -1,0 +1,3 @@
+#include "hw/sim_clock.h"
+
+// SimClock is header-only today; this translation unit anchors the target.

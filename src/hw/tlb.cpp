@@ -1,0 +1,25 @@
+#include "hw/tlb.h"
+
+namespace nesgx::hw {
+
+const TlbEntry*
+Tlb::lookup(Vaddr va) const
+{
+    auto it = entries_.find(pageNumber(va));
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+void
+Tlb::insert(Vaddr va, const TlbEntry& entry)
+{
+    entries_[pageNumber(va)] = entry;
+}
+
+void
+Tlb::flushAll()
+{
+    entries_.clear();
+    ++flushCount_;
+}
+
+}  // namespace nesgx::hw

@@ -1,0 +1,53 @@
+/**
+ * Per-core TLB model.
+ *
+ * The security-critical property (paper §II-B) is the invariant that the
+ * TLB only ever holds translations validated by the access-control flow;
+ * entries are tagged with the enclave context they were validated under so
+ * tests can assert the invariant directly. Transitions flush.
+ */
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "hw/types.h"
+
+namespace nesgx::hw {
+
+struct TlbEntry {
+    Paddr paddr = 0;         ///< physical page base
+    bool writable = false;
+    bool executable = false;
+    /** SECS physical address active when the entry was validated
+     *  (0 = validated in non-enclave mode). */
+    Paddr validatedSecs = 0;
+};
+
+class Tlb {
+  public:
+    /** Looks up a translation for the page containing `va`. */
+    const TlbEntry* lookup(Vaddr va) const;
+
+    /** Inserts a validated translation. */
+    void insert(Vaddr va, const TlbEntry& entry);
+
+    /** Invalidates everything (transition / shootdown). */
+    void flushAll();
+
+    std::size_t size() const { return entries_.size(); }
+
+    /** Iteration support for invariant-checking tests. */
+    const std::unordered_map<std::uint64_t, TlbEntry>& entries() const
+    {
+        return entries_;
+    }
+
+    std::uint64_t flushCount() const { return flushCount_; }
+
+  private:
+    std::unordered_map<std::uint64_t, TlbEntry> entries_;  // keyed by VPN
+    std::uint64_t flushCount_ = 0;
+};
+
+}  // namespace nesgx::hw

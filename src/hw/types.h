@@ -1,0 +1,26 @@
+/**
+ * Basic address/space types for the emulated machine.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace nesgx::hw {
+
+using Paddr = std::uint64_t;
+using Vaddr = std::uint64_t;
+using CoreId = std::uint32_t;
+
+constexpr std::uint64_t kPageSize = 4096;
+constexpr std::uint64_t kPageShift = 12;
+constexpr std::uint64_t kCacheLineSize = 64;
+
+inline std::uint64_t pageNumber(std::uint64_t addr) { return addr >> kPageShift; }
+inline std::uint64_t pageOffset(std::uint64_t addr) { return addr & (kPageSize - 1); }
+inline std::uint64_t pageBase(std::uint64_t addr) { return addr & ~(kPageSize - 1); }
+inline std::uint64_t lineBase(std::uint64_t addr) { return addr & ~(kCacheLineSize - 1); }
+
+/** Access kinds distinguished by the validation flow. */
+enum class Access { Read, Write, Execute };
+
+}  // namespace nesgx::hw

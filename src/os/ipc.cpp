@@ -1,0 +1,51 @@
+#include "os/ipc.h"
+
+namespace nesgx::os {
+
+ChannelId
+IpcService::createChannel()
+{
+    ChannelId id = nextChannel_++;
+    queues_[id];
+    return id;
+}
+
+void
+IpcService::send(ChannelId channel, Bytes message)
+{
+    lastSeen_[channel] = message;
+    if (dropPolicy_ && dropPolicy_(channel, message)) {
+        // Silent drop: no error surfaces to either endpoint.
+        ++dropped_;
+        return;
+    }
+    queues_[channel].push_back(std::move(message));
+}
+
+std::optional<Bytes>
+IpcService::receive(ChannelId channel)
+{
+    auto it = queues_.find(channel);
+    if (it == queues_.end() || it->second.empty()) return std::nullopt;
+    Bytes out = std::move(it->second.front());
+    it->second.pop_front();
+    return out;
+}
+
+std::size_t
+IpcService::pending(ChannelId channel) const
+{
+    auto it = queues_.find(channel);
+    return it == queues_.end() ? 0 : it->second.size();
+}
+
+bool
+IpcService::replayLast(ChannelId channel)
+{
+    auto it = lastSeen_.find(channel);
+    if (it == lastSeen_.end()) return false;
+    queues_[channel].push_back(it->second);
+    return true;
+}
+
+}  // namespace nesgx::os

@@ -1,0 +1,56 @@
+/**
+ * OS-mediated IPC channels.
+ *
+ * This is the *untrusted* communication substrate monolithic enclaves must
+ * use (paper §VI-C / §VII-B): every message traverses kernel-owned queues,
+ * so an active-attacker OS can silently drop, replay, or reorder messages.
+ * Those hostile behaviours are first-class here because the Panoply-style
+ * silent-drop attack (paper §VII-B) is one of the reproduced experiments.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "support/bytes.h"
+
+namespace nesgx::os {
+
+using ChannelId = std::uint32_t;
+
+class IpcService {
+  public:
+    /** Creates a kernel message queue. */
+    ChannelId createChannel();
+
+    /** Enqueues a message (the OS sees and may tamper with it). */
+    void send(ChannelId channel, Bytes message);
+
+    /** Dequeues the next message, if any. */
+    std::optional<Bytes> receive(ChannelId channel);
+
+    std::size_t pending(ChannelId channel) const;
+
+    // --- hostile behaviours ---------------------------------------------
+    /** Predicate deciding whether the OS silently drops a message. */
+    using DropPolicy = std::function<bool(ChannelId, const Bytes&)>;
+    void setDropPolicy(DropPolicy policy) { dropPolicy_ = std::move(policy); }
+    void clearDropPolicy() { dropPolicy_ = nullptr; }
+
+    /** Replays the last message the OS recorded on the channel. */
+    bool replayLast(ChannelId channel);
+
+    std::uint64_t droppedCount() const { return dropped_; }
+
+  private:
+    std::map<ChannelId, std::deque<Bytes>> queues_;
+    std::map<ChannelId, Bytes> lastSeen_;
+    DropPolicy dropPolicy_;
+    ChannelId nextChannel_ = 1;
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace nesgx::os

@@ -1,0 +1,246 @@
+#include "os/kernel.h"
+
+#include <stdexcept>
+
+namespace nesgx::os {
+
+Kernel::Kernel(sgx::Machine& machine) : machine_(machine)
+{
+    // All EPC pages start free; hand them out from the low end.
+    auto& mem = machine_.mem();
+    epcFreeList_.reserve(mem.epcPageCount());
+    for (std::uint64_t i = mem.epcPageCount(); i-- > 0;) {
+        epcFreeList_.push_back(mem.epcPageAddr(i));
+    }
+    // Untrusted frames: skip frame 0 (null-page tripwire).
+    nextFrame_ = hw::kPageSize;
+}
+
+Pid
+Kernel::createProcess()
+{
+    Pid pid = Pid(processes_.size());
+    processes_.push_back(std::make_unique<Process>(pid));
+    return pid;
+}
+
+Process&
+Kernel::process(Pid pid)
+{
+    return *processes_.at(pid);
+}
+
+void
+Kernel::schedule(hw::CoreId core, Pid pid)
+{
+    machine_.core(core).setPageTable(&process(pid).pageTable());
+    // A context switch flushes the core's TLB.
+    machine_.flushCoreTlb(core);
+}
+
+Result<hw::Paddr>
+Kernel::allocFrame()
+{
+    auto& mem = machine_.mem();
+    // Bump allocation, hopping over the PRM window.
+    while (true) {
+        if (nextFrame_ + hw::kPageSize > mem.size()) return Err::OsError;
+        if (mem.inPrm(nextFrame_)) {
+            nextFrame_ = mem.prmBase() + mem.prmSize();
+            continue;
+        }
+        hw::Paddr out = nextFrame_;
+        nextFrame_ += hw::kPageSize;
+        return out;
+    }
+}
+
+hw::Vaddr
+Kernel::mapUntrusted(Pid pid, std::uint64_t pages)
+{
+    Process& proc = process(pid);
+    hw::Vaddr base = proc.reserveUntrusted(pages);
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        auto frame = allocFrame();
+        frame.orThrow("mapUntrusted");
+        proc.pageTable().map(base + i * hw::kPageSize, frame.value());
+    }
+    return base;
+}
+
+Result<hw::Paddr>
+Kernel::allocEpcPage()
+{
+    if (epcFreeList_.empty()) return Err::OsError;
+    hw::Paddr pa = epcFreeList_.back();
+    epcFreeList_.pop_back();
+    return pa;
+}
+
+void
+Kernel::freeEpcPage(hw::Paddr pa)
+{
+    epcFreeList_.push_back(pa);
+}
+
+Result<hw::Paddr>
+Kernel::createEnclave(Pid pid, hw::Vaddr base, std::uint64_t size,
+                      std::uint64_t attributes)
+{
+    auto secsPage = allocEpcPage();
+    if (!secsPage) return secsPage.status();
+    Status st = machine_.ecreate(secsPage.value(), base, size, attributes);
+    if (!st) {
+        freeEpcPage(secsPage.value());
+        return st;
+    }
+    EnclaveRecord rec;
+    rec.pid = pid;
+    rec.secsPage = secsPage.value();
+    enclaves_[secsPage.value()] = std::move(rec);
+    return secsPage.value();
+}
+
+Status
+Kernel::addPage(hw::Paddr secsPage, hw::Vaddr vaddr, sgx::PageType type,
+                sgx::PagePerms perms, ByteView content)
+{
+    auto it = enclaves_.find(secsPage);
+    if (it == enclaves_.end()) return Err::OsError;
+
+    auto epcPage = allocEpcPage();
+    if (!epcPage) return epcPage.status();
+    Status st = machine_.eadd(secsPage, epcPage.value(), vaddr, type, perms,
+                              content);
+    if (!st) {
+        freeEpcPage(epcPage.value());
+        return st;
+    }
+    st = machine_.eextend(secsPage, epcPage.value());
+    if (!st) return st;
+
+    it->second.pages[vaddr] = epcPage.value();
+    // Install the user mapping: the enclave VA points at the EPC frame.
+    process(it->second.pid).pageTable().map(vaddr, epcPage.value());
+    return Status::ok();
+}
+
+Status
+Kernel::initEnclave(hw::Paddr secsPage, const sgx::SigStruct& sig)
+{
+    return machine_.einit(secsPage, sig);
+}
+
+Status
+Kernel::associate(hw::Paddr innerSecs, hw::Paddr outerSecs)
+{
+    auto innerIt = enclaves_.find(innerSecs);
+    auto outerIt = enclaves_.find(outerSecs);
+    if (innerIt == enclaves_.end() || outerIt == enclaves_.end()) {
+        return Err::OsError;
+    }
+    // Nested association only holds within one address space (§IV-A).
+    if (innerIt->second.pid != outerIt->second.pid) return Err::OsError;
+    return machine_.nasso(innerSecs, outerSecs);
+}
+
+Status
+Kernel::destroyEnclave(hw::Paddr secsPage)
+{
+    auto it = enclaves_.find(secsPage);
+    if (it == enclaves_.end()) return Err::OsError;
+
+    Process& proc = process(it->second.pid);
+    for (auto& [va, pa] : it->second.pages) {
+        Status st = machine_.eremove(pa);
+        if (!st) return st;
+        proc.pageTable().unmap(va);
+        freeEpcPage(pa);
+    }
+    it->second.pages.clear();
+    Status st = machine_.eremove(secsPage);
+    if (!st) return st;
+    freeEpcPage(secsPage);
+    enclaves_.erase(it);
+    return Status::ok();
+}
+
+Status
+Kernel::evictPage(hw::Paddr secsPage, hw::Vaddr vaddr)
+{
+    auto it = enclaves_.find(secsPage);
+    if (it == enclaves_.end()) return Err::OsError;
+    auto pageIt = it->second.pages.find(vaddr);
+    if (pageIt == it->second.pages.end()) return Err::OsError;
+    hw::Paddr epcPage = pageIt->second;
+
+    // The eviction protocol of §IV-E: block new translations, snapshot
+    // the threads that may cache old ones, shoot them down, then write
+    // back. The shootdown includes inner-enclave threads via the
+    // machine's extended tracking.
+    Status st = machine_.eblock(epcPage);
+    if (!st) return st;
+    st = machine_.etrack(secsPage);
+    if (!st) return st;
+    machine_.ipiShootdown(secsPage);
+
+    auto blob = machine_.ewb(epcPage);
+    if (!blob) return blob.status();
+
+    it->second.evicted[vaddr] = std::move(blob.value());
+    it->second.pages.erase(pageIt);
+    process(it->second.pid).pageTable().setPresent(vaddr, false);
+    freeEpcPage(epcPage);
+    return Status::ok();
+}
+
+Status
+Kernel::reloadPage(hw::Paddr secsPage, hw::Vaddr vaddr)
+{
+    auto it = enclaves_.find(secsPage);
+    if (it == enclaves_.end()) return Err::OsError;
+    auto blobIt = it->second.evicted.find(vaddr);
+    if (blobIt == it->second.evicted.end()) return Err::OsError;
+
+    auto epcPage = allocEpcPage();
+    if (!epcPage) return epcPage.status();
+    Status st = machine_.eldu(epcPage.value(), secsPage, blobIt->second);
+    if (!st) {
+        freeEpcPage(epcPage.value());
+        return st;
+    }
+    it->second.pages[vaddr] = epcPage.value();
+    it->second.evicted.erase(blobIt);
+    process(it->second.pid).pageTable().map(vaddr, epcPage.value());
+    return Status::ok();
+}
+
+const EnclaveRecord*
+Kernel::enclaveRecord(hw::Paddr secsPage) const
+{
+    auto it = enclaves_.find(secsPage);
+    return it == enclaves_.end() ? nullptr : &it->second;
+}
+
+void
+Kernel::hostileRemap(Pid pid, hw::Vaddr va, hw::Paddr pa, bool writable,
+                     bool executable)
+{
+    process(pid).pageTable().map(va, pa, writable, executable);
+}
+
+void
+Kernel::hostileUnmap(Pid pid, hw::Vaddr va)
+{
+    process(pid).pageTable().unmap(va);
+}
+
+Bytes
+Kernel::hostileReadPhys(hw::Paddr pa, std::uint64_t len)
+{
+    Bytes out(len);
+    machine_.mem().read(pa, out.data(), len);
+    return out;
+}
+
+}  // namespace nesgx::os

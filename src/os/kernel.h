@@ -1,0 +1,108 @@
+/**
+ * The untrusted OS model: physical frame + EPC allocation, process/page
+ * table management, the SGX driver facade (the ioctl surface user space
+ * talks to), and — because the threat model makes the OS an *active
+ * attacker* — explicit hostile primitives the security tests use to mount
+ * the attacks of paper §VII (arbitrary remapping, translation games).
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "os/process.h"
+#include "sgx/machine.h"
+#include "support/status.h"
+
+namespace nesgx::os {
+
+/** Per-enclave bookkeeping the driver keeps (as the Linux driver does). */
+struct EnclaveRecord {
+    Pid pid = 0;
+    hw::Paddr secsPage = 0;
+    /** Virtual-to-EPC mapping of the enclave's live pages. */
+    std::map<hw::Vaddr, hw::Paddr> pages;
+    /** Evicted pages parked in (untrusted) kernel memory. */
+    std::map<hw::Vaddr, sgx::EvictedPage> evicted;
+};
+
+class Kernel {
+  public:
+    explicit Kernel(sgx::Machine& machine);
+
+    sgx::Machine& machine() { return machine_; }
+
+    // --- processes ------------------------------------------------------
+    Pid createProcess();
+    Process& process(Pid pid);
+
+    /** Points a core's page-table root at the process (context switch). */
+    void schedule(hw::CoreId core, Pid pid);
+
+    // --- untrusted memory ------------------------------------------------
+    /** Allocates and maps `pages` untrusted pages; returns the base VA. */
+    hw::Vaddr mapUntrusted(Pid pid, std::uint64_t pages);
+
+    /** Allocates one untrusted physical frame (no mapping). */
+    Result<hw::Paddr> allocFrame();
+
+    // --- SGX driver surface ----------------------------------------------
+    /** ECREATE wrapper: allocates an EPC page for the SECS. */
+    Result<hw::Paddr> createEnclave(Pid pid, hw::Vaddr base,
+                                    std::uint64_t size,
+                                    std::uint64_t attributes);
+
+    /**
+     * EADD+EEXTEND wrapper: allocates an EPC page, adds it to the enclave
+     * at `vaddr`, measures it, and installs the process mapping.
+     */
+    Status addPage(hw::Paddr secsPage, hw::Vaddr vaddr, sgx::PageType type,
+                   sgx::PagePerms perms, ByteView content);
+
+    /** EINIT wrapper. */
+    Status initEnclave(hw::Paddr secsPage, const sgx::SigStruct& sig);
+
+    /** NASSO wrapper (kernel-privileged instruction, paper Table I). */
+    Status associate(hw::Paddr innerSecs, hw::Paddr outerSecs);
+
+    /** Tears the enclave down (EREMOVE all pages, then the SECS). */
+    Status destroyEnclave(hw::Paddr secsPage);
+
+    /**
+     * Evicts one enclave page: EBLOCK, ETRACK, IPI shootdown of every
+     * tracked core (including inner-enclave threads), then EWB.
+     */
+    Status evictPage(hw::Paddr secsPage, hw::Vaddr vaddr);
+
+    /** Reloads a previously evicted page into a fresh EPC page. */
+    Status reloadPage(hw::Paddr secsPage, hw::Vaddr vaddr);
+
+    const EnclaveRecord* enclaveRecord(hw::Paddr secsPage) const;
+
+    /** Free EPC pages remaining. */
+    std::size_t freeEpcPages() const { return epcFreeList_.size(); }
+
+    // --- hostile primitives (threat model: OS is an active attacker) -----
+    /** Remaps an arbitrary VA to an arbitrary PA in a victim's tables. */
+    void hostileRemap(Pid pid, hw::Vaddr va, hw::Paddr pa, bool writable,
+                      bool executable);
+
+    /** Unmaps a victim page (forces a walk miss / fault). */
+    void hostileUnmap(Pid pid, hw::Vaddr va);
+
+    /** Reads physical memory directly (cold-boot style probe). */
+    Bytes hostileReadPhys(hw::Paddr pa, std::uint64_t len);
+
+  private:
+    Result<hw::Paddr> allocEpcPage();
+    void freeEpcPage(hw::Paddr pa);
+
+    sgx::Machine& machine_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<hw::Paddr> epcFreeList_;
+    hw::Paddr nextFrame_;
+    std::map<hw::Paddr, EnclaveRecord> enclaves_;
+};
+
+}  // namespace nesgx::os

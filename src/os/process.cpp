@@ -1,0 +1,3 @@
+#include "os/process.h"
+
+// Process is header-only today; this translation unit anchors the target.

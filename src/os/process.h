@@ -1,0 +1,41 @@
+/**
+ * A user process in the OS model: a page table plus a simple untrusted
+ * virtual-address allocator. Enclaves live inside a process's address
+ * space at the author-specified ELRANGE.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "hw/page_table.h"
+#include "hw/types.h"
+
+namespace nesgx::os {
+
+using Pid = std::uint32_t;
+
+class Process {
+  public:
+    explicit Process(Pid pid) : pid_(pid) {}
+
+    Pid pid() const { return pid_; }
+
+    hw::PageTable& pageTable() { return pageTable_; }
+    const hw::PageTable& pageTable() const { return pageTable_; }
+
+    /** Reserves `pages` pages of untrusted virtual address space. */
+    hw::Vaddr reserveUntrusted(std::uint64_t pages)
+    {
+        hw::Vaddr va = untrustedBrk_;
+        untrustedBrk_ += pages * hw::kPageSize;
+        return va;
+    }
+
+  private:
+    Pid pid_;
+    hw::PageTable pageTable_;
+    // Untrusted heap starts well below typical ELRANGE bases.
+    hw::Vaddr untrustedBrk_ = 0x0000'1000'0000ull;
+};
+
+}  // namespace nesgx::os

@@ -1,0 +1,241 @@
+#include "sdk/edl.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace nesgx::sdk {
+
+namespace {
+
+const char*
+sectionKeyword(EdlSection section)
+{
+    switch (section) {
+      case EdlSection::Trusted: return "trusted";
+      case EdlSection::NestedTrusted: return "nested_trusted";
+      case EdlSection::NestedUntrusted: return "nested_untrusted";
+      case EdlSection::Untrusted: return "untrusted";
+    }
+    return "?";
+}
+
+/** Token stream: identifiers, punctuation; // comments skipped. */
+class Lexer {
+  public:
+    explicit Lexer(const std::string& text) : text_(text) {}
+
+    std::string next()
+    {
+        skipSpaceAndComments();
+        if (pos_ >= text_.size()) return "";
+        char c = text_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+            std::string word;
+            while (pos_ < text_.size() &&
+                   (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                    text_[pos_] == '_')) {
+                word += text_[pos_++];
+            }
+            return word;
+        }
+        ++pos_;
+        return std::string(1, c);
+    }
+
+    std::string peek()
+    {
+        std::size_t saved = pos_;
+        std::string token = next();
+        pos_ = saved;
+        return token;
+    }
+
+    bool done()
+    {
+        skipSpaceAndComments();
+        return pos_ >= text_.size();
+    }
+
+  private:
+    void skipSpaceAndComments()
+    {
+        for (;;) {
+            while (pos_ < text_.size() &&
+                   std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+                ++pos_;
+            }
+            if (pos_ + 1 < text_.size() && text_[pos_] == '/' &&
+                text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+                continue;
+            }
+            return;
+        }
+    }
+
+    const std::string& text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+isIdentifier(const std::string& token)
+{
+    if (token.empty()) return false;
+    for (char c : token) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+            return false;
+        }
+    }
+    return !std::isdigit(static_cast<unsigned char>(token[0]));
+}
+
+/** Parses one `[public] bytes name(bytes);` declaration. */
+Result<EdlFunction>
+parseFunction(Lexer& lex, EdlSection section)
+{
+    EdlFunction fn;
+    fn.section = section;
+
+    std::string token = lex.next();
+    if (token == "public") {
+        fn.isPublic = true;
+        token = lex.next();
+    }
+    if (token != "bytes") return Err::BadCallBuffer;  // return type
+    fn.name = lex.next();
+    if (!isIdentifier(fn.name)) return Err::BadCallBuffer;
+    if (lex.next() != "(") return Err::BadCallBuffer;
+    if (lex.next() != "bytes") return Err::BadCallBuffer;  // arg type
+    if (lex.next() != ")") return Err::BadCallBuffer;
+    if (lex.next() != ";") return Err::BadCallBuffer;
+    return fn;
+}
+
+}  // namespace
+
+const EdlFunction*
+EdlSpec::find(EdlSection section, const std::string& name) const
+{
+    for (const auto& fn : functions) {
+        if (fn.section == section && fn.name == name) return &fn;
+    }
+    return nullptr;
+}
+
+std::size_t
+EdlSpec::count(EdlSection section) const
+{
+    return std::size_t(std::count_if(
+        functions.begin(), functions.end(),
+        [section](const EdlFunction& fn) { return fn.section == section; }));
+}
+
+std::string
+EdlSpec::canonical() const
+{
+    std::ostringstream out;
+    out << "enclave " << enclaveName << " {\n";
+    for (EdlSection section :
+         {EdlSection::Trusted, EdlSection::NestedTrusted,
+          EdlSection::NestedUntrusted, EdlSection::Untrusted}) {
+        if (count(section) == 0) continue;
+        out << "    " << sectionKeyword(section) << " {\n";
+        // Canonical order: sorted by name within each section.
+        std::vector<const EdlFunction*> sorted;
+        for (const auto& fn : functions) {
+            if (fn.section == section) sorted.push_back(&fn);
+        }
+        std::sort(sorted.begin(), sorted.end(),
+                  [](const EdlFunction* a, const EdlFunction* b) {
+                      return a->name < b->name;
+                  });
+        for (const EdlFunction* fn : sorted) {
+            out << "        " << (fn->isPublic ? "public " : "")
+                << "bytes " << fn->name << "(bytes);\n";
+        }
+        out << "    }\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+Result<EdlSpec>
+parseEdl(const std::string& text)
+{
+    Lexer lex(text);
+    EdlSpec spec;
+
+    if (lex.next() != "enclave") return Err::BadCallBuffer;
+    spec.enclaveName = lex.next();
+    if (!isIdentifier(spec.enclaveName)) return Err::BadCallBuffer;
+    if (lex.next() != "{") return Err::BadCallBuffer;
+
+    while (!lex.done() && lex.peek() != "}") {
+        std::string keyword = lex.next();
+        EdlSection section;
+        if (keyword == "trusted") {
+            section = EdlSection::Trusted;
+        } else if (keyword == "nested_trusted") {
+            section = EdlSection::NestedTrusted;
+        } else if (keyword == "nested_untrusted") {
+            section = EdlSection::NestedUntrusted;
+        } else if (keyword == "untrusted") {
+            section = EdlSection::Untrusted;
+        } else {
+            return Err::BadCallBuffer;
+        }
+        if (lex.next() != "{") return Err::BadCallBuffer;
+        while (!lex.done() && lex.peek() != "}") {
+            auto fn = parseFunction(lex, section);
+            if (!fn) return fn.status();
+            // Duplicate declarations within a section are rejected.
+            if (spec.find(section, fn.value().name)) {
+                return Err::BadCallBuffer;
+            }
+            spec.functions.push_back(fn.value());
+        }
+        if (lex.next() != "}") return Err::BadCallBuffer;
+    }
+    if (lex.next() != "}") return Err::BadCallBuffer;
+    if (!lex.done()) return Err::BadCallBuffer;
+    return spec;
+}
+
+Status
+validateBinding(const EdlSpec& spec, const EnclaveInterface& iface)
+{
+    // Every declared trusted/nested function must be registered...
+    for (const auto& fn : spec.functions) {
+        switch (fn.section) {
+          case EdlSection::Trusted:
+            if (!iface.findEcall(fn.name)) return Err::NoSuchCall;
+            break;
+          case EdlSection::NestedTrusted:
+            if (!iface.findNEcall(fn.name)) return Err::NoSuchCall;
+            break;
+          case EdlSection::NestedUntrusted:
+            if (!iface.findNOcallTarget(fn.name)) return Err::NoSuchCall;
+            break;
+          case EdlSection::Untrusted:
+            break;  // host-side import, not the enclave's to implement
+        }
+    }
+    // ...and nothing undeclared may be exposed.
+    for (const auto& name : iface.ecallNames()) {
+        if (!spec.find(EdlSection::Trusted, name)) return Err::BadCallBuffer;
+    }
+    for (const auto& name : iface.nEcallNames()) {
+        if (!spec.find(EdlSection::NestedTrusted, name)) {
+            return Err::BadCallBuffer;
+        }
+    }
+    for (const auto& name : iface.nOcallTargetNames()) {
+        if (!spec.find(EdlSection::NestedUntrusted, name)) {
+            return Err::BadCallBuffer;
+        }
+    }
+    return Status::ok();
+}
+
+}  // namespace nesgx::sdk

@@ -1,0 +1,80 @@
+/**
+ * EDL (Enclave Definition Language) front-end.
+ *
+ * The paper extends Intel's EDL so a signed enclave declares, besides
+ * the classic trusted/untrusted sections, the functions crossing the
+ * *nested* boundaries (§IV-C): n_ecalls it exposes to its outer-side
+ * callers and n_ocall services it provides to its inners. This parser
+ * accepts that dialect:
+ *
+ *     enclave ssl_lib {
+ *         trusted {
+ *             public bytes handle(bytes);     // ecall entry points
+ *         }
+ *         nested_trusted {
+ *             bytes decrypt(bytes);           // n_ecall entry points
+ *         }
+ *         nested_untrusted {
+ *             bytes ssl_read(bytes);          // n_ocall targets served
+ *         }
+ *         untrusted {
+ *             bytes net_recv(bytes);          // ocalls this enclave uses
+ *         }
+ *     }
+ *
+ * The declaration is *binding*: validateBinding() checks a registered
+ * EnclaveInterface implements exactly the declared surface, and the EDL
+ * text is folded into the enclave measurement, so a tampered interface
+ * file changes MRENCLAVE. Note the OS cannot gain anything by forging an
+ * EDL (paper §VII-B): calls between peer inner enclaves are refused by
+ * the *hardware* regardless of what any interface file claims — see
+ * tests/test_edl.cpp.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sdk/interface.h"
+#include "support/status.h"
+
+namespace nesgx::sdk {
+
+/** Which boundary a declared function crosses. */
+enum class EdlSection {
+    Trusted,          ///< ecall: untrusted -> this enclave
+    NestedTrusted,    ///< n_ecall: outer -> this (inner) enclave
+    NestedUntrusted,  ///< n_ocall target: this (outer) serves its inners
+    Untrusted,        ///< ocall: this enclave -> untrusted host
+};
+
+struct EdlFunction {
+    EdlSection section = EdlSection::Trusted;
+    std::string name;
+    bool isPublic = false;  ///< `public` keyword (root ecall), as in SGX
+};
+
+struct EdlSpec {
+    std::string enclaveName;
+    std::vector<EdlFunction> functions;
+
+    const EdlFunction* find(EdlSection section,
+                            const std::string& name) const;
+    std::size_t count(EdlSection section) const;
+
+    /** Canonical text form (used for measurement folding). */
+    std::string canonical() const;
+};
+
+/** Parses EDL text; BadCallBuffer with no spec on syntax errors. */
+Result<EdlSpec> parseEdl(const std::string& text);
+
+/**
+ * Checks that an EnclaveInterface implements exactly the declared
+ * surface: every declared trusted/nested function is registered, and
+ * nothing undeclared is exposed. (Declared `untrusted` imports are the
+ * host's obligation and are not checked here.)
+ */
+Status validateBinding(const EdlSpec& spec, const EnclaveInterface& iface);
+
+}  // namespace nesgx::sdk

@@ -1,0 +1,46 @@
+#include "sdk/heap.h"
+
+namespace nesgx::sdk {
+
+hw::Vaddr
+TrustedHeap::alloc(std::uint64_t size)
+{
+    std::uint64_t rounded = roundUp(size == 0 ? 1 : size);
+
+    // LIFO recycling: the most recently freed block of this size class is
+    // handed out first (contents intact).
+    auto it = freeLists_.find(rounded);
+    if (it != freeLists_.end() && !it->second.empty()) {
+        hw::Vaddr va = it->second.back();
+        it->second.pop_back();
+        allocated_[va] = rounded;
+        inUse_ += rounded;
+        return va;
+    }
+
+    if (brk_ + rounded > end_) return 0;
+    hw::Vaddr va = brk_;
+    brk_ += rounded;
+    allocated_[va] = rounded;
+    inUse_ += rounded;
+    return va;
+}
+
+void
+TrustedHeap::free(hw::Vaddr va)
+{
+    auto it = allocated_.find(va);
+    if (it == allocated_.end()) return;
+    freeLists_[it->second].push_back(va);
+    inUse_ -= it->second;
+    allocated_.erase(it);
+}
+
+std::uint64_t
+TrustedHeap::blockSize(hw::Vaddr va) const
+{
+    auto it = allocated_.find(va);
+    return it == allocated_.end() ? 0 : it->second;
+}
+
+}  // namespace nesgx::sdk

@@ -1,0 +1,52 @@
+/**
+ * Trusted in-enclave heap allocator.
+ *
+ * Allocates from the enclave's heap region (real EPC-backed emulated
+ * memory). Free blocks are recycled LIFO and — deliberately, as in real
+ * allocators — *not* scrubbed, which is precisely the behaviour the
+ * HeartBleed case study (paper §VI-A) depends on: a freed buffer holding
+ * secrets is re-used for an attacker-influenced allocation.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hw/types.h"
+#include "support/status.h"
+
+namespace nesgx::sdk {
+
+class TrustedHeap {
+  public:
+    TrustedHeap() = default;
+    TrustedHeap(hw::Vaddr base, std::uint64_t size)
+        : base_(base), end_(base + size), brk_(base)
+    {
+    }
+
+    /** Allocates `size` bytes (16-byte granularity); 0 on exhaustion. */
+    hw::Vaddr alloc(std::uint64_t size);
+
+    /** Returns a block to the allocator; contents are left intact. */
+    void free(hw::Vaddr va);
+
+    /** Size originally requested for a live or recycled block. */
+    std::uint64_t blockSize(hw::Vaddr va) const;
+
+    std::uint64_t bytesInUse() const { return inUse_; }
+    hw::Vaddr base() const { return base_; }
+
+  private:
+    static std::uint64_t roundUp(std::uint64_t v) { return (v + 15) & ~15ull; }
+
+    hw::Vaddr base_ = 0;
+    hw::Vaddr end_ = 0;
+    hw::Vaddr brk_ = 0;
+    std::uint64_t inUse_ = 0;
+    std::map<hw::Vaddr, std::uint64_t> allocated_;  // va -> rounded size
+    std::map<std::uint64_t, std::vector<hw::Vaddr>> freeLists_;
+};
+
+}  // namespace nesgx::sdk

@@ -1,0 +1,97 @@
+#include "sdk/interface.h"
+
+namespace nesgx::sdk {
+
+void
+EnclaveInterface::addEcall(const std::string& name, TrustedFn fn)
+{
+    ecalls_[name] = std::move(fn);
+}
+
+void
+EnclaveInterface::addNEcall(const std::string& name, TrustedFn fn)
+{
+    nEcalls_[name] = std::move(fn);
+}
+
+void
+EnclaveInterface::addNOcallTarget(const std::string& name, TrustedFn fn)
+{
+    nOcallTargets_[name] = std::move(fn);
+}
+
+const TrustedFn*
+EnclaveInterface::findEcall(const std::string& name) const
+{
+    auto it = ecalls_.find(name);
+    return it == ecalls_.end() ? nullptr : &it->second;
+}
+
+const TrustedFn*
+EnclaveInterface::findNEcall(const std::string& name) const
+{
+    auto it = nEcalls_.find(name);
+    return it == nEcalls_.end() ? nullptr : &it->second;
+}
+
+const TrustedFn*
+EnclaveInterface::findNOcallTarget(const std::string& name) const
+{
+    auto it = nOcallTargets_.find(name);
+    return it == nOcallTargets_.end() ? nullptr : &it->second;
+}
+
+namespace {
+
+template <typename Table>
+std::vector<std::string>
+keysOf(const Table& table)
+{
+    std::vector<std::string> out;
+    out.reserve(table.size());
+    for (const auto& [name, fn] : table) {
+        (void)fn;
+        out.push_back(name);
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<std::string>
+EnclaveInterface::ecallNames() const
+{
+    return keysOf(ecalls_);
+}
+
+std::vector<std::string>
+EnclaveInterface::nEcallNames() const
+{
+    return keysOf(nEcalls_);
+}
+
+std::vector<std::string>
+EnclaveInterface::nOcallTargetNames() const
+{
+    return keysOf(nOcallTargets_);
+}
+
+Bytes
+EnclaveInterface::interfaceDigestInput() const
+{
+    Bytes out;
+    auto fold = [&out](const char* kind, const auto& table) {
+        append(out, bytesOf(kind));
+        for (const auto& [name, fn] : table) {
+            (void)fn;
+            append(out, bytesOf(name));
+            out.push_back(0);
+        }
+    };
+    fold("ecall:", ecalls_);
+    fold("n_ecall:", nEcalls_);
+    fold("n_ocall:", nOcallTargets_);
+    return out;
+}
+
+}  // namespace nesgx::sdk

@@ -1,0 +1,313 @@
+#include "sdk/runtime.h"
+
+namespace nesgx::sdk {
+
+// ---------------------------------------------------------------- TrustedEnv
+
+sgx::Machine&
+TrustedEnv::machine()
+{
+    return urts_.machine();
+}
+
+Result<Bytes>
+TrustedEnv::readBytes(hw::Vaddr va, std::uint64_t len)
+{
+    Bytes out(len);
+    Status st = machine().read(core_, va, out.data(), len);
+    if (!st) return st;
+    return out;
+}
+
+Status
+TrustedEnv::writeBytes(hw::Vaddr va, ByteView data)
+{
+    return machine().write(core_, va, data.data(), data.size());
+}
+
+Result<std::uint64_t>
+TrustedEnv::readU64(hw::Vaddr va)
+{
+    std::uint8_t buf[8];
+    Status st = machine().read(core_, va, buf, 8);
+    if (!st) return st;
+    return loadLe64(buf);
+}
+
+Status
+TrustedEnv::writeU64(hw::Vaddr va, std::uint64_t v)
+{
+    std::uint8_t buf[8];
+    storeLe64(buf, v);
+    return machine().write(core_, va, buf, 8);
+}
+
+Result<Bytes>
+TrustedEnv::ocall(const std::string& name, ByteView arg)
+{
+    auto it = urts_.ocalls_.find(name);
+    if (it == urts_.ocalls_.end()) return Err::NoSuchCall;
+
+    sgx::Machine& m = machine();
+    // The model restricts synchronous EEXIT to depth 1; the SDK routes
+    // inner-enclave ocalls through the outer (use nOcall + outer ocall).
+    if (m.core(core_).depth() != 1) return Err::GeneralProtection;
+    hw::Paddr tcs = m.core(core_).currentTcs();
+
+    m.charge(m.costs().ocallDispatch);
+    m.charge(m.costs().copyBytes(arg.size()));
+    ++urts_.stats_.ocalls;
+
+    Status st = m.eexit(core_);
+    if (!st) return st;
+    Result<Bytes> result = it->second(arg);
+    Status back = m.eenter(core_, tcs);
+    if (!back) return back;
+    if (result) m.charge(m.costs().copyBytes(result.value().size()));
+    return result;
+}
+
+Result<Bytes>
+TrustedEnv::nEcall(LoadedEnclave& inner, const std::string& name, ByteView arg)
+{
+    const TrustedFn* fn = inner.image().spec.interface->findNEcall(name);
+    if (!fn) return Err::NoSuchCall;
+    auto tcs = urts_.idleTcs(inner);
+    if (!tcs) return tcs.status();
+
+    sgx::Machine& m = machine();
+    m.charge(m.costs().nEcallDispatch);
+    // Arguments pass by reference through the shared outer enclave
+    // memory: no marshalling copy and no software encryption — the
+    // data-path (LLC/MEE) cost is charged when the callee touches the
+    // bytes (paper §IV-A).
+    ++urts_.stats_.nEcalls;
+
+    Status st = m.neenter(core_, tcs.value());
+    if (!st) return st;
+    TrustedEnv innerEnv(urts_, inner, core_);
+    Result<Bytes> result = (*fn)(innerEnv, arg);
+    Status back = m.neexit(core_);
+    if (!back) return back;
+    return result;
+}
+
+Result<Bytes>
+TrustedEnv::nOcall(const std::string& name, ByteView arg)
+{
+    sgx::Machine& m = machine();
+    // NEEXIT returns to the outer frame we were NEENTERed from — under
+    // the multi-outer extension that may be any of our outers, so the
+    // target enclave is resolved from the frame stack, not statically.
+    if (m.core(core_).depth() < 2) return Err::GeneralProtection;
+    const auto& frames = m.core(core_).frames();
+    LoadedEnclave* outer =
+        urts_.enclaveBySecs(frames[frames.size() - 2].secs);
+    if (!outer) return Err::GeneralProtection;
+    const TrustedFn* fn =
+        outer->image().spec.interface->findNOcallTarget(name);
+    if (!fn) return Err::NoSuchCall;
+
+    hw::Paddr innerTcs = m.core(core_).currentTcs();
+
+    m.charge(m.costs().nOcallDispatch);
+    // As with n_ecall: by-reference through the shared outer memory.
+    ++urts_.stats_.nOcalls;
+
+    Status st = m.neexit(core_);
+    if (!st) return st;
+    TrustedEnv outerEnv(urts_, *outer, core_);
+    Result<Bytes> result = (*fn)(outerEnv, arg);
+    Status back = m.neenter(core_, innerTcs);
+    if (!back) return back;
+    return result;
+}
+
+Result<sgx::Report>
+TrustedEnv::getReport(const sgx::TargetInfo& target,
+                      const sgx::ReportData& data)
+{
+    return machine().ereport(core_, target, data);
+}
+
+Result<sgx::NestedReport>
+TrustedEnv::getNestedReport(const sgx::TargetInfo& target,
+                            const sgx::ReportData& data)
+{
+    return machine().nereport(core_, target, data);
+}
+
+Result<crypto::Sha256Digest>
+TrustedEnv::getSealKey()
+{
+    return machine().egetkeySeal(core_);
+}
+
+void
+TrustedEnv::chargeCycles(std::uint64_t cycles)
+{
+    machine().charge(cycles);
+}
+
+void
+TrustedEnv::chargeGcm(std::uint64_t bytes)
+{
+    machine().charge(machine().costs().gcmMessage(bytes));
+}
+
+// ----------------------------------------------------------------------- Urts
+
+Urts::Urts(os::Kernel& kernel, os::Pid pid) : kernel_(kernel), pid_(pid) {}
+
+hw::Vaddr
+Urts::nextBase(std::uint64_t sizeBytes)
+{
+    // ELRANGE must be naturally aligned to its (power-of-two) size.
+    hw::Vaddr base = (nextEnclaveBase_ + sizeBytes - 1) & ~(sizeBytes - 1);
+    nextEnclaveBase_ = base + sizeBytes;
+    return base;
+}
+
+Result<LoadedEnclave*>
+Urts::load(const SignedEnclave& image)
+{
+    auto enclave = std::make_unique<LoadedEnclave>();
+    enclave->image_ = image;
+    enclave->base_ = nextBase(image.sizeBytes);
+
+    auto secs = kernel_.createEnclave(pid_, enclave->base_, image.sizeBytes,
+                                      image.spec.attributes);
+    if (!secs) return secs.status();
+    enclave->secsPage_ = secs.value();
+
+    const os::EnclaveRecord* recBefore =
+        kernel_.enclaveRecord(enclave->secsPage_);
+    (void)recBefore;
+    for (const auto& page : image.pages) {
+        Status st = kernel_.addPage(enclave->secsPage_,
+                                    enclave->base_ + page.offset, page.type,
+                                    page.perms, page.content);
+        if (!st) return st;
+        if (page.type == sgx::PageType::Tcs) {
+            const os::EnclaveRecord* rec =
+                kernel_.enclaveRecord(enclave->secsPage_);
+            enclave->tcsPages_.push_back(
+                rec->pages.at(enclave->base_ + page.offset));
+        }
+    }
+
+    Status st = kernel_.initEnclave(enclave->secsPage_, image.sigstruct);
+    if (!st) return st;
+
+    enclave->heap_ =
+        TrustedHeap(enclave->base_ + image.heapOffset, image.heapBytes);
+
+    enclaves_.push_back(std::move(enclave));
+    return enclaves_.back().get();
+}
+
+Status
+Urts::unload(LoadedEnclave* enclave)
+{
+    return kernel_.destroyEnclave(enclave->secsPage_);
+}
+
+Status
+Urts::associate(LoadedEnclave* inner, LoadedEnclave* outer)
+{
+    Status st = kernel_.associate(inner->secsPage_, outer->secsPage_);
+    if (!st) return st;
+    if (!inner->outer_) inner->outer_ = outer;  // primary
+    outer->inners_.push_back(inner);
+    return Status::ok();
+}
+
+LoadedEnclave*
+Urts::enclaveBySecs(hw::Paddr secsPage)
+{
+    for (const auto& enclave : enclaves_) {
+        if (enclave->secsPage_ == secsPage) return enclave.get();
+    }
+    return nullptr;
+}
+
+void
+Urts::registerOcall(const std::string& name, UntrustedFn fn)
+{
+    ocalls_[name] = std::move(fn);
+}
+
+Result<hw::Paddr>
+Urts::idleTcs(LoadedEnclave& enclave)
+{
+    for (hw::Paddr tcs : enclave.tcsPages_) {
+        sgx::Tcs* t = machine().tcsAt(tcs);
+        if (t && !t->busy) return tcs;
+    }
+    return Err::GeneralProtection;
+}
+
+Result<Bytes>
+Urts::ecall(LoadedEnclave* enclave, const std::string& name, ByteView arg,
+            hw::CoreId core)
+{
+    const EnclaveInterface& iface = *enclave->image().spec.interface;
+    // Paper Fig. 5: untrusted code can EENTER an inner enclave directly,
+    // so an n_ecall entry point is also reachable as a plain ecall.
+    const TrustedFn* fn = iface.findEcall(name);
+    if (!fn) fn = iface.findNEcall(name);
+    if (!fn) return Err::NoSuchCall;
+
+    auto tcs = idleTcs(*enclave);
+    if (!tcs) return tcs.status();
+
+    sgx::Machine& m = machine();
+    m.charge(m.costs().ecallDispatch);
+    // ecall arguments traverse untrusted memory into the enclave.
+    m.charge(m.costs().copyBytes(arg.size()));
+    ++stats_.ecalls;
+
+    Status st = m.eenter(core, tcs.value());
+    if (!st) return st;
+    TrustedEnv env(*this, *enclave, core);
+    Result<Bytes> result = (*fn)(env, arg);
+    Status back = m.eexit(core);
+    if (!back) return back;
+    if (result) m.charge(m.costs().copyBytes(result.value().size()));
+    return result;
+}
+
+Result<Bytes>
+Urts::ecallNested(LoadedEnclave* outer, LoadedEnclave* inner,
+                  const std::string& name, ByteView arg, hw::CoreId core)
+{
+    // Validate against the hardware-recorded association (any of the
+    // inner's outers qualifies under the multi-outer extension).
+    const sgx::Secs* innerSecs = machine().secsAt(inner->secsPage_);
+    if (!innerSecs || !innerSecs->hasOuter(outer->secsPage_)) {
+        return Err::GeneralProtection;
+    }
+    auto outerTcs = idleTcs(*outer);
+    if (!outerTcs) return outerTcs.status();
+
+    sgx::Machine& m = machine();
+    m.charge(m.costs().ecallDispatch);
+    m.charge(m.costs().copyBytes(arg.size()));
+    ++stats_.ecalls;
+
+    Status st = m.eenter(core, outerTcs.value());
+    if (!st) return st;
+    TrustedEnv outerEnv(*this, *outer, core);
+    Result<Bytes> result = outerEnv.nEcall(*inner, name, arg);
+    Status back = m.eexit(core);
+    if (!back) return back;
+    return result;
+}
+
+Result<hw::Paddr>
+Urts::debugTranslate(hw::Vaddr va, hw::CoreId core)
+{
+    return machine().translate(core, va, hw::Access::Read);
+}
+
+}  // namespace nesgx::sdk

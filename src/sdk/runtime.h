@@ -1,0 +1,185 @@
+/**
+ * The nesgx runtimes.
+ *
+ * Urts (untrusted runtime) loads signed enclave images through the OS
+ * driver, dispatches ecalls, serves ocalls, and wires nested enclaves
+ * together (NASSO). TrustedEnv is the view a trusted function gets of its
+ * enclave: validated memory access, the trusted heap, ocall/n_ecall/
+ * n_ocall transitions, attestation, and work-cycle charging hooks for the
+ * performance experiments.
+ *
+ * All transitions run the real machine leaves (EENTER/NEENTER/...), so
+ * every call a case study makes pays the Table-II-calibrated cost and the
+ * transition counters the figures report come from hardware-model stats.
+ */
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "os/kernel.h"
+#include "sdk/heap.h"
+#include "sdk/image.h"
+#include "sdk/interface.h"
+#include "sgx/machine.h"
+#include "support/status.h"
+
+namespace nesgx::sdk {
+
+class Urts;
+
+/** A loaded enclave instance. */
+class LoadedEnclave {
+  public:
+    const std::string& name() const { return image_.spec.name; }
+    hw::Paddr secsPage() const { return secsPage_; }
+    hw::Vaddr base() const { return base_; }
+    std::uint64_t size() const { return image_.sizeBytes; }
+    const SignedEnclave& image() const { return image_; }
+    const sgx::Measurement& mrenclave() const { return image_.mrenclave; }
+    const sgx::Measurement& mrsigner() const { return image_.mrsigner; }
+    TrustedHeap& heap() { return heap_; }
+
+    /** The primary outer enclave this one nests inside, if associated. */
+    LoadedEnclave* outer() const { return outer_; }
+
+  private:
+    friend class Urts;
+    friend class TrustedEnv;
+
+    SignedEnclave image_;
+    hw::Paddr secsPage_ = 0;
+    hw::Vaddr base_ = 0;
+    std::vector<hw::Paddr> tcsPages_;
+    TrustedHeap heap_;
+    LoadedEnclave* outer_ = nullptr;
+    std::vector<LoadedEnclave*> inners_;
+};
+
+/** Window a trusted function has onto its enclave world. */
+class TrustedEnv {
+  public:
+    TrustedEnv(Urts& urts, LoadedEnclave& enclave, hw::CoreId core)
+        : urts_(urts), enclave_(enclave), core_(core)
+    {
+    }
+
+    LoadedEnclave& enclave() { return enclave_; }
+    hw::CoreId core() const { return core_; }
+    sgx::Machine& machine();
+
+    // --- trusted heap ----------------------------------------------------
+    /** Allocates in this enclave's heap; 0 when exhausted. */
+    hw::Vaddr alloc(std::uint64_t size) { return enclave_.heap().alloc(size); }
+    void free(hw::Vaddr va) { enclave_.heap().free(va); }
+
+    // --- validated memory access (full Fig.-6 path) -----------------------
+    Result<Bytes> readBytes(hw::Vaddr va, std::uint64_t len);
+    Status writeBytes(hw::Vaddr va, ByteView data);
+    Result<std::uint64_t> readU64(hw::Vaddr va);
+    Status writeU64(hw::Vaddr va, std::uint64_t v);
+
+    // --- transitions -------------------------------------------------------
+    /** ocall: enclave -> untrusted function registered with the Urts. */
+    Result<Bytes> ocall(const std::string& name, ByteView arg);
+
+    /** n_ecall: outer -> inner enclave function (NEENTER/NEEXIT). */
+    Result<Bytes> nEcall(LoadedEnclave& inner, const std::string& name,
+                         ByteView arg);
+
+    /** n_ocall: inner -> outer enclave function (NEEXIT/NEENTER). */
+    Result<Bytes> nOcall(const std::string& name, ByteView arg);
+
+    // --- attestation -------------------------------------------------------
+    Result<sgx::Report> getReport(const sgx::TargetInfo& target,
+                                  const sgx::ReportData& data);
+    Result<sgx::NestedReport> getNestedReport(const sgx::TargetInfo& target,
+                                              const sgx::ReportData& data);
+    Result<crypto::Sha256Digest> getSealKey();
+
+    // --- modelling hooks ----------------------------------------------------
+    /** Charges app compute work on the simulated clock. */
+    void chargeCycles(std::uint64_t cycles);
+    /** Charges a software AES-GCM pass over n bytes (cost model). */
+    void chargeGcm(std::uint64_t bytes);
+
+  private:
+    Urts& urts_;
+    LoadedEnclave& enclave_;
+    hw::CoreId core_;
+};
+
+class Urts {
+  public:
+    struct CallStats {
+        std::uint64_t ecalls = 0;
+        std::uint64_t ocalls = 0;
+        std::uint64_t nEcalls = 0;
+        std::uint64_t nOcalls = 0;
+        std::uint64_t totalCalls() const
+        {
+            return ecalls + ocalls + nEcalls + nOcalls;
+        }
+    };
+
+    /** @param kernel OS model; @param pid process hosting the enclaves. */
+    Urts(os::Kernel& kernel, os::Pid pid);
+
+    os::Kernel& kernel() { return kernel_; }
+    sgx::Machine& machine() { return kernel_.machine(); }
+    os::Pid pid() const { return pid_; }
+
+    /**
+     * Loads a signed enclave image: ECREATE, EADD+EEXTEND every page in
+     * layout order, EINIT against the SIGSTRUCT. Returns the instance.
+     */
+    Result<LoadedEnclave*> load(const SignedEnclave& image);
+
+    /** Unloads (EREMOVE) an enclave. */
+    Status unload(LoadedEnclave* enclave);
+
+    /** NASSO wrapper: associates inner with outer and links runtimes. */
+    Status associate(LoadedEnclave* inner, LoadedEnclave* outer);
+
+    /** Registers an untrusted function servable via ocall. */
+    void registerOcall(const std::string& name, UntrustedFn fn);
+
+    /** ecall into an enclave (EENTER -> dispatch -> EEXIT). */
+    Result<Bytes> ecall(LoadedEnclave* enclave, const std::string& name,
+                        ByteView arg, hw::CoreId core = 0);
+
+    /**
+     * Convenience for per-user inner calls: EENTER the outer enclave and
+     * NEENTER the inner from there (ecall + n_ecall in one round trip).
+     */
+    Result<Bytes> ecallNested(LoadedEnclave* outer, LoadedEnclave* inner,
+                              const std::string& name, ByteView arg,
+                              hw::CoreId core = 0);
+
+    const CallStats& stats() const { return stats_; }
+    void resetStats() { stats_ = CallStats{}; }
+
+    /** Untrusted-side view of an enclave VA's backing frame (for tests). */
+    Result<hw::Paddr> debugTranslate(hw::Vaddr va, hw::CoreId core = 0);
+
+    /** Loaded-enclave lookup by SECS physical address. */
+    LoadedEnclave* enclaveBySecs(hw::Paddr secsPage);
+
+  private:
+    friend class TrustedEnv;
+
+    Result<Bytes> dispatchTrusted(LoadedEnclave& enclave, const TrustedFn& fn,
+                                  ByteView arg, hw::CoreId core);
+    Result<hw::Paddr> idleTcs(LoadedEnclave& enclave);
+    hw::Vaddr nextBase(std::uint64_t sizeBytes);
+
+    os::Kernel& kernel_;
+    os::Pid pid_;
+    std::map<std::string, UntrustedFn> ocalls_;
+    std::vector<std::unique_ptr<LoadedEnclave>> enclaves_;
+    hw::Vaddr nextEnclaveBase_ = 0x7000'0000'0000ull;
+    CallStats stats_;
+};
+
+}  // namespace nesgx::sdk

@@ -1,0 +1,58 @@
+#include "sdk/sealing.h"
+
+#include "crypto/gcm.h"
+
+namespace nesgx::sdk {
+
+namespace {
+
+constexpr std::size_t kIvSize = crypto::kGcmIvSize;
+
+Result<crypto::AesGcm>
+sealCipher(TrustedEnv& env)
+{
+    auto key = env.getSealKey();
+    if (!key) return key.status();
+    return crypto::AesGcm(ByteView(key.value().data(), 16));
+}
+
+}  // namespace
+
+Result<Bytes>
+sealData(TrustedEnv& env, ByteView data)
+{
+    auto gcm = sealCipher(env);
+    if (!gcm) return gcm.status();
+
+    // IV derived from a per-call counter kept on the simulated clock —
+    // unique within a machine lifetime (the clock is monotonic and every
+    // EGETKEY above already advanced it).
+    Bytes iv(kIvSize, 0);
+    storeLe64(iv.data(), env.machine().clock().cycles());
+
+    Bytes sealed = gcm.value().seal(iv, {}, data);
+    env.chargeGcm(data.size());
+
+    Bytes blob;
+    append(blob, iv);
+    append(blob, sealed);
+    return blob;
+}
+
+Result<Bytes>
+unsealData(TrustedEnv& env, ByteView blob)
+{
+    if (blob.size() < kIvSize + crypto::kGcmTagSize) {
+        return Err::BadCallBuffer;
+    }
+    auto gcm = sealCipher(env);
+    if (!gcm) return gcm.status();
+
+    ByteView iv(blob.data(), kIvSize);
+    ByteView sealed(blob.data() + kIvSize, blob.size() - kIvSize);
+    auto plain = gcm.value().open(iv, {}, sealed);
+    if (plain) env.chargeGcm(plain.value().size());
+    return plain;
+}
+
+}  // namespace nesgx::sdk

@@ -1,0 +1,22 @@
+/**
+ * Sealed storage: encrypt enclave data for untrusted persistence, bound
+ * to the author identity via the MRSIGNER-derived seal key (EGETKEY).
+ * Any enclave by the same author on the same machine can unseal — the
+ * standard SGX data-migration property.
+ */
+#pragma once
+
+#include "sdk/runtime.h"
+
+namespace nesgx::sdk {
+
+/**
+ * Seals `data` under the calling enclave's seal key. Output is a
+ * self-contained blob (IV || ciphertext || tag) safe to hand to the OS.
+ */
+Result<Bytes> sealData(TrustedEnv& env, ByteView data);
+
+/** Verifies and decrypts a sealed blob produced by sealData. */
+Result<Bytes> unsealData(TrustedEnv& env, ByteView blob);
+
+}  // namespace nesgx::sdk

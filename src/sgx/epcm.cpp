@@ -1,0 +1,15 @@
+#include "sgx/epcm.h"
+
+namespace nesgx::sgx {
+
+std::uint64_t
+Epcm::countOwnedBy(hw::Paddr secsPa) const
+{
+    std::uint64_t n = 0;
+    for (const auto& e : entries_) {
+        if (e.valid && e.ownerSecs == secsPa) ++n;
+    }
+    return n;
+}
+
+}  // namespace nesgx::sgx

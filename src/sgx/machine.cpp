@@ -1,0 +1,141 @@
+#include "sgx/machine.h"
+
+#include <set>
+
+namespace nesgx::sgx {
+
+Machine::Machine() : Machine(Config{}) {}
+
+Machine::Machine(const Config& config)
+    : mem_(config.dramBytes, config.prmBase, config.prmBytes),
+      clock_(),
+      costs_(hw::CostModel::forPreset(config.preset)),
+      llc_(config.llcBytes),
+      epcm_(config.prmBytes >> hw::kPageShift),
+      rng_(config.rngSeed)
+{
+    cores_.reserve(config.coreCount);
+    for (std::uint32_t i = 0; i < config.coreCount; ++i) {
+        cores_.emplace_back(i);
+    }
+    // Per-device root key: in real SGX this is fused; the model draws it
+    // from the seeded RNG so attestation keys are stable per machine.
+    rootKey_ = rng_.bytes(32);
+    Bytes pagingKey = rng_.bytes(16);
+    pagingGcm_ = std::make_unique<crypto::AesGcm>(pagingKey);
+}
+
+Secs*
+Machine::secsAt(hw::Paddr pa)
+{
+    auto it = secsTable_.find(pa);
+    return it == secsTable_.end() ? nullptr : &it->second;
+}
+
+const Secs*
+Machine::secsAt(hw::Paddr pa) const
+{
+    auto it = secsTable_.find(pa);
+    return it == secsTable_.end() ? nullptr : &it->second;
+}
+
+Tcs*
+Machine::tcsAt(hw::Paddr pa)
+{
+    auto it = tcsTable_.find(pa);
+    return it == tcsTable_.end() ? nullptr : &it->second;
+}
+
+void
+Machine::flushCoreTlb(hw::CoreId coreId)
+{
+    cores_[coreId].tlb().flushAll();
+    // A flushed core no longer caches stale translations: drop it from
+    // every active ETRACK tracking set (paper §IV-E thread tracking).
+    for (auto& [pa, secs] : secsTable_) {
+        if (secs.trackingActive) secs.trackingSet.erase(coreId);
+    }
+}
+
+void
+Machine::chargeDataPath(hw::Paddr pa, std::uint64_t len)
+{
+    if (len == 0) return;
+    hw::Paddr first = hw::lineBase(pa);
+    hw::Paddr last = hw::lineBase(pa + len - 1);
+    for (hw::Paddr line = first; line <= last; line += hw::kCacheLineSize) {
+        bool hit = llc_.touch(line);
+        if (hit) {
+            charge(costs_.llcHitLine);
+            ++stats_.llcHitLines;
+        } else if (mem_.inPrm(line)) {
+            // Off-chip EPC traffic goes through the MEE: AES-CTR at
+            // cacheline granularity plus integrity-tree work.
+            charge(costs_.meeLine);
+            ++stats_.meeLines;
+        } else {
+            charge(costs_.dramLine);
+        }
+    }
+}
+
+std::vector<hw::Paddr>
+Machine::outerClosure(hw::Paddr secsPage) const
+{
+    std::vector<hw::Paddr> order;
+    std::set<hw::Paddr> visited{secsPage};
+    std::vector<hw::Paddr> frontier{secsPage};
+    while (!frontier.empty()) {
+        hw::Paddr cur = frontier.back();
+        frontier.pop_back();
+        const Secs* s = secsAt(cur);
+        if (!s) continue;
+        for (hw::Paddr outer : s->outerEids) {
+            if (visited.insert(outer).second) {
+                order.push_back(outer);
+                frontier.push_back(outer);
+            }
+        }
+    }
+    return order;
+}
+
+std::vector<hw::CoreId>
+Machine::trackedCores(hw::Paddr secsPage) const
+{
+    // A core may cache translations of enclave E if any frame on its
+    // enclave stack is E *or reaches E through the association graph* —
+    // an inner-enclave thread touches its outers' pages (paper §IV-E,
+    // extended across multi-level/multi-outer nests per §VIII).
+    std::vector<hw::CoreId> out;
+    for (const auto& core : cores_) {
+        bool tracked = false;
+        for (const auto& frame : core.frames()) {
+            if (frame.secs == secsPage) {
+                tracked = true;
+                break;
+            }
+            for (hw::Paddr outer : outerClosure(frame.secs)) {
+                if (outer == secsPage) {
+                    tracked = true;
+                    break;
+                }
+            }
+            if (tracked) break;
+        }
+        if (tracked) out.push_back(core.id());
+    }
+    return out;
+}
+
+void
+Machine::ipiShootdown(hw::Paddr secsPage)
+{
+    for (hw::CoreId id : trackedCores(secsPage)) {
+        charge(costs_.ipi);
+        ++stats_.ipiCount;
+        aex(id);
+    }
+}
+
+}  // namespace nesgx::sgx

@@ -1,0 +1,254 @@
+/**
+ * The emulated SGX machine with the nested-enclave hardware extension.
+ *
+ * Owns the physical memory (with PRM/EPC), the EPCM, the per-core TLBs,
+ * the LLC + MEE cost path, the device root key, and implements every
+ * ENCLS/ENCLU leaf the reproduction needs:
+ *
+ *   ENCLS (privileged, invoked by the OS model):
+ *     ECREATE EADD EEXTEND EINIT EREMOVE EBLOCK ETRACK EWB ELDU NASSO
+ *   ENCLU (user):
+ *     EENTER ERESUME EEXIT EREPORT EGETKEY NEENTER NEEXIT NEREPORT
+ *
+ * plus AEX and the TLB-miss access-validation flow of paper Fig. 6.
+ *
+ * Model notes (documented simplifications):
+ *  - EPC contents are stored as plaintext; MEE confidentiality against
+ *    physical attack is modelled by cycle cost, and by real AES-GCM on the
+ *    EWB/ELDU path where bits actually leave the PRM.
+ *  - EEXIT requires nesting depth 1 (#GP otherwise); the SDK routes inner
+ *    ocalls through the outer enclave. The paper's Fig. 5 direct
+ *    inner->untrusted edge is still available for threads that EENTERed an
+ *    inner enclave directly.
+ *  - Version-array pages are modelled as a machine-internal replay counter
+ *    table rather than VA EPC pages.
+ */
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "crypto/gcm.h"
+#include "hw/cache.h"
+#include "hw/core.h"
+#include "hw/cost_model.h"
+#include "hw/page_table.h"
+#include "hw/phys_memory.h"
+#include "hw/sim_clock.h"
+#include "sgx/epcm.h"
+#include "sgx/report.h"
+#include "sgx/secs.h"
+#include "sgx/sigstruct.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace nesgx::sgx {
+
+/** Ciphertext blob produced by EWB, held in untrusted memory by the OS. */
+struct EvictedPage {
+    Bytes ciphertext;        ///< page content + GCM tag
+    std::array<std::uint8_t, 12> iv{};
+    hw::Vaddr vaddr = 0;
+    PageType type = PageType::Reg;
+    PagePerms perms;
+    EnclaveId ownerEid = 0;
+    std::uint64_t versionSlot = 0;
+    std::uint64_t version = 0;
+};
+
+class Machine {
+  public:
+    struct Config {
+        std::uint64_t dramBytes = 256ull << 20;
+        hw::Paddr prmBase = 128ull << 20;
+        std::uint64_t prmBytes = 64ull << 20;
+        std::uint32_t coreCount = 4;
+        std::uint64_t llcBytes = 8ull << 20;
+        hw::CostPreset preset = hw::CostPreset::EmulatedNested;
+        std::uint64_t rngSeed = 42;
+    };
+
+    Machine();
+    explicit Machine(const Config& config);
+
+    // --- accessors ------------------------------------------------------
+    hw::PhysicalMemory& mem() { return mem_; }
+    const hw::PhysicalMemory& mem() const { return mem_; }
+    hw::SimClock& clock() { return clock_; }
+    const hw::SimClock& clock() const { return clock_; }
+    const hw::CostModel& costs() const { return costs_; }
+    hw::LastLevelCache& llc() { return llc_; }
+    Epcm& epcm() { return epcm_; }
+    const Epcm& epcm() const { return epcm_; }
+    hw::Core& core(hw::CoreId id) { return cores_[id]; }
+    std::uint32_t coreCount() const { return std::uint32_t(cores_.size()); }
+
+    /** SECS lookup by EPC physical address (null when not a live SECS). */
+    Secs* secsAt(hw::Paddr pa);
+    const Secs* secsAt(hw::Paddr pa) const;
+    Tcs* tcsAt(hw::Paddr pa);
+
+    /** Charges `cycles` on the simulated clock. */
+    void charge(std::uint64_t cycles) { clock_.advance(cycles); }
+
+    // --- ENCLS: lifecycle (machine_lifecycle.cpp) ------------------------
+    /** ECREATE: turns a free EPC page into a SECS. */
+    Status ecreate(hw::Paddr secsPage, hw::Vaddr baseAddr, std::uint64_t size,
+                   std::uint64_t attributes);
+
+    /**
+     * EADD: adds an EPC page to an enclave. `src` supplies initial content
+     * for REG pages (must be one page, or empty for zero-fill).
+     */
+    Status eadd(hw::Paddr secsPage, hw::Paddr epcPage, hw::Vaddr vaddr,
+                PageType type, PagePerms perms, ByteView src);
+
+    /** EEXTEND: measures the full page in 256-byte chunks. */
+    Status eextend(hw::Paddr secsPage, hw::Paddr epcPage);
+
+    /** EINIT: verifies SIGSTRUCT and finalizes the measurement. */
+    Status einit(hw::Paddr secsPage, const SigStruct& sig);
+
+    /** EREMOVE: frees an EPC page (SECS pages require all children gone). */
+    Status eremove(hw::Paddr epcPage);
+
+    /** NASSO: associates an (inner, outer) pair after mutual validation. */
+    Status nasso(hw::Paddr innerSecsPage, hw::Paddr outerSecsPage);
+
+    // --- ENCLU: transitions (machine_transitions.cpp) --------------------
+    /** EENTER: untrusted -> (outer or directly inner) enclave. */
+    Status eenter(hw::CoreId core, hw::Paddr tcsPage);
+
+    /** EEXIT: enclave (depth 1) -> untrusted. */
+    Status eexit(hw::CoreId core);
+
+    /** NEENTER: outer enclave -> one of its inner enclaves. */
+    Status neenter(hw::CoreId core, hw::Paddr tcsPage);
+
+    /** NEEXIT: inner enclave -> its outer enclave. */
+    Status neexit(hw::CoreId core);
+
+    /** AEX: asynchronous exit (exception/interrupt); saves the nest. */
+    Status aex(hw::CoreId core);
+
+    /** ERESUME: restores the frame stack an AEX saved into the TCS. */
+    Status eresume(hw::CoreId core, hw::Paddr tcsPage);
+
+    // --- memory access (machine_access.cpp) ------------------------------
+    /**
+     * Full Fig.-6 translation + validation for the page containing `va`,
+     * as seen by `core`. On success the TLB holds the entry.
+     */
+    Result<hw::Paddr> translate(hw::CoreId core, hw::Vaddr va, hw::Access a);
+
+    /** Validated data read (charges translation + memory-hierarchy cost). */
+    Status read(hw::CoreId core, hw::Vaddr va, std::uint8_t* out,
+                std::uint64_t len);
+
+    /** Validated data write. */
+    Status write(hw::CoreId core, hw::Vaddr va, const std::uint8_t* in,
+                 std::uint64_t len);
+
+    /** Instruction-fetch check for the page containing `va`. */
+    Status fetch(hw::CoreId core, hw::Vaddr va);
+
+    // --- paging (machine_paging.cpp) -------------------------------------
+    Status eblock(hw::Paddr epcPage);
+    Status etrack(hw::Paddr secsPage);
+
+    /** EWB: evicts a blocked, tracked REG page into an untrusted blob. */
+    Result<EvictedPage> ewb(hw::Paddr epcPage);
+
+    /** ELDU: reloads an evicted page into a free EPC page. */
+    Status eldu(hw::Paddr epcPage, hw::Paddr secsPage,
+                const EvictedPage& blob);
+
+    /**
+     * Sends IPIs to every core that may cache translations of the given
+     * enclave — including cores running its inner enclaves (paper §IV-E).
+     * Each hit core takes an AEX.
+     */
+    void ipiShootdown(hw::Paddr secsPage);
+
+    /** Cores currently referencing the enclave or any descendant inner. */
+    std::vector<hw::CoreId> trackedCores(hw::Paddr secsPage) const;
+
+    /**
+     * All outer enclaves reachable from `secsPage` through the
+     * association graph (BFS order, excluding the start). A chain for
+     * the default single-outer model; a DAG under kAttrMultiOuter.
+     */
+    std::vector<hw::Paddr> outerClosure(hw::Paddr secsPage) const;
+
+    // --- attestation (machine_attest.cpp) --------------------------------
+    /** EREPORT: report of the current enclave, MAC'ed for `target`. */
+    Result<Report> ereport(hw::CoreId core, const TargetInfo& target,
+                           const ReportData& data);
+
+    /** NEREPORT: EREPORT plus the attested association relations. */
+    Result<NestedReport> nereport(hw::CoreId core, const TargetInfo& target,
+                                  const ReportData& data);
+
+    /** EGETKEY(report key): only inside the enclave the key belongs to. */
+    Result<crypto::Sha256Digest> egetkeyReport(hw::CoreId core);
+
+    /** EGETKEY(seal key): bound to MRSIGNER. */
+    Result<crypto::Sha256Digest> egetkeySeal(hw::CoreId core);
+
+    /** Verifies a report's MAC as the target enclave would. */
+    bool verifyReport(const Report& report, const Measurement& targetMr) const;
+    bool verifyNestedReport(const NestedReport& report,
+                            const Measurement& targetMr) const;
+
+    // --- statistics -------------------------------------------------------
+    struct Stats {
+        std::uint64_t tlbMisses = 0;
+        std::uint64_t tlbHits = 0;
+        std::uint64_t nestedChecks = 0;   ///< outer-chain walks taken
+        std::uint64_t accessFaults = 0;
+        std::uint64_t eenterCount = 0;
+        std::uint64_t eexitCount = 0;
+        std::uint64_t neenterCount = 0;
+        std::uint64_t neexitCount = 0;
+        std::uint64_t aexCount = 0;
+        std::uint64_t ipiCount = 0;
+        std::uint64_t meeLines = 0;       ///< cachelines through the MEE
+        std::uint64_t llcHitLines = 0;
+    };
+    Stats& stats() { return stats_; }
+    const Stats& stats() const { return stats_; }
+
+    /** Flushes a core's TLB and clears it from all ETRACK tracking sets. */
+    void flushCoreTlb(hw::CoreId core);
+
+    /** Charges the cacheline-granular memory-hierarchy cost for a range. */
+    void chargeDataPath(hw::Paddr pa, std::uint64_t len);
+
+  private:
+    friend class MachineAccess;
+
+    Result<hw::Paddr> validateAndFill(hw::CoreId coreId, hw::Vaddr va,
+                                      hw::Access access);
+
+    crypto::Sha256Digest reportKeyFor(const Measurement& targetMr) const;
+
+    hw::PhysicalMemory mem_;
+    hw::SimClock clock_;
+    hw::CostModel costs_;
+    hw::LastLevelCache llc_;
+    Epcm epcm_;
+    std::vector<hw::Core> cores_;
+    std::map<hw::Paddr, Secs> secsTable_;
+    std::map<hw::Paddr, Tcs> tcsTable_;
+    std::map<std::uint64_t, std::uint64_t> versionArray_;
+    std::uint64_t nextVersionSlot_ = 1;
+    EnclaveId nextEid_ = 1;
+    Bytes rootKey_;
+    std::unique_ptr<crypto::AesGcm> pagingGcm_;
+    Rng rng_;
+    Stats stats_;
+};
+
+}  // namespace nesgx::sgx

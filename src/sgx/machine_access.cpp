@@ -1,0 +1,207 @@
+/**
+ * The TLB-miss access-validation flow with the nested-enclave extension
+ * (paper Fig. 2 for baseline SGX, Fig. 6 for the shaded extra steps).
+ *
+ * On a TLB miss the page-table entry supplied by the *untrusted* OS is
+ * re-validated against the EPCM before it may enter the TLB:
+ *
+ *   (A) non-enclave mode:  PRM physical target        -> abort
+ *   (B) enclave mode, PA in PRM:
+ *         EPCM owner == current enclave && VA matches -> insert
+ *         else walk the outer chain (nested steps 3-5):
+ *           EPCM owner == some outer && VA matches    -> insert
+ *           otherwise                                 -> fault
+ *   (C) enclave mode, PA not in PRM:
+ *         VA inside own ELRANGE                       -> #PF (evicted page)
+ *         VA inside an outer's ELRANGE (steps 1-2)    -> #PF (evicted page)
+ *         else untrusted page: insert, execute disabled
+ */
+#include "sgx/machine.h"
+
+namespace nesgx::sgx {
+
+namespace {
+
+bool
+permsAllow(const hw::TlbEntry& e, hw::Access a)
+{
+    switch (a) {
+      case hw::Access::Read: return true;
+      case hw::Access::Write: return e.writable;
+      case hw::Access::Execute: return e.executable;
+    }
+    return false;
+}
+
+}  // namespace
+
+Result<hw::Paddr>
+Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
+{
+    hw::Core& core = cores_[coreId];
+    charge(costs_.tlbMissWalk);
+    ++stats_.tlbMisses;
+
+    const auto* pt = static_cast<const hw::PageTable*>(core.pageTable());
+    if (!pt) return Err::PageFault;
+    auto pte = pt->walk(va);
+    if (!pte) return Err::PageFault;
+    hw::Paddr pa = pte->paddr;
+
+    hw::TlbEntry tlbEntry;
+    tlbEntry.paddr = pa;
+    tlbEntry.validatedSecs = core.currentSecs();
+
+    if (!core.inEnclaveMode()) {
+        // (A) Non-enclave execution must never reach the PRM.
+        if (mem_.inPrm(pa)) {
+            ++stats_.accessFaults;
+            return Err::PageFault;
+        }
+        tlbEntry.writable = pte->writable;
+        tlbEntry.executable = pte->executable;
+        if (!permsAllow(tlbEntry, access)) return Err::PageFault;
+        core.tlb().insert(va, tlbEntry);
+        return pa + hw::pageOffset(va);
+    }
+
+    Secs* secs = secsAt(core.currentSecs());
+    if (!secs) return Err::PageFault;
+
+    if (mem_.inPrm(pa)) {
+        // (B) Enclave mode, EPC physical target.
+        const EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(pa));
+        if (!entry.valid || entry.blocked || entry.type != PageType::Reg) {
+            ++stats_.accessFaults;
+            return Err::PageFault;
+        }
+
+        const Secs* owner = nullptr;
+        if (entry.ownerSecs == core.currentSecs()) {
+            owner = secs;
+        } else {
+            // Nested extension, steps (3)-(5): the access is valid when
+            // the page belongs to an enclave reachable through this
+            // enclave's outer associations (a chain in the default
+            // model, a DAG under kAttrMultiOuter). Each visited node
+            // costs extra validation time.
+            for (hw::Paddr cur : outerClosure(core.currentSecs())) {
+                charge(costs_.nestedCheckExtra);
+                ++stats_.nestedChecks;
+                if (entry.ownerSecs == cur) {
+                    owner = secsAt(cur);
+                    break;
+                }
+            }
+        }
+        if (!owner) {
+            ++stats_.accessFaults;
+            return Err::PageFault;
+        }
+        // The EPCM-recorded virtual address must match the mapping the OS
+        // supplied (invariants 3 and 4, paper §VII-A).
+        if (entry.vaddr != hw::pageBase(va)) {
+            ++stats_.accessFaults;
+            return Err::PageFault;
+        }
+        tlbEntry.writable = entry.perms.w && pte->writable;
+        tlbEntry.executable = entry.perms.x && pte->executable;
+        if (!entry.perms.allows(access) || !permsAllow(tlbEntry, access)) {
+            ++stats_.accessFaults;
+            return Err::PageFault;
+        }
+        core.tlb().insert(va, tlbEntry);
+        return pa + hw::pageOffset(va);
+    }
+
+    // (C) Enclave mode, non-EPC physical target.
+    if (secs->inELRange(va)) {
+        // An enclave virtual page backed by ordinary memory means the EPC
+        // page was evicted (or the OS lies): page fault either way.
+        ++stats_.accessFaults;
+        return Err::PageFault;
+    }
+    // Nested steps (1)-(2): same check for every reachable outer ELRANGE.
+    for (hw::Paddr cur : outerClosure(core.currentSecs())) {
+        charge(costs_.nestedCheckExtra);
+        ++stats_.nestedChecks;
+        const Secs* outer = secsAt(cur);
+        if (outer && outer->inELRange(va)) {
+            ++stats_.accessFaults;
+            return Err::PageFault;
+        }
+    }
+    // A translation to unsecure memory from enclave mode: allowed for
+    // data, but never executable (paper Fig. 6 bottom-right).
+    tlbEntry.writable = pte->writable;
+    tlbEntry.executable = false;
+    if (access == hw::Access::Execute) {
+        ++stats_.accessFaults;
+        return Err::PageFault;
+    }
+    core.tlb().insert(va, tlbEntry);
+    return pa + hw::pageOffset(va);
+}
+
+Result<hw::Paddr>
+Machine::translate(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
+{
+    hw::Core& core = cores_[coreId];
+    if (const hw::TlbEntry* hit = core.tlb().lookup(va)) {
+        if (permsAllow(*hit, access)) {
+            charge(costs_.tlbHit);
+            ++stats_.tlbHits;
+            return hit->paddr + hw::pageOffset(va);
+        }
+        // Permission upgrade (e.g. read-validated entry, write access)
+        // re-runs the full validation rather than trusting the TLB.
+    }
+    return validateAndFill(coreId, va, access);
+}
+
+Status
+Machine::read(hw::CoreId coreId, hw::Vaddr va, std::uint8_t* out,
+              std::uint64_t len)
+{
+    std::uint64_t done = 0;
+    while (done < len) {
+        hw::Vaddr cur = va + done;
+        std::uint64_t inPage =
+            std::min<std::uint64_t>(len - done,
+                                    hw::kPageSize - hw::pageOffset(cur));
+        auto pa = translate(coreId, cur, hw::Access::Read);
+        if (!pa) return pa.status();
+        chargeDataPath(pa.value(), inPage);
+        mem_.read(pa.value(), out + done, inPage);
+        done += inPage;
+    }
+    return Status::ok();
+}
+
+Status
+Machine::write(hw::CoreId coreId, hw::Vaddr va, const std::uint8_t* in,
+               std::uint64_t len)
+{
+    std::uint64_t done = 0;
+    while (done < len) {
+        hw::Vaddr cur = va + done;
+        std::uint64_t inPage =
+            std::min<std::uint64_t>(len - done,
+                                    hw::kPageSize - hw::pageOffset(cur));
+        auto pa = translate(coreId, cur, hw::Access::Write);
+        if (!pa) return pa.status();
+        chargeDataPath(pa.value(), inPage);
+        mem_.write(pa.value(), in + done, inPage);
+        done += inPage;
+    }
+    return Status::ok();
+}
+
+Status
+Machine::fetch(hw::CoreId coreId, hw::Vaddr va)
+{
+    auto pa = translate(coreId, va, hw::Access::Execute);
+    return pa.status();
+}
+
+}  // namespace nesgx::sgx

@@ -1,0 +1,164 @@
+/**
+ * Attestation leaves: EREPORT, NEREPORT, EGETKEY (paper §IV-B, §IV-E).
+ *
+ * NEREPORT extends EREPORT with the association relations: a challenger
+ * attesting an outer enclave learns the measurements of every inner
+ * enclave sharing it, and an inner enclave's report names its outer.
+ */
+#include "sgx/machine.h"
+
+#include "crypto/hmac.h"
+#include "crypto/kdf.h"
+
+namespace nesgx::sgx {
+
+Bytes
+Report::macBody() const
+{
+    Bytes out;
+    append(out, ByteView(mrenclave.data(), 32));
+    append(out, ByteView(mrsigner.data(), 32));
+    std::uint8_t attr[8];
+    storeLe64(attr, attributes);
+    append(out, ByteView(attr, 8));
+    append(out, ByteView(reportData.data(), reportData.size()));
+    return out;
+}
+
+Bytes
+NestedReport::macBody() const
+{
+    Bytes out = base.macBody();
+    out.push_back(hasOuter ? 1 : 0);
+    append(out, ByteView(outerMeasurement.data(), 32));
+    std::uint8_t count[4];
+    storeLe32(count, std::uint32_t(outerMeasurements.size()));
+    append(out, ByteView(count, 4));
+    for (const auto& m : outerMeasurements) {
+        append(out, ByteView(m.data(), 32));
+    }
+    storeLe32(count, std::uint32_t(innerMeasurements.size()));
+    append(out, ByteView(count, 4));
+    for (const auto& m : innerMeasurements) {
+        append(out, ByteView(m.data(), 32));
+    }
+    return out;
+}
+
+crypto::Sha256Digest
+Machine::reportKeyFor(const Measurement& targetMr) const
+{
+    // The report key derives from the device root and the *target*
+    // enclave identity, so only the target can re-derive it via EGETKEY.
+    return crypto::deriveKey256(rootKey_, "report-key",
+                                ByteView(targetMr.data(), 32));
+}
+
+Result<Report>
+Machine::ereport(hw::CoreId coreId, const TargetInfo& target,
+                 const ReportData& data)
+{
+    charge(costs_.ereport);
+    hw::Core& core = cores_[coreId];
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+    const Secs* secs = secsAt(core.currentSecs());
+    if (!secs) return Err::GeneralProtection;
+
+    Report report;
+    report.mrenclave = secs->mrenclave;
+    report.mrsigner = secs->mrsigner;
+    report.attributes = secs->attributes;
+    report.reportData = data;
+
+    crypto::Sha256Digest key = reportKeyFor(target.mrenclave);
+    report.mac = crypto::hmacSha256(ByteView(key.data(), key.size()),
+                                    report.macBody());
+    return report;
+}
+
+Result<NestedReport>
+Machine::nereport(hw::CoreId coreId, const TargetInfo& target,
+                  const ReportData& data)
+{
+    charge(costs_.ereport);
+    hw::Core& core = cores_[coreId];
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+    const Secs* secs = secsAt(core.currentSecs());
+    if (!secs) return Err::GeneralProtection;
+
+    NestedReport report;
+    report.base.mrenclave = secs->mrenclave;
+    report.base.mrsigner = secs->mrsigner;
+    report.base.attributes = secs->attributes;
+    report.base.reportData = data;
+
+    // Association relations: the paper's NEREPORT "includes the
+    // association relationship of the target enclaves" (§IV-B) — the
+    // outer's measurement plus the measurements of every inner enclave
+    // sharing this enclave (§IV-E remote attestation).
+    for (hw::Paddr outerPa : secs->outerEids) {
+        if (const Secs* outer = secsAt(outerPa)) {
+            if (!report.hasOuter) {
+                report.hasOuter = true;
+                report.outerMeasurement = outer->mrenclave;  // primary
+            }
+            report.outerMeasurements.push_back(outer->mrenclave);
+        }
+    }
+    for (hw::Paddr innerPa : secs->innerEids) {
+        if (const Secs* inner = secsAt(innerPa)) {
+            report.innerMeasurements.push_back(inner->mrenclave);
+        }
+    }
+
+    crypto::Sha256Digest key = reportKeyFor(target.mrenclave);
+    report.mac = crypto::hmacSha256(ByteView(key.data(), key.size()),
+                                    report.macBody());
+    return report;
+}
+
+Result<crypto::Sha256Digest>
+Machine::egetkeyReport(hw::CoreId coreId)
+{
+    charge(costs_.egetkey);
+    hw::Core& core = cores_[coreId];
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+    const Secs* secs = secsAt(core.currentSecs());
+    if (!secs) return Err::GeneralProtection;
+    return reportKeyFor(secs->mrenclave);
+}
+
+Result<crypto::Sha256Digest>
+Machine::egetkeySeal(hw::CoreId coreId)
+{
+    charge(costs_.egetkey);
+    hw::Core& core = cores_[coreId];
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+    const Secs* secs = secsAt(core.currentSecs());
+    if (!secs) return Err::GeneralProtection;
+    return crypto::deriveKey256(rootKey_, "seal-key",
+                                ByteView(secs->mrsigner.data(), 32));
+}
+
+bool
+Machine::verifyReport(const Report& report, const Measurement& targetMr) const
+{
+    crypto::Sha256Digest key = reportKeyFor(targetMr);
+    crypto::Sha256Digest mac = crypto::hmacSha256(
+        ByteView(key.data(), key.size()), report.macBody());
+    return constantTimeEqual(ByteView(mac.data(), 32),
+                             ByteView(report.mac.data(), 32));
+}
+
+bool
+Machine::verifyNestedReport(const NestedReport& report,
+                            const Measurement& targetMr) const
+{
+    crypto::Sha256Digest key = reportKeyFor(targetMr);
+    crypto::Sha256Digest mac = crypto::hmacSha256(
+        ByteView(key.data(), key.size()), report.macBody());
+    return constantTimeEqual(ByteView(mac.data(), 32),
+                             ByteView(report.mac.data(), 32));
+}
+
+}  // namespace nesgx::sgx

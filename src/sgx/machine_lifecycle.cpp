@@ -1,0 +1,213 @@
+/**
+ * ENCLS lifecycle leaves: ECREATE, EADD, EEXTEND, EINIT, EREMOVE, NASSO.
+ */
+#include "sgx/machine.h"
+
+namespace nesgx::sgx {
+
+namespace {
+
+bool
+pageAligned(std::uint64_t v)
+{
+    return (v & (hw::kPageSize - 1)) == 0;
+}
+
+}  // namespace
+
+Status
+Machine::ecreate(hw::Paddr secsPage, hw::Vaddr baseAddr, std::uint64_t size,
+                 std::uint64_t attributes)
+{
+    charge(costs_.ecreate);
+    if (!mem_.inPrm(secsPage) || !pageAligned(secsPage)) {
+        return Err::GeneralProtection;
+    }
+    // ELRANGE must be contiguous, size-aligned and page-granular (§II-B).
+    if (!pageAligned(baseAddr) || !pageAligned(size) || size == 0) {
+        return Err::GeneralProtection;
+    }
+    EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(secsPage));
+    if (entry.valid) return Err::PageInUse;
+
+    entry = EpcmEntry{};
+    entry.valid = true;
+    entry.type = PageType::Secs;
+    entry.ownerSecs = secsPage;  // SECS pages own themselves
+    entry.vaddr = 0;
+
+    Secs secs;
+    secs.eid = nextEid_++;
+    secs.baseAddr = baseAddr;
+    secs.size = size;
+    secs.attributes = attributes;
+    secs.measurementLog.recordCreate(size);
+    secsTable_[secsPage] = std::move(secs);
+    return Status::ok();
+}
+
+Status
+Machine::eadd(hw::Paddr secsPage, hw::Paddr epcPage, hw::Vaddr vaddr,
+              PageType type, PagePerms perms, ByteView src)
+{
+    charge(costs_.eadd);
+    Secs* secs = secsAt(secsPage);
+    if (!secs || secs->initialized) return Err::GeneralProtection;
+    if (!mem_.inPrm(epcPage) || !pageAligned(epcPage) || !pageAligned(vaddr)) {
+        return Err::GeneralProtection;
+    }
+    if (type == PageType::Secs) return Err::GeneralProtection;
+    // The page's virtual address must fall inside the enclave's ELRANGE;
+    // that layout is fixed by the author and measured (§II-B).
+    if (!secs->inELRange(vaddr)) return Err::GeneralProtection;
+    if (!src.empty() && src.size() != hw::kPageSize) {
+        return Err::GeneralProtection;
+    }
+
+    EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(epcPage));
+    if (entry.valid) return Err::PageInUse;
+
+    entry = EpcmEntry{};
+    entry.valid = true;
+    entry.type = type;
+    entry.ownerSecs = secsPage;
+    entry.vaddr = vaddr;
+    entry.perms = (type == PageType::Tcs) ? PagePerms{false, false, false}
+                                          : perms;
+
+    if (src.empty()) {
+        mem_.fill(epcPage, 0, hw::kPageSize);
+    } else {
+        mem_.write(epcPage, src.data(), src.size());
+    }
+    if (type == PageType::Tcs) {
+        tcsTable_[epcPage] = Tcs{};
+    }
+
+    secs->measurementLog.recordAdd(vaddr - secs->baseAddr, type, perms);
+    return Status::ok();
+}
+
+Status
+Machine::eextend(hw::Paddr secsPage, hw::Paddr epcPage)
+{
+    Secs* secs = secsAt(secsPage);
+    if (!secs || secs->initialized) return Err::GeneralProtection;
+    if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
+    const EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(epcPage));
+    if (!entry.valid || entry.ownerSecs != secsPage) {
+        return Err::InvalidEpcPage;
+    }
+
+    // Real EEXTEND measures one 256-byte chunk per invocation; the model
+    // folds the whole page (16 chunks) and charges per chunk.
+    std::uint64_t pageOffset = entry.vaddr - secs->baseAddr;
+    for (std::uint64_t off = 0; off < hw::kPageSize; off += kMeasureChunk) {
+        charge(costs_.eextendChunk);
+        secs->measurementLog.recordExtend(
+            pageOffset + off, ByteView(mem_.raw(epcPage + off), kMeasureChunk));
+    }
+    return Status::ok();
+}
+
+Status
+Machine::einit(hw::Paddr secsPage, const SigStruct& sig)
+{
+    charge(costs_.einit);
+    Secs* secs = secsAt(secsPage);
+    if (!secs || secs->initialized) return Err::GeneralProtection;
+
+    // 1. The author's signature over the SIGSTRUCT body must verify.
+    if (!sig.verify()) return Err::InvalidSignature;
+
+    // 2. The measured enclave must match the author's expected digest.
+    Measurement measured = secs->measurementLog.finalize();
+    if (!constantTimeEqual(ByteView(measured.data(), 32),
+                           ByteView(sig.enclaveHash.data(), 32))) {
+        return Err::InvalidMeasurement;
+    }
+    if (sig.attributes != secs->attributes) return Err::InvalidMeasurement;
+
+    secs->mrenclave = measured;
+    secs->mrsigner = sig.signerMeasurement();
+    // Copy the author-signed association expectations into hardware state
+    // so NASSO later validates against tamper-proof values (paper §IV-C).
+    secs->expectedOuter = sig.expectedOuter;
+    secs->allowedInners = sig.allowedInners;
+    secs->initialized = true;
+    return Status::ok();
+}
+
+Status
+Machine::eremove(hw::Paddr epcPage)
+{
+    if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
+    std::uint64_t index = mem_.epcPageIndex(epcPage);
+    EpcmEntry& entry = epcm_.entry(index);
+    if (!entry.valid) return Err::InvalidEpcPage;
+
+    if (entry.type == PageType::Secs) {
+        // A SECS leaves last: all child pages must be gone, no live
+        // associations, and no core may be executing in the enclave.
+        if (epcm_.countOwnedBy(epcPage) > 1) return Err::PageInUse;
+        Secs* secs = secsAt(epcPage);
+        if (secs && (!secs->innerEids.empty() || !secs->outerEids.empty())) {
+            return Err::PageInUse;
+        }
+        if (!trackedCores(epcPage).empty()) return Err::PageInUse;
+        secsTable_.erase(epcPage);
+    } else {
+        if (!trackedCores(entry.ownerSecs).empty()) return Err::PageInUse;
+        if (entry.type == PageType::Tcs) tcsTable_.erase(epcPage);
+    }
+    entry = EpcmEntry{};
+    return Status::ok();
+}
+
+Status
+Machine::nasso(hw::Paddr innerSecsPage, hw::Paddr outerSecsPage)
+{
+    charge(costs_.nasso);
+    Secs* inner = secsAt(innerSecsPage);
+    Secs* outer = secsAt(outerSecsPage);
+    if (!inner || !outer || innerSecsPage == outerSecsPage) {
+        return Err::GeneralProtection;
+    }
+    if (!inner->initialized || !outer->initialized) {
+        return Err::GeneralProtection;
+    }
+    // Single-outer-per-inner by default (paper §IV-A); an inner built
+    // with kAttrMultiOuter may join several outers (paper §VIII).
+    if (!inner->outerEids.empty() &&
+        !(inner->attributes & kAttrMultiOuter)) {
+        return Err::GeneralProtection;
+    }
+    if (inner->hasOuter(outerSecsPage)) return Err::GeneralProtection;
+    // No cycles: the outer must not (transitively) nest inside the inner.
+    if (outerSecsPage == innerSecsPage) return Err::GeneralProtection;
+    for (hw::Paddr reachable : outerClosure(outerSecsPage)) {
+        if (reachable == innerSecsPage) return Err::GeneralProtection;
+    }
+
+    // Mutual validation against the author-signed expectations carried in
+    // each enclave's signed file (paper Fig. 4): the inner names its
+    // expected outer, the outer lists the inners allowed to join.
+    if (!inner->expectedOuter ||
+        !inner->expectedOuter->matches(outer->mrenclave, outer->mrsigner)) {
+        return Err::AssociationRejected;
+    }
+    bool allowed = false;
+    for (const auto& pe : outer->allowedInners) {
+        if (pe.matches(inner->mrenclave, inner->mrsigner)) {
+            allowed = true;
+            break;
+        }
+    }
+    if (!allowed) return Err::AssociationRejected;
+
+    inner->outerEids.push_back(outerSecsPage);
+    outer->innerEids.push_back(innerSecsPage);
+    return Status::ok();
+}
+
+}  // namespace nesgx::sgx

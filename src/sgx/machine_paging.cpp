@@ -1,0 +1,125 @@
+/**
+ * EPC paging leaves: EBLOCK, ETRACK, EWB, ELDU (paper §IV-E).
+ *
+ * The nested-enclave delta lives in trackedCores(): evicting an outer
+ * enclave's page must also flush cores running its *inner* enclaves,
+ * because inner threads legitimately cache outer translations.
+ */
+#include "sgx/machine.h"
+
+namespace nesgx::sgx {
+
+Status
+Machine::eblock(hw::Paddr epcPage)
+{
+    if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
+    EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(epcPage));
+    if (!entry.valid || entry.type != PageType::Reg) {
+        return Err::InvalidEpcPage;
+    }
+    entry.blocked = true;
+    return Status::ok();
+}
+
+Status
+Machine::etrack(hw::Paddr secsPage)
+{
+    Secs* secs = secsAt(secsPage);
+    if (!secs) return Err::GeneralProtection;
+    // Snapshot every core that may hold stale translations; cores drop out
+    // of the set when their TLB is flushed (any enclave exit/IPI).
+    auto cores = trackedCores(secsPage);
+    secs->trackingSet.clear();
+    secs->trackingSet.insert(cores.begin(), cores.end());
+    secs->trackingActive = true;
+    return Status::ok();
+}
+
+Result<EvictedPage>
+Machine::ewb(hw::Paddr epcPage)
+{
+    charge(costs_.ewbPage);
+    if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
+    EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(epcPage));
+    if (!entry.valid || entry.type != PageType::Reg) {
+        return Err::InvalidEpcPage;
+    }
+    if (!entry.blocked) return Err::PageInUse;
+
+    Secs* secs = secsAt(entry.ownerSecs);
+    if (!secs) return Err::InvalidEpcPage;
+    // Every thread that may cache the stale translation must have left
+    // enclave mode (and thus flushed) since ETRACK.
+    if (!secs->trackingActive || !secs->trackingSet.empty()) {
+        return Err::TrackingIncomplete;
+    }
+
+    EvictedPage out;
+    out.vaddr = entry.vaddr;
+    out.type = entry.type;
+    out.perms = entry.perms;
+    out.ownerEid = secs->eid;
+    out.versionSlot = nextVersionSlot_++;
+    out.version = 1;
+    versionArray_[out.versionSlot] = out.version;
+    rng_.fill(out.iv.data(), out.iv.size());
+
+    // The page leaves the PRM for untrusted memory: real authenticated
+    // encryption binds content to (owner, vaddr, perms, version) so the
+    // OS can neither read, modify, swap, nor replay it.
+    Bytes aad(8 * 4);
+    storeLe64(aad.data(), out.ownerEid);
+    storeLe64(aad.data() + 8, out.vaddr);
+    storeLe64(aad.data() + 16, out.perms.bits());
+    storeLe64(aad.data() + 24, out.version);
+    out.ciphertext = pagingGcm_->seal(
+        ByteView(out.iv.data(), out.iv.size()), aad,
+        ByteView(mem_.raw(epcPage), hw::kPageSize));
+
+    mem_.fill(epcPage, 0, hw::kPageSize);
+    entry = EpcmEntry{};
+    return out;
+}
+
+Status
+Machine::eldu(hw::Paddr epcPage, hw::Paddr secsPage, const EvictedPage& blob)
+{
+    charge(costs_.elduPage);
+    if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
+    EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(epcPage));
+    if (entry.valid) return Err::PageInUse;
+
+    Secs* secs = secsAt(secsPage);
+    if (!secs) return Err::GeneralProtection;
+    // The blob must belong to this enclave (ids never recycle).
+    if (blob.ownerEid != secs->eid) return Err::PagingIntegrity;
+
+    // Replay protection: the version-array slot must still hold the
+    // version EWB recorded; reloading consumes it.
+    auto it = versionArray_.find(blob.versionSlot);
+    if (it == versionArray_.end() || it->second != blob.version) {
+        return Err::PagingIntegrity;
+    }
+
+    Bytes aad(8 * 4);
+    storeLe64(aad.data(), blob.ownerEid);
+    storeLe64(aad.data() + 8, blob.vaddr);
+    storeLe64(aad.data() + 16, blob.perms.bits());
+    storeLe64(aad.data() + 24, blob.version);
+    auto plain = pagingGcm_->open(ByteView(blob.iv.data(), blob.iv.size()),
+                                  aad, blob.ciphertext);
+    if (!plain) return Err::PagingIntegrity;
+    if (plain.value().size() != hw::kPageSize) return Err::PagingIntegrity;
+
+    versionArray_.erase(it);
+    mem_.write(epcPage, plain.value().data(), hw::kPageSize);
+    entry = EpcmEntry{};
+    entry.valid = true;
+    entry.type = blob.type;
+    entry.ownerSecs = secsPage;
+    entry.vaddr = blob.vaddr;
+    entry.perms = blob.perms;
+    return Status::ok();
+}
+
+}  // namespace nesgx::sgx

@@ -1,0 +1,145 @@
+/**
+ * ENCLU transition leaves: EENTER, EEXIT, NEENTER, NEEXIT, AEX, ERESUME
+ * (paper §IV-B, Fig. 5 state transitions).
+ */
+#include "sgx/machine.h"
+
+namespace nesgx::sgx {
+
+Status
+Machine::eenter(hw::CoreId coreId, hw::Paddr tcsPage)
+{
+    hw::Core& core = cores_[coreId];
+    if (core.inEnclaveMode()) return Err::GeneralProtection;
+    if (!mem_.inPrm(tcsPage)) return Err::GeneralProtection;
+
+    const EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(tcsPage));
+    if (!entry.valid || entry.type != PageType::Tcs || entry.blocked) {
+        return Err::GeneralProtection;
+    }
+    Secs* secs = secsAt(entry.ownerSecs);
+    if (!secs || !secs->initialized) return Err::GeneralProtection;
+    Tcs* tcs = tcsAt(tcsPage);
+    if (!tcs || tcs->busy) return Err::GeneralProtection;
+
+    charge(costs_.eenterCycles());
+    // The TLB must never mix translations validated in different
+    // protection contexts (invariant 1, paper §VII-A).
+    flushCoreTlb(coreId);
+    tcs->busy = true;
+    core.pushFrame(entry.ownerSecs, tcsPage);
+    ++stats_.eenterCount;
+    return Status::ok();
+}
+
+Status
+Machine::eexit(hw::CoreId coreId)
+{
+    hw::Core& core = cores_[coreId];
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+    // Model restriction: synchronous EEXIT only from depth 1; nested
+    // frames return through NEEXIT (see machine.h header comment).
+    if (core.depth() != 1) return Err::GeneralProtection;
+
+    charge(costs_.eexitCycles());
+    hw::EnclaveFrame frame = core.popFrame();
+    if (Tcs* tcs = tcsAt(frame.tcs)) tcs->busy = false;
+    flushCoreTlb(coreId);
+    ++stats_.eexitCount;
+    return Status::ok();
+}
+
+Status
+Machine::neenter(hw::CoreId coreId, hw::Paddr tcsPage)
+{
+    hw::Core& core = cores_[coreId];
+    // The core must already execute in enclave mode (the outer enclave).
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+    if (!mem_.inPrm(tcsPage)) return Err::GeneralProtection;
+
+    const EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(tcsPage));
+    if (!entry.valid || entry.type != PageType::Tcs || entry.blocked) {
+        return Err::GeneralProtection;
+    }
+    // The destination TCS must belong to an inner enclave of the
+    // currently executing enclave (paper §IV-B; under kAttrMultiOuter
+    // any of the target's outers qualifies).
+    Secs* target = secsAt(entry.ownerSecs);
+    if (!target || !target->initialized ||
+        !target->hasOuter(core.currentSecs())) {
+        return Err::GeneralProtection;
+    }
+    Tcs* tcs = tcsAt(tcsPage);
+    if (!tcs || tcs->busy) return Err::GeneralProtection;
+
+    charge(costs_.neenterCycles());
+    flushCoreTlb(coreId);
+    tcs->busy = true;
+    core.pushFrame(entry.ownerSecs, tcsPage);
+    ++stats_.neenterCount;
+    return Status::ok();
+}
+
+Status
+Machine::neexit(hw::CoreId coreId)
+{
+    hw::Core& core = cores_[coreId];
+    // Only meaningful from an inner frame entered via NEENTER: there must
+    // be an outer frame below, and it must be this inner's outer enclave.
+    if (core.depth() < 2) return Err::GeneralProtection;
+    const Secs* inner = secsAt(core.currentSecs());
+    const auto& frames = core.frames();
+    if (!inner || !inner->hasOuter(frames[frames.size() - 2].secs)) {
+        return Err::GeneralProtection;
+    }
+
+    // NEEXIT scrubs all architectural registers and flushes the TLB so
+    // nothing of the inner context leaks to the outer enclave (§IV-B).
+    charge(costs_.neexitCycles());
+    hw::EnclaveFrame frame = core.popFrame();
+    if (Tcs* tcs = tcsAt(frame.tcs)) tcs->busy = false;
+    flushCoreTlb(coreId);
+    ++stats_.neexitCount;
+    return Status::ok();
+}
+
+Status
+Machine::aex(hw::CoreId coreId)
+{
+    hw::Core& core = cores_[coreId];
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+
+    charge(costs_.aex);
+    // The whole nest is saved into the bottom-most TCS so ERESUME can
+    // restore execution exactly where the exception hit.
+    hw::Paddr bottomTcs = core.frames().front().tcs;
+    Tcs* tcs = tcsAt(bottomTcs);
+    if (tcs) {
+        tcs->savedFrames = core.frames();
+        tcs->hasSavedFrames = true;
+    }
+    core.clearFrames();
+    flushCoreTlb(coreId);
+    ++stats_.aexCount;
+    return Status::ok();
+}
+
+Status
+Machine::eresume(hw::CoreId coreId, hw::Paddr tcsPage)
+{
+    hw::Core& core = cores_[coreId];
+    if (core.inEnclaveMode()) return Err::GeneralProtection;
+    Tcs* tcs = tcsAt(tcsPage);
+    if (!tcs || !tcs->hasSavedFrames) return Err::GeneralProtection;
+
+    charge(costs_.eenterCycles());
+    flushCoreTlb(coreId);
+    for (const auto& frame : tcs->savedFrames) {
+        core.pushFrame(frame.secs, frame.tcs);
+    }
+    tcs->savedFrames.clear();
+    tcs->hasSavedFrames = false;
+    return Status::ok();
+}
+
+}  // namespace nesgx::sgx

@@ -1,0 +1,56 @@
+#include "sgx/measurement.h"
+
+namespace nesgx::sgx {
+
+namespace {
+
+void
+foldTag(crypto::Sha256& ctx, const char* tag)
+{
+    std::uint8_t buf[8] = {0};
+    for (int i = 0; i < 8 && tag[i]; ++i) buf[i] = std::uint8_t(tag[i]);
+    ctx.update(ByteView(buf, 8));
+}
+
+void
+foldU64(crypto::Sha256& ctx, std::uint64_t v)
+{
+    std::uint8_t buf[8];
+    storeLe64(buf, v);
+    ctx.update(ByteView(buf, 8));
+}
+
+}  // namespace
+
+void
+MeasurementLog::recordCreate(std::uint64_t enclaveSize)
+{
+    foldTag(ctx_, "ECREATE");
+    foldU64(ctx_, enclaveSize);
+}
+
+void
+MeasurementLog::recordAdd(std::uint64_t pageOffset, PageType type,
+                          PagePerms perms)
+{
+    foldTag(ctx_, "EADD");
+    foldU64(ctx_, pageOffset);
+    foldU64(ctx_, std::uint64_t(type));
+    foldU64(ctx_, perms.bits());
+}
+
+void
+MeasurementLog::recordExtend(std::uint64_t chunkOffset, ByteView chunk)
+{
+    foldTag(ctx_, "EEXTEND");
+    foldU64(ctx_, chunkOffset);
+    ctx_.update(chunk);
+}
+
+Measurement
+MeasurementLog::finalize()
+{
+    return ctx_.finish();
+}
+
+}  // namespace nesgx::sgx

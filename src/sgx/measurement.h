@@ -1,0 +1,37 @@
+/**
+ * MRENCLAVE accumulation.
+ *
+ * ECREATE, EADD and EEXTEND fold records into an incremental SHA-256,
+ * binding the virtual layout, page attributes and page contents into the
+ * enclave identity, in the same spirit (and chunking) as real SGX.
+ */
+#pragma once
+
+#include "crypto/sha256.h"
+#include "hw/types.h"
+#include "sgx/types.h"
+
+namespace nesgx::sgx {
+
+/** Size of one EEXTEND-measured chunk, as in SGX. */
+constexpr std::uint64_t kMeasureChunk = 256;
+
+class MeasurementLog {
+  public:
+    /** Folds the ECREATE record (enclave size, SSA config). */
+    void recordCreate(std::uint64_t enclaveSize);
+
+    /** Folds an EADD record (page offset within ELRANGE, type, perms). */
+    void recordAdd(std::uint64_t pageOffset, PageType type, PagePerms perms);
+
+    /** Folds one EEXTEND record over a 256-byte chunk. */
+    void recordExtend(std::uint64_t chunkOffset, ByteView chunk);
+
+    /** Finalizes into the MRENCLAVE value. */
+    Measurement finalize();
+
+  private:
+    crypto::Sha256 ctx_;
+};
+
+}  // namespace nesgx::sgx

@@ -1,0 +1,52 @@
+/**
+ * Attestation report formats: EREPORT (SGX-compatible) and NEREPORT
+ * (paper §IV-B/§IV-E), which additionally attests the nested association
+ * graph — the outer enclave's measurement and all sibling inner
+ * measurements — under the same MAC.
+ */
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "sgx/types.h"
+#include "support/bytes.h"
+
+namespace nesgx::sgx {
+
+constexpr std::size_t kReportDataSize = 64;
+
+using ReportData = std::array<std::uint8_t, kReportDataSize>;
+
+/** Identity of a report's intended verifier (local attestation target). */
+struct TargetInfo {
+    Measurement mrenclave{};
+};
+
+struct Report {
+    Measurement mrenclave{};
+    Measurement mrsigner{};
+    std::uint64_t attributes = 0;
+    ReportData reportData{};
+    std::array<std::uint8_t, 32> mac{};
+
+    /** Serializes the MAC'ed body. */
+    Bytes macBody() const;
+};
+
+/** NEREPORT payload: the report plus the attested association relations. */
+struct NestedReport {
+    Report base;
+    /** Measurement of the primary outer enclave (zero if none). */
+    Measurement outerMeasurement{};
+    bool hasOuter = false;
+    /** All associated outers (>1 only under kAttrMultiOuter, §VIII). */
+    std::vector<Measurement> outerMeasurements;
+    /** Measurements of all inner enclaves associated with this enclave. */
+    std::vector<Measurement> innerMeasurements;
+    std::array<std::uint8_t, 32> mac{};
+
+    Bytes macBody() const;
+};
+
+}  // namespace nesgx::sgx

@@ -1,0 +1,68 @@
+#include "sgx/sigstruct.h"
+
+namespace nesgx::sgx {
+
+bool
+PeerExpectation::matches(const Measurement& enclave,
+                         const Measurement& signer) const
+{
+    if (mrenclave && !constantTimeEqual(ByteView(mrenclave->data(), 32),
+                                        ByteView(enclave.data(), 32))) {
+        return false;
+    }
+    if (mrsigner && !constantTimeEqual(ByteView(mrsigner->data(), 32),
+                                       ByteView(signer.data(), 32))) {
+        return false;
+    }
+    return mrenclave.has_value() || mrsigner.has_value();
+}
+
+namespace {
+
+void
+appendExpectation(Bytes& out, const PeerExpectation& pe)
+{
+    out.push_back(pe.mrenclave ? 1 : 0);
+    if (pe.mrenclave) append(out, ByteView(pe.mrenclave->data(), 32));
+    out.push_back(pe.mrsigner ? 1 : 0);
+    if (pe.mrsigner) append(out, ByteView(pe.mrsigner->data(), 32));
+}
+
+}  // namespace
+
+Bytes
+SigStruct::signedBody() const
+{
+    Bytes out;
+    append(out, ByteView(enclaveHash.data(), enclaveHash.size()));
+    std::uint8_t attr[8];
+    storeLe64(attr, attributes);
+    append(out, ByteView(attr, 8));
+
+    out.push_back(expectedOuter ? 1 : 0);
+    if (expectedOuter) appendExpectation(out, *expectedOuter);
+
+    std::uint8_t count[4];
+    storeLe32(count, std::uint32_t(allowedInners.size()));
+    append(out, ByteView(count, 4));
+    for (const auto& pe : allowedInners) appendExpectation(out, pe);
+
+    // The public key itself is part of the signed identity surface; it is
+    // bound via MRSIGNER at EINIT rather than the signature, as in SGX.
+    return out;
+}
+
+void
+SigStruct::sign(const crypto::RsaKeyPair& key)
+{
+    signerKey = key.pub;
+    signature = crypto::rsaSign(key, signedBody());
+}
+
+bool
+SigStruct::verify() const
+{
+    return crypto::rsaVerify(signerKey, signedBody(), signature);
+}
+
+}  // namespace nesgx::sgx

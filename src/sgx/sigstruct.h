@@ -1,0 +1,60 @@
+/**
+ * SIGSTRUCT: the author-signed description of an enclave.
+ *
+ * Extended per the paper (§IV-C): a signed enclave file additionally
+ * carries the *expected measurements of its peer* — an inner enclave file
+ * names its expected outer enclave, and an outer enclave file lists the
+ * inner enclaves allowed to associate with it. NASSO validates against
+ * these author-signed expectations, so the untrusted OS cannot splice an
+ * unauthorized enclave into a nest.
+ */
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "crypto/rsa.h"
+#include "sgx/types.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace nesgx::sgx {
+
+/** Expected identity of a peer enclave in a nested association. */
+struct PeerExpectation {
+    /** Match on the exact enclave measurement (MRENCLAVE). */
+    std::optional<Measurement> mrenclave;
+    /** Or match on the author identity (MRSIGNER). */
+    std::optional<Measurement> mrsigner;
+
+    bool matches(const Measurement& enclave, const Measurement& signer) const;
+};
+
+struct SigStruct {
+    Measurement enclaveHash{};            ///< expected MRENCLAVE
+    std::uint64_t attributes = 0;         ///< mode flags (debug etc.)
+    crypto::RsaPublicKey signerKey;       ///< author public key
+    Bytes signature;                      ///< PKCS#1 v1.5 over the body
+
+    /** Nested-enclave extension: expected outer, if this is an inner. */
+    std::optional<PeerExpectation> expectedOuter;
+    /** Nested-enclave extension: inner enclaves allowed to associate. */
+    std::vector<PeerExpectation> allowedInners;
+
+    /** Serializes every signed field (everything but the signature). */
+    Bytes signedBody() const;
+
+    /** Signs the body with the author key pair. */
+    void sign(const crypto::RsaKeyPair& key);
+
+    /** Verifies the signature against the embedded public key. */
+    bool verify() const;
+
+    /** MRSIGNER: SHA-256 over the signer's modulus, as in SGX. */
+    Measurement signerMeasurement() const
+    {
+        return signerKey.signerMeasurement();
+    }
+};
+
+}  // namespace nesgx::sgx

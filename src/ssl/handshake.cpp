@@ -1,0 +1,157 @@
+#include "ssl/handshake.h"
+
+#include <algorithm>
+
+namespace nesgx::ssl {
+
+namespace {
+
+constexpr std::size_t kNonceSize = 16;
+
+Bytes
+deriveSessionKey(ByteView psk, std::uint16_t version, ByteView clientNonce,
+                 ByteView serverNonce)
+{
+    Bytes ctx;
+    ctx.push_back(std::uint8_t(version));
+    ctx.push_back(std::uint8_t(version >> 8));
+    append(ctx, clientNonce);
+    append(ctx, serverNonce);
+    auto full = crypto::hmacSha256(psk, ctx);
+    return Bytes(full.begin(), full.begin() + 16);
+}
+
+Bytes
+transcriptMac(ByteView psk, ByteView clientHello, std::uint16_t version,
+              ByteView serverNonce)
+{
+    Bytes transcript(clientHello.begin(), clientHello.end());
+    transcript.push_back(std::uint8_t(version));
+    transcript.push_back(std::uint8_t(version >> 8));
+    append(transcript, serverNonce);
+    auto mac = crypto::hmacSha256(psk, transcript);
+    return Bytes(mac.begin(), mac.end());
+}
+
+}  // namespace
+
+Bytes
+ClientHello::serialize() const
+{
+    Bytes out;
+    out.push_back(std::uint8_t(offeredVersions.size()));
+    for (std::uint16_t v : offeredVersions) {
+        out.push_back(std::uint8_t(v));
+        out.push_back(std::uint8_t(v >> 8));
+    }
+    append(out, nonce);
+    return out;
+}
+
+std::optional<ClientHello>
+ClientHello::parse(ByteView wire)
+{
+    if (wire.empty()) return std::nullopt;
+    std::size_t count = wire[0];
+    if (wire.size() != 1 + 2 * count + kNonceSize || count == 0) {
+        return std::nullopt;
+    }
+    ClientHello hello;
+    for (std::size_t i = 0; i < count; ++i) {
+        hello.offeredVersions.push_back(
+            std::uint16_t(wire[1 + 2 * i] | (wire[2 + 2 * i] << 8)));
+    }
+    hello.nonce = Bytes(wire.begin() + 1 + 2 * count, wire.end());
+    return hello;
+}
+
+Bytes
+ServerHello::serialize() const
+{
+    Bytes out;
+    out.push_back(std::uint8_t(chosenVersion));
+    out.push_back(std::uint8_t(chosenVersion >> 8));
+    append(out, nonce);
+    append(out, transcriptMac);
+    return out;
+}
+
+std::optional<ServerHello>
+ServerHello::parse(ByteView wire)
+{
+    if (wire.size() != 2 + kNonceSize + 32) return std::nullopt;
+    ServerHello hello;
+    hello.chosenVersion = std::uint16_t(wire[0] | (wire[1] << 8));
+    hello.nonce = Bytes(wire.begin() + 2, wire.begin() + 2 + kNonceSize);
+    hello.transcriptMac = Bytes(wire.begin() + 2 + kNonceSize, wire.end());
+    return hello;
+}
+
+HandshakeServer::HandshakeServer(ByteView psk, std::uint64_t rngSeed)
+    : psk_(psk.begin(), psk.end()), rng_(rngSeed)
+{
+}
+
+Result<Bytes>
+HandshakeServer::respond(ByteView clientHelloWire)
+{
+    auto hello = ClientHello::parse(clientHelloWire);
+    if (!hello) return Err::BadCallBuffer;
+
+    // Pick the highest version both sides support.
+    std::uint16_t chosen = 0;
+    for (std::uint16_t v : hello->offeredVersions) {
+        if ((v == kVersionTls13 || v == kVersionTls12) && v > chosen) {
+            chosen = v;
+        }
+    }
+    if (chosen == 0) return Err::BadCallBuffer;
+
+    ServerHello response;
+    response.chosenVersion = chosen;
+    response.nonce = rng_.bytes(kNonceSize);
+    response.transcriptMac =
+        transcriptMac(psk_, clientHelloWire, chosen, response.nonce);
+
+    result_ = HandshakeResult{
+        chosen, deriveSessionKey(psk_, chosen, hello->nonce, response.nonce)};
+    return response.serialize();
+}
+
+HandshakeClient::HandshakeClient(ByteView psk, std::uint64_t rngSeed)
+    : psk_(psk.begin(), psk.end()), rng_(rngSeed)
+{
+}
+
+Bytes
+HandshakeClient::hello()
+{
+    ClientHello hello;
+    hello.offeredVersions = {kVersionTls13, kVersionTls12};
+    hello.nonce = rng_.bytes(kNonceSize);
+    sentHello_ = hello.serialize();
+    return sentHello_;
+}
+
+Result<HandshakeResult>
+HandshakeClient::finish(ByteView serverHelloWire)
+{
+    auto hello = ServerHello::parse(serverHelloWire);
+    if (!hello) return Err::BadCallBuffer;
+
+    // The transcript MAC covers the *offered* versions; a rollback of the
+    // chosen version (or a rewritten offer) fails here.
+    Bytes expected = transcriptMac(psk_, sentHello_, hello->chosenVersion,
+                                   hello->nonce);
+    if (!constantTimeEqual(expected, hello->transcriptMac)) {
+        return Err::ReportMacMismatch;
+    }
+
+    auto parsed = ClientHello::parse(sentHello_);
+    return HandshakeResult{
+        hello->chosenVersion,
+        deriveSessionKey(psk_, hello->chosenVersion, parsed->nonce,
+                         hello->nonce)};
+}
+
+}  // namespace nesgx::ssl

@@ -1,0 +1,86 @@
+/**
+ * minissl handshake: a minimal authenticated key agreement with
+ * anti-rollback, standing in for the "rich security features of the
+ * standard SSL such as the secure handshake protocol to prevent the
+ * version rollback or the cipher suite rollback attack" (paper §VI-A).
+ *
+ * Both sides hold a pre-shared authentication secret (the paper's echo
+ * server assumes key distribution). The session key is derived from both
+ * nonces and the negotiated version; a MAC over the full transcript makes
+ * downgrade of the version/cipher offer detectable.
+ */
+#pragma once
+
+#include <optional>
+
+#include "crypto/hmac.h"
+#include "support/bytes.h"
+#include "support/rng.h"
+#include "support/status.h"
+
+namespace nesgx::ssl {
+
+constexpr std::uint16_t kVersionTls12 = 0x0303;
+constexpr std::uint16_t kVersionTls13 = 0x0304;
+
+/** ClientHello: offered versions (highest first) + client nonce. */
+struct ClientHello {
+    std::vector<std::uint16_t> offeredVersions;
+    Bytes nonce;  // 16 bytes
+
+    Bytes serialize() const;
+    static std::optional<ClientHello> parse(ByteView wire);
+};
+
+/** ServerHello: chosen version + server nonce + transcript MAC. */
+struct ServerHello {
+    std::uint16_t chosenVersion = 0;
+    Bytes nonce;  // 16 bytes
+    Bytes transcriptMac;  // HMAC(psk, hello || serverhello-body)
+
+    Bytes serialize() const;
+    static std::optional<ServerHello> parse(ByteView wire);
+};
+
+/** Result of a completed handshake. */
+struct HandshakeResult {
+    std::uint16_t version = 0;
+    Bytes sessionKey;  // 16 bytes, feeds MiniSsl
+};
+
+class HandshakeServer {
+  public:
+    HandshakeServer(ByteView psk, std::uint64_t rngSeed = 1);
+
+    /** Processes a ClientHello; picks the highest mutual version. */
+    Result<Bytes> respond(ByteView clientHelloWire);
+
+    /** Session material once respond() succeeded. */
+    const std::optional<HandshakeResult>& result() const { return result_; }
+
+  private:
+    Bytes psk_;
+    Rng rng_;
+    std::optional<HandshakeResult> result_;
+};
+
+class HandshakeClient {
+  public:
+    HandshakeClient(ByteView psk, std::uint64_t rngSeed = 2);
+
+    /** Produces the ClientHello offering TLS 1.3 then 1.2. */
+    Bytes hello();
+
+    /**
+     * Verifies the ServerHello transcript MAC — this is where a
+     * version-rollback tamper by the network/OS is caught.
+     */
+    Result<HandshakeResult> finish(ByteView serverHelloWire);
+
+  private:
+    Bytes psk_;
+    Rng rng_;
+    Bytes sentHello_;
+};
+
+}  // namespace nesgx::ssl

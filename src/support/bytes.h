@@ -1,0 +1,44 @@
+/**
+ * Byte-buffer helpers shared by the crypto substrate and the SGX model.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nesgx {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/** Renders a byte view as lowercase hex. */
+std::string toHex(ByteView data);
+
+/** Parses lowercase/uppercase hex into bytes; throws on odd/garbage input. */
+Bytes fromHex(const std::string& hex);
+
+/** Copies a string's characters into a byte vector. */
+Bytes bytesOf(const std::string& s);
+
+/** Constant-time byte comparison (crypto MAC checks). */
+bool constantTimeEqual(ByteView a, ByteView b);
+
+/** Appends a view to a byte vector. */
+void append(Bytes& out, ByteView data);
+
+/** Little-endian integer store/load helpers. */
+void storeLe32(std::uint8_t* p, std::uint32_t v);
+void storeLe64(std::uint8_t* p, std::uint64_t v);
+std::uint32_t loadLe32(const std::uint8_t* p);
+std::uint64_t loadLe64(const std::uint8_t* p);
+
+/** Big-endian integer store/load helpers (hash/crypto formats). */
+void storeBe32(std::uint8_t* p, std::uint32_t v);
+void storeBe64(std::uint8_t* p, std::uint64_t v);
+std::uint32_t loadBe32(const std::uint8_t* p);
+std::uint64_t loadBe64(const std::uint8_t* p);
+
+}  // namespace nesgx

@@ -1,0 +1,45 @@
+#include "support/logging.h"
+
+#include <cstdio>
+
+namespace nesgx {
+
+namespace {
+
+LogLevel g_level = LogLevel::Off;
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Off: return "OFF";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+logLine(LogLevel level, const std::string& msg)
+{
+    if (level < g_level) return;
+    std::fprintf(stderr, "[nesgx %-5s] %s\n", levelName(level), msg.c_str());
+}
+
+}  // namespace nesgx

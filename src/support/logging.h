@@ -1,0 +1,51 @@
+/**
+ * Minimal leveled logging. Off by default so tests and benches stay quiet;
+ * examples enable Info to narrate what the emulated hardware is doing.
+ */
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace nesgx {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/** Sets the global log threshold. */
+void setLogLevel(LogLevel level);
+
+/** Current global log threshold. */
+LogLevel logLevel();
+
+/** Emits a log line if `level` passes the threshold. */
+void logLine(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogStream {
+  public:
+    explicit LogStream(LogLevel level) : level_(level) {}
+    ~LogStream() { logLine(level_, ss_.str()); }
+
+    template <typename T>
+    LogStream& operator<<(const T& v)
+    {
+        ss_ << v;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream ss_;
+};
+
+}  // namespace detail
+
+}  // namespace nesgx
+
+#define NESGX_LOG(level) \
+    if (::nesgx::logLevel() <= (level)) ::nesgx::detail::LogStream(level)
+#define NESGX_DEBUG NESGX_LOG(::nesgx::LogLevel::Debug)
+#define NESGX_INFO NESGX_LOG(::nesgx::LogLevel::Info)
+#define NESGX_WARN NESGX_LOG(::nesgx::LogLevel::Warn)
+#define NESGX_ERROR NESGX_LOG(::nesgx::LogLevel::Error)

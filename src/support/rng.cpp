@@ -1,0 +1,111 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace nesgx {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    for (auto& s : s_) s = splitmix64(seed);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    std::uint64_t threshold = -bound % bound;
+    for (;;) {
+        std::uint64_t r = next();
+        if (r >= threshold) return r % bound;
+    }
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDouble(double lo, double hi)
+{
+    return lo + (hi - lo) * nextDouble();
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u, v, s;
+    do {
+        u = nextDouble(-1.0, 1.0);
+        v = nextDouble(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    haveSpare_ = true;
+    return u * factor;
+}
+
+void
+Rng::fill(std::uint8_t* p, std::size_t n)
+{
+    std::size_t i = 0;
+    while (i + 8 <= n) {
+        storeLe64(p + i, next());
+        i += 8;
+    }
+    if (i < n) {
+        std::uint8_t tmp[8];
+        storeLe64(tmp, next());
+        for (std::size_t j = 0; i < n; ++i, ++j) p[i] = tmp[j];
+    }
+}
+
+Bytes
+Rng::bytes(std::size_t n)
+{
+    Bytes out(n);
+    fill(out.data(), n);
+    return out;
+}
+
+}  // namespace nesgx

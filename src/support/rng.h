@@ -1,0 +1,46 @@
+/**
+ * Deterministic pseudo-random generator used everywhere randomness is
+ * needed (workload generation, synthetic datasets, crypto nonces in the
+ * *model*). Determinism keeps every experiment reproducible run-to-run.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "support/bytes.h"
+
+namespace nesgx {
+
+/** SplitMix64-seeded xoshiro256** generator. */
+class Rng {
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Uniform 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform in [0, bound). bound must be > 0. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform double in [lo, hi). */
+    double nextDouble(double lo, double hi);
+
+    /** Standard-normal variate (Box-Muller). */
+    double nextGaussian();
+
+    /** Fills a buffer with pseudo-random bytes. */
+    void fill(std::uint8_t* p, std::size_t n);
+
+    /** Returns n pseudo-random bytes. */
+    Bytes bytes(std::size_t n);
+
+  private:
+    std::uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+}  // namespace nesgx

@@ -1,0 +1,118 @@
+#include "svm/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace nesgx::svm {
+
+std::vector<DatasetShape>
+tableVShapes()
+{
+    // Paper Table V: name, classes, training size, testing size, features.
+    return {
+        {"cod-rna", 2, 59535, 0, 8, 1.0},
+        {"colon-cancer", 2, 62, 0, 2000, 0.10},
+        {"dna", 3, 2000, 1186, 180, 0.25},
+        {"phishing", 2, 11055, 0, 68, 0.50},
+        {"protein", 3, 17766, 6621, 357, 0.25},
+    };
+}
+
+DatasetShape
+shapeByName(const std::string& name)
+{
+    for (const auto& shape : tableVShapes()) {
+        if (shape.name == name) return shape;
+    }
+    throw std::invalid_argument("unknown dataset shape: " + name);
+}
+
+Dataset
+generate(const DatasetShape& shape, std::size_t rows, Rng& rng)
+{
+    Dataset data;
+    data.nFeatures = shape.features;
+    data.nClasses = shape.nClasses;
+    data.samples.reserve(rows);
+    data.labels.reserve(rows);
+
+    // Per-class cluster centers on a small set of informative features.
+    int informative = std::max(2, shape.features / 8);
+    std::vector<std::vector<double>> centers(shape.nClasses);
+    for (auto& center : centers) {
+        center.resize(informative);
+        for (auto& c : center) c = rng.nextDouble(-2.0, 2.0);
+    }
+
+    for (std::size_t i = 0; i < rows; ++i) {
+        int label = int(rng.nextBelow(shape.nClasses));
+        SparseVector sample;
+        for (int f = 0; f < shape.features; ++f) {
+            if (rng.nextDouble() > shape.density) continue;
+            double value;
+            if (f < informative) {
+                value = centers[label][f] + 0.7 * rng.nextGaussian();
+            } else {
+                value = rng.nextGaussian();  // noise feature
+            }
+            sample.emplace_back(f, value);
+        }
+        if (sample.empty()) {
+            sample.emplace_back(0, centers[label][0]);
+        }
+        data.samples.push_back(std::move(sample));
+        data.labels.push_back(label);
+    }
+    return data;
+}
+
+std::string
+toLibsvmFormat(const Dataset& data)
+{
+    std::ostringstream out;
+    out.precision(12);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        out << data.labels[i];
+        for (const auto& [idx, val] : data.samples[i]) {
+            out << ' ' << (idx + 1) << ':' << val;
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+Dataset
+fromLibsvmFormat(const std::string& text)
+{
+    Dataset data;
+    std::istringstream lines(text);
+    std::string line;
+    int maxFeature = 0;
+    int maxLabel = 0;
+    while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        std::istringstream fields(line);
+        int label;
+        fields >> label;
+        SparseVector sample;
+        std::string token;
+        while (fields >> token) {
+            auto colon = token.find(':');
+            if (colon == std::string::npos) continue;
+            int idx = std::stoi(token.substr(0, colon)) - 1;
+            double val = std::stod(token.substr(colon + 1));
+            sample.emplace_back(idx, val);
+            maxFeature = std::max(maxFeature, idx + 1);
+        }
+        std::sort(sample.begin(), sample.end());
+        data.samples.push_back(std::move(sample));
+        data.labels.push_back(label);
+        maxLabel = std::max(maxLabel, label);
+    }
+    data.nFeatures = maxFeature;
+    data.nClasses = maxLabel + 1;
+    return data;
+}
+
+}  // namespace nesgx::svm

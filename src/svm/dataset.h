@@ -1,0 +1,61 @@
+/**
+ * minisvm datasets.
+ *
+ * Sparse feature vectors in libsvm's (index:value) spirit, plus synthetic
+ * generators shaped like the paper's Table V datasets (cod-rna,
+ * colon-cancer, dna, phishing, protein). The generators draw per-class
+ * Gaussian clusters so the learned models have meaningful accuracy; a
+ * scale factor shrinks row counts for CI speed while keeping the
+ * class/feature geometry (the benchmark prints the scale it used).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/rng.h"
+
+namespace nesgx::svm {
+
+/** One sparse sample: sorted (featureIndex, value) pairs. */
+using SparseVector = std::vector<std::pair<int, double>>;
+
+struct Dataset {
+    std::vector<SparseVector> samples;
+    std::vector<int> labels;  ///< class ids in [0, nClasses)
+    int nFeatures = 0;
+    int nClasses = 2;
+
+    std::size_t size() const { return samples.size(); }
+};
+
+/** Shape parameters for one synthetic dataset. */
+struct DatasetShape {
+    std::string name;
+    int nClasses = 2;
+    std::size_t trainSize = 0;
+    std::size_t testSize = 0;  ///< 0 = paper's '-': reuse training data
+    int features = 0;
+    /** Fraction of features present per sample (sparsity control). */
+    double density = 1.0;
+};
+
+/** The five Table V shapes, at full paper scale. */
+std::vector<DatasetShape> tableVShapes();
+
+/** Looks up a Table V shape by name ("cod-rna", "dna", ...). */
+DatasetShape shapeByName(const std::string& name);
+
+/**
+ * Generates a synthetic dataset of the given shape, scaled by `scale`
+ * (0 < scale <= 1 applies to row counts only).
+ */
+Dataset generate(const DatasetShape& shape, std::size_t rows, Rng& rng);
+
+/** Serializes in libsvm text format ("label idx:val idx:val ..."). */
+std::string toLibsvmFormat(const Dataset& data);
+
+/** Parses libsvm text format. */
+Dataset fromLibsvmFormat(const std::string& text);
+
+}  // namespace nesgx::svm

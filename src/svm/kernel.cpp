@@ -1,0 +1,64 @@
+#include "svm/kernel.h"
+
+#include <cmath>
+
+namespace nesgx::svm {
+
+double
+sparseDot(const SparseVector& a, const SparseVector& b, std::uint64_t& flops)
+{
+    double sum = 0.0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() && j < b.size()) {
+        ++flops;
+        if (a[i].first == b[j].first) {
+            sum += a[i].second * b[j].second;
+            ++i;
+            ++j;
+        } else if (a[i].first < b[j].first) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    return sum;
+}
+
+double
+sparseSquaredDistance(const SparseVector& a, const SparseVector& b,
+                      std::uint64_t& flops)
+{
+    double sum = 0.0;
+    std::size_t i = 0, j = 0;
+    while (i < a.size() || j < b.size()) {
+        ++flops;
+        if (j >= b.size() || (i < a.size() && a[i].first < b[j].first)) {
+            sum += a[i].second * a[i].second;
+            ++i;
+        } else if (i >= a.size() || b[j].first < a[i].first) {
+            sum += b[j].second * b[j].second;
+            ++j;
+        } else {
+            double d = a[i].second - b[j].second;
+            sum += d * d;
+            ++i;
+            ++j;
+        }
+    }
+    return sum;
+}
+
+double
+kernel(const KernelParams& params, const SparseVector& a,
+       const SparseVector& b, std::uint64_t& flops)
+{
+    switch (params.type) {
+      case KernelType::Linear:
+        return sparseDot(a, b, flops);
+      case KernelType::Rbf:
+        return std::exp(-params.gamma * sparseSquaredDistance(a, b, flops));
+    }
+    return 0.0;
+}
+
+}  // namespace nesgx::svm

@@ -1,0 +1,32 @@
+/**
+ * SVM kernel functions over sparse vectors, with an operation counter the
+ * enclave wrappers convert into simulated cycles.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "svm/dataset.h"
+
+namespace nesgx::svm {
+
+enum class KernelType { Linear, Rbf };
+
+struct KernelParams {
+    KernelType type = KernelType::Rbf;
+    double gamma = 0.1;  ///< RBF gamma
+};
+
+/** Sparse dot product; bumps `flops` by the pair count touched. */
+double sparseDot(const SparseVector& a, const SparseVector& b,
+                 std::uint64_t& flops);
+
+/** ||a - b||^2 for sparse vectors. */
+double sparseSquaredDistance(const SparseVector& a, const SparseVector& b,
+                             std::uint64_t& flops);
+
+/** K(a, b) under the given parameters. */
+double kernel(const KernelParams& params, const SparseVector& a,
+              const SparseVector& b, std::uint64_t& flops);
+
+}  // namespace nesgx::svm

@@ -1,0 +1,110 @@
+#include "svm/model.h"
+
+#include <sstream>
+
+namespace nesgx::svm {
+
+double
+BinaryModel::decide(const KernelParams& params, const SparseVector& x,
+                    std::uint64_t& flops) const
+{
+    double sum = -bias;
+    for (std::size_t i = 0; i < supportVectors.size(); ++i) {
+        sum += alphas[i] * kernel(params, supportVectors[i], x, flops);
+    }
+    return sum;
+}
+
+int
+Model::predict(const SparseVector& x, std::uint64_t& flops) const
+{
+    std::vector<int> votes(nClasses, 0);
+    for (const auto& bin : binaries) {
+        double f = bin.decide(params, x, flops);
+        ++votes[f >= 0 ? bin.positive : bin.negative];
+    }
+    int best = 0;
+    for (int c = 1; c < nClasses; ++c) {
+        if (votes[c] > votes[best]) best = c;
+    }
+    return best;
+}
+
+double
+Model::accuracy(const Dataset& data, std::uint64_t& flops) const
+{
+    if (data.size() == 0) return 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        if (predict(data.samples[i], flops) == data.labels[i]) ++correct;
+    }
+    return double(correct) / double(data.size());
+}
+
+std::size_t
+Model::totalSupportVectors() const
+{
+    std::size_t n = 0;
+    for (const auto& bin : binaries) n += bin.supportVectors.size();
+    return n;
+}
+
+std::string
+Model::serialize() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "minisvm " << (params.type == KernelType::Rbf ? "rbf" : "linear")
+        << ' ' << params.gamma << ' ' << nClasses << ' ' << binaries.size()
+        << '\n';
+    for (const auto& bin : binaries) {
+        out << bin.positive << ' ' << bin.negative << ' ' << bin.bias << ' '
+            << bin.supportVectors.size() << '\n';
+        for (std::size_t i = 0; i < bin.supportVectors.size(); ++i) {
+            out << bin.alphas[i];
+            for (const auto& [idx, val] : bin.supportVectors[i]) {
+                out << ' ' << idx << ':' << val;
+            }
+            out << '\n';
+        }
+    }
+    return out.str();
+}
+
+Model
+Model::deserialize(const std::string& text)
+{
+    std::istringstream in(text);
+    std::string magic, kernelName;
+    Model model;
+    std::size_t binCount = 0;
+    in >> magic >> kernelName >> model.params.gamma >> model.nClasses >>
+        binCount;
+    model.params.type =
+        (kernelName == "rbf") ? KernelType::Rbf : KernelType::Linear;
+
+    model.binaries.resize(binCount);
+    for (auto& bin : model.binaries) {
+        std::size_t svCount = 0;
+        in >> bin.positive >> bin.negative >> bin.bias >> svCount;
+        std::string line;
+        std::getline(in, line);  // finish header line
+        bin.supportVectors.resize(svCount);
+        bin.alphas.resize(svCount);
+        for (std::size_t i = 0; i < svCount; ++i) {
+            std::getline(in, line);
+            std::istringstream fields(line);
+            fields >> bin.alphas[i];
+            std::string token;
+            while (fields >> token) {
+                auto colon = token.find(':');
+                bin.supportVectors[i].emplace_back(
+                    std::stoi(token.substr(0, colon)),
+                    std::stod(token.substr(colon + 1)));
+            }
+        }
+    }
+    return model;
+}
+
+}  // namespace nesgx::svm

@@ -1,0 +1,46 @@
+/**
+ * minisvm models: binary C-SVC decision functions combined one-vs-one for
+ * multi-class (as LibSVM does), plus text (de)serialization so trained
+ * models can cross the enclave boundary as bytes.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "svm/kernel.h"
+
+namespace nesgx::svm {
+
+/** One binary decision function between classes `positive`/`negative`. */
+struct BinaryModel {
+    int positive = 0;
+    int negative = 1;
+    std::vector<SparseVector> supportVectors;
+    std::vector<double> alphas;  ///< alpha_i * y_i for each SV
+    double bias = 0.0;
+
+    /** Decision value f(x); positive -> class `positive`. */
+    double decide(const KernelParams& params, const SparseVector& x,
+                  std::uint64_t& flops) const;
+};
+
+struct Model {
+    KernelParams params;
+    int nClasses = 2;
+    std::vector<BinaryModel> binaries;  ///< one per class pair (i < j)
+
+    /** Predicts the class by one-vs-one voting. */
+    int predict(const SparseVector& x, std::uint64_t& flops) const;
+
+    /** Fraction of correct predictions on a dataset. */
+    double accuracy(const Dataset& data, std::uint64_t& flops) const;
+
+    std::size_t totalSupportVectors() const;
+
+    std::string serialize() const;
+    static Model deserialize(const std::string& text);
+};
+
+}  // namespace nesgx::svm

@@ -1,0 +1,137 @@
+#include "svm/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace nesgx::svm {
+
+namespace {
+
+/** Trains one binary classifier (labels in {+1,-1}) with simplified SMO. */
+BinaryModel
+trainBinary(const std::vector<const SparseVector*>& x,
+            const std::vector<double>& y, const TrainParams& params,
+            TrainStats* stats)
+{
+    const std::size_t n = x.size();
+    std::vector<double> alpha(n, 0.0);
+    double b = 0.0;
+    std::uint64_t flops = 0;
+
+    // Cache the diagonal; full kernel rows are recomputed (the datasets
+    // in the case study are small enough after scaling).
+    auto k = [&](std::size_t i, std::size_t j) {
+        return kernel(params.kernel, *x[i], *x[j], flops);
+    };
+    auto f = [&](std::size_t i) {
+        double sum = -b;
+        for (std::size_t t = 0; t < n; ++t) {
+            if (alpha[t] != 0.0) sum += alpha[t] * y[t] * k(t, i);
+        }
+        return sum;
+    };
+
+    Rng rng(n * 2654435761u + 17);
+    int passes = 0;
+    std::uint64_t iterations = 0;
+    while (passes < params.maxPasses &&
+           iterations < std::uint64_t(params.maxIterations)) {
+        ++iterations;
+        int changed = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double ei = f(i) - y[i];
+            bool violatesKkt = (y[i] * ei < -params.tolerance &&
+                                alpha[i] < params.c) ||
+                               (y[i] * ei > params.tolerance && alpha[i] > 0);
+            if (!violatesKkt) continue;
+
+            std::size_t j = rng.nextBelow(n - 1);
+            if (j >= i) ++j;
+            double ej = f(j) - y[j];
+
+            double aiOld = alpha[i], ajOld = alpha[j];
+            double lo, hi;
+            if (y[i] != y[j]) {
+                lo = std::max(0.0, ajOld - aiOld);
+                hi = std::min(params.c, params.c + ajOld - aiOld);
+            } else {
+                lo = std::max(0.0, aiOld + ajOld - params.c);
+                hi = std::min(params.c, aiOld + ajOld);
+            }
+            if (lo >= hi) continue;
+
+            double eta = 2 * k(i, j) - k(i, i) - k(j, j);
+            if (eta >= 0) continue;
+
+            double ajNew = ajOld - y[j] * (ei - ej) / eta;
+            ajNew = std::clamp(ajNew, lo, hi);
+            if (std::abs(ajNew - ajOld) < 1e-6) continue;
+            double aiNew = aiOld + y[i] * y[j] * (ajOld - ajNew);
+
+            double b1 = b + ei + y[i] * (aiNew - aiOld) * k(i, i) +
+                        y[j] * (ajNew - ajOld) * k(i, j);
+            double b2 = b + ej + y[i] * (aiNew - aiOld) * k(i, j) +
+                        y[j] * (ajNew - ajOld) * k(j, j);
+            if (aiNew > 0 && aiNew < params.c) {
+                b = b1;
+            } else if (ajNew > 0 && ajNew < params.c) {
+                b = b2;
+            } else {
+                b = (b1 + b2) / 2;
+            }
+
+            alpha[i] = aiNew;
+            alpha[j] = ajNew;
+            ++changed;
+        }
+        passes = (changed == 0) ? passes + 1 : 0;
+    }
+
+    BinaryModel model;
+    model.bias = b;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (alpha[i] > 1e-8) {
+            model.supportVectors.push_back(*x[i]);
+            model.alphas.push_back(alpha[i] * y[i]);
+        }
+    }
+    if (stats) {
+        stats->flops += flops;
+        stats->iterations += iterations;
+    }
+    return model;
+}
+
+}  // namespace
+
+Model
+train(const Dataset& data, const TrainParams& params, TrainStats* stats)
+{
+    Model model;
+    model.params = params.kernel;
+    model.nClasses = data.nClasses;
+
+    // One-vs-one: a binary problem per class pair, as in LibSVM.
+    for (int a = 0; a < data.nClasses; ++a) {
+        for (int c = a + 1; c < data.nClasses; ++c) {
+            std::vector<const SparseVector*> x;
+            std::vector<double> y;
+            for (std::size_t i = 0; i < data.size(); ++i) {
+                if (data.labels[i] == a) {
+                    x.push_back(&data.samples[i]);
+                    y.push_back(+1.0);
+                } else if (data.labels[i] == c) {
+                    x.push_back(&data.samples[i]);
+                    y.push_back(-1.0);
+                }
+            }
+            BinaryModel bin = trainBinary(x, y, params, stats);
+            bin.positive = a;
+            bin.negative = c;
+            model.binaries.push_back(std::move(bin));
+        }
+    }
+    return model;
+}
+
+}  // namespace nesgx::svm

@@ -1,0 +1,29 @@
+/**
+ * minisvm trainer: SMO-style C-SVC solver (Platt's algorithm with the
+ * standard working-set heuristic), one-vs-one for multi-class — the same
+ * structure as LibSVM's svm-train used in the paper's §VI-B case study.
+ */
+#pragma once
+
+#include "svm/model.h"
+
+namespace nesgx::svm {
+
+struct TrainParams {
+    KernelParams kernel;
+    double c = 1.0;           ///< soft-margin parameter
+    double tolerance = 1e-3;  ///< KKT tolerance
+    int maxPasses = 5;        ///< passes with no alpha change before stop
+    int maxIterations = 2000; ///< hard cap on outer iterations
+};
+
+struct TrainStats {
+    std::uint64_t flops = 0;        ///< kernel ops performed
+    std::uint64_t iterations = 0;   ///< SMO outer iterations
+};
+
+/** Trains a full (possibly multi-class) model. */
+Model train(const Dataset& data, const TrainParams& params,
+            TrainStats* stats = nullptr);
+
+}  // namespace nesgx::svm

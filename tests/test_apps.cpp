@@ -1,0 +1,293 @@
+/**
+ * Functional tests for the case-study applications in both layouts:
+ * echo server correctness + call accounting, ML service train/predict,
+ * SQL service YCSB correctness and overhead bounds.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/echo_app.h"
+#include "apps/ml_app.h"
+#include "apps/sql_app.h"
+#include "harness.h"
+
+namespace nesgx::test {
+namespace {
+
+sgx::Machine::Config
+appConfig()
+{
+    auto config = World::smallConfig();
+    config.prmBytes = 32ull << 20;
+    config.dramBytes = 128ull << 20;
+    config.prmBase = 64ull << 20;
+    return config;
+}
+
+// --- echo server ------------------------------------------------------------
+
+class EchoBothLayouts : public ::testing::TestWithParam<apps::Layout> {
+};
+
+TEST_P(EchoBothLayouts, EchoesMessagesCorrectly)
+{
+    World world(appConfig());
+    Bytes key(16, 0x21);
+    auto server = apps::EchoServer::create(*world.urts, GetParam(), key)
+                      .orThrow("server");
+    apps::EchoClient client(key);
+
+    const int messages = 8;
+    for (int i = 0; i < messages; ++i) {
+        client.sendData(server->network(), 128 + 32 * i);
+    }
+    server->run(messages).orThrow("run");
+
+    for (int i = 0; i < messages; ++i) {
+        ASSERT_TRUE(client.receive(server->network()).isOk()) << i;
+    }
+    EXPECT_EQ(client.echoedOk(), std::uint64_t(messages));
+}
+
+TEST_P(EchoBothLayouts, HandlesInterleavedHeartbeats)
+{
+    World world(appConfig());
+    Bytes key(16, 0x22);
+    auto server = apps::EchoServer::create(*world.urts, GetParam(), key)
+                      .orThrow("server");
+    apps::EchoClient client(key);
+
+    client.sendData(server->network(), 64);
+    client.sendHeartbleed(server->network(), 16);
+    client.sendData(server->network(), 64);
+    server->run(2).orThrow("run");
+
+    int responses = 0;
+    while (client.receive(server->network()).isOk()) ++responses;
+    EXPECT_EQ(responses, 3);
+    EXPECT_EQ(client.echoedOk(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, EchoBothLayouts,
+                         ::testing::Values(apps::Layout::Monolithic,
+                                           apps::Layout::Nested),
+                         [](const auto& info) {
+                             return info.param == apps::Layout::Monolithic
+                                        ? "Monolithic"
+                                        : "Nested";
+                         });
+
+TEST(EchoCalls, NestedAddsNOcallsOnly)
+{
+    World world(appConfig());
+    Bytes key(16, 0x23);
+    auto server = apps::EchoServer::create(*world.urts,
+                                           apps::Layout::Nested, key)
+                      .orThrow("server");
+    apps::EchoClient client(key);
+    const int messages = 5;
+    for (int i = 0; i < messages; ++i) {
+        client.sendData(server->network(), 128);
+    }
+    world.urts->resetStats();
+    server->run(messages).orThrow("run");
+
+    const auto& stats = world.urts->stats();
+    // One long-lived ecall; per message: SSL_read + SSL_write n_ocalls
+    // and net_recv + net_send ocalls (plus one final empty net_recv).
+    EXPECT_EQ(stats.ecalls, 1u);
+    EXPECT_EQ(stats.nEcalls, 1u);  // the run entry point
+    EXPECT_EQ(stats.nOcalls, std::uint64_t(2 * messages + 1));
+    EXPECT_EQ(stats.ocalls, std::uint64_t(2 * messages + 1));
+}
+
+TEST(EchoOverhead, NestedWithinSingleDigitPercent)
+{
+    // The Fig.-7 claim at a mid chunk size: nested costs 2-6% more.
+    Bytes key(16, 0x24);
+    const int messages = 20;
+    const std::uint64_t chunk = 1024;
+
+    auto measure = [&](apps::Layout layout) {
+        World world(appConfig());
+        auto server = apps::EchoServer::create(*world.urts, layout, key)
+                          .orThrow("server");
+        apps::EchoClient client(key);
+        for (int i = 0; i < messages; ++i) {
+            client.sendData(server->network(), chunk);
+        }
+        std::uint64_t before = world.machine.clock().cycles();
+        server->run(messages).orThrow("run");
+        return world.machine.clock().cycles() - before;
+    };
+
+    double mono = double(measure(apps::Layout::Monolithic));
+    double nested = double(measure(apps::Layout::Nested));
+    EXPECT_GT(nested, mono);              // there is a cost...
+    EXPECT_LT(nested / mono, 1.10);       // ...but bounded (paper: 2-6%)
+}
+
+// --- ML service ------------------------------------------------------------
+
+class MlBothLayouts
+    : public ::testing::TestWithParam<apps::MlService::MlLayout> {
+};
+
+TEST_P(MlBothLayouts, TrainAndPredict)
+{
+    World world(appConfig());
+    auto service = apps::MlService::create(*world.urts, GetParam(), 2)
+                       .orThrow("service");
+
+    Rng rng(11);
+    svm::Dataset data = svm::generate(svm::shapeByName("phishing"), 60, rng);
+    Bytes sealedTrain = apps::sealDataset(data, service->clientKey(0), 0);
+    Bytes sealedTest = apps::sealDataset(data, service->clientKey(0), 1);
+
+    svm::TrainParams params;
+    params.kernel.gamma = 0.1;
+    auto trained = service->train(0, sealedTrain, params);
+    ASSERT_TRUE(trained.isOk()) << trained.status().name();
+    EXPECT_TRUE(trained.value().ok);
+    EXPECT_GT(trained.value().supportVectors, 0u);
+    EXPECT_GT(trained.value().accuracy, 0.7);
+
+    auto predicted = service->predict(0, sealedTest);
+    ASSERT_TRUE(predicted.isOk());
+    EXPECT_EQ(predicted.value().predictions, data.size());
+    EXPECT_GT(predicted.value().accuracy, 0.7);
+}
+
+TEST_P(MlBothLayouts, UsersAreIndependent)
+{
+    World world(appConfig());
+    auto service = apps::MlService::create(*world.urts, GetParam(), 2)
+                       .orThrow("service");
+    Rng rng(12);
+    svm::Dataset data = svm::generate(svm::shapeByName("phishing"), 40, rng);
+
+    svm::TrainParams params;
+    auto u0 = service->train(
+        0, apps::sealDataset(data, service->clientKey(0), 0), params);
+    ASSERT_TRUE(u0.isOk());
+    auto u1 = service->train(
+        1, apps::sealDataset(data, service->clientKey(1), 0), params);
+    ASSERT_TRUE(u1.isOk());
+    // Both trained from their own sealed copies under their own keys.
+    EXPECT_TRUE(u0.value().ok);
+    EXPECT_TRUE(u1.value().ok);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, MlBothLayouts,
+    ::testing::Values(apps::MlService::MlLayout::Monolithic,
+                      apps::MlService::MlLayout::Nested),
+    [](const auto& info) {
+        return info.param == apps::MlService::MlLayout::Monolithic
+                   ? "Monolithic"
+                   : "Nested";
+    });
+
+TEST(MlOverhead, NestedWithinFewPercent)
+{
+    // Fig. 9: nested ~= monolithic because transition counts are tiny
+    // relative to SVM compute.
+    Rng rng(13);
+    svm::Dataset data = svm::generate(svm::shapeByName("phishing"), 80, rng);
+    svm::TrainParams params;
+
+    auto measure = [&](apps::MlService::MlLayout layout) {
+        World world(appConfig());
+        auto service = apps::MlService::create(*world.urts, layout, 1)
+                           .orThrow("service");
+        Bytes sealed = apps::sealDataset(data, service->clientKey(0), 0);
+        std::uint64_t before = world.machine.clock().cycles();
+        service->train(0, sealed, params).orThrow("train");
+        return world.machine.clock().cycles() - before;
+    };
+
+    double mono = double(measure(apps::MlService::MlLayout::Monolithic));
+    double nested = double(measure(apps::MlService::MlLayout::Nested));
+    EXPECT_LT(nested / mono, 1.05);
+}
+
+// --- SQL service ------------------------------------------------------------
+
+class SqlBothLayouts
+    : public ::testing::TestWithParam<apps::SqlService::SqlLayout> {
+};
+
+TEST_P(SqlBothLayouts, YcsbEndToEnd)
+{
+    World world(appConfig());
+    auto service = apps::SqlService::create(*world.urts, GetParam())
+                       .orThrow("service");
+
+    db::YcsbWorkload workload(100, 16, 21);
+    ASSERT_TRUE(service->query(workload.createTableSql())
+                    .orThrow("create").ok);
+    ASSERT_TRUE(service->load(workload.loadPhase()).isOk());
+
+    for (const auto& mix : db::tableVIMixes()) {
+        for (const auto& op : workload.run(mix, 25)) {
+            auto result = service->query(workload.toSql(op));
+            ASSERT_TRUE(result.isOk()) << mix.name;
+            EXPECT_TRUE(result.value().ok) << mix.name;
+        }
+    }
+}
+
+TEST_P(SqlBothLayouts, SelectFindsInsertedRows)
+{
+    World world(appConfig());
+    auto service = apps::SqlService::create(*world.urts, GetParam())
+                       .orThrow("service");
+    ASSERT_TRUE(
+        service->query("CREATE TABLE usertable (ycsb_key, field0)").isOk());
+    ASSERT_TRUE(
+        service->query("INSERT INTO usertable VALUES (7, 'hello')").isOk());
+    auto result =
+        service->query("SELECT * FROM usertable WHERE ycsb_key = 7");
+    ASSERT_TRUE(result.isOk());
+    EXPECT_TRUE(result.value().ok);
+    EXPECT_EQ(result.value().rows, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, SqlBothLayouts,
+    ::testing::Values(apps::SqlService::SqlLayout::Monolithic,
+                      apps::SqlService::SqlLayout::Nested),
+    [](const auto& info) {
+        return info.param == apps::SqlService::SqlLayout::Monolithic
+                   ? "Monolithic"
+                   : "Nested";
+    });
+
+TEST(SqlOverhead, NestedWithinTwoPercentLikeTableVI)
+{
+    db::YcsbWorkload setupA(200, 16, 22), setupB(200, 16, 22);
+
+    auto measure = [&](apps::SqlService::SqlLayout layout,
+                       db::YcsbWorkload& workload) {
+        World world(appConfig());
+        auto service = apps::SqlService::create(*world.urts, layout)
+                           .orThrow("service");
+        service->query(workload.createTableSql()).orThrow("create");
+        service->load(workload.loadPhase()).orThrow("load");
+        auto ops = workload.run(db::tableVIMixes()[2], 100);  // 95/5
+        std::uint64_t before = world.machine.clock().cycles();
+        for (const auto& op : ops) {
+            service->query(workload.toSql(op)).orThrow("query");
+        }
+        return world.machine.clock().cycles() - before;
+    };
+
+    double mono =
+        double(measure(apps::SqlService::SqlLayout::Monolithic, setupA));
+    double nested =
+        double(measure(apps::SqlService::SqlLayout::Nested, setupB));
+    EXPECT_GT(nested, mono);
+    EXPECT_LT(nested / mono, 1.05);  // paper: <= 2%
+}
+
+}  // namespace
+}  // namespace nesgx::test

@@ -1,0 +1,330 @@
+/** minidb tests: B-tree invariants, SQL parsing/execution, YCSB mixes. */
+#include <gtest/gtest.h>
+
+#include "db/executor.h"
+#include "db/ycsb.h"
+
+namespace nesgx::db {
+namespace {
+
+// --- B-tree ---------------------------------------------------------------
+
+TEST(Btree, InsertFindBasic)
+{
+    Btree tree;
+    EXPECT_TRUE(tree.insert(5, {"five"}));
+    EXPECT_TRUE(tree.insert(3, {"three"}));
+    EXPECT_TRUE(tree.insert(9, {"nine"}));
+    EXPECT_EQ(tree.size(), 3u);
+    ASSERT_TRUE(tree.find(5).has_value());
+    EXPECT_EQ(tree.find(5)->at(0), "five");
+    EXPECT_FALSE(tree.find(7).has_value());
+}
+
+TEST(Btree, InsertReplacesOnDuplicateKey)
+{
+    Btree tree;
+    EXPECT_TRUE(tree.insert(1, {"a"}));
+    EXPECT_FALSE(tree.insert(1, {"b"}));
+    EXPECT_EQ(tree.size(), 1u);
+    EXPECT_EQ(tree.find(1)->at(0), "b");
+}
+
+TEST(Btree, SplitsGrowHeight)
+{
+    Btree tree;
+    for (Key k = 0; k < 1000; ++k) {
+        tree.insert(k, {"v" + std::to_string(k)});
+    }
+    EXPECT_EQ(tree.size(), 1000u);
+    EXPECT_GT(tree.height(), 1u);
+    EXPECT_TRUE(tree.checkInvariants());
+    for (Key k = 0; k < 1000; ++k) {
+        ASSERT_TRUE(tree.find(k).has_value()) << k;
+    }
+}
+
+TEST(Btree, RandomInsertOrderKeepsInvariants)
+{
+    Btree tree;
+    Rng rng(42);
+    std::vector<Key> keys;
+    for (int i = 0; i < 2000; ++i) {
+        Key k = Key(rng.nextBelow(1000000));
+        keys.push_back(k);
+        tree.insert(k, {std::to_string(k)});
+    }
+    EXPECT_TRUE(tree.checkInvariants());
+    for (Key k : keys) {
+        ASSERT_TRUE(tree.find(k).has_value());
+        EXPECT_EQ(tree.find(k)->at(0), std::to_string(k));
+    }
+}
+
+TEST(Btree, UpdateInPlace)
+{
+    Btree tree;
+    for (Key k = 0; k < 100; ++k) tree.insert(k, {"old"});
+    EXPECT_TRUE(tree.update(42, {"new"}));
+    EXPECT_FALSE(tree.update(4242, {"new"}));
+    EXPECT_EQ(tree.find(42)->at(0), "new");
+    EXPECT_EQ(tree.find(41)->at(0), "old");
+}
+
+TEST(Btree, ScanRange)
+{
+    Btree tree;
+    for (Key k = 0; k < 200; k += 2) tree.insert(k, {std::to_string(k)});
+    std::vector<Key> seen;
+    tree.scan(50, 70, [&](Key k, const Row&) { seen.push_back(k); });
+    std::vector<Key> expect = {50, 52, 54, 56, 58, 60, 62, 64, 66, 68, 70};
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(Btree, EraseRemovesKeys)
+{
+    Btree tree;
+    for (Key k = 0; k < 300; ++k) tree.insert(k, {std::to_string(k)});
+    for (Key k = 0; k < 300; k += 3) {
+        EXPECT_TRUE(tree.erase(k)) << k;
+    }
+    EXPECT_FALSE(tree.erase(0));
+    EXPECT_EQ(tree.size(), 200u);
+    for (Key k = 0; k < 300; ++k) {
+        EXPECT_EQ(tree.find(k).has_value(), k % 3 != 0) << k;
+    }
+}
+
+TEST(Btree, StatsAccumulate)
+{
+    Btree tree;
+    for (Key k = 0; k < 500; ++k) tree.insert(k, {"x"});
+    auto visitsBefore = tree.stats().nodeVisits;
+    tree.find(250);
+    EXPECT_GT(tree.stats().nodeVisits, visitsBefore);
+}
+
+// --- parser ------------------------------------------------------------------
+
+TEST(Parser, TokenizerSplitsCorrectly)
+{
+    auto tokens = tokenize("SELECT * FROM t WHERE k = 10");
+    std::vector<std::string> expect = {"SELECT", "*", "FROM", "t",
+                                       "WHERE",  "k", "=",    "10"};
+    EXPECT_EQ(tokens, expect);
+}
+
+TEST(Parser, TokenizerHandlesStringLiterals)
+{
+    auto tokens = tokenize("INSERT INTO t VALUES (1, 'hello world')");
+    ASSERT_GE(tokens.size(), 9u);
+    EXPECT_EQ(tokens[5], "1");
+    EXPECT_EQ(tokens[7], "'hello world'");
+}
+
+TEST(Parser, CreateTable)
+{
+    auto stmt = parseSql("CREATE TABLE users (id, name, email)");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_EQ(stmt.value().kind, StatementKind::CreateTable);
+    EXPECT_EQ(stmt.value().table, "users");
+    std::vector<std::string> expect = {"id", "name", "email"};
+    EXPECT_EQ(stmt.value().columns, expect);
+}
+
+TEST(Parser, InsertValues)
+{
+    auto stmt = parseSql("INSERT INTO users VALUES (7, 'ada', 'a@b.c')");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_EQ(stmt.value().kind, StatementKind::Insert);
+    std::vector<std::string> expect = {"7", "ada", "a@b.c"};
+    EXPECT_EQ(stmt.value().values, expect);
+}
+
+TEST(Parser, SelectPoint)
+{
+    auto stmt = parseSql("SELECT * FROM users WHERE id = 7");
+    ASSERT_TRUE(stmt.isOk());
+    ASSERT_TRUE(stmt.value().whereKey.has_value());
+    EXPECT_EQ(*stmt.value().whereKey, 7);
+}
+
+TEST(Parser, SelectRange)
+{
+    auto stmt = parseSql("SELECT * FROM users WHERE id BETWEEN 3 AND 9");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_EQ(*stmt.value().rangeLo, 3);
+    EXPECT_EQ(*stmt.value().rangeHi, 9);
+}
+
+TEST(Parser, UpdateSet)
+{
+    auto stmt = parseSql("UPDATE users SET name = 'bob' WHERE id = 2");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_EQ(stmt.value().setColumn, "name");
+    EXPECT_EQ(stmt.value().setValue, "bob");
+    EXPECT_EQ(*stmt.value().whereKey, 2);
+}
+
+TEST(Parser, DeleteFrom)
+{
+    auto stmt = parseSql("DELETE FROM users WHERE id = 2");
+    ASSERT_TRUE(stmt.isOk());
+    EXPECT_EQ(stmt.value().kind, StatementKind::Delete);
+}
+
+TEST(Parser, RejectsGarbage)
+{
+    EXPECT_FALSE(parseSql("").isOk());
+    EXPECT_FALSE(parseSql("DROP TABLE users").isOk());
+    EXPECT_FALSE(parseSql("SELECT * FROM").isOk());
+    EXPECT_FALSE(parseSql("INSERT INTO t VALUES ()").isOk());
+    EXPECT_FALSE(parseSql("SELECT * FROM t WHERE id = abc").isOk());
+}
+
+TEST(Parser, KeywordsCaseInsensitive)
+{
+    EXPECT_TRUE(parseSql("select * from t where k = 1").isOk());
+    EXPECT_TRUE(parseSql("Insert Into t Values (1, 'x')").isOk());
+}
+
+// --- executor --------------------------------------------------------------------
+
+class ExecutorTest : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        ASSERT_TRUE(db_.execute("CREATE TABLE t (k, v)").ok);
+    }
+    Database db_;
+};
+
+TEST_F(ExecutorTest, InsertSelect)
+{
+    ASSERT_TRUE(db_.execute("INSERT INTO t VALUES (1, 'one')").ok);
+    auto result = db_.execute("SELECT * FROM t WHERE k = 1");
+    ASSERT_TRUE(result.ok);
+    ASSERT_EQ(result.rows.size(), 1u);
+    EXPECT_EQ(result.rows[0].second.at(0), "one");
+}
+
+TEST_F(ExecutorTest, SelectMissingKeyReturnsEmpty)
+{
+    auto result = db_.execute("SELECT * FROM t WHERE k = 99");
+    EXPECT_TRUE(result.ok);
+    EXPECT_TRUE(result.rows.empty());
+}
+
+TEST_F(ExecutorTest, UpdateChangesValue)
+{
+    db_.execute("INSERT INTO t VALUES (1, 'one')");
+    auto updated = db_.execute("UPDATE t SET v = 'uno' WHERE k = 1");
+    ASSERT_TRUE(updated.ok);
+    EXPECT_EQ(updated.rowsAffected, 1u);
+    EXPECT_EQ(db_.execute("SELECT * FROM t WHERE k = 1").rows[0].second[0],
+              "uno");
+}
+
+TEST_F(ExecutorTest, DeleteRemovesRow)
+{
+    db_.execute("INSERT INTO t VALUES (1, 'one')");
+    EXPECT_EQ(db_.execute("DELETE FROM t WHERE k = 1").rowsAffected, 1u);
+    EXPECT_TRUE(db_.execute("SELECT * FROM t WHERE k = 1").rows.empty());
+}
+
+TEST_F(ExecutorTest, RangeSelect)
+{
+    for (int k = 0; k < 20; ++k) {
+        db_.execute("INSERT INTO t VALUES (" + std::to_string(k) + ", 'v')");
+    }
+    auto result = db_.execute("SELECT * FROM t WHERE k BETWEEN 5 AND 8");
+    ASSERT_TRUE(result.ok);
+    EXPECT_EQ(result.rows.size(), 4u);
+}
+
+TEST_F(ExecutorTest, ErrorsSurface)
+{
+    EXPECT_FALSE(db_.execute("SELECT * FROM nope WHERE k = 1").ok);
+    EXPECT_FALSE(db_.execute("INSERT INTO t VALUES (1)").ok);
+    // UPDATE of a nonexistent column on an existing row is an error.
+    ASSERT_TRUE(db_.execute("INSERT INTO t VALUES (1, 'x')").ok);
+    EXPECT_FALSE(db_.execute("UPDATE t SET nope = 'y' WHERE k = 1").ok);
+    EXPECT_FALSE(db_.execute("CREATE TABLE t (k)").ok);  // already exists
+}
+
+TEST_F(ExecutorTest, WorkUnitsGrow)
+{
+    auto before = db_.workUnits();
+    for (int k = 0; k < 100; ++k) {
+        db_.execute("INSERT INTO t VALUES (" + std::to_string(k) + ", 'v')");
+    }
+    EXPECT_GT(db_.workUnits(), before);
+}
+
+// --- YCSB ------------------------------------------------------------------------
+
+TEST(Ycsb, TableVIMixesMatchPaper)
+{
+    auto mixes = tableVIMixes();
+    ASSERT_EQ(mixes.size(), 4u);
+    EXPECT_EQ(mixes[0].insertPct, 100);
+    EXPECT_EQ(mixes[1].selectPct, 50);
+    EXPECT_EQ(mixes[1].updatePct, 50);
+    EXPECT_EQ(mixes[2].selectPct, 95);
+    EXPECT_EQ(mixes[3].selectPct, 100);
+}
+
+TEST(Ycsb, MixProportionsApproximatelyHold)
+{
+    YcsbWorkload workload(1000, 32, 7);
+    auto ops = workload.run(tableVIMixes()[2], 10000);  // 95/5
+    std::uint64_t selects = 0, updates = 0;
+    for (const auto& op : ops) {
+        if (op.type == OpType::Select) ++selects;
+        if (op.type == OpType::Update) ++updates;
+    }
+    EXPECT_NEAR(double(selects) / ops.size(), 0.95, 0.02);
+    EXPECT_NEAR(double(updates) / ops.size(), 0.05, 0.02);
+}
+
+TEST(Ycsb, InsertKeysAreFresh)
+{
+    YcsbWorkload workload(100, 16, 8);
+    auto ops = workload.run(tableVIMixes()[0], 50);  // 100% insert
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        EXPECT_EQ(ops[i].type, OpType::Insert);
+        EXPECT_EQ(ops[i].key, Key(100 + i));
+    }
+}
+
+TEST(Ycsb, EndToEndThroughDatabase)
+{
+    Database db;
+    YcsbWorkload workload(500, 32, 9);
+    ASSERT_TRUE(db.execute(workload.createTableSql()).ok);
+    for (const auto& stmt : workload.loadPhase()) {
+        ASSERT_TRUE(db.execute(stmt).ok);
+    }
+    EXPECT_EQ(db.tableSize("usertable"), 500u);
+
+    for (const auto& mix : tableVIMixes()) {
+        for (const auto& op : workload.run(mix, 200)) {
+            auto result = db.execute(workload.toStatement(op));
+            EXPECT_TRUE(result.ok) << mix.name;
+        }
+    }
+    EXPECT_GT(db.tableSize("usertable"), 500u);  // inserts landed
+}
+
+TEST(Ycsb, SqlRenderingParsesBack)
+{
+    YcsbWorkload workload(100, 16, 10);
+    for (const auto& mix : tableVIMixes()) {
+        for (const auto& op : workload.run(mix, 20)) {
+            EXPECT_TRUE(parseSql(workload.toSql(op)).isOk());
+        }
+    }
+}
+
+}  // namespace
+}  // namespace nesgx::db

@@ -1,0 +1,225 @@
+/** Hardware-model tests: clock, cost model, physical memory, TLB, LLC. */
+#include <gtest/gtest.h>
+
+#include "hw/cache.h"
+#include "hw/core.h"
+#include "hw/cost_model.h"
+#include "hw/page_table.h"
+#include "hw/phys_memory.h"
+#include "hw/sim_clock.h"
+#include "hw/tlb.h"
+
+namespace nesgx::hw {
+namespace {
+
+TEST(SimClock, AdvancesAndConverts)
+{
+    SimClock clock(3'600'000'000ull);
+    clock.advance(3600);
+    EXPECT_EQ(clock.cycles(), 3600u);
+    EXPECT_DOUBLE_EQ(clock.micros(), 1.0);
+    EXPECT_DOUBLE_EQ(clock.cyclesToMicros(7200), 2.0);
+    clock.reset();
+    EXPECT_EQ(clock.cycles(), 0u);
+}
+
+// --- cost model calibration: paper Table II ------------------------------
+
+TEST(CostModel, HwSgxMatchesTable2)
+{
+    SimClock clock;
+    CostModel m = CostModel::forPreset(CostPreset::HwSgx);
+    EXPECT_NEAR(clock.cyclesToMicros(m.ecallRoundTrip()), 3.45, 0.01);
+    EXPECT_NEAR(clock.cyclesToMicros(m.ocallRoundTrip()), 3.13, 0.01);
+}
+
+TEST(CostModel, EmulatedSgxMatchesTable2)
+{
+    SimClock clock;
+    CostModel m = CostModel::forPreset(CostPreset::EmulatedSgx);
+    EXPECT_NEAR(clock.cyclesToMicros(m.ecallRoundTrip()), 1.25, 0.01);
+    EXPECT_NEAR(clock.cyclesToMicros(m.ocallRoundTrip()), 1.14, 0.01);
+}
+
+TEST(CostModel, EmulatedNestedMatchesTable2)
+{
+    SimClock clock;
+    CostModel m = CostModel::forPreset(CostPreset::EmulatedNested);
+    EXPECT_NEAR(clock.cyclesToMicros(m.nEcallRoundTrip()), 1.11, 0.01);
+    EXPECT_NEAR(clock.cyclesToMicros(m.nOcallRoundTrip()), 1.06, 0.01);
+    // Plain calls keep the emulated-SGX cost in nested mode.
+    EXPECT_NEAR(clock.cyclesToMicros(m.ecallRoundTrip()), 1.25, 0.01);
+}
+
+TEST(CostModel, NestedTransitionCheaperThanPlain)
+{
+    CostModel m = CostModel::forPreset(CostPreset::EmulatedNested);
+    EXPECT_LT(m.nEcallRoundTrip(), m.ecallRoundTrip());
+    EXPECT_LT(m.nOcallRoundTrip(), m.ocallRoundTrip());
+}
+
+TEST(CostModel, CopyBytesRoundsUp)
+{
+    CostModel m;
+    EXPECT_EQ(m.copyBytes(0), 0u);
+    EXPECT_EQ(m.copyBytes(1), 1u);
+    EXPECT_EQ(m.copyBytes(8), 1u);
+    EXPECT_EQ(m.copyBytes(9), 2u);
+}
+
+// --- physical memory ------------------------------------------------------
+
+TEST(PhysicalMemory, PrmGeometry)
+{
+    PhysicalMemory mem(16 << 20, 4 << 20, 8 << 20);
+    EXPECT_FALSE(mem.inPrm(0));
+    EXPECT_TRUE(mem.inPrm(4 << 20));
+    EXPECT_TRUE(mem.inPrm((12 << 20) - 1));
+    EXPECT_FALSE(mem.inPrm(12 << 20));
+    EXPECT_EQ(mem.epcPageCount(), (8u << 20) / kPageSize);
+    EXPECT_EQ(mem.epcPageAddr(0), 4u << 20);
+    EXPECT_EQ(mem.epcPageIndex(mem.epcPageAddr(5)), 5u);
+}
+
+TEST(PhysicalMemory, ReadWriteRoundTrip)
+{
+    PhysicalMemory mem(1 << 20, 0, 0);
+    Bytes data = {1, 2, 3, 4, 5};
+    mem.write(100, data.data(), data.size());
+    Bytes out(5);
+    mem.read(100, out.data(), 5);
+    EXPECT_EQ(out, data);
+}
+
+TEST(PhysicalMemory, OutOfRangeThrows)
+{
+    PhysicalMemory mem(1 << 20, 0, 0);
+    std::uint8_t b;
+    EXPECT_THROW(mem.read(1 << 20, &b, 1), std::out_of_range);
+    EXPECT_THROW(mem.write((1 << 20) - 1, &b, 2), std::out_of_range);
+}
+
+TEST(PhysicalMemory, RejectsBadGeometry)
+{
+    EXPECT_THROW(PhysicalMemory(4096 + 1, 0, 0), std::invalid_argument);
+    EXPECT_THROW(PhysicalMemory(1 << 20, 1 << 19, 1 << 20),
+                 std::invalid_argument);
+}
+
+// --- page table -------------------------------------------------------------
+
+TEST(PageTable, MapWalkUnmap)
+{
+    PageTable pt;
+    pt.map(0x5000, 0x9000);
+    auto pte = pt.walk(0x5123);
+    ASSERT_TRUE(pte.has_value());
+    EXPECT_EQ(pte->paddr, 0x9000u);
+    pt.unmap(0x5000);
+    EXPECT_FALSE(pt.walk(0x5123).has_value());
+}
+
+TEST(PageTable, PresentBitHidesEntry)
+{
+    PageTable pt;
+    pt.map(0x5000, 0x9000);
+    pt.setPresent(0x5000, false);
+    EXPECT_FALSE(pt.walk(0x5000).has_value());
+    ASSERT_TRUE(pt.entry(0x5000).has_value());
+    pt.setPresent(0x5000, true);
+    EXPECT_TRUE(pt.walk(0x5000).has_value());
+}
+
+// --- TLB ----------------------------------------------------------------------
+
+TEST(Tlb, InsertLookupFlush)
+{
+    Tlb tlb;
+    TlbEntry e;
+    e.paddr = 0x4000;
+    e.writable = true;
+    tlb.insert(0x7000, e);
+    ASSERT_NE(tlb.lookup(0x7abc), nullptr);
+    EXPECT_EQ(tlb.lookup(0x7abc)->paddr, 0x4000u);
+    EXPECT_EQ(tlb.lookup(0x8000), nullptr);
+    tlb.flushAll();
+    EXPECT_EQ(tlb.lookup(0x7abc), nullptr);
+    EXPECT_EQ(tlb.flushCount(), 1u);
+}
+
+// --- LLC -------------------------------------------------------------------------
+
+TEST(Llc, HitAfterTouch)
+{
+    LastLevelCache llc(1 << 20);
+    EXPECT_FALSE(llc.touch(0x100));
+    EXPECT_TRUE(llc.touch(0x100));
+    EXPECT_TRUE(llc.touch(0x13f));  // same line
+    EXPECT_FALSE(llc.touch(0x140)); // next line
+}
+
+TEST(Llc, CapacityEviction)
+{
+    LastLevelCache llc(kCacheLineSize * 4);  // 4 lines
+    for (Paddr a = 0; a < 5 * kCacheLineSize; a += kCacheLineSize) {
+        llc.touch(a);
+    }
+    // Line 0 was LRU and must be gone; line 4 resident.
+    EXPECT_FALSE(llc.touch(0));
+    EXPECT_TRUE(llc.touch(4 * kCacheLineSize));
+}
+
+TEST(Llc, LruOrdering)
+{
+    LastLevelCache llc(kCacheLineSize * 2);
+    llc.touch(0);
+    llc.touch(64);
+    llc.touch(0);    // 0 becomes MRU
+    llc.touch(128);  // evicts 64
+    EXPECT_TRUE(llc.touch(0));
+    EXPECT_FALSE(llc.touch(64));
+}
+
+TEST(Llc, FootprintFitsNoSteadyStateMisses)
+{
+    // The Fig.-11 capacity effect: an 8 MB working set inside an 8 MB LLC
+    // stops missing after the first pass.
+    LastLevelCache llc(8 << 20);
+    const std::uint64_t footprint = 8 << 20;
+    for (Paddr a = 0; a < footprint; a += kCacheLineSize) llc.touch(a);
+    llc.resetStats();
+    for (Paddr a = 0; a < footprint; a += kCacheLineSize) llc.touch(a);
+    EXPECT_EQ(llc.misses(), 0u);
+    EXPECT_GT(llc.hits(), 0u);
+}
+
+TEST(Llc, FootprintExceedsCapacityThrashes)
+{
+    LastLevelCache llc(1 << 20);
+    const std::uint64_t footprint = 2 << 20;
+    for (Paddr a = 0; a < footprint; a += kCacheLineSize) llc.touch(a);
+    llc.resetStats();
+    for (Paddr a = 0; a < footprint; a += kCacheLineSize) llc.touch(a);
+    // Sequential sweep over 2x capacity with LRU: every touch misses.
+    EXPECT_EQ(llc.hits(), 0u);
+}
+
+// --- core ---------------------------------------------------------------------
+
+TEST(Core, FrameStack)
+{
+    Core core(0);
+    EXPECT_FALSE(core.inEnclaveMode());
+    core.pushFrame(0x1000, 0x2000);
+    EXPECT_TRUE(core.inEnclaveMode());
+    EXPECT_EQ(core.currentSecs(), 0x1000u);
+    core.pushFrame(0x3000, 0x4000);
+    EXPECT_EQ(core.depth(), 2u);
+    EXPECT_EQ(core.currentSecs(), 0x3000u);
+    auto f = core.popFrame();
+    EXPECT_EQ(f.secs, 0x3000u);
+    EXPECT_EQ(core.currentSecs(), 0x1000u);
+}
+
+}  // namespace
+}  // namespace nesgx::hw

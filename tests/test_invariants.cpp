@@ -1,0 +1,212 @@
+/**
+ * The §VII-A security invariants, verified against a *randomized
+ * adversarial OS*: thousands of rounds of hostile page-table mutations
+ * interleaved with accesses from every protection context, asserting
+ * after each access that no TLB on any core ever violates:
+ *
+ *  1. non-enclave mode: no TLB entry maps into the PRM;
+ *  2. enclave mode: VAs outside (all reachable) ELRANGEs never map into
+ *     the PRM;
+ *  3. own-ELRANGE translations hit EPCM entries owned by the enclave
+ *     with the matching recorded VA;
+ *  4. outer-ELRANGE translations hit EPCM entries owned by that outer
+ *     with the matching recorded VA.
+ */
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace nesgx::test {
+namespace {
+
+class Invariants : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        world_ = std::make_unique<World>();
+        pair_ = loadNestedPair(*world_, tinySpec("inv-outer"),
+                               tinySpec("inv-inner"));
+        untrustedVa_ = world_->kernel.mapUntrusted(world_->pid, 4);
+        outerVa_ = pair_.outer->heap().alloc(4096);
+        innerVa_ = pair_.inner->heap().alloc(4096);
+    }
+
+    hw::Paddr firstTcs(sdk::LoadedEnclave* e)
+    {
+        const auto* rec = world_->kernel.enclaveRecord(e->secsPage());
+        for (const auto& [va, pa] : rec->pages) {
+            if (world_->machine.epcm()
+                    .entry(world_->machine.mem().epcPageIndex(pa))
+                    .type == sgx::PageType::Tcs) {
+                return pa;
+            }
+        }
+        return 0;
+    }
+
+    /** Checks invariants 1-4 on every core's TLB. */
+    void checkAllTlbs(const std::string& context)
+    {
+        auto& machine = world_->machine;
+        for (hw::CoreId c = 0; c < machine.coreCount(); ++c) {
+            const hw::Core& core = machine.core(c);
+            for (const auto& [vpn, entry] : core.tlb().entries()) {
+                hw::Vaddr va = vpn << hw::kPageShift;
+                bool inPrm = machine.mem().inPrm(entry.paddr);
+
+                if (entry.validatedSecs == 0) {
+                    // Invariant 1.
+                    EXPECT_FALSE(inPrm)
+                        << context << ": non-enclave TLB entry -> PRM";
+                    continue;
+                }
+                const sgx::Secs* secs =
+                    machine.secsAt(entry.validatedSecs);
+                ASSERT_NE(secs, nullptr) << context;
+
+                // Which reachable enclave's ELRANGE covers this VA?
+                hw::Paddr coveringSecs = 0;
+                if (secs->inELRange(va)) {
+                    coveringSecs = entry.validatedSecs;
+                } else {
+                    for (hw::Paddr outerPa :
+                         machine.outerClosure(entry.validatedSecs)) {
+                        const sgx::Secs* outer = machine.secsAt(outerPa);
+                        if (outer && outer->inELRange(va)) {
+                            coveringSecs = outerPa;
+                            break;
+                        }
+                    }
+                }
+
+                if (coveringSecs == 0) {
+                    // Invariant 2: outside every ELRANGE -> never PRM.
+                    EXPECT_FALSE(inPrm)
+                        << context << ": out-of-ELRANGE entry -> PRM";
+                } else {
+                    // Invariants 3/4: correct owner + recorded VA.
+                    ASSERT_TRUE(inPrm) << context;
+                    const auto& epcmEntry = machine.epcm().entry(
+                        machine.mem().epcPageIndex(entry.paddr));
+                    EXPECT_TRUE(epcmEntry.valid) << context;
+                    EXPECT_EQ(epcmEntry.ownerSecs, coveringSecs) << context;
+                    EXPECT_EQ(epcmEntry.vaddr, hw::pageBase(va)) << context;
+                }
+            }
+        }
+    }
+
+    std::unique_ptr<World> world_;
+    NestedPair pair_;
+    hw::Vaddr untrustedVa_ = 0;
+    hw::Vaddr outerVa_ = 0;
+    hw::Vaddr innerVa_ = 0;
+};
+
+TEST_F(Invariants, HoldUnderRandomizedHostileOs)
+{
+    auto& machine = world_->machine;
+    Rng rng(0x1721);
+
+    // Interesting physical targets the hostile OS can point PTEs at.
+    std::vector<hw::Paddr> frames;
+    const auto* recO = world_->kernel.enclaveRecord(pair_.outer->secsPage());
+    const auto* recI = world_->kernel.enclaveRecord(pair_.inner->secsPage());
+    for (const auto& [va, pa] : recO->pages) frames.push_back(pa);
+    for (const auto& [va, pa] : recI->pages) frames.push_back(pa);
+    frames.push_back(pair_.outer->secsPage());
+    frames.push_back(0x1000);  // plain untrusted frame
+
+    // Interesting virtual addresses to attack / access.
+    std::vector<hw::Vaddr> vas = {
+        untrustedVa_,
+        untrustedVa_ + hw::kPageSize,
+        outerVa_,
+        hw::pageBase(outerVa_) + hw::kPageSize,
+        innerVa_,
+        hw::pageBase(innerVa_) + hw::kPageSize,
+        pair_.outer->base(),
+        pair_.inner->base(),
+    };
+
+    hw::Paddr outerTcs = firstTcs(pair_.outer);
+    hw::Paddr innerTcs = firstTcs(pair_.inner);
+
+    for (int round = 0; round < 3000; ++round) {
+        // 1. Hostile mutation.
+        switch (rng.nextBelow(3)) {
+          case 0: {
+            hw::Vaddr va = vas[rng.nextBelow(vas.size())];
+            hw::Paddr pa = frames[rng.nextBelow(frames.size())];
+            world_->kernel.hostileRemap(world_->pid, va, pa,
+                                        rng.nextBelow(2) == 0,
+                                        rng.nextBelow(2) == 0);
+            break;
+          }
+          case 1:
+            world_->kernel.hostileUnmap(
+                world_->pid, vas[rng.nextBelow(vas.size())]);
+            break;
+          case 2:
+            break;  // no mutation this round
+        }
+
+        // 2. Access from a random protection context.
+        int mode = int(rng.nextBelow(3));
+        if (mode >= 1) {
+            if (!machine.eenter(0, outerTcs).isOk()) continue;
+            if (mode == 2 && !machine.neenter(0, innerTcs).isOk()) {
+                machine.eexit(0).orThrow("exit");
+                continue;
+            }
+        }
+        hw::Vaddr va = vas[rng.nextBelow(vas.size())];
+        hw::Access access = (rng.nextBelow(2) == 0) ? hw::Access::Read
+                                                    : hw::Access::Write;
+        std::uint8_t buf[8] = {0};
+        if (access == hw::Access::Read) {
+            (void)machine.read(0, va, buf, 8);
+        } else {
+            (void)machine.write(0, va, buf, 8);
+        }
+
+        // 3. The invariants must hold regardless of outcome.
+        checkAllTlbs("round " + std::to_string(round));
+
+        // 4. Unwind.
+        while (machine.core(0).depth() > 1) {
+            machine.neexit(0).orThrow("neexit");
+        }
+        if (machine.core(0).inEnclaveMode()) {
+            machine.eexit(0).orThrow("eexit");
+        }
+        if (!HasFatalFailure() && !HasNonfatalFailure()) continue;
+        FAIL() << "invariant violated at round " << round;
+    }
+}
+
+TEST_F(Invariants, RestoredMappingsStillWork)
+{
+    // After an attack campaign, restoring honest mappings restores
+    // service (availability is out of scope, correctness is not).
+    auto& machine = world_->machine;
+    const auto* rec = world_->kernel.enclaveRecord(pair_.outer->secsPage());
+    auto it = rec->pages.find(hw::pageBase(outerVa_));
+    ASSERT_NE(it, rec->pages.end());
+
+    world_->kernel.hostileRemap(world_->pid, outerVa_, 0x1000, true, false);
+    ASSERT_TRUE(machine.eenter(0, firstTcs(pair_.outer)).isOk());
+    std::uint8_t buf[8];
+    EXPECT_FALSE(machine.read(0, outerVa_, buf, 8).isOk());
+    ASSERT_TRUE(machine.eexit(0).isOk());
+
+    // Honest mapping back in place.
+    world_->kernel.hostileRemap(world_->pid, hw::pageBase(outerVa_),
+                                it->second, true, false);
+    ASSERT_TRUE(machine.eenter(0, firstTcs(pair_.outer)).isOk());
+    EXPECT_TRUE(machine.read(0, outerVa_, buf, 8).isOk());
+    ASSERT_TRUE(machine.eexit(0).isOk());
+}
+
+}  // namespace
+}  // namespace nesgx::test

@@ -1,0 +1,321 @@
+/**
+ * Enclave lifecycle tests: ECREATE/EADD/EEXTEND/EINIT/EREMOVE, signed
+ * image loading, measurement binding, and NASSO association validation
+ * (paper §IV-B, §IV-C, Fig. 4).
+ */
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace nesgx::test {
+namespace {
+
+TEST(Lifecycle, LoadSignedEnclave)
+{
+    World world;
+    auto image = sdk::buildImage(tinySpec("e1"), authorKey());
+    auto loaded = world.urts->load(image);
+    ASSERT_TRUE(loaded.isOk()) << loaded.status().name();
+    sdk::LoadedEnclave* enclave = loaded.value();
+
+    const sgx::Secs* secs = world.machine.secsAt(enclave->secsPage());
+    ASSERT_NE(secs, nullptr);
+    EXPECT_TRUE(secs->initialized);
+    // Hardware-measured MRENCLAVE equals the toolchain prediction.
+    EXPECT_EQ(secs->mrenclave, image.mrenclave);
+    EXPECT_EQ(secs->mrsigner, image.mrsigner);
+}
+
+TEST(Lifecycle, DifferentCodeDifferentMeasurement)
+{
+    auto a = sdk::buildImage(tinySpec("alpha"), authorKey());
+    auto b = sdk::buildImage(tinySpec("beta"), authorKey());
+    EXPECT_NE(a.mrenclave, b.mrenclave);
+    EXPECT_EQ(a.mrsigner, b.mrsigner);  // same author
+}
+
+TEST(Lifecycle, PredictMeasurementMatchesBuild)
+{
+    auto spec = tinySpec("predictable");
+    EXPECT_EQ(sdk::predictMeasurement(spec),
+              sdk::buildImage(spec, authorKey()).mrenclave);
+}
+
+TEST(Lifecycle, EinitRejectsTamperedContent)
+{
+    World world;
+    auto image = sdk::buildImage(tinySpec("tampered"), authorKey());
+    // OS flips one byte of a code page before loading.
+    image.pages[image.spec.tcsCount].content[0] ^= 0xff;
+    auto loaded = world.urts->load(image);
+    ASSERT_FALSE(loaded.isOk());
+    EXPECT_EQ(loaded.code(), Err::InvalidMeasurement);
+}
+
+TEST(Lifecycle, EinitRejectsForgedSignature)
+{
+    World world;
+    auto image = sdk::buildImage(tinySpec("forged"), authorKey());
+    image.sigstruct.signature[4] ^= 1;
+    auto loaded = world.urts->load(image);
+    ASSERT_FALSE(loaded.isOk());
+    EXPECT_EQ(loaded.code(), Err::InvalidSignature);
+}
+
+TEST(Lifecycle, EinitRejectsResignedByOtherAuthor)
+{
+    World world;
+    auto image = sdk::buildImage(tinySpec("resign"), authorKey());
+    // An attacker re-signs the (unmodified) body with their own key: the
+    // signature verifies but MRSIGNER changes, which downstream
+    // association checks must observe. Load succeeds...
+    image.sigstruct.sign(otherAuthorKey());
+    auto loaded = world.urts->load(image);
+    ASSERT_TRUE(loaded.isOk());
+    // ...but the hardware-recorded signer is the attacker, not the author.
+    const sgx::Secs* secs =
+        world.machine.secsAt(loaded.value()->secsPage());
+    EXPECT_EQ(secs->mrsigner, otherAuthorKey().pub.signerMeasurement());
+    EXPECT_NE(secs->mrsigner, authorKey().pub.signerMeasurement());
+}
+
+TEST(Lifecycle, EcreateRejectsMisalignedRange)
+{
+    World world;
+    auto secs = world.kernel.createEnclave(world.pid, 0x1234, 1 << 20, 0);
+    EXPECT_FALSE(secs.isOk());
+    auto secs2 =
+        world.kernel.createEnclave(world.pid, 0x10000, (1 << 20) + 5, 0);
+    EXPECT_FALSE(secs2.isOk());
+}
+
+TEST(Lifecycle, EaddRejectsPageOutsideELRange)
+{
+    World world;
+    auto secs = world.kernel
+                    .createEnclave(world.pid, 0x7000'0000'0000ull, 1 << 20, 0)
+                    .orThrow("create");
+    Status st = world.kernel.addPage(secs, 0x7000'0010'0000ull,
+                                     sgx::PageType::Reg,
+                                     sgx::PagePerms::rw(), {});
+    EXPECT_EQ(st.code(), Err::GeneralProtection);
+}
+
+TEST(Lifecycle, EaddRejectsAfterInit)
+{
+    World world;
+    auto image = sdk::buildImage(tinySpec("sealed"), authorKey());
+    auto enclave = world.urts->load(image).orThrow("load");
+    Status st = world.kernel.addPage(
+        enclave->secsPage(), enclave->base() + enclave->size() - hw::kPageSize,
+        sgx::PageType::Reg, sgx::PagePerms::rw(), {});
+    EXPECT_EQ(st.code(), Err::GeneralProtection);
+}
+
+TEST(Lifecycle, EpcPagesAreSingleOwner)
+{
+    World world;
+    auto img1 = sdk::buildImage(tinySpec("o1"), authorKey());
+    auto enclave = world.urts->load(img1).orThrow("load");
+    const auto* rec = world.kernel.enclaveRecord(enclave->secsPage());
+    ASSERT_NE(rec, nullptr);
+    hw::Paddr somePage = rec->pages.begin()->second;
+    // Adding the same physical page to another enclave must fail.
+    auto secs2 = world.kernel
+                     .createEnclave(world.pid, 0x6000'0000'0000ull, 1 << 20, 0)
+                     .orThrow("create");
+    Status st = world.machine.eadd(secs2, somePage, 0x6000'0000'0000ull,
+                                   sgx::PageType::Reg, sgx::PagePerms::rw(),
+                                   {});
+    EXPECT_EQ(st.code(), Err::PageInUse);
+}
+
+TEST(Lifecycle, DestroyEnclaveFreesEpc)
+{
+    World world;
+    std::size_t before = world.kernel.freeEpcPages();
+    auto image = sdk::buildImage(tinySpec("shortlived"), authorKey());
+    auto enclave = world.urts->load(image).orThrow("load");
+    EXPECT_LT(world.kernel.freeEpcPages(), before);
+    ASSERT_TRUE(world.urts->unload(enclave).isOk());
+    EXPECT_EQ(world.kernel.freeEpcPages(), before);
+}
+
+// --- NASSO association (paper Fig. 4) ------------------------------------
+
+TEST(Nasso, AssociatesValidatedPair)
+{
+    World world;
+    NestedPair pair =
+        loadNestedPair(world, tinySpec("outer"), tinySpec("inner"));
+    const sgx::Secs* inner = world.machine.secsAt(pair.inner->secsPage());
+    const sgx::Secs* outer = world.machine.secsAt(pair.outer->secsPage());
+    EXPECT_EQ(inner->outerEid(), pair.outer->secsPage());
+    ASSERT_EQ(outer->innerEids.size(), 1u);
+    EXPECT_EQ(outer->innerEids[0], pair.inner->secsPage());
+}
+
+TEST(Nasso, RejectsUnlistedInner)
+{
+    World world;
+    // Outer allows nothing; the inner still expects the outer.
+    auto outerSpec = tinySpec("outer-strict");
+    auto innerSpec = tinySpec("inner-unwanted");
+    innerSpec.expectedOuter = sgx::PeerExpectation{};
+    innerSpec.expectedOuter->mrenclave = sdk::predictMeasurement(outerSpec);
+
+    auto outerImage = sdk::buildImage(outerSpec, authorKey());
+    auto innerImage = sdk::buildImage(innerSpec, authorKey());
+    auto outer = world.urts->load(outerImage).orThrow("outer");
+    auto inner = world.urts->load(innerImage).orThrow("inner");
+
+    Status st = world.urts->associate(inner, outer);
+    EXPECT_EQ(st.code(), Err::AssociationRejected);
+}
+
+TEST(Nasso, RejectsWrongOuterExpectation)
+{
+    World world;
+    auto outerSpec = tinySpec("outer-real");
+    auto innerSpec = tinySpec("inner-mismatched");
+    // The inner expects a *different* outer.
+    innerSpec.expectedOuter = sgx::PeerExpectation{};
+    innerSpec.expectedOuter->mrenclave =
+        sdk::predictMeasurement(tinySpec("outer-other"));
+    auto innerImage = sdk::buildImage(innerSpec, authorKey());
+
+    sgx::PeerExpectation allow;
+    allow.mrenclave = innerImage.mrenclave;
+    outerSpec.allowedInners.push_back(allow);
+    auto outerImage = sdk::buildImage(outerSpec, authorKey());
+
+    auto outer = world.urts->load(outerImage).orThrow("outer");
+    auto inner = world.urts->load(innerImage).orThrow("inner");
+    EXPECT_EQ(world.urts->associate(inner, outer).code(),
+              Err::AssociationRejected);
+}
+
+TEST(Nasso, AllowsMatchBySigner)
+{
+    World world;
+    auto outerSpec = tinySpec("outer-signer");
+    auto innerSpec = tinySpec("inner-signer");
+    innerSpec.expectedOuter = expectSigner(authorKey());
+    auto innerImage = sdk::buildImage(innerSpec, authorKey());
+    outerSpec.allowedInners.push_back(expectSigner(authorKey()));
+    auto outerImage = sdk::buildImage(outerSpec, authorKey());
+
+    auto outer = world.urts->load(outerImage).orThrow("outer");
+    auto inner = world.urts->load(innerImage).orThrow("inner");
+    EXPECT_TRUE(world.urts->associate(inner, outer).isOk());
+}
+
+TEST(Nasso, RejectsWrongSigner)
+{
+    World world;
+    auto outerSpec = tinySpec("outer-ws");
+    auto innerSpec = tinySpec("inner-ws");
+    innerSpec.expectedOuter = expectSigner(authorKey());
+    // Inner is signed by a different author than the outer allows.
+    auto innerImage = sdk::buildImage(innerSpec, otherAuthorKey());
+    outerSpec.allowedInners.push_back(expectSigner(authorKey()));
+    auto outerImage = sdk::buildImage(outerSpec, authorKey());
+
+    auto outer = world.urts->load(outerImage).orThrow("outer");
+    auto inner = world.urts->load(innerImage).orThrow("inner");
+    EXPECT_EQ(world.urts->associate(inner, outer).code(),
+              Err::AssociationRejected);
+}
+
+TEST(Nasso, SingleOuterPerInner)
+{
+    World world;
+    NestedPair pair =
+        loadNestedPair(world, tinySpec("outer-a"), tinySpec("inner-a"));
+    // A second association for the same inner must fail (§IV-A).
+    auto outer2Spec = tinySpec("outer-b");
+    outer2Spec.allowedInners.push_back(expectEnclave(pair.innerImage));
+    auto outer2Image = sdk::buildImage(outer2Spec, authorKey());
+    auto outer2 = world.urts->load(outer2Image).orThrow("outer2");
+    EXPECT_EQ(world.urts->associate(pair.inner, outer2).code(),
+              Err::GeneralProtection);
+}
+
+TEST(Nasso, MultipleInnersShareOneOuter)
+{
+    World world;
+    auto outerSpec = tinySpec("outer-multi");
+    outerSpec.allowedInners.push_back(expectSigner(authorKey()));
+    auto i1Spec = tinySpec("inner-1");
+    auto i2Spec = tinySpec("inner-2");
+    i1Spec.expectedOuter = expectSigner(authorKey());
+    i2Spec.expectedOuter = expectSigner(authorKey());
+
+    auto outer = world.urts->load(sdk::buildImage(outerSpec, authorKey()))
+                     .orThrow("outer");
+    auto i1 =
+        world.urts->load(sdk::buildImage(i1Spec, authorKey())).orThrow("i1");
+    auto i2 =
+        world.urts->load(sdk::buildImage(i2Spec, authorKey())).orThrow("i2");
+    ASSERT_TRUE(world.urts->associate(i1, outer).isOk());
+    ASSERT_TRUE(world.urts->associate(i2, outer).isOk());
+
+    const sgx::Secs* secs = world.machine.secsAt(outer->secsPage());
+    EXPECT_EQ(secs->innerEids.size(), 2u);
+}
+
+TEST(Nasso, RejectsAssociationCycle)
+{
+    World world;
+    // a nests in b; then b must not nest in a.
+    auto aSpec = tinySpec("cycle-a");
+    auto bSpec = tinySpec("cycle-b");
+    aSpec.expectedOuter = expectSigner(authorKey());
+    aSpec.allowedInners.push_back(expectSigner(authorKey()));
+    bSpec.expectedOuter = expectSigner(authorKey());
+    bSpec.allowedInners.push_back(expectSigner(authorKey()));
+
+    auto a =
+        world.urts->load(sdk::buildImage(aSpec, authorKey())).orThrow("a");
+    auto b =
+        world.urts->load(sdk::buildImage(bSpec, authorKey())).orThrow("b");
+    ASSERT_TRUE(world.urts->associate(a, b).isOk());
+    EXPECT_EQ(world.urts->associate(b, a).code(), Err::GeneralProtection);
+}
+
+TEST(Nasso, RejectsUninitializedEnclaves)
+{
+    World world;
+    auto secs1 = world.kernel
+                     .createEnclave(world.pid, 0x7000'0000'0000ull, 1 << 20, 0)
+                     .orThrow("c1");
+    auto secs2 = world.kernel
+                     .createEnclave(world.pid, 0x7100'0000'0000ull, 1 << 20, 0)
+                     .orThrow("c2");
+    EXPECT_EQ(world.machine.nasso(secs1, secs2).code(),
+              Err::GeneralProtection);
+}
+
+TEST(Nasso, RejectsSelfAssociation)
+{
+    World world;
+    auto image = sdk::buildImage(tinySpec("selfie"), authorKey());
+    auto enclave = world.urts->load(image).orThrow("load");
+    EXPECT_EQ(
+        world.machine.nasso(enclave->secsPage(), enclave->secsPage()).code(),
+        Err::GeneralProtection);
+}
+
+TEST(Lifecycle, EremoveRefusesAssociatedSecs)
+{
+    World world;
+    NestedPair pair =
+        loadNestedPair(world, tinySpec("outer-rm"), tinySpec("inner-rm"));
+    // Unloading the outer while the association is live must fail when it
+    // reaches the SECS (pages are gone, association still recorded).
+    Status st = world.urts->unload(pair.outer);
+    EXPECT_FALSE(st.isOk());
+}
+
+}  // namespace
+}  // namespace nesgx::test

@@ -1,0 +1,270 @@
+/**
+ * EPC paging tests: EBLOCK/ETRACK/EWB/ELDU protocol, replay protection,
+ * and the nested-enclave thread-tracking extension (paper §IV-E): an
+ * outer enclave's page cannot be written back while an *inner-enclave*
+ * thread may still cache its translation.
+ */
+#include <gtest/gtest.h>
+
+#include "harness.h"
+
+namespace nesgx::test {
+namespace {
+
+class Paging : public ::testing::Test {
+  protected:
+    void SetUp() override
+    {
+        world_ = std::make_unique<World>();
+        pair_ = loadNestedPair(*world_, tinySpec("pg-outer"),
+                               tinySpec("pg-inner"));
+        outerHeapVa_ = pair_.outer->heap().alloc(64);
+        // Give the page recognizable content.
+        enter(pair_.outer);
+        Bytes marker = bytesOf("MARKER-CONTENT-12345");
+        ASSERT_TRUE(world_->machine.write(0, outerHeapVa_, marker.data(),
+                                          marker.size()).isOk());
+        exitEnclave();
+    }
+
+    void enter(sdk::LoadedEnclave* enclave, hw::CoreId core = 0)
+    {
+        ASSERT_TRUE(world_->machine.eenter(core, firstTcs(enclave)).isOk());
+    }
+
+    void enterNested(hw::CoreId core = 0)
+    {
+        ASSERT_TRUE(
+            world_->machine.eenter(core, firstTcs(pair_.outer)).isOk());
+        ASSERT_TRUE(
+            world_->machine.neenter(core, firstTcs(pair_.inner)).isOk());
+    }
+
+    void exitEnclave(hw::CoreId core = 0)
+    {
+        while (world_->machine.core(core).depth() > 1) {
+            ASSERT_TRUE(world_->machine.neexit(core).isOk());
+        }
+        if (world_->machine.core(core).inEnclaveMode()) {
+            ASSERT_TRUE(world_->machine.eexit(core).isOk());
+        }
+    }
+
+    hw::Paddr firstTcs(sdk::LoadedEnclave* enclave)
+    {
+        const auto* rec = world_->kernel.enclaveRecord(enclave->secsPage());
+        for (const auto& [va, pa] : rec->pages) {
+            const auto& e = world_->machine.epcm().entry(
+                world_->machine.mem().epcPageIndex(pa));
+            if (e.type == sgx::PageType::Tcs) return pa;
+        }
+        return 0;
+    }
+
+    hw::Vaddr heapPageVa() const { return hw::pageBase(outerHeapVa_); }
+
+    std::unique_ptr<World> world_;
+    NestedPair pair_;
+    hw::Vaddr outerHeapVa_ = 0;
+};
+
+TEST_F(Paging, EvictAndReloadRoundTrip)
+{
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    // Evicted: the enclave faults on the page.
+    enter(pair_.outer);
+    std::uint8_t buf[20];
+    EXPECT_EQ(world_->machine.read(0, outerHeapVa_, buf, 20).code(),
+              Err::PageFault);
+    exitEnclave();
+
+    ASSERT_TRUE(world_->kernel
+                    .reloadPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    enter(pair_.outer);
+    ASSERT_TRUE(world_->machine.read(0, outerHeapVa_, buf, 20).isOk());
+    EXPECT_EQ(Bytes(buf, buf + 20), bytesOf("MARKER-CONTENT-12345"));
+    exitEnclave();
+}
+
+TEST_F(Paging, EvictedContentIsEncryptedInUntrustedMemory)
+{
+    enter(pair_.outer);
+    exitEnclave();
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    const auto* rec = world_->kernel.enclaveRecord(pair_.outer->secsPage());
+    const auto& blob = rec->evicted.at(heapPageVa());
+    // The plaintext marker must not appear in the eviction blob.
+    Bytes marker = bytesOf("MARKER-CONTENT-12345");
+    bool found = false;
+    for (std::size_t i = 0; i + marker.size() <= blob.ciphertext.size();
+         ++i) {
+        if (std::equal(marker.begin(), marker.end(),
+                       blob.ciphertext.begin() + i)) {
+            found = true;
+            break;
+        }
+    }
+    EXPECT_FALSE(found);
+}
+
+TEST_F(Paging, TamperedBlobRejectedOnReload)
+{
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    // The OS flips a bit in the parked ciphertext.
+    auto* rec = const_cast<os::EnclaveRecord*>(
+        world_->kernel.enclaveRecord(pair_.outer->secsPage()));
+    rec->evicted.at(heapPageVa()).ciphertext[100] ^= 1;
+    Status st =
+        world_->kernel.reloadPage(pair_.outer->secsPage(), heapPageVa());
+    EXPECT_EQ(st.code(), Err::PagingIntegrity);
+}
+
+TEST_F(Paging, ReplayOfOldPageVersionRejected)
+{
+    // Evict, keep a copy of the blob, reload (consumes the version), then
+    // try to load the stale copy again.
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    const auto* rec = world_->kernel.enclaveRecord(pair_.outer->secsPage());
+    sgx::EvictedPage stale = rec->evicted.at(heapPageVa());
+    ASSERT_TRUE(world_->kernel
+                    .reloadPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+
+    // Find a free EPC page and attempt the replay directly.
+    hw::Paddr freePage = 0;
+    auto& mem = world_->machine.mem();
+    for (std::uint64_t i = 0; i < mem.epcPageCount(); ++i) {
+        if (!world_->machine.epcm().entry(i).valid) {
+            freePage = mem.epcPageAddr(i);
+            break;
+        }
+    }
+    ASSERT_NE(freePage, 0u);
+    Status st =
+        world_->machine.eldu(freePage, pair_.outer->secsPage(), stale);
+    EXPECT_EQ(st.code(), Err::PagingIntegrity);
+}
+
+TEST_F(Paging, BlobForOtherEnclaveRejected)
+{
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    const auto* rec = world_->kernel.enclaveRecord(pair_.outer->secsPage());
+    sgx::EvictedPage blob = rec->evicted.at(heapPageVa());
+
+    hw::Paddr freePage = 0;
+    auto& mem = world_->machine.mem();
+    for (std::uint64_t i = 0; i < mem.epcPageCount(); ++i) {
+        if (!world_->machine.epcm().entry(i).valid) {
+            freePage = mem.epcPageAddr(i);
+            break;
+        }
+    }
+    // The OS tries to splice the outer's page into the *inner* enclave.
+    Status st =
+        world_->machine.eldu(freePage, pair_.inner->secsPage(), blob);
+    EXPECT_EQ(st.code(), Err::PagingIntegrity);
+}
+
+TEST_F(Paging, EwbRequiresBlockAndTrack)
+{
+    const auto* rec = world_->kernel.enclaveRecord(pair_.outer->secsPage());
+    hw::Paddr pagePa = rec->pages.at(heapPageVa());
+    // Unblocked page: EWB refuses.
+    EXPECT_EQ(world_->machine.ewb(pagePa).code(), Err::PageInUse);
+    // Blocked but untracked with an active thread: refused.
+    ASSERT_TRUE(world_->machine.eblock(pagePa).isOk());
+    enterNested(1);  // inner-enclave thread on core 1
+    ASSERT_TRUE(world_->machine.etrack(pair_.outer->secsPage()).isOk());
+    EXPECT_EQ(world_->machine.ewb(pagePa).code(), Err::TrackingIncomplete);
+    exitEnclave(1);
+}
+
+TEST_F(Paging, InnerThreadBlocksOuterEviction)
+{
+    // The §IV-E scenario: a thread is running in the INNER enclave. The
+    // outer's page eviction must observe it, because the inner thread
+    // can legitimately cache outer translations.
+    enterNested(1);
+
+    auto tracked = world_->machine.trackedCores(pair_.outer->secsPage());
+    ASSERT_EQ(tracked.size(), 1u);
+    EXPECT_EQ(tracked[0], 1u);
+
+    // The kernel path resolves it with an IPI (AEX on core 1) and the
+    // eviction then succeeds.
+    auto aexBefore = world_->machine.stats().aexCount;
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    EXPECT_EQ(world_->machine.stats().aexCount, aexBefore + 1);
+    EXPECT_FALSE(world_->machine.core(1).inEnclaveMode());
+
+    // The interrupted nest can resume and faults on the evicted page.
+    ASSERT_TRUE(world_->machine.eresume(1, firstTcs(pair_.outer)).isOk());
+    EXPECT_EQ(world_->machine.core(1).depth(), 2u);
+    std::uint8_t buf[8];
+    EXPECT_EQ(world_->machine.read(1, outerHeapVa_, buf, 8).code(),
+              Err::PageFault);
+    exitEnclave(1);
+}
+
+TEST_F(Paging, InnerPageEvictionDoesNotDisturbOuterOnlyThreads)
+{
+    // A thread running only in the OUTER enclave does not block eviction
+    // of an INNER page (tracking is directional).
+    enter(pair_.outer, 1);
+    hw::Vaddr innerHeap = pair_.inner->heap().alloc(32);
+    auto tracked = world_->machine.trackedCores(pair_.inner->secsPage());
+    EXPECT_TRUE(tracked.empty());
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.inner->secsPage(),
+                               hw::pageBase(innerHeap))
+                    .isOk());
+    // Core 1 was not interrupted.
+    EXPECT_TRUE(world_->machine.core(1).inEnclaveMode());
+    exitEnclave(1);
+}
+
+TEST_F(Paging, EvictionSurvivesManyPages)
+{
+    // Evict and reload every heap page of the outer enclave.
+    const auto* rec = world_->kernel.enclaveRecord(pair_.outer->secsPage());
+    std::vector<hw::Vaddr> heapPages;
+    hw::Vaddr heapBase = pair_.outer->base() +
+                         pair_.outer->image().heapOffset;
+    for (const auto& [va, pa] : rec->pages) {
+        if (va >= heapBase &&
+            va < heapBase + pair_.outer->image().heapBytes) {
+            heapPages.push_back(va);
+        }
+    }
+    ASSERT_GT(heapPages.size(), 2u);
+    for (hw::Vaddr va : heapPages) {
+        ASSERT_TRUE(
+            world_->kernel.evictPage(pair_.outer->secsPage(), va).isOk());
+    }
+    for (hw::Vaddr va : heapPages) {
+        ASSERT_TRUE(
+            world_->kernel.reloadPage(pair_.outer->secsPage(), va).isOk());
+    }
+    // Content check on the first page.
+    enter(pair_.outer);
+    std::uint8_t buf[20];
+    ASSERT_TRUE(world_->machine.read(0, outerHeapVa_, buf, 20).isOk());
+    EXPECT_EQ(Bytes(buf, buf + 20), bytesOf("MARKER-CONTENT-12345"));
+    exitEnclave();
+}
+
+}  // namespace
+}  // namespace nesgx::test

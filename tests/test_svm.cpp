@@ -1,0 +1,188 @@
+/** minisvm tests: kernels, SMO training quality, model serialization,
+ *  dataset generation shaped like the paper's Table V. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "svm/dataset.h"
+#include "svm/solver.h"
+
+namespace nesgx::svm {
+namespace {
+
+TEST(SparseOps, DotProduct)
+{
+    std::uint64_t flops = 0;
+    SparseVector a = {{0, 1.0}, {2, 2.0}, {5, 3.0}};
+    SparseVector b = {{1, 4.0}, {2, 5.0}, {5, 6.0}};
+    EXPECT_DOUBLE_EQ(sparseDot(a, b, flops), 2.0 * 5.0 + 3.0 * 6.0);
+    EXPECT_GT(flops, 0u);
+}
+
+TEST(SparseOps, SquaredDistance)
+{
+    std::uint64_t flops = 0;
+    SparseVector a = {{0, 1.0}, {1, 2.0}};
+    SparseVector b = {{1, 2.0}, {2, 3.0}};
+    // (1-0)^2 + (2-2)^2 + (0-3)^2 = 10
+    EXPECT_DOUBLE_EQ(sparseSquaredDistance(a, b, flops), 10.0);
+}
+
+TEST(SparseOps, RbfKernelBounds)
+{
+    std::uint64_t flops = 0;
+    KernelParams params;
+    params.type = KernelType::Rbf;
+    params.gamma = 0.5;
+    SparseVector a = {{0, 1.0}};
+    EXPECT_DOUBLE_EQ(kernel(params, a, a, flops), 1.0);  // K(x,x)=1
+    SparseVector b = {{0, 5.0}};
+    double k = kernel(params, a, b, flops);
+    EXPECT_GT(k, 0.0);
+    EXPECT_LT(k, 1.0);
+}
+
+TEST(Dataset, TableVShapesMatchPaper)
+{
+    auto shapes = tableVShapes();
+    ASSERT_EQ(shapes.size(), 5u);
+    EXPECT_EQ(shapeByName("cod-rna").trainSize, 59535u);
+    EXPECT_EQ(shapeByName("cod-rna").features, 8);
+    EXPECT_EQ(shapeByName("colon-cancer").features, 2000);
+    EXPECT_EQ(shapeByName("dna").testSize, 1186u);
+    EXPECT_EQ(shapeByName("dna").nClasses, 3);
+    EXPECT_EQ(shapeByName("phishing").trainSize, 11055u);
+    EXPECT_EQ(shapeByName("protein").nClasses, 3);
+    EXPECT_THROW(shapeByName("bogus"), std::invalid_argument);
+}
+
+TEST(Dataset, GeneratorRespectsShape)
+{
+    Rng rng(1);
+    auto shape = shapeByName("dna");
+    Dataset data = generate(shape, 200, rng);
+    EXPECT_EQ(data.size(), 200u);
+    EXPECT_EQ(data.nClasses, 3);
+    EXPECT_EQ(data.nFeatures, 180);
+    for (int label : data.labels) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, 3);
+    }
+    for (const auto& sample : data.samples) {
+        EXPECT_FALSE(sample.empty());
+        for (std::size_t i = 1; i < sample.size(); ++i) {
+            EXPECT_LT(sample[i - 1].first, sample[i].first);
+        }
+    }
+}
+
+TEST(Dataset, LibsvmFormatRoundTrip)
+{
+    Rng rng(2);
+    Dataset data = generate(shapeByName("phishing"), 50, rng);
+    std::string text = toLibsvmFormat(data);
+    Dataset back = fromLibsvmFormat(text);
+    ASSERT_EQ(back.size(), data.size());
+    EXPECT_EQ(back.labels, data.labels);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        ASSERT_EQ(back.samples[i].size(), data.samples[i].size());
+        for (std::size_t j = 0; j < data.samples[i].size(); ++j) {
+            EXPECT_EQ(back.samples[i][j].first, data.samples[i][j].first);
+            EXPECT_NEAR(back.samples[i][j].second,
+                        data.samples[i][j].second, 1e-6);
+        }
+    }
+}
+
+TEST(Solver, LearnsLinearlySeparableData)
+{
+    // Two well-separated clusters: training accuracy should be high.
+    Rng rng(3);
+    Dataset data;
+    data.nFeatures = 2;
+    data.nClasses = 2;
+    for (int i = 0; i < 60; ++i) {
+        double cx = (i % 2 == 0) ? 3.0 : -3.0;
+        data.samples.push_back(
+            {{0, cx + 0.3 * rng.nextGaussian()},
+             {1, cx + 0.3 * rng.nextGaussian()}});
+        data.labels.push_back(i % 2);
+    }
+    TrainParams params;
+    params.kernel.type = KernelType::Linear;
+    TrainStats stats;
+    Model model = train(data, params, &stats);
+    std::uint64_t flops = 0;
+    EXPECT_GE(model.accuracy(data, flops), 0.95);
+    EXPECT_GT(stats.flops, 0u);
+    EXPECT_GT(model.totalSupportVectors(), 0u);
+}
+
+TEST(Solver, RbfHandlesNonlinearData)
+{
+    // Ring vs center: not linearly separable; RBF should manage.
+    Rng rng(4);
+    Dataset data;
+    data.nFeatures = 2;
+    data.nClasses = 2;
+    for (int i = 0; i < 80; ++i) {
+        bool ring = (i % 2 == 0);
+        double angle = rng.nextDouble(0, 6.28318);
+        double radius = ring ? 3.0 + 0.2 * rng.nextGaussian()
+                             : 0.5 * rng.nextDouble();
+        data.samples.push_back({{0, radius * std::cos(angle)},
+                                {1, radius * std::sin(angle)}});
+        data.labels.push_back(ring ? 1 : 0);
+    }
+    TrainParams params;
+    params.kernel.type = KernelType::Rbf;
+    params.kernel.gamma = 1.0;
+    Model model = train(data, params, nullptr);
+    std::uint64_t flops = 0;
+    EXPECT_GE(model.accuracy(data, flops), 0.9);
+}
+
+TEST(Solver, MultiClassOneVsOne)
+{
+    Rng rng(5);
+    Dataset data = generate(shapeByName("dna"), 150, rng);
+    TrainParams params;
+    params.kernel.gamma = 0.05;
+    Model model = train(data, params, nullptr);
+    // 3 classes -> 3 pairwise binaries.
+    EXPECT_EQ(model.binaries.size(), 3u);
+    std::uint64_t flops = 0;
+    // Better than chance (1/3) by a solid margin.
+    EXPECT_GE(model.accuracy(data, flops), 0.6);
+}
+
+TEST(Model, SerializeDeserializeRoundTrip)
+{
+    Rng rng(6);
+    Dataset data = generate(shapeByName("phishing"), 60, rng);
+    TrainParams params;
+    Model model = train(data, params, nullptr);
+    Model back = Model::deserialize(model.serialize());
+
+    ASSERT_EQ(back.binaries.size(), model.binaries.size());
+    EXPECT_EQ(back.nClasses, model.nClasses);
+    std::uint64_t f1 = 0, f2 = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        EXPECT_EQ(back.predict(data.samples[i], f1),
+                  model.predict(data.samples[i], f2));
+    }
+}
+
+TEST(Model, PredictionCountsFlops)
+{
+    Rng rng(7);
+    Dataset data = generate(shapeByName("phishing"), 40, rng);
+    TrainParams params;
+    Model model = train(data, params, nullptr);
+    std::uint64_t flops = 0;
+    model.predict(data.samples[0], flops);
+    EXPECT_GT(flops, 0u);
+}
+
+}  // namespace
+}  // namespace nesgx::svm

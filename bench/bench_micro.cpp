@@ -57,46 +57,115 @@ BM_RsaVerify(benchmark::State& state)
 }
 BENCHMARK(BM_RsaVerify);
 
-/** The hot path of the whole model: validated translate + data copy. */
+/** Shared scaffolding for the machine-path microbenchmarks. */
+struct MachineBench {
+    sgx::Machine machine;
+    os::Kernel kernel;
+    os::Pid pid;
+    sdk::Urts urts;
+    sdk::LoadedEnclave* enclave = nullptr;
+    hw::Paddr tcs = 0;
+
+    static sgx::Machine::Config configFor(bool taggedTlb)
+    {
+        sgx::Machine::Config config;
+        config.dramBytes = 64ull << 20;
+        config.prmBase = 32ull << 20;
+        config.prmBytes = 16ull << 20;
+        config.taggedTlb = taggedTlb;
+        return config;
+    }
+
+    explicit MachineBench(bool taggedTlb)
+        : machine(configFor(taggedTlb)),
+          kernel(machine),
+          pid(kernel.createProcess()),
+          urts(kernel, pid)
+    {
+        kernel.schedule(0, pid);
+        Rng rng(7);
+        auto key = crypto::RsaKeyPair::generate(rng, 512);
+        sdk::EnclaveSpec spec;
+        spec.name = "bm";
+        spec.codePages = 2;
+        spec.heapPages = 8;
+        spec.interface->addEcall(
+            "empty", [](sdk::TrustedEnv&, ByteView) -> Result<Bytes> {
+                return Bytes{};
+            });
+        enclave = urts.load(sdk::buildImage(spec, key)).orThrow("load");
+        const auto* rec = kernel.enclaveRecord(enclave->secsPage());
+        for (const auto& [va, pa] : rec->pages) {
+            if (machine.epcm().entry(machine.mem().epcPageIndex(pa)).type ==
+                sgx::PageType::Tcs) {
+                tcs = pa;
+                break;
+            }
+        }
+    }
+
+    /** Surfaces the fast-path counters in the benchmark report. */
+    void exportCounters(benchmark::State& state) const
+    {
+        const auto& s = machine.stats();
+        state.counters["tlbFlushes"] = double(s.tlbFlushes);
+        state.counters["flushesAvoided"] = double(s.flushesAvoided);
+        state.counters["closureCacheHits"] = double(s.closureCacheHits);
+        state.counters["closureCacheMisses"] = double(s.closureCacheMisses);
+        state.counters["taggedLookupRejects"] = double(s.taggedLookupRejects);
+    }
+};
+
+/** The hot path of the whole model: validated translate + data copy.
+ *  Arg: 0 = flush-on-transition TLB, 1 = context-tagged TLB. */
 void
 BM_ValidatedRead(benchmark::State& state)
 {
-    sgx::Machine::Config config;
-    config.dramBytes = 64ull << 20;
-    config.prmBase = 32ull << 20;
-    config.prmBytes = 16ull << 20;
-    sgx::Machine machine(config);
-    os::Kernel kernel(machine);
-    auto pid = kernel.createProcess();
-    kernel.schedule(0, pid);
-    sdk::Urts urts(kernel, pid);
-
-    Rng rng(7);
-    auto key = crypto::RsaKeyPair::generate(rng, 512);
-    sdk::EnclaveSpec spec;
-    spec.name = "bm";
-    spec.codePages = 2;
-    spec.heapPages = 8;
-    auto enclave = urts.load(sdk::buildImage(spec, key)).orThrow("load");
-    const auto* rec = kernel.enclaveRecord(enclave->secsPage());
-    hw::Paddr tcs = 0;
-    for (const auto& [va, pa] : rec->pages) {
-        if (machine.epcm().entry(machine.mem().epcPageIndex(pa)).type ==
-            sgx::PageType::Tcs) {
-            tcs = pa;
-            break;
-        }
-    }
-    machine.eenter(0, tcs).orThrow("eenter");
-    hw::Vaddr heap = enclave->heap().alloc(4096);
+    MachineBench bench(state.range(0) != 0);
+    bench.machine.eenter(0, bench.tcs).orThrow("eenter");
+    hw::Vaddr heap = bench.enclave->heap().alloc(4096);
 
     std::uint8_t buf[256];
     for (auto _ : state) {
-        benchmark::DoNotOptimize(machine.read(0, heap, buf, sizeof(buf)));
+        benchmark::DoNotOptimize(
+            bench.machine.read(0, heap, buf, sizeof(buf)));
     }
     state.SetBytesProcessed(state.iterations() * sizeof(buf));
+    bench.exportCounters(state);
 }
-BENCHMARK(BM_ValidatedRead);
+BENCHMARK(BM_ValidatedRead)->Arg(0)->Arg(1);
+
+/** A multi-page streaming read: exercises the contiguous-range fast
+ *  path on top of the tagged TLB. */
+void
+BM_StreamingRead(benchmark::State& state)
+{
+    MachineBench bench(state.range(0) != 0);
+    bench.machine.eenter(0, bench.tcs).orThrow("eenter");
+    hw::Vaddr heap = bench.enclave->heap().alloc(4 * hw::kPageSize);
+
+    std::vector<std::uint8_t> buf(4 * hw::kPageSize);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            bench.machine.read(0, heap, buf.data(), buf.size()));
+    }
+    state.SetBytesProcessed(state.iterations() * std::int64_t(buf.size()));
+    bench.exportCounters(state);
+}
+BENCHMARK(BM_StreamingRead)->Arg(0)->Arg(1);
+
+/** Warm ecall round-trips: where the tagged TLB pays off — no flush on
+ *  either edge, and the enclave's translations survive between calls. */
+void
+BM_EcallRoundTrip(benchmark::State& state)
+{
+    MachineBench bench(state.range(0) != 0);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bench.urts.ecall(bench.enclave, "empty", {}));
+    }
+    bench.exportCounters(state);
+}
+BENCHMARK(BM_EcallRoundTrip)->Arg(0)->Arg(1);
 
 void
 BM_BtreeInsertFind(benchmark::State& state)

@@ -19,11 +19,15 @@ struct Row {
     double ocallUs;
 };
 
-/** Measures mean ecall and ocall latency under one cost preset. */
+/** Measures mean ecall and ocall latency under one cost preset.
+ *  `taggedTlb=false` reproduces the paper's flush-on-transition rows. */
 Row
-measure(hw::CostPreset preset, bool nested, std::uint64_t iterations)
+measure(hw::CostPreset preset, bool nested, std::uint64_t iterations,
+        bool taggedTlb = false)
 {
-    BenchWorld world(defaultConfig(preset));
+    auto config = defaultConfig(preset);
+    config.taggedTlb = taggedTlb;
+    BenchWorld world(config);
 
     sdk::EnclaveSpec outerSpec;
     outerSpec.name = "t2-outer";
@@ -107,7 +111,7 @@ measure(hw::CostPreset preset, bool nested, std::uint64_t iterations)
         before = clock.cycles();
         app.callOuter("ocall_loop", loopArg).orThrow("ocall loop");
         std::uint64_t delta = clock.cycles() - before;
-        delta -= world.machine.costs().ecallRoundTrip() +
+        delta -= world.machine.costs().ecallRoundTrip(taggedTlb) +
                  world.machine.costs().copyBytes(8);
         row.ocallUs = clock.cyclesToMicros(delta) / double(iterations);
     } else {
@@ -115,7 +119,7 @@ measure(hw::CostPreset preset, bool nested, std::uint64_t iterations)
         std::uint64_t before = clock.cycles();
         app.callOuter("necall_loop", loopArg).orThrow("necall loop");
         std::uint64_t delta = clock.cycles() - before;
-        delta -= world.machine.costs().ecallRoundTrip() +
+        delta -= world.machine.costs().ecallRoundTrip(taggedTlb) +
                  world.machine.costs().copyBytes(8);
         row.ecallUs = clock.cyclesToMicros(delta) / double(iterations);
 
@@ -126,8 +130,8 @@ measure(hw::CostPreset preset, bool nested, std::uint64_t iterations)
                           loopArg)
             .orThrow("nocall loop");
         delta = clock.cycles() - before;
-        delta -= world.machine.costs().ecallRoundTrip() +
-                 world.machine.costs().nEcallRoundTrip() +
+        delta -= world.machine.costs().ecallRoundTrip(taggedTlb) +
+                 world.machine.costs().nEcallRoundTrip(taggedTlb) +
                  world.machine.costs().copyBytes(8);
         row.ocallUs = clock.cyclesToMicros(delta) / double(iterations);
     }
@@ -164,5 +168,38 @@ main(int argc, char** argv)
     std::printf("  %-46s %9.2fus %9.2fus\n",
                 "Emulated nested ecall/ocall (n_ecall/n_ocall)",
                 nested.ecallUs, nested.ocallUs);
+
+    // Ablation beyond the paper: the same transitions with the
+    // context-tagged TLB (no flush on EENTER/EEXIT/NEENTER/NEEXIT).
+    header("Ablation: context-tagged TLB (taggedTlb=on vs paper-faithful off)");
+    Row emuTag =
+        measure(nesgx::hw::CostPreset::EmulatedSgx, false, iterations, true);
+    Row nestedTag =
+        measure(nesgx::hw::CostPreset::EmulatedNested, true, iterations, true);
+    std::printf("\n  %-46s %10s %10s\n", "Mode", "ecall", "ocall");
+    std::printf("  %-46s %9.2fus %9.2fus\n", "Emulated SGX, flushed TLB",
+                emu.ecallUs, emu.ocallUs);
+    std::printf("  %-46s %9.2fus %9.2fus\n", "Emulated SGX, tagged TLB",
+                emuTag.ecallUs, emuTag.ocallUs);
+    std::printf("  %-46s %9.2fus %9.2fus\n",
+                "Emulated nested (n_ecall/n_ocall), flushed TLB",
+                nested.ecallUs, nested.ocallUs);
+    std::printf("  %-46s %9.2fus %9.2fus\n",
+                "Emulated nested (n_ecall/n_ocall), tagged TLB",
+                nestedTag.ecallUs, nestedTag.ocallUs);
+
+    JsonReport json;
+    json.set("iterations", double(iterations));
+    json.set("hw_ecall_us", hw.ecallUs);
+    json.set("hw_ocall_us", hw.ocallUs);
+    json.set("emulated_ecall_us", emu.ecallUs);
+    json.set("emulated_ocall_us", emu.ocallUs);
+    json.set("nested_necall_us", nested.ecallUs);
+    json.set("nested_nocall_us", nested.ocallUs);
+    json.set("tagged_emulated_ecall_us", emuTag.ecallUs);
+    json.set("tagged_emulated_ocall_us", emuTag.ocallUs);
+    json.set("tagged_nested_necall_us", nestedTag.ecallUs);
+    json.set("tagged_nested_nocall_us", nestedTag.ocallUs);
+    json.writeIfRequested(flags);
     return 0;
 }

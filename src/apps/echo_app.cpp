@@ -169,9 +169,21 @@ EchoServer::create(sdk::Urts& urts, Layout layout, ByteView sessionKey)
     // point): it only frames, de-frames and answers heartbeats.
     auto outerSsl = std::make_shared<ssl::MiniSsl>(Bytes(16, 0));
 
+    // The record layer keeps one persistent staging buffer in the outer
+    // heap (like a real SSL record buffer) and hands the inner a
+    // [va, len] descriptor instead of the bytes: the inner reads and
+    // writes the outer's memory directly (paper §IV-A, by-reference
+    // sharing), which exercises the nested access-validation walk over
+    // the outer closure on every record.
+    struct RecordBuffer {
+        hw::Vaddr va = 0;
+        std::uint64_t cap = 0;
+    };
+    auto recBuf = std::make_shared<RecordBuffer>();
+
     outerSpec.interface->addNOcallTarget(
         "SSL_read",
-        [outerSsl](sdk::TrustedEnv& env, ByteView) -> Result<Bytes> {
+        [outerSsl, recBuf](sdk::TrustedEnv& env, ByteView) -> Result<Bytes> {
             for (;;) {
                 auto wire = env.ocall("net_recv", {});
                 if (!wire) return wire.status();
@@ -188,29 +200,34 @@ EchoServer::create(sdk::Urts& urts, Layout layout, ByteView sessionKey)
                     if (!sent) return sent.status();
                     continue;
                 }
-                // Stage through the outer heap like a real record layer,
-                // then hand the protected record up to the application.
-                hw::Vaddr buf = env.alloc(std::max<std::uint64_t>(
-                    ssl::kRecordBufferSize, payload.size()));
-                if (buf == 0) return Err::OutOfMemory;
-                Status st = env.writeBytes(buf, payload);
+                // Stage into the persistent record buffer and return its
+                // descriptor; the inner reads the record in place.
+                std::uint64_t need = std::max<std::uint64_t>(
+                    ssl::kRecordBufferSize, payload.size());
+                if (recBuf->cap < need) {
+                    if (recBuf->va != 0) env.free(recBuf->va);
+                    recBuf->va = env.alloc(need);
+                    if (recBuf->va == 0) return Err::OutOfMemory;
+                    recBuf->cap = need;
+                }
+                Status st = env.writeBytes(recBuf->va, payload);
                 if (!st) return st;
-                auto staged = env.readBytes(buf, payload.size());
-                env.free(buf);
-                if (!staged) return staged.status();
-                return staged.value();
+                Bytes desc(16);
+                storeLe64(desc.data(), recBuf->va);
+                storeLe64(desc.data() + 8, payload.size());
+                return desc;
             }
         });
     outerSpec.interface->addNOcallTarget(
         "SSL_write",
-        [](sdk::TrustedEnv& env, ByteView sealed) -> Result<Bytes> {
-            hw::Vaddr buf = env.alloc(std::max<std::uint64_t>(
-                ssl::kRecordBufferSize, sealed.size()));
-            if (buf == 0) return Err::OutOfMemory;
-            Status st = env.writeBytes(buf, sealed);
-            if (!st) return st;
-            auto staged = env.readBytes(buf, sealed.size());
-            env.free(buf);
+        [recBuf](sdk::TrustedEnv& env, ByteView lenArg) -> Result<Bytes> {
+            // The inner already wrote the sealed reply into the record
+            // buffer by reference; only its length crosses the boundary.
+            std::uint64_t len = loadLe64(lenArg.data());
+            if (recBuf->va == 0 || len > recBuf->cap) {
+                return Err::BadCallBuffer;
+            }
+            auto staged = env.readBytes(recBuf->va, len);
             if (!staged) return staged.status();
             Bytes wire = ssl::frame(ssl::FrameType::Data, staged.value());
             auto sent = env.ocall("net_send", wire);
@@ -235,9 +252,17 @@ EchoServer::create(sdk::Urts& urts, Layout layout, ByteView sessionKey)
             std::uint64_t echoed = 0;
             (void)loadLe64(arg.data());
             for (;;) {
-                auto sealed = env.nOcall("SSL_read", {});
+                auto desc = env.nOcall("SSL_read", {});
+                if (!desc) return desc.status();
+                if (desc.value().empty()) break;  // drained
+
+                // The record stays in the outer's heap; the inner reads
+                // it in place through the nested access-validation path
+                // (EPCM owner is the outer, reached via the closure).
+                hw::Vaddr recVa = loadLe64(desc.value().data());
+                std::uint64_t recLen = loadLe64(desc.value().data() + 8);
+                auto sealed = env.readBytes(recVa, recLen);
                 if (!sealed) return sealed.status();
-                if (sealed.value().empty()) break;  // drained
 
                 // Decrypt in the inner enclave (paper §VI-A): the outer
                 // SSL library never sees plaintext or keys.
@@ -247,7 +272,13 @@ EchoServer::create(sdk::Urts& urts, Layout layout, ByteView sessionKey)
 
                 Bytes reply = session->seal(plain.value());
                 env.chargeGcm(plain.value().size());
-                auto sent = env.nOcall("SSL_write", reply);
+                // Stage the sealed reply back into the outer's record
+                // buffer by reference; only the length crosses NEEXIT.
+                Status wr = env.writeBytes(recVa, reply);
+                if (!wr) return wr;
+                Bytes lenArg(8);
+                storeLe64(lenArg.data(), reply.size());
+                auto sent = env.nOcall("SSL_write", lenArg);
                 if (!sent) return sent.status();
                 ++echoed;
             }

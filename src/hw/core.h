@@ -21,9 +21,24 @@ struct EnclaveFrame {
     Paddr tcs = 0;   ///< TCS physical address in use
 };
 
+/**
+ * One-entry snapshot of the most recent successful translation ("L0").
+ * Only trusted while `generation` matches the TLB's — any flush,
+ * eviction, or overwrite bumps the TLB generation and kills the snapshot.
+ */
+struct TranslationCache {
+    bool valid = false;
+    std::uint64_t generation = 0;
+    std::uint64_t vpn = 0;
+    TlbEntry entry;
+};
+
 class Core {
   public:
-    explicit Core(CoreId id) : id_(id) {}
+    explicit Core(CoreId id, std::size_t tlbCapacity = Tlb::kDefaultCapacity)
+        : id_(id), tlb_(tlbCapacity)
+    {
+    }
 
     CoreId id() const { return id_; }
 
@@ -54,11 +69,21 @@ class Core {
     Tlb& tlb() { return tlb_; }
     const Tlb& tlb() const { return tlb_; }
 
+    /** Last-translation snapshot; valid only while the stored generation
+     *  matches `tlb().generation()`. */
+    const TranslationCache& lastTranslation() const { return lastXlate_; }
+    void setLastTranslation(std::uint64_t vpn, const TlbEntry& entry)
+    {
+        lastXlate_ = {true, tlb_.generation(), vpn, entry};
+    }
+    void clearLastTranslation() { lastXlate_.valid = false; }
+
   private:
     CoreId id_;
     std::vector<EnclaveFrame> frames_;
     const void* pageTable_ = nullptr;
     Tlb tlb_;
+    TranslationCache lastXlate_;
 };
 
 }  // namespace nesgx::hw

@@ -22,6 +22,9 @@ CostModel::forPreset(CostPreset preset)
         m.ocallDispatch = 468;
         m.nEcallDispatch = 1620;
         m.nOcallDispatch = 468;
+        // ASID/EID tag write on transition, in lieu of the full flush
+        // (same order as a PCID-tagged MOV-to-CR3 on real hardware).
+        m.tlbTagSwitch = 200;
         break;
       case CostPreset::EmulatedSgx:
         // ecall = 4500 cyc (1.25 us), ocall = 4104 cyc (1.14 us):
@@ -39,6 +42,9 @@ CostModel::forPreset(CostPreset preset)
         m.ocallDispatch = 304;
         m.nEcallDispatch = 700;
         m.nOcallDispatch = 304;
+        // Emulated tag switch: a store to the driver's shared context
+        // word, no ioctl — the whole point of skipping the flush.
+        m.tlbTagSwitch = 120;
         break;
       case CostPreset::EmulatedNested:
         // Plain ecall/ocall keep the emulated-SGX cost; the nested

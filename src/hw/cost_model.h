@@ -42,6 +42,14 @@ struct CostModel {
     std::uint64_t tlbHit = 1;            ///< translation already cached
     std::uint64_t tlbMissWalk = 80;      ///< page walk + EPCM validation
     std::uint64_t nestedCheckExtra = 10; ///< extra outer-level check per hop
+    std::uint64_t tlbTagCompare = 1;     ///< context-tag match on lookup
+    /** Contiguous-range fast path: the previous page's translation
+     *  register already covers the next frame, no TLB port needed. */
+    std::uint64_t tlbHitContiguous = 0;
+    /** Transition cost with a context-tagged TLB: switch the active tag
+     *  instead of invalidating every entry. Replaces `tlbFlush` in the
+     *  transition helpers when `tagged` is requested. */
+    std::uint64_t tlbTagSwitch = 0;
 
     // --- memory hierarchy (per 64 B cacheline) -------------------------
     std::uint64_t llcHitLine = 12;       ///< on-chip, no MEE involvement
@@ -69,37 +77,51 @@ struct CostModel {
     std::uint64_t copyPerByteNum = 1;    ///< plain memcpy cost numerator
     std::uint64_t copyPerByteDen = 8;    ///< ... per byte = num/den cycles
 
-    /** Full EENTER cost. */
-    std::uint64_t eenterCycles() const { return tlbFlush + ctxSave + enterCheck; }
-    /** Full EEXIT cost. */
-    std::uint64_t eexitCycles() const { return tlbFlush + ctxRestore + exitCheck; }
-    /** Full NEENTER cost. */
-    std::uint64_t neenterCycles() const
+    /** TLB component of a transition: full flush in the paper-faithful
+     *  model, tag switch when the TLB is context-tagged. The default
+     *  (`tagged = false`) keeps the Table II calibration exact. */
+    std::uint64_t transitionTlb(bool tagged = false) const
     {
-        return tlbFlush + ctxSave + nestedEnterCheck;
+        return tagged ? tlbTagSwitch : tlbFlush;
+    }
+
+    /** Full EENTER cost. */
+    std::uint64_t eenterCycles(bool tagged = false) const
+    {
+        return transitionTlb(tagged) + ctxSave + enterCheck;
+    }
+    /** Full EEXIT cost. */
+    std::uint64_t eexitCycles(bool tagged = false) const
+    {
+        return transitionTlb(tagged) + ctxRestore + exitCheck;
+    }
+    /** Full NEENTER cost. */
+    std::uint64_t neenterCycles(bool tagged = false) const
+    {
+        return transitionTlb(tagged) + ctxSave + nestedEnterCheck;
     }
     /** Full NEEXIT cost (includes register scrubbing). */
-    std::uint64_t neexitCycles() const
+    std::uint64_t neexitCycles(bool tagged = false) const
     {
-        return tlbFlush + ctxRestore + zeroRegs + nestedExitCheck;
+        return transitionTlb(tagged) + ctxRestore + zeroRegs + nestedExitCheck;
     }
 
     /** Round-trip ecall (EENTER + EEXIT + urts dispatch). */
-    std::uint64_t ecallRoundTrip() const
+    std::uint64_t ecallRoundTrip(bool tagged = false) const
     {
-        return eenterCycles() + eexitCycles() + ecallDispatch;
+        return eenterCycles(tagged) + eexitCycles(tagged) + ecallDispatch;
     }
-    std::uint64_t ocallRoundTrip() const
+    std::uint64_t ocallRoundTrip(bool tagged = false) const
     {
-        return eexitCycles() + eenterCycles() + ocallDispatch;
+        return eexitCycles(tagged) + eenterCycles(tagged) + ocallDispatch;
     }
-    std::uint64_t nEcallRoundTrip() const
+    std::uint64_t nEcallRoundTrip(bool tagged = false) const
     {
-        return neenterCycles() + neexitCycles() + nEcallDispatch;
+        return neenterCycles(tagged) + neexitCycles(tagged) + nEcallDispatch;
     }
-    std::uint64_t nOcallRoundTrip() const
+    std::uint64_t nOcallRoundTrip(bool tagged = false) const
     {
-        return neexitCycles() + neenterCycles() + nOcallDispatch;
+        return neexitCycles(tagged) + neenterCycles(tagged) + nOcallDispatch;
     }
 
     /** AES-GCM software cost for an n-byte message. */

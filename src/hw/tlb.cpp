@@ -3,23 +3,90 @@
 namespace nesgx::hw {
 
 const TlbEntry*
-Tlb::lookup(Vaddr va) const
+Tlb::lookup(Vaddr va, Paddr secsTag) const
 {
     auto it = entries_.find(pageNumber(va));
-    return it == entries_.end() ? nullptr : &it->second;
+    if (it == entries_.end()) {
+        return nullptr;
+    }
+    if (it->second.validatedSecs != secsTag) {
+        // Present, but validated under a different protection context:
+        // invariant 1 forbids serving it. Counted so the machine can
+        // charge the tag compare and surface the reject in stats.
+        ++tagRejects_;
+        return nullptr;
+    }
+    return &it->second;
 }
 
 void
 Tlb::insert(Vaddr va, const TlbEntry& entry)
 {
-    entries_[pageNumber(va)] = entry;
+    const std::uint64_t vpn = pageNumber(va);
+    auto it = entries_.find(vpn);
+    if (it != entries_.end()) {
+        // Overwriting an existing translation (revalidation with wider
+        // perms, or another context's view of the same VPN): any cached
+        // snapshot of the old entry is stale.
+        it->second = entry;
+        ++generation_;
+        return;
+    }
+    while (entries_.size() >= capacity_ && !fifo_.empty()) {
+        // FIFO victim; skip queue slots already erased by a selective
+        // invalidation (the queue is not compacted on erase).
+        const std::uint64_t victim = fifo_.front();
+        fifo_.pop_front();
+        if (entries_.erase(victim) > 0) {
+            ++evictions_;
+            ++generation_;
+        }
+    }
+    entries_.emplace(vpn, entry);
+    fifo_.push_back(vpn);
 }
 
 void
 Tlb::flushAll()
 {
     entries_.clear();
+    fifo_.clear();
     ++flushCount_;
+    ++generation_;
+}
+
+void
+Tlb::flushSecs(Paddr secsTag)
+{
+    bool erased = false;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.validatedSecs == secsTag) {
+            it = entries_.erase(it);
+            erased = true;
+        } else {
+            ++it;
+        }
+    }
+    if (erased) {
+        ++generation_;
+    }
+}
+
+void
+Tlb::invalidatePaddr(Paddr pagePa)
+{
+    bool erased = false;
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (it->second.paddr == pagePa) {
+            it = entries_.erase(it);
+            erased = true;
+        } else {
+            ++it;
+        }
+    }
+    if (erased) {
+        ++generation_;
+    }
 }
 
 }  // namespace nesgx::hw

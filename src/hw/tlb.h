@@ -2,13 +2,27 @@
  * Per-core TLB model.
  *
  * The security-critical property (paper §II-B) is the invariant that the
- * TLB only ever holds translations validated by the access-control flow;
- * entries are tagged with the enclave context they were validated under so
- * tests can assert the invariant directly. Transitions flush.
+ * TLB only ever holds translations validated by the access-control flow.
+ * Entries carry the SECS context they were validated under; `lookup` is
+ * *tag-checked* — an entry validated under a different protection context
+ * is never served, which is what lets transitions skip the full flush in
+ * the tagged-TLB configuration while preserving invariant 1 (§VII-A).
+ *
+ * The TLB is bounded (FIFO eviction) so hit/miss statistics model a real
+ * structure, and supports selective invalidation by context tag
+ * (`flushSecs`, for enclave teardown) and by physical frame
+ * (`invalidatePaddr`, for EBLOCK/EWB/EREMOVE).
+ *
+ * `generation()` increments whenever any existing translation may have
+ * changed or disappeared (full/selective flush, eviction, overwrite).
+ * Callers that cache a snapshot of an entry — the machine's one-entry
+ * "L0" fast path — compare generations to know the snapshot still
+ * mirrors the TLB.
  */
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <unordered_map>
 
 #include "hw/types.h"
@@ -26,16 +40,36 @@ struct TlbEntry {
 
 class Tlb {
   public:
-    /** Looks up a translation for the page containing `va`. */
-    const TlbEntry* lookup(Vaddr va) const;
+    static constexpr std::size_t kDefaultCapacity = 64;
 
-    /** Inserts a validated translation. */
+    explicit Tlb(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    /**
+     * Looks up a translation for the page containing `va`, as seen from
+     * protection context `secsTag` (current SECS PA, 0 = non-enclave).
+     * An entry validated under any other context is treated as a miss
+     * and counted in `tagRejectCount()`.
+     */
+    const TlbEntry* lookup(Vaddr va, Paddr secsTag) const;
+
+    /** Inserts a validated translation, evicting FIFO at capacity. */
     void insert(Vaddr va, const TlbEntry& entry);
 
-    /** Invalidates everything (transition / shootdown). */
+    /** Invalidates everything (AEX / shootdown / context switch). */
     void flushAll();
 
+    /** Selectively invalidates entries validated under `secsTag`. */
+    void flushSecs(Paddr secsTag);
+
+    /** Selectively invalidates entries mapping the physical page at
+     *  `pagePa` (page-aligned EPC frame being blocked/evicted/removed). */
+    void invalidatePaddr(Paddr pagePa);
+
     std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
 
     /** Iteration support for invariant-checking tests. */
     const std::unordered_map<std::uint64_t, TlbEntry>& entries() const
@@ -44,10 +78,20 @@ class Tlb {
     }
 
     std::uint64_t flushCount() const { return flushCount_; }
+    std::uint64_t tagRejectCount() const { return tagRejects_; }
+    std::uint64_t evictionCount() const { return evictions_; }
+
+    /** Bumped whenever an existing translation may have changed. */
+    std::uint64_t generation() const { return generation_; }
 
   private:
+    std::size_t capacity_;
     std::unordered_map<std::uint64_t, TlbEntry> entries_;  // keyed by VPN
+    std::deque<std::uint64_t> fifo_;  // insertion order (may hold stale VPNs)
     std::uint64_t flushCount_ = 0;
+    mutable std::uint64_t tagRejects_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t generation_ = 0;
 };
 
 }  // namespace nesgx::hw

@@ -7,7 +7,8 @@ namespace nesgx::sgx {
 Machine::Machine() : Machine(Config{}) {}
 
 Machine::Machine(const Config& config)
-    : mem_(config.dramBytes, config.prmBase, config.prmBytes),
+    : config_(config),
+      mem_(config.dramBytes, config.prmBase, config.prmBytes),
       clock_(),
       costs_(hw::CostModel::forPreset(config.preset)),
       llc_(config.llcBytes),
@@ -16,7 +17,7 @@ Machine::Machine(const Config& config)
 {
     cores_.reserve(config.coreCount);
     for (std::uint32_t i = 0; i < config.coreCount; ++i) {
-        cores_.emplace_back(i);
+        cores_.emplace_back(i, config.tlbCapacity);
     }
     // Per-device root key: in real SGX this is fused; the model draws it
     // from the seeded RNG so attestation keys are stable per machine.
@@ -50,11 +51,56 @@ void
 Machine::flushCoreTlb(hw::CoreId coreId)
 {
     cores_[coreId].tlb().flushAll();
+    cores_[coreId].clearLastTranslation();
+    ++stats_.tlbFlushes;
     // A flushed core no longer caches stale translations: drop it from
     // every active ETRACK tracking set (paper §IV-E thread tracking).
     for (auto& [pa, secs] : secsTable_) {
         if (secs.trackingActive) secs.trackingSet.erase(coreId);
     }
+}
+
+void
+Machine::invalidateTlbForPage(hw::Paddr pagePa)
+{
+    // Selective shootdown by physical frame: required whenever an EPC
+    // frame leaves an enclave (EBLOCK/EWB/EREMOVE). Under the tagged
+    // TLB, cores that merely *exited* still hold tagged entries, so
+    // every core is swept, not just the currently-tracked ones.
+    for (auto& core : cores_) {
+        core.tlb().invalidatePaddr(pagePa);
+    }
+}
+
+void
+Machine::invalidateTlbForSecs(hw::Paddr secsPage)
+{
+    for (auto& core : cores_) {
+        core.tlb().flushSecs(secsPage);
+    }
+}
+
+void
+Machine::invalidateClosureCache()
+{
+    closureCache_.clear();
+}
+
+const hw::TlbEntry*
+Machine::tlbProbe(hw::Core& core, hw::Vaddr va)
+{
+    const hw::Tlb& tlb = core.tlb();
+    const std::uint64_t rejectsBefore = tlb.tagRejectCount();
+    const hw::TlbEntry* entry = tlb.lookup(va, core.currentSecs());
+    if (config_.taggedTlb) {
+        // The tag compare is only a modelled cost in tagged mode; the
+        // flush-on-transition model never sees a mismatched tag (every
+        // surviving entry was validated under the current context).
+        charge(costs_.tlbTagCompare);
+        const std::uint64_t rejects = tlb.tagRejectCount() - rejectsBefore;
+        stats_.taggedLookupRejects += rejects;
+    }
+    return entry;
 }
 
 void
@@ -79,9 +125,16 @@ Machine::chargeDataPath(hw::Paddr pa, std::uint64_t len)
     }
 }
 
-std::vector<hw::Paddr>
+const std::vector<hw::Paddr>&
 Machine::outerClosure(hw::Paddr secsPage) const
 {
+    auto cached = closureCache_.find(secsPage);
+    if (cached != closureCache_.end()) {
+        ++stats_.closureCacheHits;
+        return cached->second;
+    }
+    ++stats_.closureCacheMisses;
+
     std::vector<hw::Paddr> order;
     std::set<hw::Paddr> visited{secsPage};
     std::vector<hw::Paddr> frontier{secsPage};
@@ -97,7 +150,7 @@ Machine::outerClosure(hw::Paddr secsPage) const
             }
         }
     }
-    return order;
+    return closureCache_.emplace(secsPage, std::move(order)).first->second;
 }
 
 std::vector<hw::CoreId>

@@ -68,6 +68,15 @@ class Machine {
         std::uint64_t llcBytes = 8ull << 20;
         hw::CostPreset preset = hw::CostPreset::EmulatedNested;
         std::uint64_t rngSeed = 42;
+        /**
+         * Context-tagged TLB: transitions switch the active SECS tag
+         * instead of flushing, and `Tlb::lookup` only serves entries
+         * validated under the current context (invariant 1, §VII-A).
+         * Off reproduces the paper-faithful flush-on-transition costs.
+         */
+        bool taggedTlb = true;
+        /** Per-core TLB capacity in entries (FIFO eviction). */
+        std::size_t tlbCapacity = hw::Tlb::kDefaultCapacity;
     };
 
     Machine();
@@ -84,6 +93,7 @@ class Machine {
     const Epcm& epcm() const { return epcm_; }
     hw::Core& core(hw::CoreId id) { return cores_[id]; }
     std::uint32_t coreCount() const { return std::uint32_t(cores_.size()); }
+    const Config& config() const { return config_; }
 
     /** SECS lookup by EPC physical address (null when not a live SECS). */
     Secs* secsAt(hw::Paddr pa);
@@ -179,8 +189,13 @@ class Machine {
      * All outer enclaves reachable from `secsPage` through the
      * association graph (BFS order, excluding the start). A chain for
      * the default single-outer model; a DAG under kAttrMultiOuter.
+     *
+     * Memoized per SECS: the association graph only changes on NASSO
+     * and EREMOVE, which drop the cache; a translation miss therefore
+     * costs one map lookup instead of an allocating BFS. The returned
+     * reference stays valid until the next NASSO/EREMOVE.
      */
-    std::vector<hw::Paddr> outerClosure(hw::Paddr secsPage) const;
+    const std::vector<hw::Paddr>& outerClosure(hw::Paddr secsPage) const;
 
     // --- attestation (machine_attest.cpp) --------------------------------
     /** EREPORT: report of the current enclave, MAC'ed for `target`. */
@@ -216,6 +231,12 @@ class Machine {
         std::uint64_t ipiCount = 0;
         std::uint64_t meeLines = 0;       ///< cachelines through the MEE
         std::uint64_t llcHitLines = 0;
+        // --- tagged-TLB / closure-cache fast path -----------------------
+        std::uint64_t tlbFlushes = 0;        ///< full per-core flushes taken
+        std::uint64_t flushesAvoided = 0;    ///< transitions that skipped one
+        std::uint64_t closureCacheHits = 0;
+        std::uint64_t closureCacheMisses = 0;
+        std::uint64_t taggedLookupRejects = 0; ///< VPN hit, wrong context tag
     };
     Stats& stats() { return stats_; }
     const Stats& stats() const { return stats_; }
@@ -232,8 +253,30 @@ class Machine {
     Result<hw::Paddr> validateAndFill(hw::CoreId coreId, hw::Vaddr va,
                                       hw::Access access);
 
+    /**
+     * Tag-checked TLB probe: forwards to `Tlb::lookup` with the core's
+     * current SECS as the tag, accounting any tag reject in stats and
+     * charging the tag-compare cost (tagged mode only).
+     */
+    const hw::TlbEntry* tlbProbe(hw::Core& core, hw::Vaddr va);
+
+    /** Drops `pagePa` translations from every core (EBLOCK/EWB/EREMOVE). */
+    void invalidateTlbForPage(hw::Paddr pagePa);
+
+    /** Drops all of a SECS's tagged translations from every core. */
+    void invalidateTlbForSecs(hw::Paddr secsPage);
+
+    /** Invalidates the memoized outer closures (NASSO/EREMOVE). */
+    void invalidateClosureCache();
+
+    /** Shared implementation of `read`/`write` with the contiguous-range
+     *  fast path. */
+    Status accessRange(hw::CoreId core, hw::Vaddr va, std::uint8_t* out,
+                       const std::uint8_t* in, std::uint64_t len);
+
     crypto::Sha256Digest reportKeyFor(const Measurement& targetMr) const;
 
+    Config config_;
     hw::PhysicalMemory mem_;
     hw::SimClock clock_;
     hw::CostModel costs_;
@@ -248,7 +291,11 @@ class Machine {
     Bytes rootKey_;
     std::unique_ptr<crypto::AesGcm> pagingGcm_;
     Rng rng_;
-    Stats stats_;
+    mutable Stats stats_;
+    /** Memoized `outerClosure` results; cleared on NASSO/EREMOVE.
+     *  std::map for node stability: returned references survive
+     *  insertion of other keys. */
+    mutable std::map<hw::Paddr, std::vector<hw::Paddr>> closureCache_;
 };
 
 }  // namespace nesgx::sgx

@@ -62,6 +62,7 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
         tlbEntry.executable = pte->executable;
         if (!permsAllow(tlbEntry, access)) return Err::PageFault;
         core.tlb().insert(va, tlbEntry);
+        core.setLastTranslation(hw::pageNumber(va), tlbEntry);
         return pa + hw::pageOffset(va);
     }
 
@@ -111,6 +112,7 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
             return Err::PageFault;
         }
         core.tlb().insert(va, tlbEntry);
+        core.setLastTranslation(hw::pageNumber(va), tlbEntry);
         return pa + hw::pageOffset(va);
     }
 
@@ -140,6 +142,7 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
         return Err::PageFault;
     }
     core.tlb().insert(va, tlbEntry);
+    core.setLastTranslation(hw::pageNumber(va), tlbEntry);
     return pa + hw::pageOffset(va);
 }
 
@@ -147,10 +150,25 @@ Result<hw::Paddr>
 Machine::translate(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
 {
     hw::Core& core = cores_[coreId];
-    if (const hw::TlbEntry* hit = core.tlb().lookup(va)) {
+
+    // L0: the last successful translation, trusted only while the TLB
+    // generation proves nothing has been flushed, evicted or replaced
+    // since — and only for the same protection context.
+    const hw::TranslationCache& last = core.lastTranslation();
+    if (last.valid && last.generation == core.tlb().generation()
+        && last.vpn == hw::pageNumber(va)
+        && last.entry.validatedSecs == core.currentSecs()
+        && permsAllow(last.entry, access)) {
+        charge(costs_.tlbHit);
+        ++stats_.tlbHits;
+        return last.entry.paddr + hw::pageOffset(va);
+    }
+
+    if (const hw::TlbEntry* hit = tlbProbe(core, va)) {
         if (permsAllow(*hit, access)) {
             charge(costs_.tlbHit);
             ++stats_.tlbHits;
+            core.setLastTranslation(hw::pageNumber(va), *hit);
             return hit->paddr + hw::pageOffset(va);
         }
         // Permission upgrade (e.g. read-validated entry, write access)
@@ -160,41 +178,71 @@ Machine::translate(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
 }
 
 Status
-Machine::read(hw::CoreId coreId, hw::Vaddr va, std::uint8_t* out,
-              std::uint64_t len)
+Machine::accessRange(hw::CoreId coreId, hw::Vaddr va, std::uint8_t* out,
+                     const std::uint8_t* in, std::uint64_t len)
 {
+    const hw::Access access = out ? hw::Access::Read : hw::Access::Write;
+    hw::Core& core = cores_[coreId];
     std::uint64_t done = 0;
+    // Physical base of the previously accessed page, valid while the
+    // TLB generation is unchanged — lets a multi-page streaming access
+    // reuse its translation register instead of re-translating when the
+    // next validated entry maps the physically adjacent frame.
+    bool havePrev = false;
+    hw::Paddr prevFrame = 0;
+    std::uint64_t prevGen = 0;
+
     while (done < len) {
         hw::Vaddr cur = va + done;
         std::uint64_t inPage =
             std::min<std::uint64_t>(len - done,
                                     hw::kPageSize - hw::pageOffset(cur));
-        auto pa = translate(coreId, cur, hw::Access::Read);
-        if (!pa) return pa.status();
-        chargeDataPath(pa.value(), inPage);
-        mem_.read(pa.value(), out + done, inPage);
+        hw::Paddr pa = 0;
+        bool translated = false;
+        if (havePrev && hw::pageOffset(cur) == 0
+            && prevGen == core.tlb().generation()) {
+            const hw::TlbEntry* e = core.tlb().lookup(cur, core.currentSecs());
+            if (e && e->paddr == prevFrame + hw::kPageSize
+                && permsAllow(*e, access)) {
+                charge(costs_.tlbHitContiguous);
+                ++stats_.tlbHits;
+                pa = e->paddr;
+                translated = true;
+            }
+        }
+        if (!translated) {
+            auto r = translate(coreId, cur, access);
+            if (!r) return r.status();
+            pa = r.value() - hw::pageOffset(cur);
+        }
+        havePrev = true;
+        prevFrame = pa;
+        prevGen = core.tlb().generation();
+
+        const hw::Paddr target = pa + hw::pageOffset(cur);
+        chargeDataPath(target, inPage);
+        if (out) {
+            mem_.read(target, out + done, inPage);
+        } else {
+            mem_.write(target, in + done, inPage);
+        }
         done += inPage;
     }
     return Status::ok();
 }
 
 Status
+Machine::read(hw::CoreId coreId, hw::Vaddr va, std::uint8_t* out,
+              std::uint64_t len)
+{
+    return accessRange(coreId, va, out, nullptr, len);
+}
+
+Status
 Machine::write(hw::CoreId coreId, hw::Vaddr va, const std::uint8_t* in,
                std::uint64_t len)
 {
-    std::uint64_t done = 0;
-    while (done < len) {
-        hw::Vaddr cur = va + done;
-        std::uint64_t inPage =
-            std::min<std::uint64_t>(len - done,
-                                    hw::kPageSize - hw::pageOffset(cur));
-        auto pa = translate(coreId, cur, hw::Access::Write);
-        if (!pa) return pa.status();
-        chargeDataPath(pa.value(), inPage);
-        mem_.write(pa.value(), in + done, inPage);
-        done += inPage;
-    }
-    return Status::ok();
+    return accessRange(coreId, va, nullptr, in, len);
 }
 
 Status

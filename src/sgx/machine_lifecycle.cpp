@@ -1,6 +1,8 @@
 /**
  * ENCLS lifecycle leaves: ECREATE, EADD, EEXTEND, EINIT, EREMOVE, NASSO.
  */
+#include <algorithm>
+
 #include "sgx/machine.h"
 
 namespace nesgx::sgx {
@@ -148,19 +150,38 @@ Machine::eremove(hw::Paddr epcPage)
 
     if (entry.type == PageType::Secs) {
         // A SECS leaves last: all child pages must be gone, no live
-        // associations, and no core may be executing in the enclave.
+        // *inner* associations, and no core may be executing in the
+        // enclave. An inner enclave with outers may leave: its edges are
+        // detached here, which is the association-teardown path.
         if (epcm_.countOwnedBy(epcPage) > 1) return Err::PageInUse;
         Secs* secs = secsAt(epcPage);
-        if (secs && (!secs->innerEids.empty() || !secs->outerEids.empty())) {
-            return Err::PageInUse;
-        }
+        if (secs && !secs->innerEids.empty()) return Err::PageInUse;
         if (!trackedCores(epcPage).empty()) return Err::PageInUse;
+        if (secs) {
+            for (hw::Paddr outerPa : secs->outerEids) {
+                if (Secs* outer = secsAt(outerPa)) {
+                    auto& inners = outer->innerEids;
+                    inners.erase(
+                        std::remove(inners.begin(), inners.end(), epcPage),
+                        inners.end());
+                }
+            }
+        }
         secsTable_.erase(epcPage);
+        // Tagged entries validated under this context must never be
+        // served to a later enclave reusing the same SECS frame.
+        invalidateTlbForSecs(epcPage);
+        // The association graph changed shape: memoized closures of any
+        // former inner are stale.
+        invalidateClosureCache();
     } else {
         if (!trackedCores(entry.ownerSecs).empty()) return Err::PageInUse;
         if (entry.type == PageType::Tcs) tcsTable_.erase(epcPage);
     }
     entry = EpcmEntry{};
+    // The frame returns to the free pool; no TLB on any core may still
+    // translate to it (the EPCM no longer vouches for the mapping).
+    invalidateTlbForPage(epcPage);
     return Status::ok();
 }
 
@@ -207,6 +228,14 @@ Machine::nasso(hw::Paddr innerSecsPage, hw::Paddr outerSecsPage)
 
     inner->outerEids.push_back(outerSecsPage);
     outer->innerEids.push_back(innerSecsPage);
+    // The graph gained an edge: every memoized closure that could reach
+    // the inner is stale (and the cycle check above may have populated
+    // the pre-edge closure of the outer).
+    invalidateClosureCache();
+    // A translation the inner validated *before* the association (e.g. a
+    // non-EPC page now shadowed by the new outer's ELRANGE) must be
+    // re-validated under the post-NASSO rules.
+    invalidateTlbForSecs(innerSecsPage);
     return Status::ok();
 }
 

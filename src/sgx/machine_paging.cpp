@@ -18,6 +18,10 @@ Machine::eblock(hw::Paddr epcPage)
         return Err::InvalidEpcPage;
     }
     entry.blocked = true;
+    // A blocked page must stop being reachable through cached
+    // translations. Under the tagged TLB this matters even on cores that
+    // already left the enclave — their entries survived the exit.
+    invalidateTlbForPage(epcPage);
     return Status::ok();
 }
 
@@ -78,6 +82,10 @@ Machine::ewb(hw::Paddr epcPage)
 
     mem_.fill(epcPage, 0, hw::kPageSize);
     entry = EpcmEntry{};
+    // Belt and braces: the frame is zeroed and free; no core may keep a
+    // translation into it (EBLOCK already swept, but an ELDU between
+    // EBLOCK and EWB could have revalidated in another context).
+    invalidateTlbForPage(epcPage);
     return out;
 }
 

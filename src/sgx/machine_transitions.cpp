@@ -22,10 +22,16 @@ Machine::eenter(hw::CoreId coreId, hw::Paddr tcsPage)
     Tcs* tcs = tcsAt(tcsPage);
     if (!tcs || tcs->busy) return Err::GeneralProtection;
 
-    charge(costs_.eenterCycles());
-    // The TLB must never mix translations validated in different
-    // protection contexts (invariant 1, paper §VII-A).
-    flushCoreTlb(coreId);
+    charge(costs_.eenterCycles(config_.taggedTlb));
+    // The TLB must never *serve* translations validated in a different
+    // protection context (invariant 1, paper §VII-A). The flush model
+    // enforces that by invalidating everything; the tagged model keeps
+    // the entries and relies on the tag-checked lookup instead.
+    if (config_.taggedTlb) {
+        ++stats_.flushesAvoided;
+    } else {
+        flushCoreTlb(coreId);
+    }
     tcs->busy = true;
     core.pushFrame(entry.ownerSecs, tcsPage);
     ++stats_.eenterCount;
@@ -41,10 +47,14 @@ Machine::eexit(hw::CoreId coreId)
     // frames return through NEEXIT (see machine.h header comment).
     if (core.depth() != 1) return Err::GeneralProtection;
 
-    charge(costs_.eexitCycles());
+    charge(costs_.eexitCycles(config_.taggedTlb));
     hw::EnclaveFrame frame = core.popFrame();
     if (Tcs* tcs = tcsAt(frame.tcs)) tcs->busy = false;
-    flushCoreTlb(coreId);
+    if (config_.taggedTlb) {
+        ++stats_.flushesAvoided;
+    } else {
+        flushCoreTlb(coreId);
+    }
     ++stats_.eexitCount;
     return Status::ok();
 }
@@ -72,8 +82,12 @@ Machine::neenter(hw::CoreId coreId, hw::Paddr tcsPage)
     Tcs* tcs = tcsAt(tcsPage);
     if (!tcs || tcs->busy) return Err::GeneralProtection;
 
-    charge(costs_.neenterCycles());
-    flushCoreTlb(coreId);
+    charge(costs_.neenterCycles(config_.taggedTlb));
+    if (config_.taggedTlb) {
+        ++stats_.flushesAvoided;
+    } else {
+        flushCoreTlb(coreId);
+    }
     tcs->busy = true;
     core.pushFrame(entry.ownerSecs, tcsPage);
     ++stats_.neenterCount;
@@ -93,12 +107,17 @@ Machine::neexit(hw::CoreId coreId)
         return Err::GeneralProtection;
     }
 
-    // NEEXIT scrubs all architectural registers and flushes the TLB so
-    // nothing of the inner context leaks to the outer enclave (§IV-B).
-    charge(costs_.neexitCycles());
+    // NEEXIT scrubs all architectural registers, and keeps the inner
+    // context's translations out of the outer's reach — by flushing the
+    // TLB (§IV-B), or by the tag check when the TLB is context-tagged.
+    charge(costs_.neexitCycles(config_.taggedTlb));
     hw::EnclaveFrame frame = core.popFrame();
     if (Tcs* tcs = tcsAt(frame.tcs)) tcs->busy = false;
-    flushCoreTlb(coreId);
+    if (config_.taggedTlb) {
+        ++stats_.flushesAvoided;
+    } else {
+        flushCoreTlb(coreId);
+    }
     ++stats_.neexitCount;
     return Status::ok();
 }
@@ -110,6 +129,9 @@ Machine::aex(hw::CoreId coreId)
     if (!core.inEnclaveMode()) return Err::GeneralProtection;
 
     charge(costs_.aex);
+    // AEX always does the real flush, even with a tagged TLB: the OS
+    // takes over the core, and ETRACK's tracking-set drain depends on
+    // the flush actually happening (paper §IV-E).
     // The whole nest is saved into the bottom-most TCS so ERESUME can
     // restore execution exactly where the exception hit.
     hw::Paddr bottomTcs = core.frames().front().tcs;
@@ -132,8 +154,12 @@ Machine::eresume(hw::CoreId coreId, hw::Paddr tcsPage)
     Tcs* tcs = tcsAt(tcsPage);
     if (!tcs || !tcs->hasSavedFrames) return Err::GeneralProtection;
 
-    charge(costs_.eenterCycles());
-    flushCoreTlb(coreId);
+    charge(costs_.eenterCycles(config_.taggedTlb));
+    if (config_.taggedTlb) {
+        ++stats_.flushesAvoided;
+    } else {
+        flushCoreTlb(coreId);
+    }
     for (const auto& frame : tcs->savedFrames) {
         core.pushFrame(frame.secs, frame.tcs);
     }

@@ -263,13 +263,46 @@ TEST_F(AccessControl, UnmappedEnclavePageFaults)
 
 // --- TLB behaviour -----------------------------------------------------------
 
-TEST_F(AccessControl, TransitionsFlushTlb)
+TEST_F(AccessControl, TransitionsInvalidateOrIsolate)
 {
+    // Default config: tagged TLB. Entries *survive* the exit, but the
+    // enclave-validated translation is unreachable from untrusted mode.
     enter(pair_.outer);
     ASSERT_TRUE(tryRead(outerHeapVa_).isOk());
     EXPECT_GT(world_->machine.core(0).tlb().size(), 0u);
     ASSERT_TRUE(world_->machine.eexit(0).isOk());
-    EXPECT_EQ(world_->machine.core(0).tlb().size(), 0u);
+    EXPECT_GT(world_->machine.core(0).tlb().size(), 0u);
+    EXPECT_EQ(world_->machine.core(0).tlb().lookup(outerHeapVa_, 0), nullptr);
+    EXPECT_GT(world_->machine.stats().flushesAvoided, 0u);
+}
+
+TEST_F(AccessControl, FlushModeTransitionsFlushTlb)
+{
+    // Paper-faithful configuration: every transition flushes the core.
+    auto config = World::smallConfig();
+    config.taggedTlb = false;
+    World world(config);
+    auto pair = loadNestedPair(world, tinySpec("acf-outer"),
+                               tinySpec("acf-inner"));
+    hw::Vaddr heapVa = pair.outer->heap().alloc(64);
+    hw::Paddr tcs = 0;
+    const auto* rec = world.kernel.enclaveRecord(pair.outer->secsPage());
+    for (const auto& [va, pa] : rec->pages) {
+        if (world.machine.epcm()
+                .entry(world.machine.mem().epcPageIndex(pa))
+                .type == sgx::PageType::Tcs) {
+            tcs = pa;
+            break;
+        }
+    }
+    ASSERT_TRUE(world.machine.eenter(0, tcs).isOk());
+    std::uint8_t buf[8];
+    ASSERT_TRUE(world.machine.read(0, heapVa, buf, 8).isOk());
+    EXPECT_GT(world.machine.core(0).tlb().size(), 0u);
+    ASSERT_TRUE(world.machine.eexit(0).isOk());
+    EXPECT_EQ(world.machine.core(0).tlb().size(), 0u);
+    EXPECT_EQ(world.machine.stats().flushesAvoided, 0u);
+    EXPECT_GT(world.machine.stats().tlbFlushes, 0u);
 }
 
 TEST_F(AccessControl, TlbHitSkipsRevalidation)

@@ -58,6 +58,20 @@ TEST(CostModel, NestedTransitionCheaperThanPlain)
     EXPECT_LT(m.nOcallRoundTrip(), m.ocallRoundTrip());
 }
 
+TEST(CostModel, TaggedTransitionsCheaperThanFlushed)
+{
+    // The tagged-TLB variant replaces the full flush with a tag switch;
+    // the default (flushed) variant must stay on the Table II numbers.
+    for (auto preset : {CostPreset::HwSgx, CostPreset::EmulatedSgx,
+                        CostPreset::EmulatedNested}) {
+        CostModel m = CostModel::forPreset(preset);
+        EXPECT_LT(m.tlbTagSwitch, m.tlbFlush);
+        EXPECT_LT(m.ecallRoundTrip(true), m.ecallRoundTrip(false));
+        EXPECT_LT(m.nEcallRoundTrip(true), m.nEcallRoundTrip(false));
+        EXPECT_EQ(m.ecallRoundTrip(), m.ecallRoundTrip(false));
+    }
+}
+
 TEST(CostModel, CopyBytesRoundsUp)
 {
     CostModel m;
@@ -139,12 +153,108 @@ TEST(Tlb, InsertLookupFlush)
     e.paddr = 0x4000;
     e.writable = true;
     tlb.insert(0x7000, e);
-    ASSERT_NE(tlb.lookup(0x7abc), nullptr);
-    EXPECT_EQ(tlb.lookup(0x7abc)->paddr, 0x4000u);
-    EXPECT_EQ(tlb.lookup(0x8000), nullptr);
+    ASSERT_NE(tlb.lookup(0x7abc, 0), nullptr);
+    EXPECT_EQ(tlb.lookup(0x7abc, 0)->paddr, 0x4000u);
+    EXPECT_EQ(tlb.lookup(0x8000, 0), nullptr);
     tlb.flushAll();
-    EXPECT_EQ(tlb.lookup(0x7abc), nullptr);
+    EXPECT_EQ(tlb.lookup(0x7abc, 0), nullptr);
     EXPECT_EQ(tlb.flushCount(), 1u);
+}
+
+TEST(Tlb, LookupIsContextTagged)
+{
+    Tlb tlb;
+    TlbEntry e;
+    e.paddr = 0x4000;
+    e.validatedSecs = 0xa000;  // validated inside enclave A
+    tlb.insert(0x7000, e);
+
+    // Same VPN, different protection context: must miss, and the reject
+    // is counted (it is a modelled tag-compare, not a plain miss).
+    EXPECT_EQ(tlb.lookup(0x7abc, 0xb000), nullptr);
+    EXPECT_EQ(tlb.lookup(0x7abc, 0), nullptr);
+    EXPECT_EQ(tlb.tagRejectCount(), 2u);
+
+    ASSERT_NE(tlb.lookup(0x7abc, 0xa000), nullptr);
+    EXPECT_EQ(tlb.tagRejectCount(), 2u);
+}
+
+TEST(Tlb, FlushSecsIsSelective)
+{
+    Tlb tlb;
+    TlbEntry a;
+    a.paddr = 0x4000;
+    a.validatedSecs = 0xa000;
+    TlbEntry b;
+    b.paddr = 0x5000;
+    b.validatedSecs = 0xb000;
+    tlb.insert(0x1000, a);
+    tlb.insert(0x2000, b);
+
+    tlb.flushSecs(0xa000);
+    EXPECT_EQ(tlb.lookup(0x1000, 0xa000), nullptr);
+    EXPECT_NE(tlb.lookup(0x2000, 0xb000), nullptr);
+    // Selective invalidation is not a full flush.
+    EXPECT_EQ(tlb.flushCount(), 0u);
+}
+
+TEST(Tlb, InvalidatePaddrDropsAllAliases)
+{
+    Tlb tlb;
+    TlbEntry e;
+    e.paddr = 0x4000;
+    tlb.insert(0x1000, e);
+    tlb.insert(0x2000, e);  // second VA alias of the same frame
+    TlbEntry other;
+    other.paddr = 0x8000;
+    tlb.insert(0x3000, other);
+
+    tlb.invalidatePaddr(0x4000);
+    EXPECT_EQ(tlb.lookup(0x1000, 0), nullptr);
+    EXPECT_EQ(tlb.lookup(0x2000, 0), nullptr);
+    EXPECT_NE(tlb.lookup(0x3000, 0), nullptr);
+}
+
+TEST(Tlb, CapacityBoundWithFifoEviction)
+{
+    Tlb tlb(4);
+    EXPECT_EQ(tlb.capacity(), 4u);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        TlbEntry e;
+        e.paddr = 0x10000 + i * kPageSize;
+        tlb.insert(i * kPageSize, e);
+    }
+    EXPECT_EQ(tlb.size(), 4u);
+    EXPECT_EQ(tlb.evictionCount(), 2u);
+    // Oldest two are gone, newest four are resident.
+    EXPECT_EQ(tlb.lookup(0, 0), nullptr);
+    EXPECT_EQ(tlb.lookup(kPageSize, 0), nullptr);
+    for (std::uint64_t i = 2; i < 6; ++i) {
+        EXPECT_NE(tlb.lookup(i * kPageSize, 0), nullptr);
+    }
+}
+
+TEST(Tlb, GenerationTracksInvalidations)
+{
+    Tlb tlb(2);
+    TlbEntry e;
+    e.paddr = 0x4000;
+    tlb.insert(0x1000, e);
+    const auto genAfterFresh = tlb.generation();
+
+    // Overwriting an existing VPN invalidates snapshots of it.
+    e.writable = true;
+    tlb.insert(0x1000, e);
+    EXPECT_GT(tlb.generation(), genAfterFresh);
+
+    const auto genBeforeEvict = tlb.generation();
+    tlb.insert(0x2000, e);  // fills capacity, no eviction yet
+    tlb.insert(0x3000, e);  // evicts FIFO victim
+    EXPECT_GT(tlb.generation(), genBeforeEvict);
+
+    const auto genBeforeFlush = tlb.generation();
+    tlb.flushAll();
+    EXPECT_GT(tlb.generation(), genBeforeFlush);
 }
 
 // --- LLC -------------------------------------------------------------------------

@@ -19,11 +19,16 @@
 namespace nesgx::test {
 namespace {
 
-class Invariants : public ::testing::Test {
+/** Parameterized over Machine::Config::taggedTlb: every invariant must
+ *  hold both in the paper-faithful flush-on-transition model and with
+ *  the context-tagged TLB that skips those flushes. */
+class Invariants : public ::testing::TestWithParam<bool> {
   protected:
     void SetUp() override
     {
-        world_ = std::make_unique<World>();
+        auto config = World::smallConfig();
+        config.taggedTlb = GetParam();
+        world_ = std::make_unique<World>(config);
         pair_ = loadNestedPair(*world_, tinySpec("inv-outer"),
                                tinySpec("inv-inner"));
         untrustedVa_ = world_->kernel.mapUntrusted(world_->pid, 4);
@@ -103,7 +108,7 @@ class Invariants : public ::testing::Test {
     hw::Vaddr innerVa_ = 0;
 };
 
-TEST_F(Invariants, HoldUnderRandomizedHostileOs)
+TEST_P(Invariants, HoldUnderRandomizedHostileOs)
 {
     auto& machine = world_->machine;
     Rng rng(0x1721);
@@ -185,7 +190,7 @@ TEST_F(Invariants, HoldUnderRandomizedHostileOs)
     }
 }
 
-TEST_F(Invariants, RestoredMappingsStillWork)
+TEST_P(Invariants, RestoredMappingsStillWork)
 {
     // After an attack campaign, restoring honest mappings restores
     // service (availability is out of scope, correctness is not).
@@ -207,6 +212,53 @@ TEST_F(Invariants, RestoredMappingsStillWork)
     EXPECT_TRUE(machine.read(0, outerVa_, buf, 8).isOk());
     ASSERT_TRUE(machine.eexit(0).isOk());
 }
+
+TEST_P(Invariants, TaggedLookupNeverCrossesContexts)
+{
+    // Invariant 1 under the tagged TLB: an entry validated in one
+    // protection context is never *served* in another, even though it
+    // may stay resident across transitions.
+    auto& machine = world_->machine;
+    hw::Paddr outerTcs = firstTcs(pair_.outer);
+    hw::Paddr innerTcs = firstTcs(pair_.inner);
+    const hw::Paddr outerSecs = pair_.outer->secsPage();
+    const hw::Paddr innerSecs = pair_.inner->secsPage();
+    std::uint8_t buf[8] = {0};
+
+    ASSERT_TRUE(machine.eenter(0, outerTcs).isOk());
+    ASSERT_TRUE(machine.neenter(0, innerTcs).isOk());
+    ASSERT_TRUE(machine.read(0, innerVa_, buf, 8).isOk());
+    const hw::Tlb& tlb = machine.core(0).tlb();
+    ASSERT_NE(tlb.lookup(innerVa_, innerSecs), nullptr);
+
+    // Back in the outer: the inner-validated entry must not be served —
+    // neither by a raw lookup nor by the access path.
+    ASSERT_TRUE(machine.neexit(0).isOk());
+    EXPECT_EQ(tlb.lookup(innerVa_, outerSecs), nullptr);
+    EXPECT_EQ(machine.read(0, innerVa_, buf, 8).code(), Err::PageFault);
+
+    // Inner -> outer -> inner round-trip: re-entering the inner serves
+    // the surviving entry again (tagged mode) without a fresh walk.
+    const auto missesBefore = machine.stats().tlbMisses;
+    ASSERT_TRUE(machine.neenter(0, innerTcs).isOk());
+    ASSERT_TRUE(machine.read(0, innerVa_, buf, 8).isOk());
+    if (GetParam()) {
+        EXPECT_NE(tlb.lookup(innerVa_, innerSecs), nullptr);
+        EXPECT_EQ(machine.stats().tlbMisses, missesBefore);
+    }
+
+    // From untrusted mode nothing enclave-validated is ever served.
+    ASSERT_TRUE(machine.neexit(0).isOk());
+    ASSERT_TRUE(machine.eexit(0).isOk());
+    EXPECT_EQ(tlb.lookup(innerVa_, 0), nullptr);
+    EXPECT_EQ(tlb.lookup(outerVa_, 0), nullptr);
+    EXPECT_EQ(machine.read(0, innerVa_, buf, 8).code(), Err::PageFault);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlushedAndTagged, Invariants, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "taggedTlb" : "flushTlb";
+                         });
 
 }  // namespace
 }  // namespace nesgx::test

@@ -317,5 +317,61 @@ TEST(Lifecycle, EremoveRefusesAssociatedSecs)
     EXPECT_FALSE(st.isOk());
 }
 
+// --- outer-closure memoization ---------------------------------------------
+
+TEST(ClosureCache, NassoInvalidatesMemoizedClosures)
+{
+    World world;
+    auto outerSpec = tinySpec("cc-outer");
+    auto innerSpec = tinySpec("cc-inner");
+    innerSpec.expectedOuter = expectSigner(authorKey());
+    outerSpec.allowedInners.push_back(expectSigner(authorKey()));
+    auto outer = world.urts->load(sdk::buildImage(outerSpec, authorKey()))
+                     .orThrow("outer");
+    auto inner = world.urts->load(sdk::buildImage(innerSpec, authorKey()))
+                     .orThrow("inner");
+
+    auto& machine = world.machine;
+    // First query walks the graph; the repeat is served memoized.
+    const auto missesBefore = machine.stats().closureCacheMisses;
+    EXPECT_TRUE(machine.outerClosure(inner->secsPage()).empty());
+    EXPECT_EQ(machine.stats().closureCacheMisses, missesBefore + 1);
+    const auto hitsBefore = machine.stats().closureCacheHits;
+    EXPECT_TRUE(machine.outerClosure(inner->secsPage()).empty());
+    EXPECT_EQ(machine.stats().closureCacheHits, hitsBefore + 1);
+
+    // NASSO adds an edge mid-run: the memoized (empty) closure would now
+    // be a security-relevant lie and must have been dropped.
+    ASSERT_TRUE(world.urts->associate(inner, outer).isOk());
+    const auto& closure = machine.outerClosure(inner->secsPage());
+    ASSERT_EQ(closure.size(), 1u);
+    EXPECT_EQ(closure[0], outer->secsPage());
+}
+
+TEST(ClosureCache, EremoveTearsDownEdgeAndInvalidates)
+{
+    World world;
+    NestedPair pair =
+        loadNestedPair(world, tinySpec("cc-outer2"), tinySpec("cc-inner2"));
+    auto& machine = world.machine;
+    // Warm the cache: the inner's closure reaches the outer.
+    ASSERT_EQ(machine.outerClosure(pair.inner->secsPage()).size(), 1u);
+
+    // Removing the inner enclave tears the association edge down.
+    const hw::Paddr innerSecs = pair.inner->secsPage();
+    ASSERT_TRUE(world.urts->unload(pair.inner).isOk());
+    EXPECT_EQ(machine.secsAt(innerSecs), nullptr);
+    const sgx::Secs* outer = machine.secsAt(pair.outer->secsPage());
+    ASSERT_NE(outer, nullptr);
+    EXPECT_TRUE(outer->innerEids.empty());
+    // The memoized closure went with it: a fresh query re-walks and
+    // finds nothing, instead of serving the stale {outer} result.
+    const auto missesBefore = machine.stats().closureCacheMisses;
+    EXPECT_TRUE(machine.outerClosure(innerSecs).empty());
+    EXPECT_EQ(machine.stats().closureCacheMisses, missesBefore + 1);
+    // With the edge gone, the outer can leave too.
+    EXPECT_TRUE(world.urts->unload(pair.outer).isOk());
+}
+
 }  // namespace
 }  // namespace nesgx::test

@@ -263,13 +263,15 @@ TEST_F(Transitions, AexAndEresumeRestoreNest)
 
 TEST_F(Transitions, TransitionCostsMatchTable2)
 {
-    // One empty ecall charges exactly the calibrated round trip.
+    // One empty ecall charges exactly the calibrated round trip (in the
+    // config's TLB model — the tagged variant swaps flush for tag switch).
     auto& clock = world_->machine.clock();
     const auto& costs = world_->machine.costs();
+    const bool tagged = world_->machine.config().taggedTlb;
 
     std::uint64_t before = clock.cycles();
     ASSERT_TRUE(world_->urts->ecall(pair_.outer, "echo", {}).isOk());
-    EXPECT_EQ(clock.cycles() - before, costs.ecallRoundTrip());
+    EXPECT_EQ(clock.cycles() - before, costs.ecallRoundTrip(tagged));
 
     // n_ecall round trip on top of an ecall envelope.
     before = clock.cycles();
@@ -279,7 +281,7 @@ TEST_F(Transitions, TransitionCostsMatchTable2)
     // Nested calls pass data by reference through the shared outer
     // enclave: no marshalling-copy charge beyond the round trips.
     EXPECT_EQ(clock.cycles() - before,
-              costs.ecallRoundTrip() + costs.nEcallRoundTrip());
+              costs.ecallRoundTrip(tagged) + costs.nEcallRoundTrip(tagged));
 }
 
 TEST_F(Transitions, CallStatsCount)

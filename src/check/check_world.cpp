@@ -1,0 +1,330 @@
+#include "check/check_world.h"
+
+#include "crypto/rsa.h"
+
+namespace nesgx::check {
+
+namespace {
+
+/** Process-wide author key (RSA keygen dominates setup cost otherwise). */
+const crypto::RsaKeyPair&
+checkKey()
+{
+    static const crypto::RsaKeyPair key = [] {
+        Rng rng(0xC4EC4);
+        return crypto::RsaKeyPair::generate(rng, 512);
+    }();
+    return key;
+}
+
+sdk::SignedEnclave
+buildSlotImage(int slot)
+{
+    sdk::EnclaveSpec spec;
+    spec.name = std::string("chk-") + char('a' + slot);
+    spec.codePages = 2;
+    spec.dataPages = 1;
+    spec.heapPages = 4;
+    spec.stackPages = 1;
+    spec.tcsCount = CheckWorld::kTcsPerSlot;
+    // Slot C may collect several outers so the generator can build DAG
+    // (not just chain) association shapes (paper §VIII).
+    if (slot == 2) spec.attributes = sgx::kAttrMultiOuter;
+
+    // Every slot trusts anything by the checker's author key in both
+    // directions, so the generator can attempt association in any order
+    // and NASSO's structural rules are what actually decide.
+    sgx::PeerExpectation signer;
+    signer.mrsigner = checkKey().pub.signerMeasurement();
+    spec.expectedOuter = signer;
+    spec.allowedInners.push_back(signer);
+    return sdk::buildImage(spec, checkKey());
+}
+
+sgx::Machine::Config
+machineConfig(const CheckWorld::Config& config)
+{
+    sgx::Machine::Config mc;
+    // Tiny EPC (256 pages) so eviction pressure and EPC exhaustion are
+    // reachable within a few hundred steps.
+    mc.dramBytes = 16ull << 20;
+    mc.prmBase = 8ull << 20;
+    mc.prmBytes = 1ull << 20;
+    mc.coreCount = CheckWorld::kCores;
+    mc.taggedTlb = config.taggedTlb;
+    mc.rngSeed = config.machineSeed;
+    return mc;
+}
+
+}  // namespace
+
+const char*
+opName(Op op)
+{
+    switch (op) {
+        case Op::Create: return "Create";
+        case Op::AddPage: return "AddPage";
+        case Op::Init: return "Init";
+        case Op::Build: return "Build";
+        case Op::Associate: return "Associate";
+        case Op::Destroy: return "Destroy";
+        case Op::Eenter: return "Eenter";
+        case Op::Eexit: return "Eexit";
+        case Op::Neenter: return "Neenter";
+        case Op::Neexit: return "Neexit";
+        case Op::Aex: return "Aex";
+        case Op::Eresume: return "Eresume";
+        case Op::Evict: return "Evict";
+        case Op::Reload: return "Reload";
+        case Op::EblockRaw: return "EblockRaw";
+        case Op::EtrackRaw: return "EtrackRaw";
+        case Op::HostileEvict: return "HostileEvict";
+        case Op::Access: return "Access";
+        case Op::Schedule: return "Schedule";
+        case Op::FaultNextEextend: return "FaultNextEextend";
+    }
+    return "?";
+}
+
+const sdk::SignedEnclave&
+CheckWorld::image(int slot)
+{
+    static const std::array<sdk::SignedEnclave, kSlots> images = {
+        buildSlotImage(0), buildSlotImage(1), buildSlotImage(2)};
+    return images[slot];
+}
+
+hw::Vaddr
+CheckWorld::slotBase(int slot)
+{
+    return 0x6000'0000'0000ull + std::uint64_t(slot) * 0x1'0000'0000ull;
+}
+
+CheckWorld::CheckWorld(const Config& config)
+    : machine_(machineConfig(config)),
+      kernel_(machine_),
+      pid_(kernel_.createProcess())
+{
+    for (hw::CoreId c = 0; c < machine_.coreCount(); ++c) {
+        kernel_.schedule(c, pid_);
+    }
+    untrustedVa_ = kernel_.mapUntrusted(pid_, 2);
+}
+
+bool
+CheckWorld::slotFullyAdded(int slot) const
+{
+    return slots_[slot].secsPage != 0 &&
+           slots_[slot].pagesAdded == image(slot).pages.size();
+}
+
+bool
+CheckWorld::slotHasPages(int slot) const
+{
+    const auto* rec = kernel_.enclaveRecord(slots_[slot].secsPage);
+    return rec && !rec->pages.empty();
+}
+
+bool
+CheckWorld::anyKnownTcs() const
+{
+    for (const auto& perSlot : knownTcs_) {
+        for (hw::Paddr pa : perSlot) {
+            if (pa != 0) return true;
+        }
+    }
+    return false;
+}
+
+std::size_t
+CheckWorld::coreDepth(int core) const
+{
+    return machine_.core(hw::CoreId(core)).depth();
+}
+
+hw::Paddr
+CheckWorld::tcsPa(int slot, std::uint8_t index)
+{
+    std::vector<hw::Paddr> live;
+    if (const auto* rec = kernel_.enclaveRecord(slots_[slot].secsPage)) {
+        for (const auto& [va, pa] : rec->pages) {
+            if (machine_.epcm()
+                    .entry(machine_.mem().epcPageIndex(pa))
+                    .type == sgx::PageType::Tcs) {
+                live.push_back(pa);
+            }
+        }
+    }
+    if (!live.empty()) {
+        for (std::size_t i = 0; i < live.size() && i < kTcsPerSlot; ++i) {
+            knownTcs_[slot][i] = live[i];
+        }
+        return live[index % live.size()];
+    }
+    return knownTcs_[slot][index % kTcsPerSlot];
+}
+
+hw::Paddr
+CheckWorld::recordedPage(int slot, std::uint8_t index) const
+{
+    const auto* rec = kernel_.enclaveRecord(slots_[slot].secsPage);
+    if (!rec || rec->pages.empty()) return 0;
+    auto it = rec->pages.begin();
+    std::advance(it, index % rec->pages.size());
+    return it->second;
+}
+
+Status
+CheckWorld::apply(const Step& step)
+{
+    const hw::CoreId core = hw::CoreId(step.core % kCores);
+    const int a = step.slotA % kSlots;
+    const int b = step.slotB % kSlots;
+    Slot& slot = slots_[a];
+
+    switch (step.op) {
+        case Op::Create: {
+            if (slot.secsPage != 0) return Err::OsError;
+            const auto& img = image(a);
+            auto secs = kernel_.createEnclave(pid_, slotBase(a),
+                                              img.sizeBytes,
+                                              img.spec.attributes);
+            if (!secs) return secs.status();
+            slot = Slot{};
+            slot.secsPage = secs.value();
+            return Status::ok();
+        }
+        case Op::AddPage: {
+            if (slot.secsPage == 0 || slot.initialized) return Err::OsError;
+            const auto& img = image(a);
+            if (slot.pagesAdded >= img.pages.size()) return Err::OsError;
+            const auto& page = img.pages[slot.pagesAdded];
+            Status st = kernel_.addPage(slot.secsPage,
+                                        slotBase(a) + page.offset, page.type,
+                                        page.perms, ByteView(page.content));
+            if (st) ++slot.pagesAdded;
+            return st;
+        }
+        case Op::Init: {
+            if (slot.secsPage == 0) return Err::OsError;
+            Status st =
+                kernel_.initEnclave(slot.secsPage, image(a).sigstruct);
+            if (st) slot.initialized = true;
+            return st;
+        }
+        case Op::Build: {
+            if (slot.initialized) return Err::OsError;
+            const auto& img = image(a);
+            if (slot.secsPage == 0) {
+                auto secs = kernel_.createEnclave(pid_, slotBase(a),
+                                                  img.sizeBytes,
+                                                  img.spec.attributes);
+                if (!secs) return secs.status();
+                slot = Slot{};
+                slot.secsPage = secs.value();
+            }
+            while (slot.pagesAdded < img.pages.size()) {
+                const auto& page = img.pages[slot.pagesAdded];
+                Status st = kernel_.addPage(slot.secsPage,
+                                            slotBase(a) + page.offset,
+                                            page.type, page.perms,
+                                            ByteView(page.content));
+                if (!st) return st;
+                ++slot.pagesAdded;
+            }
+            Status st =
+                kernel_.initEnclave(slot.secsPage, image(a).sigstruct);
+            if (st) slot.initialized = true;
+            return st;
+        }
+        case Op::Associate: {
+            if (slot.secsPage == 0 || slots_[b].secsPage == 0) {
+                return Err::OsError;
+            }
+            return kernel_.associate(slot.secsPage, slots_[b].secsPage);
+        }
+        case Op::Destroy: {
+            if (slot.secsPage == 0) return Err::OsError;
+            Status st = kernel_.destroyEnclave(slot.secsPage);
+            // The slot only resets once the driver record is actually
+            // gone — partial teardown (PageInUse) must stay retryable.
+            // knownTcs_ is deliberately *not* cleared: stale TCS PAs are
+            // the interesting ERESUME/EENTER inputs.
+            if (!kernel_.enclaveRecord(slot.secsPage)) slot = Slot{};
+            return st;
+        }
+        case Op::Eenter:
+            return machine_.eenter(core, tcsPa(a, step.index));
+        case Op::Eexit:
+            return machine_.eexit(core);
+        case Op::Neenter:
+            return machine_.neenter(core, tcsPa(a, step.index));
+        case Op::Neexit:
+            return machine_.neexit(core);
+        case Op::Aex:
+            return machine_.aex(core);
+        case Op::Eresume:
+            return machine_.eresume(core, tcsPa(a, step.index));
+        case Op::Evict: {
+            if (slot.secsPage == 0) return Err::OsError;
+            const auto& img = image(a);
+            hw::Vaddr va = slotBase(a) + img.heapOffset +
+                           (step.index % img.spec.heapPages) * hw::kPageSize;
+            return kernel_.evictPage(slot.secsPage, va);
+        }
+        case Op::Reload: {
+            if (slot.secsPage == 0) return Err::OsError;
+            const auto& img = image(a);
+            hw::Vaddr va = slotBase(a) + img.heapOffset +
+                           (step.index % img.spec.heapPages) * hw::kPageSize;
+            return kernel_.reloadPage(slot.secsPage, va);
+        }
+        case Op::EblockRaw: {
+            hw::Paddr pa = recordedPage(a, step.index);
+            if (pa == 0) return Err::OsError;
+            return machine_.eblock(pa);
+        }
+        case Op::EtrackRaw: {
+            if (slot.secsPage == 0) return Err::OsError;
+            return machine_.etrack(slot.secsPage);
+        }
+        case Op::HostileEvict: {
+            // A hostile driver runs the eviction protocol but drops the
+            // blob: the page is gone for good, and the kernel record
+            // still claims it. The oracle's accounting must tolerate
+            // exactly this (orphans_) and nothing else.
+            hw::Paddr pa = recordedPage(a, step.index);
+            if (pa == 0 || slot.secsPage == 0) return Err::OsError;
+            (void)machine_.eblock(pa);
+            (void)machine_.etrack(slot.secsPage);
+            machine_.ipiShootdown(slot.secsPage);
+            auto blob = machine_.ewb(pa);
+            if (!blob) return blob.status();
+            orphans_.insert(pa);
+            return Status::ok();
+        }
+        case Op::Access: {
+            const hw::Vaddr targets[6] = {
+                untrustedVa_,
+                untrustedVa_ + hw::kPageSize,
+                slotBase(a) + image(a).heapOffset,
+                slotBase(a) + image(a).heapOffset + hw::kPageSize,
+                slotBase(a),
+                slotBase(b) + image(b).heapOffset,
+            };
+            hw::Vaddr va = targets[(step.index >> 1) % 6] + 64;
+            std::uint8_t buf[8] = {0x5a, 1, 2, 3, 4, 5, 6, 7};
+            if (step.index & 1) return machine_.write(core, va, buf, 8);
+            return machine_.read(core, va, buf, 8);
+        }
+        case Op::Schedule:
+            kernel_.schedule(core, pid_);
+            return Status::ok();
+        case Op::FaultNextEextend:
+            kernel_.failNextEextend();
+            return Status::ok();
+    }
+    return Err::OsError;
+}
+
+}  // namespace nesgx::check

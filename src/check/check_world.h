@@ -1,0 +1,130 @@
+/**
+ * The orderliness checker's world: a small machine + kernel + three
+ * enclave slots, driven step-by-step through every ENCLS/ENCLU leaf the
+ * model implements — in arbitrary (including hostile, out-of-order)
+ * interleavings across three cores.
+ *
+ * A `Step` is one leaf invocation with small integer operands; the world
+ * resolves them to concrete pages/addresses. Steps are *allowed to fail*
+ * (most random sequences violate leaf preconditions, and the hardware
+ * must refuse them); what must never happen is a post-step state that
+ * breaks a §VII-A invariant — that is the InvariantOracle's job
+ * (oracle.h), run after every step.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "os/kernel.h"
+#include "sdk/image.h"
+#include "sgx/machine.h"
+#include "support/status.h"
+
+namespace nesgx::check {
+
+/** One checker operation: an ENCLS/ENCLU leaf or an OS/hostile action. */
+enum class Op : std::uint8_t {
+    Create,           ///< kernel createEnclave(slotA)
+    AddPage,          ///< kernel addPage: next image page of slotA
+    Init,             ///< kernel initEnclave(slotA)
+    Build,            ///< Create + remaining AddPages + Init in one step
+                      ///< (keeps shrunk reproducers readable)
+    Associate,        ///< kernel associate(inner=slotA, outer=slotB)
+    Destroy,          ///< kernel destroyEnclave(slotA)
+    Eenter,           ///< EENTER slotA's TCS[index] on core
+    Eexit,            ///< EEXIT on core
+    Neenter,          ///< NEENTER slotA's TCS[index] on core
+    Neexit,           ///< NEEXIT on core
+    Aex,              ///< AEX on core
+    Eresume,          ///< ERESUME slotA's TCS[index] on core (stale PA ok)
+    Evict,            ///< kernel evictPage: slotA heap page index
+    Reload,           ///< kernel reloadPage: slotA heap page index
+    EblockRaw,        ///< raw EBLOCK of slotA's index-th recorded page
+    EtrackRaw,        ///< raw ETRACK of slotA
+    HostileEvict,     ///< raw EBLOCK+ETRACK+IPI+EWB, blob thrown away
+    Access,           ///< validated 8-byte read/write from core
+    Schedule,         ///< context switch on core (TLB flush)
+    FaultNextEextend, ///< arm the kernel's one-shot EEXTEND fault
+};
+
+constexpr std::uint8_t kOpCount = std::uint8_t(Op::FaultNextEextend) + 1;
+
+const char* opName(Op op);
+
+/** One step of a sequence. Operands are reduced modulo the valid range
+ *  by the world, so any byte values form a meaningful (if doomed) step. */
+struct Step {
+    Op op = Op::Access;
+    std::uint8_t core = 0;
+    std::uint8_t slotA = 0;
+    std::uint8_t slotB = 0;
+    std::uint8_t index = 0;
+};
+
+class CheckWorld {
+  public:
+    static constexpr int kSlots = 3;
+    static constexpr int kCores = 3;
+    static constexpr int kTcsPerSlot = 2;
+
+    struct Config {
+        bool taggedTlb = true;
+        std::uint64_t machineSeed = 42;
+    };
+
+    explicit CheckWorld(const Config& config);
+
+    /** Executes one step; failures are normal and returned, not thrown. */
+    Status apply(const Step& step);
+
+    sgx::Machine& machine() { return machine_; }
+    const sgx::Machine& machine() const { return machine_; }
+    os::Kernel& kernel() { return kernel_; }
+    const os::Kernel& kernel() const { return kernel_; }
+
+    /** Pages hostilely EWB'd behind the driver's back (blobs discarded);
+     *  exempt from the oracle's leak accounting until they resurface. */
+    std::set<hw::Paddr>& orphans() { return orphans_; }
+
+    // --- generator-facing state queries ---------------------------------
+    bool slotCreated(int slot) const { return slots_[slot].secsPage != 0; }
+    bool slotInitialized(int slot) const { return slots_[slot].initialized; }
+    bool slotFullyAdded(int slot) const;
+    bool slotHasPages(int slot) const;
+    bool anyKnownTcs() const;
+    std::size_t coreDepth(int core) const;
+
+    /** The (static, process-cached) image loaded into a slot. */
+    static const sdk::SignedEnclave& image(int slot);
+    static hw::Vaddr slotBase(int slot);
+
+  private:
+    struct Slot {
+        hw::Paddr secsPage = 0;
+        std::uint64_t pagesAdded = 0;
+        bool initialized = false;
+    };
+
+    /** Resolves a TCS physical address for a slot. Live lookups refresh
+     *  the per-slot cache; once the enclave is gone the *stale* cached PA
+     *  is returned on purpose — exactly the dangling-resume sequences the
+     *  ERESUME validation must refuse. */
+    hw::Paddr tcsPa(int slot, std::uint8_t index);
+
+    /** The index-th live page of the slot's driver record (0 if none). */
+    hw::Paddr recordedPage(int slot, std::uint8_t index) const;
+
+    sgx::Machine machine_;
+    os::Kernel kernel_;
+    os::Pid pid_;
+    hw::Vaddr untrustedVa_ = 0;
+    std::array<Slot, kSlots> slots_{};
+    std::array<std::array<hw::Paddr, kTcsPerSlot>, kSlots> knownTcs_{};
+    std::set<hw::Paddr> orphans_;
+};
+
+}  // namespace nesgx::check

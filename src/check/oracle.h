@@ -1,0 +1,81 @@
+/**
+ * Cross-layer invariant oracle for the orderliness checker.
+ *
+ * After every step the oracle inspects the Machine (SECS/TCS tables,
+ * EPCM, per-core TLBs and frame stacks) and the Kernel (EPC free list,
+ * driver records) together, and reports the first broken invariant:
+ *
+ *  - TLB coherence: the §VII-A invariants 1-4, plus "no stale context
+ *    tag" and "no translation into a blocked/removed frame".
+ *  - TCS busy conservation: a TCS is busy exactly when some core frame
+ *    or some live TCS's AEX-saved nest references it — out-of-order
+ *    teardown must neither wedge a TCS busy forever nor free one that
+ *    an ERESUME could still re-enter.
+ *  - Frame validity: every frame on every core names a live initialized
+ *    SECS with the recorded enclave id, a live TCS owned by it, and an
+ *    association edge to the frame below it.
+ *  - Closure coherence: the memoized outer-closure cache always equals
+ *    a fresh BFS, the graph stays acyclic, and inner/outer edge lists
+ *    stay symmetric.
+ *  - EPC accounting: every EPC frame is on the free list XOR has a
+ *    valid EPCM entry — anything else is a leak or a double-use, unless
+ *    it is a page the *checker itself* hostilely evicted (orphans).
+ *  - Kernel record coherence: driver records and EPCM agree page by
+ *    page; an EPCM-valid page owned by a recorded enclave but missing
+ *    from its record is a driver-side leak.
+ */
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+
+#include "os/kernel.h"
+#include "sgx/machine.h"
+
+namespace nesgx::check {
+
+enum class Rule : std::uint8_t {
+    TlbNonEnclavePrm,      ///< invariant 1: untrusted entry maps into PRM
+    TlbOutsideElrange,     ///< invariant 2: out-of-ELRANGE entry -> PRM
+    TlbEpcmCoherence,      ///< invariants 3/4 + stale tag/blocked frame
+    TcsBusyConservation,
+    FrameValidity,
+    ClosureCoherence,
+    EpcAccounting,
+    KernelRecordCoherence,
+};
+
+const char* ruleName(Rule rule);
+
+struct Violation {
+    Rule rule;
+    std::string message;
+};
+
+class InvariantOracle {
+  public:
+    /**
+     * Returns the first violation found, or nullopt when all invariants
+     * hold. `orphans` (pages the checker hostilely evicted) is updated
+     * in place: an orphan that resurfaced on the free list or in the
+     * EPCM is healed and subject to full accounting again.
+     */
+    std::optional<Violation> check(const sgx::Machine& machine,
+                                   const os::Kernel& kernel,
+                                   std::set<hw::Paddr>& orphans) const;
+
+  private:
+    std::optional<Violation> checkTlbs(const sgx::Machine& machine) const;
+    std::optional<Violation> checkBusyFlags(const sgx::Machine& machine) const;
+    std::optional<Violation> checkFrames(const sgx::Machine& machine) const;
+    std::optional<Violation> checkClosures(const sgx::Machine& machine) const;
+    std::optional<Violation> checkEpcAccounting(
+        const sgx::Machine& machine, const os::Kernel& kernel,
+        std::set<hw::Paddr>& orphans) const;
+    std::optional<Violation> checkKernelRecords(
+        const sgx::Machine& machine, const os::Kernel& kernel,
+        const std::set<hw::Paddr>& orphans) const;
+};
+
+}  // namespace nesgx::check

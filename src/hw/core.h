@@ -19,6 +19,10 @@ namespace nesgx::hw {
 struct EnclaveFrame {
     Paddr secs = 0;  ///< SECS physical address of the enclave
     Paddr tcs = 0;   ///< TCS physical address in use
+    /** Enclave id at entry time. SECS physical addresses are reused by
+     *  later enclaves; ids never are, so a saved frame can be checked
+     *  against the enclave that actually lives at `secs` now. */
+    std::uint64_t eid = 0;
 };
 
 /**
@@ -53,7 +57,10 @@ class Core {
 
     const std::vector<EnclaveFrame>& frames() const { return frames_; }
 
-    void pushFrame(Paddr secs, Paddr tcs) { frames_.push_back({secs, tcs}); }
+    void pushFrame(Paddr secs, Paddr tcs, std::uint64_t eid = 0)
+    {
+        frames_.push_back({secs, tcs, eid});
+    }
     EnclaveFrame popFrame()
     {
         EnclaveFrame f = frames_.back();

@@ -116,8 +116,21 @@ Kernel::addPage(hw::Paddr secsPage, hw::Vaddr vaddr, sgx::PageType type,
         freeEpcPage(epcPage.value());
         return st;
     }
-    st = machine_.eextend(secsPage, epcPage.value());
-    if (!st) return st;
+    if (failNextEextend_) {
+        failNextEextend_ = false;
+        st = Err::InvalidEpcPage;
+    } else {
+        st = machine_.eextend(secsPage, epcPage.value());
+    }
+    if (!st) {
+#ifndef NESGX_BUG_ADDPAGE_LEAK
+        // EADD already gave the page a valid EPCM entry: it must be
+        // EREMOVE'd and returned to the free pool, or the frame leaks.
+        (void)machine_.eremove(epcPage.value());
+        freeEpcPage(epcPage.value());
+#endif
+        return st;
+    }
 
     it->second.pages[vaddr] = epcPage.value();
     // Install the user mapping: the enclave VA points at the EPC frame.
@@ -151,18 +164,59 @@ Kernel::destroyEnclave(hw::Paddr secsPage)
     if (it == enclaves_.end()) return Err::OsError;
 
     Process& proc = process(it->second.pid);
+#ifdef NESGX_BUG_DESTROY_EARLY_RETURN
     for (auto& [va, pa] : it->second.pages) {
-        Status st = machine_.eremove(pa);
-        if (!st) return st;
+        Status bst = machine_.eremove(pa);
+        if (!bst) return bst;
         proc.pageTable().unmap(va);
         freeEpcPage(pa);
     }
     it->second.pages.clear();
-    Status st = machine_.eremove(secsPage);
-    if (!st) return st;
+    Status bst = machine_.eremove(secsPage);
+    if (!bst) return bst;
     freeEpcPage(secsPage);
     enclaves_.erase(it);
     return Status::ok();
+#endif
+    Status firstError = Status::ok();
+
+    // Per-page teardown continues past individual failures so one bad
+    // page can never strand the rest of the enclave's EPC: an early
+    // return here used to leave already-freed pages in the record, where
+    // a retry would EREMOVE frames that had since been handed to another
+    // enclave. A page whose EREMOVE reports InvalidEpcPage is already
+    // gone from the EPCM (e.g. evicted behind the driver's back) — the
+    // frame is reclaimed; a page that is genuinely still in use stays in
+    // the record so a later retry can finish the job.
+    for (auto pit = it->second.pages.begin();
+         pit != it->second.pages.end();) {
+        Status st = machine_.eremove(pit->second);
+        if (st.isOk() || st.code() == Err::InvalidEpcPage) {
+            if (!st && firstError.isOk()) firstError = st;
+            proc.pageTable().unmap(pit->first);
+            freeEpcPage(pit->second);
+            pit = it->second.pages.erase(pit);
+        } else {
+            if (firstError.isOk()) firstError = st;
+            ++pit;
+        }
+    }
+
+    // Evicted pages hold no EPC, but their (not-present) mappings and
+    // untrusted blobs die with the enclave.
+    for (const auto& [va, blob] : it->second.evicted) {
+        proc.pageTable().unmap(va);
+    }
+    it->second.evicted.clear();
+
+    if (!it->second.pages.empty()) {
+        return firstError.isOk() ? Status(Err::PageInUse) : firstError;
+    }
+    Status st = machine_.eremove(secsPage);
+    if (!st) return firstError.isOk() ? st : firstError;
+    freeEpcPage(secsPage);
+    enclaves_.erase(it);
+    return firstError;
 }
 
 Status

@@ -83,6 +83,22 @@ class Kernel {
     /** Free EPC pages remaining. */
     std::size_t freeEpcPages() const { return epcFreeList_.size(); }
 
+    /** Free-list contents (orderliness-checker accounting oracle). */
+    const std::vector<hw::Paddr>& epcFreeList() const { return epcFreeList_; }
+
+    /** All live driver records (orderliness-checker accounting oracle). */
+    const std::map<hw::Paddr, EnclaveRecord>& enclaveTable() const
+    {
+        return enclaves_;
+    }
+
+    /**
+     * Fault injection for the orderliness checker and error-path tests:
+     * the next addPage treats its EEXTEND as failed (one-shot), modelling
+     * a transient measurement fault between EADD and EEXTEND.
+     */
+    void failNextEextend() { failNextEextend_ = true; }
+
     // --- hostile primitives (threat model: OS is an active attacker) -----
     /** Remaps an arbitrary VA to an arbitrary PA in a victim's tables. */
     void hostileRemap(Pid pid, hw::Vaddr va, hw::Paddr pa, bool writable,
@@ -103,6 +119,7 @@ class Kernel {
     std::vector<hw::Paddr> epcFreeList_;
     hw::Paddr nextFrame_;
     std::map<hw::Paddr, EnclaveRecord> enclaves_;
+    bool failNextEextend_ = false;
 };
 
 }  // namespace nesgx::os

@@ -47,6 +47,13 @@ Machine::tcsAt(hw::Paddr pa)
     return it == tcsTable_.end() ? nullptr : &it->second;
 }
 
+const Tcs*
+Machine::tcsAt(hw::Paddr pa) const
+{
+    auto it = tcsTable_.find(pa);
+    return it == tcsTable_.end() ? nullptr : &it->second;
+}
+
 void
 Machine::flushCoreTlb(hw::CoreId coreId)
 {

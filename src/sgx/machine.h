@@ -92,6 +92,7 @@ class Machine {
     Epcm& epcm() { return epcm_; }
     const Epcm& epcm() const { return epcm_; }
     hw::Core& core(hw::CoreId id) { return cores_[id]; }
+    const hw::Core& core(hw::CoreId id) const { return cores_[id]; }
     std::uint32_t coreCount() const { return std::uint32_t(cores_.size()); }
     const Config& config() const { return config_; }
 
@@ -99,6 +100,15 @@ class Machine {
     Secs* secsAt(hw::Paddr pa);
     const Secs* secsAt(hw::Paddr pa) const;
     Tcs* tcsAt(hw::Paddr pa);
+    const Tcs* tcsAt(hw::Paddr pa) const;
+
+    /**
+     * Model-introspection views of the microcode-internal tables, used by
+     * the orderliness checker's invariant oracle (src/check) to cross-check
+     * machine state against the EPCM, the TLBs and the OS bookkeeping.
+     */
+    const std::map<hw::Paddr, Secs>& secsTable() const { return secsTable_; }
+    const std::map<hw::Paddr, Tcs>& tcsTable() const { return tcsTable_; }
 
     /** Charges `cycles` on the simulated clock. */
     void charge(std::uint64_t cycles) { clock_.advance(cycles); }
@@ -228,6 +238,7 @@ class Machine {
         std::uint64_t neenterCount = 0;
         std::uint64_t neexitCount = 0;
         std::uint64_t aexCount = 0;
+        std::uint64_t eresumeCount = 0;
         std::uint64_t ipiCount = 0;
         std::uint64_t meeLines = 0;       ///< cachelines through the MEE
         std::uint64_t llcHitLines = 0;

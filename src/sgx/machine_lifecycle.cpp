@@ -176,7 +176,22 @@ Machine::eremove(hw::Paddr epcPage)
         invalidateClosureCache();
     } else {
         if (!trackedCores(entry.ownerSecs).empty()) return Err::PageInUse;
-        if (entry.type == PageType::Tcs) tcsTable_.erase(epcPage);
+        if (entry.type == PageType::Tcs) {
+            auto it = tcsTable_.find(epcPage);
+            if (it != tcsTable_.end()) {
+                // Removing a TCS that holds an AEX-saved nest destroys
+                // the only path that could ever resume it: release the
+                // busy flag of every TCS in the saved frames so the rest
+                // of the nest is not wedged busy forever.
+#ifndef NESGX_BUG_EREMOVE_WEDGE
+                for (const auto& frame : it->second.savedFrames) {
+                    if (frame.tcs == epcPage) continue;
+                    if (Tcs* t = tcsAt(frame.tcs)) t->busy = false;
+                }
+#endif
+                tcsTable_.erase(it);
+            }
+        }
     }
     entry = EpcmEntry{};
     // The frame returns to the free pool; no TLB on any core may still

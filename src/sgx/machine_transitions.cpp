@@ -33,7 +33,7 @@ Machine::eenter(hw::CoreId coreId, hw::Paddr tcsPage)
         flushCoreTlb(coreId);
     }
     tcs->busy = true;
-    core.pushFrame(entry.ownerSecs, tcsPage);
+    core.pushFrame(entry.ownerSecs, tcsPage, secs->eid);
     ++stats_.eenterCount;
     return Status::ok();
 }
@@ -89,7 +89,7 @@ Machine::neenter(hw::CoreId coreId, hw::Paddr tcsPage)
         flushCoreTlb(coreId);
     }
     tcs->busy = true;
-    core.pushFrame(entry.ownerSecs, tcsPage);
+    core.pushFrame(entry.ownerSecs, tcsPage, target->eid);
     ++stats_.neenterCount;
     return Status::ok();
 }
@@ -136,10 +136,21 @@ Machine::aex(hw::CoreId coreId)
     // restore execution exactly where the exception hit.
     hw::Paddr bottomTcs = core.frames().front().tcs;
     Tcs* tcs = tcsAt(bottomTcs);
-    if (tcs) {
-        tcs->savedFrames = core.frames();
-        tcs->hasSavedFrames = true;
+    if (!tcs) {
+        // Fail closed: with no bottom TCS there is nowhere to save the
+        // nest, and just dropping the frames would leave every TCS in it
+        // busy with no core or saved frame accounting for it. Release the
+        // busy flags, unwind, and fault.
+        for (const auto& frame : core.frames()) {
+            if (Tcs* t = tcsAt(frame.tcs)) t->busy = false;
+        }
+        core.clearFrames();
+        flushCoreTlb(coreId);
+        ++stats_.aexCount;
+        return Err::GeneralProtection;
     }
+    tcs->savedFrames = core.frames();
+    tcs->hasSavedFrames = true;
     core.clearFrames();
     flushCoreTlb(coreId);
     ++stats_.aexCount;
@@ -151,8 +162,42 @@ Machine::eresume(hw::CoreId coreId, hw::Paddr tcsPage)
 {
     hw::Core& core = cores_[coreId];
     if (core.inEnclaveMode()) return Err::GeneralProtection;
+    // ERESUME re-runs the EENTER-grade validation: saved frames are not a
+    // capability. The TCS must still be a live, unblocked TCS page, and
+    // every enclave in the saved nest must still exist in the state the
+    // AEX left it in — otherwise stale frames could re-enter an enclave
+    // that was EREMOVE'd (and whose EPC frames were reused) since.
+    if (!mem_.inPrm(tcsPage)) return Err::GeneralProtection;
+#ifndef NESGX_BUG_ERESUME_UNCHECKED
+    const EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(tcsPage));
+    if (!entry.valid || entry.type != PageType::Tcs || entry.blocked) {
+        return Err::GeneralProtection;
+    }
+#endif
     Tcs* tcs = tcsAt(tcsPage);
     if (!tcs || !tcs->hasSavedFrames) return Err::GeneralProtection;
+    const auto& saved = tcs->savedFrames;
+#ifndef NESGX_BUG_ERESUME_UNCHECKED
+    for (std::size_t i = 0; i < saved.size(); ++i) {
+        const Secs* secs = secsAt(saved[i].secs);
+        // The id check distinguishes the saved enclave from a later one
+        // recreated at the same SECS frame (ids are never reused).
+        if (!secs || !secs->initialized || secs->eid != saved[i].eid) {
+            return Err::GeneralProtection;
+        }
+        const EpcmEntry& fe = epcm_.entry(mem_.epcPageIndex(saved[i].tcs));
+        if (!fe.valid || fe.type != PageType::Tcs ||
+            fe.ownerSecs != saved[i].secs || !tcsAt(saved[i].tcs)) {
+            return Err::GeneralProtection;
+        }
+        // Nesting structure must still hold, exactly as NEENTER checked.
+        if (i > 0 && !secs->hasOuter(saved[i - 1].secs)) {
+            return Err::GeneralProtection;
+        }
+    }
+#else
+    (void)saved;
+#endif
 
     charge(costs_.eenterCycles(config_.taggedTlb));
     if (config_.taggedTlb) {
@@ -161,10 +206,11 @@ Machine::eresume(hw::CoreId coreId, hw::Paddr tcsPage)
         flushCoreTlb(coreId);
     }
     for (const auto& frame : tcs->savedFrames) {
-        core.pushFrame(frame.secs, frame.tcs);
+        core.pushFrame(frame.secs, frame.tcs, frame.eid);
     }
     tcs->savedFrames.clear();
     tcs->hasSavedFrames = false;
+    ++stats_.eresumeCount;
     return Status::ok();
 }
 

@@ -147,6 +147,76 @@ TEST(OsKernel, HostileReadPhysSeesRawFrames)
 
 // --- IPC service edge cases ---------------------------------------------------
 
+TEST(OsKernel, AddPageMeasurementFaultDoesNotLeakEpc)
+{
+    World world;
+    auto image = sdk::buildImage(tinySpec("leak-probe"), authorKey());
+    hw::Vaddr base = 0x5000'0000'0000ull;
+    hw::Paddr secs = world.kernel
+                         .createEnclave(world.pid, base, image.sizeBytes,
+                                        image.spec.attributes)
+                         .orThrow("create");
+
+    std::size_t freeBefore = world.kernel.freeEpcPages();
+    world.kernel.failNextEextend();
+    const auto& page = image.pages.front();
+    Status st = world.kernel.addPage(secs, base + page.offset, page.type,
+                                     page.perms, ByteView(page.content));
+    ASSERT_FALSE(st.isOk());
+
+    // The EADD'd frame must come back: same free count, and no EPCM
+    // entry owned by the enclave that the driver record doesn't know.
+    EXPECT_EQ(world.kernel.freeEpcPages(), freeBefore);
+    EXPECT_EQ(world.machine.epcm().countOwnedBy(secs), 1u)
+        << "failed addPage left a page charged to the enclave";
+    EXPECT_TRUE(world.kernel.enclaveRecord(secs)->pages.empty());
+
+    // The enclave is still usable for further adds.
+    EXPECT_TRUE(world.kernel
+                    .addPage(secs, base + page.offset, page.type, page.perms,
+                             ByteView(page.content))
+                    .isOk());
+}
+
+TEST(OsKernel, DestroyWhileEnteredIsRetryable)
+{
+    World world;
+    auto pair = loadNestedPair(world, tinySpec("dst-outer"),
+                               tinySpec("dst-inner"));
+    const auto* rec = world.kernel.enclaveRecord(pair.outer->secsPage());
+    hw::Paddr tcs = 0;
+    for (const auto& [va, pa] : rec->pages) {
+        if (world.machine.epcm()
+                .entry(world.machine.mem().epcPageIndex(pa))
+                .type == sgx::PageType::Tcs) {
+            tcs = pa;
+            break;
+        }
+    }
+    ASSERT_TRUE(world.machine.eenter(0, tcs).isOk());
+
+    std::size_t pagesBefore = rec->pages.size();
+    std::size_t freeBefore = world.kernel.freeEpcPages();
+    Status st = world.kernel.destroyEnclave(pair.outer->secsPage());
+    EXPECT_EQ(st.code(), Err::PageInUse);
+
+    // Nothing was half-freed: the record keeps every page (a retry must
+    // not EREMOVE frames already handed to someone else) and the free
+    // list is untouched.
+    rec = world.kernel.enclaveRecord(pair.outer->secsPage());
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->pages.size(), pagesBefore);
+    EXPECT_EQ(world.kernel.freeEpcPages(), freeBefore);
+
+    // After the thread leaves, the retry completes.
+    ASSERT_TRUE(world.machine.eexit(0).isOk());
+    EXPECT_TRUE(
+        world.kernel.destroyEnclave(pair.inner->secsPage()).isOk());
+    EXPECT_TRUE(
+        world.kernel.destroyEnclave(pair.outer->secsPage()).isOk());
+    EXPECT_EQ(world.kernel.enclaveRecord(pair.outer->secsPage()), nullptr);
+}
+
 TEST(Ipc, FifoOrder)
 {
     os::IpcService ipc;

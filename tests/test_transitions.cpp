@@ -296,5 +296,139 @@ TEST_F(Transitions, CallStatsCount)
     EXPECT_EQ(s.ocalls, 0u);
 }
 
+/**
+ * Out-of-order leaf sequences around AEX/ERESUME and teardown, checked
+ * in both TLB configurations: ERESUME must re-run EENTER-grade
+ * validation (saved frames are not a capability), and teardown ordering
+ * must never wedge TCS busy flags or resurrect destroyed enclaves.
+ */
+class TransitionEdgeCases : public ::testing::TestWithParam<bool> {
+  protected:
+    void SetUp() override
+    {
+        auto config = World::smallConfig();
+        config.taggedTlb = GetParam();
+        world_ = std::make_unique<World>(config);
+        pair_ = loadNestedPair(*world_, tinySpec("edge-outer"),
+                               tinySpec("edge-inner"));
+        outerTcs_ = firstTcs(pair_.outer);
+        innerTcs_ = firstTcs(pair_.inner);
+        ASSERT_NE(outerTcs_, 0u);
+        ASSERT_NE(innerTcs_, 0u);
+    }
+
+    hw::Paddr firstTcs(sdk::LoadedEnclave* e)
+    {
+        const auto* rec = world_->kernel.enclaveRecord(e->secsPage());
+        for (const auto& [va, pa] : rec->pages) {
+            if (world_->machine.epcm()
+                    .entry(world_->machine.mem().epcPageIndex(pa))
+                    .type == sgx::PageType::Tcs) {
+                return pa;
+            }
+        }
+        return 0;
+    }
+
+    std::unique_ptr<World> world_;
+    NestedPair pair_;
+    hw::Paddr outerTcs_ = 0;
+    hw::Paddr innerTcs_ = 0;
+};
+
+TEST_P(TransitionEdgeCases, DoubleEresumeFails)
+{
+    auto& machine = world_->machine;
+    ASSERT_TRUE(machine.eenter(0, outerTcs_).isOk());
+    ASSERT_TRUE(machine.aex(0).isOk());
+
+    ASSERT_TRUE(machine.eresume(0, outerTcs_).isOk());
+    ASSERT_TRUE(machine.eexit(0).isOk());
+
+    // The first ERESUME consumed the saved frames; a second resume of
+    // the same TCS has nothing to restore and must fault, not replay.
+    EXPECT_EQ(machine.eresume(1, outerTcs_).code(), Err::GeneralProtection);
+    EXPECT_FALSE(machine.core(1).inEnclaveMode());
+    EXPECT_EQ(machine.stats().eresumeCount, 1u);
+}
+
+TEST_P(TransitionEdgeCases, EresumeIntoRemovedEnclaveFails)
+{
+    auto& machine = world_->machine;
+    // Save a two-deep nest [outer, inner] into the outer TCS.
+    ASSERT_TRUE(machine.eenter(0, outerTcs_).isOk());
+    ASSERT_TRUE(machine.neenter(0, innerTcs_).isOk());
+    ASSERT_TRUE(machine.aex(0).isOk());
+
+    // With no core inside, the OS can destroy the inner enclave...
+    ASSERT_TRUE(
+        world_->kernel.destroyEnclave(pair_.inner->secsPage()).isOk());
+
+    // ...after which the saved nest references a dead enclave: resuming
+    // it would hand the thread EPC frames the OS may have reused.
+    EXPECT_EQ(machine.eresume(0, outerTcs_).code(), Err::GeneralProtection);
+    EXPECT_FALSE(machine.core(0).inEnclaveMode());
+
+    // Teardown of the outer still completes; the dangling saved nest
+    // must not wedge its TCS busy flags forever.
+    EXPECT_TRUE(
+        world_->kernel.destroyEnclave(pair_.outer->secsPage()).isOk());
+}
+
+TEST_P(TransitionEdgeCases, AexAtDepthTwoThenReentry)
+{
+    auto& machine = world_->machine;
+    ASSERT_TRUE(machine.eenter(0, outerTcs_).isOk());
+    ASSERT_TRUE(machine.neenter(0, innerTcs_).isOk());
+    ASSERT_TRUE(machine.aex(0).isOk());
+
+    // Both TCSes stay busy while the nest is parked in the outer TCS:
+    // another thread must not be able to squat on either slot.
+    EXPECT_EQ(machine.eenter(1, outerTcs_).code(), Err::GeneralProtection);
+    EXPECT_EQ(machine.eenter(1, innerTcs_).code(), Err::GeneralProtection);
+
+    // ERESUME restores the full nest with the inner on top.
+    ASSERT_TRUE(machine.eresume(0, outerTcs_).isOk());
+    EXPECT_EQ(machine.core(0).depth(), 2u);
+    EXPECT_EQ(machine.core(0).currentSecs(), pair_.inner->secsPage());
+    ASSERT_TRUE(machine.neexit(0).isOk());
+    ASSERT_TRUE(machine.eexit(0).isOk());
+
+    // Fully unwound, both TCSes are reusable again.
+    ASSERT_TRUE(machine.eenter(1, outerTcs_).isOk());
+    EXPECT_TRUE(machine.eexit(1).isOk());
+}
+
+TEST_P(TransitionEdgeCases, TeardownWhileNestedIsRefusedThenSucceeds)
+{
+    auto& machine = world_->machine;
+    ASSERT_TRUE(machine.eenter(0, outerTcs_).isOk());
+    ASSERT_TRUE(machine.neenter(0, innerTcs_).isOk());
+
+    // The OS tries to rip the outer enclave out from under the nest:
+    // pages are in use, the record must survive for a later retry.
+    EXPECT_FALSE(world_->kernel.destroyEnclave(pair_.outer->secsPage()));
+    ASSERT_NE(world_->kernel.enclaveRecord(pair_.outer->secsPage()), nullptr);
+
+    // The running nest is unharmed: NEEXIT and EEXIT still work.
+    ASSERT_TRUE(machine.neexit(0).isOk());
+    ASSERT_TRUE(machine.eexit(0).isOk());
+
+    // Unwound, teardown completes in inner-then-outer order, and no TCS
+    // is left wedged busy.
+    EXPECT_TRUE(
+        world_->kernel.destroyEnclave(pair_.inner->secsPage()).isOk());
+    EXPECT_TRUE(
+        world_->kernel.destroyEnclave(pair_.outer->secsPage()).isOk());
+    for (const auto& [pa, tcs] : machine.tcsTable()) {
+        EXPECT_FALSE(tcs.busy) << "TCS wedged busy after teardown";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TlbModes, TransitionEdgeCases, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "taggedTlb" : "flushTlb";
+                         });
+
 }  // namespace
 }  // namespace nesgx::test

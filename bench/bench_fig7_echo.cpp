@@ -15,6 +15,7 @@
  */
 #include "apps/echo_app.h"
 #include "bench_util.h"
+#include "trace/chrome_sink.h"
 
 namespace nesgx::bench {
 namespace {
@@ -28,7 +29,7 @@ struct RunResult {
 
 RunResult
 run(apps::Layout layout, std::uint64_t chunk, std::uint64_t messages,
-    bool taggedTlb = false)
+    bool taggedTlb = false, const std::string& chromeTracePath = "")
 {
     auto config = defaultConfig();
     config.taggedTlb = taggedTlb;
@@ -42,10 +43,27 @@ run(apps::Layout layout, std::uint64_t chunk, std::uint64_t messages,
     }
 
     world.urts->resetStats();
-    world.machine.stats() = sgx::Machine::Stats{};
+    world.machine.resetStats();
+    // Optional observability export: trace the measured section on the
+    // simulated-clock timeline for chrome://tracing / Perfetto.
+    trace::ChromeTraceSink chrome;
+    if (!chromeTracePath.empty()) {
+        world.machine.trace().subscribe(&chrome);
+    }
     std::uint64_t before = world.machine.clock().cycles();
     server->run(messages).orThrow("run");
     std::uint64_t cycles = world.machine.clock().cycles() - before;
+    if (!chromeTracePath.empty()) {
+        world.machine.trace().unsubscribe(&chrome);
+        if (chrome.writeFile(chromeTracePath)) {
+            std::printf("  [chrome trace written to %s (%zu events)]\n",
+                        chromeTracePath.c_str(), chrome.eventCount());
+        } else {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         chromeTracePath.c_str());
+            std::exit(1);
+        }
+    }
 
     while (client.receive(server->network()).isOk()) {
     }
@@ -76,7 +94,15 @@ main(int argc, char** argv)
     // Total exchanged volume per configuration (paper exchanges a fixed
     // volume; 2 MiB default keeps the sweep quick).
     std::uint64_t volume = flags.u64("volume", 2ull << 20);
+    // --chrome-trace PATH: export one nested run (1 KiB chunks) as a
+    // chrome://tracing JSON on the simulated-clock timeline.
+    const std::string chromeTrace = flags.str("chrome-trace", "");
     JsonReport json;
+
+    if (!chromeTrace.empty()) {
+        std::uint64_t messages = std::max<std::uint64_t>(volume / 1024, 4);
+        run(nesgx::apps::Layout::Nested, 1024, messages, true, chromeTrace);
+    }
 
     header("Fig. 7: echo-server throughput vs chunk size "
            "(normalized to monolithic)");

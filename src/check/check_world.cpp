@@ -105,10 +105,19 @@ CheckWorld::CheckWorld(const Config& config)
       kernel_(machine_),
       pid_(kernel_.createProcess())
 {
+    // Record every event from the first schedule on: the trace-level
+    // oracle rules (oracle.h) need a complete stream, and a shrunk
+    // reproducer's `--trace` dump should show the whole short run.
+    machine_.trace().subscribe(&ring_);
     for (hw::CoreId c = 0; c < machine_.coreCount(); ++c) {
         kernel_.schedule(c, pid_);
     }
     untrustedVa_ = kernel_.mapUntrusted(pid_, 2);
+}
+
+CheckWorld::~CheckWorld()
+{
+    machine_.trace().unsubscribe(&ring_);
 }
 
 bool

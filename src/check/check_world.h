@@ -23,6 +23,7 @@
 #include "sdk/image.h"
 #include "sgx/machine.h"
 #include "support/status.h"
+#include "trace/ring_sink.h"
 
 namespace nesgx::check {
 
@@ -77,6 +78,10 @@ class CheckWorld {
     };
 
     explicit CheckWorld(const Config& config);
+    ~CheckWorld();
+
+    CheckWorld(const CheckWorld&) = delete;
+    CheckWorld& operator=(const CheckWorld&) = delete;
 
     /** Executes one step; failures are normal and returned, not thrown. */
     Status apply(const Step& step);
@@ -89,6 +94,11 @@ class CheckWorld {
     /** Pages hostilely EWB'd behind the driver's back (blobs discarded);
      *  exempt from the oracle's leak accounting until they resurface. */
     std::set<hw::Paddr>& orphans() { return orphans_; }
+
+    /** The world's event log: every machine event since construction,
+     *  bounded (newest-kept). Feeds the trace-level oracle rules and the
+     *  `--trace` reproducer dumps. */
+    const trace::RingBufferSink& ring() const { return ring_; }
 
     // --- generator-facing state queries ---------------------------------
     bool slotCreated(int slot) const { return slots_[slot].secsPage != 0; }
@@ -119,6 +129,7 @@ class CheckWorld {
     hw::Paddr recordedPage(int slot, std::uint8_t index) const;
 
     sgx::Machine machine_;
+    trace::RingBufferSink ring_;
     os::Kernel kernel_;
     os::Pid pid_;
     hw::Vaddr untrustedVa_ = 0;

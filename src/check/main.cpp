@@ -26,6 +26,7 @@ struct CliOptions {
     bool runTagged = true;
     bool runFlush = true;
     bool helpOnly = false;
+    bool dumpTrace = false;
     std::string reproOut;
 };
 
@@ -69,6 +70,8 @@ parseArgs(int argc, char** argv, CliOptions* opts)
                 std::fprintf(stderr, "--tagged takes on|off|both\n");
                 return false;
             }
+        } else if (arg == "--trace") {
+            opts->dumpTrace = true;
         } else if (arg == "--repro-out") {
             const char* v = needValue("--repro-out");
             if (!v) return false;
@@ -76,7 +79,10 @@ parseArgs(int argc, char** argv, CliOptions* opts)
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
                 "usage: nesgx_check [--seeds N] [--steps M] [--seed S]\n"
-                "                   [--tagged on|off|both] [--repro-out F]\n");
+                "                   [--tagged on|off|both] [--repro-out F]\n"
+                "                   [--trace]\n"
+                "  --trace  append the ring-buffer event log to each\n"
+                "           shrunk reproducer report\n");
             opts->helpOnly = true;
             return true;
         } else {
@@ -94,6 +100,13 @@ reportFailure(const nesgx::check::RunFailure& raw, const CliOptions& opts)
                 static_cast<unsigned long long>(raw.seed), raw.steps.size());
     nesgx::check::RunFailure shrunk = nesgx::check::shrinkFailure(raw);
     std::string report = nesgx::check::formatFailure(shrunk);
+    if (opts.dumpTrace) {
+        report += "event log (" + std::to_string(shrunk.traceLog.size()) +
+                  " events, oldest first):\n";
+        for (const std::string& line : shrunk.traceLog) {
+            report += "  " + line + "\n";
+        }
+    }
     std::printf("%s", report.c_str());
     if (!opts.reproOut.empty()) {
         std::ofstream out(opts.reproOut);

@@ -57,6 +57,8 @@ ruleName(Rule rule)
         case Rule::ClosureCoherence: return "ClosureCoherence";
         case Rule::EpcAccounting: return "EpcAccounting";
         case Rule::KernelRecordCoherence: return "KernelRecordCoherence";
+        case Rule::TraceAexResumePairing: return "TraceAexResumePairing";
+        case Rule::TraceQuiescedWindow: return "TraceQuiescedWindow";
     }
     return "?";
 }
@@ -377,6 +379,77 @@ InvariantOracle::checkKernelRecords(const sgx::Machine& machine,
         }
     }
     return std::nullopt;
+}
+
+std::optional<Violation>
+TraceOracle::consume(const trace::RingBufferSink& ring)
+{
+    if (ring.firstSeq() > cursor_) {
+        // Events between two consume() calls fell off the ring before we
+        // saw them; the pairing state would silently go stale. Surface it
+        // as a checker-configuration problem rather than miss bugs.
+        return Violation{Rule::TraceAexResumePairing,
+                         "trace ring overflowed between oracle steps (" +
+                             std::to_string(ring.firstSeq() - cursor_) +
+                             " events lost); enlarge the ring"};
+    }
+    std::optional<Violation> found;
+    cursor_ = ring.consumeFrom(
+        cursor_, [&](const trace::RingBufferSink::Record& record) {
+            if (!found) found = inspect(record.event);
+        });
+    return found;
+}
+
+std::optional<Violation>
+TraceOracle::inspect(const trace::TraceEvent& event)
+{
+    using trace::EventKind;
+    switch (event.kind) {
+        case EventKind::AexTaken:
+            if (event.code == 0) {
+                // arg0 = the bottom TCS the nest was saved into.
+                pendingResume_[event.arg0] = event.eid;
+                quiesced_.insert(event.core);
+            }
+            return std::nullopt;
+        case EventKind::LeafExit:
+            if (event.code != 0) return std::nullopt;
+            if (event.leaf == trace::Leaf::Eresume) {
+                auto it = pendingResume_.find(event.arg0);
+                if (it == pendingResume_.end()) {
+                    return Violation{
+                        Rule::TraceAexResumePairing,
+                        "ERESUME of tcs=" + hex(event.arg0) + " on core " +
+                            std::to_string(event.core) +
+                            " succeeded with no matching AEX token (resume "
+                            "replayed or AEX never saved here)"};
+                }
+                pendingResume_.erase(it);
+                quiesced_.erase(event.core);
+            } else if (event.leaf == trace::Leaf::Eenter) {
+                // A fresh EENTER legitimately ends the window: the OS
+                // handed the core a new enclave context.
+                quiesced_.erase(event.core);
+            }
+            return std::nullopt;
+        case EventKind::TlbHit:
+        case EventKind::TlbMiss:
+        case EventKind::NestedCheck:
+        case EventKind::AccessFault:
+            if (event.eid != 0 && event.core != trace::kNoCore &&
+                quiesced_.count(event.core)) {
+                return Violation{
+                    Rule::TraceQuiescedWindow,
+                    std::string(trace::kindName(event.kind)) + " with eid=" +
+                        std::to_string(event.eid) + " on core " +
+                        std::to_string(event.core) +
+                        " inside its AEX->ERESUME quiesced window"};
+            }
+            return std::nullopt;
+        default:
+            return std::nullopt;
+    }
 }
 
 }  // namespace nesgx::check

@@ -26,12 +26,14 @@
  */
 #pragma once
 
+#include <map>
 #include <optional>
 #include <set>
 #include <string>
 
 #include "os/kernel.h"
 #include "sgx/machine.h"
+#include "trace/ring_sink.h"
 
 namespace nesgx::check {
 
@@ -44,6 +46,13 @@ enum class Rule : std::uint8_t {
     ClosureCoherence,
     EpcAccounting,
     KernelRecordCoherence,
+    /** Trace rule: every successful ERESUME consumes a token set by a
+     *  matching successful AEX on the same TCS. */
+    TraceAexResumePairing,
+    /** Trace rule: between an AEX and the ERESUME/EENTER that next gives
+     *  the interrupted core an enclave context, that core performs no
+     *  enclave-mode memory event. */
+    TraceQuiescedWindow,
 };
 
 const char* ruleName(Rule rule);
@@ -76,6 +85,42 @@ class InvariantOracle {
     std::optional<Violation> checkKernelRecords(
         const sgx::Machine& machine, const os::Kernel& kernel,
         const std::set<hw::Paddr>& orphans) const;
+};
+
+/**
+ * Stateful trace-level oracle: consumes the event stream captured in a
+ * RingBufferSink incrementally (by sequence cursor, so each event is
+ * inspected exactly once) and checks ordering properties no state
+ * snapshot can see:
+ *
+ *  - TraceAexResumePairing: a successful AEX on TCS T deposits a resume
+ *    token for T; a successful ERESUME of T must consume exactly that
+ *    token. A second successful ERESUME of the same token — the classic
+ *    stale-`hasSavedFrames` bug — has no token to consume and trips the
+ *    rule. Tokens are keyed by TCS physical address; a later AEX on a
+ *    rebuilt enclave at the same frame legitimately overwrites.
+ *  - TraceQuiescedWindow: after an AEX the OS owns the interrupted core;
+ *    until a successful ERESUME/EENTER gives it an enclave context
+ *    again, no enclave-mode memory event (TLB hit/miss, nested check,
+ *    access fault with a nonzero enclave id) may appear on that core.
+ *    Machine-global events carry `core = trace::kNoCore` and are exempt.
+ *
+ * Unlike InvariantOracle this object carries state across steps; use one
+ * instance per world, fed after every step.
+ */
+class TraceOracle {
+  public:
+    /** Consumes all new ring records; returns the first violation. */
+    std::optional<Violation> consume(const trace::RingBufferSink& ring);
+
+  private:
+    std::optional<Violation> inspect(const trace::TraceEvent& event);
+
+    std::uint64_t cursor_ = 0;
+    /** TCS PA -> interrupted eid of the AEX that armed the token. */
+    std::map<hw::Paddr, std::uint64_t> pendingResume_;
+    /** Cores inside an AEX→ERESUME quiesced window. */
+    std::set<hw::CoreId> quiesced_;
 };
 
 }  // namespace nesgx::check

@@ -149,6 +149,7 @@ runSeed(const RunConfig& config)
     CheckWorld world(wc);
     SequenceGen gen(config.seed);
     InvariantOracle oracle;
+    TraceOracle traceOracle;
 
     std::vector<Step> steps;
     steps.reserve(std::size_t(config.steps));
@@ -158,26 +159,34 @@ runSeed(const RunConfig& config)
         (void)world.apply(step);
         auto violation =
             oracle.check(world.machine(), world.kernel(), world.orphans());
+        if (!violation) violation = traceOracle.consume(world.ring());
         if (violation) {
             return RunFailure{std::move(steps), std::move(*violation),
-                              config.seed, config.taggedTlb};
+                              config.seed, config.taggedTlb,
+                              world.ring().formatAll()};
         }
     }
     return std::nullopt;
 }
 
 std::optional<Violation>
-replay(const std::vector<Step>& steps, bool taggedTlb)
+replay(const std::vector<Step>& steps, bool taggedTlb,
+       std::vector<std::string>* traceOut)
 {
     CheckWorld::Config wc;
     wc.taggedTlb = taggedTlb;
     CheckWorld world(wc);
     InvariantOracle oracle;
+    TraceOracle traceOracle;
     for (const Step& step : steps) {
         (void)world.apply(step);
         auto violation =
             oracle.check(world.machine(), world.kernel(), world.orphans());
-        if (violation) return violation;
+        if (!violation) violation = traceOracle.consume(world.ring());
+        if (violation) {
+            if (traceOut) *traceOut = world.ring().formatAll();
+            return violation;
+        }
     }
     return std::nullopt;
 }
@@ -204,10 +213,12 @@ shrinkFailure(const RunFailure& failure)
                 candidate.erase(candidate.begin() + long(at),
                                 candidate.begin() + long(at + n));
                 --budget;
-                auto violation = replay(candidate, best.taggedTlb);
+                std::vector<std::string> traceLog;
+                auto violation = replay(candidate, best.taggedTlb, &traceLog);
                 if (violation && violation->rule == best.violation.rule) {
                     best.steps = std::move(candidate);
                     best.violation = std::move(*violation);
+                    best.traceLog = std::move(traceLog);
                     removedAny = true;
                 } else {
                     at += n;

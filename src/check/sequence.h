@@ -51,14 +51,22 @@ struct RunFailure {
     Violation violation;
     std::uint64_t seed = 0;
     bool taggedTlb = true;
+    /** Formatted ring-buffer event log at the failing step (one line per
+     *  event, oldest first); see CheckWorld::ring(). */
+    std::vector<std::string> traceLog;
 };
 
 /** Runs one seeded sequence; nullopt when every invariant held. */
 std::optional<RunFailure> runSeed(const RunConfig& config);
 
-/** Replays a fixed sequence; returns the first violation if any. */
+/**
+ * Replays a fixed sequence; returns the first violation if any. When
+ * `traceOut` is non-null it receives the formatted event log captured up
+ * to (and including) the violating step.
+ */
 std::optional<Violation> replay(const std::vector<Step>& steps,
-                                bool taggedTlb);
+                                bool taggedTlb,
+                                std::vector<std::string>* traceOut = nullptr);
 
 /**
  * Greedy delta-debugging shrink: drops chunks (halving the chunk size

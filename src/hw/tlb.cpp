@@ -1,6 +1,18 @@
 #include "hw/tlb.h"
 
+#include "trace/bus.h"
+
 namespace nesgx::hw {
+
+void
+Tlb::publishStructural(trace::EventKind kind, Paddr arg0) const
+{
+    trace::TraceEvent event;
+    event.kind = kind;
+    event.core = owner_;
+    event.arg0 = arg0;
+    bus_->publish(event);
+}
 
 const TlbEntry*
 Tlb::lookup(Vaddr va, Paddr secsTag) const
@@ -40,6 +52,10 @@ Tlb::insert(Vaddr va, const TlbEntry& entry)
         if (entries_.erase(victim) > 0) {
             ++evictions_;
             ++generation_;
+            if (bus_ && bus_->active()) {
+                publishStructural(trace::EventKind::TlbEvict,
+                                  victim << kPageShift);
+            }
         }
     }
     entries_.emplace(vpn, entry);
@@ -53,6 +69,9 @@ Tlb::flushAll()
     fifo_.clear();
     ++flushCount_;
     ++generation_;
+    // TlbFlush feeds the tlbFlushes counter, so it is published whether
+    // or not anything subscribes (publishLight keeps it branch-cheap).
+    if (bus_) bus_->publishLight(trace::EventKind::TlbFlush, owner_, 0);
 }
 
 void
@@ -70,6 +89,9 @@ Tlb::flushSecs(Paddr secsTag)
     if (erased) {
         ++generation_;
     }
+    if (bus_ && bus_->active()) {
+        publishStructural(trace::EventKind::TlbInvalidateSecs, secsTag);
+    }
 }
 
 void
@@ -86,6 +108,9 @@ Tlb::invalidatePaddr(Paddr pagePa)
     }
     if (erased) {
         ++generation_;
+    }
+    if (bus_ && bus_->active()) {
+        publishStructural(trace::EventKind::TlbInvalidatePage, pagePa);
     }
 }
 

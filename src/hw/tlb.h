@@ -27,6 +27,11 @@
 
 #include "hw/types.h"
 
+namespace nesgx::trace {
+class TraceBus;
+enum class EventKind : std::uint8_t;
+}
+
 namespace nesgx::hw {
 
 struct TlbEntry {
@@ -84,7 +89,23 @@ class Tlb {
     /** Bumped whenever an existing translation may have changed. */
     std::uint64_t generation() const { return generation_; }
 
+    /**
+     * Attaches the machine's trace bus (and this TLB's owning core id):
+     * structural events — full flushes, selective invalidations, capacity
+     * evictions — are published from here, the layer where they happen.
+     * The internal counters stay as model registers for detached use.
+     */
+    void attachTrace(trace::TraceBus* bus, CoreId owner)
+    {
+        bus_ = bus;
+        owner_ = owner;
+    }
+
   private:
+    void publishStructural(trace::EventKind kind, Paddr arg0) const;
+
+    trace::TraceBus* bus_ = nullptr;
+    CoreId owner_ = 0;
     std::size_t capacity_;
     std::unordered_map<std::uint64_t, TlbEntry> entries_;  // keyed by VPN
     std::deque<std::uint64_t> fifo_;  // insertion order (may hold stale VPNs)

@@ -4,6 +4,25 @@
 
 namespace nesgx::os {
 
+namespace {
+
+/** OS-layer span/marker events: only built when somebody listens. */
+inline void
+publishOs(sgx::Machine& machine, trace::EventKind kind, std::uint64_t arg0,
+          std::uint64_t arg1 = 0, const char* text = nullptr)
+{
+    trace::TraceBus& bus = machine.trace();
+    if (!bus.active()) return;
+    trace::TraceEvent event;
+    event.kind = kind;
+    event.arg0 = arg0;
+    event.arg1 = arg1;
+    event.text = text;
+    bus.publish(event);
+}
+
+}  // namespace
+
 Kernel::Kernel(sgx::Machine& machine) : machine_(machine)
 {
     // All EPC pages start free; hand them out from the low end.
@@ -33,6 +52,7 @@ Kernel::process(Pid pid)
 void
 Kernel::schedule(hw::CoreId core, Pid pid)
 {
+    publishOs(machine_, trace::EventKind::OsSchedule, core, pid);
     machine_.core(core).setPageTable(&process(pid).pageTable());
     // A context switch flushes the core's TLB.
     machine_.flushCoreTlb(core);
@@ -162,6 +182,7 @@ Kernel::destroyEnclave(hw::Paddr secsPage)
 {
     auto it = enclaves_.find(secsPage);
     if (it == enclaves_.end()) return Err::OsError;
+    publishOs(machine_, trace::EventKind::OsDestroyBegin, secsPage);
 
     Process& proc = process(it->second.pid);
 #ifdef NESGX_BUG_DESTROY_EARLY_RETURN
@@ -173,9 +194,13 @@ Kernel::destroyEnclave(hw::Paddr secsPage)
     }
     it->second.pages.clear();
     Status bst = machine_.eremove(secsPage);
-    if (!bst) return bst;
+    if (!bst) {
+        publishOs(machine_, trace::EventKind::OsDestroyEnd, secsPage);
+        return bst;
+    }
     freeEpcPage(secsPage);
     enclaves_.erase(it);
+    publishOs(machine_, trace::EventKind::OsDestroyEnd, secsPage);
     return Status::ok();
 #endif
     Status firstError = Status::ok();
@@ -210,12 +235,17 @@ Kernel::destroyEnclave(hw::Paddr secsPage)
     it->second.evicted.clear();
 
     if (!it->second.pages.empty()) {
+        publishOs(machine_, trace::EventKind::OsDestroyEnd, secsPage);
         return firstError.isOk() ? Status(Err::PageInUse) : firstError;
     }
     Status st = machine_.eremove(secsPage);
-    if (!st) return firstError.isOk() ? st : firstError;
+    if (!st) {
+        publishOs(machine_, trace::EventKind::OsDestroyEnd, secsPage);
+        return firstError.isOk() ? st : firstError;
+    }
     freeEpcPage(secsPage);
     enclaves_.erase(it);
+    publishOs(machine_, trace::EventKind::OsDestroyEnd, secsPage);
     return firstError;
 }
 
@@ -227,24 +257,35 @@ Kernel::evictPage(hw::Paddr secsPage, hw::Vaddr vaddr)
     auto pageIt = it->second.pages.find(vaddr);
     if (pageIt == it->second.pages.end()) return Err::OsError;
     hw::Paddr epcPage = pageIt->second;
+    publishOs(machine_, trace::EventKind::OsEvictBegin, secsPage, vaddr);
 
     // The eviction protocol of §IV-E: block new translations, snapshot
     // the threads that may cache old ones, shoot them down, then write
     // back. The shootdown includes inner-enclave threads via the
     // machine's extended tracking.
     Status st = machine_.eblock(epcPage);
-    if (!st) return st;
+    if (!st) {
+        publishOs(machine_, trace::EventKind::OsEvictEnd, secsPage, vaddr);
+        return st;
+    }
     st = machine_.etrack(secsPage);
-    if (!st) return st;
+    if (!st) {
+        publishOs(machine_, trace::EventKind::OsEvictEnd, secsPage, vaddr);
+        return st;
+    }
     machine_.ipiShootdown(secsPage);
 
     auto blob = machine_.ewb(epcPage);
-    if (!blob) return blob.status();
+    if (!blob) {
+        publishOs(machine_, trace::EventKind::OsEvictEnd, secsPage, vaddr);
+        return blob.status();
+    }
 
     it->second.evicted[vaddr] = std::move(blob.value());
     it->second.pages.erase(pageIt);
     process(it->second.pid).pageTable().setPresent(vaddr, false);
     freeEpcPage(epcPage);
+    publishOs(machine_, trace::EventKind::OsEvictEnd, secsPage, vaddr);
     return Status::ok();
 }
 
@@ -255,17 +296,23 @@ Kernel::reloadPage(hw::Paddr secsPage, hw::Vaddr vaddr)
     if (it == enclaves_.end()) return Err::OsError;
     auto blobIt = it->second.evicted.find(vaddr);
     if (blobIt == it->second.evicted.end()) return Err::OsError;
+    publishOs(machine_, trace::EventKind::OsReloadBegin, secsPage, vaddr);
 
     auto epcPage = allocEpcPage();
-    if (!epcPage) return epcPage.status();
+    if (!epcPage) {
+        publishOs(machine_, trace::EventKind::OsReloadEnd, secsPage, vaddr);
+        return epcPage.status();
+    }
     Status st = machine_.eldu(epcPage.value(), secsPage, blobIt->second);
     if (!st) {
         freeEpcPage(epcPage.value());
+        publishOs(machine_, trace::EventKind::OsReloadEnd, secsPage, vaddr);
         return st;
     }
     it->second.pages[vaddr] = epcPage.value();
     it->second.evicted.erase(blobIt);
     process(it->second.pid).pageTable().map(vaddr, epcPage.value());
+    publishOs(machine_, trace::EventKind::OsReloadEnd, secsPage, vaddr);
     return Status::ok();
 }
 

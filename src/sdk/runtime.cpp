@@ -2,6 +2,26 @@
 
 namespace nesgx::sdk {
 
+namespace {
+
+/** SDK boundary events: built only when a sink listens. The call name is
+ *  borrowed (`text` is not owned) — valid for the duration of the call,
+ *  which is all a synchronous publish needs. */
+inline void
+publishSdk(sgx::Machine& machine, trace::EventKind kind, hw::CoreId core,
+           const char* name)
+{
+    trace::TraceBus& bus = machine.trace();
+    if (!bus.active()) return;
+    trace::TraceEvent event;
+    event.kind = kind;
+    event.core = core;
+    event.text = name;
+    bus.publish(event);
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------- TrustedEnv
 
 sgx::Machine&
@@ -57,11 +77,16 @@ TrustedEnv::ocall(const std::string& name, ByteView arg)
     m.charge(m.costs().ocallDispatch);
     m.charge(m.costs().copyBytes(arg.size()));
     ++urts_.stats_.ocalls;
+    publishSdk(m, trace::EventKind::SdkOcallBegin, core_, name.c_str());
 
     Status st = m.eexit(core_);
-    if (!st) return st;
+    if (!st) {
+        publishSdk(m, trace::EventKind::SdkOcallEnd, core_, name.c_str());
+        return st;
+    }
     Result<Bytes> result = it->second(arg);
     Status back = m.eenter(core_, tcs);
+    publishSdk(m, trace::EventKind::SdkOcallEnd, core_, name.c_str());
     if (!back) return back;
     if (result) m.charge(m.costs().copyBytes(result.value().size()));
     return result;
@@ -82,12 +107,17 @@ TrustedEnv::nEcall(LoadedEnclave& inner, const std::string& name, ByteView arg)
     // data-path (LLC/MEE) cost is charged when the callee touches the
     // bytes (paper §IV-A).
     ++urts_.stats_.nEcalls;
+    publishSdk(m, trace::EventKind::SdkNEcallBegin, core_, name.c_str());
 
     Status st = m.neenter(core_, tcs.value());
-    if (!st) return st;
+    if (!st) {
+        publishSdk(m, trace::EventKind::SdkNEcallEnd, core_, name.c_str());
+        return st;
+    }
     TrustedEnv innerEnv(urts_, inner, core_);
     Result<Bytes> result = (*fn)(innerEnv, arg);
     Status back = m.neexit(core_);
+    publishSdk(m, trace::EventKind::SdkNEcallEnd, core_, name.c_str());
     if (!back) return back;
     return result;
 }
@@ -113,12 +143,17 @@ TrustedEnv::nOcall(const std::string& name, ByteView arg)
     m.charge(m.costs().nOcallDispatch);
     // As with n_ecall: by-reference through the shared outer memory.
     ++urts_.stats_.nOcalls;
+    publishSdk(m, trace::EventKind::SdkNOcallBegin, core_, name.c_str());
 
     Status st = m.neexit(core_);
-    if (!st) return st;
+    if (!st) {
+        publishSdk(m, trace::EventKind::SdkNOcallEnd, core_, name.c_str());
+        return st;
+    }
     TrustedEnv outerEnv(urts_, *outer, core_);
     Result<Bytes> result = (*fn)(outerEnv, arg);
     Status back = m.neenter(core_, innerTcs);
+    publishSdk(m, trace::EventKind::SdkNOcallEnd, core_, name.c_str());
     if (!back) return back;
     return result;
 }
@@ -266,12 +301,17 @@ Urts::ecall(LoadedEnclave* enclave, const std::string& name, ByteView arg,
     // ecall arguments traverse untrusted memory into the enclave.
     m.charge(m.costs().copyBytes(arg.size()));
     ++stats_.ecalls;
+    publishSdk(m, trace::EventKind::SdkEcallBegin, core, name.c_str());
 
     Status st = m.eenter(core, tcs.value());
-    if (!st) return st;
+    if (!st) {
+        publishSdk(m, trace::EventKind::SdkEcallEnd, core, name.c_str());
+        return st;
+    }
     TrustedEnv env(*this, *enclave, core);
     Result<Bytes> result = (*fn)(env, arg);
     Status back = m.eexit(core);
+    publishSdk(m, trace::EventKind::SdkEcallEnd, core, name.c_str());
     if (!back) return back;
     if (result) m.charge(m.costs().copyBytes(result.value().size()));
     return result;
@@ -294,12 +334,17 @@ Urts::ecallNested(LoadedEnclave* outer, LoadedEnclave* inner,
     m.charge(m.costs().ecallDispatch);
     m.charge(m.costs().copyBytes(arg.size()));
     ++stats_.ecalls;
+    publishSdk(m, trace::EventKind::SdkEcallBegin, core, name.c_str());
 
     Status st = m.eenter(core, outerTcs.value());
-    if (!st) return st;
+    if (!st) {
+        publishSdk(m, trace::EventKind::SdkEcallEnd, core, name.c_str());
+        return st;
+    }
     TrustedEnv outerEnv(*this, *outer, core);
     Result<Bytes> result = outerEnv.nEcall(*inner, name, arg);
     Status back = m.eexit(core);
+    publishSdk(m, trace::EventKind::SdkEcallEnd, core, name.c_str());
     if (!back) return back;
     return result;
 }

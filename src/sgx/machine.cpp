@@ -15,9 +15,11 @@ Machine::Machine(const Config& config)
       epcm_(config.prmBytes >> hw::kPageShift),
       rng_(config.rngSeed)
 {
+    bus_.setClock(&clock_);
     cores_.reserve(config.coreCount);
     for (std::uint32_t i = 0; i < config.coreCount; ++i) {
         cores_.emplace_back(i, config.tlbCapacity);
+        cores_.back().tlb().attachTrace(&bus_, i);
     }
     // Per-device root key: in real SGX this is fused; the model draws it
     // from the seeded RNG so attestation keys are stable per machine.
@@ -57,9 +59,10 @@ Machine::tcsAt(hw::Paddr pa) const
 void
 Machine::flushCoreTlb(hw::CoreId coreId)
 {
+    // The TLB publishes the TlbFlush event (feeding the tlbFlushes
+    // counter) from inside flushAll — hw/tlb.cpp is the emission site.
     cores_[coreId].tlb().flushAll();
     cores_[coreId].clearLastTranslation();
-    ++stats_.tlbFlushes;
     // A flushed core no longer caches stale translations: drop it from
     // every active ETRACK tracking set (paper §IV-E thread tracking).
     for (auto& [pa, secs] : secsTable_) {
@@ -105,7 +108,15 @@ Machine::tlbProbe(hw::Core& core, hw::Vaddr va)
         // surviving entry was validated under the current context).
         charge(costs_.tlbTagCompare);
         const std::uint64_t rejects = tlb.tagRejectCount() - rejectsBefore;
-        stats_.taggedLookupRejects += rejects;
+        if (rejects) {
+            trace::TraceEvent event;
+            event.kind = trace::EventKind::TlbTagReject;
+            event.core = core.id();
+            event.eid = coreEid(core.id());
+            event.arg0 = rejects;
+            event.arg1 = va;
+            bus_.publish(event);
+        }
     }
     return entry;
 }
@@ -116,20 +127,26 @@ Machine::chargeDataPath(hw::Paddr pa, std::uint64_t len)
     if (len == 0) return;
     hw::Paddr first = hw::lineBase(pa);
     hw::Paddr last = hw::lineBase(pa + len - 1);
+    std::uint64_t llcLines = 0;
+    std::uint64_t meeLines = 0;
     for (hw::Paddr line = first; line <= last; line += hw::kCacheLineSize) {
         bool hit = llc_.touch(line);
         if (hit) {
             charge(costs_.llcHitLine);
-            ++stats_.llcHitLines;
+            ++llcLines;
         } else if (mem_.inPrm(line)) {
             // Off-chip EPC traffic goes through the MEE: AES-CTR at
             // cacheline granularity plus integrity-tree work.
             charge(costs_.meeLine);
-            ++stats_.meeLines;
+            ++meeLines;
         } else {
             charge(costs_.dramLine);
         }
     }
+    // One DataPath event per range keeps the stream proportional to
+    // accesses, not cachelines; the line tallies ride in the operands.
+    bus_.publishLight(trace::EventKind::DataPath, trace::kNoCore, 0, llcLines,
+                      meeLines);
 }
 
 const std::vector<hw::Paddr>&
@@ -137,10 +154,12 @@ Machine::outerClosure(hw::Paddr secsPage) const
 {
     auto cached = closureCache_.find(secsPage);
     if (cached != closureCache_.end()) {
-        ++stats_.closureCacheHits;
+        bus_.publishLight(trace::EventKind::ClosureCacheHit, trace::kNoCore, 0,
+                          secsPage);
         return cached->second;
     }
-    ++stats_.closureCacheMisses;
+    bus_.publishLight(trace::EventKind::ClosureCacheMiss, trace::kNoCore, 0,
+                      secsPage);
 
     std::vector<hw::Paddr> order;
     std::set<hw::Paddr> visited{secsPage};
@@ -193,7 +212,7 @@ Machine::ipiShootdown(hw::Paddr secsPage)
 {
     for (hw::CoreId id : trackedCores(secsPage)) {
         charge(costs_.ipi);
-        ++stats_.ipiCount;
+        bus_.publishLight(trace::EventKind::Ipi, id, coreEid(id), secsPage);
         aex(id);
     }
 }

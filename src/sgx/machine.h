@@ -43,6 +43,7 @@
 #include "sgx/sigstruct.h"
 #include "support/rng.h"
 #include "support/status.h"
+#include "trace/bus.h"
 
 namespace nesgx::sgx {
 
@@ -227,30 +228,27 @@ class Machine {
     bool verifyNestedReport(const NestedReport& report,
                             const Measurement& targetMr) const;
 
-    // --- statistics -------------------------------------------------------
-    struct Stats {
-        std::uint64_t tlbMisses = 0;
-        std::uint64_t tlbHits = 0;
-        std::uint64_t nestedChecks = 0;   ///< outer-chain walks taken
-        std::uint64_t accessFaults = 0;
-        std::uint64_t eenterCount = 0;
-        std::uint64_t eexitCount = 0;
-        std::uint64_t neenterCount = 0;
-        std::uint64_t neexitCount = 0;
-        std::uint64_t aexCount = 0;
-        std::uint64_t eresumeCount = 0;
-        std::uint64_t ipiCount = 0;
-        std::uint64_t meeLines = 0;       ///< cachelines through the MEE
-        std::uint64_t llcHitLines = 0;
-        // --- tagged-TLB / closure-cache fast path -----------------------
-        std::uint64_t tlbFlushes = 0;        ///< full per-core flushes taken
-        std::uint64_t flushesAvoided = 0;    ///< transitions that skipped one
-        std::uint64_t closureCacheHits = 0;
-        std::uint64_t closureCacheMisses = 0;
-        std::uint64_t taggedLookupRejects = 0; ///< VPN hit, wrong context tag
-    };
-    Stats& stats() { return stats_; }
-    const Stats& stats() const { return stats_; }
+    // --- statistics / observability ---------------------------------------
+    /**
+     * The counter block is a *view* over the machine's trace bus: every
+     * emission site publishes a typed TraceEvent and `StatsSink`
+     * (trace/stats.h) folds it into these counters. The accessor API and
+     * the field set are unchanged from the pre-bus inline-increment era,
+     * and the values are bit-identical.
+     */
+    using Stats = trace::StatsCounters;
+    Stats& stats() { return bus_.counters(); }
+    const Stats& stats() const { return bus_.counters(); }
+
+    /** Zeroes the counters without touching attached sinks. */
+    void resetStats() { bus_.resetCounters(); }
+
+    /**
+     * The machine's trace bus: subscribe ring buffers, Chrome-trace
+     * exporters or test sinks here. Mutable on purpose — tracing, like
+     * the counters it replaced, is observability, not machine state.
+     */
+    trace::TraceBus& trace() const { return bus_; }
 
     /** Flushes a core's TLB and clears it from all ETRACK tracking sets. */
     void flushCoreTlb(hw::CoreId core);
@@ -260,6 +258,78 @@ class Machine {
 
   private:
     friend class MachineAccess;
+
+    // --- leaf bodies (public leaves are thin trace wrappers) --------------
+    Status ecreateImpl(hw::Paddr secsPage, hw::Vaddr baseAddr,
+                       std::uint64_t size, std::uint64_t attributes);
+    Status eaddImpl(hw::Paddr secsPage, hw::Paddr epcPage, hw::Vaddr vaddr,
+                    PageType type, PagePerms perms, ByteView src);
+    Status eextendImpl(hw::Paddr secsPage, hw::Paddr epcPage);
+    Status einitImpl(hw::Paddr secsPage, const SigStruct& sig);
+    Status eremoveImpl(hw::Paddr epcPage);
+    Status nassoImpl(hw::Paddr innerSecsPage, hw::Paddr outerSecsPage);
+    Status eenterImpl(hw::CoreId core, hw::Paddr tcsPage);
+    Status eexitImpl(hw::CoreId core);
+    Status neenterImpl(hw::CoreId core, hw::Paddr tcsPage);
+    Status neexitImpl(hw::CoreId core);
+    Status aexImpl(hw::CoreId core);
+    Status eresumeImpl(hw::CoreId core, hw::Paddr tcsPage);
+    Status eblockImpl(hw::Paddr epcPage);
+    Status etrackImpl(hw::Paddr secsPage);
+    Result<EvictedPage> ewbImpl(hw::Paddr epcPage);
+    Status elduImpl(hw::Paddr epcPage, hw::Paddr secsPage,
+                    const EvictedPage& blob);
+    Result<Report> ereportImpl(hw::CoreId core, const TargetInfo& target,
+                               const ReportData& data);
+    Result<NestedReport> nereportImpl(hw::CoreId core,
+                                      const TargetInfo& target,
+                                      const ReportData& data);
+    Result<crypto::Sha256Digest> egetkeyReportImpl(hw::CoreId core);
+    Result<crypto::Sha256Digest> egetkeySealImpl(hw::CoreId core);
+
+    /** Enclave id of the core's current (innermost) frame, 0 outside
+     *  enclave mode or for the no-core ENCLS context. */
+    std::uint64_t coreEid(hw::CoreId core) const
+    {
+        if (core >= cores_.size()) return 0;
+        const auto& frames = cores_[core].frames();
+        return frames.empty() ? 0 : frames.back().eid;
+    }
+
+    static Status leafStatus(const Status& s) { return s; }
+    template <typename T>
+    static Status leafStatus(const Result<T>& r) { return r.status(); }
+
+    /** Brackets a leaf body in LeafEnter/LeafExit events. The exit event
+     *  is stamped with the *post*-leaf enclave id, so transition events
+     *  carry the context they switched to. With no sinks attached only
+     *  the exit counter is bumped — the eid lookups are skipped too. */
+    template <typename Body>
+    auto tracedLeaf(trace::Leaf leaf, hw::CoreId core, std::uint64_t arg0,
+                    Body&& body)
+    {
+        if (!bus_.active()) {
+            auto result = body();
+            bus_.countLeafExit(leaf, leafStatus(result));
+            return result;
+        }
+        bus_.leafEnter(leaf, core, coreEid(core), arg0);
+        auto result = body();
+        bus_.leafExit(leaf, core, coreEid(core), leafStatus(result), arg0);
+        return result;
+    }
+
+    /** TlbHit emission for the translate fast path: the eid lookup only
+     *  happens when a sink actually wants the event. */
+    void publishTlbHit(hw::CoreId coreId, hw::Vaddr va)
+    {
+        if (bus_.active()) {
+            bus_.publishLight(trace::EventKind::TlbHit, coreId,
+                              coreEid(coreId), va);
+        } else {
+            bus_.countLight(trace::EventKind::TlbHit);
+        }
+    }
 
     Result<hw::Paddr> validateAndFill(hw::CoreId coreId, hw::Vaddr va,
                                       hw::Access access);
@@ -302,7 +372,10 @@ class Machine {
     Bytes rootKey_;
     std::unique_ptr<crypto::AesGcm> pagingGcm_;
     Rng rng_;
-    mutable Stats stats_;
+    /** Event publication point; owns the Stats counters (trace/bus.h).
+     *  Mutable for the same reason `stats_` was: const paths (closure
+     *  memoization, oracle introspection) still publish. */
+    mutable trace::TraceBus bus_;
     /** Memoized `outerClosure` results; cleared on NASSO/EREMOVE.
      *  std::map for node stability: returned references survive
      *  insertion of other keys. */

@@ -39,8 +39,9 @@ Result<hw::Paddr>
 Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
 {
     hw::Core& core = cores_[coreId];
+    const std::uint64_t eid = coreEid(coreId);
     charge(costs_.tlbMissWalk);
-    ++stats_.tlbMisses;
+    bus_.publishLight(trace::EventKind::TlbMiss, coreId, eid, va);
 
     const auto* pt = static_cast<const hw::PageTable*>(core.pageTable());
     if (!pt) return Err::PageFault;
@@ -55,7 +56,7 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
     if (!core.inEnclaveMode()) {
         // (A) Non-enclave execution must never reach the PRM.
         if (mem_.inPrm(pa)) {
-            ++stats_.accessFaults;
+            bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
             return Err::PageFault;
         }
         tlbEntry.writable = pte->writable;
@@ -73,7 +74,7 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
         // (B) Enclave mode, EPC physical target.
         const EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(pa));
         if (!entry.valid || entry.blocked || entry.type != PageType::Reg) {
-            ++stats_.accessFaults;
+            bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
             return Err::PageFault;
         }
 
@@ -88,7 +89,8 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
             // costs extra validation time.
             for (hw::Paddr cur : outerClosure(core.currentSecs())) {
                 charge(costs_.nestedCheckExtra);
-                ++stats_.nestedChecks;
+                bus_.publishLight(trace::EventKind::NestedCheck, coreId, eid,
+                                  cur);
                 if (entry.ownerSecs == cur) {
                     owner = secsAt(cur);
                     break;
@@ -96,19 +98,19 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
             }
         }
         if (!owner) {
-            ++stats_.accessFaults;
+            bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
             return Err::PageFault;
         }
         // The EPCM-recorded virtual address must match the mapping the OS
         // supplied (invariants 3 and 4, paper §VII-A).
         if (entry.vaddr != hw::pageBase(va)) {
-            ++stats_.accessFaults;
+            bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
             return Err::PageFault;
         }
         tlbEntry.writable = entry.perms.w && pte->writable;
         tlbEntry.executable = entry.perms.x && pte->executable;
         if (!entry.perms.allows(access) || !permsAllow(tlbEntry, access)) {
-            ++stats_.accessFaults;
+            bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
             return Err::PageFault;
         }
         core.tlb().insert(va, tlbEntry);
@@ -120,16 +122,16 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
     if (secs->inELRange(va)) {
         // An enclave virtual page backed by ordinary memory means the EPC
         // page was evicted (or the OS lies): page fault either way.
-        ++stats_.accessFaults;
+        bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
         return Err::PageFault;
     }
     // Nested steps (1)-(2): same check for every reachable outer ELRANGE.
     for (hw::Paddr cur : outerClosure(core.currentSecs())) {
         charge(costs_.nestedCheckExtra);
-        ++stats_.nestedChecks;
+        bus_.publishLight(trace::EventKind::NestedCheck, coreId, eid, cur);
         const Secs* outer = secsAt(cur);
         if (outer && outer->inELRange(va)) {
-            ++stats_.accessFaults;
+            bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
             return Err::PageFault;
         }
     }
@@ -138,7 +140,7 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
     tlbEntry.writable = pte->writable;
     tlbEntry.executable = false;
     if (access == hw::Access::Execute) {
-        ++stats_.accessFaults;
+        bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
         return Err::PageFault;
     }
     core.tlb().insert(va, tlbEntry);
@@ -160,14 +162,14 @@ Machine::translate(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
         && last.entry.validatedSecs == core.currentSecs()
         && permsAllow(last.entry, access)) {
         charge(costs_.tlbHit);
-        ++stats_.tlbHits;
+        publishTlbHit(coreId, va);
         return last.entry.paddr + hw::pageOffset(va);
     }
 
     if (const hw::TlbEntry* hit = tlbProbe(core, va)) {
         if (permsAllow(*hit, access)) {
             charge(costs_.tlbHit);
-            ++stats_.tlbHits;
+            publishTlbHit(coreId, va);
             core.setLastTranslation(hw::pageNumber(va), *hit);
             return hit->paddr + hw::pageOffset(va);
         }
@@ -205,7 +207,7 @@ Machine::accessRange(hw::CoreId coreId, hw::Vaddr va, std::uint8_t* out,
             if (e && e->paddr == prevFrame + hw::kPageSize
                 && permsAllow(*e, access)) {
                 charge(costs_.tlbHitContiguous);
-                ++stats_.tlbHits;
+                publishTlbHit(coreId, cur);
                 pa = e->paddr;
                 translated = true;
             }

@@ -58,6 +58,14 @@ Result<Report>
 Machine::ereport(hw::CoreId coreId, const TargetInfo& target,
                  const ReportData& data)
 {
+    return tracedLeaf(trace::Leaf::Ereport, coreId, 0,
+                      [&] { return ereportImpl(coreId, target, data); });
+}
+
+Result<Report>
+Machine::ereportImpl(hw::CoreId coreId, const TargetInfo& target,
+                     const ReportData& data)
+{
     charge(costs_.ereport);
     hw::Core& core = cores_[coreId];
     if (!core.inEnclaveMode()) return Err::GeneralProtection;
@@ -79,6 +87,14 @@ Machine::ereport(hw::CoreId coreId, const TargetInfo& target,
 Result<NestedReport>
 Machine::nereport(hw::CoreId coreId, const TargetInfo& target,
                   const ReportData& data)
+{
+    return tracedLeaf(trace::Leaf::Nereport, coreId, 0,
+                      [&] { return nereportImpl(coreId, target, data); });
+}
+
+Result<NestedReport>
+Machine::nereportImpl(hw::CoreId coreId, const TargetInfo& target,
+                      const ReportData& data)
 {
     charge(costs_.ereport);
     hw::Core& core = cores_[coreId];
@@ -120,6 +136,13 @@ Machine::nereport(hw::CoreId coreId, const TargetInfo& target,
 Result<crypto::Sha256Digest>
 Machine::egetkeyReport(hw::CoreId coreId)
 {
+    return tracedLeaf(trace::Leaf::Egetkey, coreId, 0,
+                      [&] { return egetkeyReportImpl(coreId); });
+}
+
+Result<crypto::Sha256Digest>
+Machine::egetkeyReportImpl(hw::CoreId coreId)
+{
     charge(costs_.egetkey);
     hw::Core& core = cores_[coreId];
     if (!core.inEnclaveMode()) return Err::GeneralProtection;
@@ -130,6 +153,13 @@ Machine::egetkeyReport(hw::CoreId coreId)
 
 Result<crypto::Sha256Digest>
 Machine::egetkeySeal(hw::CoreId coreId)
+{
+    return tracedLeaf(trace::Leaf::Egetkey, coreId, 0,
+                      [&] { return egetkeySealImpl(coreId); });
+}
+
+Result<crypto::Sha256Digest>
+Machine::egetkeySealImpl(hw::CoreId coreId)
 {
     charge(costs_.egetkey);
     hw::Core& core = cores_[coreId];

@@ -21,6 +21,14 @@ Status
 Machine::ecreate(hw::Paddr secsPage, hw::Vaddr baseAddr, std::uint64_t size,
                  std::uint64_t attributes)
 {
+    return tracedLeaf(trace::Leaf::Ecreate, trace::kNoCore, secsPage,
+                      [&] { return ecreateImpl(secsPage, baseAddr, size, attributes); });
+}
+
+Status
+Machine::ecreateImpl(hw::Paddr secsPage, hw::Vaddr baseAddr, std::uint64_t size,
+                 std::uint64_t attributes)
+{
     charge(costs_.ecreate);
     if (!mem_.inPrm(secsPage) || !pageAligned(secsPage)) {
         return Err::GeneralProtection;
@@ -50,6 +58,14 @@ Machine::ecreate(hw::Paddr secsPage, hw::Vaddr baseAddr, std::uint64_t size,
 
 Status
 Machine::eadd(hw::Paddr secsPage, hw::Paddr epcPage, hw::Vaddr vaddr,
+              PageType type, PagePerms perms, ByteView src)
+{
+    return tracedLeaf(trace::Leaf::Eadd, trace::kNoCore, epcPage,
+                      [&] { return eaddImpl(secsPage, epcPage, vaddr, type, perms, src); });
+}
+
+Status
+Machine::eaddImpl(hw::Paddr secsPage, hw::Paddr epcPage, hw::Vaddr vaddr,
               PageType type, PagePerms perms, ByteView src)
 {
     charge(costs_.eadd);
@@ -93,6 +109,13 @@ Machine::eadd(hw::Paddr secsPage, hw::Paddr epcPage, hw::Vaddr vaddr,
 Status
 Machine::eextend(hw::Paddr secsPage, hw::Paddr epcPage)
 {
+    return tracedLeaf(trace::Leaf::Eextend, trace::kNoCore, epcPage,
+                      [&] { return eextendImpl(secsPage, epcPage); });
+}
+
+Status
+Machine::eextendImpl(hw::Paddr secsPage, hw::Paddr epcPage)
+{
     Secs* secs = secsAt(secsPage);
     if (!secs || secs->initialized) return Err::GeneralProtection;
     if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
@@ -114,6 +137,13 @@ Machine::eextend(hw::Paddr secsPage, hw::Paddr epcPage)
 
 Status
 Machine::einit(hw::Paddr secsPage, const SigStruct& sig)
+{
+    return tracedLeaf(trace::Leaf::Einit, trace::kNoCore, secsPage,
+                      [&] { return einitImpl(secsPage, sig); });
+}
+
+Status
+Machine::einitImpl(hw::Paddr secsPage, const SigStruct& sig)
 {
     charge(costs_.einit);
     Secs* secs = secsAt(secsPage);
@@ -142,6 +172,13 @@ Machine::einit(hw::Paddr secsPage, const SigStruct& sig)
 
 Status
 Machine::eremove(hw::Paddr epcPage)
+{
+    return tracedLeaf(trace::Leaf::Eremove, trace::kNoCore, epcPage,
+                      [&] { return eremoveImpl(epcPage); });
+}
+
+Status
+Machine::eremoveImpl(hw::Paddr epcPage)
 {
     if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
     std::uint64_t index = mem_.epcPageIndex(epcPage);
@@ -202,6 +239,13 @@ Machine::eremove(hw::Paddr epcPage)
 
 Status
 Machine::nasso(hw::Paddr innerSecsPage, hw::Paddr outerSecsPage)
+{
+    return tracedLeaf(trace::Leaf::Nasso, trace::kNoCore, innerSecsPage,
+                      [&] { return nassoImpl(innerSecsPage, outerSecsPage); });
+}
+
+Status
+Machine::nassoImpl(hw::Paddr innerSecsPage, hw::Paddr outerSecsPage)
 {
     charge(costs_.nasso);
     Secs* inner = secsAt(innerSecsPage);

@@ -12,6 +12,13 @@ namespace nesgx::sgx {
 Status
 Machine::eblock(hw::Paddr epcPage)
 {
+    return tracedLeaf(trace::Leaf::Eblock, trace::kNoCore, epcPage,
+                      [&] { return eblockImpl(epcPage); });
+}
+
+Status
+Machine::eblockImpl(hw::Paddr epcPage)
+{
     if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
     EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(epcPage));
     if (!entry.valid || entry.type != PageType::Reg) {
@@ -28,6 +35,13 @@ Machine::eblock(hw::Paddr epcPage)
 Status
 Machine::etrack(hw::Paddr secsPage)
 {
+    return tracedLeaf(trace::Leaf::Etrack, trace::kNoCore, secsPage,
+                      [&] { return etrackImpl(secsPage); });
+}
+
+Status
+Machine::etrackImpl(hw::Paddr secsPage)
+{
     Secs* secs = secsAt(secsPage);
     if (!secs) return Err::GeneralProtection;
     // Snapshot every core that may hold stale translations; cores drop out
@@ -41,6 +55,13 @@ Machine::etrack(hw::Paddr secsPage)
 
 Result<EvictedPage>
 Machine::ewb(hw::Paddr epcPage)
+{
+    return tracedLeaf(trace::Leaf::Ewb, trace::kNoCore, epcPage,
+                      [&] { return ewbImpl(epcPage); });
+}
+
+Result<EvictedPage>
+Machine::ewbImpl(hw::Paddr epcPage)
 {
     charge(costs_.ewbPage);
     if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
@@ -91,6 +112,13 @@ Machine::ewb(hw::Paddr epcPage)
 
 Status
 Machine::eldu(hw::Paddr epcPage, hw::Paddr secsPage, const EvictedPage& blob)
+{
+    return tracedLeaf(trace::Leaf::Eldu, trace::kNoCore, epcPage,
+                      [&] { return elduImpl(epcPage, secsPage, blob); });
+}
+
+Status
+Machine::elduImpl(hw::Paddr epcPage, hw::Paddr secsPage, const EvictedPage& blob)
 {
     charge(costs_.elduPage);
     if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;

@@ -1,13 +1,41 @@
 /**
  * ENCLU transition leaves: EENTER, EEXIT, NEENTER, NEEXIT, AEX, ERESUME
  * (paper §IV-B, Fig. 5 state transitions).
+ *
+ * Each public leaf is a `tracedLeaf` wrapper around the *Impl body: the
+ * bus brackets the body in LeafEnter/LeafExit events, and the successful
+ * LeafExit is what feeds the per-transition counters (trace/stats.h) —
+ * the bodies themselves no longer touch counters directly.
  */
 #include "sgx/machine.h"
 
 namespace nesgx::sgx {
 
+namespace {
+
+inline trace::TraceEvent
+coreEvent(trace::EventKind kind, hw::CoreId core, std::uint64_t eid,
+          std::uint64_t arg0 = 0)
+{
+    trace::TraceEvent event;
+    event.kind = kind;
+    event.core = core;
+    event.eid = eid;
+    event.arg0 = arg0;
+    return event;
+}
+
+}  // namespace
+
 Status
 Machine::eenter(hw::CoreId coreId, hw::Paddr tcsPage)
+{
+    return tracedLeaf(trace::Leaf::Eenter, coreId, tcsPage,
+                      [&] { return eenterImpl(coreId, tcsPage); });
+}
+
+Status
+Machine::eenterImpl(hw::CoreId coreId, hw::Paddr tcsPage)
 {
     hw::Core& core = cores_[coreId];
     if (core.inEnclaveMode()) return Err::GeneralProtection;
@@ -28,18 +56,25 @@ Machine::eenter(hw::CoreId coreId, hw::Paddr tcsPage)
     // enforces that by invalidating everything; the tagged model keeps
     // the entries and relies on the tag-checked lookup instead.
     if (config_.taggedTlb) {
-        ++stats_.flushesAvoided;
+        bus_.publishLight(trace::EventKind::TlbFlushAvoided, coreId,
+                          secs->eid);
     } else {
         flushCoreTlb(coreId);
     }
     tcs->busy = true;
     core.pushFrame(entry.ownerSecs, tcsPage, secs->eid);
-    ++stats_.eenterCount;
     return Status::ok();
 }
 
 Status
 Machine::eexit(hw::CoreId coreId)
+{
+    return tracedLeaf(trace::Leaf::Eexit, coreId, 0,
+                      [&] { return eexitImpl(coreId); });
+}
+
+Status
+Machine::eexitImpl(hw::CoreId coreId)
 {
     hw::Core& core = cores_[coreId];
     if (!core.inEnclaveMode()) return Err::GeneralProtection;
@@ -51,16 +86,23 @@ Machine::eexit(hw::CoreId coreId)
     hw::EnclaveFrame frame = core.popFrame();
     if (Tcs* tcs = tcsAt(frame.tcs)) tcs->busy = false;
     if (config_.taggedTlb) {
-        ++stats_.flushesAvoided;
+        bus_.publishLight(trace::EventKind::TlbFlushAvoided, coreId,
+                          frame.eid);
     } else {
         flushCoreTlb(coreId);
     }
-    ++stats_.eexitCount;
     return Status::ok();
 }
 
 Status
 Machine::neenter(hw::CoreId coreId, hw::Paddr tcsPage)
+{
+    return tracedLeaf(trace::Leaf::Neenter, coreId, tcsPage,
+                      [&] { return neenterImpl(coreId, tcsPage); });
+}
+
+Status
+Machine::neenterImpl(hw::CoreId coreId, hw::Paddr tcsPage)
 {
     hw::Core& core = cores_[coreId];
     // The core must already execute in enclave mode (the outer enclave).
@@ -84,18 +126,25 @@ Machine::neenter(hw::CoreId coreId, hw::Paddr tcsPage)
 
     charge(costs_.neenterCycles(config_.taggedTlb));
     if (config_.taggedTlb) {
-        ++stats_.flushesAvoided;
+        bus_.publishLight(trace::EventKind::TlbFlushAvoided, coreId,
+                          target->eid);
     } else {
         flushCoreTlb(coreId);
     }
     tcs->busy = true;
     core.pushFrame(entry.ownerSecs, tcsPage, target->eid);
-    ++stats_.neenterCount;
     return Status::ok();
 }
 
 Status
 Machine::neexit(hw::CoreId coreId)
+{
+    return tracedLeaf(trace::Leaf::Neexit, coreId, 0,
+                      [&] { return neexitImpl(coreId); });
+}
+
+Status
+Machine::neexitImpl(hw::CoreId coreId)
 {
     hw::Core& core = cores_[coreId];
     // Only meaningful from an inner frame entered via NEENTER: there must
@@ -114,16 +163,23 @@ Machine::neexit(hw::CoreId coreId)
     hw::EnclaveFrame frame = core.popFrame();
     if (Tcs* tcs = tcsAt(frame.tcs)) tcs->busy = false;
     if (config_.taggedTlb) {
-        ++stats_.flushesAvoided;
+        bus_.publishLight(trace::EventKind::TlbFlushAvoided, coreId,
+                          frame.eid);
     } else {
         flushCoreTlb(coreId);
     }
-    ++stats_.neexitCount;
     return Status::ok();
 }
 
 Status
 Machine::aex(hw::CoreId coreId)
+{
+    return tracedLeaf(trace::Leaf::Aex, coreId, 0,
+                      [&] { return aexImpl(coreId); });
+}
+
+Status
+Machine::aexImpl(hw::CoreId coreId)
 {
     hw::Core& core = cores_[coreId];
     if (!core.inEnclaveMode()) return Err::GeneralProtection;
@@ -135,6 +191,7 @@ Machine::aex(hw::CoreId coreId)
     // The whole nest is saved into the bottom-most TCS so ERESUME can
     // restore execution exactly where the exception hit.
     hw::Paddr bottomTcs = core.frames().front().tcs;
+    const std::uint64_t interruptedEid = core.frames().back().eid;
     Tcs* tcs = tcsAt(bottomTcs);
     if (!tcs) {
         // Fail closed: with no bottom TCS there is nowhere to save the
@@ -146,19 +203,30 @@ Machine::aex(hw::CoreId coreId)
         }
         core.clearFrames();
         flushCoreTlb(coreId);
-        ++stats_.aexCount;
+        trace::TraceEvent event =
+            coreEvent(trace::EventKind::AexTaken, coreId, interruptedEid);
+        event.code = std::uint16_t(Err::GeneralProtection);
+        bus_.publish(event);
         return Err::GeneralProtection;
     }
     tcs->savedFrames = core.frames();
     tcs->hasSavedFrames = true;
     core.clearFrames();
     flushCoreTlb(coreId);
-    ++stats_.aexCount;
+    bus_.publish(coreEvent(trace::EventKind::AexTaken, coreId, interruptedEid,
+                           bottomTcs));
     return Status::ok();
 }
 
 Status
 Machine::eresume(hw::CoreId coreId, hw::Paddr tcsPage)
+{
+    return tracedLeaf(trace::Leaf::Eresume, coreId, tcsPage,
+                      [&] { return eresumeImpl(coreId, tcsPage); });
+}
+
+Status
+Machine::eresumeImpl(hw::CoreId coreId, hw::Paddr tcsPage)
 {
     hw::Core& core = cores_[coreId];
     if (core.inEnclaveMode()) return Err::GeneralProtection;
@@ -201,7 +269,8 @@ Machine::eresume(hw::CoreId coreId, hw::Paddr tcsPage)
 
     charge(costs_.eenterCycles(config_.taggedTlb));
     if (config_.taggedTlb) {
-        ++stats_.flushesAvoided;
+        bus_.publishLight(trace::EventKind::TlbFlushAvoided, coreId,
+                          saved.empty() ? 0 : saved.back().eid);
     } else {
         flushCoreTlb(coreId);
     }
@@ -209,8 +278,9 @@ Machine::eresume(hw::CoreId coreId, hw::Paddr tcsPage)
         core.pushFrame(frame.secs, frame.tcs, frame.eid);
     }
     tcs->savedFrames.clear();
+#ifndef NESGX_BUG_ERESUME_PAIRING
     tcs->hasSavedFrames = false;
-    ++stats_.eresumeCount;
+#endif
     return Status::ok();
 }
 

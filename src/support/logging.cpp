@@ -1,12 +1,24 @@
 #include "support/logging.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace nesgx {
 
 namespace {
 
 LogLevel g_level = LogLevel::Off;
+LogSinkFn g_sinkFn = nullptr;
+void* g_sinkCtx = nullptr;
+
+/** Serializes console writes and sink callouts (and guards the hook
+ *  slot) so concurrent model threads never interleave half-lines. */
+std::mutex&
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
 
 const char*
 levelName(LogLevel level)
@@ -36,10 +48,44 @@ logLevel()
 }
 
 void
+setLogSink(LogSinkFn fn, void* ctx)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    g_sinkFn = fn;
+    g_sinkCtx = ctx;
+}
+
+void
+clearLogSink(void* ctx)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (g_sinkCtx == ctx) {
+        g_sinkFn = nullptr;
+        g_sinkCtx = nullptr;
+    }
+}
+
+bool
+logEnabled(LogLevel level)
+{
+    if (level >= g_level && level != LogLevel::Off) return true;
+    // A registered sink wants Warn/Error even when the console is quiet.
+    return g_sinkFn != nullptr && level >= LogLevel::Warn &&
+           level != LogLevel::Off;
+}
+
+void
 logLine(LogLevel level, const std::string& msg)
 {
-    if (level < g_level) return;
-    std::fprintf(stderr, "[nesgx %-5s] %s\n", levelName(level), msg.c_str());
+    if (level == LogLevel::Off) return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    if (level >= g_level) {
+        std::fprintf(stderr, "[nesgx %-5s] %s\n", levelName(level),
+                     msg.c_str());
+    }
+    if (g_sinkFn && level >= LogLevel::Warn) {
+        g_sinkFn(g_sinkCtx, level, msg.c_str());
+    }
 }
 
 }  // namespace nesgx

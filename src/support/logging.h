@@ -1,6 +1,12 @@
 /**
  * Minimal leveled logging. Off by default so tests and benches stay quiet;
  * examples enable Info to narrate what the emulated hardware is doing.
+ *
+ * A single sink hook lets the trace layer capture Warn/Error lines as
+ * events (so a trace shows model warnings in context) without the support
+ * library depending on trace. `logLine` serializes the console write and
+ * the sink callout under one mutex, so concurrent threads never interleave
+ * half-lines.
  */
 #pragma once
 
@@ -17,7 +23,22 @@ void setLogLevel(LogLevel level);
 /** Current global log threshold. */
 LogLevel logLevel();
 
-/** Emits a log line if `level` passes the threshold. */
+/**
+ * Warn/Error forwarding hook (one global slot, last registration wins).
+ * `msg` is only valid for the duration of the call. The callback runs
+ * under the logging mutex: it must not log.
+ */
+using LogSinkFn = void (*)(void* ctx, LogLevel level, const char* msg);
+void setLogSink(LogSinkFn fn, void* ctx);
+
+/** Clears the hook iff `ctx` still owns it (safe concurrent teardown). */
+void clearLogSink(void* ctx);
+
+/** True when a line at `level` would go anywhere (console or sink). */
+bool logEnabled(LogLevel level);
+
+/** Emits a log line: console if `level` passes the threshold, sink hook
+ *  for Warn/Error. Thread-safe. */
 void logLine(LogLevel level, const std::string& msg);
 
 namespace detail {
@@ -44,7 +65,7 @@ class LogStream {
 }  // namespace nesgx
 
 #define NESGX_LOG(level) \
-    if (::nesgx::logLevel() <= (level)) ::nesgx::detail::LogStream(level)
+    if (::nesgx::logEnabled(level)) ::nesgx::detail::LogStream(level)
 #define NESGX_DEBUG NESGX_LOG(::nesgx::LogLevel::Debug)
 #define NESGX_INFO NESGX_LOG(::nesgx::LogLevel::Info)
 #define NESGX_WARN NESGX_LOG(::nesgx::LogLevel::Warn)

@@ -1,0 +1,37 @@
+/** Per-kind event counter sink for tests (header-only). */
+#pragma once
+
+#include <array>
+
+#include "trace/event.h"
+#include "trace/sink.h"
+
+namespace nesgx::trace {
+
+class CountingSink : public TraceSink {
+  public:
+    void onEvent(const TraceEvent& event) override
+    {
+        ++counts_[std::size_t(event.kind)];
+        ++total_;
+    }
+
+    std::uint64_t count(EventKind kind) const
+    {
+        return counts_[std::size_t(kind)];
+    }
+
+    std::uint64_t total() const { return total_; }
+
+    void reset()
+    {
+        counts_.fill(0);
+        total_ = 0;
+    }
+
+  private:
+    std::array<std::uint64_t, kEventKindCount> counts_{};
+    std::uint64_t total_ = 0;
+};
+
+}  // namespace nesgx::trace

@@ -1,0 +1,41 @@
+#include "trace/ring_sink.h"
+
+namespace nesgx::trace {
+
+void
+RingBufferSink::onEvent(const TraceEvent& event)
+{
+    Record record;
+    record.event = event;
+    if (event.text) {
+        record.text = event.text;
+        record.event.text = nullptr;  // the borrowed pointer dies with dispatch
+    }
+    record.seq = nextSeq_++;
+    records_.push_back(std::move(record));
+    while (records_.size() > capacity_) {
+        records_.pop_front();
+        ++dropped_;
+    }
+}
+
+std::vector<std::string>
+RingBufferSink::formatAll() const
+{
+    std::vector<std::string> out;
+    out.reserve(records_.size());
+    for (const Record& r : records_) {
+        out.push_back(formatEvent(r.event, r.text));
+    }
+    return out;
+}
+
+void
+RingBufferSink::clear()
+{
+    records_.clear();
+    dropped_ = 0;
+    // nextSeq_ keeps counting: cursors held by consumers stay valid.
+}
+
+}  // namespace nesgx::trace

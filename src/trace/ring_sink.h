@@ -1,0 +1,83 @@
+/**
+ * Bounded in-memory event ring for post-mortem dumps.
+ *
+ * Keeps the newest `capacity` events; older ones are dropped (counted).
+ * Every retained event carries a monotonically increasing sequence
+ * number, so incremental consumers (the checker's trace-level oracle)
+ * can resume from a cursor and detect gaps after overflow.
+ */
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "trace/event.h"
+#include "trace/sink.h"
+
+namespace nesgx::trace {
+
+class RingBufferSink : public TraceSink {
+  public:
+    struct Record {
+        TraceEvent event;   ///< event.text is nulled; see `text` below
+        std::string text;   ///< owned copy of the borrowed text payload
+        std::uint64_t seq = 0;
+    };
+
+    static constexpr std::size_t kDefaultCapacity = 4096;
+
+    explicit RingBufferSink(std::size_t capacity = kDefaultCapacity)
+        : capacity_(capacity == 0 ? 1 : capacity)
+    {
+    }
+
+    void onEvent(const TraceEvent& event) override;
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t size() const { return records_.size(); }
+
+    /** Sequence number the next event will get (== total ever seen). */
+    std::uint64_t nextSeq() const { return nextSeq_; }
+
+    /** Sequence number of the oldest retained event. */
+    std::uint64_t firstSeq() const
+    {
+        return records_.empty() ? nextSeq_ : records_.front().seq;
+    }
+
+    /** Events lost to capacity since construction/clear. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Oldest-to-newest view of the retained events. */
+    const std::deque<Record>& records() const { return records_; }
+
+    /**
+     * Visits retained events with seq >= `cursor` in order and returns
+     * the cursor for the next call (== nextSeq()). Events older than the
+     * ring were dropped; callers can compare `cursor` with firstSeq() to
+     * detect the gap before calling.
+     */
+    template <typename Fn>
+    std::uint64_t consumeFrom(std::uint64_t cursor, Fn&& fn) const
+    {
+        for (const Record& r : records_) {
+            if (r.seq >= cursor) fn(r);
+        }
+        return nextSeq_;
+    }
+
+    /** Formatted oldest-to-newest dump, one line per event. */
+    std::vector<std::string> formatAll() const;
+
+    void clear();
+
+  private:
+    std::size_t capacity_;
+    std::deque<Record> records_;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+}  // namespace nesgx::trace

@@ -1,0 +1,20 @@
+/** Subscriber interface for the trace bus (bus.h). */
+#pragma once
+
+#include "trace/event.h"
+
+namespace nesgx::trace {
+
+class TraceSink {
+  public:
+    virtual ~TraceSink() = default;
+
+    /**
+     * Receives one published event. Called synchronously from the
+     * emission site: sinks must not call back into the Machine (the
+     * model is mid-leaf) and must copy `event.text` if they retain it.
+     */
+    virtual void onEvent(const TraceEvent& event) = 0;
+};
+
+}  // namespace nesgx::trace

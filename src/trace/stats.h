@@ -1,0 +1,118 @@
+/**
+ * StatsCounters: the counter block formerly known as `Machine::Stats`,
+ * now derived from the event stream instead of mutated inline.
+ *
+ * StatsSink::accumulate is the single place that maps events onto
+ * counters; the TraceBus owns one StatsSink and calls accumulate
+ * directly (non-virtually), so with no subscribers attached every
+ * emission folds to "branch + counter increment" after inlining — the
+ * kind argument is a compile-time constant at every call site, so the
+ * switch disappears.
+ *
+ * Counter semantics are bit-compatible with the pre-bus inline
+ * increments; the quirks worth knowing:
+ *  - aexCount counts AexTaken events, which the machine emits on the
+ *    success path AND the fail-closed null-bottom-TCS path (both paths
+ *    accounted an AEX before the refactor).
+ *  - transition counters (eenterCount, ...) count successful LeafExit
+ *    events; AEX is excluded there (see above).
+ *  - tlbFlushes counts only full per-core flushes (TlbFlush), never the
+ *    selective invalidations (TlbInvalidatePage/Secs).
+ */
+#pragma once
+
+#include "trace/event.h"
+#include "trace/sink.h"
+
+namespace nesgx::trace {
+
+struct StatsCounters {
+    std::uint64_t tlbMisses = 0;
+    std::uint64_t tlbHits = 0;
+    std::uint64_t nestedChecks = 0;   ///< outer-chain walks taken
+    std::uint64_t accessFaults = 0;
+    std::uint64_t eenterCount = 0;
+    std::uint64_t eexitCount = 0;
+    std::uint64_t neenterCount = 0;
+    std::uint64_t neexitCount = 0;
+    std::uint64_t aexCount = 0;
+    std::uint64_t eresumeCount = 0;
+    std::uint64_t ipiCount = 0;
+    std::uint64_t meeLines = 0;       ///< cachelines through the MEE
+    std::uint64_t llcHitLines = 0;
+    // --- tagged-TLB / closure-cache fast path -----------------------
+    std::uint64_t tlbFlushes = 0;        ///< full per-core flushes taken
+    std::uint64_t flushesAvoided = 0;    ///< transitions that skipped one
+    std::uint64_t closureCacheHits = 0;
+    std::uint64_t closureCacheMisses = 0;
+    std::uint64_t taggedLookupRejects = 0; ///< VPN hit, wrong context tag
+};
+
+class StatsSink : public TraceSink {
+  public:
+    StatsCounters& counters() { return counters_; }
+    const StatsCounters& counters() const { return counters_; }
+    void reset() { counters_ = StatsCounters{}; }
+
+    /** Counter fold for every kind but LeafExit. This is the no-sink
+     *  emission fast path: `kind` is a compile-time constant at every
+     *  call site, so after inlining the switch folds to one increment —
+     *  no TraceEvent is ever materialized. */
+    void accumulateLight(EventKind kind, std::uint64_t arg0 = 0,
+                         std::uint64_t arg1 = 0)
+    {
+        switch (kind) {
+          case EventKind::TlbHit: ++counters_.tlbHits; break;
+          case EventKind::TlbMiss: ++counters_.tlbMisses; break;
+          case EventKind::TlbTagReject:
+            counters_.taggedLookupRejects += arg0;
+            break;
+          case EventKind::TlbFlush: ++counters_.tlbFlushes; break;
+          case EventKind::TlbFlushAvoided: ++counters_.flushesAvoided; break;
+          case EventKind::ClosureCacheHit: ++counters_.closureCacheHits; break;
+          case EventKind::ClosureCacheMiss:
+            ++counters_.closureCacheMisses;
+            break;
+          case EventKind::NestedCheck: ++counters_.nestedChecks; break;
+          case EventKind::AccessFault: ++counters_.accessFaults; break;
+          case EventKind::DataPath:
+            counters_.llcHitLines += arg0;
+            counters_.meeLines += arg1;
+            break;
+          case EventKind::AexTaken: ++counters_.aexCount; break;
+          case EventKind::Ipi: ++counters_.ipiCount; break;
+          default: break;
+        }
+    }
+
+    /** Counter fold for successful leaf exits (same fast-path contract). */
+    void accumulateLeafExit(Leaf leaf, std::uint16_t code)
+    {
+        if (code != 0) return;
+        switch (leaf) {
+          case Leaf::Eenter: ++counters_.eenterCount; break;
+          case Leaf::Eexit: ++counters_.eexitCount; break;
+          case Leaf::Neenter: ++counters_.neenterCount; break;
+          case Leaf::Neexit: ++counters_.neexitCount; break;
+          case Leaf::Eresume: ++counters_.eresumeCount; break;
+          default: break;
+        }
+    }
+
+    /** Folds one event into the counters (the non-virtual hot path). */
+    void accumulate(const TraceEvent& event)
+    {
+        if (event.kind == EventKind::LeafExit) {
+            accumulateLeafExit(event.leaf, event.code);
+        } else {
+            accumulateLight(event.kind, event.arg0, event.arg1);
+        }
+    }
+
+    void onEvent(const TraceEvent& event) override { accumulate(event); }
+
+  private:
+    StatsCounters counters_;
+};
+
+}  // namespace nesgx::trace

@@ -129,6 +129,46 @@ main(int argc, char** argv)
         json.set("nested_mbs_" + std::to_string(chunk), nestedMBs);
     }
 
+    header("Latency percentiles: per-message round trip (1 KiB chunks)");
+    note("one message sent + served at a time, cycle delta per round trip;");
+    note("nearest-rank percentiles over the full run (shared Histogram");
+    note("helper from the serving layer)");
+    std::printf("\n  %10s %10s %10s %10s %10s %10s\n", "layout", "msgs",
+                "p50 cyc", "p95 cyc", "p99 cyc", "mean cyc");
+    for (auto layout :
+         {nesgx::apps::Layout::Monolithic, nesgx::apps::Layout::Nested}) {
+        const bool nested = layout == nesgx::apps::Layout::Nested;
+        std::uint64_t messages =
+            std::max<std::uint64_t>(volume / (1024 * 8), 32);
+        auto config = defaultConfig();
+        BenchWorld world(config);
+        nesgx::Bytes key(16, 0x5c);
+        auto server =
+            nesgx::apps::EchoServer::create(*world.urts, layout, key)
+                .orThrow("server");
+        nesgx::apps::EchoClient client(key);
+        Histogram latency;
+        for (std::uint64_t i = 0; i < messages; ++i) {
+            client.sendData(server->network(), 1024);
+            std::uint64_t before = world.machine.clock().cycles();
+            server->run(1).orThrow("run");
+            latency.add(world.machine.clock().cycles() - before);
+            client.receive(server->network()).orThrow("receive");
+        }
+        const char* name = nested ? "nested" : "mono";
+        std::printf("  %10s %10llu %10llu %10llu %10llu %10.0f\n", name,
+                    (unsigned long long)messages,
+                    (unsigned long long)latency.p50(),
+                    (unsigned long long)latency.p95(),
+                    (unsigned long long)latency.p99(), latency.mean());
+        json.set(std::string(name) + "_echo_p50_cycles",
+                 double(latency.p50()));
+        json.set(std::string(name) + "_echo_p95_cycles",
+                 double(latency.p95()));
+        json.set(std::string(name) + "_echo_p99_cycles",
+                 double(latency.p99()));
+    }
+
     header("Ablation: context-tagged TLB on the nested echo workload");
     note("same fixed volume; cycles per message, flushed vs tagged TLB");
     note("closure hits are per-run; the flushed run re-validates after every");

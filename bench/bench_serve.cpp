@@ -1,0 +1,288 @@
+/**
+ * Serving-layer benchmark: the two headline properties of src/serve.
+ *
+ *  1. Batching amortizes enclave transitions. A closed-loop sweep over
+ *     worker batch sizes measures NEENTER per request: batch-1 pays one
+ *     EENTER + one NEENTER per request; batch-8 pays the same pair per
+ *     *batch*, so the per-request transition cost drops with occupancy.
+ *
+ *  2. The service stays correct under EPC pressure. A run with many
+ *     more tenants than the (shrunken) EPC can hold forces the pressure
+ *     manager through dozens of EBLOCK/ETRACK/EWB tenant evictions and
+ *     transparent ELDU reloads — and every sealed response must still
+ *     verify byte-for-byte client-side (sql responses against a shadow
+ *     database replay).
+ *
+ * An open-loop section in between drives bursty arrivals against a
+ * request deadline, exercising admission backpressure and shedding.
+ *
+ * JSON keys asserted by CI: neenter_per_req_batch1 > neenter_per_req_batch8,
+ * pressure_evictions >= 10, pressure_integrity_failures == 0.
+ */
+#include <memory>
+
+#include "bench_util.h"
+#include "serve/client.h"
+#include "serve/service.h"
+#include "trace/chrome_sink.h"
+
+namespace nesgx::bench {
+namespace {
+
+struct ServeResult {
+    std::uint64_t submitted = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t backpressured = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t eenter = 0;
+    std::uint64_t neenter = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batchedRequests = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t reloads = 0;
+    Histogram latency;
+};
+
+struct ServeParams {
+    std::uint64_t tenants = 6;
+    std::uint64_t requests = 240;
+    std::size_t batch = 8;
+    std::uint64_t epcPages = 0;     ///< 0 = ample EPC
+    std::uint64_t deadline = 0;     ///< relative cycles; 0 = no shedding
+    bool openLoop = false;          ///< burst arrivals instead of paced
+    std::string chromeTracePath;
+};
+
+ServeResult
+runServe(const ServeParams& params)
+{
+    auto config = defaultConfig();
+    if (params.epcPages > 0) {
+        // Shrink the PRM so tenant working sets exceed the EPC and the
+        // pressure manager has to page (same knob as nesgx_serve
+        // --epc-pages; +64 pages of VA-tracking slack).
+        config.prmBytes = (params.epcPages + 64) * hw::kPageSize;
+    }
+    BenchWorld world(config);
+
+    std::unique_ptr<trace::ChromeTraceSink> sink;
+    if (!params.chromeTracePath.empty()) {
+        sink = std::make_unique<trace::ChromeTraceSink>(
+            world.machine.clock().frequencyHz() / 1e6, false);
+        world.machine.trace().subscribe(sink.get());
+    }
+
+    serve::TenantService::Config sc;
+    sc.pool.batchSize = params.batch;
+    sc.admission.deadlineCycles = params.deadline;
+    serve::TenantService service(*world.urts, sc);
+
+    // sql expectations replay on a client-side shadow database, which
+    // needs lossless delivery; under deadline shedding stick to the
+    // per-request echo/svm workloads.
+    const std::vector<serve::Workload> mix =
+        params.deadline == 0
+            ? std::vector<serve::Workload>{serve::Workload::Echo,
+                                           serve::Workload::Sql,
+                                           serve::Workload::Svm}
+            : std::vector<serve::Workload>{serve::Workload::Echo,
+                                           serve::Workload::Svm};
+
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (std::uint64_t t = 0; t < params.tenants; ++t) {
+        auto workload = mix[t % mix.size()];
+        service.addTenant(serve::TenantId(t), workload).orThrow("tenant");
+        clients.push_back(std::make_unique<serve::TenantClient>(
+            serve::TenantId(t), workload));
+    }
+
+    ServeResult result;
+    auto drainInto = [&]() {
+        for (serve::Completion& done : service.drain()) {
+            result.latency.add(done.latencyCycles);
+            if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+                ++result.verified;
+            }
+        }
+    };
+
+    std::uint64_t cursor = 0;
+    while (result.submitted < params.requests) {
+        const serve::TenantId t = serve::TenantId(cursor % params.tenants);
+        ++cursor;
+        Bytes req = clients[t]->nextRequest();
+        Status st = service.submit(t, std::move(req));
+        if (st.code() == Err::Backpressure) {
+            ++result.backpressured;
+            clients[t]->onDropped();
+            service.pump(4);
+            drainInto();
+            continue;
+        }
+        st.orThrow("submit");
+        ++result.submitted;
+        // Closed loop pumps once per full round of batches; open loop
+        // keeps bursting until backpressure does the pacing.
+        const std::uint64_t window = params.openLoop
+                                         ? params.requests
+                                         : params.batch * params.tenants;
+        if (result.submitted % window == 0) {
+            service.pump();
+            drainInto();
+        }
+    }
+    service.pump();
+    drainInto();
+
+    for (const auto& client : clients) {
+        result.failures += client->failures();
+    }
+    result.shed = service.admission().shed();
+    const auto& counters = world.machine.trace().counters();
+    result.eenter = counters.eenterCount;
+    result.neenter = counters.neenterCount;
+    result.batches = counters.serveBatches;
+    result.batchedRequests = counters.serveBatchedRequests;
+    result.evictions = counters.serveTenantEvictions;
+    result.reloads = counters.serveTenantReloads;
+
+    if (sink) {
+        world.machine.trace().unsubscribe(sink.get());
+        if (sink->writeFile(params.chromeTracePath)) {
+            std::printf("  [chrome trace written to %s (%zu events)]\n",
+                        params.chromeTracePath.c_str(), sink->eventCount());
+        } else {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         params.chromeTracePath.c_str());
+            std::exit(1);
+        }
+    }
+    return result;
+}
+
+}  // namespace
+}  // namespace nesgx::bench
+
+int
+main(int argc, char** argv)
+{
+    using namespace nesgx::bench;
+    Flags flags(argc, argv);
+    std::uint64_t tenants = flags.u64("tenants", 6);
+    std::uint64_t requests = flags.u64("requests", 240);
+    const std::string chromeTrace = flags.str("chrome-trace", "");
+    JsonReport json;
+
+    header("Serve bench 1/3: NEENTER per request vs worker batch size");
+    note("closed loop, ample EPC; one EENTER+NEENTER per dispatched batch,");
+    note("so transitions per request fall as batch occupancy rises");
+    std::printf("\n  %6s %10s %12s %12s %14s %10s %10s\n", "batch", "verified",
+                "NEENTER", "neenter/req", "req/batch", "p50 cyc", "p99 cyc");
+    for (std::size_t batch : {std::size_t(1), std::size_t(2), std::size_t(4),
+                              std::size_t(8)}) {
+        ServeParams params;
+        params.tenants = tenants;
+        params.requests = requests;
+        params.batch = batch;
+        ServeResult r = runServe(params);
+        if (r.failures > 0) {
+            std::fprintf(stderr, "FAIL: %llu integrity failures at batch %zu\n",
+                         (unsigned long long)r.failures, batch);
+            return 1;
+        }
+        double perReq = double(r.neenter) / double(r.submitted);
+        std::printf("  %6zu %10llu %12llu %12.3f %14.2f %10llu %10llu\n",
+                    batch, (unsigned long long)r.verified,
+                    (unsigned long long)r.neenter, perReq,
+                    r.batches ? double(r.batchedRequests) / double(r.batches)
+                              : 0.0,
+                    (unsigned long long)r.latency.p50(),
+                    (unsigned long long)r.latency.p99());
+        json.set("neenter_per_req_batch" + std::to_string(batch), perReq);
+        if (batch == 8) {
+            json.set("batch8_p50_cycles", double(r.latency.p50()));
+            json.set("batch8_p95_cycles", double(r.latency.p95()));
+            json.set("batch8_p99_cycles", double(r.latency.p99()));
+        }
+    }
+
+    header("Serve bench 2/3: open-loop burst arrivals with deadlines");
+    note("the whole request volume arrives before the pool runs; bounded");
+    note("queues push back (Err::Backpressure) and queued requests that");
+    note("outlive their deadline are shed at dequeue, never dispatched");
+    {
+        ServeParams params;
+        params.tenants = tenants;
+        params.requests = requests;
+        params.batch = 8;
+        params.deadline = 150000;
+        params.openLoop = true;
+        ServeResult r = runServe(params);
+        if (r.failures > 0) {
+            std::fprintf(stderr, "FAIL: %llu integrity failures open-loop\n",
+                         (unsigned long long)r.failures);
+            return 1;
+        }
+        std::printf("\n  submitted %llu, verified %llu, shed %llu, "
+                    "backpressured %llu\n",
+                    (unsigned long long)r.submitted,
+                    (unsigned long long)r.verified,
+                    (unsigned long long)r.shed,
+                    (unsigned long long)r.backpressured);
+        std::printf("  latency cycles: p50 %llu  p95 %llu  p99 %llu\n",
+                    (unsigned long long)r.latency.p50(),
+                    (unsigned long long)r.latency.p95(),
+                    (unsigned long long)r.latency.p99());
+        json.set("open_loop_verified", double(r.verified));
+        json.set("open_loop_shed", double(r.shed));
+        json.set("open_loop_backpressured", double(r.backpressured));
+        json.set("open_loop_p99_cycles", double(r.latency.p99()));
+    }
+
+    header("Serve bench 3/3: correctness under EPC pressure");
+    note("4x the tenants on a small EPC: the pressure manager pages cold");
+    note("idle tenants out (EBLOCK/ETRACK/EWB) and the registry reloads");
+    note("them transparently (ELDU); every sealed response must still");
+    note("verify against the client's shadow expectations");
+    {
+        ServeParams params;
+        params.tenants = tenants * 4;
+        params.requests = requests * 2;
+        params.batch = 8;
+        params.epcPages = 1024;
+        params.chromeTracePath = chromeTrace;
+        ServeResult r = runServe(params);
+        std::printf("\n  tenants %llu, verified %llu/%llu, failures %llu\n",
+                    (unsigned long long)params.tenants,
+                    (unsigned long long)r.verified,
+                    (unsigned long long)r.submitted,
+                    (unsigned long long)r.failures);
+        std::printf("  tenant evictions %llu, reloads %llu\n",
+                    (unsigned long long)r.evictions,
+                    (unsigned long long)r.reloads);
+        std::printf("  latency cycles: p50 %llu  p95 %llu  p99 %llu\n",
+                    (unsigned long long)r.latency.p50(),
+                    (unsigned long long)r.latency.p95(),
+                    (unsigned long long)r.latency.p99());
+        json.set("pressure_evictions", double(r.evictions));
+        json.set("pressure_reloads", double(r.reloads));
+        json.set("pressure_integrity_failures", double(r.failures));
+        json.set("pressure_verified", double(r.verified));
+        json.set("pressure_p50_cycles", double(r.latency.p50()));
+        json.set("pressure_p95_cycles", double(r.latency.p95()));
+        json.set("pressure_p99_cycles", double(r.latency.p99()));
+        if (r.failures > 0) {
+            std::fprintf(stderr, "FAIL: integrity failures under pressure\n");
+            return 1;
+        }
+        if (r.evictions < 10) {
+            std::fprintf(stderr, "FAIL: expected >= 10 evictions, got %llu\n",
+                         (unsigned long long)r.evictions);
+            return 1;
+        }
+    }
+
+    json.writeIfRequested(flags);
+    return 0;
+}

@@ -82,6 +82,8 @@ opName(Op op)
         case Op::Access: return "Access";
         case Op::Schedule: return "Schedule";
         case Op::FaultNextEextend: return "FaultNextEextend";
+        case Op::EvictAll: return "EvictAll";
+        case Op::ReloadAll: return "ReloadAll";
     }
     return "?";
 }
@@ -332,6 +334,40 @@ CheckWorld::apply(const Step& step)
         case Op::FaultNextEextend:
             kernel_.failNextEextend();
             return Status::ok();
+        case Op::EvictAll: {
+            // The serving layer's tenant-eviction pattern: walk the
+            // driver record and EBLOCK/ETRACK/EWB everything evictable,
+            // skipping pages that refuse (TCS, already blocked). Racing
+            // this against in-progress entries on other cores is the
+            // evict-while-entering coverage the corpus needs.
+            if (slot.secsPage == 0) return Err::OsError;
+            const os::EnclaveRecord* rec =
+                kernel_.enclaveRecord(slot.secsPage);
+            if (!rec || rec->pages.empty()) return Err::OsError;
+            std::vector<hw::Vaddr> vas;
+            vas.reserve(rec->pages.size());
+            for (const auto& [va, pa] : rec->pages) vas.push_back(va);
+            std::uint64_t written = 0;
+            for (hw::Vaddr va : vas) {
+                if (kernel_.evictPage(slot.secsPage, va)) ++written;
+            }
+            return written > 0 ? Status::ok() : Status(Err::InvalidEpcPage);
+        }
+        case Op::ReloadAll: {
+            if (slot.secsPage == 0) return Err::OsError;
+            const os::EnclaveRecord* rec =
+                kernel_.enclaveRecord(slot.secsPage);
+            if (!rec || rec->evicted.empty()) return Err::OsError;
+            std::vector<hw::Vaddr> vas;
+            vas.reserve(rec->evicted.size());
+            for (const auto& [va, blob] : rec->evicted) vas.push_back(va);
+            Status first = Status::ok();
+            for (hw::Vaddr va : vas) {
+                Status st = kernel_.reloadPage(slot.secsPage, va);
+                if (!st && first.isOk()) first = st;
+            }
+            return first;
+        }
     }
     return Err::OsError;
 }

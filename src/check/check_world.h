@@ -50,9 +50,12 @@ enum class Op : std::uint8_t {
     Access,           ///< validated 8-byte read/write from core
     Schedule,         ///< context switch on core (TLB flush)
     FaultNextEextend, ///< arm the kernel's one-shot EEXTEND fault
+    EvictAll,         ///< bulk-evict every evictable page of slotA (the
+                      ///< serving layer's tenant-eviction pattern)
+    ReloadAll,        ///< reload every evicted page of slotA
 };
 
-constexpr std::uint8_t kOpCount = std::uint8_t(Op::FaultNextEextend) + 1;
+constexpr std::uint8_t kOpCount = std::uint8_t(Op::ReloadAll) + 1;
 
 const char* opName(Op op);
 

@@ -29,6 +29,8 @@ constexpr WeightedOp kWeights[] = {
     {Op::Aex, 7},
     {Op::Evict, 6},
     {Op::Reload, 6},
+    {Op::EvictAll, 4},
+    {Op::ReloadAll, 4},
     {Op::Destroy, 4},
     {Op::EblockRaw, 3},
     {Op::EtrackRaw, 3},
@@ -101,6 +103,8 @@ enabled(const CheckWorld& world, Op op)
         case Op::Access: return true;
         case Op::Schedule: return true;
         case Op::FaultNextEextend: return true;
+        case Op::EvictAll: return anySlot(world, +hasPages);
+        case Op::ReloadAll: return anySlot(world, +created);
     }
     return false;
 }

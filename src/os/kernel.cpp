@@ -1,5 +1,6 @@
 #include "os/kernel.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace nesgx::os {
@@ -117,6 +118,8 @@ Kernel::createEnclave(Pid pid, hw::Vaddr base, std::uint64_t size,
     EnclaveRecord rec;
     rec.pid = pid;
     rec.secsPage = secsPage.value();
+    rec.createSeq = nextCreateSeq_++;
+    rec.lastUseTick = ++useTick_;
     enclaves_[secsPage.value()] = std::move(rec);
     return secsPage.value();
 }
@@ -283,6 +286,7 @@ Kernel::evictPage(hw::Paddr secsPage, hw::Vaddr vaddr)
 
     it->second.evicted[vaddr] = std::move(blob.value());
     it->second.pages.erase(pageIt);
+    ++it->second.evictCount;
     process(it->second.pid).pageTable().setPresent(vaddr, false);
     freeEpcPage(epcPage);
     publishOs(machine_, trace::EventKind::OsEvictEnd, secsPage, vaddr);
@@ -321,6 +325,51 @@ Kernel::enclaveRecord(hw::Paddr secsPage) const
 {
     auto it = enclaves_.find(secsPage);
     return it == enclaves_.end() ? nullptr : &it->second;
+}
+
+void
+Kernel::touchEnclave(hw::Paddr secsPage)
+{
+    auto it = enclaves_.find(secsPage);
+    if (it == enclaves_.end()) return;
+    it->second.lastUseTick = ++useTick_;
+}
+
+std::vector<hw::Paddr>
+Kernel::evictionCandidates() const
+{
+    std::vector<const EnclaveRecord*> recs;
+    recs.reserve(enclaves_.size());
+    for (const auto& [secs, rec] : enclaves_) {
+        if (!rec.pages.empty()) recs.push_back(&rec);
+    }
+    std::sort(recs.begin(), recs.end(),
+              [](const EnclaveRecord* a, const EnclaveRecord* b) {
+                  if (a->lastUseTick != b->lastUseTick) {
+                      return a->lastUseTick < b->lastUseTick;
+                  }
+                  if (a->createSeq != b->createSeq) {
+                      return a->createSeq < b->createSeq;
+                  }
+                  return a->secsPage < b->secsPage;
+              });
+    std::vector<hw::Paddr> out;
+    out.reserve(recs.size());
+    for (const EnclaveRecord* rec : recs) out.push_back(rec->secsPage);
+    return out;
+}
+
+Result<hw::Paddr>
+Kernel::pickEvictVictim(const std::function<bool(hw::Paddr)>& eligible)
+{
+    for (hw::Paddr secs : evictionCandidates()) {
+        if (eligible && !eligible(secs)) continue;
+        machine_.trace().publishLight(trace::EventKind::OsVictimPick,
+                                      trace::kNoCore, 0, secs,
+                                      enclaves_.at(secs).lastUseTick);
+        return secs;
+    }
+    return Err::NotFound;
 }
 
 void

@@ -7,6 +7,7 @@
  */
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -25,6 +26,13 @@ struct EnclaveRecord {
     std::map<hw::Vaddr, hw::Paddr> pages;
     /** Evicted pages parked in (untrusted) kernel memory. */
     std::map<hw::Vaddr, sgx::EvictedPage> evicted;
+    /** Creation order (age tie-break for victim selection). */
+    std::uint64_t createSeq = 0;
+    /** Last-use tick: bumped by `touchEnclave` (the runtimes call it on
+     *  every entry), so victim selection can be genuinely LRU. */
+    std::uint64_t lastUseTick = 0;
+    /** Pages this enclave has had evicted over its lifetime (stat). */
+    std::uint64_t evictCount = 0;
 };
 
 class Kernel {
@@ -80,6 +88,29 @@ class Kernel {
 
     const EnclaveRecord* enclaveRecord(hw::Paddr secsPage) const;
 
+    // --- eviction-victim selection ---------------------------------------
+    /**
+     * Marks an enclave recently used (the SDK runtimes call this on every
+     * ecall / nested ecall). Ticks are a kernel-local logical clock, so
+     * victim ordering is deterministic across runs.
+     */
+    void touchEnclave(hw::Paddr secsPage);
+
+    /**
+     * SECS PAs of every enclave with at least one resident (non-SECS)
+     * page, sorted coldest-first: by last-use tick, then creation order,
+     * then SECS PA. Fully deterministic; no map-iteration-order luck.
+     */
+    std::vector<hw::Paddr> evictionCandidates() const;
+
+    /**
+     * Picks the coldest eviction candidate accepted by `eligible`
+     * (pass nullptr to accept all). Publishes an OsVictimPick event and
+     * returns the chosen SECS PA, or NotFound if nothing qualifies.
+     */
+    Result<hw::Paddr> pickEvictVictim(
+        const std::function<bool(hw::Paddr)>& eligible = nullptr);
+
     /** Free EPC pages remaining. */
     std::size_t freeEpcPages() const { return epcFreeList_.size(); }
 
@@ -120,6 +151,8 @@ class Kernel {
     hw::Paddr nextFrame_;
     std::map<hw::Paddr, EnclaveRecord> enclaves_;
     bool failNextEextend_ = false;
+    std::uint64_t useTick_ = 0;       ///< logical LRU clock
+    std::uint64_t nextCreateSeq_ = 0; ///< enclave creation counter
 };
 
 }  // namespace nesgx::os

@@ -107,6 +107,7 @@ TrustedEnv::nEcall(LoadedEnclave& inner, const std::string& name, ByteView arg)
     // data-path (LLC/MEE) cost is charged when the callee touches the
     // bytes (paper §IV-A).
     ++urts_.stats_.nEcalls;
+    urts_.kernel_.touchEnclave(inner.secsPage_);
     publishSdk(m, trace::EventKind::SdkNEcallBegin, core_, name.c_str());
 
     Status st = m.neenter(core_, tcs.value());
@@ -301,6 +302,7 @@ Urts::ecall(LoadedEnclave* enclave, const std::string& name, ByteView arg,
     // ecall arguments traverse untrusted memory into the enclave.
     m.charge(m.costs().copyBytes(arg.size()));
     ++stats_.ecalls;
+    kernel_.touchEnclave(enclave->secsPage_);
     publishSdk(m, trace::EventKind::SdkEcallBegin, core, name.c_str());
 
     Status st = m.eenter(core, tcs.value());
@@ -334,6 +336,8 @@ Urts::ecallNested(LoadedEnclave* outer, LoadedEnclave* inner,
     m.charge(m.costs().ecallDispatch);
     m.charge(m.costs().copyBytes(arg.size()));
     ++stats_.ecalls;
+    kernel_.touchEnclave(outer->secsPage_);
+    kernel_.touchEnclave(inner->secsPage_);
     publishSdk(m, trace::EventKind::SdkEcallBegin, core, name.c_str());
 
     Status st = m.eenter(core, outerTcs.value());

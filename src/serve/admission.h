@@ -1,0 +1,74 @@
+/**
+ * AdmissionController: bounded per-tenant request queues with
+ * backpressure and deadline-based shedding.
+ *
+ * Submission into a full queue is refused with Err::Backpressure (the
+ * client's signal to back off); queued requests that outlive their
+ * deadline are shed at dequeue time — the service never spends an
+ * enclave transition on a request whose client has given up. Tenants
+ * are drained round-robin so one hot tenant cannot starve the rest.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+
+#include "serve/protocol.h"
+#include "sgx/machine.h"
+
+namespace nesgx::serve {
+
+struct Request {
+    std::uint64_t id = 0;
+    TenantId tenant = 0;
+    std::uint64_t enqueuedAt = 0;  ///< sim-clock cycles at submit
+    std::uint64_t deadline = 0;    ///< absolute cycles; 0 = none
+    Bytes sealed;
+};
+
+class AdmissionController {
+  public:
+    struct Config {
+        std::size_t maxQueueDepth = 64;
+        /** Relative deadline applied at submit; 0 disables shedding. */
+        std::uint64_t deadlineCycles = 0;
+    };
+
+    AdmissionController(sgx::Machine& machine, Config config)
+        : machine_(&machine), config_(config)
+    {
+    }
+
+    /** Enqueues one sealed request; Err::Backpressure when full. */
+    Status submit(TenantId tenant, Bytes sealed);
+
+    /** Pops up to `max` live requests for the tenant, shedding expired
+     *  ones from the head first. */
+    std::vector<Request> takeBatch(TenantId tenant, std::size_t max);
+
+    /** Round-robin pick of the next tenant with queued work. */
+    std::optional<TenantId> nextTenant();
+
+    std::size_t depth(TenantId tenant) const;
+    std::size_t totalQueued() const { return totalQueued_; }
+
+    std::uint64_t submitted() const { return submitted_; }
+    std::uint64_t rejected() const { return rejected_; }
+    std::uint64_t shed() const { return shed_; }
+
+  private:
+    sgx::Machine* machine_;
+    Config config_;
+    std::map<TenantId, std::deque<Request>> queues_;
+    TenantId lastTenant_ = 0;
+    bool haveLast_ = false;
+    std::size_t totalQueued_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t submitted_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t shed_ = 0;
+};
+
+}  // namespace nesgx::serve

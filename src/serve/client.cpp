@@ -1,0 +1,102 @@
+#include "serve/client.h"
+
+namespace nesgx::serve {
+
+TenantClient::TenantClient(TenantId tenant, Workload workload)
+    : tenant_(tenant), workload_(workload), gcm_(tenantKey(tenant)),
+      rng_(0x5e7ea11ull * (tenant + 1))
+{
+}
+
+Bytes
+TenantClient::makePlaintext(std::uint64_t seq, Bytes& expectedResponse)
+{
+    switch (workload_) {
+      case Workload::Echo: {
+        Bytes payload = rng_.bytes(48 + seq % 96);
+        expectedResponse = payload;
+        return payload;
+      }
+      case Workload::Sql: {
+        std::string stmt;
+        const std::int64_t key = std::int64_t(sqlStep_ % 100);
+        if (sqlStep_ == 0) {
+            stmt = "CREATE TABLE t (k, v)";
+        } else {
+            switch (sqlStep_ % 3) {
+              case 1:
+                stmt = "INSERT INTO t VALUES (" + std::to_string(key) +
+                       ", 'v" + std::to_string(sqlStep_) + "')";
+                break;
+              case 2:
+                stmt = "SELECT * FROM t WHERE k = " + std::to_string(key);
+                break;
+              default:
+                stmt = "UPDATE t SET v = 'u" + std::to_string(sqlStep_) +
+                       "' WHERE k = " + std::to_string(key);
+                break;
+            }
+        }
+        ++sqlStep_;
+        // The shadow database mirrors the server's engine statement by
+        // statement, so sql expectations are only valid when every
+        // request is delivered in order — drive sql tenants without
+        // deadline shedding (echo/svm expectations are per-request and
+        // tolerate gaps).
+        db::QueryResult r = shadowDb_.execute(stmt);
+        expectedResponse =
+            bytesOf(sqlResultText(r.ok, r.error, r.rowsAffected,
+                                  r.rows.size()));
+        return bytesOf(stmt);
+      }
+      case Workload::Svm: {
+        Bytes features = rng_.bytes(16);
+        expectedResponse.resize(8);
+        storeLe64(expectedResponse.data(),
+                  std::uint64_t(svmScore(tenant_, features)));
+        return features;
+      }
+    }
+    expectedResponse.clear();
+    return Bytes{};
+}
+
+Bytes
+TenantClient::nextRequest()
+{
+    const std::uint64_t seq = ++sendSeq_;
+    Bytes expectedResponse;
+    Bytes plain = makePlaintext(seq, expectedResponse);
+    expected_[seq] = std::move(expectedResponse);
+    return sealMessage(gcm_, tenant_, kDirRequest, seq, plain);
+}
+
+bool
+TenantClient::onResponse(ByteView sealedResponse)
+{
+    if (sealedResponse.empty()) {
+        ++failures_;
+        return false;
+    }
+    auto opened = openMessage(gcm_, tenant_, kDirResponse, sealedResponse);
+    if (!opened) {
+        ++failures_;
+        return false;
+    }
+    auto it = expected_.find(opened.value().seq);
+    if (it == expected_.end() || it->second != opened.value().plain) {
+        ++failures_;
+        return false;
+    }
+    expected_.erase(it);
+    ++verified_;
+    return true;
+}
+
+void
+TenantClient::onDropped()
+{
+    if (!expected_.empty()) expected_.erase(expected_.begin());
+}
+
+}  // namespace nesgx::serve

@@ -1,0 +1,63 @@
+/**
+ * TenantClient: the untrusted-network side of one tenant.
+ *
+ * Generates deterministic workload requests (echo / sql / svm), seals
+ * them under the tenant key, and verifies every sealed response
+ * byte-for-byte against a locally computed expectation — for sql that
+ * means replaying the same statement on a shadow database, for svm
+ * recomputing the linear score. This is the end-to-end integrity check
+ * the pressure experiments rely on: if an eviction/reload cycle ever
+ * corrupted tenant state, responses stop matching.
+ */
+#pragma once
+
+#include <map>
+
+#include "db/executor.h"
+#include "serve/protocol.h"
+#include "support/rng.h"
+
+namespace nesgx::serve {
+
+class TenantClient {
+  public:
+    TenantClient(TenantId tenant, Workload workload);
+
+    TenantId tenant() const { return tenant_; }
+    Workload workload() const { return workload_; }
+
+    /** Builds and seals the next request (seq advances every call, even
+     *  if the service later sheds it). */
+    Bytes nextRequest();
+
+    /** Verifies one sealed response; false on any mismatch. An empty
+     *  response (shed/refused marker) counts as a failure here — track
+     *  those separately with `onDropped`. */
+    bool onResponse(ByteView sealedResponse);
+
+    /** Records that a request was shed/rejected (drops its pending
+     *  expectation so bookkeeping stays bounded). */
+    void onDropped();
+
+    std::uint64_t requestsSent() const { return sendSeq_; }
+    std::uint64_t verified() const { return verified_; }
+    std::uint64_t failures() const { return failures_; }
+    std::size_t pending() const { return expected_.size(); }
+
+  private:
+    Bytes makePlaintext(std::uint64_t seq, Bytes& expectedResponse);
+
+    TenantId tenant_;
+    Workload workload_;
+    crypto::AesGcm gcm_;
+    Rng rng_;
+    std::uint64_t sendSeq_ = 0;
+    /** seq -> expected response plaintext, FIFO-dropped via onDropped. */
+    std::map<std::uint64_t, Bytes> expected_;
+    db::Database shadowDb_;
+    std::uint64_t sqlStep_ = 0;
+    std::uint64_t verified_ = 0;
+    std::uint64_t failures_ = 0;
+};
+
+}  // namespace nesgx::serve

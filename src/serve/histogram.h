@@ -1,0 +1,85 @@
+/**
+ * Latency accounting for the serving layer: an exact-sample histogram
+ * with nearest-rank percentiles. Samples are simulated-clock cycle
+ * counts, so every percentile the benches report is deterministic.
+ *
+ * bench/bench_util.h re-exports this into nesgx::bench so the figure
+ * binaries share one percentile implementation with the service.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace nesgx::serve {
+
+class Histogram {
+  public:
+    void add(std::uint64_t value)
+    {
+        samples_.push_back(value);
+        sorted_ = samples_.size() <= 1;
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    std::uint64_t min() const
+    {
+        sort();
+        return samples_.empty() ? 0 : samples_.front();
+    }
+
+    std::uint64_t max() const
+    {
+        sort();
+        return samples_.empty() ? 0 : samples_.back();
+    }
+
+    double mean() const
+    {
+        if (samples_.empty()) return 0.0;
+        double sum = 0.0;
+        for (std::uint64_t v : samples_) sum += double(v);
+        return sum / double(samples_.size());
+    }
+
+    /** Nearest-rank percentile; `p` in [0, 100]. 0 when empty. */
+    std::uint64_t percentile(double p) const
+    {
+        if (samples_.empty()) return 0;
+        sort();
+        if (p <= 0) return samples_.front();
+        if (p >= 100) return samples_.back();
+        // ceil(p/100 * N) with integer rank in [1, N].
+        std::size_t rank =
+            std::size_t((p / 100.0) * double(samples_.size()) + 0.9999999);
+        if (rank < 1) rank = 1;
+        if (rank > samples_.size()) rank = samples_.size();
+        return samples_[rank - 1];
+    }
+
+    std::uint64_t p50() const { return percentile(50); }
+    std::uint64_t p95() const { return percentile(95); }
+    std::uint64_t p99() const { return percentile(99); }
+
+    void clear()
+    {
+        samples_.clear();
+        sorted_ = true;
+    }
+
+  private:
+    void sort() const
+    {
+        if (sorted_) return;
+        std::sort(samples_.begin(), samples_.end());
+        sorted_ = true;
+    }
+
+    mutable std::vector<std::uint64_t> samples_;
+    mutable bool sorted_ = true;
+};
+
+}  // namespace nesgx::serve

@@ -1,0 +1,88 @@
+/**
+ * Wire protocol between a tenant's client and its inner enclave.
+ *
+ * Every request/response is sealed with a per-tenant AES-GCM key that
+ * only the client and the tenant's *inner* enclave hold — the shared
+ * outer gateway enclave moves ciphertext by reference and never sees
+ * plaintext (the paper's §VI service model: the library tier is shared,
+ * the secrets are not).
+ *
+ * Sealed message layout:   [u64 seq LE][GCM ciphertext]
+ *   iv  (12B) = seq LE64 || direction || 0 0 0
+ *   aad (13B) = tenant u32 LE || direction || seq LE64
+ * The sequence number rides in the clear so the server can keep a
+ * strictly-monotonic replay check even when the admission controller
+ * sheds intermediate requests (gaps are fine, regressions are not).
+ *
+ * Batch blobs (host -> gateway ecall, gateway -> host result):
+ *   request:  [u32 slot LE][u32 count LE] then count x [u32 len][bytes]
+ *   response: [u32 count LE] then count x [u32 len][bytes]
+ * A zero-length response slot marks a request the server refused
+ * (bad seal / replay); clients count those as integrity failures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/gcm.h"
+#include "support/bytes.h"
+#include "support/status.h"
+
+namespace nesgx::serve {
+
+using TenantId = std::uint32_t;
+
+enum class Workload : std::uint8_t { Echo, Sql, Svm };
+
+const char* workloadName(Workload w);
+
+/** Parses "echo" / "sql" / "svm"; defaults to Echo on anything else. */
+Workload workloadFromName(const std::string& name);
+
+/** Deterministic 16-byte per-tenant session key (client + inner only). */
+Bytes tenantKey(TenantId tenant);
+
+constexpr std::uint8_t kDirRequest = 0;
+constexpr std::uint8_t kDirResponse = 1;
+
+/** Seals one message under the tenant session key. */
+Bytes sealMessage(const crypto::AesGcm& gcm, TenantId tenant,
+                  std::uint8_t dir, std::uint64_t seq, ByteView plain);
+
+struct OpenedMessage {
+    std::uint64_t seq = 0;
+    Bytes plain;
+};
+
+/** Opens a sealed message; fails on truncation or MAC mismatch. */
+Result<OpenedMessage> openMessage(const crypto::AesGcm& gcm, TenantId tenant,
+                                  std::uint8_t dir, ByteView sealed);
+
+/** Linear per-tenant scoring model standing in for SVM inference: the
+ *  16 payload bytes are the feature vector, weights derive from the
+ *  tenant id, so the client can recompute the exact score. */
+std::int64_t svmScore(TenantId tenant, ByteView features);
+
+/** Deterministic response text for one minidb statement result. */
+std::string sqlResultText(bool ok, const std::string& error,
+                          std::uint64_t rowsAffected, std::size_t rows);
+
+// --- batch blob codec ---------------------------------------------------
+
+Bytes packBatch(std::uint32_t slot, const std::vector<ByteView>& msgs);
+Bytes packResponses(const std::vector<Bytes>& msgs);
+
+struct ParsedBatch {
+    std::uint32_t slot = 0;
+    std::vector<ByteView> msgs;  ///< views into the input blob
+};
+
+/** Parses a request blob (views alias `blob`; keep it alive). */
+Result<ParsedBatch> parseBatch(ByteView blob);
+
+/** Parses a response blob into owned messages. */
+Result<std::vector<Bytes>> parseResponses(ByteView blob);
+
+}  // namespace nesgx::serve

@@ -1,0 +1,310 @@
+#include "serve/registry.h"
+
+#include "db/executor.h"
+#include "trace/bus.h"
+
+namespace nesgx::serve {
+
+namespace {
+
+/** Mutual trust anchor: anything signed by the service author key may
+ *  associate, in either role. This is what makes lazy tenant creation
+ *  possible — the gateway's SIGSTRUCT admits future inners by signer,
+ *  not by a measurement list frozen at build time. */
+sgx::PeerExpectation
+authorExpectation()
+{
+    sgx::PeerExpectation e;
+    e.mrsigner = core::defaultAuthorKey().pub.signerMeasurement();
+    return e;
+}
+
+/** State logically private to one tenant's inner enclave. */
+struct ServerState {
+    TenantId tenant;
+    Workload workload;
+    crypto::AesGcm gcm;
+    std::uint64_t lastSeq = 0;
+    bool seenAny = false;
+    db::Database db;
+
+    ServerState(TenantId t, Workload w)
+        : tenant(t), workload(w), gcm(tenantKey(t))
+    {
+    }
+
+    Result<Bytes> execute(sdk::TrustedEnv& env, ByteView plain)
+    {
+        switch (workload) {
+          case Workload::Echo:
+            env.chargeCycles(plain.size());
+            return Bytes(plain.begin(), plain.end());
+          case Workload::Sql: {
+            std::string stmt(plain.begin(), plain.end());
+            std::uint64_t before = db.workUnits();
+            db::QueryResult r = db.execute(stmt);
+            env.chargeCycles((db.workUnits() - before) * 20 + 200);
+            return bytesOf(sqlResultText(r.ok, r.error, r.rowsAffected,
+                                         r.rows.size()));
+          }
+          case Workload::Svm: {
+            env.chargeCycles(64 * plain.size() + 128);
+            Bytes out(8);
+            storeLe64(out.data(),
+                      std::uint64_t(svmScore(tenant, plain)));
+            return out;
+          }
+        }
+        return Err::NoSuchCall;
+    }
+
+    /** One sealed request in, one sealed response out; empty bytes mark
+     *  a refused request (bad seal or sequence regression). */
+    Bytes serveOne(sdk::TrustedEnv& env, ByteView sealed)
+    {
+        env.chargeGcm(sealed.size());
+        auto opened = openMessage(gcm, tenant, kDirRequest, sealed);
+        if (!opened) return Bytes{};
+        std::uint64_t seq = opened.value().seq;
+        // Strictly monotonic: gaps are expected (the admission layer
+        // sheds), replays and reordering across batches are not.
+        if (seenAny && seq <= lastSeq) return Bytes{};
+        seenAny = true;
+        lastSeq = seq;
+        auto resp = execute(env, opened.value().plain);
+        if (!resp) return Bytes{};
+        env.chargeGcm(resp.value().size());
+        return sealMessage(gcm, tenant, kDirResponse, seq, resp.value());
+    }
+};
+
+}  // namespace
+
+TenantRegistry::TenantRegistry(sdk::Urts& urts, Config config)
+    : urts_(&urts), config_(config)
+{
+}
+
+Status
+TenantRegistry::reserveEpc(std::uint64_t pages)
+{
+    if (!epcReserve_) return Status::ok();
+    return epcReserve_(pages);
+}
+
+TenantHandle*
+TenantRegistry::find(TenantId id)
+{
+    auto it = tenants_.find(id);
+    return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+Result<std::size_t>
+TenantRegistry::gatewayWithRoom()
+{
+    if (!gateways_.empty() &&
+        gateways_.back().tenantCount < config_.tenantsPerOuter) {
+        return gateways_.size() - 1;
+    }
+
+    sdk::EnclaveSpec spec;
+    spec.name = "serve-gw-" + std::to_string(gateways_.size());
+    spec.codePages = config_.outerCodePages;
+    spec.dataPages = 4;
+    spec.heapPages = config_.outerHeapPages;
+    spec.stackPages = 4;
+    spec.tcsCount = 2;
+    spec.allowedInners.push_back(authorExpectation());
+
+    auto state = std::make_shared<GatewayState>();
+    state->slots.resize(config_.tenantsPerOuter, nullptr);
+
+    spec.interface->addEcall(
+        "gw_dispatch",
+        [state](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            auto batch = parseBatch(arg);
+            if (!batch) return batch.status();
+            if (batch.value().slot >= state->slots.size()) {
+                return Err::NotFound;
+            }
+            sdk::LoadedEnclave* inner = state->slots[batch.value().slot];
+            if (!inner) return Err::NotFound;
+
+            // Stage the whole sealed batch into the gateway heap once;
+            // responses come back through the same region, so the cap
+            // keeps a margin over the request size.
+            std::uint64_t need = arg.size() + 4096;
+            if (state->stagingCap < need) {
+                if (state->stagingVa != 0) env.free(state->stagingVa);
+                state->stagingVa = env.alloc(need);
+                if (state->stagingVa == 0) return Err::OutOfMemory;
+                state->stagingCap = need;
+            }
+            Status st = env.writeBytes(state->stagingVa, arg);
+            if (!st) return st;
+
+            Bytes desc(16);
+            storeLe64(desc.data(), state->stagingVa);
+            storeLe64(desc.data() + 8, arg.size());
+            // The single NEENTER of the whole batch.
+            auto respLen = env.nEcall(*inner, "serve_batch", desc);
+            if (!respLen) return respLen.status();
+            if (respLen.value().size() != 8) return Err::BadCallBuffer;
+            std::uint64_t len = loadLe64(respLen.value().data());
+            if (len > state->stagingCap) return Err::BadCallBuffer;
+            return env.readBytes(state->stagingVa, len);
+        });
+
+    Status st = reserveEpc(spec.totalPages() + 1);
+    if (!st) return st;
+    auto image = sdk::buildImage(spec, core::defaultAuthorKey());
+    auto loaded = urts_->load(image);
+    if (!loaded) return loaded.status();
+
+    Gateway gw;
+    gw.outer = loaded.value();
+    gw.state = std::move(state);
+    gateways_.push_back(std::move(gw));
+    return gateways_.size() - 1;
+}
+
+Result<sdk::LoadedEnclave*>
+TenantRegistry::buildInner(TenantId id, Workload workload, Gateway& gateway)
+{
+    sdk::EnclaveSpec spec;
+    spec.name = "tenant-" + std::to_string(id);
+    spec.codePages = config_.innerCodePages;
+    spec.dataPages = 2;
+    spec.heapPages = config_.innerHeapPages;
+    spec.stackPages = 2;
+    spec.tcsCount = 1;
+    spec.expectedOuter = authorExpectation();
+
+    auto server = std::make_shared<ServerState>(id, workload);
+    spec.interface->addNEcall(
+        "serve_batch",
+        [server](sdk::TrustedEnv& env, ByteView desc) -> Result<Bytes> {
+            if (desc.size() != 16) return Err::BadCallBuffer;
+            hw::Vaddr va = loadLe64(desc.data());
+            std::uint64_t len = loadLe64(desc.data() + 8);
+            // By-reference read of the gateway's staging region: the
+            // EPCM owner is the outer, reached via the closure walk.
+            auto blob = env.readBytes(va, len);
+            if (!blob) return blob.status();
+            auto batch = parseBatch(blob.value());
+            if (!batch) return batch.status();
+
+            std::vector<Bytes> responses;
+            responses.reserve(batch.value().msgs.size());
+            for (ByteView msg : batch.value().msgs) {
+                responses.push_back(server->serveOne(env, msg));
+            }
+            Bytes respBlob = packResponses(responses);
+            Status st = env.writeBytes(va, respBlob);
+            if (!st) return st;
+            Bytes out(8);
+            storeLe64(out.data(), respBlob.size());
+            return out;
+        });
+
+    Status st = reserveEpc(spec.totalPages() + 1);
+    if (!st) return st;
+    auto image = sdk::buildImage(spec, core::defaultAuthorKey());
+    auto loaded = urts_->load(image);
+    if (!loaded) return loaded.status();
+    st = urts_->associate(loaded.value(), gateway.outer);
+    if (!st) return st;
+    return loaded.value();
+}
+
+Result<TenantHandle*>
+TenantRegistry::ensure(TenantId id, Workload workload)
+{
+    if (TenantHandle* existing = find(id)) return existing;
+
+    auto gwIndex = gatewayWithRoom();
+    if (!gwIndex) return gwIndex.status();
+    Gateway& gateway = gateways_[gwIndex.value()];
+
+    auto inner = buildInner(id, workload, gateway);
+    if (!inner) return inner.status();
+
+    auto tenant = std::make_unique<TenantHandle>();
+    tenant->id = id;
+    tenant->workload = workload;
+    tenant->inner = inner.value();
+    tenant->gatewayIndex = gwIndex.value();
+    tenant->slot = gateway.tenantCount;
+    gateway.state->slots[tenant->slot] = inner.value();
+    ++gateway.tenantCount;
+
+    TenantHandle* out = tenant.get();
+    tenants_[id] = std::move(tenant);
+    return out;
+}
+
+Result<Bytes>
+TenantRegistry::dispatch(TenantHandle& tenant, ByteView blob, hw::CoreId core)
+{
+    Gateway& gateway = gateways_[tenant.gatewayIndex];
+    return urts_->ecall(gateway.outer, "gw_dispatch", blob, core);
+}
+
+Result<std::uint64_t>
+TenantRegistry::ensureResident(TenantHandle& tenant)
+{
+    os::Kernel& kernel = urts_->kernel();
+    const os::EnclaveRecord* rec =
+        kernel.enclaveRecord(tenant.inner->secsPage());
+    if (!rec || rec->evicted.empty()) return std::uint64_t(0);
+
+    std::vector<hw::Vaddr> vas;
+    vas.reserve(rec->evicted.size());
+    for (const auto& [va, blob] : rec->evicted) vas.push_back(va);
+    for (hw::Vaddr va : vas) {
+        Status st = kernel.reloadPage(tenant.inner->secsPage(), va);
+        if (!st) return st;
+    }
+    ++tenant.reloads;
+    kernel.machine().trace().publishLight(
+        trace::EventKind::ServeTenantReload, trace::kNoCore, 0, tenant.id,
+        vas.size());
+    return std::uint64_t(vas.size());
+}
+
+std::uint64_t
+TenantRegistry::evictTenant(TenantHandle& tenant)
+{
+    os::Kernel& kernel = urts_->kernel();
+    const os::EnclaveRecord* rec =
+        kernel.enclaveRecord(tenant.inner->secsPage());
+    if (!rec) return 0;
+
+    std::vector<hw::Vaddr> vas;
+    vas.reserve(rec->pages.size());
+    for (const auto& [va, pa] : rec->pages) vas.push_back(va);
+
+    std::uint64_t written = 0;
+    for (hw::Vaddr va : vas) {
+        // TCS pages refuse EBLOCK; everything evictable goes out.
+        if (kernel.evictPage(tenant.inner->secsPage(), va)) ++written;
+    }
+    if (written > 0) {
+        ++tenant.evictions;
+        kernel.machine().trace().publishLight(
+            trace::EventKind::ServeTenantEvict, trace::kNoCore, 0, tenant.id,
+            written);
+    }
+    return written;
+}
+
+TenantHandle*
+TenantRegistry::tenantBySecs(hw::Paddr secsPage)
+{
+    for (auto& [id, tenant] : tenants_) {
+        if (tenant->inner->secsPage() == secsPage) return tenant.get();
+    }
+    return nullptr;
+}
+
+}  // namespace nesgx::serve

@@ -1,0 +1,125 @@
+/**
+ * TenantRegistry: one inner enclave per tenant, lazily instantiated
+ * inside a pool of shared outer "gateway" enclaves.
+ *
+ * The deployment shape is the paper's §VI library model turned into a
+ * multi-tenant service: every gateway outer holds the shared request
+ * plumbing (staging buffers, batch framing) and is signed to accept any
+ * inner by the service author's MRSIGNER, so tenants can be created
+ * *after* the outer is built and EINITed — NASSO's signer expectation is
+ * what admits them. Each gateway takes at most `tenantsPerOuter`
+ * tenants; the next tenant spills over into a freshly built gateway.
+ *
+ * A dispatch is one EENTER into the gateway plus one NEENTER into the
+ * tenant's inner regardless of how many requests ride in the batch: the
+ * gateway stages the sealed batch into its own heap and hands the inner
+ * a [va, len] descriptor, and the inner reads/writes that staging region
+ * in place through the nested access-validation path (by-reference
+ * sharing, §IV-A).
+ *
+ * The registry also owns tenant-granular paging: evictTenant writes a
+ * tenant's evictable inner pages out through EBLOCK/ETRACK/EWB, and
+ * ensureResident transparently ELDUs them back before the next
+ * dispatch touches the enclave.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/compose.h"
+#include "sdk/runtime.h"
+#include "serve/protocol.h"
+
+namespace nesgx::serve {
+
+struct TenantHandle {
+    TenantId id = 0;
+    Workload workload = Workload::Echo;
+    sdk::LoadedEnclave* inner = nullptr;
+    std::size_t gatewayIndex = 0;
+    std::uint32_t slot = 0;       ///< slot within the gateway
+    bool busy = false;            ///< a dispatch is in flight
+    std::uint64_t evictions = 0;  ///< times paged out by pressure
+    std::uint64_t reloads = 0;    ///< cold-start reloads
+};
+
+class TenantRegistry {
+  public:
+    struct Config {
+        std::uint32_t tenantsPerOuter = 4;
+        /** Inner (per-tenant) enclave shape. */
+        std::uint64_t innerCodePages = 8;
+        std::uint64_t innerHeapPages = 16;
+        /** Outer (gateway) enclave shape. */
+        std::uint64_t outerCodePages = 24;
+        std::uint64_t outerHeapPages = 48;
+    };
+
+    TenantRegistry(sdk::Urts& urts, Config config);
+
+    /** Hook run before any enclave build: make `pages` EPC pages free
+     *  (the pressure manager installs itself here). */
+    void setEpcReserve(std::function<Status(std::uint64_t)> hook)
+    {
+        epcReserve_ = std::move(hook);
+    }
+
+    /** Existing tenant or nullptr (never instantiates). */
+    TenantHandle* find(TenantId id);
+
+    /** Lazily instantiates the tenant's inner (and a gateway if the
+     *  current one is full). */
+    Result<TenantHandle*> ensure(TenantId id, Workload workload);
+
+    /** One batched round trip: EENTER gateway, NEENTER inner, responses
+     *  staged back by reference. `blob` is a packBatch() for this
+     *  tenant's slot. */
+    Result<Bytes> dispatch(TenantHandle& tenant, ByteView blob,
+                           hw::CoreId core);
+
+    /** ELDUs every evicted page of the tenant's inner back in. Returns
+     *  the number of pages reloaded (0 = was already resident). */
+    Result<std::uint64_t> ensureResident(TenantHandle& tenant);
+
+    /** Pages the tenant's inner out (best effort: TCS/pinned pages are
+     *  skipped). Returns pages actually written back. */
+    std::uint64_t evictTenant(TenantHandle& tenant);
+
+    /** Tenant owning this inner SECS, or nullptr (victim filtering). */
+    TenantHandle* tenantBySecs(hw::Paddr secsPage);
+
+    std::size_t gatewayCount() const { return gateways_.size(); }
+    std::size_t tenantCount() const { return tenants_.size(); }
+
+    sdk::Urts& urts() { return *urts_; }
+
+  private:
+    /** Per-gateway state shared with the gateway's ecall lambda. */
+    struct GatewayState {
+        hw::Vaddr stagingVa = 0;
+        std::uint64_t stagingCap = 0;
+        std::vector<sdk::LoadedEnclave*> slots;
+    };
+
+    struct Gateway {
+        sdk::LoadedEnclave* outer = nullptr;
+        std::shared_ptr<GatewayState> state;
+        std::uint32_t tenantCount = 0;
+    };
+
+    Status reserveEpc(std::uint64_t pages);
+    Result<std::size_t> gatewayWithRoom();
+    Result<sdk::LoadedEnclave*> buildInner(TenantId id, Workload workload,
+                                           Gateway& gateway);
+
+    sdk::Urts* urts_;
+    Config config_;
+    std::function<Status(std::uint64_t)> epcReserve_;
+    std::vector<Gateway> gateways_;
+    std::map<TenantId, std::unique_ptr<TenantHandle>> tenants_;
+};
+
+}  // namespace nesgx::serve

@@ -1,0 +1,152 @@
+#include "serve/service.h"
+
+#include <set>
+
+namespace nesgx::serve {
+
+Status
+EpcPressureManager::ensureFree(std::uint64_t pages)
+{
+    // Tenants whose eviction freed nothing this round (fully pinned):
+    // excluded so the loop cannot spin on them.
+    std::set<hw::Paddr> barren;
+    while (kernel_->freeEpcPages() < pages) {
+        auto victim = kernel_->pickEvictVictim([&](hw::Paddr secs) {
+            if (barren.count(secs)) return false;
+            TenantHandle* tenant = registry_->tenantBySecs(secs);
+            return tenant != nullptr && !tenant->busy;
+        });
+        if (!victim) return Err::OsError;
+        TenantHandle* tenant = registry_->tenantBySecs(victim.value());
+        std::uint64_t written = registry_->evictTenant(*tenant);
+        if (written == 0) {
+            barren.insert(victim.value());
+            continue;
+        }
+        ++tenantsEvicted_;
+        pagesWritten_ += written;
+    }
+    return Status::ok();
+}
+
+WorkerPool::WorkerPool(TenantRegistry& registry,
+                       AdmissionController& admission,
+                       EpcPressureManager& pressure, Config config)
+    : registry_(&registry), admission_(&admission), pressure_(&pressure),
+      config_(config)
+{
+    if (config_.cores == 0) {
+        config_.cores = registry.urts().machine().coreCount();
+    }
+}
+
+bool
+WorkerPool::step()
+{
+    auto tenantId = admission_->nextTenant();
+    if (!tenantId) return false;
+
+    std::vector<Request> batch =
+        admission_->takeBatch(*tenantId, config_.batchSize);
+    if (batch.empty()) return true;  // everything at the head was shed
+
+    TenantHandle* tenant = registry_->find(*tenantId);
+    if (!tenant) return true;  // submit() guarantees existence
+
+    sgx::Machine& machine = registry_->urts().machine();
+
+    // Transparent cold start: page the inner back in before entering.
+    (void)registry_->ensureResident(*tenant);
+
+    const hw::CoreId core = nextCore_;
+    nextCore_ = (nextCore_ + 1) % config_.cores;
+
+    std::vector<ByteView> views;
+    views.reserve(batch.size());
+    for (const Request& req : batch) views.push_back(req.sealed);
+    Bytes blob = packBatch(tenant->slot, views);
+
+    trace::TraceEvent begin;
+    begin.kind = trace::EventKind::ServeBatchBegin;
+    begin.core = core;
+    begin.arg0 = tenant->id;
+    begin.arg1 = batch.size();
+    machine.trace().publishIfActive(begin);
+
+    tenant->busy = true;
+    auto respBlob = registry_->dispatch(*tenant, blob, core);
+    tenant->busy = false;
+
+    machine.trace().publishLight(trace::EventKind::ServeBatchEnd, core, 0,
+                                 tenant->id, batch.size());
+    ++batches_;
+
+    std::vector<Bytes> responses;
+    if (respBlob) {
+        auto parsed = parseResponses(respBlob.value());
+        if (parsed && parsed.value().size() == batch.size()) {
+            responses = std::move(parsed.value());
+        }
+    }
+    if (responses.empty() && !batch.empty()) {
+        ++dispatchFailures_;
+        responses.assign(batch.size(), Bytes{});
+    }
+
+    const std::uint64_t now = machine.clock().cycles();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        Completion done;
+        done.id = batch[i].id;
+        done.tenant = batch[i].tenant;
+        done.sealedResponse = std::move(responses[i]);
+        done.latencyCycles = now - batch[i].enqueuedAt;
+        done.ok = !done.sealedResponse.empty();
+        if (done.ok) ++served_;
+        completions_.push_back(std::move(done));
+    }
+
+    // Restore the EPC watermark before the next tenant needs pages.
+    pressure_->relieve();
+    return true;
+}
+
+std::vector<Completion>
+WorkerPool::drain()
+{
+    std::vector<Completion> out;
+    out.swap(completions_);
+    return out;
+}
+
+TenantService::TenantService(sdk::Urts& urts, Config config)
+    : registry_(urts, config.registry),
+      admission_(urts.machine(), config.admission),
+      pressure_(urts.kernel(), registry_, config.pressure),
+      pool_(registry_, admission_, pressure_, config.pool)
+{
+    registry_.setEpcReserve(
+        [this](std::uint64_t pages) { return pressure_.ensureFree(pages); });
+}
+
+Result<TenantHandle*>
+TenantService::addTenant(TenantId id, Workload workload)
+{
+    return registry_.ensure(id, workload);
+}
+
+Status
+TenantService::submit(TenantId tenant, Bytes sealed)
+{
+    if (!registry_.find(tenant)) return Err::NotFound;
+    return admission_.submit(tenant, std::move(sealed));
+}
+
+std::size_t
+TenantService::pump(std::size_t maxBatches)
+{
+    std::size_t steps = 0;
+    while (steps < maxBatches && pool_.step()) ++steps;
+    return steps;
+}
+
+}  // namespace nesgx::serve

@@ -1,0 +1,134 @@
+/**
+ * The serving layer's top half: EPC pressure management, the worker
+ * pool, and the TenantService facade gluing registry + admission +
+ * scheduling together.
+ *
+ * EpcPressureManager keeps the EPC free list above a watermark by
+ * paging out the coldest *idle* tenant inner (victims come from the
+ * kernel's deterministic LRU, filtered to tenant inners that have no
+ * dispatch in flight). TenantRegistry reloads transparently on the
+ * victim's next request, so tenants far beyond EPC capacity stay
+ * correct — they just pay cold-start reload latency.
+ *
+ * WorkerPool drains the admission queues batch-at-a-time across the
+ * machine's cores: one batch = one EENTER + one NEENTER no matter how
+ * many requests it carries, which is the transition amortization
+ * bench_serve measures.
+ */
+#pragma once
+
+#include "serve/admission.h"
+#include "serve/histogram.h"
+#include "serve/registry.h"
+
+namespace nesgx::serve {
+
+class EpcPressureManager {
+  public:
+    struct Config {
+        /** Free-page watermark `relieve` restores after each batch. */
+        std::size_t lowWatermarkPages = 32;
+    };
+
+    EpcPressureManager(os::Kernel& kernel, TenantRegistry& registry,
+                       Config config)
+        : kernel_(&kernel), registry_(&registry), config_(config)
+    {
+    }
+
+    /** Evicts cold idle tenants until at least `pages` EPC pages are
+     *  free; OsError when demand cannot be met. */
+    Status ensureFree(std::uint64_t pages);
+
+    /** Restores the watermark (no-op while above it). */
+    void relieve() { (void)ensureFree(config_.lowWatermarkPages); }
+
+    std::uint64_t tenantsEvicted() const { return tenantsEvicted_; }
+    std::uint64_t pagesWritten() const { return pagesWritten_; }
+
+  private:
+    os::Kernel* kernel_;
+    TenantRegistry* registry_;
+    Config config_;
+    std::uint64_t tenantsEvicted_ = 0;
+    std::uint64_t pagesWritten_ = 0;
+};
+
+struct Completion {
+    std::uint64_t id = 0;
+    TenantId tenant = 0;
+    Bytes sealedResponse;          ///< empty when the server refused it
+    std::uint64_t latencyCycles = 0;
+    bool ok = false;
+};
+
+class WorkerPool {
+  public:
+    struct Config {
+        std::size_t batchSize = 8;
+        /** Cores to schedule dispatches on; 0 = all machine cores. */
+        std::uint32_t cores = 0;
+    };
+
+    WorkerPool(TenantRegistry& registry, AdmissionController& admission,
+               EpcPressureManager& pressure, Config config);
+
+    /** Serves one tenant batch (round-robin); false when queues are
+     *  empty. Shedding counts as progress. */
+    bool step();
+
+    /** Completed requests since the last drain. */
+    std::vector<Completion> drain();
+
+    std::uint64_t batchesDispatched() const { return batches_; }
+    std::uint64_t requestsServed() const { return served_; }
+    std::uint64_t dispatchFailures() const { return dispatchFailures_; }
+
+  private:
+    TenantRegistry* registry_;
+    AdmissionController* admission_;
+    EpcPressureManager* pressure_;
+    Config config_;
+    hw::CoreId nextCore_ = 0;
+    std::vector<Completion> completions_;
+    std::uint64_t batches_ = 0;
+    std::uint64_t served_ = 0;
+    std::uint64_t dispatchFailures_ = 0;
+};
+
+/** The whole serving stack behind one object. */
+class TenantService {
+  public:
+    struct Config {
+        TenantRegistry::Config registry;
+        AdmissionController::Config admission;
+        WorkerPool::Config pool;
+        EpcPressureManager::Config pressure;
+    };
+
+    TenantService(sdk::Urts& urts, Config config);
+
+    /** Lazily instantiates the tenant (registry + pressure headroom). */
+    Result<TenantHandle*> addTenant(TenantId id, Workload workload);
+
+    /** Admits one sealed request for an existing tenant. */
+    Status submit(TenantId tenant, Bytes sealed);
+
+    /** Runs worker steps until the queues drain (or maxBatches). */
+    std::size_t pump(std::size_t maxBatches = std::size_t(-1));
+
+    std::vector<Completion> drain() { return pool_.drain(); }
+
+    TenantRegistry& registry() { return registry_; }
+    AdmissionController& admission() { return admission_; }
+    EpcPressureManager& pressure() { return pressure_; }
+    WorkerPool& pool() { return pool_; }
+
+  private:
+    TenantRegistry registry_;
+    AdmissionController admission_;
+    EpcPressureManager pressure_;
+    WorkerPool pool_;
+};
+
+}  // namespace nesgx::serve

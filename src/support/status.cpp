@@ -21,6 +21,8 @@ errName(Err e)
       case Err::OsError: return "OsError";
       case Err::ReportMacMismatch: return "ReportMacMismatch";
       case Err::OutOfMemory: return "OutOfMemory";
+      case Err::NotFound: return "NotFound";
+      case Err::Backpressure: return "Backpressure";
     }
     return "Unknown";
 }

@@ -46,6 +46,10 @@ enum class Err : std::uint32_t {
     ReportMacMismatch,
     /// Trusted heap exhausted.
     OutOfMemory,
+    /// Lookup found nothing matching (victim selection, registries).
+    NotFound,
+    /// Serving layer: per-tenant admission queue is full.
+    Backpressure,
 };
 
 /** Human-readable name for an error code. */

@@ -78,6 +78,8 @@ spanName(EventKind kind)
       case EventKind::OsReloadEnd: return "os.reload";
       case EventKind::OsDestroyBegin:
       case EventKind::OsDestroyEnd: return "os.destroy";
+      case EventKind::ServeBatchBegin:
+      case EventKind::ServeBatchEnd: return "serve.batch";
       default: return nullptr;
     }
 }
@@ -93,6 +95,7 @@ isBeginKind(EventKind kind)
       case EventKind::OsEvictBegin:
       case EventKind::OsReloadBegin:
       case EventKind::OsDestroyBegin:
+      case EventKind::ServeBatchBegin:
         return true;
       default:
         return false;

@@ -40,6 +40,13 @@ kindName(EventKind kind)
       case EventKind::OsReloadEnd: return "OsReloadEnd";
       case EventKind::OsDestroyBegin: return "OsDestroyBegin";
       case EventKind::OsDestroyEnd: return "OsDestroyEnd";
+      case EventKind::OsVictimPick: return "OsVictimPick";
+      case EventKind::ServeEnqueue: return "ServeEnqueue";
+      case EventKind::ServeShed: return "ServeShed";
+      case EventKind::ServeBatchBegin: return "ServeBatchBegin";
+      case EventKind::ServeBatchEnd: return "ServeBatchEnd";
+      case EventKind::ServeTenantEvict: return "ServeTenantEvict";
+      case EventKind::ServeTenantReload: return "ServeTenantReload";
       case EventKind::LogWarn: return "LogWarn";
       case EventKind::LogError: return "LogError";
     }

@@ -64,6 +64,18 @@ enum class EventKind : std::uint8_t {
     OsReloadEnd,
     OsDestroyBegin,     ///< kernel enclave teardown
     OsDestroyEnd,
+    OsVictimPick,       ///< kernel eviction-victim selection (`arg0` =
+                        ///< chosen SECS PA, `arg1` = its last-use tick)
+    ServeEnqueue,       ///< request admitted (`arg0` tenant, `arg1` depth)
+    ServeShed,          ///< deadline/backpressure drops (`arg0` tenant,
+                        ///< `arg1` = dropped count)
+    ServeBatchBegin,    ///< one batched dispatch (`arg0` tenant,
+                        ///< `arg1` = batch size)
+    ServeBatchEnd,
+    ServeTenantEvict,   ///< pressure manager evicted a tenant's inner
+                        ///< (`arg0` tenant, `arg1` = pages written back)
+    ServeTenantReload,  ///< cold-start reload (`arg0` tenant,
+                        ///< `arg1` = pages reloaded)
     LogWarn,            ///< model warning routed off the logger
     LogError,           ///< model error routed off the logger
 };

@@ -46,6 +46,13 @@ struct StatsCounters {
     std::uint64_t closureCacheHits = 0;
     std::uint64_t closureCacheMisses = 0;
     std::uint64_t taggedLookupRejects = 0; ///< VPN hit, wrong context tag
+    // --- serving layer / kernel victim selection --------------------
+    std::uint64_t victimPicks = 0;         ///< kernel evict-victim choices
+    std::uint64_t serveBatches = 0;        ///< batched dispatches completed
+    std::uint64_t serveBatchedRequests = 0; ///< requests carried by them
+    std::uint64_t serveSheds = 0;          ///< requests dropped by deadline
+    std::uint64_t serveTenantEvictions = 0; ///< tenants evicted for pressure
+    std::uint64_t serveTenantReloads = 0;   ///< cold-start reloads
 };
 
 class StatsSink : public TraceSink {
@@ -81,6 +88,18 @@ class StatsSink : public TraceSink {
             break;
           case EventKind::AexTaken: ++counters_.aexCount; break;
           case EventKind::Ipi: ++counters_.ipiCount; break;
+          case EventKind::OsVictimPick: ++counters_.victimPicks; break;
+          case EventKind::ServeShed: counters_.serveSheds += arg1; break;
+          case EventKind::ServeBatchEnd:
+            ++counters_.serveBatches;
+            counters_.serveBatchedRequests += arg1;
+            break;
+          case EventKind::ServeTenantEvict:
+            ++counters_.serveTenantEvictions;
+            break;
+          case EventKind::ServeTenantReload:
+            ++counters_.serveTenantReloads;
+            break;
           default: break;
         }
     }

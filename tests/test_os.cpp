@@ -145,6 +145,84 @@ TEST(OsKernel, HostileReadPhysSeesRawFrames)
     EXPECT_EQ(raw, data);
 }
 
+// --- Eviction-victim selection ------------------------------------------------
+
+TEST(OsKernel, EvictionCandidatesAreColdestFirstAndDeterministic)
+{
+    World world;
+    std::vector<sdk::LoadedEnclave*> enclaves;
+    for (int i = 0; i < 3; ++i) {
+        auto image =
+            sdk::buildImage(tinySpec("lru-" + std::to_string(i)), authorKey());
+        enclaves.push_back(world.urts->load(image).orThrow("load"));
+    }
+
+    // Creation order == use order so far: enclave 0 is coldest.
+    auto candidates = world.kernel.evictionCandidates();
+    ASSERT_EQ(candidates.size(), 3u);
+    EXPECT_EQ(candidates[0], enclaves[0]->secsPage());
+    EXPECT_EQ(candidates[2], enclaves[2]->secsPage());
+    EXPECT_EQ(candidates, world.kernel.evictionCandidates());
+
+    // Touching the coldest makes it the hottest; the rest shift up.
+    world.kernel.touchEnclave(enclaves[0]->secsPage());
+    candidates = world.kernel.evictionCandidates();
+    EXPECT_EQ(candidates[0], enclaves[1]->secsPage());
+    EXPECT_EQ(candidates[2], enclaves[0]->secsPage());
+}
+
+TEST(OsKernel, PickEvictVictimHonorsEligibilityAndPublishes)
+{
+    World world;
+    std::vector<sdk::LoadedEnclave*> enclaves;
+    for (int i = 0; i < 3; ++i) {
+        auto image =
+            sdk::buildImage(tinySpec("pick-" + std::to_string(i)), authorKey());
+        enclaves.push_back(world.urts->load(image).orThrow("load"));
+    }
+    std::uint64_t picksBefore = world.machine.trace().counters().victimPicks;
+
+    auto victim = world.kernel.pickEvictVictim();
+    ASSERT_TRUE(victim.isOk());
+    EXPECT_EQ(victim.value(), enclaves[0]->secsPage());
+
+    // A pinned coldest enclave is passed over for the next-coldest.
+    hw::Paddr pinned = enclaves[0]->secsPage();
+    victim = world.kernel.pickEvictVictim(
+        [&](hw::Paddr secs) { return secs != pinned; });
+    ASSERT_TRUE(victim.isOk());
+    EXPECT_EQ(victim.value(), enclaves[1]->secsPage());
+
+    // Nothing eligible -> NotFound, and no pick event is published.
+    auto none =
+        world.kernel.pickEvictVictim([](hw::Paddr) { return false; });
+    EXPECT_EQ(none.status().code(), Err::NotFound);
+    EXPECT_EQ(world.machine.trace().counters().victimPicks - picksBefore,
+              2u);
+}
+
+TEST(OsKernel, EcallsRefreshLruOrder)
+{
+    World world;
+    auto specA = tinySpec("lru-ecall-a");
+    specA.interface->addEcall(
+        "ping", [](sdk::TrustedEnv&, ByteView arg) -> Result<Bytes> {
+            return Bytes(arg.begin(), arg.end());
+        });
+    auto a = world.urts->load(sdk::buildImage(specA, authorKey()))
+                 .orThrow("a");
+    auto b = world.urts
+                 ->load(sdk::buildImage(tinySpec("lru-ecall-b"), authorKey()))
+                 .orThrow("b");
+
+    // b was created last, so a is the victim of record...
+    EXPECT_EQ(world.kernel.evictionCandidates().front(), a->secsPage());
+
+    // ...until an entry into a marks it recently used.
+    ASSERT_TRUE(world.urts->ecall(a, "ping", bytesOf("x")).isOk());
+    EXPECT_EQ(world.kernel.evictionCandidates().front(), b->secsPage());
+}
+
 // --- IPC service edge cases ---------------------------------------------------
 
 TEST(OsKernel, AddPageMeasurementFaultDoesNotLeakEpc)

@@ -1,0 +1,366 @@
+/**
+ * Serving-layer tests: tenant registry pooling/spillover, batched
+ * dispatch transition accounting, admission backpressure and deadline
+ * shedding, and correctness under EPC pressure — including an eviction
+ * racing a pending NEENTER, in both TLB-tag modes.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness.h"
+#include "serve/client.h"
+#include "serve/service.h"
+#include "trace/sink.h"
+
+namespace nesgx::test {
+namespace {
+
+using serve::TenantId;
+using serve::Workload;
+
+/** Collects the cores ServeBatchEnd events land on (scheduling proof). */
+struct BatchCoreSink : trace::TraceSink {
+    std::set<hw::CoreId> cores;
+    void onEvent(const trace::TraceEvent& event) override
+    {
+        if (event.kind == trace::EventKind::ServeBatchEnd) {
+            cores.insert(event.core);
+        }
+    }
+};
+
+/** Small enclave shapes so pressure tests stay fast. */
+serve::TenantService::Config
+smallServiceConfig()
+{
+    serve::TenantService::Config sc;
+    sc.registry.tenantsPerOuter = 3;
+    sc.registry.outerCodePages = 12;
+    sc.registry.outerHeapPages = 24;
+    sc.registry.innerCodePages = 4;
+    sc.registry.innerHeapPages = 8;
+    sc.pool.batchSize = 4;
+    sc.pressure.lowWatermarkPages = 16;
+    return sc;
+}
+
+/** An EPC small enough that 6 such tenants cannot all stay resident. */
+sgx::Machine::Config
+pressedConfig(bool taggedTlb)
+{
+    auto config = World::smallConfig();
+    config.taggedTlb = taggedTlb;
+    config.prmBytes = 176 * hw::kPageSize;
+    return config;
+}
+
+TEST(ServeRegistry, SpillsIntoFreshGatewaysWhenFull)
+{
+    World world;
+    auto sc = smallServiceConfig();
+    sc.registry.tenantsPerOuter = 2;
+    serve::TenantService service(*world.urts, sc);
+
+    for (TenantId t = 0; t < 5; ++t) {
+        ASSERT_TRUE(service.addTenant(t, Workload::Echo).isOk()) << t;
+    }
+    EXPECT_EQ(service.registry().tenantCount(), 5u);
+    // ceil(5 / 2) gateways; tenants land in creation order.
+    EXPECT_EQ(service.registry().gatewayCount(), 3u);
+    EXPECT_EQ(service.registry().find(4)->gatewayIndex, 2u);
+    EXPECT_EQ(service.registry().find(0)->gatewayIndex, 0u);
+
+    // Re-ensuring an existing tenant is idempotent: no new gateway.
+    ASSERT_TRUE(service.addTenant(3, Workload::Echo).isOk());
+    EXPECT_EQ(service.registry().gatewayCount(), 3u);
+    EXPECT_EQ(service.registry().tenantCount(), 5u);
+
+    EXPECT_EQ(service.registry().find(7), nullptr);
+    EXPECT_EQ(service.submit(7, Bytes{1, 2, 3}).code(), Err::NotFound);
+}
+
+TEST(ServeWorkerPool, BatchCostsOneEnterPairRegardlessOfSize)
+{
+    World world;
+    auto sc = smallServiceConfig();
+    sc.pool.batchSize = 8;
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    const auto before = world.machine.trace().counters();
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        if (client.onResponse(done.sealedResponse)) ++verified;
+        EXPECT_GT(done.latencyCycles, 0u);
+    }
+    const auto& after = world.machine.trace().counters();
+
+    EXPECT_EQ(verified, 8u);
+    EXPECT_EQ(client.failures(), 0u);
+    // 8 requests, one batch: exactly one EENTER (gateway) and one
+    // NEENTER (tenant inner) — the amortization bench_serve measures.
+    EXPECT_EQ(after.eenterCount - before.eenterCount, 1u);
+    EXPECT_EQ(after.neenterCount - before.neenterCount, 1u);
+    EXPECT_EQ(after.serveBatches - before.serveBatches, 1u);
+    EXPECT_EQ(after.serveBatchedRequests - before.serveBatchedRequests, 8u);
+}
+
+TEST(ServeAdmission, BackpressureRefusesWhenQueueFull)
+{
+    World world;
+    auto sc = smallServiceConfig();
+    sc.admission.maxQueueDepth = 4;
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    EXPECT_EQ(service.submit(0, client.nextRequest()).code(),
+              Err::Backpressure);
+    client.onDropped();
+    EXPECT_EQ(service.admission().rejected(), 1u);
+    EXPECT_EQ(service.admission().depth(0), 4u);
+
+    // Draining makes room again.
+    service.pump();
+    EXPECT_EQ(service.admission().depth(0), 0u);
+    EXPECT_TRUE(service.submit(0, client.nextRequest()).isOk());
+}
+
+TEST(ServeAdmission, DeadlineShedsStaleRequestsAtDequeue)
+{
+    World world;
+    auto sc = smallServiceConfig();
+    sc.pool.batchSize = 4;
+    // One cycle: the first batch is dequeued before the clock moves (so
+    // it beats its deadline), and dispatching it burns enough cycles
+    // that everything still queued has expired.
+    sc.admission.deadlineCycles = 1;
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        if (client.onResponse(done.sealedResponse)) ++verified;
+    }
+
+    // The first batch beats the deadline; later ones are shed without
+    // spending an enclave transition, and nothing miscomputes.
+    EXPECT_EQ(verified, 4u);
+    EXPECT_EQ(service.admission().shed(), 12u);
+    EXPECT_EQ(client.failures(), 0u);
+    EXPECT_EQ(service.admission().totalQueued(), 0u);
+}
+
+/** Interleaved submissions from 4 tenants; batches must round-robin
+ *  tenants and spread dispatches over multiple cores. */
+void
+interleavedTenantsAcrossCores(bool taggedTlb)
+{
+    auto config = World::smallConfig();
+    config.taggedTlb = taggedTlb;
+    World world(config);
+    auto sc = smallServiceConfig();
+    sc.pool.batchSize = 2;
+    serve::TenantService service(*world.urts, sc);
+
+    const Workload mix[] = {Workload::Echo, Workload::Sql, Workload::Svm,
+                            Workload::Echo};
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (TenantId t = 0; t < 4; ++t) {
+        ASSERT_TRUE(service.addTenant(t, mix[t]).isOk());
+        clients.push_back(std::make_unique<serve::TenantClient>(t, mix[t]));
+    }
+
+    BatchCoreSink cores;
+    world.machine.trace().subscribe(&cores);
+    std::uint64_t verified = 0;
+    for (int round = 0; round < 6; ++round) {
+        for (TenantId t = 0; t < 4; ++t) {
+            ASSERT_TRUE(
+                service.submit(t, clients[t]->nextRequest()).isOk());
+        }
+        if (round % 2 == 1) {
+            service.pump();
+            for (serve::Completion& done : service.drain()) {
+                if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+                    ++verified;
+                }
+            }
+        }
+    }
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+            ++verified;
+        }
+    }
+    world.machine.trace().unsubscribe(&cores);
+
+    EXPECT_EQ(verified, 24u);
+    for (const auto& client : clients) {
+        EXPECT_EQ(client->failures(), 0u);
+    }
+    EXPECT_GE(cores.cores.size(), 2u)
+        << "batches all landed on one core";
+}
+
+TEST(ServeWorkerPool, InterleavedTenantsAcrossCoresFlushedTlb)
+{
+    interleavedTenantsAcrossCores(false);
+}
+
+TEST(ServeWorkerPool, InterleavedTenantsAcrossCoresTaggedTlb)
+{
+    interleavedTenantsAcrossCores(true);
+}
+
+TEST(ServePressure, EvictionSkipsTenantWithPendingNeenter)
+{
+    World world;
+    serve::TenantService service(*world.urts, smallServiceConfig());
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    ASSERT_TRUE(service.addTenant(1, Workload::Echo).isOk());
+    serve::TenantClient c0(0, Workload::Echo), c1(1, Workload::Echo);
+
+    // Make both resident (tenant 0 colder: dispatched first).
+    ASSERT_TRUE(service.submit(0, c0.nextRequest()).isOk());
+    service.pump();
+    ASSERT_TRUE(service.submit(1, c1.nextRequest()).isOk());
+    service.pump();
+    service.drain();
+
+    // Tenant 0 has a NEENTER in flight: the pressure manager must pass
+    // it over even though it is the LRU victim, and evict tenant 1.
+    service.registry().find(0)->busy = true;
+    ASSERT_TRUE(
+        service.pressure().ensureFree(world.kernel.freeEpcPages() + 8)
+            .isOk());
+    EXPECT_EQ(service.registry().find(0)->evictions, 0u);
+    EXPECT_EQ(service.registry().find(1)->evictions, 1u);
+
+    // With every tenant pinned there is no legal victim left.
+    service.registry().find(1)->busy = true;
+    EXPECT_FALSE(
+        service.pressure().ensureFree(world.kernel.freeEpcPages() + 8)
+            .isOk());
+
+    // Once the dispatches retire, the evicted tenant reloads
+    // transparently on its next request and still answers correctly.
+    service.registry().find(0)->busy = false;
+    service.registry().find(1)->busy = false;
+    ASSERT_TRUE(service.submit(1, c1.nextRequest()).isOk());
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        if (c1.onResponse(done.sealedResponse)) ++verified;
+    }
+    EXPECT_EQ(verified, 1u);
+    EXPECT_EQ(c1.failures(), 0u);
+    EXPECT_GE(service.registry().find(1)->reloads, 1u);
+}
+
+TEST(ServePressure, ExplicitEvictThenDispatchReloadsTransparently)
+{
+    World world;
+    serve::TenantService service(*world.urts, smallServiceConfig());
+    ASSERT_TRUE(service.addTenant(0, Workload::Sql).isOk());
+    serve::TenantClient client(0, Workload::Sql);
+
+    // Seed some tenant state (a table with rows), then page it out.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        ASSERT_TRUE(client.onResponse(done.sealedResponse));
+    }
+    EXPECT_GT(service.registry().evictTenant(*service.registry().find(0)),
+              0u);
+
+    // Follow-up statements read the pre-eviction rows: any page lost or
+    // corrupted in the round trip shows up as a shadow-db mismatch.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_TRUE(client.onResponse(done.sealedResponse));
+    }
+    EXPECT_EQ(client.failures(), 0u);
+    EXPECT_GE(service.registry().find(0)->reloads, 1u);
+}
+
+/** Six tenants on an EPC that holds only a few of them: the service
+ *  must keep verifying every response while the pressure manager pages
+ *  tenants in and out underneath. */
+void
+survivesEpcPressure(bool taggedTlb)
+{
+    World world(pressedConfig(taggedTlb));
+    serve::TenantService service(*world.urts, smallServiceConfig());
+
+    const Workload mix[] = {Workload::Echo, Workload::Sql, Workload::Svm};
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (TenantId t = 0; t < 6; ++t) {
+        ASSERT_TRUE(service.addTenant(t, mix[t % 3]).isOk()) << t;
+        clients.push_back(
+            std::make_unique<serve::TenantClient>(t, mix[t % 3]));
+    }
+
+    std::uint64_t verified = 0;
+    auto drainInto = [&]() {
+        for (serve::Completion& done : service.drain()) {
+            if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+                ++verified;
+            }
+        }
+    };
+    for (int round = 0; round < 12; ++round) {
+        for (TenantId t = 0; t < 6; ++t) {
+            ASSERT_TRUE(
+                service.submit(t, clients[t]->nextRequest()).isOk());
+        }
+        if (round % 4 == 3) {
+            service.pump();
+            drainInto();
+        }
+    }
+    service.pump();
+    drainInto();
+
+    EXPECT_EQ(verified, 72u);
+    for (const auto& client : clients) {
+        EXPECT_EQ(client->failures(), 0u);
+    }
+    const auto& counters = world.machine.trace().counters();
+    EXPECT_GE(counters.serveTenantEvictions, 1u)
+        << "EPC was not actually under pressure";
+    EXPECT_GE(counters.serveTenantReloads, 1u);
+}
+
+TEST(ServePressure, SurvivesEpcPressureFlushedTlb)
+{
+    survivesEpcPressure(false);
+}
+
+TEST(ServePressure, SurvivesEpcPressureTaggedTlb)
+{
+    survivesEpcPressure(true);
+}
+
+}  // namespace
+}  // namespace nesgx::test

@@ -14,14 +14,20 @@
  *     database replay).
  *
  * An open-loop section in between drives bursty arrivals against a
- * request deadline, exercising admission backpressure and shedding.
+ * request deadline, exercising admission backpressure and shedding. A
+ * final chaos section arms the deterministic fault injector (src/fault)
+ * against the pressure scenario and measures the self-healing machinery:
+ * retries, tenant rebuilds, breaker cycles, and rebuild latency.
  *
  * JSON keys asserted by CI: neenter_per_req_batch1 > neenter_per_req_batch8,
- * pressure_evictions >= 10, pressure_integrity_failures == 0.
+ * pressure_evictions >= 10, pressure_integrity_failures == 0,
+ * chaos_faults_injected > 0, chaos_rebuilds >= 1, chaos_silent_empties == 0.
  */
 #include <memory>
+#include <set>
 
 #include "bench_util.h"
+#include "fault/injector.h"
 #include "serve/client.h"
 #include "serve/service.h"
 #include "trace/chrome_sink.h"
@@ -41,7 +47,19 @@ struct ServeResult {
     std::uint64_t batchedRequests = 0;
     std::uint64_t evictions = 0;
     std::uint64_t reloads = 0;
+    std::uint64_t watermarkMisses = 0;
     Histogram latency;
+    // Chaos-mode (faultSpec armed) extras.
+    std::uint64_t faultsInjected = 0;
+    std::uint64_t faultSites = 0;  ///< distinct sites that actually fired
+    std::uint64_t typedErrors = 0;
+    std::uint64_t silentEmpties = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t rebuilds = 0;
+    std::uint64_t breakerOpens = 0;
+    std::uint64_t breakerCloses = 0;
+    std::uint64_t recovered = 0;
+    Histogram rebuildLatency;
 };
 
 struct ServeParams {
@@ -51,6 +69,8 @@ struct ServeParams {
     std::uint64_t epcPages = 0;     ///< 0 = ample EPC
     std::uint64_t deadline = 0;     ///< relative cycles; 0 = no shedding
     bool openLoop = false;          ///< burst arrivals instead of paced
+    std::string faultSpec;          ///< FaultPlan spec; empty = no injector
+    std::uint64_t faultSeed = 1;
     std::string chromeTracePath;
 };
 
@@ -76,13 +96,20 @@ runServe(const ServeParams& params)
     serve::TenantService::Config sc;
     sc.pool.batchSize = params.batch;
     sc.admission.deadlineCycles = params.deadline;
+    if (!params.faultSpec.empty()) {
+        // Same knobs as nesgx_serve --chaos: a single failed batch opens
+        // the breaker so the open/probe/close cycle runs in-window.
+        sc.pool.breakerThreshold = 1;
+        sc.pool.breakerCooldownCycles = 150000;
+    }
     serve::TenantService service(*world.urts, sc);
 
     // sql expectations replay on a client-side shadow database, which
-    // needs lossless delivery; under deadline shedding stick to the
-    // per-request echo/svm workloads.
+    // needs lossless delivery; under deadline shedding or fault
+    // injection (both drop requests) stick to the per-request echo/svm
+    // workloads.
     const std::vector<serve::Workload> mix =
-        params.deadline == 0
+        (params.deadline == 0 && params.faultSpec.empty())
             ? std::vector<serve::Workload>{serve::Workload::Echo,
                                            serve::Workload::Sql,
                                            serve::Workload::Svm}
@@ -97,12 +124,35 @@ runServe(const ServeParams& params)
             serve::TenantId(t), workload));
     }
 
+    // Armed only after setup so tenant construction never faults and the
+    // trigger occurrence counts exclude the setup's leaf traffic.
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!params.faultSpec.empty()) {
+        auto plan = fault::FaultPlan::parse(params.faultSpec);
+        plan.orThrow("fault spec");
+        injector = std::make_unique<fault::FaultInjector>(plan.value(),
+                                                          params.faultSeed);
+        world.machine.setFaultInjector(injector.get());
+    }
+
     ServeResult result;
     auto drainInto = [&]() {
+        std::set<serve::TenantId> rebuiltSeen;
         for (serve::Completion& done : service.drain()) {
             result.latency.add(done.latencyCycles);
-            if (clients[done.tenant]->onResponse(done.sealedResponse)) {
-                ++result.verified;
+            if (done.tenantRebuilt &&
+                rebuiltSeen.insert(done.tenant).second) {
+                clients[done.tenant]->onTenantRebuilt();
+            }
+            if (done.ok) {
+                if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+                    ++result.verified;
+                }
+            } else if (done.status.isOk()) {
+                ++result.silentEmpties;
+            } else {
+                ++result.typedErrors;
+                if (!done.tenantRebuilt) clients[done.tenant]->onDropped();
             }
         }
     };
@@ -135,10 +185,47 @@ runServe(const ServeParams& params)
     service.pump();
     drainInto();
 
+    if (injector) {
+        // Recovery phase: stop injecting, then drive every tenant until
+        // it serves a verified response again (breaker probes come due
+        // as the clock charge passes the cooldown between rounds).
+        injector->disarm();
+        std::vector<bool> healed(params.tenants, false);
+        for (int round = 0;
+             round < 64 && result.recovered < params.tenants; ++round) {
+            for (std::uint64_t t = 0; t < params.tenants; ++t) {
+                if (healed[t]) continue;
+                const std::uint64_t was = clients[t]->verified();
+                Status st = service.submit(serve::TenantId(t),
+                                           clients[t]->nextRequest());
+                if (!st) clients[t]->onDropped();
+                service.pump();
+                drainInto();
+                if (clients[t]->verified() > was) {
+                    healed[t] = true;
+                    ++result.recovered;
+                }
+            }
+            world.machine.charge(sc.pool.breakerCooldownCycles + 1);
+        }
+        result.faultsInjected = injector->totalInjected();
+        for (std::size_t s = 0; s < fault::kFaultSiteCount; ++s) {
+            if (injector->injected(fault::FaultSite(s)) > 0) {
+                ++result.faultSites;
+            }
+        }
+        result.retries = service.pool().retries();
+        result.rebuilds = service.pool().rebuilds();
+        result.breakerOpens = service.pool().breakerOpens();
+        result.breakerCloses = service.pool().breakerCloses();
+        result.rebuildLatency = service.pool().rebuildLatency();
+    }
+
     for (const auto& client : clients) {
         result.failures += client->failures();
     }
     result.shed = service.admission().shed();
+    result.watermarkMisses = service.pressure().watermarkMisses();
     const auto& counters = world.machine.trace().counters();
     result.eenter = counters.eenterCount;
     result.neenter = counters.neenterCount;
@@ -174,7 +261,7 @@ main(int argc, char** argv)
     const std::string chromeTrace = flags.str("chrome-trace", "");
     JsonReport json;
 
-    header("Serve bench 1/3: NEENTER per request vs worker batch size");
+    header("Serve bench 1/4: NEENTER per request vs worker batch size");
     note("closed loop, ample EPC; one EENTER+NEENTER per dispatched batch,");
     note("so transitions per request fall as batch occupancy rises");
     std::printf("\n  %6s %10s %12s %12s %14s %10s %10s\n", "batch", "verified",
@@ -207,7 +294,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 2/3: open-loop burst arrivals with deadlines");
+    header("Serve bench 2/4: open-loop burst arrivals with deadlines");
     note("the whole request volume arrives before the pool runs; bounded");
     note("queues push back (Err::Backpressure) and queued requests that");
     note("outlive their deadline are shed at dequeue, never dispatched");
@@ -240,7 +327,7 @@ main(int argc, char** argv)
         json.set("open_loop_p99_cycles", double(r.latency.p99()));
     }
 
-    header("Serve bench 3/3: correctness under EPC pressure");
+    header("Serve bench 3/4: correctness under EPC pressure");
     note("4x the tenants on a small EPC: the pressure manager pages cold");
     note("idle tenants out (EBLOCK/ETRACK/EWB) and the registry reloads");
     note("them transparently (ELDU); every sealed response must still");
@@ -267,6 +354,7 @@ main(int argc, char** argv)
                     (unsigned long long)r.latency.p99());
         json.set("pressure_evictions", double(r.evictions));
         json.set("pressure_reloads", double(r.reloads));
+        json.set("pressure_watermark_misses", double(r.watermarkMisses));
         json.set("pressure_integrity_failures", double(r.failures));
         json.set("pressure_verified", double(r.verified));
         json.set("pressure_p50_cycles", double(r.latency.p50()));
@@ -279,6 +367,78 @@ main(int argc, char** argv)
         if (r.evictions < 10) {
             std::fprintf(stderr, "FAIL: expected >= 10 evictions, got %llu\n",
                          (unsigned long long)r.evictions);
+            return 1;
+        }
+    }
+
+    header("Serve bench 4/4: chaos — fault injection and self-healing");
+    note("the EPC-pressure scenario with the deterministic fault injector");
+    note("armed: storage corruption, refused leaves, allocator failures and");
+    note("interrupt storms; the pool retries transients, rebuilds poisoned");
+    note("tenants behind per-tenant circuit breakers, and every request must");
+    note("end verified or with a typed error — never a silent empty");
+    {
+        ServeParams params;
+        params.tenants = tenants * 4;
+        params.requests = requests * 2;
+        params.batch = 8;
+        params.epcPages = 1024;
+        params.faultSpec =
+            "ewb-corrupt@n=3; ewb-drop-slot@n=9; eldu-fail@n=15;"
+            "eenter-fail@every=40; neenter-fail@every=45;"
+            "epc-alloc-fail@every=150; aex-storm@every=100";
+        params.faultSeed = flags.u64("fault-seed", 7);
+        ServeResult r = runServe(params);
+        std::printf("\n  faults injected %llu at %llu sites; verified %llu, "
+                    "typed errors %llu, silent empties %llu\n",
+                    (unsigned long long)r.faultsInjected,
+                    (unsigned long long)r.faultSites,
+                    (unsigned long long)r.verified,
+                    (unsigned long long)r.typedErrors,
+                    (unsigned long long)r.silentEmpties);
+        std::printf("  retries %llu, rebuilds %llu, breaker open/close "
+                    "%llu/%llu, recovered %llu/%llu\n",
+                    (unsigned long long)r.retries,
+                    (unsigned long long)r.rebuilds,
+                    (unsigned long long)r.breakerOpens,
+                    (unsigned long long)r.breakerCloses,
+                    (unsigned long long)r.recovered,
+                    (unsigned long long)params.tenants);
+        if (!r.rebuildLatency.empty()) {
+            std::printf("  rebuild cycles: p50 %llu  p95 %llu\n",
+                        (unsigned long long)r.rebuildLatency.p50(),
+                        (unsigned long long)r.rebuildLatency.p95());
+        }
+        json.set("chaos_faults_injected", double(r.faultsInjected));
+        json.set("chaos_fault_sites", double(r.faultSites));
+        json.set("chaos_verified", double(r.verified));
+        json.set("chaos_typed_errors", double(r.typedErrors));
+        json.set("chaos_silent_empties", double(r.silentEmpties));
+        json.set("chaos_retries", double(r.retries));
+        json.set("chaos_rebuilds", double(r.rebuilds));
+        json.set("chaos_breaker_opens", double(r.breakerOpens));
+        json.set("chaos_breaker_closes", double(r.breakerCloses));
+        json.set("chaos_watermark_misses", double(r.watermarkMisses));
+        json.set("chaos_rebuild_p50_cycles", double(r.rebuildLatency.p50()));
+        json.set("chaos_rebuild_p95_cycles", double(r.rebuildLatency.p95()));
+        if (r.failures > 0 || r.silentEmpties > 0) {
+            std::fprintf(stderr,
+                         "FAIL: chaos run: %llu integrity failures, %llu "
+                         "silent empties\n",
+                         (unsigned long long)r.failures,
+                         (unsigned long long)r.silentEmpties);
+            return 1;
+        }
+        if (r.faultsInjected == 0 || r.rebuilds == 0 ||
+            r.recovered < params.tenants) {
+            std::fprintf(stderr,
+                         "FAIL: chaos run must inject (got %llu), rebuild "
+                         "(got %llu) and recover every tenant (got "
+                         "%llu/%llu)\n",
+                         (unsigned long long)r.faultsInjected,
+                         (unsigned long long)r.rebuilds,
+                         (unsigned long long)r.recovered,
+                         (unsigned long long)params.tenants);
             return 1;
         }
     }

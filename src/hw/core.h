@@ -52,6 +52,10 @@ class Core {
     Paddr currentSecs() const { return frames_.empty() ? 0 : frames_.back().secs; }
     Paddr currentTcs() const { return frames_.empty() ? 0 : frames_.back().tcs; }
 
+    /** Bottom-most TCS of the nest — where an AEX saves the frame stack
+     *  and what ERESUME takes to restore it (0 outside enclave mode). */
+    Paddr bottomTcs() const { return frames_.empty() ? 0 : frames_.front().tcs; }
+
     /** Enclave nesting depth on this core (0 = untrusted). */
     std::size_t depth() const { return frames_.size(); }
 

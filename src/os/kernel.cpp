@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "fault/injector.h"
+
 namespace nesgx::os {
 
 namespace {
@@ -92,6 +94,12 @@ Kernel::mapUntrusted(Pid pid, std::uint64_t pages)
 Result<hw::Paddr>
 Kernel::allocEpcPage()
 {
+    // Injected allocation failure: the driver's allocator refuses even
+    // though frames may be free — ECREATE/EADD/ELDU callers must cope
+    // (createEnclave, addPage, reloadPage all unwind through here).
+    if (machine_.faultFires(fault::FaultSite::EpcAllocFail)) {
+        return Err::OsError;
+    }
     if (epcFreeList_.empty()) return Err::OsError;
     hw::Paddr pa = epcFreeList_.back();
     epcFreeList_.pop_back();

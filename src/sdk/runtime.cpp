@@ -1,5 +1,7 @@
 #include "sdk/runtime.h"
 
+#include <algorithm>
+
 namespace nesgx::sdk {
 
 namespace {
@@ -245,7 +247,34 @@ Urts::load(const SignedEnclave& image)
 Status
 Urts::unload(LoadedEnclave* enclave)
 {
-    return kernel_.destroyEnclave(enclave->secsPage_);
+    Status st = kernel_.destroyEnclave(enclave->secsPage_);
+    if (kernel_.enclaveRecord(enclave->secsPage_) != nullptr) {
+        // The enclave survived (pages genuinely busy): the handle stays
+        // valid and the caller may retry later.
+        return st.isOk() ? Status(Err::OsError) : st;
+    }
+    // The enclave is gone — even if per-page teardown reported a
+    // degraded status. The SECS frame returns to the free list and a
+    // later load may reuse it: keeping the dead record would let
+    // enclaveBySecs() resolve the old enclave and shadow the new one.
+    // Unlink the association bookkeeping and drop the record entirely.
+    if (enclave->outer_) {
+        auto& siblings = enclave->outer_->inners_;
+        siblings.erase(std::remove(siblings.begin(), siblings.end(), enclave),
+                       siblings.end());
+    }
+    for (LoadedEnclave* inner : enclave->inners_) {
+        if (inner->outer_ == enclave) inner->outer_ = nullptr;
+    }
+    for (auto it = enclaves_.begin(); it != enclaves_.end(); ++it) {
+        if (it->get() == enclave) {
+            enclaves_.erase(it);
+            break;
+        }
+    }
+    // Ok means exactly "the enclave is gone" — even when per-page
+    // teardown reported a degraded status along the way.
+    return Status::ok();
 }
 
 Status

@@ -54,6 +54,19 @@ AdmissionController::takeBatch(TenantId tenant, std::size_t max)
     return out;
 }
 
+std::vector<Request>
+AdmissionController::purge(TenantId tenant)
+{
+    std::vector<Request> out;
+    auto it = queues_.find(tenant);
+    if (it == queues_.end()) return out;
+    out.reserve(it->second.size());
+    for (Request& r : it->second) out.push_back(std::move(r));
+    totalQueued_ -= it->second.size();
+    it->second.clear();
+    return out;
+}
+
 std::optional<TenantId>
 AdmissionController::nextTenant()
 {

@@ -51,6 +51,10 @@ class AdmissionController {
     /** Round-robin pick of the next tenant with queued work. */
     std::optional<TenantId> nextTenant();
 
+    /** Removes and returns the tenant's entire queue (tenant rebuild:
+     *  every queued seal targets the dead server instance). */
+    std::vector<Request> purge(TenantId tenant);
+
     std::size_t depth(TenantId tenant) const;
     std::size_t totalQueued() const { return totalQueued_; }
 

@@ -99,4 +99,14 @@ TenantClient::onDropped()
     if (!expected_.empty()) expected_.erase(expected_.begin());
 }
 
+void
+TenantClient::onTenantRebuilt()
+{
+    expected_.clear();
+    shadowDb_ = db::Database{};
+    sqlStep_ = 0;
+    sendSeq_ = 0;
+    ++rebuildsSeen_;
+}
+
 }  // namespace nesgx::serve

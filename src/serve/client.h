@@ -39,9 +39,17 @@ class TenantClient {
      *  expectation so bookkeeping stays bounded). */
     void onDropped();
 
+    /** The server rebuilt this tenant's enclave from scratch: resets the
+     *  client to mirror it — outstanding expectations can never verify,
+     *  the sql shadow restarts empty, and sealing resumes from seq 1 (a
+     *  fresh server accepts any first sequence). Safe to call once per
+     *  rebuild-marked completion — repeats re-clear already-empty state. */
+    void onTenantRebuilt();
+
     std::uint64_t requestsSent() const { return sendSeq_; }
     std::uint64_t verified() const { return verified_; }
     std::uint64_t failures() const { return failures_; }
+    std::uint64_t rebuildsSeen() const { return rebuildsSeen_; }
     std::size_t pending() const { return expected_.size(); }
 
   private:
@@ -58,6 +66,7 @@ class TenantClient {
     std::uint64_t sqlStep_ = 0;
     std::uint64_t verified_ = 0;
     std::uint64_t failures_ = 0;
+    std::uint64_t rebuildsSeen_ = 0;
 };
 
 }  // namespace nesgx::serve

@@ -7,14 +7,28 @@
  *
  *   nesgx_serve --tenants 8 --requests 200 [--batch 8] [--epc-pages 0]
  *               [--deadline 0] [--queue-depth 64] [--chrome-trace p.json]
+ *               [--faults SPEC] [--fault-seed N] [--chaos SEED]
+ *
+ * --faults arms the deterministic fault injector (src/fault) with a
+ * site@trigger spec, e.g. "ewb-corrupt@n=3;eenter-fail@every=40".
+ *
+ * --chaos SEED is the self-healing acceptance mode: a 24-tenant
+ * 4x-oversubscribed run with a default multi-site fault plan armed
+ * after setup, followed by a fault-free recovery phase. It exits
+ * nonzero unless faults actually fired at >= 5 distinct sites, at
+ * least one tenant was rebuilt, every request either verified or
+ * carried a typed error (zero silent empties), and every tenant
+ * serves verified responses again once the faults stop.
  *
  * Exits nonzero on any integrity failure, making it usable as a CI
  * smoke test.
  */
 #include <cstdio>
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "fault/injector.h"
 #include "serve/client.h"
 #include "serve/service.h"
 #include "trace/chrome_sink.h"
@@ -45,18 +59,39 @@ flagStr(int argc, char** argv, const char* name, const std::string& fallback)
     return fallback;
 }
 
+/** The --chaos default plan: storage corruption (forces PagingIntegrity
+ *  recoveries), periodic leaf and allocator refusals, and an interrupt
+ *  storm — seven sites so the ">= 5 distinct kinds" gate has slack. */
+const char* kChaosPlan =
+    "ewb-corrupt@n=3; ewb-drop-slot@n=9; eldu-fail@n=15;"
+    "eenter-fail@every=40; neenter-fail@every=45;"
+    "epc-alloc-fail@every=150; aex-storm@every=100";
+
+constexpr std::uint64_t kNoChaos = std::uint64_t(-1);
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
-    const std::uint64_t tenants = flagU64(argc, argv, "tenants", 8);
-    const std::uint64_t requests = flagU64(argc, argv, "requests", 200);
+    const std::uint64_t chaosSeed =
+        flagU64(argc, argv, "chaos", kNoChaos);
+    const bool chaos = chaosSeed != kNoChaos;
+
+    const std::uint64_t tenants =
+        flagU64(argc, argv, "tenants", chaos ? 24 : 8);
+    const std::uint64_t requests =
+        flagU64(argc, argv, "requests", chaos ? 960 : 200);
     const std::uint64_t batch = flagU64(argc, argv, "batch", 8);
-    const std::uint64_t epcPages = flagU64(argc, argv, "epc-pages", 0);
+    const std::uint64_t epcPages =
+        flagU64(argc, argv, "epc-pages", chaos ? 1024 : 0);
     const std::uint64_t deadline = flagU64(argc, argv, "deadline", 0);
     const std::uint64_t queueDepth = flagU64(argc, argv, "queue-depth", 64);
     const std::string tracePath = flagStr(argc, argv, "chrome-trace", "");
+    const std::string faultSpec =
+        flagStr(argc, argv, "faults", chaos ? kChaosPlan : "");
+    const std::uint64_t faultSeed =
+        flagU64(argc, argv, "fault-seed", chaos ? chaosSeed : 1);
 
     sgx::Machine::Config mc;
     mc.dramBytes = 256ull << 20;
@@ -80,20 +115,41 @@ main(int argc, char** argv)
         machine.trace().subscribe(sink.get());
     }
 
+    std::unique_ptr<fault::FaultInjector> injector;
+    if (!faultSpec.empty()) {
+        auto plan = fault::FaultPlan::parse(faultSpec);
+        if (!plan) {
+            std::fprintf(stderr, "error: --faults '%s': %s\n",
+                         faultSpec.c_str(), plan.status().name());
+            return 1;
+        }
+        injector = std::make_unique<fault::FaultInjector>(plan.value(),
+                                                          faultSeed);
+    }
+
     serve::TenantService::Config sc;
     sc.admission.maxQueueDepth = queueDepth;
     sc.admission.deadlineCycles = deadline;
     sc.pool.batchSize = batch;
+    if (chaos) {
+        // One failed batch opens the breaker, so the open -> half-open
+        // probe -> close cycle is guaranteed to run within the chaos
+        // window; the cooldown is roughly one batch of service time.
+        sc.pool.breakerThreshold = 1;
+        sc.pool.breakerCooldownCycles = 150000;
+    }
     serve::TenantService service(urts, sc);
 
-    // sql only without deadline shedding (shadow-db expectations need
-    // lossless delivery); under deadlines stick to per-request ones.
+    // sql only when delivery is lossless (shadow-db expectations replay
+    // every statement); deadline shedding and fault injection both drop
+    // requests, so those runs stick to the per-request workloads.
     const std::vector<serve::Workload> mix =
-        deadline == 0 ? std::vector<serve::Workload>{serve::Workload::Echo,
-                                                     serve::Workload::Sql,
-                                                     serve::Workload::Svm}
-                      : std::vector<serve::Workload>{serve::Workload::Echo,
-                                                     serve::Workload::Svm};
+        (deadline == 0 && !injector)
+            ? std::vector<serve::Workload>{serve::Workload::Echo,
+                                           serve::Workload::Sql,
+                                           serve::Workload::Svm}
+            : std::vector<serve::Workload>{serve::Workload::Echo,
+                                           serve::Workload::Svm};
 
     std::vector<std::unique_ptr<serve::TenantClient>> clients;
     for (std::uint64_t t = 0; t < tenants; ++t) {
@@ -108,18 +164,45 @@ main(int argc, char** argv)
             serve::TenantId(t), workload));
     }
 
+    // Armed only now: tenant setup must succeed unconditionally, and
+    // trigger occurrence counts stay independent of the setup's leaf
+    // traffic.
+    if (injector) machine.setFaultInjector(injector.get());
+
     serve::Histogram latency;
     std::uint64_t completedOk = 0;
-    std::uint64_t refused = 0;
+    std::uint64_t integrityRefused = 0;
+    std::uint64_t typedErrors = 0;
+    std::uint64_t silentEmpties = 0;
     std::uint64_t backpressured = 0;
+    std::uint64_t typedByErr[kErrCount] = {};
 
     auto drainInto = [&]() {
+        // A tenant is rebuilt at most once per pump, so one reset per
+        // (tenant, drain) keeps the client mirror exact.
+        std::set<serve::TenantId> rebuiltSeen;
         for (serve::Completion& done : service.drain()) {
             latency.add(done.latencyCycles);
-            if (clients[done.tenant]->onResponse(done.sealedResponse)) {
-                ++completedOk;
+            if (done.tenantRebuilt &&
+                rebuiltSeen.insert(done.tenant).second) {
+                clients[done.tenant]->onTenantRebuilt();
+            }
+            if (done.ok) {
+                if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+                    ++completedOk;
+                } else {
+                    ++integrityRefused;
+                }
+            } else if (done.status.isOk()) {
+                // ok == false must always carry a typed reason.
+                ++silentEmpties;
             } else {
-                ++refused;
+                ++typedErrors;
+                ++typedByErr[std::size_t(done.error())];
+                // Rebuild-marked errors already reset the whole client;
+                // for the rest, retire the oldest pending expectation
+                // (requests complete in sequence order per tenant).
+                if (!done.tenantRebuilt) clients[done.tenant]->onDropped();
             }
         }
     };
@@ -152,12 +235,43 @@ main(int argc, char** argv)
     service.pump();
     drainInto();
 
+    // Recovery phase: stop injecting and require every tenant to serve
+    // a verified response again — open breakers must probe shut and
+    // inner-less tenants must finish rebuilding. The clock charge lets
+    // half-open probe deadlines pass between rounds.
+    std::uint64_t recovered = 0;
+    if (injector) {
+        injector->disarm();
+        std::vector<bool> healed(tenants, false);
+        const std::uint64_t before[2] = {completedOk, typedErrors};
+        (void)before;
+        for (int round = 0; round < 64 && recovered < tenants; ++round) {
+            for (std::uint64_t t = 0; t < tenants; ++t) {
+                if (healed[t]) continue;
+                const std::uint64_t wasVerified = clients[t]->verified();
+                Status st = service.submit(
+                    serve::TenantId(t), clients[t]->nextRequest());
+                if (!st) {
+                    clients[t]->onDropped();
+                }
+                service.pump();
+                drainInto();
+                if (clients[t]->verified() > wasVerified) {
+                    healed[t] = true;
+                    ++recovered;
+                }
+            }
+            machine.charge(sc.pool.breakerCooldownCycles + 1);
+        }
+    }
+
     const auto& counters = machine.trace().counters();
     std::uint64_t failures = 0;
     for (const auto& client : clients) failures += client->failures();
 
-    std::printf("nesgx_serve: %llu tenants, %llu requests\n",
-                (unsigned long long)tenants, (unsigned long long)submitted);
+    std::printf("nesgx_serve: %llu tenants, %llu requests%s\n",
+                (unsigned long long)tenants, (unsigned long long)submitted,
+                chaos ? " [chaos]" : "");
     std::printf("  gateways            : %zu\n",
                 service.registry().gatewayCount());
     std::printf("  verified ok         : %llu\n",
@@ -185,6 +299,49 @@ main(int argc, char** argv)
                 (unsigned long long)latency.p95(),
                 (unsigned long long)latency.p99());
 
+    std::size_t distinctSites = 0;
+    if (injector) {
+        const serve::WorkerPool& pool = service.pool();
+        std::printf("  --- fault injection / self-healing ---\n");
+        std::printf("  faults injected     : %llu\n",
+                    (unsigned long long)injector->totalInjected());
+        for (std::size_t s = 0; s < fault::kFaultSiteCount; ++s) {
+            const auto site = fault::FaultSite(s);
+            if (injector->injected(site) == 0) continue;
+            ++distinctSites;
+            std::printf("    %-17s : %llu (of %llu occurrences)\n",
+                        fault::siteName(site),
+                        (unsigned long long)injector->injected(site),
+                        (unsigned long long)injector->occurrences(site));
+        }
+        std::printf("  typed errors        : %llu\n",
+                    (unsigned long long)typedErrors);
+        for (std::size_t e = 0; e < kErrCount; ++e) {
+            if (typedByErr[e] == 0) continue;
+            std::printf("    %-17s : %llu\n", errName(Err(e)),
+                        (unsigned long long)typedByErr[e]);
+        }
+        std::printf("  silent empties      : %llu\n",
+                    (unsigned long long)silentEmpties);
+        std::printf("  retries             : %llu\n",
+                    (unsigned long long)pool.retries());
+        std::printf("  tenant rebuilds     : %llu\n",
+                    (unsigned long long)pool.rebuilds());
+        std::printf("  breaker open/close  : %llu / %llu\n",
+                    (unsigned long long)pool.breakerOpens(),
+                    (unsigned long long)pool.breakerCloses());
+        std::printf("  watermark misses    : %llu\n",
+                    (unsigned long long)service.pressure().watermarkMisses());
+        if (!pool.rebuildLatency().empty()) {
+            std::printf("  rebuild cycles      : p50 %llu  p95 %llu\n",
+                        (unsigned long long)pool.rebuildLatency().p50(),
+                        (unsigned long long)pool.rebuildLatency().p95());
+        }
+        std::printf("  recovered tenants   : %llu / %llu\n",
+                    (unsigned long long)recovered,
+                    (unsigned long long)tenants);
+    }
+
     if (sink) {
         machine.trace().unsubscribe(sink.get());
         if (!sink->writeFile(tracePath)) {
@@ -195,11 +352,37 @@ main(int argc, char** argv)
         std::printf("  [chrome trace written to %s]\n", tracePath.c_str());
     }
 
+    bool fail = failures > 0 || silentEmpties > 0;
     if (failures > 0) {
         std::fprintf(stderr, "FAIL: %llu integrity failures\n",
                      (unsigned long long)failures);
-        return 1;
     }
+    if (silentEmpties > 0) {
+        std::fprintf(stderr, "FAIL: %llu completions failed without a "
+                             "typed error\n",
+                     (unsigned long long)silentEmpties);
+    }
+    if (injector && recovered < tenants) {
+        std::fprintf(stderr, "FAIL: only %llu/%llu tenants recovered\n",
+                     (unsigned long long)recovered,
+                     (unsigned long long)tenants);
+        fail = true;
+    }
+    if (chaos) {
+        if (injector->totalInjected() == 0 || distinctSites < 5) {
+            std::fprintf(stderr,
+                         "FAIL: chaos run injected %llu faults at %zu "
+                         "sites (need > 0 at >= 5 sites)\n",
+                         (unsigned long long)injector->totalInjected(),
+                         distinctSites);
+            fail = true;
+        }
+        if (service.pool().rebuilds() == 0) {
+            std::fprintf(stderr, "FAIL: chaos run rebuilt no tenant\n");
+            fail = true;
+        }
+    }
+    if (fail) return 1;
     std::printf("OK\n");
     return 0;
 }

@@ -246,6 +246,7 @@ TenantRegistry::ensure(TenantId id, Workload workload)
 Result<Bytes>
 TenantRegistry::dispatch(TenantHandle& tenant, ByteView blob, hw::CoreId core)
 {
+    if (!tenant.inner) return Err::Unavailable;
     Gateway& gateway = gateways_[tenant.gatewayIndex];
     return urts_->ecall(gateway.outer, "gw_dispatch", blob, core);
 }
@@ -253,10 +254,16 @@ TenantRegistry::dispatch(TenantHandle& tenant, ByteView blob, hw::CoreId core)
 Result<std::uint64_t>
 TenantRegistry::ensureResident(TenantHandle& tenant)
 {
+    if (!tenant.inner) return Err::Unavailable;
     os::Kernel& kernel = urts_->kernel();
     const os::EnclaveRecord* rec =
         kernel.enclaveRecord(tenant.inner->secsPage());
     if (!rec || rec->evicted.empty()) return std::uint64_t(0);
+
+    // Make room for the whole reload up front (evicting colder tenants
+    // if needed); a refusal is not fatal — the allocator may still cover
+    // part of it, and the worker retries the remainder.
+    (void)reserveEpc(rec->evicted.size());
 
     std::vector<hw::Vaddr> vas;
     vas.reserve(rec->evicted.size());
@@ -275,6 +282,7 @@ TenantRegistry::ensureResident(TenantHandle& tenant)
 std::uint64_t
 TenantRegistry::evictTenant(TenantHandle& tenant)
 {
+    if (!tenant.inner) return 0;
     os::Kernel& kernel = urts_->kernel();
     const os::EnclaveRecord* rec =
         kernel.enclaveRecord(tenant.inner->secsPage());
@@ -298,11 +306,43 @@ TenantRegistry::evictTenant(TenantHandle& tenant)
     return written;
 }
 
+Status
+TenantRegistry::rebuildTenant(TenantHandle& tenant)
+{
+    Gateway& gateway = gateways_[tenant.gatewayIndex];
+    if (tenant.inner) {
+        // Detach from the gateway first so a failed unload cannot leave
+        // the slot pointing at a half-dead enclave.
+        sdk::LoadedEnclave* old = tenant.inner;
+        gateway.state->slots[tenant.slot] = nullptr;
+        tenant.inner = nullptr;
+        Status st = urts_->unload(old);
+        if (!st) {
+            // Destroy refused (a page still busy): restore and report;
+            // the worker retries on the tenant's next batch.
+            tenant.inner = old;
+            gateway.state->slots[tenant.slot] = old;
+            return st;
+        }
+    }
+    auto inner = buildInner(tenant.id, tenant.workload, gateway);
+    if (!inner) return inner.status();  // stays inner-less; retried lazily
+    tenant.inner = inner.value();
+    gateway.state->slots[tenant.slot] = inner.value();
+    ++tenant.rebuilds;
+    urts_->machine().trace().publishLight(
+        trace::EventKind::ServeTenantRebuild, trace::kNoCore, 0, tenant.id,
+        tenant.rebuilds);
+    return Status::ok();
+}
+
 TenantHandle*
 TenantRegistry::tenantBySecs(hw::Paddr secsPage)
 {
     for (auto& [id, tenant] : tenants_) {
-        if (tenant->inner->secsPage() == secsPage) return tenant.get();
+        if (tenant->inner && tenant->inner->secsPage() == secsPage) {
+            return tenant.get();
+        }
     }
     return nullptr;
 }

@@ -38,12 +38,14 @@ namespace nesgx::serve {
 struct TenantHandle {
     TenantId id = 0;
     Workload workload = Workload::Echo;
+    /** Inner enclave; nullptr while a poisoned tenant awaits rebuild. */
     sdk::LoadedEnclave* inner = nullptr;
     std::size_t gatewayIndex = 0;
     std::uint32_t slot = 0;       ///< slot within the gateway
     bool busy = false;            ///< a dispatch is in flight
     std::uint64_t evictions = 0;  ///< times paged out by pressure
     std::uint64_t reloads = 0;    ///< cold-start reloads
+    std::uint64_t rebuilds = 0;   ///< destroy-and-rebuild recoveries
 };
 
 class TenantRegistry {
@@ -87,6 +89,13 @@ class TenantRegistry {
     /** Pages the tenant's inner out (best effort: TCS/pinned pages are
      *  skipped). Returns pages actually written back. */
     std::uint64_t evictTenant(TenantHandle& tenant);
+
+    /** Destroys a poisoned tenant's inner and builds a fresh one into
+     *  the same gateway slot. Sequence state, sql tables, everything
+     *  in-enclave is lost — the client must reseal from scratch. On
+     *  failure the tenant is left inner-less (`inner == nullptr`) and
+     *  quarantined until a later rebuild succeeds. */
+    Status rebuildTenant(TenantHandle& tenant);
 
     /** Tenant owning this inner SECS, or nullptr (victim filtering). */
     TenantHandle* tenantBySecs(hw::Paddr secsPage);

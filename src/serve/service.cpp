@@ -2,7 +2,29 @@
 
 #include <set>
 
+#include "support/logging.h"
+
 namespace nesgx::serve {
+
+namespace {
+
+/** Errors that mean the tenant's inner enclave state can no longer be
+ *  trusted or reached: a retry against the same instance is pointless,
+ *  only destroy-and-rebuild recovers. */
+bool
+poisonedStatus(Status st)
+{
+    switch (st.code()) {
+      case Err::PagingIntegrity:
+      case Err::InvalidEpcPage:
+      case Err::PageFault:
+        return true;
+      default:
+        return false;
+    }
+}
+
+}  // namespace
 
 Status
 EpcPressureManager::ensureFree(std::uint64_t pages)
@@ -29,6 +51,21 @@ EpcPressureManager::ensureFree(std::uint64_t pages)
     return Status::ok();
 }
 
+void
+EpcPressureManager::relieve()
+{
+    Status st = ensureFree(config_.lowWatermarkPages);
+    if (st) return;
+    ++watermarkMisses_;
+    const std::uint64_t free = kernel_->freeEpcPages();
+    NESGX_WARN << "epc pressure: watermark miss ("
+               << config_.lowWatermarkPages << " wanted, " << free
+               << " free, " << st.name() << ")";
+    registry_->urts().machine().trace().publishLight(
+        trace::EventKind::ServeWatermarkMiss, trace::kNoCore, 0,
+        config_.lowWatermarkPages, free);
+}
+
 WorkerPool::WorkerPool(TenantRegistry& registry,
                        AdmissionController& admission,
                        EpcPressureManager& pressure, Config config)
@@ -38,6 +75,36 @@ WorkerPool::WorkerPool(TenantRegistry& registry,
     if (config_.cores == 0) {
         config_.cores = registry.urts().machine().coreCount();
     }
+}
+
+bool
+WorkerPool::breakerOpen(TenantId tenant) const
+{
+    auto it = breakers_.find(tenant);
+    return it != breakers_.end() && it->second.open;
+}
+
+Status
+WorkerPool::rebuildTenantNow(TenantHandle& tenant)
+{
+    sgx::Machine& machine = registry_->urts().machine();
+    // Everything the tenant still has queued was sealed against the
+    // poisoned instance; fail it typed so the client reseals against
+    // the rebuilt server instead of replaying stale sequence numbers.
+    for (Request& r : admission_->purge(tenant.id)) {
+        Completion done;
+        done.id = r.id;
+        done.tenant = r.tenant;
+        done.latencyCycles = machine.clock().cycles() - r.enqueuedAt;
+        done.status = Err::Unavailable;
+        done.tenantRebuilt = true;
+        completions_.push_back(std::move(done));
+    }
+    const std::uint64_t begin = machine.clock().cycles();
+    Status st = registry_->rebuildTenant(tenant);
+    rebuildLatency_.add(machine.clock().cycles() - begin);
+    ++rebuilds_;
+    return st;
 }
 
 bool
@@ -55,54 +122,179 @@ WorkerPool::step()
 
     sgx::Machine& machine = registry_->urts().machine();
 
-    // Transparent cold start: page the inner back in before entering.
-    (void)registry_->ensureResident(*tenant);
+    auto failBatchTyped = [&](Status st, bool rebuiltFlag) {
+        const std::uint64_t now = machine.clock().cycles();
+        for (Request& r : batch) {
+            Completion done;
+            done.id = r.id;
+            done.tenant = r.tenant;
+            done.latencyCycles = now - r.enqueuedAt;
+            done.status = st;
+            done.tenantRebuilt = rebuiltFlag;
+            completions_.push_back(std::move(done));
+        }
+    };
 
-    const hw::CoreId core = nextCore_;
-    nextCore_ = (nextCore_ + 1) % config_.cores;
-
-    std::vector<ByteView> views;
-    views.reserve(batch.size());
-    for (const Request& req : batch) views.push_back(req.sealed);
-    Bytes blob = packBatch(tenant->slot, views);
-
-    trace::TraceEvent begin;
-    begin.kind = trace::EventKind::ServeBatchBegin;
-    begin.core = core;
-    begin.arg0 = tenant->id;
-    begin.arg1 = batch.size();
-    machine.trace().publishIfActive(begin);
-
-    tenant->busy = true;
-    auto respBlob = registry_->dispatch(*tenant, blob, core);
-    tenant->busy = false;
-
-    machine.trace().publishLight(trace::EventKind::ServeBatchEnd, core, 0,
-                                 tenant->id, batch.size());
-    ++batches_;
-
-    std::vector<Bytes> responses;
-    if (respBlob) {
-        auto parsed = parseResponses(respBlob.value());
-        if (parsed && parsed.value().size() == batch.size()) {
-            responses = std::move(parsed.value());
+    // Circuit breaker: while open, refuse the batch outright unless the
+    // cooldown has elapsed — then exactly this batch goes through as the
+    // half-open probe.
+    Breaker& breaker = breakers_[*tenantId];
+    if (breaker.open) {
+        bool probeDue = false;
+#ifndef NESGX_BUG_BREAKER_STUCK
+        probeDue = machine.clock().cycles() >= breaker.probeAt;
+#endif
+        if (!probeDue) {
+            failBatchTyped(Err::Unavailable, false);
+            pressure_->relieve();
+            return true;
         }
     }
-    if (responses.empty() && !batch.empty()) {
-        ++dispatchFailures_;
-        responses.assign(batch.size(), Bytes{});
+
+    Status finalStatus = Err::Unavailable;
+    std::vector<Bytes> responses;
+    bool dispatched = false;
+    bool rebuilt = false;
+
+    for (std::uint32_t attempt = 0; attempt <= config_.maxRetries;
+         ++attempt) {
+        if (attempt > 0) {
+            ++retries_;
+            machine.trace().publishLight(trace::EventKind::ServeRetry,
+                                         trace::kNoCore, 0, tenant->id,
+                                         attempt);
+        }
+
+        // A previous rebuild died half-way (e.g. the EPC allocator
+        // refused mid-build): the tenant is inner-less until a build
+        // succeeds. Keep trying under the same retry budget.
+        if (!tenant->inner) {
+            rebuilt = true;
+            Status st = rebuildTenantNow(*tenant);
+            if (!st) {
+                finalStatus = st;
+                continue;
+            }
+        }
+
+        // Transparent cold start: page the inner back in before
+        // entering. Pinned (`busy`) so the pressure manager cannot pick
+        // this tenant as an eviction victim mid-reload.
+        tenant->busy = true;
+        auto resident = registry_->ensureResident(*tenant);
+        tenant->busy = false;
+        if (!resident) {
+            finalStatus = resident.status();
+            if (poisonedStatus(finalStatus)) {
+                rebuilt = true;
+                (void)rebuildTenantNow(*tenant);
+                break;  // seals target the dead instance: no redispatch
+            }
+            continue;
+        }
+
+        const hw::CoreId core = nextCore_;
+        nextCore_ = (nextCore_ + 1) % config_.cores;
+
+        std::vector<ByteView> views;
+        views.reserve(batch.size());
+        for (const Request& req : batch) views.push_back(req.sealed);
+        Bytes blob = packBatch(tenant->slot, views);
+
+        trace::TraceEvent begin;
+        begin.kind = trace::EventKind::ServeBatchBegin;
+        begin.core = core;
+        begin.arg0 = tenant->id;
+        begin.arg1 = batch.size();
+        machine.trace().publishIfActive(begin);
+
+        tenant->busy = true;
+        auto respBlob = registry_->dispatch(*tenant, blob, core);
+        tenant->busy = false;
+
+        machine.trace().publishLight(trace::EventKind::ServeBatchEnd, core,
+                                     0, tenant->id, batch.size());
+        ++batches_;
+
+        if (!respBlob) {
+            finalStatus = respBlob.status();
+            if (poisonedStatus(finalStatus)) {
+                rebuilt = true;
+                (void)rebuildTenantNow(*tenant);
+                break;
+            }
+            continue;
+        }
+        auto parsed = parseResponses(respBlob.value());
+        if (!parsed) {
+            finalStatus = parsed.status();
+            continue;
+        }
+        if (parsed.value().size() != batch.size()) {
+            finalStatus = Err::BadCallBuffer;
+            continue;
+        }
+        responses = std::move(parsed.value());
+        dispatched = true;
+        break;
     }
 
     const std::uint64_t now = machine.clock().cycles();
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-        Completion done;
-        done.id = batch[i].id;
-        done.tenant = batch[i].tenant;
-        done.sealedResponse = std::move(responses[i]);
-        done.latencyCycles = now - batch[i].enqueuedAt;
-        done.ok = !done.sealedResponse.empty();
-        if (done.ok) ++served_;
-        completions_.push_back(std::move(done));
+    if (dispatched) {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Completion done;
+            done.id = batch[i].id;
+            done.tenant = batch[i].tenant;
+            done.sealedResponse = std::move(responses[i]);
+            done.latencyCycles = now - batch[i].enqueuedAt;
+            done.ok = !done.sealedResponse.empty();
+            // Deliberately NOT rebuilt-flagged: a batch that round-trips
+            // after a lazy rebuild was sealed against the fresh instance
+            // (the client resealed when the rebuild was first reported),
+            // so telling the client to reset again would wipe the very
+            // expectations these responses verify against.
+            if (done.ok) {
+                ++served_;
+            } else {
+                // The batch round-tripped but the server refused this
+                // request (bad seal, or a sequence already consumed by a
+                // partially-processed earlier attempt).
+                done.status = Err::SealRejected;
+            }
+            completions_.push_back(std::move(done));
+        }
+    } else {
+        ++dispatchFailures_;
+        failBatchTyped(finalStatus, rebuilt);
+    }
+
+    // Breaker bookkeeping observes the batch outcome: any round trip
+    // counts as healthy (per-request refusals are an auth decision, not
+    // an infrastructure failure).
+    if (dispatched) {
+        breaker.consecutiveFailures = 0;
+        if (breaker.open) {
+            breaker.open = false;
+            ++breakerCloses_;
+            machine.trace().publishLight(trace::EventKind::ServeBreakerClose,
+                                         trace::kNoCore, 0, tenant->id, 0);
+        }
+    } else {
+        ++breaker.consecutiveFailures;
+        if (!breaker.open &&
+            breaker.consecutiveFailures >= config_.breakerThreshold) {
+            breaker.open = true;
+            breaker.probeAt =
+                machine.clock().cycles() + config_.breakerCooldownCycles;
+            ++breakerOpens_;
+            machine.trace().publishLight(trace::EventKind::ServeBreakerOpen,
+                                         trace::kNoCore, 0, tenant->id,
+                                         breaker.consecutiveFailures);
+        } else if (breaker.open) {
+            // Failed half-open probe: stay open, re-arm the cooldown.
+            breaker.probeAt =
+                machine.clock().cycles() + config_.breakerCooldownCycles;
+        }
     }
 
     // Restore the EPC watermark before the next tenant needs pages.

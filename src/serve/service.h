@@ -14,8 +14,17 @@
  * machine's cores: one batch = one EENTER + one NEENTER no matter how
  * many requests it carries, which is the transition amortization
  * bench_serve measures.
+ *
+ * The pool is also where the stack self-heals (DESIGN.md §11): every
+ * dispatch failure is classified — *poisoned* errors (paging
+ * integrity, lost EPC pages) destroy and rebuild the tenant's inner,
+ * *transient* ones retry under a capped budget, and a per-tenant
+ * circuit breaker quarantines tenants that keep failing so the rest of
+ * the fleet is not starved by a broken one.
  */
 #pragma once
+
+#include <map>
 
 #include "serve/admission.h"
 #include "serve/histogram.h"
@@ -40,11 +49,14 @@ class EpcPressureManager {
      *  free; OsError when demand cannot be met. */
     Status ensureFree(std::uint64_t pages);
 
-    /** Restores the watermark (no-op while above it). */
-    void relieve() { (void)ensureFree(config_.lowWatermarkPages); }
+    /** Restores the watermark. A miss (every evictable tenant pinned or
+     *  already out) is survivable — the next build pays reserveEpc — but
+     *  it is counted, logged, and published, never swallowed. */
+    void relieve();
 
     std::uint64_t tenantsEvicted() const { return tenantsEvicted_; }
     std::uint64_t pagesWritten() const { return pagesWritten_; }
+    std::uint64_t watermarkMisses() const { return watermarkMisses_; }
 
   private:
     os::Kernel* kernel_;
@@ -52,6 +64,7 @@ class EpcPressureManager {
     Config config_;
     std::uint64_t tenantsEvicted_ = 0;
     std::uint64_t pagesWritten_ = 0;
+    std::uint64_t watermarkMisses_ = 0;
 };
 
 struct Completion {
@@ -60,6 +73,15 @@ struct Completion {
     Bytes sealedResponse;          ///< empty when the server refused it
     std::uint64_t latencyCycles = 0;
     bool ok = false;
+    /** Why `ok` is false: the dispatch error after retries, SealRejected
+     *  for a per-request refusal, Unavailable for breaker/rebuild
+     *  quarantine. Ok iff `ok` is true. */
+    Status status;
+    /** The tenant's inner was (or is being) rebuilt while this request
+     *  was in flight: the client must reseal from a fresh sequence. */
+    bool tenantRebuilt = false;
+
+    Err error() const { return status.code(); }
 };
 
 class WorkerPool {
@@ -68,6 +90,12 @@ class WorkerPool {
         std::size_t batchSize = 8;
         /** Cores to schedule dispatches on; 0 = all machine cores. */
         std::uint32_t cores = 0;
+        /** Extra dispatch attempts for transient failures (0 = none). */
+        std::uint32_t maxRetries = 2;
+        /** Consecutive failed batches before the tenant's breaker opens. */
+        std::uint32_t breakerThreshold = 4;
+        /** Cooldown before an open breaker admits a half-open probe. */
+        std::uint64_t breakerCooldownCycles = 200000;
     };
 
     WorkerPool(TenantRegistry& registry, AdmissionController& admission,
@@ -83,17 +111,41 @@ class WorkerPool {
     std::uint64_t batchesDispatched() const { return batches_; }
     std::uint64_t requestsServed() const { return served_; }
     std::uint64_t dispatchFailures() const { return dispatchFailures_; }
+    std::uint64_t retries() const { return retries_; }
+    std::uint64_t rebuilds() const { return rebuilds_; }
+    std::uint64_t breakerOpens() const { return breakerOpens_; }
+    std::uint64_t breakerCloses() const { return breakerCloses_; }
+    bool breakerOpen(TenantId tenant) const;
+    const Histogram& rebuildLatency() const { return rebuildLatency_; }
 
   private:
+    /** Per-tenant circuit breaker (DESIGN.md §11 state machine). */
+    struct Breaker {
+        std::uint32_t consecutiveFailures = 0;
+        bool open = false;
+        std::uint64_t probeAt = 0;  ///< absolute cycles; half-open gate
+    };
+
+    /** Destroys and rebuilds a poisoned tenant: fails its whole queue
+     *  typed (the seals target the dead instance) and times the rebuild.
+     *  On failure the tenant stays inner-less and is retried lazily. */
+    Status rebuildTenantNow(TenantHandle& tenant);
+
     TenantRegistry* registry_;
     AdmissionController* admission_;
     EpcPressureManager* pressure_;
     Config config_;
     hw::CoreId nextCore_ = 0;
     std::vector<Completion> completions_;
+    std::map<TenantId, Breaker> breakers_;
+    Histogram rebuildLatency_;
     std::uint64_t batches_ = 0;
     std::uint64_t served_ = 0;
     std::uint64_t dispatchFailures_ = 0;
+    std::uint64_t retries_ = 0;
+    std::uint64_t rebuilds_ = 0;
+    std::uint64_t breakerOpens_ = 0;
+    std::uint64_t breakerCloses_ = 0;
 };
 
 /** The whole serving stack behind one object. */

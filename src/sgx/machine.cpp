@@ -2,7 +2,18 @@
 
 #include <set>
 
+#include "fault/injector.h"
+
 namespace nesgx::sgx {
+
+bool
+Machine::faultFiresSlow(fault::FaultSite site, hw::CoreId core)
+{
+    if (!faultInjector_->shouldInject(site)) return false;
+    bus_.publishLight(trace::EventKind::FaultInjected, core, coreEid(core),
+                      std::uint64_t(site), faultInjector_->injected(site));
+    return true;
+}
 
 Machine::Machine() : Machine(Config{}) {}
 

@@ -45,6 +45,11 @@
 #include "support/status.h"
 #include "trace/bus.h"
 
+namespace nesgx::fault {
+class FaultInjector;
+enum class FaultSite : std::uint8_t;
+}  // namespace nesgx::fault
+
 namespace nesgx::sgx {
 
 /** Ciphertext blob produced by EWB, held in untrusted memory by the OS. */
@@ -250,6 +255,27 @@ class Machine {
      */
     trace::TraceBus& trace() const { return bus_; }
 
+    // --- fault injection (src/fault) --------------------------------------
+    /**
+     * Arms deterministic fault injection; nullptr disarms (not owned).
+     * With no injector armed every hook is one predictable null-check
+     * branch, so the uninstrumented trace/counter stream — including the
+     * golden corpus — stays byte-identical.
+     */
+    void setFaultInjector(fault::FaultInjector* injector)
+    {
+        faultInjector_ = injector;
+    }
+    fault::FaultInjector* faultInjector() const { return faultInjector_; }
+
+    /** True when the armed injector fires at `site`; publishes the
+     *  FaultInjected event. Only the null check is inline — the decision
+     *  and publication live in machine.cpp, off the hot path. */
+    bool faultFires(fault::FaultSite site, hw::CoreId core = trace::kNoCore)
+    {
+        return faultInjector_ != nullptr && faultFiresSlow(site, core);
+    }
+
     /** Flushes a core's TLB and clears it from all ETRACK tracking sets. */
     void flushCoreTlb(hw::CoreId core);
 
@@ -355,6 +381,9 @@ class Machine {
     Status accessRange(hw::CoreId core, hw::Vaddr va, std::uint8_t* out,
                        const std::uint8_t* in, std::uint64_t len);
 
+    /** Cold half of faultFires: trigger evaluation + event publication. */
+    bool faultFiresSlow(fault::FaultSite site, hw::CoreId core);
+
     crypto::Sha256Digest reportKeyFor(const Measurement& targetMr) const;
 
     Config config_;
@@ -380,6 +409,8 @@ class Machine {
      *  std::map for node stability: returned references survive
      *  insertion of other keys. */
     mutable std::map<hw::Paddr, std::vector<hw::Paddr>> closureCache_;
+    /** Armed fault injector (src/fault), or null. Never owned. */
+    fault::FaultInjector* faultInjector_ = nullptr;
 };
 
 }  // namespace nesgx::sgx

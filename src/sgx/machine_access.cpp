@@ -16,6 +16,7 @@
  *         VA inside an outer's ELRANGE (steps 1-2)    -> #PF (evicted page)
  *         else untrusted page: insert, execute disabled
  */
+#include "fault/injector.h"
 #include "sgx/machine.h"
 
 namespace nesgx::sgx {
@@ -183,6 +184,17 @@ Status
 Machine::accessRange(hw::CoreId coreId, hw::Vaddr va, std::uint8_t* out,
                      const std::uint8_t* in, std::uint64_t len)
 {
+    // Spurious-interrupt storm: the running nest AEXes to its bottom TCS
+    // and is immediately ERESUMEd, paying the full save/flush/restore and
+    // re-running the EENTER-grade frame revalidation before the access
+    // proceeds. If the resume is refused (the nest was torn down under
+    // us) the access falls through to the normal fault path below.
+    if (faultInjector_ && cores_[coreId].inEnclaveMode() &&
+        faultFiresSlow(fault::FaultSite::AexStorm, coreId)) {
+        const hw::Paddr bottom = cores_[coreId].bottomTcs();
+        if (aex(coreId)) (void)eresume(coreId, bottom);
+    }
+
     const hw::Access access = out ? hw::Access::Read : hw::Access::Write;
     hw::Core& core = cores_[coreId];
     std::uint64_t done = 0;

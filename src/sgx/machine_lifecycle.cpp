@@ -3,6 +3,7 @@
  */
 #include <algorithm>
 
+#include "fault/injector.h"
 #include "sgx/machine.h"
 
 namespace nesgx::sgx {
@@ -29,6 +30,9 @@ Status
 Machine::ecreateImpl(hw::Paddr secsPage, hw::Vaddr baseAddr, std::uint64_t size,
                  std::uint64_t attributes)
 {
+    if (faultFires(fault::FaultSite::EcreateFail)) {
+        return Err::GeneralProtection;
+    }
     charge(costs_.ecreate);
     if (!mem_.inPrm(secsPage) || !pageAligned(secsPage)) {
         return Err::GeneralProtection;
@@ -68,6 +72,9 @@ Status
 Machine::eaddImpl(hw::Paddr secsPage, hw::Paddr epcPage, hw::Vaddr vaddr,
               PageType type, PagePerms perms, ByteView src)
 {
+    if (faultFires(fault::FaultSite::EaddFail)) {
+        return Err::GeneralProtection;
+    }
     charge(costs_.eadd);
     Secs* secs = secsAt(secsPage);
     if (!secs || secs->initialized) return Err::GeneralProtection;

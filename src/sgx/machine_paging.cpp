@@ -5,6 +5,7 @@
  * enclave's page must also flush cores running its *inner* enclaves,
  * because inner threads legitimately cache outer translations.
  */
+#include "fault/injector.h"
 #include "sgx/machine.h"
 
 namespace nesgx::sgx {
@@ -107,6 +108,18 @@ Machine::ewbImpl(hw::Paddr epcPage)
     // translation into it (EBLOCK already swept, but an ELDU between
     // EBLOCK and EWB could have revalidated in another context).
     invalidateTlbForPage(epcPage);
+
+    // Injected storage faults model the untrusted side mangling the blob
+    // after it leaves the PRM: a ciphertext bit-flip (ELDU's GCM open
+    // must refuse) or version-array slot loss (replay check must refuse).
+    // Either way the *hardware* stays honest — the damage only surfaces
+    // as PagingIntegrity at reload time.
+    if (faultFires(fault::FaultSite::EwbCorrupt)) {
+        out.ciphertext[out.ciphertext.size() / 2] ^= 0x40;
+    }
+    if (faultFires(fault::FaultSite::EwbDropSlot)) {
+        versionArray_.erase(out.versionSlot);
+    }
     return out;
 }
 
@@ -120,6 +133,9 @@ Machine::eldu(hw::Paddr epcPage, hw::Paddr secsPage, const EvictedPage& blob)
 Status
 Machine::elduImpl(hw::Paddr epcPage, hw::Paddr secsPage, const EvictedPage& blob)
 {
+    if (faultFires(fault::FaultSite::ElduFail)) {
+        return Err::PagingIntegrity;
+    }
     charge(costs_.elduPage);
     if (!mem_.inPrm(epcPage)) return Err::GeneralProtection;
     EpcmEntry& entry = epcm_.entry(mem_.epcPageIndex(epcPage));

@@ -7,6 +7,7 @@
  * LeafExit is what feeds the per-transition counters (trace/stats.h) —
  * the bodies themselves no longer touch counters directly.
  */
+#include "fault/injector.h"
 #include "sgx/machine.h"
 
 namespace nesgx::sgx {
@@ -37,6 +38,9 @@ Machine::eenter(hw::CoreId coreId, hw::Paddr tcsPage)
 Status
 Machine::eenterImpl(hw::CoreId coreId, hw::Paddr tcsPage)
 {
+    if (faultFires(fault::FaultSite::EenterFail, coreId)) {
+        return Err::GeneralProtection;
+    }
     hw::Core& core = cores_[coreId];
     if (core.inEnclaveMode()) return Err::GeneralProtection;
     if (!mem_.inPrm(tcsPage)) return Err::GeneralProtection;
@@ -104,6 +108,9 @@ Machine::neenter(hw::CoreId coreId, hw::Paddr tcsPage)
 Status
 Machine::neenterImpl(hw::CoreId coreId, hw::Paddr tcsPage)
 {
+    if (faultFires(fault::FaultSite::NeenterFail, coreId)) {
+        return Err::GeneralProtection;
+    }
     hw::Core& core = cores_[coreId];
     // The core must already execute in enclave mode (the outer enclave).
     if (!core.inEnclaveMode()) return Err::GeneralProtection;

@@ -23,6 +23,8 @@ errName(Err e)
       case Err::OutOfMemory: return "OutOfMemory";
       case Err::NotFound: return "NotFound";
       case Err::Backpressure: return "Backpressure";
+      case Err::Unavailable: return "Unavailable";
+      case Err::SealRejected: return "SealRejected";
     }
     return "Unknown";
 }

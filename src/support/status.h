@@ -50,7 +50,15 @@ enum class Err : std::uint32_t {
     NotFound,
     /// Serving layer: per-tenant admission queue is full.
     Backpressure,
+    /// Serving layer: tenant quarantined (circuit breaker open / mid-rebuild).
+    Unavailable,
+    /// Serving layer: the server refused the sealed request (bad seal or
+    /// sequence replay) — the response slot came back empty by design.
+    SealRejected,
 };
+
+/** Number of Err enumerators (exhaustive errName round-trip tests). */
+constexpr std::size_t kErrCount = std::size_t(Err::SealRejected) + 1;
 
 /** Human-readable name for an error code. */
 const char* errName(Err e);

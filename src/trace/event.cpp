@@ -47,6 +47,12 @@ kindName(EventKind kind)
       case EventKind::ServeBatchEnd: return "ServeBatchEnd";
       case EventKind::ServeTenantEvict: return "ServeTenantEvict";
       case EventKind::ServeTenantReload: return "ServeTenantReload";
+      case EventKind::FaultInjected: return "FaultInjected";
+      case EventKind::ServeRetry: return "ServeRetry";
+      case EventKind::ServeTenantRebuild: return "ServeTenantRebuild";
+      case EventKind::ServeBreakerOpen: return "ServeBreakerOpen";
+      case EventKind::ServeBreakerClose: return "ServeBreakerClose";
+      case EventKind::ServeWatermarkMiss: return "ServeWatermarkMiss";
       case EventKind::LogWarn: return "LogWarn";
       case EventKind::LogError: return "LogError";
     }

@@ -76,6 +76,17 @@ enum class EventKind : std::uint8_t {
                         ///< (`arg0` tenant, `arg1` = pages written back)
     ServeTenantReload,  ///< cold-start reload (`arg0` tenant,
                         ///< `arg1` = pages reloaded)
+    FaultInjected,      ///< armed FaultInjector fired (`arg0` =
+                        ///< fault::FaultSite, `arg1` = per-site hit count)
+    ServeRetry,         ///< transient dispatch failure redispatched
+                        ///< (`arg0` tenant, `arg1` = attempt number)
+    ServeTenantRebuild, ///< poisoned inner destroyed + rebuilt
+                        ///< (`arg0` tenant, `arg1` = lifetime rebuilds)
+    ServeBreakerOpen,   ///< circuit breaker opened (`arg0` tenant,
+                        ///< `arg1` = consecutive failures)
+    ServeBreakerClose,  ///< half-open probe succeeded (`arg0` tenant)
+    ServeWatermarkMiss, ///< EPC watermark unmet after relieve (`arg0` =
+                        ///< wanted pages, `arg1` = free pages)
     LogWarn,            ///< model warning routed off the logger
     LogError,           ///< model error routed off the logger
 };

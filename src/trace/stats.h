@@ -53,6 +53,13 @@ struct StatsCounters {
     std::uint64_t serveSheds = 0;          ///< requests dropped by deadline
     std::uint64_t serveTenantEvictions = 0; ///< tenants evicted for pressure
     std::uint64_t serveTenantReloads = 0;   ///< cold-start reloads
+    // --- fault injection / self-healing -----------------------------
+    std::uint64_t faultsInjected = 0;       ///< FaultInjector hits fired
+    std::uint64_t serveRetries = 0;         ///< transient redispatches
+    std::uint64_t serveTenantRebuilds = 0;  ///< poisoned inners rebuilt
+    std::uint64_t serveBreakerOpens = 0;    ///< circuit-breaker opens
+    std::uint64_t serveBreakerCloses = 0;   ///< half-open probes passed
+    std::uint64_t serveWatermarkMisses = 0; ///< relieve() watermark unmet
 };
 
 class StatsSink : public TraceSink {
@@ -99,6 +106,20 @@ class StatsSink : public TraceSink {
             break;
           case EventKind::ServeTenantReload:
             ++counters_.serveTenantReloads;
+            break;
+          case EventKind::FaultInjected: ++counters_.faultsInjected; break;
+          case EventKind::ServeRetry: ++counters_.serveRetries; break;
+          case EventKind::ServeTenantRebuild:
+            ++counters_.serveTenantRebuilds;
+            break;
+          case EventKind::ServeBreakerOpen:
+            ++counters_.serveBreakerOpens;
+            break;
+          case EventKind::ServeBreakerClose:
+            ++counters_.serveBreakerCloses;
+            break;
+          case EventKind::ServeWatermarkMiss:
+            ++counters_.serveWatermarkMisses;
             break;
           default: break;
         }

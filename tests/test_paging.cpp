@@ -6,6 +6,7 @@
  */
 #include <gtest/gtest.h>
 
+#include "fault/injector.h"
 #include "harness.h"
 
 namespace nesgx::test {
@@ -264,6 +265,44 @@ TEST_F(Paging, EvictionSurvivesManyPages)
     ASSERT_TRUE(world_->machine.read(0, outerHeapVa_, buf, 20).isOk());
     EXPECT_EQ(Bytes(buf, buf + 20), bytesOf("MARKER-CONTENT-12345"));
     exitEnclave();
+}
+
+TEST_F(Paging, InjectedBlobCorruptionRejectedAtReload)
+{
+    // The fault injector flips one ciphertext bit during the EWB
+    // write-back; the hardware protocol itself stays honest, so the
+    // damage must surface as a MAC failure when ELDU reloads the blob.
+    auto plan = fault::FaultPlan::parse("ewb-corrupt@n=1").orThrow("plan");
+    fault::FaultInjector injector(plan, 1);
+    world_->machine.setFaultInjector(&injector);
+
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    EXPECT_EQ(injector.injected(fault::FaultSite::EwbCorrupt), 1u);
+    EXPECT_EQ(world_->kernel
+                  .reloadPage(pair_.outer->secsPage(), heapPageVa())
+                  .code(),
+              Err::PagingIntegrity);
+}
+
+TEST_F(Paging, InjectedVersionSlotLossRejectedAtReload)
+{
+    // Losing the version-array slot after a successful EWB makes the
+    // blob unverifiable: ELDU has no anti-replay version to check
+    // against and must refuse with PagingIntegrity.
+    auto plan = fault::FaultPlan::parse("ewb-drop-slot@n=1").orThrow("plan");
+    fault::FaultInjector injector(plan, 1);
+    world_->machine.setFaultInjector(&injector);
+
+    ASSERT_TRUE(world_->kernel
+                    .evictPage(pair_.outer->secsPage(), heapPageVa())
+                    .isOk());
+    EXPECT_EQ(injector.injected(fault::FaultSite::EwbDropSlot), 1u);
+    EXPECT_EQ(world_->kernel
+                  .reloadPage(pair_.outer->secsPage(), heapPageVa())
+                  .code(),
+              Err::PagingIntegrity);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <set>
 
+#include "fault/injector.h"
 #include "harness.h"
 #include "serve/client.h"
 #include "serve/service.h"
@@ -360,6 +361,172 @@ TEST(ServePressure, SurvivesEpcPressureFlushedTlb)
 TEST(ServePressure, SurvivesEpcPressureTaggedTlb)
 {
     survivesEpcPressure(true);
+}
+
+/** A tenant whose swapped-out state is corrupted in untrusted memory
+ *  (injected EWB bit-flip -> PagingIntegrity at ELDU) must be torn
+ *  down and rebuilt — and then serve verified responses again. */
+void
+rebuildsPoisonedTenant(bool taggedTlb)
+{
+    auto config = World::smallConfig();
+    config.taggedTlb = taggedTlb;
+    World world(config);
+    serve::TenantService service(*world.urts, smallServiceConfig());
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    // Healthy warm-up round.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        ASSERT_TRUE(client.onResponse(done.sealedResponse));
+    }
+
+    // Corrupt the first page the eviction writes back, then queue work
+    // and page the tenant out: the reload hits PagingIntegrity and the
+    // pool must rebuild instead of retrying into the poisoned instance.
+    auto plan = fault::FaultPlan::parse("ewb-corrupt@n=1").orThrow("plan");
+    fault::FaultInjector injector(plan, 7);
+    world.machine.setFaultInjector(&injector);
+
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    EXPECT_GT(service.registry().evictTenant(*service.registry().find(0)),
+              0u);
+    EXPECT_EQ(injector.injected(fault::FaultSite::EwbCorrupt), 1u);
+    service.pump();
+
+    // Every queued request comes back typed and rebuild-marked — never
+    // ok, never silently empty.
+    std::uint64_t rebuildMarked = 0;
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_FALSE(done.ok);
+        EXPECT_FALSE(done.status.isOk());
+        EXPECT_TRUE(done.error() == Err::Unavailable ||
+                    done.error() == Err::PagingIntegrity)
+            << errName(done.error());
+        if (done.tenantRebuilt && rebuildMarked++ == 0) {
+            client.onTenantRebuilt();
+        }
+    }
+    EXPECT_GE(rebuildMarked, 1u);
+    EXPECT_GE(service.pool().rebuilds(), 1u);
+    EXPECT_GE(service.registry().find(0)->rebuilds, 1u);
+    EXPECT_GE(client.rebuildsSeen(), 1u);
+
+    // The rebuilt tenant serves verified responses again (the client
+    // reseals from a fresh sequence after the reset).
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    std::uint64_t verifiedAfter = 0;
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_TRUE(client.onResponse(done.sealedResponse));
+        ++verifiedAfter;
+    }
+    EXPECT_EQ(verifiedAfter, 4u);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST(ServeSelfHealing, RebuildsPoisonedTenantFlushedTlb)
+{
+    rebuildsPoisonedTenant(false);
+}
+
+TEST(ServeSelfHealing, RebuildsPoisonedTenantTaggedTlb)
+{
+    rebuildsPoisonedTenant(true);
+}
+
+TEST(ServeSelfHealing, BreakerOpensOnRepeatedFailureAndProbesClosed)
+{
+    World world;
+    auto sc = smallServiceConfig();
+    sc.pool.breakerThreshold = 1;
+    sc.pool.breakerCooldownCycles = 100000;
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    // Refuse every EENTER: the whole retry budget fails, the batch
+    // completes typed, and one failed batch trips the breaker.
+    auto plan =
+        fault::FaultPlan::parse("eenter-fail@every=1").orThrow("plan");
+    fault::FaultInjector injector(plan, 7);
+    world.machine.setFaultInjector(&injector);
+
+    ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_FALSE(done.ok);
+        EXPECT_EQ(done.error(), Err::GeneralProtection);
+        client.onDropped();
+    }
+    EXPECT_TRUE(service.pool().breakerOpen(0));
+    EXPECT_EQ(service.pool().breakerOpens(), 1u);
+    EXPECT_GE(service.pool().retries(), 1u);
+
+    // While open and before the cooldown: refused outright, typed
+    // Unavailable, without touching the enclave.
+    ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_FALSE(done.ok);
+        EXPECT_EQ(done.error(), Err::Unavailable);
+        client.onDropped();
+    }
+    EXPECT_TRUE(service.pool().breakerOpen(0));
+
+    // Fault gone and cooldown elapsed: the next batch is the half-open
+    // probe, it succeeds, and the breaker closes.
+    injector.disarm();
+    world.machine.charge(sc.pool.breakerCooldownCycles + 1);
+    ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_TRUE(client.onResponse(done.sealedResponse));
+        ++verified;
+    }
+    EXPECT_EQ(verified, 1u);
+    EXPECT_FALSE(service.pool().breakerOpen(0));
+    EXPECT_EQ(service.pool().breakerCloses(), 1u);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST(ServeSelfHealing, TransientLeafFailureRetriesWithinBudget)
+{
+    World world;
+    serve::TenantService service(*world.urts, smallServiceConfig());
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    // Exactly the first EENTER fails; the retry dispatches cleanly and
+    // the client still verifies every response.
+    auto plan = fault::FaultPlan::parse("eenter-fail@n=1").orThrow("plan");
+    fault::FaultInjector injector(plan, 7);
+    world.machine.setFaultInjector(&injector);
+
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_TRUE(done.ok);
+        EXPECT_TRUE(done.status.isOk());
+        EXPECT_TRUE(client.onResponse(done.sealedResponse));
+        ++verified;
+    }
+    EXPECT_EQ(verified, 4u);
+    EXPECT_EQ(service.pool().retries(), 1u);
+    EXPECT_EQ(service.pool().rebuilds(), 0u);
+    EXPECT_EQ(client.failures(), 0u);
 }
 
 }  // namespace

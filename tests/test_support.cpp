@@ -1,6 +1,9 @@
 /** Tests for the support substrate: bytes, rng, status. */
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "support/bytes.h"
 #include "support/rng.h"
 #include "support/status.h"
@@ -128,6 +131,23 @@ TEST(Status, ErrNamesAreUnique)
     EXPECT_STREQ(errName(Err::Ok), "Ok");
     EXPECT_STREQ(errName(Err::AssociationRejected), "AssociationRejected");
     EXPECT_STREQ(errName(Err::TrackingIncomplete), "TrackingIncomplete");
+}
+
+TEST(Status, EveryErrHasADistinctRealName)
+{
+    // Exhaustive round trip: every enumerator must carry its own name —
+    // a forgotten switch case would fall through to the placeholder and
+    // collide here.
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < kErrCount; ++i) {
+        const std::string name = errName(Err(i));
+        EXPECT_NE(name, "") << "Err " << i;
+        EXPECT_NE(name, "Unknown") << "Err " << i;
+        EXPECT_TRUE(seen.insert(name).second)
+            << "duplicate errName: " << name;
+    }
+    // Out-of-range values get the placeholder, not garbage.
+    EXPECT_STREQ(errName(Err(kErrCount)), "Unknown");
 }
 
 }  // namespace

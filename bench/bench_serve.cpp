@@ -19,9 +19,18 @@
  * against the pressure scenario and measures the self-healing machinery:
  * retries, tenant rebuilds, breaker cycles, and rebuild latency.
  *
+ * The closing ablation re-runs the oversubscribed pressure scenario
+ * through the exit-less switchless layer (src/switchless): after the
+ * pollers park (one classic EENTER/NEENTER each, before the metric
+ * snapshot), every request flows host -> outer -> inner over shared
+ * rings, so transitions per request must collapse to ~0 while every
+ * sealed response still verifies.
+ *
  * JSON keys asserted by CI: neenter_per_req_batch1 > neenter_per_req_batch8,
  * pressure_evictions >= 10, pressure_integrity_failures == 0,
- * chaos_faults_injected > 0, chaos_rebuilds >= 1, chaos_silent_empties == 0.
+ * chaos_faults_injected > 0, chaos_rebuilds >= 1, chaos_silent_empties == 0,
+ * and transitions_per_request_switchless <= 0.01 <
+ * transitions_per_request_batched < transitions_per_request_classic.
  */
 #include <memory>
 #include <set>
@@ -48,6 +57,12 @@ struct ServeResult {
     std::uint64_t evictions = 0;
     std::uint64_t reloads = 0;
     std::uint64_t watermarkMisses = 0;
+    /** EENTER+NEENTER after the post-arming snapshot: the request-path
+     *  transition count the per-request figure divides. */
+    std::uint64_t transitions = 0;
+    std::uint64_t switchlessChannels = 0;
+    std::uint64_t ringCalls = 0;
+    std::uint64_t ringPolls = 0;
     Histogram latency;
     // Chaos-mode (faultSpec armed) extras.
     std::uint64_t faultsInjected = 0;
@@ -69,6 +84,7 @@ struct ServeParams {
     std::uint64_t epcPages = 0;     ///< 0 = ample EPC
     std::uint64_t deadline = 0;     ///< relative cycles; 0 = no shedding
     bool openLoop = false;          ///< burst arrivals instead of paced
+    bool switchless = false;        ///< exit-less ring dispatch
     std::string faultSpec;          ///< FaultPlan spec; empty = no injector
     std::uint64_t faultSeed = 1;
     std::string chromeTracePath;
@@ -78,6 +94,16 @@ ServeResult
 runServe(const ServeParams& params)
 {
     auto config = defaultConfig();
+    if (params.switchless) {
+        // One parked poller core per tenant, one per gateway outer,
+        // plus the host workers: polling trades cores for transitions,
+        // so the simulated socket grows with the fleet (same sizing as
+        // nesgx_serve --switchless).
+        const std::uint64_t tenantsPerOuter = 4;
+        config.coreCount = std::uint32_t(
+            params.tenants +
+            (params.tenants + tenantsPerOuter - 1) / tenantsPerOuter + 2);
+    }
     if (params.epcPages > 0) {
         // Shrink the PRM so tenant working sets exceed the EPC and the
         // pressure manager has to page (same knob as nesgx_serve
@@ -96,6 +122,8 @@ runServe(const ServeParams& params)
     serve::TenantService::Config sc;
     sc.pool.batchSize = params.batch;
     sc.admission.deadlineCycles = params.deadline;
+    sc.switchless.enabled = params.switchless;
+    sc.switchless.hostCores = 2;
     if (!params.faultSpec.empty()) {
         // Same knobs as nesgx_serve --chaos: a single failed batch opens
         // the breaker so the open/probe/close cycle runs in-window.
@@ -123,6 +151,16 @@ runServe(const ServeParams& params)
         clients.push_back(std::make_unique<serve::TenantClient>(
             serve::TenantId(t), workload));
     }
+
+    // Park the switchless pollers while the world is still fault-free,
+    // then snapshot the transition counters: everything after this point
+    // is the request path the transitions-per-request figure describes
+    // (classic runs snapshot here too, so the modes compare like for
+    // like — setup and arming traffic excluded from all three).
+    const std::size_t armedChannels = service.armSwitchless();
+    const std::uint64_t transitionsBase =
+        world.machine.trace().counters().eenterCount +
+        world.machine.trace().counters().neenterCount;
 
     // Armed only after setup so tenant construction never faults and the
     // trigger occurrence counts exclude the setup's leaf traffic.
@@ -233,6 +271,13 @@ runServe(const ServeParams& params)
     result.batchedRequests = counters.serveBatchedRequests;
     result.evictions = counters.serveTenantEvictions;
     result.reloads = counters.serveTenantReloads;
+    result.transitions =
+        counters.eenterCount + counters.neenterCount - transitionsBase;
+    result.switchlessChannels = armedChannels;
+    result.ringPolls = counters.switchlessPolls;
+    if (const auto* engine = service.switchlessEngine()) {
+        result.ringCalls = engine->engineStats().calls;
+    }
 
     if (sink) {
         world.machine.trace().unsubscribe(sink.get());
@@ -261,7 +306,7 @@ main(int argc, char** argv)
     const std::string chromeTrace = flags.str("chrome-trace", "");
     JsonReport json;
 
-    header("Serve bench 1/4: NEENTER per request vs worker batch size");
+    header("Serve bench 1/5: NEENTER per request vs worker batch size");
     note("closed loop, ample EPC; one EENTER+NEENTER per dispatched batch,");
     note("so transitions per request fall as batch occupancy rises");
     std::printf("\n  %6s %10s %12s %12s %14s %10s %10s\n", "batch", "verified",
@@ -287,14 +332,24 @@ main(int argc, char** argv)
                     (unsigned long long)r.latency.p50(),
                     (unsigned long long)r.latency.p99());
         json.set("neenter_per_req_batch" + std::to_string(batch), perReq);
+        // Per-mode EENTER+NEENTER per request (post-arming snapshot),
+        // the axis the switchless ablation in section 5/5 completes:
+        // batch-1 is the classic one-transition-pair-per-request mode,
+        // batch-8 the amortized mode.
+        if (batch == 1) {
+            json.set("transitions_per_request_classic",
+                     double(r.transitions) / double(r.submitted));
+        }
         if (batch == 8) {
+            json.set("transitions_per_request_batched",
+                     double(r.transitions) / double(r.submitted));
             json.set("batch8_p50_cycles", double(r.latency.p50()));
             json.set("batch8_p95_cycles", double(r.latency.p95()));
             json.set("batch8_p99_cycles", double(r.latency.p99()));
         }
     }
 
-    header("Serve bench 2/4: open-loop burst arrivals with deadlines");
+    header("Serve bench 2/5: open-loop burst arrivals with deadlines");
     note("the whole request volume arrives before the pool runs; bounded");
     note("queues push back (Err::Backpressure) and queued requests that");
     note("outlive their deadline are shed at dequeue, never dispatched");
@@ -327,7 +382,7 @@ main(int argc, char** argv)
         json.set("open_loop_p99_cycles", double(r.latency.p99()));
     }
 
-    header("Serve bench 3/4: correctness under EPC pressure");
+    header("Serve bench 3/5: correctness under EPC pressure");
     note("4x the tenants on a small EPC: the pressure manager pages cold");
     note("idle tenants out (EBLOCK/ETRACK/EWB) and the registry reloads");
     note("them transparently (ELDU); every sealed response must still");
@@ -371,7 +426,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 4/4: chaos — fault injection and self-healing");
+    header("Serve bench 4/5: chaos — fault injection and self-healing");
     note("the EPC-pressure scenario with the deterministic fault injector");
     note("armed: storage corruption, refused leaves, allocator failures and");
     note("interrupt storms; the pool retries transients, rebuilds poisoned");
@@ -439,6 +494,65 @@ main(int argc, char** argv)
                          (unsigned long long)r.rebuilds,
                          (unsigned long long)r.recovered,
                          (unsigned long long)params.tenants);
+            return 1;
+        }
+    }
+
+    header("Serve bench 5/5: switchless ablation — killing the transition tax");
+    note("the 4x-oversubscribed tenant fleet again, dispatched over the");
+    note("exit-less ring channels: pollers park once up front (classic");
+    note("EENTER/NEENTER, before the metric snapshot), then the steady");
+    note("state serves every request with ring polls instead of enclave");
+    note("transitions — the per-request transition figure must collapse");
+    note("to <= 0.01 while every sealed response still verifies");
+    {
+        ServeParams params;
+        params.tenants = tenants * 4;
+        params.requests = requests * 2;
+        params.batch = 8;
+        params.epcPages = 1024;
+        params.switchless = true;
+        ServeResult r = runServe(params);
+        const double perReq = double(r.transitions) / double(r.submitted);
+        std::printf("\n  tenants %llu, verified %llu/%llu, failures %llu\n",
+                    (unsigned long long)params.tenants,
+                    (unsigned long long)r.verified,
+                    (unsigned long long)r.submitted,
+                    (unsigned long long)r.failures);
+        std::printf("  channels %llu, ring calls %llu, ring polls %llu\n",
+                    (unsigned long long)r.switchlessChannels,
+                    (unsigned long long)r.ringCalls,
+                    (unsigned long long)r.ringPolls);
+        std::printf("  transitions/request %.4f (post-arming; EENTER %llu + "
+                    "NEENTER %llu lifetime)\n",
+                    perReq, (unsigned long long)r.eenter,
+                    (unsigned long long)r.neenter);
+        std::printf("  latency cycles: p50 %llu  p95 %llu  p99 %llu\n",
+                    (unsigned long long)r.latency.p50(),
+                    (unsigned long long)r.latency.p95(),
+                    (unsigned long long)r.latency.p99());
+        json.set("transitions_per_request_switchless", perReq);
+        json.set("switchless_channels", double(r.switchlessChannels));
+        json.set("switchless_ring_calls", double(r.ringCalls));
+        json.set("switchless_ring_polls", double(r.ringPolls));
+        json.set("switchless_verified", double(r.verified));
+        json.set("switchless_integrity_failures", double(r.failures));
+        json.set("switchless_p50_cycles", double(r.latency.p50()));
+        json.set("switchless_p99_cycles", double(r.latency.p99()));
+        if (r.failures > 0 || r.verified != r.submitted) {
+            std::fprintf(stderr,
+                         "FAIL: switchless run must verify every request "
+                         "(%llu/%llu, %llu failures)\n",
+                         (unsigned long long)r.verified,
+                         (unsigned long long)r.submitted,
+                         (unsigned long long)r.failures);
+            return 1;
+        }
+        if (perReq > 0.01) {
+            std::fprintf(stderr,
+                         "FAIL: switchless transitions/request %.4f exceeds "
+                         "0.01 — the exit-less path is leaking transitions\n",
+                         perReq);
             return 1;
         }
     }

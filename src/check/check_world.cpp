@@ -84,6 +84,7 @@ opName(Op op)
         case Op::FaultNextEextend: return "FaultNextEextend";
         case Op::EvictAll: return "EvictAll";
         case Op::ReloadAll: return "ReloadAll";
+        case Op::SwitchlessPostDrain: return "SwitchlessPostDrain";
     }
     return "?";
 }
@@ -367,6 +368,46 @@ CheckWorld::apply(const Step& step)
                 if (!st && first.isOk()) first = st;
             }
             return first;
+        }
+        case Op::SwitchlessPostDrain: {
+            // One full producer/consumer cycle on an untrusted DescRing:
+            // push capacity+1 descriptors (the last MUST refuse with
+            // Backpressure — under NESGX_BUG_RING_WRAP it instead
+            // overwrites slot 0, and the first drain then surfaces a
+            // sequence number ahead of the FIFO expectation, which
+            // TraceSwitchlessPairing flags), drain everything, abandon
+            // the (empty) rest. The ring page is mapped lazily so
+            // default runs keep the historical kernel VA layout.
+            constexpr std::uint64_t kCap = 4;
+            if (switchlessVa_ == 0) {
+                switchlessVa_ = kernel_.mapUntrusted(pid_, 1);
+            }
+            Status st = switchRing_.init(machine_, core, switchlessVa_, kCap);
+            if (!st) return st;
+            bool refused = false;
+            for (std::uint64_t i = 0; i <= kCap; ++i) {
+                switchless::Desc d;
+                d.id = i + 1;
+                d.va = untrustedVa_;
+                d.len = 8 + i;
+                Status push = switchRing_.tryPush(machine_, core, d);
+                if (push.code() == Err::Backpressure) {
+                    refused = true;
+                    break;
+                }
+                if (!push) return push;
+            }
+            while (true) {
+                auto popped = switchRing_.tryPop(machine_, core);
+                if (popped.code() == Err::NotFound) break;
+                if (!popped.isOk()) return popped.status();
+            }
+            auto dropped = switchRing_.abandon(machine_, core);
+            if (!dropped.isOk()) return dropped.status();
+            // The refusal itself is part of the contract; a generator
+            // step that never saw Backpressure still counts as failed
+            // so shrunk reproducers read honestly.
+            return refused ? Status::ok() : Status(Err::Backpressure);
         }
     }
     return Err::OsError;

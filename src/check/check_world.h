@@ -23,6 +23,7 @@
 #include "sdk/image.h"
 #include "sgx/machine.h"
 #include "support/status.h"
+#include "switchless/ring.h"
 #include "trace/ring_sink.h"
 
 namespace nesgx::check {
@@ -53,9 +54,18 @@ enum class Op : std::uint8_t {
     EvictAll,         ///< bulk-evict every evictable page of slotA (the
                       ///< serving layer's tenant-eviction pattern)
     ReloadAll,        ///< reload every evicted page of slotA
+    SwitchlessPostDrain, ///< exercise a switchless DescRing: push past
+                         ///< capacity (the full check must refuse with
+                         ///< Backpressure), drain, abandon. Opt-in
+                         ///< (--switchless-ops) so default streams stay
+                         ///< bit-identical.
 };
 
-constexpr std::uint8_t kOpCount = std::uint8_t(Op::ReloadAll) + 1;
+/** Op count of the classic (pre-switchless) generator. The default
+ *  chaos draw uses this modulus so every historical seed replays the
+ *  exact same stream; only --switchless-ops widens the draw. */
+constexpr std::uint8_t kClassicOpCount = std::uint8_t(Op::ReloadAll) + 1;
+constexpr std::uint8_t kOpCount = std::uint8_t(Op::SwitchlessPostDrain) + 1;
 
 const char* opName(Op op);
 
@@ -136,6 +146,11 @@ class CheckWorld {
     os::Kernel kernel_;
     os::Pid pid_;
     hw::Vaddr untrustedVa_ = 0;
+    /** Lazily-mapped page backing the SwitchlessPostDrain op's DescRing.
+     *  Mapped on first use so worlds that never draw the op keep the
+     *  historical kernel VA layout (and with it every seeded stream). */
+    hw::Vaddr switchlessVa_ = 0;
+    switchless::DescRing switchRing_;
     std::array<Slot, kSlots> slots_{};
     std::array<std::array<hw::Paddr, kTcsPerSlot>, kSlots> knownTcs_{};
     std::set<hw::Paddr> orphans_;

@@ -27,6 +27,7 @@ struct CliOptions {
     bool runFlush = true;
     bool helpOnly = false;
     bool dumpTrace = false;
+    bool switchlessOps = false;
     std::string reproOut;
 };
 
@@ -72,6 +73,8 @@ parseArgs(int argc, char** argv, CliOptions* opts)
             }
         } else if (arg == "--trace") {
             opts->dumpTrace = true;
+        } else if (arg == "--switchless-ops") {
+            opts->switchlessOps = true;
         } else if (arg == "--repro-out") {
             const char* v = needValue("--repro-out");
             if (!v) return false;
@@ -80,9 +83,12 @@ parseArgs(int argc, char** argv, CliOptions* opts)
             std::printf(
                 "usage: nesgx_check [--seeds N] [--steps M] [--seed S]\n"
                 "                   [--tagged on|off|both] [--repro-out F]\n"
-                "                   [--trace]\n"
+                "                   [--trace] [--switchless-ops]\n"
                 "  --trace  append the ring-buffer event log to each\n"
-                "           shrunk reproducer report\n");
+                "           shrunk reproducer report\n"
+                "  --switchless-ops  widen the op set with the switchless\n"
+                "           DescRing post/drain cycle (off by default so\n"
+                "           historical seeded streams stay identical)\n");
             opts->helpOnly = true;
             return true;
         } else {
@@ -137,6 +143,7 @@ main(int argc, char** argv)
             config.seed = opts.firstSeed + std::uint64_t(i);
             config.steps = opts.steps;
             config.taggedTlb = tagged;
+            config.switchlessOps = opts.switchlessOps;
             auto failure = nesgx::check::runSeed(config);
             if (failure) return reportFailure(*failure, opts);
         }

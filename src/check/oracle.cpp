@@ -58,6 +58,7 @@ ruleName(Rule rule)
         case Rule::EpcAccounting: return "EpcAccounting";
         case Rule::KernelRecordCoherence: return "KernelRecordCoherence";
         case Rule::TraceAexResumePairing: return "TraceAexResumePairing";
+        case Rule::TraceSwitchlessPairing: return "TraceSwitchlessPairing";
         case Rule::TraceQuiescedWindow: return "TraceQuiescedWindow";
     }
     return "?";
@@ -402,6 +403,24 @@ TraceOracle::consume(const trace::RingBufferSink& ring)
 }
 
 std::optional<Violation>
+TraceOracle::finish() const
+{
+    for (const auto& [ringId, posted] : switchlessPosted_) {
+        if (!posted.empty()) {
+            return Violation{
+                Rule::TraceSwitchlessPairing,
+                "ring " + hex(ringId) + " still has " +
+                    std::to_string(posted.size()) +
+                    " posted descriptor(s) at teardown (first seq=" +
+                    std::to_string(posted.front()) +
+                    ") — in-flight entries must drain or fall back, "
+                    "never silently drop"};
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Violation>
 TraceOracle::inspect(const trace::TraceEvent& event)
 {
     using trace::EventKind;
@@ -432,6 +451,38 @@ TraceOracle::inspect(const trace::TraceEvent& event)
                 // handed the core a new enclave context.
                 quiesced_.erase(event.core);
             }
+            return std::nullopt;
+        case EventKind::SwitchlessPost:
+            // arg0 = ring id (base VA), arg1 = sequence number.
+            switchlessPosted_[event.arg0].push_back(event.arg1);
+            return std::nullopt;
+        case EventKind::SwitchlessDrain: {
+            auto it = switchlessPosted_.find(event.arg0);
+            if (it == switchlessPosted_.end() || it->second.empty()) {
+                return Violation{
+                    Rule::TraceSwitchlessPairing,
+                    "SwitchlessDrain seq=" + std::to_string(event.arg1) +
+                        " from ring " + hex(event.arg0) +
+                        " with nothing posted"};
+            }
+            if (it->second.front() != event.arg1) {
+                return Violation{
+                    Rule::TraceSwitchlessPairing,
+                    "ring " + hex(event.arg0) + " drained seq=" +
+                        std::to_string(event.arg1) + " but seq=" +
+                        std::to_string(it->second.front()) +
+                        " was posted first (slot overwritten past a full "
+                        "ring?)"};
+            }
+            it->second.pop_front();
+            if (it->second.empty()) switchlessPosted_.erase(it);
+            return std::nullopt;
+        }
+        case EventKind::SwitchlessFallback:
+            // The ring's outstanding entries were explicitly handed back
+            // to the classic path (or poisoned at teardown): nothing to
+            // pair anymore.
+            switchlessPosted_.erase(event.arg0);
             return std::nullopt;
         case EventKind::TlbHit:
         case EventKind::TlbMiss:

@@ -26,6 +26,7 @@
  */
 #pragma once
 
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
@@ -53,6 +54,12 @@ enum class Rule : std::uint8_t {
      *  the interrupted core an enclave context, that core performs no
      *  enclave-mode memory event. */
     TraceQuiescedWindow,
+    /** Trace rule: switchless rings are FIFO and lossless — every
+     *  SwitchlessPost is matched, in order, by a SwitchlessDrain of the
+     *  same sequence number or cleared by a SwitchlessFallback, and
+     *  nothing is left outstanding at teardown. An out-of-order drain is
+     *  the wraparound-overwrite signature (NESGX_BUG_RING_WRAP). */
+    TraceSwitchlessPairing,
 };
 
 const char* ruleName(Rule rule);
@@ -113,6 +120,11 @@ class TraceOracle {
     /** Consumes all new ring records; returns the first violation. */
     std::optional<Violation> consume(const trace::RingBufferSink& ring);
 
+    /** End-of-run check: every switchless post must have been drained or
+     *  abandoned by now — in-flight ring entries at teardown are exactly
+     *  the silent drop the switchless layer promises never to commit. */
+    std::optional<Violation> finish() const;
+
   private:
     std::optional<Violation> inspect(const trace::TraceEvent& event);
 
@@ -121,6 +133,8 @@ class TraceOracle {
     std::map<hw::Paddr, std::uint64_t> pendingResume_;
     /** Cores inside an AEX→ERESUME quiesced window. */
     std::set<hw::CoreId> quiesced_;
+    /** Ring id -> FIFO of posted-but-undrained sequence numbers. */
+    std::map<std::uint64_t, std::deque<std::uint64_t>> switchlessPosted_;
 };
 
 }  // namespace nesgx::check

@@ -105,6 +105,9 @@ enabled(const CheckWorld& world, Op op)
         case Op::FaultNextEextend: return true;
         case Op::EvictAll: return anySlot(world, +hasPages);
         case Op::ReloadAll: return anySlot(world, +created);
+        // Self-contained (own untrusted page, own ring); never reached
+        // from kWeights, but the chaos draw may emit it when opted in.
+        case Op::SwitchlessPostDrain: return true;
     }
     return false;
 }
@@ -115,12 +118,17 @@ Step
 SequenceGen::next(const CheckWorld& world)
 {
     Step step;
+    // The switchless op is appended *after* the classic table and only
+    // when opted in, so the default modulus and weighted totals — and
+    // with them every historical seeded stream — are untouched.
+    constexpr std::uint32_t kSwitchlessWeight = 5;
     // Chaos fraction: a fully random step, preconditions be damned. This
     // is where the sequences no sane runtime would issue come from.
     if (rng_.nextBelow(100) < 8) {
-        step.op = Op(rng_.nextBelow(kOpCount));
+        step.op = Op(rng_.nextBelow(switchlessOps_ ? kOpCount
+                                                   : kClassicOpCount));
     } else {
-        std::uint64_t total = 0;
+        std::uint64_t total = switchlessOps_ ? kSwitchlessWeight : 0;
         for (const auto& w : kWeights) {
             if (enabled(world, w.op)) total += w.weight;
         }
@@ -128,6 +136,9 @@ SequenceGen::next(const CheckWorld& world)
             step.op = Op::Create;
         } else {
             std::uint64_t pick = rng_.nextBelow(total);
+            // A pick past every weighted entry lands in the appended
+            // switchless tail range (only reachable when opted in).
+            step.op = switchlessOps_ ? Op::SwitchlessPostDrain : Op::Create;
             for (const auto& w : kWeights) {
                 if (!enabled(world, w.op)) continue;
                 if (pick < w.weight) {
@@ -151,7 +162,7 @@ runSeed(const RunConfig& config)
     CheckWorld::Config wc;
     wc.taggedTlb = config.taggedTlb;
     CheckWorld world(wc);
-    SequenceGen gen(config.seed);
+    SequenceGen gen(config.seed, config.switchlessOps);
     InvariantOracle oracle;
     TraceOracle traceOracle;
 
@@ -169,6 +180,11 @@ runSeed(const RunConfig& config)
                               config.seed, config.taggedTlb,
                               world.ring().formatAll()};
         }
+    }
+    if (auto violation = traceOracle.finish()) {
+        return RunFailure{std::move(steps), std::move(*violation),
+                          config.seed, config.taggedTlb,
+                          world.ring().formatAll()};
     }
     return std::nullopt;
 }
@@ -191,6 +207,10 @@ replay(const std::vector<Step>& steps, bool taggedTlb,
             if (traceOut) *traceOut = world.ring().formatAll();
             return violation;
         }
+    }
+    if (auto violation = traceOracle.finish()) {
+        if (traceOut) *traceOut = world.ring().formatAll();
+        return violation;
     }
     return std::nullopt;
 }

@@ -29,21 +29,29 @@
 
 namespace nesgx::check {
 
-/** Precondition-aware seeded step generator. */
+/** Precondition-aware seeded step generator. `switchlessOps` widens the
+ *  op set with SwitchlessPostDrain; it defaults off so every historical
+ *  seed keeps producing the exact same stream (the op changes both the
+ *  chaos-draw modulus and the weighted totals). */
 class SequenceGen {
   public:
-    explicit SequenceGen(std::uint64_t seed) : rng_(seed) {}
+    explicit SequenceGen(std::uint64_t seed, bool switchlessOps = false)
+        : rng_(seed), switchlessOps_(switchlessOps)
+    {
+    }
 
     Step next(const CheckWorld& world);
 
   private:
     Rng rng_;
+    bool switchlessOps_ = false;
 };
 
 struct RunConfig {
     std::uint64_t seed = 1;
     int steps = 300;
     bool taggedTlb = true;
+    bool switchlessOps = false;  ///< include Op::SwitchlessPostDrain
 };
 
 struct RunFailure {

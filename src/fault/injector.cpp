@@ -18,6 +18,7 @@ siteName(FaultSite site)
       case FaultSite::EwbDropSlot: return "ewb-drop-slot";
       case FaultSite::EpcAllocFail: return "epc-alloc-fail";
       case FaultSite::AexStorm: return "aex-storm";
+      case FaultSite::RingStall: return "ring-stall";
     }
     return "unknown";
 }

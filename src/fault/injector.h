@@ -40,9 +40,10 @@ enum class FaultSite : std::uint8_t {
     EwbDropSlot,   ///< version-array slot lost post-EWB ("ewb-drop-slot")
     EpcAllocFail,  ///< kernel EPC allocator refuses ("epc-alloc-fail")
     AexStorm,      ///< spurious AEX+ERESUME on an access ("aex-storm")
+    RingStall,     ///< switchless ring wedges post-push ("ring-stall")
 };
 
-constexpr std::size_t kFaultSiteCount = std::size_t(FaultSite::AexStorm) + 1;
+constexpr std::size_t kFaultSiteCount = std::size_t(FaultSite::RingStall) + 1;
 
 const char* siteName(FaultSite site);
 

@@ -71,6 +71,15 @@ struct CostModel {
     std::uint64_t ewbPage = 9000;        ///< encrypt + MAC one page out
     std::uint64_t elduPage = 9000;       ///< verify + decrypt one page in
 
+    // --- switchless call layer -----------------------------------------
+    /** One poll of a shared ring header by a parked in-enclave core: a
+     *  cached load + compare on a shared cacheline. Orders of magnitude
+     *  below any transition — that gap is the whole point. */
+    std::uint64_t ringPoll = 40;
+    /** Host-side doorbell after a post: a store to the shared word plus
+     *  the (modelled) cost of waking the consumer's spin loop. */
+    std::uint64_t ringDoorbell = 150;
+
     // --- platform ------------------------------------------------------
     std::uint64_t ipi = 1500;            ///< inter-processor interrupt
     std::uint64_t aex = 2500;            ///< asynchronous enclave exit

@@ -161,6 +161,28 @@ TrustedEnv::nOcall(const std::string& name, ByteView arg)
     return result;
 }
 
+Result<Bytes>
+TrustedEnv::residentCall(const std::string& name, ByteView arg)
+{
+    sgx::Machine& m = machine();
+    // The core must genuinely be resident in this enclave: the parked
+    // poller entered once via the classic leaves at arming time and has
+    // stayed inside since. Anything else is a protocol violation.
+    if (m.core(core_).currentSecs() != enclave_.secsPage_) {
+        return Err::GeneralProtection;
+    }
+    const TrustedFn* fn = enclave_.image().spec.interface->findNEcall(name);
+    if (!fn) fn = enclave_.image().spec.interface->findEcall(name);
+    if (!fn) return Err::NoSuchCall;
+
+    m.charge(m.costs().nEcallDispatch);
+    urts_.kernel_.touchEnclave(enclave_.secsPage_);
+    publishSdk(m, trace::EventKind::SdkNEcallBegin, core_, name.c_str());
+    Result<Bytes> result = (*fn)(*this, arg);
+    publishSdk(m, trace::EventKind::SdkNEcallEnd, core_, name.c_str());
+    return result;
+}
+
 Result<sgx::Report>
 TrustedEnv::getReport(const sgx::TargetInfo& target,
                       const sgx::ReportData& data)

@@ -91,6 +91,16 @@ class TrustedEnv {
     /** n_ocall: inner -> outer enclave function (NEEXIT/NEENTER). */
     Result<Bytes> nOcall(const std::string& name, ByteView arg);
 
+    /**
+     * Switchless-path dispatch: invokes one of this enclave's n_ecall
+     * entry points *without any transition* — the core must already be
+     * resident in this enclave (a parked poller that NEENTERed once at
+     * arming time). Pays the dispatch cost and publishes the usual
+     * SdkNEcallBegin/End bracket, but no NEENTER/NEEXIT: that is the
+     * entire point of the switchless layer.
+     */
+    Result<Bytes> residentCall(const std::string& name, ByteView arg);
+
     // --- attestation -------------------------------------------------------
     Result<sgx::Report> getReport(const sgx::TargetInfo& target,
                                   const sgx::ReportData& data);
@@ -166,12 +176,18 @@ class Urts {
     /** Loaded-enclave lookup by SECS physical address. */
     LoadedEnclave* enclaveBySecs(hw::Paddr secsPage);
 
+    /**
+     * First non-busy TCS of the enclave (GeneralProtection when every
+     * thread slot is taken). Public so the switchless layer can park
+     * poller threads on real TCSes without going through an ecall.
+     */
+    Result<hw::Paddr> idleTcs(LoadedEnclave& enclave);
+
   private:
     friend class TrustedEnv;
 
     Result<Bytes> dispatchTrusted(LoadedEnclave& enclave, const TrustedFn& fn,
                                   ByteView arg, hw::CoreId core);
-    Result<hw::Paddr> idleTcs(LoadedEnclave& enclave);
     hw::Vaddr nextBase(std::uint64_t sizeBytes);
 
     os::Kernel& kernel_;

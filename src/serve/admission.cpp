@@ -27,7 +27,8 @@ AdmissionController::submit(TenantId tenant, Bytes sealed)
 }
 
 std::vector<Request>
-AdmissionController::takeBatch(TenantId tenant, std::size_t max)
+AdmissionController::takeBatch(TenantId tenant, std::size_t max,
+                               std::vector<Request>* shedOut)
 {
     std::vector<Request> out;
     auto it = queues_.find(tenant);
@@ -35,21 +36,22 @@ AdmissionController::takeBatch(TenantId tenant, std::size_t max)
     std::deque<Request>& queue = it->second;
     const std::uint64_t now = machine_->clock().cycles();
 
-    std::uint64_t dropped = 0;
     while (!queue.empty() && out.size() < max) {
         Request& head = queue.front();
         if (head.deadline != 0 && now > head.deadline) {
-            ++dropped;
+            // One event per shed request (arg1 = 1 keeps the counter
+            // fold additive), and the request itself goes back to the
+            // caller for a typed Err::Deadline completion — a batch
+            // whose every entry expired must not vanish silently.
+            ++shed_;
+            machine_->trace().publishLight(trace::EventKind::ServeShed,
+                                           trace::kNoCore, 0, tenant, 1);
+            if (shedOut) shedOut->push_back(std::move(head));
         } else {
             out.push_back(std::move(head));
         }
         queue.pop_front();
         --totalQueued_;
-    }
-    if (dropped > 0) {
-        shed_ += dropped;
-        machine_->trace().publishLight(trace::EventKind::ServeShed,
-                                       trace::kNoCore, 0, tenant, dropped);
     }
     return out;
 }

@@ -45,8 +45,12 @@ class AdmissionController {
     Status submit(TenantId tenant, Bytes sealed);
 
     /** Pops up to `max` live requests for the tenant, shedding expired
-     *  ones from the head first. */
-    std::vector<Request> takeBatch(TenantId tenant, std::size_t max);
+     *  ones from the head first. Each shed request gets its own
+     *  ServeShed event, and when `shedOut` is given the shed requests
+     *  are handed back so the caller can complete them typed
+     *  (Err::Deadline) instead of letting them vanish. */
+    std::vector<Request> takeBatch(TenantId tenant, std::size_t max,
+                                   std::vector<Request>* shedOut = nullptr);
 
     /** Round-robin pick of the next tenant with queued work. */
     std::optional<TenantId> nextTenant();

@@ -65,7 +65,11 @@ flagStr(int argc, char** argv, const char* name, const std::string& fallback)
 const char* kChaosPlan =
     "ewb-corrupt@n=3; ewb-drop-slot@n=9; eldu-fail@n=15;"
     "eenter-fail@every=40; neenter-fail@every=45;"
-    "epc-alloc-fail@every=150; aex-storm@every=100";
+    "epc-alloc-fail@every=150; aex-storm@every=100;"
+    // The ring-stall site only has occurrences on the switchless path
+    // (--switchless 1): a classic chaos run records zero and the
+    // distinct-site gate still has seven live sites of slack.
+    " ring-stall@every=30";
 
 constexpr std::uint64_t kNoChaos = std::uint64_t(-1);
 
@@ -87,6 +91,7 @@ main(int argc, char** argv)
         flagU64(argc, argv, "epc-pages", chaos ? 1024 : 0);
     const std::uint64_t deadline = flagU64(argc, argv, "deadline", 0);
     const std::uint64_t queueDepth = flagU64(argc, argv, "queue-depth", 64);
+    const bool switchless = flagU64(argc, argv, "switchless", 0) != 0;
     const std::string tracePath = flagStr(argc, argv, "chrome-trace", "");
     const std::string faultSpec =
         flagStr(argc, argv, "faults", chaos ? kChaosPlan : "");
@@ -97,6 +102,14 @@ main(int argc, char** argv)
     mc.dramBytes = 256ull << 20;
     mc.prmBase = 128ull << 20;
     mc.prmBytes = 64ull << 20;
+    if (switchless) {
+        // One parked poller core per tenant, one per gateway, plus the
+        // host workers: polling trades cores for transitions, so the
+        // simulated socket grows with the fleet.
+        const std::uint64_t tenantsPerOuter = 4;
+        mc.coreCount = std::uint32_t(
+            tenants + (tenants + tenantsPerOuter - 1) / tenantsPerOuter + 2);
+    }
     if (epcPages > 0) {
         // Shrink the PRM so EPC pressure kicks in at small scale.
         mc.prmBytes = (epcPages + 64) * hw::kPageSize;
@@ -131,6 +144,8 @@ main(int argc, char** argv)
     sc.admission.maxQueueDepth = queueDepth;
     sc.admission.deadlineCycles = deadline;
     sc.pool.batchSize = batch;
+    sc.switchless.enabled = switchless;
+    sc.switchless.hostCores = 2;
     if (chaos) {
         // One failed batch opens the breaker, so the open -> half-open
         // probe -> close cycle is guaranteed to run within the chaos
@@ -163,6 +178,14 @@ main(int argc, char** argv)
         clients.push_back(std::make_unique<serve::TenantClient>(
             serve::TenantId(t), workload));
     }
+
+    // Park the switchless pollers while the world is still fault-free,
+    // then snapshot the transition counters: everything after this point
+    // is the request path the transitions-per-request figure describes.
+    const std::size_t armedChannels = service.armSwitchless();
+    const std::uint64_t transitionsBase =
+        machine.trace().counters().eenterCount +
+        machine.trace().counters().neenterCount;
 
     // Armed only now: tenant setup must succeed unconditionally, and
     // trigger occurrence counts stay independent of the setup's leaf
@@ -294,6 +317,20 @@ main(int argc, char** argv)
     std::printf("  EENTER/NEENTER      : %llu / %llu\n",
                 (unsigned long long)counters.eenterCount,
                 (unsigned long long)counters.neenterCount);
+    if (switchless) {
+        const std::uint64_t transitions = counters.eenterCount +
+                                          counters.neenterCount -
+                                          transitionsBase;
+        const auto* engine = service.switchlessEngine();
+        std::printf("  switchless          : %zu channels, %llu ring calls, "
+                    "%llu polls\n",
+                    armedChannels,
+                    (unsigned long long)(engine ? engine->engineStats().calls
+                                               : 0),
+                    (unsigned long long)counters.switchlessPolls);
+        std::printf("  transitions/request : %.4f (post-arming)\n",
+                    submitted ? double(transitions) / double(submitted) : 0.0);
+    }
     std::printf("  latency cycles      : p50 %llu  p95 %llu  p99 %llu\n",
                 (unsigned long long)latency.p50(),
                 (unsigned long long)latency.p95(),

@@ -113,7 +113,7 @@ TenantRegistry::gatewayWithRoom()
     spec.dataPages = 4;
     spec.heapPages = config_.outerHeapPages;
     spec.stackPages = 4;
-    spec.tcsCount = 2;
+    spec.tcsCount = config_.gatewayTcs;
     spec.allowedInners.push_back(authorExpectation());
 
     auto state = std::make_shared<GatewayState>();
@@ -177,7 +177,7 @@ TenantRegistry::buildInner(TenantId id, Workload workload, Gateway& gateway)
     spec.dataPages = 2;
     spec.heapPages = config_.innerHeapPages;
     spec.stackPages = 2;
-    spec.tcsCount = 1;
+    spec.tcsCount = config_.innerTcs;
     spec.expectedOuter = authorExpectation();
 
     auto server = std::make_shared<ServerState>(id, workload);

@@ -58,6 +58,12 @@ class TenantRegistry {
         /** Outer (gateway) enclave shape. */
         std::uint64_t outerCodePages = 24;
         std::uint64_t outerHeapPages = 48;
+        /** Thread slots per enclave. The switchless layer parks poller
+         *  threads on real TCSes — one per gateway poller plus one per
+         *  tenant poller entering through the gateway — so it needs
+         *  headroom beyond the classic one-dispatch-at-a-time shape. */
+        std::uint32_t gatewayTcs = 2;
+        std::uint32_t innerTcs = 1;
     };
 
     TenantRegistry(sdk::Urts& urts, Config config);
@@ -102,6 +108,18 @@ class TenantRegistry {
 
     std::size_t gatewayCount() const { return gateways_.size(); }
     std::size_t tenantCount() const { return tenants_.size(); }
+
+    /** Gateway outer enclave by index (switchless endpoint resolution). */
+    sdk::LoadedEnclave* gatewayOuter(std::size_t index)
+    {
+        return index < gateways_.size() ? gateways_[index].outer : nullptr;
+    }
+
+    /** All tenants, by id (switchless arming sweep). */
+    const std::map<TenantId, std::unique_ptr<TenantHandle>>& tenants() const
+    {
+        return tenants_;
+    }
 
     sdk::Urts& urts() { return *urts_; }
 

@@ -1,5 +1,6 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <set>
 
 #include "support/logging.h"
@@ -88,6 +89,10 @@ Status
 WorkerPool::rebuildTenantNow(TenantHandle& tenant)
 {
     sgx::Machine& machine = registry_->urts().machine();
+    // The switchless channel's poller is parked inside the inner that is
+    // about to be destroyed: drain-or-poison its rings and unpark it
+    // first, or EREMOVE would refuse the busy TCS pages forever.
+    if (engine_) engine_->disarm(tenant.id);
     // Everything the tenant still has queued was sealed against the
     // poisoned instance; fail it typed so the client reseals against
     // the rebuilt server instead of replaying stale sequence numbers.
@@ -107,20 +112,54 @@ WorkerPool::rebuildTenantNow(TenantHandle& tenant)
     return st;
 }
 
+Result<Bytes>
+WorkerPool::dispatchVia(TenantHandle& tenant, ByteView blob, hw::CoreId core)
+{
+    if (engine_ != nullptr && tenant.inner != nullptr) {
+        switchless::Endpoint ep;
+        ep.outer = registry_->gatewayOuter(tenant.gatewayIndex);
+        ep.inner = tenant.inner;
+        ep.innerCall = "serve_batch";
+        ep.slot = tenant.slot;
+        if (engine_->ready(tenant.id, ep)) {
+            return engine_->call(tenant.id, ep, blob, core);
+        }
+        // Arming failed (cores/TCSes/heap exhausted): degrade to the
+        // classic transition-paying path, never refuse the batch.
+    }
+    return registry_->dispatch(tenant, blob, core);
+}
+
 bool
 WorkerPool::step()
 {
     auto tenantId = admission_->nextTenant();
     if (!tenantId) return false;
 
+    sgx::Machine& machine = registry_->urts().machine();
+
+    std::vector<Request> shedRequests;
     std::vector<Request> batch =
-        admission_->takeBatch(*tenantId, config_.batchSize);
+        admission_->takeBatch(*tenantId, config_.batchSize, &shedRequests);
+
+    // Shed requests complete typed — the client sees Err::Deadline, not
+    // silence — even (especially) when every entry at the head expired
+    // and the batch below is empty.
+    if (!shedRequests.empty()) {
+        const std::uint64_t shedNow = machine.clock().cycles();
+        for (Request& r : shedRequests) {
+            Completion done;
+            done.id = r.id;
+            done.tenant = r.tenant;
+            done.latencyCycles = shedNow - r.enqueuedAt;
+            done.status = Err::Deadline;
+            completions_.push_back(std::move(done));
+        }
+    }
     if (batch.empty()) return true;  // everything at the head was shed
 
     TenantHandle* tenant = registry_->find(*tenantId);
     if (!tenant) return true;  // submit() guarantees existence
-
-    sgx::Machine& machine = registry_->urts().machine();
 
     auto failBatchTyped = [&](Status st, bool rebuiltFlag) {
         const std::uint64_t now = machine.clock().cycles();
@@ -209,7 +248,7 @@ WorkerPool::step()
         machine.trace().publishIfActive(begin);
 
         tenant->busy = true;
-        auto respBlob = registry_->dispatch(*tenant, blob, core);
+        auto respBlob = dispatchVia(*tenant, blob, core);
         tenant->busy = false;
 
         machine.trace().publishLight(trace::EventKind::ServeBatchEnd, core,
@@ -310,14 +349,57 @@ WorkerPool::drain()
     return out;
 }
 
+TenantService::Config
+TenantService::tuned(Config config)
+{
+    if (config.switchless.enabled) {
+        // Parked pollers hold real TCSes: one outer slot for the gateway
+        // poller plus one per tenant poller entering through the
+        // gateway, with a spare each for the classic fallback path.
+        config.registry.gatewayTcs =
+            std::max(config.registry.gatewayTcs,
+                     config.registry.tenantsPerOuter + 3);
+        config.registry.innerTcs =
+            std::max<std::uint32_t>(config.registry.innerTcs, 2);
+        if (config.switchless.hostCores == 0) config.switchless.hostCores = 1;
+        // Host workers keep the low cores; the engine takes poller cores
+        // from the top of the core space.
+        config.pool.cores = config.switchless.hostCores;
+    }
+    return config;
+}
+
 TenantService::TenantService(sdk::Urts& urts, Config config)
-    : registry_(urts, config.registry),
-      admission_(urts.machine(), config.admission),
-      pressure_(urts.kernel(), registry_, config.pressure),
-      pool_(registry_, admission_, pressure_, config.pool)
+    : config_(tuned(std::move(config))),
+      registry_(urts, config_.registry),
+      admission_(urts.machine(), config_.admission),
+      pressure_(urts.kernel(), registry_, config_.pressure),
+      pool_(registry_, admission_, pressure_, config_.pool)
 {
     registry_.setEpcReserve(
         [this](std::uint64_t pages) { return pressure_.ensureFree(pages); });
+    if (config_.switchless.enabled) {
+        switchless_ = std::make_unique<switchless::SwitchlessEngine>(
+            urts, config_.switchless);
+        pool_.setSwitchless(switchless_.get());
+    }
+}
+
+std::size_t
+TenantService::armSwitchless()
+{
+    if (!switchless_) return 0;
+    std::size_t armed = 0;
+    for (const auto& [id, tenant] : registry_.tenants()) {
+        if (!tenant->inner) continue;
+        switchless::Endpoint ep;
+        ep.outer = registry_.gatewayOuter(tenant->gatewayIndex);
+        ep.inner = tenant->inner;
+        ep.innerCall = "serve_batch";
+        ep.slot = tenant->slot;
+        if (switchless_->ready(id, ep)) ++armed;
+    }
+    return armed;
 }
 
 Result<TenantHandle*>

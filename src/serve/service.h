@@ -25,10 +25,12 @@
 #pragma once
 
 #include <map>
+#include <memory>
 
 #include "serve/admission.h"
 #include "serve/histogram.h"
 #include "serve/registry.h"
+#include "switchless/engine.h"
 
 namespace nesgx::serve {
 
@@ -108,6 +110,13 @@ class WorkerPool {
     /** Completed requests since the last drain. */
     std::vector<Completion> drain();
 
+    /** Routes dispatches through the switchless engine when armed;
+     *  nullptr reverts to classic ecall dispatch. Not owned. */
+    void setSwitchless(switchless::SwitchlessEngine* engine)
+    {
+        engine_ = engine;
+    }
+
     std::uint64_t batchesDispatched() const { return batches_; }
     std::uint64_t requestsServed() const { return served_; }
     std::uint64_t dispatchFailures() const { return dispatchFailures_; }
@@ -131,7 +140,13 @@ class WorkerPool {
      *  On failure the tenant stays inner-less and is retried lazily. */
     Status rebuildTenantNow(TenantHandle& tenant);
 
+    /** One batched dispatch: through the armed switchless channel when
+     *  available, classic gateway ecall otherwise. */
+    Result<Bytes> dispatchVia(TenantHandle& tenant, ByteView blob,
+                              hw::CoreId core);
+
     TenantRegistry* registry_;
+    switchless::SwitchlessEngine* engine_ = nullptr;
     AdmissionController* admission_;
     EpcPressureManager* pressure_;
     Config config_;
@@ -156,6 +171,9 @@ class TenantService {
         AdmissionController::Config admission;
         WorkerPool::Config pool;
         EpcPressureManager::Config pressure;
+        /** Exit-less dispatch (src/switchless). Off by default so the
+         *  classic trace/counter streams stay byte-identical. */
+        switchless::Config switchless;
     };
 
     TenantService(sdk::Urts& urts, Config config);
@@ -171,16 +189,33 @@ class TenantService {
 
     std::vector<Completion> drain() { return pool_.drain(); }
 
+    /**
+     * Parks switchless pollers for every existing tenant up front (one
+     * classic EENTER/NEENTER each) so the steady-state request path is
+     * transition-free from the first batch. Returns channels armed; 0
+     * when switchless is disabled. Arming failures degrade to classic
+     * dispatch, they are never errors.
+     */
+    std::size_t armSwitchless();
+
     TenantRegistry& registry() { return registry_; }
     AdmissionController& admission() { return admission_; }
     EpcPressureManager& pressure() { return pressure_; }
     WorkerPool& pool() { return pool_; }
+    switchless::SwitchlessEngine* switchlessEngine()
+    {
+        return switchless_.get();
+    }
 
   private:
+    static Config tuned(Config config);
+
+    Config config_;  ///< tuned copy; must precede the members built from it
     TenantRegistry registry_;
     AdmissionController admission_;
     EpcPressureManager pressure_;
     WorkerPool pool_;
+    std::unique_ptr<switchless::SwitchlessEngine> switchless_;
 };
 
 }  // namespace nesgx::serve

@@ -276,6 +276,19 @@ class Machine {
         return faultInjector_ != nullptr && faultFiresSlow(site, core);
     }
 
+    // --- switchless ring accounting (machine_transitions.cpp) -------------
+    /**
+     * One poll of a switchless ring header by a parked in-enclave core:
+     * charges the (cacheline-probe-sized) poll cost and publishes a
+     * SwitchlessPoll event. Deliberately *not* a leaf — polls must show
+     * up in the cost model and the trace without ever counting as a
+     * transition, so the poll/transition trade stays honest.
+     */
+    void ringPoll(hw::CoreId core, std::uint64_t ringId);
+
+    /** Host-side doorbell store after a ring post (cost only). */
+    void ringDoorbell(hw::CoreId core, std::uint64_t ringId);
+
     /** Flushes a core's TLB and clears it from all ETRACK tracking sets. */
     void flushCoreTlb(hw::CoreId core);
 

@@ -291,4 +291,27 @@ Machine::eresumeImpl(hw::CoreId coreId, hw::Paddr tcsPage)
     return Status::ok();
 }
 
+void
+Machine::ringPoll(hw::CoreId coreId, std::uint64_t ringId)
+{
+    charge(costs_.ringPoll);
+    if (bus_.active()) {
+        bus_.publishLight(trace::EventKind::SwitchlessPoll, coreId,
+                          coreEid(coreId), ringId);
+    } else {
+        bus_.countLight(trace::EventKind::SwitchlessPoll, ringId);
+    }
+}
+
+void
+Machine::ringDoorbell(hw::CoreId coreId, std::uint64_t ringId)
+{
+    // A doorbell is a plain store to the shared word plus the consumer's
+    // wake-up: pure cycle cost, no event — the paired SwitchlessPost
+    // already records the post itself.
+    (void)coreId;
+    (void)ringId;
+    charge(costs_.ringDoorbell);
+}
+
 }  // namespace nesgx::sgx

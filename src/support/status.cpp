@@ -25,6 +25,7 @@ errName(Err e)
       case Err::Backpressure: return "Backpressure";
       case Err::Unavailable: return "Unavailable";
       case Err::SealRejected: return "SealRejected";
+      case Err::Deadline: return "Deadline";
     }
     return "Unknown";
 }

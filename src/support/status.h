@@ -55,10 +55,12 @@ enum class Err : std::uint32_t {
     /// Serving layer: the server refused the sealed request (bad seal or
     /// sequence replay) — the response slot came back empty by design.
     SealRejected,
+    /// Serving layer: request shed because its deadline passed in queue.
+    Deadline,
 };
 
 /** Number of Err enumerators (exhaustive errName round-trip tests). */
-constexpr std::size_t kErrCount = std::size_t(Err::SealRejected) + 1;
+constexpr std::size_t kErrCount = std::size_t(Err::Deadline) + 1;
 
 /** Human-readable name for an error code. */
 const char* errName(Err e);

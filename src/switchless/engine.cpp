@@ -1,0 +1,540 @@
+#include "switchless/engine.h"
+
+#include "fault/injector.h"
+#include "hw/types.h"
+#include "support/bytes.h"
+
+namespace nesgx::switchless {
+
+SwitchlessEngine::SwitchlessEngine(sdk::Urts& urts, Config config)
+    : urts_(urts), config_(config)
+{
+}
+
+SwitchlessEngine::~SwitchlessEngine()
+{
+    disarmAll();
+}
+
+sgx::Machine&
+SwitchlessEngine::machine()
+{
+    return urts_.machine();
+}
+
+std::uint64_t
+SwitchlessEngine::now()
+{
+    return machine().clock().cycles();
+}
+
+bool
+SwitchlessEngine::takeCore(hw::CoreId& out)
+{
+    if (!coresInit_) {
+        nextHighCore_ = machine().coreCount();
+        coresInit_ = true;
+    }
+    if (!freeCores_.empty()) {
+        out = freeCores_.back();
+        freeCores_.pop_back();
+        return true;
+    }
+    // Poller cores come off the top of the core space so host workers
+    // (cores [0, hostCores)) are never starved.
+    if (nextHighCore_ <= config_.hostCores) return false;
+    out = --nextHighCore_;
+    return true;
+}
+
+void
+SwitchlessEngine::releaseCore(hw::CoreId core)
+{
+    freeCores_.push_back(core);
+}
+
+bool
+SwitchlessEngine::armGateway(sdk::LoadedEnclave* outer)
+{
+    if (gateways_.count(outer) != 0) return true;
+
+    GatewayChannel gw;
+    gw.outer = outer;
+
+    sgx::Machine& m = machine();
+    os::Kernel& kernel = urts_.kernel();
+
+    // Tier-1 plumbing lives in host-shared untrusted memory: two rings
+    // plus the request/response staging buffer.
+    const std::uint64_t ringBytes = DescRing::bytesFor(config_.ringCapacity);
+    const std::uint64_t ringPages =
+        (ringBytes + hw::kPageSize - 1) / hw::kPageSize;
+    const std::uint64_t stagingPages =
+        (config_.hostStagingBytes + hw::kPageSize - 1) / hw::kPageSize;
+    hw::Vaddr base =
+        kernel.mapUntrusted(urts_.pid(), 2 * ringPages + stagingPages);
+    if (base == 0) return false;
+
+    if (!takeCore(gw.pollerCore)) return false;
+    kernel.schedule(gw.pollerCore, urts_.pid());
+
+    // The host side initialises host-memory rings from outside.
+    hw::CoreId host = 0;
+    if (!gw.req.init(m, host, base, config_.ringCapacity)) {
+        releaseCore(gw.pollerCore);
+        return false;
+    }
+    if (!gw.resp.init(m, host, base + ringPages * hw::kPageSize,
+                      config_.ringCapacity)) {
+        releaseCore(gw.pollerCore);
+        return false;
+    }
+    gw.stagingVa = base + 2 * ringPages * hw::kPageSize;
+
+    // Park the gateway poller: ONE classic EENTER, after which it
+    // services the rings from inside the outer for as long as traffic
+    // keeps flowing.
+    auto tcs = urts_.idleTcs(*outer);
+    if (!tcs) {
+        releaseCore(gw.pollerCore);
+        return false;
+    }
+    kernel.touchEnclave(outer->secsPage());
+    if (!m.eenter(gw.pollerCore, tcs.value())) {
+        releaseCore(gw.pollerCore);
+        return false;
+    }
+    gw.parkTcs = tcs.value();
+    gw.parked = true;
+    gw.lastActive = now();
+    ++stats_.armings;
+    gateways_[outer] = gw;
+    return true;
+}
+
+bool
+SwitchlessEngine::armTenant(std::uint64_t key, const Endpoint& ep)
+{
+    if (!armGateway(ep.outer)) return false;
+    GatewayChannel& gw = gateways_[ep.outer];
+
+    TenantChannel ch;
+    ch.outer = ep.outer;
+    ch.inner = ep.inner;
+
+    sgx::Machine& m = machine();
+    os::Kernel& kernel = urts_.kernel();
+
+    if (!takeCore(ch.pollerCore)) return false;
+    kernel.schedule(ch.pollerCore, urts_.pid());
+
+    // Tier-2 plumbing lives in the *outer's trusted heap*: writable by
+    // the gateway poller (its own enclave) and readable/writable by the
+    // tenant poller through the outer-closure walk.
+    const std::uint64_t ringBytes = DescRing::bytesFor(config_.ringCapacity);
+    ch.ringReqVa = ep.outer->heap().alloc(ringBytes);
+    ch.ringRespVa = ep.outer->heap().alloc(ringBytes);
+    ch.stagingVa = ep.outer->heap().alloc(config_.gwStagingBytes);
+    auto freeHeap = [&] {
+        if (ch.stagingVa) ep.outer->heap().free(ch.stagingVa);
+        if (ch.ringRespVa) ep.outer->heap().free(ch.ringRespVa);
+        if (ch.ringReqVa) ep.outer->heap().free(ch.ringReqVa);
+        releaseCore(ch.pollerCore);
+    };
+    if (ch.ringReqVa == 0 || ch.ringRespVa == 0 || ch.stagingVa == 0) {
+        freeHeap();
+        return false;
+    }
+
+    // Enter the outer first (heap rings must be initialised from enclave
+    // mode), then NEENTER the inner and stay there.
+    auto outerTcs = urts_.idleTcs(*ep.outer);
+    if (!outerTcs) {
+        freeHeap();
+        return false;
+    }
+    kernel.touchEnclave(ep.outer->secsPage());
+    if (!m.eenter(ch.pollerCore, outerTcs.value())) {
+        freeHeap();
+        return false;
+    }
+    ch.parkOuterTcs = outerTcs.value();
+
+    const std::uint64_t eid = ep.outer->secsPage();
+    if (!ch.req.init(m, ch.pollerCore, ch.ringReqVa, config_.ringCapacity,
+                     eid) ||
+        !ch.resp.init(m, ch.pollerCore, ch.ringRespVa, config_.ringCapacity,
+                      eid)) {
+        (void)m.eexit(ch.pollerCore);
+        freeHeap();
+        return false;
+    }
+
+    auto innerTcs = urts_.idleTcs(*ep.inner);
+    if (!innerTcs) {
+        (void)m.eexit(ch.pollerCore);
+        freeHeap();
+        return false;
+    }
+    kernel.touchEnclave(ep.inner->secsPage());
+    if (!m.neenter(ch.pollerCore, innerTcs.value())) {
+        (void)m.eexit(ch.pollerCore);
+        freeHeap();
+        return false;
+    }
+    ch.parkInnerTcs = innerTcs.value();
+    ch.parked = true;
+    ch.lastActive = now();
+    ++stats_.armings;
+    ++gw.tenants;
+    tenants_[key] = ch;
+    return true;
+}
+
+bool
+SwitchlessEngine::ready(std::uint64_t key, const Endpoint& ep)
+{
+    if (!config_.enabled) return false;
+    if (ep.outer == nullptr || ep.inner == nullptr) return false;
+    auto it = tenants_.find(key);
+    if (it != tenants_.end()) {
+        // A rebuilt tenant comes back as a different LoadedEnclave; the
+        // old channel's poller is parked in a dead enclave — tear it
+        // down and re-arm fresh.
+        if (it->second.inner != ep.inner || it->second.outer != ep.outer) {
+            disarm(key);
+        } else {
+            return true;
+        }
+    }
+    return armTenant(key, ep);
+}
+
+bool
+SwitchlessEngine::resumeGateway(GatewayChannel& gw)
+{
+    sgx::Machine& m = machine();
+    if (m.core(gw.pollerCore).inEnclaveMode()) return true;
+    // The poller took an AEX (IPI shootdown, storm): the whole nest is
+    // saved in the bottom TCS — ERESUME puts it back.
+    return bool(m.eresume(gw.pollerCore, gw.parkTcs));
+}
+
+bool
+SwitchlessEngine::resumeTenant(TenantChannel& ch)
+{
+    sgx::Machine& m = machine();
+    if (m.core(ch.pollerCore).inEnclaveMode()) return true;
+    return bool(m.eresume(ch.pollerCore, ch.parkOuterTcs));
+}
+
+void
+SwitchlessEngine::unparkGateway(GatewayChannel& gw)
+{
+    sgx::Machine& m = machine();
+    if (!gw.parked) return;
+    if (!m.core(gw.pollerCore).inEnclaveMode()) {
+        // AEX'd poller: resume first so the exit path is the clean one;
+        // when even that fails the enclave is gone and the frames died
+        // with it.
+        if (!m.eresume(gw.pollerCore, gw.parkTcs)) {
+            gw.parked = false;
+            releaseCore(gw.pollerCore);
+            return;
+        }
+    }
+    (void)m.eexit(gw.pollerCore);
+    gw.parked = false;
+    releaseCore(gw.pollerCore);
+}
+
+void
+SwitchlessEngine::unparkTenant(TenantChannel& ch)
+{
+    sgx::Machine& m = machine();
+    if (!ch.parked) return;
+    if (!m.core(ch.pollerCore).inEnclaveMode()) {
+        if (!m.eresume(ch.pollerCore, ch.parkOuterTcs)) {
+            ch.parked = false;
+            releaseCore(ch.pollerCore);
+            return;
+        }
+    }
+    if (m.core(ch.pollerCore).depth() >= 2) (void)m.neexit(ch.pollerCore);
+    (void)m.eexit(ch.pollerCore);
+    ch.parked = false;
+    releaseCore(ch.pollerCore);
+}
+
+void
+SwitchlessEngine::disarm(std::uint64_t key)
+{
+    auto it = tenants_.find(key);
+    if (it == tenants_.end()) return;
+    TenantChannel& ch = it->second;
+
+    sgx::Machine& m = machine();
+    // Never silently drop in-flight entries. The tier-2 rings live in
+    // the outer's heap, so draining them needs an enclave-mode core:
+    // the parked tenant poller when it is still viable, else the
+    // trace-only poison marker (the backing enclave is dead and the
+    // caller's completion machinery re-issues through the classic path).
+    bool drained = false;
+    if (ch.parked && resumeTenant(ch)) {
+        if (ch.req.bound()) (void)ch.req.abandon(m, ch.pollerCore);
+        if (ch.resp.bound()) (void)ch.resp.abandon(m, ch.pollerCore);
+        drained = true;
+    }
+    unparkTenant(ch);
+    if (!drained) {
+        if (ch.req.bound()) ch.req.markAbandoned(m);
+        if (ch.resp.bound()) ch.resp.markAbandoned(m);
+    }
+    if (ch.stagingVa) ch.outer->heap().free(ch.stagingVa);
+    if (ch.ringRespVa) ch.outer->heap().free(ch.ringRespVa);
+    if (ch.ringReqVa) ch.outer->heap().free(ch.ringReqVa);
+
+    auto gwIt = gateways_.find(ch.outer);
+    if (gwIt != gateways_.end() && gwIt->second.tenants > 0) {
+        --gwIt->second.tenants;
+    }
+    tenants_.erase(it);
+}
+
+void
+SwitchlessEngine::disarmGateway(GatewayChannel& gw)
+{
+    sgx::Machine& m = machine();
+    if (gw.req.bound()) (void)gw.req.abandon(m, 0);
+    if (gw.resp.bound()) (void)gw.resp.abandon(m, 0);
+    unparkGateway(gw);
+}
+
+void
+SwitchlessEngine::disarmAll()
+{
+    while (!tenants_.empty()) disarm(tenants_.begin()->first);
+    for (auto& [outer, gw] : gateways_) disarmGateway(gw);
+    gateways_.clear();
+}
+
+void
+SwitchlessEngine::idleCheck(std::uint64_t key, TenantChannel& ch)
+{
+    (void)key;
+    const std::uint64_t t = now();
+    // A poller whose rings stayed empty past the threshold has given the
+    // core back (spin -> yield -> exit); the request that finds it gone
+    // pays the classic re-entry. This is the knob that makes transition
+    // count scale with idleness instead of load.
+    if (ch.parked && t - ch.lastActive > config_.idleParkCycles) {
+        sgx::Machine& m = machine();
+        (void)ch.req.abandon(m, ch.pollerCore);
+        (void)ch.resp.abandon(m, ch.pollerCore);
+        ++stats_.idleFallbacks;
+        unparkTenant(ch);
+        // Re-park immediately for the request being served now: this is
+        // the classic-EENTER fallback cost, paid once per idle episode.
+        hw::CoreId core;
+        if (takeCore(core)) {
+            urts_.kernel().schedule(core, urts_.pid());
+            auto outerTcs = urts_.idleTcs(*ch.outer);
+            if (outerTcs && m.eenter(core, outerTcs.value())) {
+                auto innerTcs = urts_.idleTcs(*ch.inner);
+                if (innerTcs && m.neenter(core, innerTcs.value())) {
+                    ch.pollerCore = core;
+                    ch.parkOuterTcs = outerTcs.value();
+                    ch.parkInnerTcs = innerTcs.value();
+                    ch.parked = true;
+                    ch.lastActive = t;
+                    ++stats_.armings;
+                } else {
+                    (void)m.eexit(core);
+                    releaseCore(core);
+                }
+            } else {
+                releaseCore(core);
+            }
+        }
+    }
+    auto gwIt = gateways_.find(ch.outer);
+    if (gwIt == gateways_.end()) return;
+    GatewayChannel& gw = gwIt->second;
+    if (gw.parked && t - gw.lastActive > config_.idleParkCycles) {
+        sgx::Machine& m = machine();
+        (void)gw.req.abandon(m, gw.pollerCore);
+        (void)gw.resp.abandon(m, gw.pollerCore);
+        ++stats_.idleFallbacks;
+        unparkGateway(gw);
+        hw::CoreId core;
+        if (takeCore(core)) {
+            urts_.kernel().schedule(core, urts_.pid());
+            auto tcs = urts_.idleTcs(*gw.outer);
+            if (tcs && m.eenter(core, tcs.value())) {
+                gw.pollerCore = core;
+                gw.parkTcs = tcs.value();
+                gw.parked = true;
+                gw.lastActive = t;
+                ++stats_.armings;
+            } else {
+                releaseCore(core);
+            }
+        }
+    }
+}
+
+Result<Bytes>
+SwitchlessEngine::call(std::uint64_t key, const Endpoint& ep, ByteView blob,
+                       hw::CoreId hostCore)
+{
+    auto it = tenants_.find(key);
+    if (it == tenants_.end()) return Err::Unavailable;
+    TenantChannel& ch = it->second;
+    auto gwIt = gateways_.find(ch.outer);
+    if (gwIt == gateways_.end()) return Err::Unavailable;
+    GatewayChannel& gw = gwIt->second;
+
+    sgx::Machine& m = machine();
+
+    idleCheck(key, ch);
+    if (!ch.parked || !gw.parked) {
+        // Idle fallback could not re-arm (cores or TCSes exhausted):
+        // classic path until pressure eases.
+        disarm(key);
+        return Err::Unavailable;
+    }
+    if (!resumeGateway(gw) || !resumeTenant(ch)) {
+        disarm(key);
+        return Err::Unavailable;
+    }
+
+    if (blob.size() < 4 || blob.size() > config_.hostStagingBytes) {
+        return Err::BadCallBuffer;
+    }
+
+    // ---- host -> gateway: post into untrusted shared memory ----------
+    Status st = m.write(hostCore, gw.stagingVa, blob.data(), blob.size());
+    if (!st) return st;
+    const std::uint64_t reqId = nextRequestId_++;
+    Desc d;
+    d.id = reqId;
+    d.va = gw.stagingVa;
+    d.len = blob.size();
+    st = gw.req.tryPush(m, hostCore, d);
+    if (!st) return st;
+
+    // Deterministic ring-stall fault site: the descriptor is posted but
+    // the consumer never drains it. Recovery must abandon the in-flight
+    // entry (SwitchlessFallback pairs the orphaned SwitchlessPost) and
+    // poison the channel so the caller retries classically — never a
+    // silent drop, never a wedge.
+    if (m.faultFires(fault::FaultSite::RingStall, hostCore)) {
+        ++stats_.ringStalls;
+        disarm(key);
+        return Err::Unavailable;
+    }
+
+    // A mid-pump failure (faulted access, evicted pages, poisoned
+    // tenant) may leave descriptors in flight. Poisoning the channel —
+    // disarm abandons the tier-2 rings with SwitchlessFallback — keeps
+    // the post/drain pairing whole; the caller retries classically and
+    // a later ready() re-arms. Tier-1 orphans are tolerated by the
+    // drain-until-match loops below.
+    auto hardFail = [&](Status s) -> Result<Bytes> {
+        disarm(key);
+        return s;
+    };
+
+    // Pops until this call's own descriptor surfaces; older ids are
+    // orphans of failed pumps that were already covered by a fallback —
+    // draining them here just recycles their slots.
+    auto popFor = [&](DescRing& ring, hw::CoreId core,
+                      std::uint64_t id) -> Result<Desc> {
+        for (;;) {
+            auto d = ring.tryPop(m, core);
+            if (!d) return d.status();
+            if (d.value().id == id) return d;
+            if (d.value().id > id) return Err::Unavailable;
+        }
+    };
+
+    // ---- gateway poller: drain, validate, forward into tier 2 --------
+    auto req = popFor(gw.req, gw.pollerCore, reqId);
+    if (!req) return hardFail(req.status());
+    if (req.value().len > config_.gwStagingBytes ||
+        req.value().len > config_.hostStagingBytes || req.value().len < 4) {
+        return hardFail(Err::BadCallBuffer);
+    }
+    // Copy through enclave-validated staging: the descriptor's [va,len]
+    // is only ever dereferenced by the gateway's own validated access,
+    // and the payload's slot header must match the channel.
+    Bytes payload(req.value().len);
+    st = m.read(gw.pollerCore, req.value().va, payload.data(), payload.size());
+    if (!st) return hardFail(st);
+    if (loadLe32(payload.data()) != ep.slot) {
+        return hardFail(Err::BadCallBuffer);
+    }
+    st = m.write(gw.pollerCore, ch.stagingVa, payload.data(), payload.size());
+    if (!st) return hardFail(st);
+    gw.lastActive = now();
+
+    Desc fwd;
+    fwd.id = reqId;
+    fwd.va = ch.stagingVa;
+    fwd.len = payload.size();
+    st = ch.req.tryPush(m, gw.pollerCore, fwd);
+    if (!st) return hardFail(st);
+
+    // ---- tenant poller: drain and serve without any transition -------
+    auto inReq = popFor(ch.req, ch.pollerCore, reqId);
+    if (!inReq) return hardFail(inReq.status());
+    Bytes desc(16);
+    storeLe64(desc.data(), inReq.value().va);
+    storeLe64(desc.data() + 8, inReq.value().len);
+    sdk::TrustedEnv innerEnv(urts_, *ch.inner, ch.pollerCore);
+    auto servedLen = innerEnv.residentCall(ep.innerCall, desc);
+    if (!servedLen) return hardFail(servedLen.status());
+    if (servedLen.value().size() != 8) return hardFail(Err::BadCallBuffer);
+    const std::uint64_t respLen = loadLe64(servedLen.value().data());
+    if (respLen > config_.gwStagingBytes) return hardFail(Err::BadCallBuffer);
+    ch.lastActive = now();
+
+    Desc back;
+    back.id = reqId;
+    back.va = ch.stagingVa;
+    back.len = respLen;
+    st = ch.resp.tryPush(m, ch.pollerCore, back);
+    if (!st) return hardFail(st);
+
+    // ---- gateway poller: relay the response out ----------------------
+    auto inResp = popFor(ch.resp, gw.pollerCore, reqId);
+    if (!inResp) return hardFail(inResp.status());
+    if (inResp.value().len > config_.hostStagingBytes) {
+        return hardFail(Err::BadCallBuffer);
+    }
+    Bytes respBytes(inResp.value().len);
+    st = m.read(gw.pollerCore, inResp.value().va, respBytes.data(),
+                respBytes.size());
+    if (!st) return hardFail(st);
+    st = m.write(gw.pollerCore, gw.stagingVa, respBytes.data(),
+                 respBytes.size());
+    if (!st) return hardFail(st);
+    Desc out;
+    out.id = reqId;
+    out.va = gw.stagingVa;
+    out.len = respBytes.size();
+    st = gw.resp.tryPush(m, gw.pollerCore, out);
+    if (!st) return hardFail(st);
+
+    // ---- host: harvest -----------------------------------------------
+    auto done = popFor(gw.resp, hostCore, reqId);
+    if (!done) return hardFail(done.status());
+    Bytes result(done.value().len);
+    st = m.read(hostCore, done.value().va, result.data(), result.size());
+    if (!st) return hardFail(st);
+
+    ++stats_.calls;
+    return result;
+}
+
+}  // namespace nesgx::switchless

@@ -1,0 +1,190 @@
+/**
+ * SwitchlessEngine: the exit-less call layer (ISSUE.md tentpole).
+ *
+ * Classic serving pays two transition pairs per dispatch: EENTER/EEXIT
+ * into the gateway outer and NEENTER/NEEXIT into the tenant inner. This
+ * engine eliminates both from the steady-state request path:
+ *
+ *   tier 1 (host <-> gateway): descriptor rings + a staging buffer in
+ *     host-shared *untrusted* memory. A gateway poller core is parked
+ *     inside the outer (one initial EENTER) and services the ring from
+ *     enclave mode — enclave code may legally read/write untrusted
+ *     memory, so no exit is needed.
+ *
+ *   tier 2 (gateway <-> inner): rings + staging in the *outer's trusted
+ *     heap*. A tenant poller core is parked inside the inner (one
+ *     initial EENTER+NEENTER); inner enclaves reach outer-heap pages
+ *     through the nested-EPCM outer-closure walk (paper Fig. 6), so
+ *     again no transition.
+ *
+ * A request then flows host -> outer -> inner and back entirely through
+ * memory: post, poll, drain. Steady-state transitions per request -> 0;
+ * the only classic entries left are (re-)arming and idle fallback —
+ * a poller whose rings stay empty past `idleParkCycles` gives the core
+ * back (EEXIT/NEEXIT out) and the next request re-parks it with classic
+ * entries. Transitions therefore scale with *idleness*, not with load.
+ *
+ * Security argument (mirrors the PR-4 by-reference contract): ring
+ * descriptors carry only [va, len]. The consumer never dereferences
+ * host-chosen pointers blindly — the gateway poller validates the
+ * length against its staging capacity and *copies* the payload into
+ * enclave-validated staging through its own access rights before the
+ * inner ever sees it; the inner reads only outer-heap staging its
+ * gateway wrote. A malicious descriptor can at worst fault the poller's
+ * own validated access, never corrupt enclave state.
+ *
+ * The engine is deliberately serve-layer agnostic: channels are keyed
+ * by an opaque `key` (the serve layer passes tenant ids) and each call
+ * carries an Endpoint resolved by the caller, so this library depends
+ * only on the SDK beneath it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sdk/runtime.h"
+#include "switchless/ring.h"
+
+namespace nesgx::switchless {
+
+struct Config {
+    bool enabled = false;
+    /** Slots per descriptor ring. */
+    std::uint64_t ringCapacity = 16;
+    /** Ring idle time (cycles) after which a parked poller falls back:
+     *  it exits the enclave and the next request re-arms it with a
+     *  classic EENTER. ~14 ms at 3.6 GHz. */
+    std::uint64_t idleParkCycles = 50'000'000;
+    /** Cores [0, hostCores) stay with host workers; poller cores are
+     *  taken from the top of the core space downward. */
+    std::uint32_t hostCores = 1;
+    /** Host-side staging buffer per gateway channel (bytes). */
+    std::uint64_t hostStagingBytes = 16 * 1024;
+    /** Gateway-heap staging buffer per tenant channel (bytes). */
+    std::uint64_t gwStagingBytes = 16 * 1024;
+};
+
+/** Per-call routing, resolved by the caller (serve layer). */
+struct Endpoint {
+    sdk::LoadedEnclave* outer = nullptr;
+    sdk::LoadedEnclave* inner = nullptr;
+    /** Inner n_ecall the parked poller dispatches to. */
+    std::string innerCall;
+    /** Caller slot id; the gateway cross-checks it against the payload
+     *  header before forwarding (defense in depth). */
+    std::uint32_t slot = 0;
+};
+
+/** Cumulative engine statistics (monotonic). */
+struct EngineStats {
+    std::uint64_t calls = 0;          ///< requests pumped switchlessly
+    std::uint64_t armings = 0;        ///< channel park operations
+    std::uint64_t idleFallbacks = 0;  ///< pollers unparked for idleness
+    std::uint64_t ringStalls = 0;     ///< injected ring-stall faults
+};
+
+class SwitchlessEngine {
+  public:
+    SwitchlessEngine(sdk::Urts& urts, Config config);
+    ~SwitchlessEngine();
+
+    SwitchlessEngine(const SwitchlessEngine&) = delete;
+    SwitchlessEngine& operator=(const SwitchlessEngine&) = delete;
+
+    bool enabled() const { return config_.enabled; }
+    const Config& config() const { return config_; }
+    const EngineStats& engineStats() const { return stats_; }
+
+    /**
+     * True when a switchless channel is armed (arming it now if needed)
+     * for `key` over `ep`. False — caller uses the classic path — when
+     * the engine is disabled or arming failed (no spare core, heap or
+     * TCS); arming failure is degradation, never an error.
+     */
+    bool ready(std::uint64_t key, const Endpoint& ep);
+
+    /**
+     * Pumps one request blob through both ring tiers and returns the
+     * response bytes, exactly as the classic gw_dispatch ecall would.
+     * Requires a `ready()` channel. Errors surface with the same typed
+     * codes the classic path uses, so the caller's retry/breaker/rebuild
+     * machinery applies unchanged.
+     */
+    Result<Bytes> call(std::uint64_t key, const Endpoint& ep, ByteView blob,
+                       hw::CoreId hostCore);
+
+    /**
+     * Tears down `key`'s channel: abandons in-flight ring entries
+     * (SwitchlessFallback — never a silent drop), unparks the tenant
+     * poller and frees its gateway-heap staging. Must run before the
+     * tenant inner is rebuilt or unloaded.
+     */
+    void disarm(std::uint64_t key);
+
+    /** Disarms every tenant channel and unparks the gateway pollers. */
+    void disarmAll();
+
+  private:
+    struct GatewayChannel {
+        sdk::LoadedEnclave* outer = nullptr;
+        DescRing req;
+        DescRing resp;
+        hw::Vaddr stagingVa = 0;
+        hw::CoreId pollerCore = 0;
+        hw::Paddr parkTcs = 0;
+        bool parked = false;
+        std::uint64_t lastActive = 0;
+        std::uint64_t tenants = 0;  ///< tenant channels riding this outer
+    };
+
+    struct TenantChannel {
+        sdk::LoadedEnclave* outer = nullptr;
+        sdk::LoadedEnclave* inner = nullptr;
+        DescRing req;
+        DescRing resp;
+        hw::Vaddr ringReqVa = 0;   ///< heap allocations to free on disarm
+        hw::Vaddr ringRespVa = 0;
+        hw::Vaddr stagingVa = 0;
+        hw::CoreId pollerCore = 0;
+        hw::Paddr parkOuterTcs = 0;
+        hw::Paddr parkInnerTcs = 0;
+        bool parked = false;
+        std::uint64_t lastActive = 0;
+    };
+
+    sgx::Machine& machine();
+    std::uint64_t now();
+
+    /** Grabs a poller core from the top of the core space; -1-as-false
+     *  when none is spare. */
+    bool takeCore(hw::CoreId& out);
+    void releaseCore(hw::CoreId core);
+
+    bool armGateway(sdk::LoadedEnclave* outer);
+    bool armTenant(std::uint64_t key, const Endpoint& ep);
+    void disarmGateway(GatewayChannel& gw);
+    void unparkTenant(TenantChannel& ch);
+    void unparkGateway(GatewayChannel& gw);
+
+    /** Re-enters an AEX'd parked poller (ERESUME); false -> disarm. */
+    bool resumeTenant(TenantChannel& ch);
+    bool resumeGateway(GatewayChannel& gw);
+
+    /** Idle-fallback check for one tenant channel + its gateway. */
+    void idleCheck(std::uint64_t key, TenantChannel& ch);
+
+    sdk::Urts& urts_;
+    Config config_;
+    EngineStats stats_;
+    std::map<sdk::LoadedEnclave*, GatewayChannel> gateways_;
+    std::map<std::uint64_t, TenantChannel> tenants_;
+    std::vector<hw::CoreId> freeCores_;
+    hw::CoreId nextHighCore_ = 0;
+    bool coresInit_ = false;
+    std::uint64_t nextRequestId_ = 1;
+};
+
+}  // namespace nesgx::switchless

@@ -53,6 +53,10 @@ kindName(EventKind kind)
       case EventKind::ServeBreakerOpen: return "ServeBreakerOpen";
       case EventKind::ServeBreakerClose: return "ServeBreakerClose";
       case EventKind::ServeWatermarkMiss: return "ServeWatermarkMiss";
+      case EventKind::SwitchlessPost: return "SwitchlessPost";
+      case EventKind::SwitchlessDrain: return "SwitchlessDrain";
+      case EventKind::SwitchlessFallback: return "SwitchlessFallback";
+      case EventKind::SwitchlessPoll: return "SwitchlessPoll";
       case EventKind::LogWarn: return "LogWarn";
       case EventKind::LogError: return "LogError";
     }

@@ -87,6 +87,15 @@ enum class EventKind : std::uint8_t {
     ServeBreakerClose,  ///< half-open probe succeeded (`arg0` tenant)
     ServeWatermarkMiss, ///< EPC watermark unmet after relieve (`arg0` =
                         ///< wanted pages, `arg1` = free pages)
+    SwitchlessPost,     ///< descriptor pushed into a switchless ring
+                        ///< (`arg0` = ring id, `arg1` = slot sequence)
+    SwitchlessDrain,    ///< descriptor popped by the resident poller
+                        ///< (`arg0` = ring id, `arg1` = slot sequence)
+    SwitchlessFallback, ///< ring abandoned: classic-path fallback or
+                        ///< teardown poisoning (`arg0` = ring id,
+                        ///< `arg1` = entries discarded)
+    SwitchlessPoll,     ///< one ring-header poll by a parked core
+                        ///< (`arg0` = ring id)
     LogWarn,            ///< model warning routed off the logger
     LogError,           ///< model error routed off the logger
 };

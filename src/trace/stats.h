@@ -60,6 +60,11 @@ struct StatsCounters {
     std::uint64_t serveBreakerOpens = 0;    ///< circuit-breaker opens
     std::uint64_t serveBreakerCloses = 0;   ///< half-open probes passed
     std::uint64_t serveWatermarkMisses = 0; ///< relieve() watermark unmet
+    // --- switchless call layer ---------------------------------------
+    std::uint64_t switchlessPosts = 0;      ///< descriptors pushed to rings
+    std::uint64_t switchlessDrains = 0;     ///< descriptors drained in-enclave
+    std::uint64_t switchlessFallbacks = 0;  ///< rings abandoned to classic path
+    std::uint64_t switchlessPolls = 0;      ///< ring-header polls by pollers
 };
 
 class StatsSink : public TraceSink {
@@ -121,6 +126,12 @@ class StatsSink : public TraceSink {
           case EventKind::ServeWatermarkMiss:
             ++counters_.serveWatermarkMisses;
             break;
+          case EventKind::SwitchlessPost: ++counters_.switchlessPosts; break;
+          case EventKind::SwitchlessDrain: ++counters_.switchlessDrains; break;
+          case EventKind::SwitchlessFallback:
+            ++counters_.switchlessFallbacks;
+            break;
+          case EventKind::SwitchlessPoll: ++counters_.switchlessPolls; break;
           default: break;
         }
     }

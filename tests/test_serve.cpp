@@ -154,13 +154,22 @@ TEST(ServeAdmission, DeadlineShedsStaleRequestsAtDequeue)
     }
     service.pump();
     std::uint64_t verified = 0;
+    std::uint64_t deadlined = 0;
     for (serve::Completion& done : service.drain()) {
-        if (client.onResponse(done.sealedResponse)) ++verified;
+        if (done.ok) {
+            if (client.onResponse(done.sealedResponse)) ++verified;
+        } else {
+            // Shed entries complete typed — never a silent disappearance.
+            EXPECT_EQ(done.status.code(), Err::Deadline);
+            EXPECT_TRUE(done.sealedResponse.empty());
+            ++deadlined;
+        }
     }
 
     // The first batch beats the deadline; later ones are shed without
     // spending an enclave transition, and nothing miscomputes.
     EXPECT_EQ(verified, 4u);
+    EXPECT_EQ(deadlined, 12u);
     EXPECT_EQ(service.admission().shed(), 12u);
     EXPECT_EQ(client.failures(), 0u);
     EXPECT_EQ(service.admission().totalQueued(), 0u);

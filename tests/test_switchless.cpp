@@ -1,0 +1,277 @@
+/**
+ * Switchless (exit-less) call layer tests: DescRing wraparound and
+ * backpressure semantics, poller idle fallback with re-arm, end-to-end
+ * equivalence with classic dispatch (zero transitions post-arming), and
+ * the typed Err::Deadline completions for shed batches — all in both
+ * TLB-tag modes.
+ */
+#include <gtest/gtest.h>
+
+#include "harness.h"
+#include "serve/client.h"
+#include "serve/service.h"
+#include "switchless/ring.h"
+
+namespace nesgx::test {
+namespace {
+
+using serve::TenantId;
+using serve::Workload;
+
+class SwitchlessTest : public ::testing::TestWithParam<bool> {
+  protected:
+    static sgx::Machine::Config machineConfig(std::uint32_t cores)
+    {
+        auto config = World::smallConfig();
+        config.coreCount = cores;
+        config.taggedTlb = GetParam();
+        return config;
+    }
+
+    static serve::TenantService::Config serviceConfig()
+    {
+        serve::TenantService::Config sc;
+        sc.registry.tenantsPerOuter = 3;
+        sc.registry.outerCodePages = 12;
+        sc.registry.outerHeapPages = 24;
+        sc.registry.innerCodePages = 4;
+        sc.registry.innerHeapPages = 8;
+        sc.pool.batchSize = 4;
+        return sc;
+    }
+};
+
+TEST_P(SwitchlessTest, RingWrapsAroundWithMonotonicSequences)
+{
+    World world(machineConfig(4));
+    const hw::Vaddr base = world.kernel.mapUntrusted(world.pid, 1);
+    switchless::DescRing ring;
+    ASSERT_TRUE(ring.init(world.machine, 0, base, 4).isOk());
+
+    // Three full push/pop laps of a capacity-4 ring: 12 descriptors
+    // through 4 slots. Sequence numbers must stay strictly monotonic
+    // across every wraparound and FIFO order must hold exactly.
+    std::uint64_t expectSeq = 0;
+    for (std::uint64_t lap = 0; lap < 3; ++lap) {
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            switchless::Desc d;
+            d.id = lap * 4 + i + 1;
+            d.va = base;
+            d.len = 64 + i;
+            ASSERT_TRUE(ring.tryPush(world.machine, 0, d).isOk());
+        }
+        for (std::uint64_t i = 0; i < 4; ++i) {
+            auto popped = ring.tryPop(world.machine, 1);
+            ASSERT_TRUE(popped.isOk());
+            EXPECT_EQ(popped.value().id, lap * 4 + i + 1);
+            EXPECT_EQ(popped.value().len, 64 + i);
+            EXPECT_EQ(popped.value().seq, expectSeq);
+            ++expectSeq;
+        }
+    }
+    EXPECT_EQ(ring.tryPop(world.machine, 1).code(), Err::NotFound);
+
+    const auto& counters = world.machine.trace().counters();
+    EXPECT_EQ(counters.switchlessPosts, 12u);
+    EXPECT_EQ(counters.switchlessDrains, 12u);
+    EXPECT_EQ(counters.switchlessFallbacks, 0u);
+}
+
+TEST_P(SwitchlessTest, FullRingRefusesWithBackpressureNotStall)
+{
+    World world(machineConfig(4));
+    const hw::Vaddr base = world.kernel.mapUntrusted(world.pid, 1);
+    switchless::DescRing ring;
+    ASSERT_TRUE(ring.init(world.machine, 0, base, 4).isOk());
+
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        switchless::Desc d;
+        d.id = i + 1;
+        ASSERT_TRUE(ring.tryPush(world.machine, 0, d).isOk());
+    }
+    // The 5th push must refuse typed — not stall, not overwrite.
+    switchless::Desc overflow;
+    overflow.id = 99;
+    EXPECT_EQ(ring.tryPush(world.machine, 0, overflow).code(),
+              Err::Backpressure);
+    // A refused push publishes nothing.
+    EXPECT_EQ(world.machine.trace().counters().switchlessPosts, 4u);
+
+    // The ring's contents survived the refusal intact and in order.
+    for (std::uint64_t i = 0; i < 4; ++i) {
+        auto popped = ring.tryPop(world.machine, 1);
+        ASSERT_TRUE(popped.isOk());
+        EXPECT_EQ(popped.value().id, i + 1);
+    }
+    // One slot freed: the producer can proceed immediately.
+    overflow.id = 100;
+    EXPECT_TRUE(ring.tryPush(world.machine, 0, overflow).isOk());
+    auto popped = ring.tryPop(world.machine, 1);
+    ASSERT_TRUE(popped.isOk());
+    EXPECT_EQ(popped.value().id, 100u);
+}
+
+TEST_P(SwitchlessTest, AbandonPublishesOneFallbackForOutstandingEntries)
+{
+    World world(machineConfig(4));
+    const hw::Vaddr base = world.kernel.mapUntrusted(world.pid, 1);
+    switchless::DescRing ring;
+    ASSERT_TRUE(ring.init(world.machine, 0, base, 4).isOk());
+
+    for (std::uint64_t i = 0; i < 3; ++i) {
+        switchless::Desc d;
+        d.id = i + 1;
+        ASSERT_TRUE(ring.tryPush(world.machine, 0, d).isOk());
+    }
+    auto dropped = ring.abandon(world.machine, 0);
+    ASSERT_TRUE(dropped.isOk());
+    EXPECT_EQ(dropped.value(), 3u);
+    EXPECT_EQ(world.machine.trace().counters().switchlessFallbacks, 1u);
+    EXPECT_EQ(ring.tryPop(world.machine, 0).code(), Err::NotFound);
+
+    // An empty abandon is silent — no fallback noise.
+    auto empty = ring.abandon(world.machine, 0);
+    ASSERT_TRUE(empty.isOk());
+    EXPECT_EQ(empty.value(), 0u);
+    EXPECT_EQ(world.machine.trace().counters().switchlessFallbacks, 1u);
+}
+
+TEST_P(SwitchlessTest, ServesExitlesslyAfterArmingAndMatchesClassic)
+{
+    // Classic reference run: same tenant, same request stream.
+    std::vector<std::uint64_t> classicLens;
+    {
+        World world(machineConfig(4));
+        serve::TenantService service(*world.urts, serviceConfig());
+        ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+        serve::TenantClient client(0, Workload::Echo);
+        for (int i = 0; i < 8; ++i) {
+            ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+        }
+        service.pump();
+        for (serve::Completion& done : service.drain()) {
+            ASSERT_TRUE(done.ok);
+            ASSERT_TRUE(client.onResponse(done.sealedResponse));
+            classicLens.push_back(done.sealedResponse.size());
+        }
+        ASSERT_EQ(classicLens.size(), 8u);
+        EXPECT_EQ(client.failures(), 0u);
+    }
+
+    // Switchless run: pollers park up front; after the snapshot the
+    // whole request path must be transition-free, and the sealed
+    // responses must verify exactly like the classic ones.
+    World world(machineConfig(8));
+    auto sc = serviceConfig();
+    sc.switchless.enabled = true;
+    sc.switchless.hostCores = 2;
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    EXPECT_EQ(service.armSwitchless(), 1u);
+
+    const auto& counters = world.machine.trace().counters();
+    const std::uint64_t transitionsBase =
+        counters.eenterCount + counters.neenterCount;
+
+    serve::TenantClient client(0, Workload::Echo);
+    std::vector<std::uint64_t> switchlessLens;
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        ASSERT_TRUE(done.ok) << done.status.name();
+        ASSERT_TRUE(client.onResponse(done.sealedResponse));
+        switchlessLens.push_back(done.sealedResponse.size());
+    }
+    ASSERT_EQ(switchlessLens.size(), 8u);
+    EXPECT_EQ(client.failures(), 0u);
+    EXPECT_EQ(switchlessLens, classicLens);
+
+    EXPECT_EQ(counters.eenterCount + counters.neenterCount, transitionsBase)
+        << "the exit-less path leaked enclave transitions";
+    EXPECT_GT(counters.switchlessPosts, 0u);
+    EXPECT_EQ(counters.switchlessPosts, counters.switchlessDrains);
+    ASSERT_NE(service.switchlessEngine(), nullptr);
+    EXPECT_EQ(service.switchlessEngine()->engineStats().calls, 2u);
+}
+
+TEST_P(SwitchlessTest, IdlePollerFallsBackThenRearmsOnNextCall)
+{
+    World world(machineConfig(8));
+    auto sc = serviceConfig();
+    sc.switchless.enabled = true;
+    sc.switchless.hostCores = 2;
+    sc.switchless.idleParkCycles = 20000;  // tiny, so the test can idle past it
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    ASSERT_EQ(service.armSwitchless(), 1u);
+
+    serve::TenantClient client(0, Workload::Echo);
+    auto serveOne = [&]() {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+        service.pump();
+        auto done = service.drain();
+        ASSERT_EQ(done.size(), 1u);
+        ASSERT_TRUE(done[0].ok) << done[0].status.name();
+        ASSERT_TRUE(client.onResponse(done[0].sealedResponse));
+    };
+
+    serveOne();
+    const auto* engine = service.switchlessEngine();
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->engineStats().idleFallbacks, 0u);
+
+    // Idle long past the park budget: the next call must detect the
+    // gap, fall back (abandon + unpark), re-arm, and still serve.
+    world.machine.charge(sc.switchless.idleParkCycles * 3);
+    serveOne();
+    // (No SwitchlessFallback event here: the rings were fully drained,
+    // so the abandon had nothing outstanding to hand back — the idle
+    // episode shows up in the engine stats, not the trace.)
+    EXPECT_GE(engine->engineStats().idleFallbacks, 1u);
+
+    // The re-armed channel keeps serving exit-lessly afterwards.
+    const auto& counters = world.machine.trace().counters();
+    const std::uint64_t transitionsBase =
+        counters.eenterCount + counters.neenterCount;
+    serveOne();
+    EXPECT_EQ(counters.eenterCount + counters.neenterCount, transitionsBase);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(SwitchlessTest, ExpiredBatchCompletesTypedDeadlineNeverSilent)
+{
+    World world(machineConfig(4));
+    auto sc = serviceConfig();
+    sc.admission.deadlineCycles = 5000;
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    // Outlive the deadline before the pool ever runs: the whole batch
+    // expires, and step() must convert every entry into a typed
+    // Err::Deadline completion instead of returning silently.
+    world.machine.charge(10000);
+    service.pump();
+    auto done = service.drain();
+    ASSERT_EQ(done.size(), 4u);
+    for (const serve::Completion& c : done) {
+        EXPECT_FALSE(c.ok);
+        EXPECT_EQ(c.status.code(), Err::Deadline);
+        EXPECT_TRUE(c.sealedResponse.empty());
+    }
+    EXPECT_EQ(service.admission().shed(), 4u);
+    EXPECT_EQ(world.machine.trace().counters().serveSheds, 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TlbModes, SwitchlessTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                             return info.param ? "TaggedTlb" : "FlushedTlb";
+                         });
+
+}  // namespace
+}  // namespace nesgx::test

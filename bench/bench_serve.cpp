@@ -26,14 +26,23 @@
  * rings, so transitions per request must collapse to ~0 while every
  * sealed response still verifies.
  *
+ * The final section measures real-thread scaling: the whole request
+ * volume for a 24-tenant fleet is queued up front, then the parallel
+ * worker pool (WorkerPool::runParallel, one OS thread per simulated
+ * core) drains it while a wall-clock timer runs — requests/sec at 1, 2
+ * and 4 threads, every response still verified.
+ *
  * JSON keys asserted by CI: neenter_per_req_batch1 > neenter_per_req_batch8,
  * pressure_evictions >= 10, pressure_integrity_failures == 0,
  * chaos_faults_injected > 0, chaos_rebuilds >= 1, chaos_silent_empties == 0,
- * and transitions_per_request_switchless <= 0.01 <
- * transitions_per_request_batched < transitions_per_request_classic.
+ * transitions_per_request_switchless <= 0.01 <
+ * transitions_per_request_batched < transitions_per_request_classic,
+ * and requests_per_sec_t1 <= requests_per_sec_t2 <= requests_per_sec_t4.
  */
+#include <chrono>
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "bench_util.h"
 #include "fault/injector.h"
@@ -293,6 +302,78 @@ runServe(const ServeParams& params)
     return result;
 }
 
+struct ScalingResult {
+    std::uint64_t submitted = 0;
+    std::uint64_t verified = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t batches = 0;
+    double seconds = 0.0;
+};
+
+/**
+ * Thread-scaling section: queues the whole request volume for the fleet
+ * up front, then wall-clock-times the parallel drain alone. Ample EPC
+ * and no switchless, so the measurement isolates the worker pool's
+ * real-thread scaling rather than paging or ring behaviour.
+ */
+ScalingResult
+runThreadScaling(std::size_t threads, std::uint64_t tenants,
+                 std::uint64_t perTenant)
+{
+    auto config = defaultConfig();
+    if (config.coreCount < threads) {
+        config.coreCount = std::uint32_t(threads);
+    }
+    BenchWorld world(config);
+
+    serve::TenantService::Config sc;
+    sc.pool.batchSize = 8;
+    sc.pool.threads = threads;
+    // The whole volume sits queued before the pool runs.
+    sc.admission.maxQueueDepth = perTenant;
+    // 24 tenants / 3 per outer = 8 gateways: divisible by every swept
+    // thread count, so the gateway-partitioned workers stay balanced.
+    sc.registry.tenantsPerOuter = 3;
+    serve::TenantService service(*world.urts, sc);
+
+    const std::vector<serve::Workload> mix = {serve::Workload::Echo,
+                                              serve::Workload::Sql,
+                                              serve::Workload::Svm};
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (std::uint64_t t = 0; t < tenants; ++t) {
+        auto workload = mix[t % mix.size()];
+        service.addTenant(serve::TenantId(t), workload).orThrow("tenant");
+        clients.push_back(std::make_unique<serve::TenantClient>(
+            serve::TenantId(t), workload));
+    }
+
+    ScalingResult result;
+    for (std::uint64_t i = 0; i < perTenant; ++i) {
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            service.submit(serve::TenantId(t), clients[t]->nextRequest())
+                .orThrow("submit");
+            ++result.submitted;
+        }
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    service.pumpParallel(threads);
+    const auto stop = std::chrono::steady_clock::now();
+    result.seconds =
+        std::chrono::duration<double>(stop - start).count();
+
+    for (serve::Completion& done : service.drain()) {
+        if (done.ok && clients[done.tenant]->onResponse(done.sealedResponse)) {
+            ++result.verified;
+        }
+    }
+    for (const auto& client : clients) {
+        result.failures += client->failures();
+    }
+    result.batches = world.machine.trace().counters().serveBatches;
+    return result;
+}
+
 }  // namespace
 }  // namespace nesgx::bench
 
@@ -306,7 +387,7 @@ main(int argc, char** argv)
     const std::string chromeTrace = flags.str("chrome-trace", "");
     JsonReport json;
 
-    header("Serve bench 1/5: NEENTER per request vs worker batch size");
+    header("Serve bench 1/6: NEENTER per request vs worker batch size");
     note("closed loop, ample EPC; one EENTER+NEENTER per dispatched batch,");
     note("so transitions per request fall as batch occupancy rises");
     std::printf("\n  %6s %10s %12s %12s %14s %10s %10s\n", "batch", "verified",
@@ -333,7 +414,7 @@ main(int argc, char** argv)
                     (unsigned long long)r.latency.p99());
         json.set("neenter_per_req_batch" + std::to_string(batch), perReq);
         // Per-mode EENTER+NEENTER per request (post-arming snapshot),
-        // the axis the switchless ablation in section 5/5 completes:
+        // the axis the switchless ablation in section 5/6 completes:
         // batch-1 is the classic one-transition-pair-per-request mode,
         // batch-8 the amortized mode.
         if (batch == 1) {
@@ -349,7 +430,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 2/5: open-loop burst arrivals with deadlines");
+    header("Serve bench 2/6: open-loop burst arrivals with deadlines");
     note("the whole request volume arrives before the pool runs; bounded");
     note("queues push back (Err::Backpressure) and queued requests that");
     note("outlive their deadline are shed at dequeue, never dispatched");
@@ -382,7 +463,7 @@ main(int argc, char** argv)
         json.set("open_loop_p99_cycles", double(r.latency.p99()));
     }
 
-    header("Serve bench 3/5: correctness under EPC pressure");
+    header("Serve bench 3/6: correctness under EPC pressure");
     note("4x the tenants on a small EPC: the pressure manager pages cold");
     note("idle tenants out (EBLOCK/ETRACK/EWB) and the registry reloads");
     note("them transparently (ELDU); every sealed response must still");
@@ -426,7 +507,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 4/5: chaos — fault injection and self-healing");
+    header("Serve bench 4/6: chaos — fault injection and self-healing");
     note("the EPC-pressure scenario with the deterministic fault injector");
     note("armed: storage corruption, refused leaves, allocator failures and");
     note("interrupt storms; the pool retries transients, rebuilds poisoned");
@@ -498,7 +579,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 5/5: switchless ablation — killing the transition tax");
+    header("Serve bench 5/6: switchless ablation — killing the transition tax");
     note("the 4x-oversubscribed tenant fleet again, dispatched over the");
     note("exit-less ring channels: pollers park once up front (classic");
     note("EENTER/NEENTER, before the metric snapshot), then the steady");
@@ -554,6 +635,52 @@ main(int argc, char** argv)
                          "0.01 — the exit-less path is leaking transitions\n",
                          perReq);
             return 1;
+        }
+    }
+
+    header("Serve bench 6/6: requests/sec vs real OS worker threads");
+    note("a 24-tenant fleet with its whole request volume queued up front;");
+    note("the parallel pool drains it with one OS thread per simulated core");
+    note("(sharded EPCM, per-core TLBs, merged trace) and a wall-clock timer");
+    note("measures the drain alone — every response still verifies");
+    {
+        const std::uint64_t scalingTenants = 24;
+        const std::uint64_t perTenant = flags.u64("scaling-per-tenant", 20);
+        // Wall-clock scaling is bounded by the host, not the simulation:
+        // record the real core count so CI can gate the speedup keys
+        // only where the hardware can express a speedup at all.
+        const unsigned hostCpus = std::thread::hardware_concurrency();
+        std::printf("\n  host cpus: %u%s\n", hostCpus,
+                    hostCpus < 4 ? "  (speedup capped by host cores)" : "");
+        json.set("host_cpus", double(hostCpus));
+        std::printf("\n  %8s %10s %10s %10s %14s %9s\n", "threads", "verified",
+                    "batches", "seconds", "req/sec", "speedup");
+        double base = 0.0;
+        for (std::size_t threads : {std::size_t(1), std::size_t(2),
+                                    std::size_t(4)}) {
+            ScalingResult r =
+                runThreadScaling(threads, scalingTenants, perTenant);
+            if (r.failures > 0 || r.verified != r.submitted) {
+                std::fprintf(stderr,
+                             "FAIL: scaling run t=%zu must verify every "
+                             "request (%llu/%llu, %llu failures)\n",
+                             threads, (unsigned long long)r.verified,
+                             (unsigned long long)r.submitted,
+                             (unsigned long long)r.failures);
+                return 1;
+            }
+            const double reqPerSec =
+                r.seconds > 0.0 ? double(r.verified) / r.seconds : 0.0;
+            if (threads == 1) base = reqPerSec;
+            std::printf("  %8zu %10llu %10llu %10.4f %14.0f %8.2fx\n",
+                        threads, (unsigned long long)r.verified,
+                        (unsigned long long)r.batches, r.seconds, reqPerSec,
+                        base > 0.0 ? reqPerSec / base : 0.0);
+            json.set("requests_per_sec_t" + std::to_string(threads),
+                     reqPerSec);
+            if (threads == 4 && base > 0.0) {
+                json.set("scaling_speedup_t4", reqPerSec / base);
+            }
         }
     }
 

@@ -8,9 +8,8 @@ LastLevelCache::LastLevelCache(std::uint64_t capacityBytes)
 }
 
 bool
-LastLevelCache::touch(Paddr pa)
+LastLevelCache::touchLocked(Paddr line)
 {
-    Paddr line = lineBase(pa);
     auto it = lines_.find(line);
     if (it != lines_.end()) {
         lru_.splice(lru_.begin(), lru_, it->second);
@@ -27,9 +26,30 @@ LastLevelCache::touch(Paddr pa)
     return false;
 }
 
+bool
+LastLevelCache::touch(Paddr pa)
+{
+    std::lock_guard<std::mutex> g(m_);
+    return touchLocked(lineBase(pa));
+}
+
+std::uint64_t
+LastLevelCache::touchRange(Paddr pa, std::uint64_t count)
+{
+    std::lock_guard<std::mutex> g(m_);
+    std::uint64_t hitLines = 0;
+    Paddr line = lineBase(pa);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        if (touchLocked(line)) ++hitLines;
+        line += kCacheLineSize;
+    }
+    return hitLines;
+}
+
 void
 LastLevelCache::flush()
 {
+    std::lock_guard<std::mutex> g(m_);
     lru_.clear();
     lines_.clear();
 }

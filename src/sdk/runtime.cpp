@@ -231,6 +231,7 @@ Urts::nextBase(std::uint64_t sizeBytes)
 Result<LoadedEnclave*>
 Urts::load(const SignedEnclave& image)
 {
+    std::lock_guard<std::mutex> g(structM_);
     auto enclave = std::make_unique<LoadedEnclave>();
     enclave->image_ = image;
     enclave->base_ = nextBase(image.sizeBytes);
@@ -269,6 +270,7 @@ Urts::load(const SignedEnclave& image)
 Status
 Urts::unload(LoadedEnclave* enclave)
 {
+    std::lock_guard<std::mutex> g(structM_);
     Status st = kernel_.destroyEnclave(enclave->secsPage_);
     if (kernel_.enclaveRecord(enclave->secsPage_) != nullptr) {
         // The enclave survived (pages genuinely busy): the handle stays
@@ -302,6 +304,7 @@ Urts::unload(LoadedEnclave* enclave)
 Status
 Urts::associate(LoadedEnclave* inner, LoadedEnclave* outer)
 {
+    std::lock_guard<std::mutex> g(structM_);
     Status st = kernel_.associate(inner->secsPage_, outer->secsPage_);
     if (!st) return st;
     if (!inner->outer_) inner->outer_ = outer;  // primary
@@ -312,6 +315,7 @@ Urts::associate(LoadedEnclave* inner, LoadedEnclave* outer)
 LoadedEnclave*
 Urts::enclaveBySecs(hw::Paddr secsPage)
 {
+    std::lock_guard<std::mutex> g(structM_);
     for (const auto& enclave : enclaves_) {
         if (enclave->secsPage_ == secsPage) return enclave.get();
     }

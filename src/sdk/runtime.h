@@ -16,6 +16,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "os/kernel.h"
@@ -23,6 +24,7 @@
 #include "sdk/image.h"
 #include "sdk/interface.h"
 #include "sgx/machine.h"
+#include "support/counter.h"
 #include "support/status.h"
 
 namespace nesgx::sdk {
@@ -123,10 +125,12 @@ class TrustedEnv {
 class Urts {
   public:
     struct CallStats {
-        std::uint64_t ecalls = 0;
-        std::uint64_t ocalls = 0;
-        std::uint64_t nEcalls = 0;
-        std::uint64_t nOcalls = 0;
+        /** Relaxed atomics (support/counter.h): every worker thread's
+         *  dispatch path bumps these concurrently in threaded mode. */
+        Counter ecalls;
+        Counter ocalls;
+        Counter nEcalls;
+        Counter nOcalls;
         std::uint64_t totalCalls() const
         {
             return ecalls + ocalls + nEcalls + nOcalls;
@@ -193,6 +197,16 @@ class Urts {
     os::Kernel& kernel_;
     os::Pid pid_;
     std::map<std::string, UntrustedFn> ocalls_;
+    /**
+     * Guards the loaded-enclave table (and the ELRANGE base allocator):
+     * worker threads rebuild poisoned tenants — load/unload/associate —
+     * while others dispatch. The dispatch path itself never takes this
+     * lock; it works through the LoadedEnclave* it already holds, and
+     * the serve layer's per-tenant ownership locks guarantee nobody
+     * unloads an enclave that is mid-call. `ocalls_` stays setup-phase
+     * single-threaded, like the spec builders.
+     */
+    mutable std::mutex structM_;
     std::vector<std::unique_ptr<LoadedEnclave>> enclaves_;
     hw::Vaddr nextEnclaveBase_ = 0x7000'0000'0000ull;
     CallStats stats_;

@@ -5,6 +5,7 @@ namespace nesgx::serve {
 Status
 AdmissionController::submit(TenantId tenant, Bytes sealed)
 {
+    std::lock_guard<std::mutex> g(m_);
     std::deque<Request>& queue = queues_[tenant];
     if (queue.size() >= config_.maxQueueDepth) {
         ++rejected_;
@@ -19,7 +20,7 @@ AdmissionController::submit(TenantId tenant, Bytes sealed)
     }
     req.sealed = std::move(sealed);
     queue.push_back(std::move(req));
-    ++totalQueued_;
+    totalQueued_.fetch_add(1, std::memory_order_relaxed);
     ++submitted_;
     machine_->trace().publishLight(trace::EventKind::ServeEnqueue,
                                    trace::kNoCore, 0, tenant, queue.size());
@@ -31,6 +32,7 @@ AdmissionController::takeBatch(TenantId tenant, std::size_t max,
                                std::vector<Request>* shedOut)
 {
     std::vector<Request> out;
+    std::lock_guard<std::mutex> g(m_);
     auto it = queues_.find(tenant);
     if (it == queues_.end()) return out;
     std::deque<Request>& queue = it->second;
@@ -51,7 +53,7 @@ AdmissionController::takeBatch(TenantId tenant, std::size_t max,
             out.push_back(std::move(head));
         }
         queue.pop_front();
-        --totalQueued_;
+        totalQueued_.fetch_sub(1, std::memory_order_relaxed);
     }
     return out;
 }
@@ -60,11 +62,12 @@ std::vector<Request>
 AdmissionController::purge(TenantId tenant)
 {
     std::vector<Request> out;
+    std::lock_guard<std::mutex> g(m_);
     auto it = queues_.find(tenant);
     if (it == queues_.end()) return out;
     out.reserve(it->second.size());
     for (Request& r : it->second) out.push_back(std::move(r));
-    totalQueued_ -= it->second.size();
+    totalQueued_.fetch_sub(it->second.size(), std::memory_order_relaxed);
     it->second.clear();
     return out;
 }
@@ -72,7 +75,8 @@ AdmissionController::purge(TenantId tenant)
 std::optional<TenantId>
 AdmissionController::nextTenant()
 {
-    if (totalQueued_ == 0) return std::nullopt;
+    if (totalQueued() == 0) return std::nullopt;
+    std::lock_guard<std::mutex> g(m_);
     // Start scanning just past the previously served tenant, wrapping.
     auto start = haveLast_ ? queues_.upper_bound(lastTenant_)
                            : queues_.begin();
@@ -96,6 +100,7 @@ AdmissionController::nextTenant()
 std::size_t
 AdmissionController::depth(TenantId tenant) const
 {
+    std::lock_guard<std::mutex> g(m_);
     auto it = queues_.find(tenant);
     return it == queues_.end() ? 0 : it->second.size();
 }

@@ -10,13 +10,16 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "serve/protocol.h"
 #include "sgx/machine.h"
+#include "support/counter.h"
 
 namespace nesgx::serve {
 
@@ -60,7 +63,10 @@ class AdmissionController {
     std::vector<Request> purge(TenantId tenant);
 
     std::size_t depth(TenantId tenant) const;
-    std::size_t totalQueued() const { return totalQueued_; }
+    std::size_t totalQueued() const
+    {
+        return totalQueued_.load(std::memory_order_relaxed);
+    }
 
     std::uint64_t submitted() const { return submitted_; }
     std::uint64_t rejected() const { return rejected_; }
@@ -69,14 +75,19 @@ class AdmissionController {
   private:
     sgx::Machine* machine_;
     Config config_;
+    /** One coarse lock over the queue map and cursor: queue ops are
+     *  microseconds next to a batched enclave dispatch, so worker
+     *  threads contend here far less than they work. Leaf-level — held
+     *  across nothing but the map and the trace publish. */
+    mutable std::mutex m_;
     std::map<TenantId, std::deque<Request>> queues_;
     TenantId lastTenant_ = 0;
     bool haveLast_ = false;
-    std::size_t totalQueued_ = 0;
+    std::atomic<std::size_t> totalQueued_{0};
     std::uint64_t nextId_ = 1;
-    std::uint64_t submitted_ = 0;
-    std::uint64_t rejected_ = 0;
-    std::uint64_t shed_ = 0;
+    Counter submitted_;
+    Counter rejected_;
+    Counter shed_;
 };
 
 }  // namespace nesgx::serve

@@ -18,8 +18,14 @@ class Histogram {
   public:
     void add(std::uint64_t value)
     {
+        // Appending in (non-strictly) increasing order preserves
+        // sortedness — only an out-of-order sample invalidates it.
+        // Unconditionally clearing the flag here forced a full re-sort
+        // per percentile call under add/query interleavings.
+        const bool keepsOrder =
+            samples_.empty() || (sorted_ && value >= samples_.back());
         samples_.push_back(value);
-        sorted_ = samples_.size() <= 1;
+        sorted_ = keepsOrder;
     }
 
     std::size_t count() const { return samples_.size(); }

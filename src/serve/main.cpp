@@ -6,8 +6,13 @@
  * response client-side.
  *
  *   nesgx_serve --tenants 8 --requests 200 [--batch 8] [--epc-pages 0]
- *               [--deadline 0] [--queue-depth 64] [--chrome-trace p.json]
+ *               [--deadline 0] [--queue-depth 64] [--threads 1]
+ *               [--chrome-trace p.json]
  *               [--faults SPEC] [--fault-seed N] [--chaos SEED]
+ *
+ * --threads N drains the queues with N real OS worker threads, each
+ * pinning one simulated core (see WorkerPool::runParallel). N=1 is the
+ * historical serial pump — byte-identical traces and counters.
  *
  * --faults arms the deterministic fault injector (src/fault) with a
  * site@trigger spec, e.g. "ewb-corrupt@n=3;eenter-fail@every=40".
@@ -92,6 +97,7 @@ main(int argc, char** argv)
     const std::uint64_t deadline = flagU64(argc, argv, "deadline", 0);
     const std::uint64_t queueDepth = flagU64(argc, argv, "queue-depth", 64);
     const bool switchless = flagU64(argc, argv, "switchless", 0) != 0;
+    const std::uint64_t threads = flagU64(argc, argv, "threads", 1);
     const std::string tracePath = flagStr(argc, argv, "chrome-trace", "");
     const std::string faultSpec =
         flagStr(argc, argv, "faults", chaos ? kChaosPlan : "");
@@ -114,6 +120,11 @@ main(int argc, char** argv)
         // Shrink the PRM so EPC pressure kicks in at small scale.
         mc.prmBytes = (epcPages + 64) * hw::kPageSize;
     }
+    // One simulated core per worker thread, on top of whatever the
+    // switchless sizing already asked for.
+    if (threads > 1 && mc.coreCount < threads) {
+        mc.coreCount = std::uint32_t(threads);
+    }
     sgx::Machine machine(mc);
     os::Kernel kernel(machine);
     os::Pid pid = kernel.createProcess();
@@ -126,6 +137,10 @@ main(int argc, char** argv)
     if (!tracePath.empty()) {
         sink = std::make_unique<trace::ChromeTraceSink>(2400.0, false);
         machine.trace().subscribe(sink.get());
+        // Real worker threads publish concurrently: buffer per-shard and
+        // merge by global sequence. Serial runs never enter this mode,
+        // keeping --threads 1 trace output byte-identical.
+        if (threads > 1) machine.trace().enableParallel(threads);
     }
 
     std::unique_ptr<fault::FaultInjector> injector;
@@ -144,6 +159,7 @@ main(int argc, char** argv)
     sc.admission.maxQueueDepth = queueDepth;
     sc.admission.deadlineCycles = deadline;
     sc.pool.batchSize = batch;
+    sc.pool.threads = threads;
     sc.switchless.enabled = switchless;
     sc.switchless.hostCores = 2;
     if (chaos) {
@@ -200,6 +216,13 @@ main(int argc, char** argv)
     std::uint64_t backpressured = 0;
     std::uint64_t typedByErr[kErrCount] = {};
 
+    // The parallel pool drains its owned queues completely per call, so
+    // maxBatches only applies to the serial path (where it always did).
+    auto pumpAll = [&](std::size_t maxBatches) {
+        if (threads > 1) return service.pumpParallel(threads);
+        return service.pump(maxBatches);
+    };
+
     auto drainInto = [&]() {
         // A tenant is rebuilt at most once per pump, so one reset per
         // (tenant, drain) keeps the client mirror exact.
@@ -241,7 +264,7 @@ main(int argc, char** argv)
         if (st.code() == Err::Backpressure) {
             ++backpressured;
             clients[t]->onDropped();
-            service.pump(4);  // let the pool catch up, then move on
+            pumpAll(4);  // let the pool catch up, then move on
             drainInto();
             continue;
         }
@@ -251,11 +274,11 @@ main(int argc, char** argv)
         }
         ++submitted;
         if (submitted % (batch * tenants) == 0) {
-            service.pump();
+            pumpAll(std::size_t(-1));
             drainInto();
         }
     }
-    service.pump();
+    pumpAll(std::size_t(-1));
     drainInto();
 
     // Recovery phase: stop injecting and require every tenant to serve
@@ -277,7 +300,7 @@ main(int argc, char** argv)
                 if (!st) {
                     clients[t]->onDropped();
                 }
-                service.pump();
+                pumpAll(std::size_t(-1));
                 drainInto();
                 if (clients[t]->verified() > wasVerified) {
                     healed[t] = true;
@@ -325,8 +348,10 @@ main(int argc, char** argv)
         std::printf("  switchless          : %zu channels, %llu ring calls, "
                     "%llu polls\n",
                     armedChannels,
-                    (unsigned long long)(engine ? engine->engineStats().calls
-                                               : 0),
+                    (unsigned long long)(engine
+                                             ? engine->engineStats().calls
+                                                   .load()
+                                             : 0),
                     (unsigned long long)counters.switchlessPolls);
         std::printf("  transitions/request : %.4f (post-arming)\n",
                     submitted ? double(transitions) / double(submitted) : 0.0);
@@ -380,6 +405,11 @@ main(int argc, char** argv)
     }
 
     if (sink) {
+        // Parallel mode buffers events per shard; drain the merged,
+        // seq-ordered stream into the sink before detaching it.
+        if (machine.trace().parallelEnabled()) {
+            machine.trace().disableParallel();
+        }
         machine.trace().unsubscribe(sink.get());
         if (!sink->writeFile(tracePath)) {
             std::fprintf(stderr, "error: cannot write %s\n",

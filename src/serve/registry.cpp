@@ -282,6 +282,11 @@ TenantRegistry::ensureResident(TenantHandle& tenant)
 std::uint64_t
 TenantRegistry::evictTenant(TenantHandle& tenant)
 {
+    // Never page out a tenant another worker thread is mid-batch in:
+    // its owner holds `m` for the whole attempt. A contended victim is
+    // reported as barren (0 pages) and the pressure loop moves on.
+    std::unique_lock<std::mutex> own(tenant.m, std::try_to_lock);
+    if (!own.owns_lock()) return 0;
     if (!tenant.inner) return 0;
     os::Kernel& kernel = urts_->kernel();
     const os::EnclaveRecord* rec =

@@ -24,14 +24,17 @@
  */
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/compose.h"
 #include "sdk/runtime.h"
 #include "serve/protocol.h"
+#include "support/counter.h"
 
 namespace nesgx::serve {
 
@@ -41,11 +44,22 @@ struct TenantHandle {
     /** Inner enclave; nullptr while a poisoned tenant awaits rebuild. */
     sdk::LoadedEnclave* inner = nullptr;
     std::size_t gatewayIndex = 0;
-    std::uint32_t slot = 0;       ///< slot within the gateway
-    bool busy = false;            ///< a dispatch is in flight
-    std::uint64_t evictions = 0;  ///< times paged out by pressure
-    std::uint64_t reloads = 0;    ///< cold-start reloads
-    std::uint64_t rebuilds = 0;   ///< destroy-and-rebuild recoveries
+    std::uint32_t slot = 0;  ///< slot within the gateway
+    /**
+     * Ownership lock for threaded serving. The worker thread that owns
+     * this tenant (gatewayIndex % threads) holds it across the whole
+     * batch attempt — residency, dispatch, rebuild — while the pressure
+     * manager only ever try_locks it from `evictTenant` and skips a
+     * contended victim. try_lock is what makes the cross-thread order
+     * (own tenant held -> victim tenant tried) deadlock-free.
+     */
+    std::mutex m;
+    /** A dispatch is in flight. Read lock-free by the eviction victim
+     *  filter on other worker threads; `m` is the real exclusion. */
+    std::atomic<bool> busy{false};
+    Counter evictions;  ///< times paged out by pressure
+    Counter reloads;    ///< cold-start reloads
+    Counter rebuilds;   ///< destroy-and-rebuild recoveries
 };
 
 class TenantRegistry {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <thread>
 
 #include "support/logging.h"
 
@@ -81,8 +82,16 @@ WorkerPool::WorkerPool(TenantRegistry& registry,
 bool
 WorkerPool::breakerOpen(TenantId tenant) const
 {
+    std::lock_guard<std::mutex> g(breakersM_);
     auto it = breakers_.find(tenant);
     return it != breakers_.end() && it->second.open;
+}
+
+WorkerPool::Breaker&
+WorkerPool::breakerFor(TenantId tenant)
+{
+    std::lock_guard<std::mutex> g(breakersM_);
+    return breakers_[tenant];
 }
 
 Status
@@ -96,18 +105,24 @@ WorkerPool::rebuildTenantNow(TenantHandle& tenant)
     // Everything the tenant still has queued was sealed against the
     // poisoned instance; fail it typed so the client reseals against
     // the rebuilt server instead of replaying stale sequence numbers.
-    for (Request& r : admission_->purge(tenant.id)) {
-        Completion done;
-        done.id = r.id;
-        done.tenant = r.tenant;
-        done.latencyCycles = machine.clock().cycles() - r.enqueuedAt;
-        done.status = Err::Unavailable;
-        done.tenantRebuilt = true;
-        completions_.push_back(std::move(done));
+    {
+        std::lock_guard<std::mutex> c(completionsM_);
+        for (Request& r : admission_->purge(tenant.id)) {
+            Completion done;
+            done.id = r.id;
+            done.tenant = r.tenant;
+            done.latencyCycles = machine.clock().cycles() - r.enqueuedAt;
+            done.status = Err::Unavailable;
+            done.tenantRebuilt = true;
+            completions_.push_back(std::move(done));
+        }
     }
     const std::uint64_t begin = machine.clock().cycles();
     Status st = registry_->rebuildTenant(tenant);
-    rebuildLatency_.add(machine.clock().cycles() - begin);
+    {
+        std::lock_guard<std::mutex> h(rebuildM_);
+        rebuildLatency_.add(machine.clock().cycles() - begin);
+    }
     ++rebuilds_;
     return st;
 }
@@ -135,18 +150,34 @@ WorkerPool::step()
 {
     auto tenantId = admission_->nextTenant();
     if (!tenantId) return false;
+    processTenant(*tenantId, 0, false);
+    return true;
+}
 
+hw::CoreId
+WorkerPool::pickCore()
+{
+    const hw::CoreId core = nextCore_;
+    nextCore_ = (nextCore_ + 1) % config_.cores;
+    return core;
+}
+
+void
+WorkerPool::processTenant(TenantId tenantId, hw::CoreId fixedCore,
+                          bool haveFixedCore)
+{
     sgx::Machine& machine = registry_->urts().machine();
 
     std::vector<Request> shedRequests;
     std::vector<Request> batch =
-        admission_->takeBatch(*tenantId, config_.batchSize, &shedRequests);
+        admission_->takeBatch(tenantId, config_.batchSize, &shedRequests);
 
     // Shed requests complete typed — the client sees Err::Deadline, not
     // silence — even (especially) when every entry at the head expired
     // and the batch below is empty.
     if (!shedRequests.empty()) {
         const std::uint64_t shedNow = machine.clock().cycles();
+        std::lock_guard<std::mutex> c(completionsM_);
         for (Request& r : shedRequests) {
             Completion done;
             done.id = r.id;
@@ -156,13 +187,32 @@ WorkerPool::step()
             completions_.push_back(std::move(done));
         }
     }
-    if (batch.empty()) return true;  // everything at the head was shed
+    if (batch.empty()) return;  // everything at the head was shed
 
-    TenantHandle* tenant = registry_->find(*tenantId);
-    if (!tenant) return true;  // submit() guarantees existence
+    TenantHandle* tenant = registry_->find(tenantId);
+    if (!tenant) return;  // submit() guarantees existence
+
+    serveBatch(*tenant, std::move(batch), fixedCore, haveFixedCore);
+
+    // Restore the EPC watermark before the next tenant needs pages.
+    pressure_->relieve();
+}
+
+void
+WorkerPool::serveBatch(TenantHandle& tenant, std::vector<Request> batch,
+                       hw::CoreId fixedCore, bool haveFixedCore)
+{
+    sgx::Machine& machine = registry_->urts().machine();
+
+    // Own the tenant for the whole attempt: residency, dispatch and
+    // rebuild all happen under this lock, so the pressure manager (which
+    // only try_locks from evictTenant) can never page out a tenant that
+    // is mid-batch on another thread.
+    std::lock_guard<std::mutex> own(tenant.m);
 
     auto failBatchTyped = [&](Status st, bool rebuiltFlag) {
         const std::uint64_t now = machine.clock().cycles();
+        std::lock_guard<std::mutex> c(completionsM_);
         for (Request& r : batch) {
             Completion done;
             done.id = r.id;
@@ -177,7 +227,7 @@ WorkerPool::step()
     // Circuit breaker: while open, refuse the batch outright unless the
     // cooldown has elapsed — then exactly this batch goes through as the
     // half-open probe.
-    Breaker& breaker = breakers_[*tenantId];
+    Breaker& breaker = breakerFor(tenant.id);
     if (breaker.open) {
         bool probeDue = false;
 #ifndef NESGX_BUG_BREAKER_STUCK
@@ -185,8 +235,7 @@ WorkerPool::step()
 #endif
         if (!probeDue) {
             failBatchTyped(Err::Unavailable, false);
-            pressure_->relieve();
-            return true;
+            return;
         }
     }
 
@@ -200,16 +249,16 @@ WorkerPool::step()
         if (attempt > 0) {
             ++retries_;
             machine.trace().publishLight(trace::EventKind::ServeRetry,
-                                         trace::kNoCore, 0, tenant->id,
+                                         trace::kNoCore, 0, tenant.id,
                                          attempt);
         }
 
         // A previous rebuild died half-way (e.g. the EPC allocator
         // refused mid-build): the tenant is inner-less until a build
         // succeeds. Keep trying under the same retry budget.
-        if (!tenant->inner) {
+        if (!tenant.inner) {
             rebuilt = true;
-            Status st = rebuildTenantNow(*tenant);
+            Status st = rebuildTenantNow(tenant);
             if (!st) {
                 finalStatus = st;
                 continue;
@@ -219,47 +268,46 @@ WorkerPool::step()
         // Transparent cold start: page the inner back in before
         // entering. Pinned (`busy`) so the pressure manager cannot pick
         // this tenant as an eviction victim mid-reload.
-        tenant->busy = true;
-        auto resident = registry_->ensureResident(*tenant);
-        tenant->busy = false;
+        tenant.busy = true;
+        auto resident = registry_->ensureResident(tenant);
+        tenant.busy = false;
         if (!resident) {
             finalStatus = resident.status();
             if (poisonedStatus(finalStatus)) {
                 rebuilt = true;
-                (void)rebuildTenantNow(*tenant);
+                (void)rebuildTenantNow(tenant);
                 break;  // seals target the dead instance: no redispatch
             }
             continue;
         }
 
-        const hw::CoreId core = nextCore_;
-        nextCore_ = (nextCore_ + 1) % config_.cores;
+        const hw::CoreId core = haveFixedCore ? fixedCore : pickCore();
 
         std::vector<ByteView> views;
         views.reserve(batch.size());
         for (const Request& req : batch) views.push_back(req.sealed);
-        Bytes blob = packBatch(tenant->slot, views);
+        Bytes blob = packBatch(tenant.slot, views);
 
         trace::TraceEvent begin;
         begin.kind = trace::EventKind::ServeBatchBegin;
         begin.core = core;
-        begin.arg0 = tenant->id;
+        begin.arg0 = tenant.id;
         begin.arg1 = batch.size();
         machine.trace().publishIfActive(begin);
 
-        tenant->busy = true;
-        auto respBlob = dispatchVia(*tenant, blob, core);
-        tenant->busy = false;
+        tenant.busy = true;
+        auto respBlob = dispatchVia(tenant, blob, core);
+        tenant.busy = false;
 
         machine.trace().publishLight(trace::EventKind::ServeBatchEnd, core,
-                                     0, tenant->id, batch.size());
+                                     0, tenant.id, batch.size());
         ++batches_;
 
         if (!respBlob) {
             finalStatus = respBlob.status();
             if (poisonedStatus(finalStatus)) {
                 rebuilt = true;
-                (void)rebuildTenantNow(*tenant);
+                (void)rebuildTenantNow(tenant);
                 break;
             }
             continue;
@@ -280,6 +328,7 @@ WorkerPool::step()
 
     const std::uint64_t now = machine.clock().cycles();
     if (dispatched) {
+        std::lock_guard<std::mutex> c(completionsM_);
         for (std::size_t i = 0; i < batch.size(); ++i) {
             Completion done;
             done.id = batch[i].id;
@@ -316,7 +365,7 @@ WorkerPool::step()
             breaker.open = false;
             ++breakerCloses_;
             machine.trace().publishLight(trace::EventKind::ServeBreakerClose,
-                                         trace::kNoCore, 0, tenant->id, 0);
+                                         trace::kNoCore, 0, tenant.id, 0);
         }
     } else {
         ++breaker.consecutiveFailures;
@@ -327,7 +376,7 @@ WorkerPool::step()
                 machine.clock().cycles() + config_.breakerCooldownCycles;
             ++breakerOpens_;
             machine.trace().publishLight(trace::EventKind::ServeBreakerOpen,
-                                         trace::kNoCore, 0, tenant->id,
+                                         trace::kNoCore, 0, tenant.id,
                                          breaker.consecutiveFailures);
         } else if (breaker.open) {
             // Failed half-open probe: stay open, re-arm the cooldown.
@@ -335,15 +384,61 @@ WorkerPool::step()
                 machine.clock().cycles() + config_.breakerCooldownCycles;
         }
     }
+}
 
-    // Restore the EPC watermark before the next tenant needs pages.
-    pressure_->relieve();
-    return true;
+std::size_t
+WorkerPool::runParallel(std::size_t threads)
+{
+    if (threads == 0) threads = config_.threads;
+    if (threads <= 1) {
+        // Serial fallback: the historical step() loop, same round-robin
+        // core pick, same trace stream, byte for byte.
+        std::size_t steps = 0;
+        while (step()) ++steps;
+        return steps;
+    }
+    threads = std::min<std::size_t>(threads, config_.cores);
+
+    // Static ownership: worker t serves every tenant whose gateway index
+    // hashes to t on simulated core t. Disjoint gateways mean disjoint
+    // staging heaps and TCSes per thread; per-tenant FIFO falls out of
+    // one tenant having exactly one server thread.
+    std::vector<std::vector<TenantHandle*>> owned(threads);
+    for (const auto& [id, tenant] : registry_->tenants()) {
+        owned[tenant->gatewayIndex % threads].push_back(tenant.get());
+    }
+
+    os::Kernel& kernel = registry_->urts().kernel();
+    const os::Pid pid = registry_->urts().pid();
+    std::atomic<std::size_t> total{0};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+        workers.emplace_back([this, &owned, &kernel, &total, pid, t] {
+            const hw::CoreId core = hw::CoreId(t);
+            kernel.schedule(core, pid);
+            std::size_t steps = 0;
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (TenantHandle* tenant : owned[t]) {
+                    if (admission_->depth(tenant->id) == 0) continue;
+                    processTenant(tenant->id, core, true);
+                    ++steps;
+                    progress = true;
+                }
+            }
+            total.fetch_add(steps, std::memory_order_relaxed);
+        });
+    }
+    for (std::thread& w : workers) w.join();
+    return total.load(std::memory_order_relaxed);
 }
 
 std::vector<Completion>
 WorkerPool::drain()
 {
+    std::lock_guard<std::mutex> g(completionsM_);
     std::vector<Completion> out;
     out.swap(completions_);
     return out;

@@ -24,8 +24,10 @@
  */
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 
 #include "serve/admission.h"
 #include "serve/histogram.h"
@@ -64,9 +66,11 @@ class EpcPressureManager {
     os::Kernel* kernel_;
     TenantRegistry* registry_;
     Config config_;
-    std::uint64_t tenantsEvicted_ = 0;
-    std::uint64_t pagesWritten_ = 0;
-    std::uint64_t watermarkMisses_ = 0;
+    /** Relaxed atomics: every worker thread relieves pressure after its
+     *  own batches, so the eviction accounting races benignly. */
+    Counter tenantsEvicted_;
+    Counter pagesWritten_;
+    Counter watermarkMisses_;
 };
 
 struct Completion {
@@ -98,6 +102,9 @@ class WorkerPool {
         std::uint32_t breakerThreshold = 4;
         /** Cooldown before an open breaker admits a half-open probe. */
         std::uint64_t breakerCooldownCycles = 200000;
+        /** OS worker threads for runParallel (1 = the serial step()
+         *  loop, byte-identical to the historical single-thread path). */
+        std::size_t threads = 1;
     };
 
     WorkerPool(TenantRegistry& registry, AdmissionController& admission,
@@ -106,6 +113,18 @@ class WorkerPool {
     /** Serves one tenant batch (round-robin); false when queues are
      *  empty. Shedding counts as progress. */
     bool step();
+
+    /**
+     * Drains the queues with `threads` real OS worker threads (0 = the
+     * configured default). Thread t pins simulated core t and owns every
+     * tenant whose gateway index hashes to it, so one gateway's staging
+     * heap and TCSes are only ever driven by one thread and a tenant's
+     * batches keep their seal-sequence order. threads <= 1 falls back to
+     * the serial step() loop — byte-identical traces. Returns batches
+     * (steps) processed. All tenants must exist before this is called;
+     * enable the trace bus's parallel mode first when a sink listens.
+     */
+    std::size_t runParallel(std::size_t threads = 0);
 
     /** Completed requests since the last drain. */
     std::vector<Completion> drain();
@@ -145,22 +164,47 @@ class WorkerPool {
     Result<Bytes> dispatchVia(TenantHandle& tenant, ByteView blob,
                               hw::CoreId core);
 
+    /** Takes + serves one batch for `tenantId`: shed completions, the
+     *  breaker gate, the retry loop, completion delivery, then pressure
+     *  relief. `haveFixedCore` pins the dispatch core (parallel workers);
+     *  otherwise the historical round-robin picks per attempt. */
+    void processTenant(TenantId tenantId, hw::CoreId fixedCore,
+                       bool haveFixedCore);
+
+    /** The locked middle of processTenant: everything from the breaker
+     *  gate through breaker bookkeeping, under the tenant's own lock. */
+    void serveBatch(TenantHandle& tenant, std::vector<Request> batch,
+                    hw::CoreId fixedCore, bool haveFixedCore);
+
+    /** Serial-mode round-robin core pick (single-thread only). */
+    hw::CoreId pickCore();
+
+    /** Per-tenant breaker slot; std::map node, so the reference stays
+     *  valid while other threads insert their own tenants' slots. */
+    Breaker& breakerFor(TenantId tenant);
+
     TenantRegistry* registry_;
     switchless::SwitchlessEngine* engine_ = nullptr;
     AdmissionController* admission_;
     EpcPressureManager* pressure_;
     Config config_;
     hw::CoreId nextCore_ = 0;
+    /** Completions are pushed by every worker and swapped out by drain. */
+    mutable std::mutex completionsM_;
     std::vector<Completion> completions_;
+    /** Guards only the breaker map's structure; each Breaker's fields are
+     *  owned by the tenant's single worker thread (partitioning). */
+    mutable std::mutex breakersM_;
     std::map<TenantId, Breaker> breakers_;
+    mutable std::mutex rebuildM_;  ///< rebuildLatency_ sample inserts
     Histogram rebuildLatency_;
-    std::uint64_t batches_ = 0;
-    std::uint64_t served_ = 0;
-    std::uint64_t dispatchFailures_ = 0;
-    std::uint64_t retries_ = 0;
-    std::uint64_t rebuilds_ = 0;
-    std::uint64_t breakerOpens_ = 0;
-    std::uint64_t breakerCloses_ = 0;
+    Counter batches_;
+    Counter served_;
+    Counter dispatchFailures_;
+    Counter retries_;
+    Counter rebuilds_;
+    Counter breakerOpens_;
+    Counter breakerCloses_;
 };
 
 /** The whole serving stack behind one object. */
@@ -186,6 +230,13 @@ class TenantService {
 
     /** Runs worker steps until the queues drain (or maxBatches). */
     std::size_t pump(std::size_t maxBatches = std::size_t(-1));
+
+    /** Drains the queues with real OS worker threads (see
+     *  WorkerPool::runParallel); threads <= 1 is the serial pump. */
+    std::size_t pumpParallel(std::size_t threads)
+    {
+        return pool_.runParallel(threads);
+    }
 
     std::vector<Completion> drain() { return pool_.drain(); }
 

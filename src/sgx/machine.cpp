@@ -70,12 +70,24 @@ Machine::tcsAt(hw::Paddr pa) const
 void
 Machine::flushCoreTlb(hw::CoreId coreId)
 {
+    // Public entry (OS reschedule): exclusive — the flushed TLB may
+    // belong to a core another thread is running.
+    std::unique_lock<std::shared_mutex> g(stateMutex_);
+    flushCoreTlbLocked(coreId);
+}
+
+void
+Machine::flushCoreTlbLocked(hw::CoreId coreId)
+{
     // The TLB publishes the TlbFlush event (feeding the tlbFlushes
     // counter) from inside flushAll — hw/tlb.cpp is the emission site.
     cores_[coreId].tlb().flushAll();
     cores_[coreId].clearLastTranslation();
     // A flushed core no longer caches stale translations: drop it from
     // every active ETRACK tracking set (paper §IV-E thread tracking).
+    // Transitions reach here in shared mode, so concurrent AEXes race on
+    // the sets without the tracking mutex.
+    std::lock_guard<std::mutex> t(trackingMutex_);
     for (auto& [pa, secs] : secsTable_) {
         if (secs.trackingActive) secs.trackingSet.erase(coreId);
     }
@@ -104,6 +116,7 @@ Machine::invalidateTlbForSecs(hw::Paddr secsPage)
 void
 Machine::invalidateClosureCache()
 {
+    std::lock_guard<std::mutex> g(closureMutex_);
     closureCache_.clear();
 }
 
@@ -138,21 +151,21 @@ Machine::chargeDataPath(hw::Paddr pa, std::uint64_t len)
     if (len == 0) return;
     hw::Paddr first = hw::lineBase(pa);
     hw::Paddr last = hw::lineBase(pa + len - 1);
-    std::uint64_t llcLines = 0;
+    // Callers pass ranges that never straddle the PRM boundary (access
+    // proceeds per page segment), so the miss-side cost is uniform and
+    // the whole range can go through one locked LLC pass.
+    const std::uint64_t lineCount = (last - first) / hw::kCacheLineSize + 1;
+    const std::uint64_t llcLines = llc_.touchRange(first, lineCount);
+    const std::uint64_t missLines = lineCount - llcLines;
     std::uint64_t meeLines = 0;
-    for (hw::Paddr line = first; line <= last; line += hw::kCacheLineSize) {
-        bool hit = llc_.touch(line);
-        if (hit) {
-            charge(costs_.llcHitLine);
-            ++llcLines;
-        } else if (mem_.inPrm(line)) {
-            // Off-chip EPC traffic goes through the MEE: AES-CTR at
-            // cacheline granularity plus integrity-tree work.
-            charge(costs_.meeLine);
-            ++meeLines;
-        } else {
-            charge(costs_.dramLine);
-        }
+    charge(costs_.llcHitLine * llcLines);
+    if (mem_.inPrm(first)) {
+        // Off-chip EPC traffic goes through the MEE: AES-CTR at
+        // cacheline granularity plus integrity-tree work.
+        charge(costs_.meeLine * missLines);
+        meeLines = missLines;
+    } else {
+        charge(costs_.dramLine * missLines);
     }
     // One DataPath event per range keeps the stream proportional to
     // accesses, not cachelines; the line tallies ride in the operands.
@@ -163,6 +176,12 @@ Machine::chargeDataPath(hw::Paddr pa, std::uint64_t len)
 const std::vector<hw::Paddr>&
 Machine::outerClosure(hw::Paddr secsPage) const
 {
+    // Memoization under its own leaf mutex: shared-mode translation
+    // misses race on the cache map, while the association graph itself
+    // (secsTable_/outerEids) only changes under the exclusive lock. A
+    // returned reference stays valid until the next NASSO/EREMOVE drops
+    // the cache — both exclusive, so no shared-mode reader is in flight.
+    std::lock_guard<std::mutex> lock(closureMutex_);
     auto cached = closureCache_.find(secsPage);
     if (cached != closureCache_.end()) {
         bus_.publishLight(trace::EventKind::ClosureCacheHit, trace::kNoCore, 0,
@@ -221,10 +240,14 @@ Machine::trackedCores(hw::Paddr secsPage) const
 void
 Machine::ipiShootdown(hw::Paddr secsPage)
 {
+    // Exclusive: acquiring the writer side IS the quiesce — once held, no
+    // simulated core is mid-transition or mid-access, which is exactly
+    // the guarantee a real IPI provides before the initiator proceeds.
+    std::unique_lock<std::shared_mutex> g(stateMutex_);
     for (hw::CoreId id : trackedCores(secsPage)) {
         charge(costs_.ipi);
         bus_.publishLight(trace::EventKind::Ipi, id, coreEid(id), secsPage);
-        aex(id);
+        aexLocked(id);
     }
 }
 

@@ -58,6 +58,7 @@ Result<Report>
 Machine::ereport(hw::CoreId coreId, const TargetInfo& target,
                  const ReportData& data)
 {
+    std::shared_lock<std::shared_mutex> g(stateMutex_);
     return tracedLeaf(trace::Leaf::Ereport, coreId, 0,
                       [&] { return ereportImpl(coreId, target, data); });
 }
@@ -88,6 +89,7 @@ Result<NestedReport>
 Machine::nereport(hw::CoreId coreId, const TargetInfo& target,
                   const ReportData& data)
 {
+    std::shared_lock<std::shared_mutex> g(stateMutex_);
     return tracedLeaf(trace::Leaf::Nereport, coreId, 0,
                       [&] { return nereportImpl(coreId, target, data); });
 }
@@ -136,6 +138,7 @@ Machine::nereportImpl(hw::CoreId coreId, const TargetInfo& target,
 Result<crypto::Sha256Digest>
 Machine::egetkeyReport(hw::CoreId coreId)
 {
+    std::shared_lock<std::shared_mutex> g(stateMutex_);
     return tracedLeaf(trace::Leaf::Egetkey, coreId, 0,
                       [&] { return egetkeyReportImpl(coreId); });
 }
@@ -154,6 +157,7 @@ Machine::egetkeyReportImpl(hw::CoreId coreId)
 Result<crypto::Sha256Digest>
 Machine::egetkeySeal(hw::CoreId coreId)
 {
+    std::shared_lock<std::shared_mutex> g(stateMutex_);
     return tracedLeaf(trace::Leaf::Egetkey, coreId, 0,
                       [&] { return egetkeySealImpl(coreId); });
 }

@@ -6,6 +6,24 @@
 
 namespace nesgx::switchless {
 
+namespace {
+
+/** Pops until this call's own descriptor surfaces; older ids are
+ *  orphans of failed pumps that were already covered by a fallback —
+ *  draining them here just recycles their slots. */
+Result<Desc>
+popFor(sgx::Machine& m, DescRing& ring, hw::CoreId core, std::uint64_t id)
+{
+    for (;;) {
+        auto d = ring.tryPop(m, core);
+        if (!d) return d.status();
+        if (d.value().id == id) return d;
+        if (d.value().id > id) return Err::Unavailable;
+    }
+}
+
+}  // namespace
+
 SwitchlessEngine::SwitchlessEngine(sdk::Urts& urts, Config config)
     : urts_(urts), config_(config)
 {
@@ -185,10 +203,47 @@ SwitchlessEngine::armTenant(std::uint64_t key, const Endpoint& ep)
     ch.parkInnerTcs = innerTcs.value();
     ch.parked = true;
     ch.lastActive = now();
+    if (config_.threadedPollers) startPoller(ch);
     ++stats_.armings;
     ++gw.tenants;
     tenants_[key] = ch;
     return true;
+}
+
+void
+SwitchlessEngine::startPoller(TenantChannel& ch)
+{
+    ch.poller = std::make_shared<PollerState>();
+    PollerState* ps = ch.poller.get();
+    ps->thread = std::thread([ps] {
+        std::unique_lock<std::mutex> lk(ps->m);
+        for (;;) {
+            // This wait IS the park: the poller thread sleeps here until
+            // a request is posted or the channel is disarmed.
+            ps->cv.wait(lk, [ps] { return ps->hasWork || ps->stop; });
+            if (ps->stop) return;
+            std::function<void()> job = std::move(ps->job);
+            ps->hasWork = false;
+            lk.unlock();
+            job();
+            lk.lock();
+            ps->done = true;
+            ps->cv.notify_all();
+        }
+    });
+}
+
+void
+SwitchlessEngine::stopPoller(TenantChannel& ch)
+{
+    if (!ch.poller) return;
+    {
+        std::lock_guard<std::mutex> lk(ch.poller->m);
+        ch.poller->stop = true;
+    }
+    ch.poller->cv.notify_all();
+    if (ch.poller->thread.joinable()) ch.poller->thread.join();
+    ch.poller.reset();
 }
 
 bool
@@ -196,6 +251,7 @@ SwitchlessEngine::ready(std::uint64_t key, const Endpoint& ep)
 {
     if (!config_.enabled) return false;
     if (ep.outer == nullptr || ep.inner == nullptr) return false;
+    std::lock_guard<std::recursive_mutex> g(m_);
     auto it = tenants_.find(key);
     if (it != tenants_.end()) {
         // A rebuilt tenant comes back as a different LoadedEnclave; the
@@ -269,9 +325,13 @@ SwitchlessEngine::unparkTenant(TenantChannel& ch)
 void
 SwitchlessEngine::disarm(std::uint64_t key)
 {
+    std::lock_guard<std::recursive_mutex> g(m_);
     auto it = tenants_.find(key);
     if (it == tenants_.end()) return;
     TenantChannel& ch = it->second;
+    // Retire the parked thread first: after the join nobody but this
+    // thread can touch the channel's cores or rings.
+    stopPoller(ch);
 
     sgx::Machine& m = machine();
     // Never silently drop in-flight entries. The tier-2 rings live in
@@ -313,6 +373,7 @@ SwitchlessEngine::disarmGateway(GatewayChannel& gw)
 void
 SwitchlessEngine::disarmAll()
 {
+    std::lock_guard<std::recursive_mutex> g(m_);
     while (!tenants_.empty()) disarm(tenants_.begin()->first);
     for (auto& [outer, gw] : gateways_) disarmGateway(gw);
     gateways_.clear();
@@ -387,6 +448,7 @@ Result<Bytes>
 SwitchlessEngine::call(std::uint64_t key, const Endpoint& ep, ByteView blob,
                        hw::CoreId hostCore)
 {
+    std::lock_guard<std::recursive_mutex> g(m_);
     auto it = tenants_.find(key);
     if (it == tenants_.end()) return Err::Unavailable;
     TenantChannel& ch = it->second;
@@ -415,7 +477,8 @@ SwitchlessEngine::call(std::uint64_t key, const Endpoint& ep, ByteView blob,
     // ---- host -> gateway: post into untrusted shared memory ----------
     Status st = m.write(hostCore, gw.stagingVa, blob.data(), blob.size());
     if (!st) return st;
-    const std::uint64_t reqId = nextRequestId_++;
+    const std::uint64_t reqId =
+        nextRequestId_.fetch_add(1, std::memory_order_relaxed);
     Desc d;
     d.id = reqId;
     d.va = gw.stagingVa;
@@ -439,95 +502,36 @@ SwitchlessEngine::call(std::uint64_t key, const Endpoint& ep, ByteView blob,
     // disarm abandons the tier-2 rings with SwitchlessFallback — keeps
     // the post/drain pairing whole; the caller retries classically and
     // a later ready() re-arms. Tier-1 orphans are tolerated by the
-    // drain-until-match loops below.
+    // drain-until-match loops in the pump.
     auto hardFail = [&](Status s) -> Result<Bytes> {
         disarm(key);
         return s;
     };
 
-    // Pops until this call's own descriptor surfaces; older ids are
-    // orphans of failed pumps that were already covered by a fallback —
-    // draining them here just recycles their slots.
-    auto popFor = [&](DescRing& ring, hw::CoreId core,
-                      std::uint64_t id) -> Result<Desc> {
-        for (;;) {
-            auto d = ring.tryPop(m, core);
-            if (!d) return d.status();
-            if (d.value().id == id) return d;
-            if (d.value().id > id) return Err::Unavailable;
+    // The in-enclave middle: on the channel's parked poller thread when
+    // one is armed (the cv handshake wakes it, it pumps, it re-parks),
+    // inline otherwise — identical operations either way.
+    Status pumped = Status::ok();
+    if (ch.poller) {
+        PollerState* ps = ch.poller.get();
+        {
+            std::lock_guard<std::mutex> lk(ps->m);
+            ps->job = [this, &ch, &gw, &ep, reqId, &pumped] {
+                pumped = pumpEnclaveSide(ch, gw, ep, reqId);
+            };
+            ps->hasWork = true;
+            ps->done = false;
         }
-    };
-
-    // ---- gateway poller: drain, validate, forward into tier 2 --------
-    auto req = popFor(gw.req, gw.pollerCore, reqId);
-    if (!req) return hardFail(req.status());
-    if (req.value().len > config_.gwStagingBytes ||
-        req.value().len > config_.hostStagingBytes || req.value().len < 4) {
-        return hardFail(Err::BadCallBuffer);
+        ps->cv.notify_all();
+        std::unique_lock<std::mutex> lk(ps->m);
+        ps->cv.wait(lk, [ps] { return ps->done; });
+    } else {
+        pumped = pumpEnclaveSide(ch, gw, ep, reqId);
     }
-    // Copy through enclave-validated staging: the descriptor's [va,len]
-    // is only ever dereferenced by the gateway's own validated access,
-    // and the payload's slot header must match the channel.
-    Bytes payload(req.value().len);
-    st = m.read(gw.pollerCore, req.value().va, payload.data(), payload.size());
-    if (!st) return hardFail(st);
-    if (loadLe32(payload.data()) != ep.slot) {
-        return hardFail(Err::BadCallBuffer);
-    }
-    st = m.write(gw.pollerCore, ch.stagingVa, payload.data(), payload.size());
-    if (!st) return hardFail(st);
-    gw.lastActive = now();
-
-    Desc fwd;
-    fwd.id = reqId;
-    fwd.va = ch.stagingVa;
-    fwd.len = payload.size();
-    st = ch.req.tryPush(m, gw.pollerCore, fwd);
-    if (!st) return hardFail(st);
-
-    // ---- tenant poller: drain and serve without any transition -------
-    auto inReq = popFor(ch.req, ch.pollerCore, reqId);
-    if (!inReq) return hardFail(inReq.status());
-    Bytes desc(16);
-    storeLe64(desc.data(), inReq.value().va);
-    storeLe64(desc.data() + 8, inReq.value().len);
-    sdk::TrustedEnv innerEnv(urts_, *ch.inner, ch.pollerCore);
-    auto servedLen = innerEnv.residentCall(ep.innerCall, desc);
-    if (!servedLen) return hardFail(servedLen.status());
-    if (servedLen.value().size() != 8) return hardFail(Err::BadCallBuffer);
-    const std::uint64_t respLen = loadLe64(servedLen.value().data());
-    if (respLen > config_.gwStagingBytes) return hardFail(Err::BadCallBuffer);
-    ch.lastActive = now();
-
-    Desc back;
-    back.id = reqId;
-    back.va = ch.stagingVa;
-    back.len = respLen;
-    st = ch.resp.tryPush(m, ch.pollerCore, back);
-    if (!st) return hardFail(st);
-
-    // ---- gateway poller: relay the response out ----------------------
-    auto inResp = popFor(ch.resp, gw.pollerCore, reqId);
-    if (!inResp) return hardFail(inResp.status());
-    if (inResp.value().len > config_.hostStagingBytes) {
-        return hardFail(Err::BadCallBuffer);
-    }
-    Bytes respBytes(inResp.value().len);
-    st = m.read(gw.pollerCore, inResp.value().va, respBytes.data(),
-                respBytes.size());
-    if (!st) return hardFail(st);
-    st = m.write(gw.pollerCore, gw.stagingVa, respBytes.data(),
-                 respBytes.size());
-    if (!st) return hardFail(st);
-    Desc out;
-    out.id = reqId;
-    out.va = gw.stagingVa;
-    out.len = respBytes.size();
-    st = gw.resp.tryPush(m, gw.pollerCore, out);
-    if (!st) return hardFail(st);
+    if (!pumped) return hardFail(pumped);
 
     // ---- host: harvest -----------------------------------------------
-    auto done = popFor(gw.resp, hostCore, reqId);
+    auto done = popFor(m, gw.resp, hostCore, reqId);
     if (!done) return hardFail(done.status());
     Bytes result(done.value().len);
     st = m.read(hostCore, done.value().va, result.data(), result.size());
@@ -535,6 +539,85 @@ SwitchlessEngine::call(std::uint64_t key, const Endpoint& ep, ByteView blob,
 
     ++stats_.calls;
     return result;
+}
+
+Status
+SwitchlessEngine::pumpEnclaveSide(TenantChannel& ch, GatewayChannel& gw,
+                                  const Endpoint& ep, std::uint64_t reqId)
+{
+    sgx::Machine& m = machine();
+    // Several tenant poller threads can relay through one gateway; its
+    // poller core takes one request at a time, like the real parked core
+    // would.
+    std::lock_guard<std::mutex> gwOwn(*gw.coreM);
+
+    // ---- gateway poller: drain, validate, forward into tier 2 --------
+    auto req = popFor(m, gw.req, gw.pollerCore, reqId);
+    if (!req) return req.status();
+    if (req.value().len > config_.gwStagingBytes ||
+        req.value().len > config_.hostStagingBytes || req.value().len < 4) {
+        return Err::BadCallBuffer;
+    }
+    // Copy through enclave-validated staging: the descriptor's [va,len]
+    // is only ever dereferenced by the gateway's own validated access,
+    // and the payload's slot header must match the channel.
+    Bytes payload(req.value().len);
+    Status st =
+        m.read(gw.pollerCore, req.value().va, payload.data(), payload.size());
+    if (!st) return st;
+    if (loadLe32(payload.data()) != ep.slot) {
+        return Err::BadCallBuffer;
+    }
+    st = m.write(gw.pollerCore, ch.stagingVa, payload.data(), payload.size());
+    if (!st) return st;
+    gw.lastActive = now();
+
+    Desc fwd;
+    fwd.id = reqId;
+    fwd.va = ch.stagingVa;
+    fwd.len = payload.size();
+    st = ch.req.tryPush(m, gw.pollerCore, fwd);
+    if (!st) return st;
+
+    // ---- tenant poller: drain and serve without any transition -------
+    auto inReq = popFor(m, ch.req, ch.pollerCore, reqId);
+    if (!inReq) return inReq.status();
+    Bytes desc(16);
+    storeLe64(desc.data(), inReq.value().va);
+    storeLe64(desc.data() + 8, inReq.value().len);
+    sdk::TrustedEnv innerEnv(urts_, *ch.inner, ch.pollerCore);
+    auto servedLen = innerEnv.residentCall(ep.innerCall, desc);
+    if (!servedLen) return servedLen.status();
+    if (servedLen.value().size() != 8) return Err::BadCallBuffer;
+    const std::uint64_t respLen = loadLe64(servedLen.value().data());
+    if (respLen > config_.gwStagingBytes) return Err::BadCallBuffer;
+    ch.lastActive = now();
+
+    Desc back;
+    back.id = reqId;
+    back.va = ch.stagingVa;
+    back.len = respLen;
+    st = ch.resp.tryPush(m, ch.pollerCore, back);
+    if (!st) return st;
+
+    // ---- gateway poller: relay the response out ----------------------
+    auto inResp = popFor(m, ch.resp, gw.pollerCore, reqId);
+    if (!inResp) return inResp.status();
+    if (inResp.value().len > config_.hostStagingBytes) {
+        return Err::BadCallBuffer;
+    }
+    Bytes respBytes(inResp.value().len);
+    st = m.read(gw.pollerCore, inResp.value().va, respBytes.data(),
+                respBytes.size());
+    if (!st) return st;
+    st = m.write(gw.pollerCore, gw.stagingVa, respBytes.data(),
+                 respBytes.size());
+    if (!st) return st;
+    Desc out;
+    out.id = reqId;
+    out.va = gw.stagingVa;
+    out.len = respBytes.size();
+    return gw.resp.tryPush(m, gw.pollerCore, out);
 }
 
 }  // namespace nesgx::switchless

@@ -40,13 +40,20 @@
  */
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "sdk/runtime.h"
 #include "switchless/ring.h"
+#include "support/counter.h"
 
 namespace nesgx::switchless {
 
@@ -65,6 +72,15 @@ struct Config {
     std::uint64_t hostStagingBytes = 16 * 1024;
     /** Gateway-heap staging buffer per tenant channel (bytes). */
     std::uint64_t gwStagingBytes = 16 * 1024;
+    /**
+     * Give every armed tenant channel a dedicated OS thread: the parked
+     * poller becomes a *real* parked thread, blocked on a condition
+     * variable until a request is posted, and the whole in-enclave pump
+     * (gateway drain -> tenant serve -> gateway relay) executes on that
+     * thread while the caller waits on the host side. Off by default:
+     * the inline pump keeps single-threaded traces byte-identical.
+     */
+    bool threadedPollers = false;
 };
 
 /** Per-call routing, resolved by the caller (serve layer). */
@@ -80,10 +96,11 @@ struct Endpoint {
 
 /** Cumulative engine statistics (monotonic). */
 struct EngineStats {
-    std::uint64_t calls = 0;          ///< requests pumped switchlessly
-    std::uint64_t armings = 0;        ///< channel park operations
-    std::uint64_t idleFallbacks = 0;  ///< pollers unparked for idleness
-    std::uint64_t ringStalls = 0;     ///< injected ring-stall faults
+    /** Relaxed atomics: poller threads and callers bump concurrently. */
+    Counter calls;          ///< requests pumped switchlessly
+    Counter armings;        ///< channel park operations
+    Counter idleFallbacks;  ///< pollers unparked for idleness
+    Counter ringStalls;     ///< injected ring-stall faults
 };
 
 class SwitchlessEngine {
@@ -128,6 +145,19 @@ class SwitchlessEngine {
     void disarmAll();
 
   private:
+    /** The parked-thread half of a threaded poller: the thread blocks on
+     *  `cv` (that wait IS the park) until the caller posts a pump job,
+     *  runs it on the channel's poller core, and signals completion. */
+    struct PollerState {
+        std::mutex m;
+        std::condition_variable cv;
+        bool hasWork = false;
+        bool done = false;
+        bool stop = false;
+        std::function<void()> job;
+        std::thread thread;
+    };
+
     struct GatewayChannel {
         sdk::LoadedEnclave* outer = nullptr;
         DescRing req;
@@ -138,6 +168,10 @@ class SwitchlessEngine {
         bool parked = false;
         std::uint64_t lastActive = 0;
         std::uint64_t tenants = 0;  ///< tenant channels riding this outer
+        /** Serialises the gateway poller core: several tenant poller
+         *  threads relay through one gateway. shared_ptr keeps the
+         *  channel copyable into the map. */
+        std::shared_ptr<std::mutex> coreM = std::make_shared<std::mutex>();
     };
 
     struct TenantChannel {
@@ -153,6 +187,8 @@ class SwitchlessEngine {
         hw::Paddr parkInnerTcs = 0;
         bool parked = false;
         std::uint64_t lastActive = 0;
+        /** Set only when Config::threadedPollers armed a real thread. */
+        std::shared_ptr<PollerState> poller;
     };
 
     sgx::Machine& machine();
@@ -176,15 +212,37 @@ class SwitchlessEngine {
     /** Idle-fallback check for one tenant channel + its gateway. */
     void idleCheck(std::uint64_t key, TenantChannel& ch);
 
+    /**
+     * The in-enclave middle of a call: gateway poller drains tier 1 and
+     * forwards into tier 2, tenant poller serves without a transition,
+     * gateway poller relays the response back onto the tier-1 ring. In
+     * threaded mode this exact function runs on the channel's parked
+     * poller thread; inline otherwise — same operations, same trace.
+     */
+    Status pumpEnclaveSide(TenantChannel& ch, GatewayChannel& gw,
+                           const Endpoint& ep, std::uint64_t reqId);
+
+    void startPoller(TenantChannel& ch);
+    void stopPoller(TenantChannel& ch);
+
     sdk::Urts& urts_;
     Config config_;
     EngineStats stats_;
+    /**
+     * One engine-wide lock over the channel maps, the core free list and
+     * every public entry point. Recursive because a failing call() hard-
+     * fails into disarm(). Worker threads therefore serialise on the
+     * engine for the bookkeeping around a call; the pump itself runs on
+     * the channel's parked poller thread in threaded mode. Leaf order:
+     * engine lock -> urts/kernel/machine, never the reverse.
+     */
+    mutable std::recursive_mutex m_;
     std::map<sdk::LoadedEnclave*, GatewayChannel> gateways_;
     std::map<std::uint64_t, TenantChannel> tenants_;
     std::vector<hw::CoreId> freeCores_;
     hw::CoreId nextHighCore_ = 0;
     bool coresInit_ = false;
-    std::uint64_t nextRequestId_ = 1;
+    std::atomic<std::uint64_t> nextRequestId_{1};
 };
 
 }  // namespace nesgx::switchless

@@ -21,50 +21,57 @@
  */
 #pragma once
 
+#include "support/counter.h"
 #include "trace/event.h"
 #include "trace/sink.h"
 
 namespace nesgx::trace {
 
+/**
+ * All counters are relaxed-atomic (support/counter.h): the bus's inline
+ * StatsSink is hit from every worker thread in `--threads N` mode, and
+ * pure accumulation needs no ordering — totals stay deterministic and
+ * the single-thread byte-identity of the golden corpus is unaffected.
+ */
 struct StatsCounters {
-    std::uint64_t tlbMisses = 0;
-    std::uint64_t tlbHits = 0;
-    std::uint64_t nestedChecks = 0;   ///< outer-chain walks taken
-    std::uint64_t accessFaults = 0;
-    std::uint64_t eenterCount = 0;
-    std::uint64_t eexitCount = 0;
-    std::uint64_t neenterCount = 0;
-    std::uint64_t neexitCount = 0;
-    std::uint64_t aexCount = 0;
-    std::uint64_t eresumeCount = 0;
-    std::uint64_t ipiCount = 0;
-    std::uint64_t meeLines = 0;       ///< cachelines through the MEE
-    std::uint64_t llcHitLines = 0;
+    Counter tlbMisses;
+    Counter tlbHits;
+    Counter nestedChecks;   ///< outer-chain walks taken
+    Counter accessFaults;
+    Counter eenterCount;
+    Counter eexitCount;
+    Counter neenterCount;
+    Counter neexitCount;
+    Counter aexCount;
+    Counter eresumeCount;
+    Counter ipiCount;
+    Counter meeLines;       ///< cachelines through the MEE
+    Counter llcHitLines;
     // --- tagged-TLB / closure-cache fast path -----------------------
-    std::uint64_t tlbFlushes = 0;        ///< full per-core flushes taken
-    std::uint64_t flushesAvoided = 0;    ///< transitions that skipped one
-    std::uint64_t closureCacheHits = 0;
-    std::uint64_t closureCacheMisses = 0;
-    std::uint64_t taggedLookupRejects = 0; ///< VPN hit, wrong context tag
+    Counter tlbFlushes;        ///< full per-core flushes taken
+    Counter flushesAvoided;    ///< transitions that skipped one
+    Counter closureCacheHits;
+    Counter closureCacheMisses;
+    Counter taggedLookupRejects; ///< VPN hit, wrong context tag
     // --- serving layer / kernel victim selection --------------------
-    std::uint64_t victimPicks = 0;         ///< kernel evict-victim choices
-    std::uint64_t serveBatches = 0;        ///< batched dispatches completed
-    std::uint64_t serveBatchedRequests = 0; ///< requests carried by them
-    std::uint64_t serveSheds = 0;          ///< requests dropped by deadline
-    std::uint64_t serveTenantEvictions = 0; ///< tenants evicted for pressure
-    std::uint64_t serveTenantReloads = 0;   ///< cold-start reloads
+    Counter victimPicks;         ///< kernel evict-victim choices
+    Counter serveBatches;        ///< batched dispatches completed
+    Counter serveBatchedRequests; ///< requests carried by them
+    Counter serveSheds;          ///< requests dropped by deadline
+    Counter serveTenantEvictions; ///< tenants evicted for pressure
+    Counter serveTenantReloads;   ///< cold-start reloads
     // --- fault injection / self-healing -----------------------------
-    std::uint64_t faultsInjected = 0;       ///< FaultInjector hits fired
-    std::uint64_t serveRetries = 0;         ///< transient redispatches
-    std::uint64_t serveTenantRebuilds = 0;  ///< poisoned inners rebuilt
-    std::uint64_t serveBreakerOpens = 0;    ///< circuit-breaker opens
-    std::uint64_t serveBreakerCloses = 0;   ///< half-open probes passed
-    std::uint64_t serveWatermarkMisses = 0; ///< relieve() watermark unmet
+    Counter faultsInjected;       ///< FaultInjector hits fired
+    Counter serveRetries;         ///< transient redispatches
+    Counter serveTenantRebuilds;  ///< poisoned inners rebuilt
+    Counter serveBreakerOpens;    ///< circuit-breaker opens
+    Counter serveBreakerCloses;   ///< half-open probes passed
+    Counter serveWatermarkMisses; ///< relieve() watermark unmet
     // --- switchless call layer ---------------------------------------
-    std::uint64_t switchlessPosts = 0;      ///< descriptors pushed to rings
-    std::uint64_t switchlessDrains = 0;     ///< descriptors drained in-enclave
-    std::uint64_t switchlessFallbacks = 0;  ///< rings abandoned to classic path
-    std::uint64_t switchlessPolls = 0;      ///< ring-header polls by pollers
+    Counter switchlessPosts;      ///< descriptors pushed to rings
+    Counter switchlessDrains;     ///< descriptors drained in-enclave
+    Counter switchlessFallbacks;  ///< rings abandoned to classic path
+    Counter switchlessPolls;      ///< ring-header polls by pollers
 };
 
 class StatsSink : public TraceSink {

@@ -1,0 +1,262 @@
+/**
+ * Real-thread parallelism tests: serial runs stay byte-identical
+ * (determinism golden), a 4-thread drain under EPC pressure verifies
+ * every response, the parallel trace merge replays the complete
+ * buffered stream in global-seq order, and the switchless threaded
+ * pollers serve a workload end to end.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "harness.h"
+#include "serve/client.h"
+#include "serve/service.h"
+#include "trace/sink.h"
+
+namespace nesgx::test {
+namespace {
+
+using serve::TenantId;
+using serve::Workload;
+
+/** Retains every event field-by-field (text copied: it is borrowed). */
+struct RecordingSink : trace::TraceSink {
+    struct Rec {
+        trace::EventKind kind;
+        trace::Leaf leaf;
+        std::uint16_t code;
+        hw::CoreId core;
+        std::uint64_t eid;
+        std::uint64_t time;
+        std::uint64_t arg0;
+        std::uint64_t arg1;
+        std::string text;
+
+        bool operator==(const Rec& o) const
+        {
+            return kind == o.kind && leaf == o.leaf && code == o.code &&
+                   core == o.core && eid == o.eid && time == o.time &&
+                   arg0 == o.arg0 && arg1 == o.arg1 && text == o.text;
+        }
+    };
+    std::vector<Rec> events;
+
+    void onEvent(const trace::TraceEvent& event) override
+    {
+        events.push_back({event.kind, event.leaf, event.code, event.core,
+                          event.eid, event.time, event.arg0, event.arg1,
+                          event.text ? std::string(event.text) : std::string()});
+    }
+};
+
+serve::TenantService::Config
+smallServiceConfig()
+{
+    serve::TenantService::Config sc;
+    sc.registry.tenantsPerOuter = 3;
+    sc.registry.outerCodePages = 12;
+    sc.registry.outerHeapPages = 24;
+    sc.registry.innerCodePages = 4;
+    sc.registry.innerHeapPages = 8;
+    sc.pool.batchSize = 4;
+    return sc;
+}
+
+/** One full serial serve run; returns the recorded trace stream. */
+std::vector<RecordingSink::Rec>
+serialRun()
+{
+    World world;
+    RecordingSink sink;
+    world.machine.trace().subscribe(&sink);
+
+    auto sc = smallServiceConfig();
+    serve::TenantService service(*world.urts, sc);
+    const std::vector<Workload> mix = {Workload::Echo, Workload::Sql,
+                                       Workload::Svm};
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (TenantId t = 0; t < 6; ++t) {
+        auto workload = mix[t % mix.size()];
+        EXPECT_TRUE(service.addTenant(t, workload).isOk()) << t;
+        clients.push_back(
+            std::make_unique<serve::TenantClient>(t, workload));
+    }
+    for (int i = 0; i < 4; ++i) {
+        for (TenantId t = 0; t < 6; ++t) {
+            EXPECT_TRUE(
+                service.submit(t, clients[t]->nextRequest()).isOk());
+        }
+    }
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        if (done.ok && clients[done.tenant]->onResponse(done.sealedResponse)) {
+            ++verified;
+        }
+    }
+    EXPECT_EQ(verified, 24u);
+
+    world.machine.trace().unsubscribe(&sink);
+    return std::move(sink.events);
+}
+
+TEST(ThreadingDeterminism, SerialRunsAreByteIdentical)
+{
+    // The `--threads 1` contract: with no parallel mode armed, two
+    // identical runs publish the exact same event stream — kind, core,
+    // cycle stamp, args and text all equal, in the same order. This is
+    // what keeps the golden traces of test_trace valid after the
+    // sharded-machine refactor.
+    const auto first = serialRun();
+    const auto second = serialRun();
+
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        ASSERT_TRUE(first[i] == second[i]) << "event " << i << " diverged";
+    }
+}
+
+TEST(ThreadingStress, FourThreadDrainVerifiesEveryResponseUnderPressure)
+{
+    // 24 tenants on an EPC that cannot hold them all, drained by 4 real
+    // OS worker threads: evictions, reloads and concurrent dispatch must
+    // still produce 480/480 client-verified sealed responses.
+    auto config = World::smallConfig();
+    config.dramBytes = 256ull << 20;
+    config.prmBase = 128ull << 20;
+    config.prmBytes = (1024 + 64) * hw::kPageSize;
+    World world(config);
+    world.machine.trace().enableParallel(4);
+
+    auto sc = smallServiceConfig();
+    sc.admission.maxQueueDepth = 20;
+    serve::TenantService service(*world.urts, sc);
+    const std::vector<Workload> mix = {Workload::Echo, Workload::Sql,
+                                       Workload::Svm};
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (TenantId t = 0; t < 24; ++t) {
+        auto workload = mix[t % mix.size()];
+        ASSERT_TRUE(service.addTenant(t, workload).isOk()) << t;
+        clients.push_back(
+            std::make_unique<serve::TenantClient>(t, workload));
+    }
+    for (int i = 0; i < 20; ++i) {
+        for (TenantId t = 0; t < 24; ++t) {
+            ASSERT_TRUE(
+                service.submit(t, clients[t]->nextRequest()).isOk());
+        }
+    }
+
+    service.pumpParallel(4);
+
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        ASSERT_TRUE(done.ok) << done.status.name();
+        if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+            ++verified;
+        }
+    }
+    EXPECT_EQ(verified, 480u);
+    for (auto& client : clients) {
+        EXPECT_EQ(client->failures(), 0u);
+    }
+    world.machine.trace().disableParallel();
+}
+
+TEST(ThreadingTrace, MergedDrainReplaysCompleteBufferedStream)
+{
+    // Parallel mode buffers events per shard with a global monotonic
+    // seq; disableParallel must replay every buffered event to the
+    // subscribed sinks — the replayed count equals the seq counter, so
+    // no event is lost or duplicated across the merge.
+    World world;
+    RecordingSink sink;
+    world.machine.trace().subscribe(&sink);
+    world.machine.trace().enableParallel(4);
+
+    auto sc = smallServiceConfig();
+    serve::TenantService service(*world.urts, sc);
+    serve::TenantClient client(0, Workload::Echo);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pumpParallel(2);
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        if (done.ok && client.onResponse(done.sealedResponse)) ++verified;
+    }
+    EXPECT_EQ(verified, 8u);
+
+    // While parallel, events buffer: the sink saw only the pre-enable
+    // traffic. Stats counters accumulate at publish regardless.
+    const std::size_t beforeDrain = sink.events.size();
+    const std::uint64_t issued = world.machine.trace().parallelSeqCount();
+    EXPECT_GT(issued, 0u);
+    EXPECT_GT(world.machine.trace().counters().eenterCount, 0u);
+
+    world.machine.trace().disableParallel();
+    EXPECT_EQ(sink.events.size() - beforeDrain, issued);
+
+    // Replay is time-coherent per core: one worker thread owns one
+    // simulated core, so that core's events replay in program order and
+    // its cycle stamps never run backwards. (kNoCore events — ENCLS
+    // published as "the OS" — can come from any thread and are skipped.)
+    std::vector<std::uint64_t> lastTime(world.machine.coreCount(), 0);
+    for (std::size_t i = beforeDrain; i < sink.events.size(); ++i) {
+        const auto& rec = sink.events[i];
+        if (rec.core == trace::kNoCore) continue;
+        ASSERT_LT(rec.core, lastTime.size());
+        EXPECT_GE(rec.time, lastTime[rec.core]) << "event " << i;
+        lastTime[rec.core] = rec.time;
+    }
+    world.machine.trace().unsubscribe(&sink);
+}
+
+TEST(ThreadingSwitchless, ThreadedPollersServeAndVerify)
+{
+    // threadedPollers parks one real OS thread per tenant channel; the
+    // caller hands the enclave-side pump to the parked thread and waits.
+    // Responses must match the serial switchless path bit for bit (the
+    // client verifies the sealed bytes).
+    auto config = World::smallConfig();
+    config.coreCount = 8;  // 3 tenants + 1 gateway + 2 host + slack
+    World world(config);
+
+    auto sc = smallServiceConfig();
+    sc.switchless.enabled = true;
+    sc.switchless.hostCores = 2;
+    sc.switchless.threadedPollers = true;
+    serve::TenantService service(*world.urts, sc);
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (TenantId t = 0; t < 3; ++t) {
+        ASSERT_TRUE(service.addTenant(t, Workload::Echo).isOk()) << t;
+        clients.push_back(
+            std::make_unique<serve::TenantClient>(t, Workload::Echo));
+    }
+    EXPECT_EQ(service.armSwitchless(), 3u);
+
+    for (int i = 0; i < 8; ++i) {
+        for (TenantId t = 0; t < 3; ++t) {
+            ASSERT_TRUE(
+                service.submit(t, clients[t]->nextRequest()).isOk());
+        }
+    }
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        ASSERT_TRUE(done.ok) << done.status.name();
+        if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+            ++verified;
+        }
+    }
+    EXPECT_EQ(verified, 24u);
+    ASSERT_NE(service.switchlessEngine(), nullptr);
+    EXPECT_GT(service.switchlessEngine()->engineStats().calls.load(), 0u);
+}
+
+}  // namespace
+}  // namespace nesgx::test

@@ -26,18 +26,25 @@
  * rings, so transitions per request must collapse to ~0 while every
  * sealed response still verifies.
  *
- * The final section measures real-thread scaling: the whole request
- * volume for a 24-tenant fleet is queued up front, then the parallel
- * worker pool (WorkerPool::runParallel, one OS thread per simulated
- * core) drains it while a wall-clock timer runs — requests/sec at 1, 2
- * and 4 threads, every response still verified.
+ * The thread-scaling section measures the whole request volume for a
+ * 24-tenant fleet queued up front, then the parallel worker pool
+ * (WorkerPool::runParallel, one OS thread per simulated core) drains it
+ * while a wall-clock timer runs — requests/sec at 1, 2 and 4 threads,
+ * every response still verified.
+ *
+ * The closing section nests the whole fleet one level deeper (Topology
+ * ::Cvm): a depth-1 CVM root hosts every gateway as a depth-2 inner and
+ * tenants serve at depth 3, over per-hop switchless rings under EPC
+ * oversubscription — transitions per request must still collapse to ~0.
  *
  * JSON keys asserted by CI: neenter_per_req_batch1 > neenter_per_req_batch8,
  * pressure_evictions >= 10, pressure_integrity_failures == 0,
  * chaos_faults_injected > 0, chaos_rebuilds >= 1, chaos_silent_empties == 0,
  * transitions_per_request_switchless <= 0.01 <
  * transitions_per_request_batched < transitions_per_request_classic,
- * and requests_per_sec_t1 <= requests_per_sec_t2 <= requests_per_sec_t4.
+ * requests_per_sec_t1 <= requests_per_sec_t2 <= requests_per_sec_t4,
+ * and cvm_verified == cvm_submitted with cvm_transitions_per_request
+ * <= 0.01 under cvm_evictions >= 10.
  */
 #include <chrono>
 #include <memory>
@@ -94,6 +101,7 @@ struct ServeParams {
     std::uint64_t deadline = 0;     ///< relative cycles; 0 = no shedding
     bool openLoop = false;          ///< burst arrivals instead of paced
     bool switchless = false;        ///< exit-less ring dispatch
+    bool cvm = false;               ///< depth-3 CVM -> gateway -> tenant tree
     std::string faultSpec;          ///< FaultPlan spec; empty = no injector
     std::uint64_t faultSeed = 1;
     std::string chromeTracePath;
@@ -103,15 +111,17 @@ ServeResult
 runServe(const ServeParams& params)
 {
     auto config = defaultConfig();
+    const std::uint64_t tenantsPerOuter = 4;
+    const std::uint64_t gatewayEstimate =
+        (params.tenants + tenantsPerOuter - 1) / tenantsPerOuter;
     if (params.switchless) {
         // One parked poller core per tenant, one per gateway outer,
         // plus the host workers: polling trades cores for transitions,
         // so the simulated socket grows with the fleet (same sizing as
-        // nesgx_serve --switchless).
-        const std::uint64_t tenantsPerOuter = 4;
+        // nesgx_serve --switchless; the cvm tree parks one more poller
+        // inside the shared root).
         config.coreCount = std::uint32_t(
-            params.tenants +
-            (params.tenants + tenantsPerOuter - 1) / tenantsPerOuter + 2);
+            params.tenants + gatewayEstimate + (params.cvm ? 3 : 2));
     }
     if (params.epcPages > 0) {
         // Shrink the PRM so tenant working sets exceed the EPC and the
@@ -133,6 +143,12 @@ runServe(const ServeParams& params)
     sc.admission.deadlineCycles = params.deadline;
     sc.switchless.enabled = params.switchless;
     sc.switchless.hostCores = 2;
+    if (params.cvm) {
+        sc.registry.topology = serve::Topology::Cvm;
+        sc.registry.cvmTcs =
+            std::uint32_t(params.tenants + gatewayEstimate + 5);
+        sc.registry.cvmHeapPages = 64 + 8 * gatewayEstimate;
+    }
     if (!params.faultSpec.empty()) {
         // Same knobs as nesgx_serve --chaos: a single failed batch opens
         // the breaker so the open/probe/close cycle runs in-window.
@@ -387,7 +403,7 @@ main(int argc, char** argv)
     const std::string chromeTrace = flags.str("chrome-trace", "");
     JsonReport json;
 
-    header("Serve bench 1/6: NEENTER per request vs worker batch size");
+    header("Serve bench 1/7: NEENTER per request vs worker batch size");
     note("closed loop, ample EPC; one EENTER+NEENTER per dispatched batch,");
     note("so transitions per request fall as batch occupancy rises");
     std::printf("\n  %6s %10s %12s %12s %14s %10s %10s\n", "batch", "verified",
@@ -430,7 +446,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 2/6: open-loop burst arrivals with deadlines");
+    header("Serve bench 2/7: open-loop burst arrivals with deadlines");
     note("the whole request volume arrives before the pool runs; bounded");
     note("queues push back (Err::Backpressure) and queued requests that");
     note("outlive their deadline are shed at dequeue, never dispatched");
@@ -463,7 +479,7 @@ main(int argc, char** argv)
         json.set("open_loop_p99_cycles", double(r.latency.p99()));
     }
 
-    header("Serve bench 3/6: correctness under EPC pressure");
+    header("Serve bench 3/7: correctness under EPC pressure");
     note("4x the tenants on a small EPC: the pressure manager pages cold");
     note("idle tenants out (EBLOCK/ETRACK/EWB) and the registry reloads");
     note("them transparently (ELDU); every sealed response must still");
@@ -507,7 +523,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 4/6: chaos — fault injection and self-healing");
+    header("Serve bench 4/7: chaos — fault injection and self-healing");
     note("the EPC-pressure scenario with the deterministic fault injector");
     note("armed: storage corruption, refused leaves, allocator failures and");
     note("interrupt storms; the pool retries transients, rebuilds poisoned");
@@ -579,7 +595,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 5/6: switchless ablation — killing the transition tax");
+    header("Serve bench 5/7: switchless ablation — killing the transition tax");
     note("the 4x-oversubscribed tenant fleet again, dispatched over the");
     note("exit-less ring channels: pollers park once up front (classic");
     note("EENTER/NEENTER, before the metric snapshot), then the steady");
@@ -638,7 +654,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 6/6: requests/sec vs real OS worker threads");
+    header("Serve bench 6/7: requests/sec vs real OS worker threads");
     note("a 24-tenant fleet with its whole request volume queued up front;");
     note("the parallel pool drains it with one OS thread per simulated core");
     note("(sharded EPCM, per-core TLBs, merged trace) and a wall-clock timer");
@@ -681,6 +697,79 @@ main(int argc, char** argv)
             if (threads == 4 && base > 0.0) {
                 json.set("scaling_speedup_t4", reqPerSec / base);
             }
+        }
+    }
+
+    header("Serve bench 7/7: depth-3 CVM tree — nesting the whole fleet");
+    note("--topology cvm: one depth-1 CVM root hosts every gateway as a");
+    note("depth-2 inner and tenants serve at depth 3 (paper §VIII). The");
+    note("oversubscribed fleet again, dispatched over per-hop switchless");
+    note("rings (host ring -> root poller -> gateway poller -> tenant");
+    note("poller): a depth-3 chain must still pay zero steady-state");
+    note("transitions per request while every sealed response verifies");
+    {
+        ServeParams params;
+        params.tenants = tenants * 4;
+        params.requests = requests * 2;
+        params.batch = 8;
+        // Slightly above the flat pressure floor: the CVM root and the
+        // per-hop poller TCS pools are unevictable, but the tenant
+        // working set still far exceeds the EPC, so paging stays hot.
+        params.epcPages = 1280;
+        params.switchless = true;
+        params.cvm = true;
+        ServeResult r = runServe(params);
+        const double perReq = double(r.transitions) / double(r.submitted);
+        std::printf("\n  tenants %llu at depth 3, verified %llu/%llu, "
+                    "failures %llu\n",
+                    (unsigned long long)params.tenants,
+                    (unsigned long long)r.verified,
+                    (unsigned long long)r.submitted,
+                    (unsigned long long)r.failures);
+        std::printf("  tenant evictions %llu, reloads %llu\n",
+                    (unsigned long long)r.evictions,
+                    (unsigned long long)r.reloads);
+        std::printf("  channels %llu, ring calls %llu, ring polls %llu\n",
+                    (unsigned long long)r.switchlessChannels,
+                    (unsigned long long)r.ringCalls,
+                    (unsigned long long)r.ringPolls);
+        std::printf("  transitions/request %.4f (post-arming)\n", perReq);
+        std::printf("  latency cycles: p50 %llu  p95 %llu  p99 %llu\n",
+                    (unsigned long long)r.latency.p50(),
+                    (unsigned long long)r.latency.p95(),
+                    (unsigned long long)r.latency.p99());
+        json.set("cvm_verified", double(r.verified));
+        json.set("cvm_submitted", double(r.submitted));
+        json.set("cvm_integrity_failures", double(r.failures));
+        json.set("cvm_evictions", double(r.evictions));
+        json.set("cvm_reloads", double(r.reloads));
+        json.set("cvm_channels", double(r.switchlessChannels));
+        json.set("cvm_transitions_per_request", perReq);
+        json.set("cvm_p50_cycles", double(r.latency.p50()));
+        json.set("cvm_p99_cycles", double(r.latency.p99()));
+        if (r.failures > 0 || r.verified != r.submitted) {
+            std::fprintf(stderr,
+                         "FAIL: cvm run must verify every request "
+                         "(%llu/%llu, %llu failures)\n",
+                         (unsigned long long)r.verified,
+                         (unsigned long long)r.submitted,
+                         (unsigned long long)r.failures);
+            return 1;
+        }
+        if (perReq > 0.01) {
+            std::fprintf(stderr,
+                         "FAIL: cvm transitions/request %.4f exceeds 0.01 — "
+                         "the depth-3 exit-less path is leaking "
+                         "transitions\n",
+                         perReq);
+            return 1;
+        }
+        if (r.evictions < 10) {
+            std::fprintf(stderr,
+                         "FAIL: cvm run expected >= 10 evictions, got "
+                         "%llu\n",
+                         (unsigned long long)r.evictions);
+            return 1;
         }
     }
 

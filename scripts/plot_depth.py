@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Renders the served depth curve from a bench_ablation_depth --json report.
+
+Reads, for each depth d in {2, 3, 4}, the per-request validation cycles
+with the closure cache priced as hardware (one flat probe per hit) and
+with the paper-faithful per-node chain walk, plus the served throughput.
+With matplotlib available a PNG is written; without it (the CI
+containers have only the stdlib) the same curve is printed as ASCII, so
+the script is always runnable and its exit code still validates the
+report.
+
+Validation (exit 1 on violation, same gates CI asserts):
+  - all six depth_served_validation_cycles_* keys present and finite
+  - cached depth-3 <= 1.15 x cached depth-2 (the closure cache keeps
+    validation flat as the fleet deepens from the flat pair to the
+    CVM -> gateway -> tenant tree)
+  - the per-node walk grows with depth (walk_d4 > walk_d3 > walk_d2) —
+    the linear baseline the cache is measured against
+
+Usage: plot_depth.py DEPTH.json [OUT.png]
+"""
+import json
+import math
+import sys
+
+DEPTHS = [2, 3, 4]
+FLAT_BUDGET = 1.15  # cached depth-3 vs depth-2 ratio ceiling
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    values = {"cached": {}, "walk": {}, "rps": {}}
+    for depth in DEPTHS:
+        for series, key in [
+            ("cached", f"depth_served_validation_cycles_cached_d{depth}"),
+            ("walk", f"depth_served_validation_cycles_walk_d{depth}"),
+            ("rps", f"depth_served_requests_per_sec_d{depth}"),
+        ]:
+            if key not in report:
+                fail(f"{path} is missing {key} "
+                     "(bench_ablation_depth too old?)")
+            value = float(report[key])
+            if not math.isfinite(value) or value < 0:
+                fail(f"{key} = {value!r} is not a sane value")
+            values[series][depth] = value
+    return values
+
+
+def validate(values):
+    cached = values["cached"]
+    walk = values["walk"]
+    if cached[3] > FLAT_BUDGET * cached[2]:
+        fail(f"cached validation not flat: depth-3 {cached[3]:.1f} > "
+             f"{FLAT_BUDGET} x depth-2 {cached[2]:.1f} cycles/request")
+    if not walk[4] > walk[3] > walk[2]:
+        fail("per-node walk should grow with depth, got "
+             f"{walk[2]:.1f} / {walk[3]:.1f} / {walk[4]:.1f}")
+
+
+def ascii_chart(values):
+    top = max(max(values["walk"].values()),
+              max(values["cached"].values()), 1.0)
+    width = 40
+    print("validation cycles per request vs nesting depth "
+          "(lower is better)")
+    for depth in DEPTHS:
+        for series, label in [("cached", "cache"), ("walk", "walk ")]:
+            value = values[series][depth]
+            ticks = max(1, int(round(value / top * width)))
+            bar = "#" * min(width, ticks)
+            print(f"  d{depth} {label} {value:8.1f} |{bar}")
+    print(f"  gate: cached d3 <= {FLAT_BUDGET} x cached d2")
+    for depth in DEPTHS:
+        print(f"  d{depth} served {values['rps'][depth]:12.0f} req/s")
+
+
+def png_chart(values, path):
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        return False
+    fig, ax = plt.subplots(figsize=(6, 3.2))
+    ax.plot(DEPTHS, [values["walk"][d] for d in DEPTHS], "o-",
+            color="#b4513c", label="per-node walk")
+    ax.plot(DEPTHS, [values["cached"][d] for d in DEPTHS], "s-",
+            color="#3c78b4", label="closure cache")
+    ax.set_xticks(DEPTHS)
+    ax.set_xlabel("nesting depth of the served chain")
+    ax.set_ylabel("validation cycles / request")
+    ax.set_ylim(bottom=0)
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(path, dpi=150)
+    print(f"wrote {path}")
+    return True
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        fail("usage: plot_depth.py DEPTH.json [OUT.png]")
+    values = load(sys.argv[1])
+    validate(values)
+    if len(sys.argv) == 3 and png_chart(values, sys.argv[2]):
+        return
+    ascii_chart(values)
+
+
+if __name__ == "__main__":
+    main()

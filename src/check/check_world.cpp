@@ -85,6 +85,7 @@ opName(Op op)
         case Op::EvictAll: return "EvictAll";
         case Op::ReloadAll: return "ReloadAll";
         case Op::SwitchlessPostDrain: return "SwitchlessPostDrain";
+        case Op::DeepChain: return "DeepChain";
     }
     return "?";
 }
@@ -408,6 +409,52 @@ CheckWorld::apply(const Step& step)
             // step that never saw Backpressure still counts as failed
             // so shrunk reproducers read honestly.
             return refused ? Status::ok() : Status(Err::Backpressure);
+        }
+        case Op::DeepChain: {
+            // Depth composite (opt-in --depth-ops): build/associate a
+            // root(slotA)->mid(slotB) chain, enter both, then attempt a
+            // third hop into the slot picked by `index` — legitimately
+            // associated first when `index` is odd, a hostile
+            // unassociated NEENTER when even — and AEX. Everything
+            // happens in ONE step on purpose: the per-step live-frame
+            // rule (FrameValidity) never observes the intermediate
+            // states, so a transition layer that skips adjacency
+            // validation at depth >= 2 (NESGX_BUG_CHAIN_SKIP) parks its
+            // poisoned chain in the bottom TCS's savedFrames, where only
+            // SavedChainValidity looks.
+            if (a == b) return Err::OsError;
+            if (machine_.core(core).depth() != 0) return Err::OsError;
+            if (!slots_[a].initialized) {
+                Status st = apply(
+                    Step{Op::Build, step.core, std::uint8_t(a), 0, 0});
+                if (!st) return st;
+            }
+            if (!slots_[b].initialized) {
+                Status st = apply(
+                    Step{Op::Build, step.core, std::uint8_t(b), 0, 0});
+                if (!st) return st;
+            }
+            // Already-associated is fine; NASSO decides.
+            (void)kernel_.associate(slots_[b].secsPage, slots_[a].secsPage);
+            Status st = machine_.eenter(core, tcsPa(a, 0));
+            if (!st) return st;
+            st = machine_.neenter(core, tcsPa(b, 0));
+            if (!st) {
+                (void)machine_.eexit(core);
+                return st;
+            }
+            const int leaf = step.index % kSlots;
+            if ((step.index & 1) && slots_[leaf].initialized) {
+                (void)kernel_.associate(slots_[leaf].secsPage,
+                                        slots_[b].secsPage);
+            }
+            if (slots_[leaf].secsPage != 0) {
+                // May validly refuse (unassociated, busy TCS, leaf == a
+                // re-entry from depth 2); the AEX below parks whatever
+                // nest actually formed.
+                (void)machine_.neenter(core, tcsPa(leaf, 1));
+            }
+            return machine_.aex(core);
         }
     }
     return Err::OsError;

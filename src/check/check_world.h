@@ -59,13 +59,24 @@ enum class Op : std::uint8_t {
                          ///< Backpressure), drain, abandon. Opt-in
                          ///< (--switchless-ops) so default streams stay
                          ///< bit-identical.
+    DeepChain,        ///< composite depth op (opt-in --depth-ops): build
+                      ///< and associate a root->mid chain, enter both,
+                      ///< attempt a third NEENTER hop picked by `index`
+                      ///< (associated or hostile), then AEX — all in ONE
+                      ///< step, so the whole nest is parked in the bottom
+                      ///< TCS's savedFrames where only the
+                      ///< SavedChainValidity rule inspects it.
 };
 
 /** Op count of the classic (pre-switchless) generator. The default
  *  chaos draw uses this modulus so every historical seed replays the
- *  exact same stream; only --switchless-ops widens the draw. */
+ *  exact same stream; each opt-in tier only *appends* ops, so
+ *  --switchless-ops streams are likewise frozen once shipped and
+ *  --depth-ops widens further still. */
 constexpr std::uint8_t kClassicOpCount = std::uint8_t(Op::ReloadAll) + 1;
-constexpr std::uint8_t kOpCount = std::uint8_t(Op::SwitchlessPostDrain) + 1;
+constexpr std::uint8_t kSwitchlessOpCount =
+    std::uint8_t(Op::SwitchlessPostDrain) + 1;
+constexpr std::uint8_t kOpCount = std::uint8_t(Op::DeepChain) + 1;
 
 const char* opName(Op op);
 

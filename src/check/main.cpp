@@ -28,6 +28,7 @@ struct CliOptions {
     bool helpOnly = false;
     bool dumpTrace = false;
     bool switchlessOps = false;
+    bool depthOps = false;
     std::string reproOut;
 };
 
@@ -75,6 +76,8 @@ parseArgs(int argc, char** argv, CliOptions* opts)
             opts->dumpTrace = true;
         } else if (arg == "--switchless-ops") {
             opts->switchlessOps = true;
+        } else if (arg == "--depth-ops") {
+            opts->depthOps = true;
         } else if (arg == "--repro-out") {
             const char* v = needValue("--repro-out");
             if (!v) return false;
@@ -84,11 +87,16 @@ parseArgs(int argc, char** argv, CliOptions* opts)
                 "usage: nesgx_check [--seeds N] [--steps M] [--seed S]\n"
                 "                   [--tagged on|off|both] [--repro-out F]\n"
                 "                   [--trace] [--switchless-ops]\n"
+                "                   [--depth-ops]\n"
                 "  --trace  append the ring-buffer event log to each\n"
                 "           shrunk reproducer report\n"
                 "  --switchless-ops  widen the op set with the switchless\n"
                 "           DescRing post/drain cycle (off by default so\n"
-                "           historical seeded streams stay identical)\n");
+                "           historical seeded streams stay identical)\n"
+                "  --depth-ops  widen to the full op set including the\n"
+                "           DeepChain composite (depth-3 nest build +\n"
+                "           hostile hop + AEX in one step); exercises the\n"
+                "           SavedChainValidity rule\n");
             opts->helpOnly = true;
             return true;
         } else {
@@ -144,6 +152,7 @@ main(int argc, char** argv)
             config.steps = opts.steps;
             config.taggedTlb = tagged;
             config.switchlessOps = opts.switchlessOps;
+            config.depthOps = opts.depthOps;
             auto failure = nesgx::check::runSeed(config);
             if (failure) return reportFailure(*failure, opts);
         }

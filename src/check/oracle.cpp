@@ -4,6 +4,8 @@
 #include <deque>
 #include <sstream>
 
+#include "sgx/chain.h"
+
 namespace nesgx::check {
 
 namespace {
@@ -54,6 +56,7 @@ ruleName(Rule rule)
         case Rule::TlbEpcmCoherence: return "TlbEpcmCoherence";
         case Rule::TcsBusyConservation: return "TcsBusyConservation";
         case Rule::FrameValidity: return "FrameValidity";
+        case Rule::SavedChainValidity: return "SavedChainValidity";
         case Rule::ClosureCoherence: return "ClosureCoherence";
         case Rule::EpcAccounting: return "EpcAccounting";
         case Rule::KernelRecordCoherence: return "KernelRecordCoherence";
@@ -71,6 +74,7 @@ InvariantOracle::check(const sgx::Machine& machine, const os::Kernel& kernel,
     if (auto v = checkTlbs(machine)) return v;
     if (auto v = checkBusyFlags(machine)) return v;
     if (auto v = checkFrames(machine)) return v;
+    if (auto v = checkSavedChains(machine)) return v;
     if (auto v = checkClosures(machine)) return v;
     if (auto v = checkEpcAccounting(machine, kernel, orphans)) return v;
     if (auto v = checkKernelRecords(machine, kernel, orphans)) return v;
@@ -181,6 +185,12 @@ InvariantOracle::checkBusyFlags(const sgx::Machine& machine) const
     for (const auto& [pa, tcs] : machine.tcsTable()) {
         if (!tcs.hasSavedFrames) continue;
         for (const auto& frame : tcs.savedFrames) {
+            // A stale saved frame — its enclave destroyed or its SECS
+            // frame recycled since the AEX — pins nothing: ERESUME will
+            // refuse the whole nest, and the frame's TCS PA may since
+            // belong to a brand-new (legitimately non-busy) TCS.
+            const sgx::Secs* secs = machine.secsAt(frame.secs);
+            if (!secs || secs->eid != frame.eid) continue;
             referenced.insert(frame.tcs);
         }
     }
@@ -237,6 +247,35 @@ InvariantOracle::checkFrames(const sgx::Machine& machine) const
                                  where + ": no association edge to the "
                                          "frame below"};
             }
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<Violation>
+InvariantOracle::checkSavedChains(const sgx::Machine& machine) const
+{
+    for (const auto& [pa, tcs] : machine.tcsTable()) {
+        if (!tcs.hasSavedFrames) continue;
+        auto verdict = sgx::validateFrameChain(
+            tcs.savedFrames,
+            [&](hw::Paddr secsPa) { return machine.secsAt(secsPa); });
+        // A parked nest may legitimately go stale — the OS can destroy
+        // or recycle an enclave under it, and ERESUME refuses exactly
+        // that (DeadSecs / EidMismatch). What can never happen in a
+        // correct machine is a broken adjacency between two *live*,
+        // eid-matching links: association edges are only ever detached
+        // together with their SECS (eremoveImpl), so a saved chain whose
+        // links are all alive must still be a chain NEENTER would have
+        // built — unless a hop skipped the adjacency check on the way in.
+        if (verdict.check == sgx::ChainCheck::BrokenAdjacency) {
+            return Violation{
+                Rule::SavedChainValidity,
+                "nest parked in TCS " + hex(pa) + ": saved frame " +
+                    std::to_string(verdict.index) + " of " +
+                    std::to_string(tcs.savedFrames.size()) +
+                    " has no association edge to the frame below — a "
+                    "NEENTER hop entered without adjacency validation"};
         }
     }
     return std::nullopt;

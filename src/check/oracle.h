@@ -14,6 +14,10 @@
  *  - Frame validity: every frame on every core names a live initialized
  *    SECS with the recorded enclave id, a live TCS owned by it, and an
  *    association edge to the frame below it.
+ *  - Saved-chain validity: for every AEX-parked nest in a TCS's
+ *    savedFrames, live eid-matching links must keep their association
+ *    edges (sgx/chain.h) — stale links are ERESUME's problem, but a
+ *    broken adjacency between live links means a hop entered unchecked.
  *  - Closure coherence: the memoized outer-closure cache always equals
  *    a fresh BFS, the graph stays acyclic, and inner/outer edge lists
  *    stay symmetric.
@@ -44,6 +48,14 @@ enum class Rule : std::uint8_t {
     TlbEpcmCoherence,      ///< invariants 3/4 + stale tag/blocked frame
     TcsBusyConservation,
     FrameValidity,
+    /** Every AEX-parked frame stack (TCS savedFrames) whose links are
+     *  all live with matching eids is a valid ancestor chain under
+     *  sgx/chain.h. Stale parked nests (dead/recycled links) are
+     *  legitimate — ERESUME refuses them — but a broken adjacency
+     *  between live links can only come from a NEENTER hop that skipped
+     *  validation (NESGX_BUG_CHAIN_SKIP); the live-frame rule never sees
+     *  it because the poisoned nest only exists saved. */
+    SavedChainValidity,
     ClosureCoherence,
     EpcAccounting,
     KernelRecordCoherence,
@@ -85,6 +97,8 @@ class InvariantOracle {
     std::optional<Violation> checkTlbs(const sgx::Machine& machine) const;
     std::optional<Violation> checkBusyFlags(const sgx::Machine& machine) const;
     std::optional<Violation> checkFrames(const sgx::Machine& machine) const;
+    std::optional<Violation> checkSavedChains(
+        const sgx::Machine& machine) const;
     std::optional<Violation> checkClosures(const sgx::Machine& machine) const;
     std::optional<Violation> checkEpcAccounting(
         const sgx::Machine& machine, const os::Kernel& kernel,

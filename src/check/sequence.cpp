@@ -108,6 +108,8 @@ enabled(const CheckWorld& world, Op op)
         // Self-contained (own untrusted page, own ring); never reached
         // from kWeights, but the chaos draw may emit it when opted in.
         case Op::SwitchlessPostDrain: return true;
+        // Composite builds whatever it needs itself.
+        case Op::DeepChain: return true;
     }
     return false;
 }
@@ -118,17 +120,24 @@ Step
 SequenceGen::next(const CheckWorld& world)
 {
     Step step;
-    // The switchless op is appended *after* the classic table and only
-    // when opted in, so the default modulus and weighted totals — and
-    // with them every historical seeded stream — are untouched.
+    // Each opt-in op is appended *after* the classic table (and after
+    // the previous tier's appendix), so the default modulus and weighted
+    // totals — and with them every historical seeded stream, including
+    // the --switchless-ops stream once it shipped — are untouched.
     constexpr std::uint32_t kSwitchlessWeight = 5;
+    constexpr std::uint32_t kDeepChainWeight = 4;
     // Chaos fraction: a fully random step, preconditions be damned. This
     // is where the sequences no sane runtime would issue come from.
     if (rng_.nextBelow(100) < 8) {
-        step.op = Op(rng_.nextBelow(switchlessOps_ ? kOpCount
-                                                   : kClassicOpCount));
+        step.op = Op(rng_.nextBelow(
+            depthOps_ ? kOpCount
+                      : (switchlessOps_ ? kSwitchlessOpCount
+                                        : kClassicOpCount)));
     } else {
-        std::uint64_t total = switchlessOps_ ? kSwitchlessWeight : 0;
+        const std::uint64_t tail =
+            (switchlessOps_ ? kSwitchlessWeight : 0) +
+            (depthOps_ ? kDeepChainWeight : 0);
+        std::uint64_t total = tail;
         for (const auto& w : kWeights) {
             if (enabled(world, w.op)) total += w.weight;
         }
@@ -136,16 +145,23 @@ SequenceGen::next(const CheckWorld& world)
             step.op = Op::Create;
         } else {
             std::uint64_t pick = rng_.nextBelow(total);
-            // A pick past every weighted entry lands in the appended
-            // switchless tail range (only reachable when opted in).
-            step.op = switchlessOps_ ? Op::SwitchlessPostDrain : Op::Create;
+            bool weighted = false;
             for (const auto& w : kWeights) {
                 if (!enabled(world, w.op)) continue;
                 if (pick < w.weight) {
                     step.op = w.op;
+                    weighted = true;
                     break;
                 }
                 pick -= w.weight;
+            }
+            if (!weighted) {
+                // A pick past every weighted entry lands in the appended
+                // tail ranges, switchless first (only reachable when the
+                // matching tier is opted in).
+                step.op = (switchlessOps_ && pick < kSwitchlessWeight)
+                              ? Op::SwitchlessPostDrain
+                              : Op::DeepChain;
             }
         }
     }
@@ -162,7 +178,7 @@ runSeed(const RunConfig& config)
     CheckWorld::Config wc;
     wc.taggedTlb = config.taggedTlb;
     CheckWorld world(wc);
-    SequenceGen gen(config.seed, config.switchlessOps);
+    SequenceGen gen(config.seed, config.switchlessOps, config.depthOps);
     InvariantOracle oracle;
     TraceOracle traceOracle;
 

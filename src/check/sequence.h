@@ -30,13 +30,18 @@
 namespace nesgx::check {
 
 /** Precondition-aware seeded step generator. `switchlessOps` widens the
- *  op set with SwitchlessPostDrain; it defaults off so every historical
- *  seed keeps producing the exact same stream (the op changes both the
- *  chaos-draw modulus and the weighted totals). */
+ *  op set with SwitchlessPostDrain and `depthOps` widens it further with
+ *  the DeepChain composite; both default off so every historical seed
+ *  keeps producing the exact same stream (each tier changes both the
+ *  chaos-draw modulus and the weighted totals, and the tiers are
+ *  strictly appended so enabling a later one never perturbs an earlier
+ *  stream's draws). `depthOps` implies the full op set: its chaos draws
+ *  may also emit SwitchlessPostDrain. */
 class SequenceGen {
   public:
-    explicit SequenceGen(std::uint64_t seed, bool switchlessOps = false)
-        : rng_(seed), switchlessOps_(switchlessOps)
+    explicit SequenceGen(std::uint64_t seed, bool switchlessOps = false,
+                         bool depthOps = false)
+        : rng_(seed), switchlessOps_(switchlessOps), depthOps_(depthOps)
     {
     }
 
@@ -45,6 +50,7 @@ class SequenceGen {
   private:
     Rng rng_;
     bool switchlessOps_ = false;
+    bool depthOps_ = false;
 };
 
 struct RunConfig {
@@ -52,6 +58,7 @@ struct RunConfig {
     int steps = 300;
     bool taggedTlb = true;
     bool switchlessOps = false;  ///< include Op::SwitchlessPostDrain
+    bool depthOps = false;       ///< include Op::DeepChain (full op set)
 };
 
 struct RunFailure {

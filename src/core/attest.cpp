@@ -28,10 +28,19 @@ verifyNestedAttestation(const sgx::Machine& machine,
 
     if (policy.expectedOuter) {
         result.outerMatch =
-            report.hasOuter &&
+            report.nested() &&
             sameMeasurement(report.outerMeasurement, *policy.expectedOuter);
     } else {
-        result.outerMatch = !report.hasOuter;
+        result.outerMatch = !report.nested();
+    }
+
+    // Depth policy: exact when pinned; otherwise only require structural
+    // consistency with `expectedOuter` (nested iff an outer is expected).
+    if (policy.expectedChainDepth) {
+        result.depthMatch = report.chainDepth == *policy.expectedChainDepth;
+    } else {
+        result.depthMatch =
+            policy.expectedOuter ? report.nested() : !report.nested();
     }
 
     result.noUnexpectedInners = true;

@@ -19,11 +19,13 @@ struct AttestationResult {
     bool macValid = false;           ///< report MAC verified
     bool identityMatch = false;      ///< MRENCLAVE as expected
     bool outerMatch = false;         ///< nested inside the expected outer
+    bool depthMatch = false;         ///< chain depth as expected
     bool noUnexpectedInners = false; ///< all attested inners were expected
 
     bool trusted() const
     {
-        return macValid && identityMatch && outerMatch && noUnexpectedInners;
+        return macValid && identityMatch && outerMatch && depthMatch &&
+               noUnexpectedInners;
     }
 };
 
@@ -32,6 +34,14 @@ struct AttestationPolicy {
     sgx::Measurement expectedMrEnclave{};
     /** Expected outer measurement; unset = must not be nested. */
     std::optional<sgx::Measurement> expectedOuter;
+    /**
+     * Exact ancestor-chain depth the challenger requires (0 = top
+     * level). Unset = only the boolean nested/not-nested structure
+     * implied by `expectedOuter` is enforced. A CVM operator pins its
+     * tenants to depth 3; the same enclave serving from depth 2 — same
+     * outer measurement, different hosting topology — is rejected.
+     */
+    std::optional<std::uint32_t> expectedChainDepth;
     /** Inner measurements the challenger tolerates sharing the outer. */
     std::vector<sgx::Measurement> allowedInners;
 };

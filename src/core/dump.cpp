@@ -31,10 +31,22 @@ liveSecsPages(const sgx::Machine& machine)
 
 void
 dumpSubtree(const sgx::Machine& machine, hw::Paddr secsPa, int depth,
-            std::set<hw::Paddr>& printed, std::ostringstream& out)
+            std::set<hw::Paddr>& onPath, std::set<hw::Paddr>& printed,
+            std::ostringstream& out)
 {
     const sgx::Secs* secs = machine.secsAt(secsPa);
     if (!secs) return;
+    // A corrupted association graph can contain a cycle (an enclave
+    // reachable as its own descendant). Report it at the back edge and
+    // stop instead of recursing forever; `onPath` holds the ancestors of
+    // the current recursion only, so a legitimate multi-outer DAG node
+    // still prints under each of its outers.
+    if (onPath.count(secsPa)) {
+        for (int i = 0; i < depth; ++i) out << "    ";
+        out << "- eid " << secs->eid << " @0x" << std::hex << secsPa
+            << std::dec << " [CYCLE: already an ancestor on this path]\n";
+        return;
+    }
     for (int i = 0; i < depth; ++i) out << "    ";
     out << "- eid " << secs->eid << " @0x" << std::hex << secsPa << std::dec
         << " mrenclave " << shortHex(secs->mrenclave) << "..."
@@ -44,9 +56,11 @@ dumpSubtree(const sgx::Machine& machine, hw::Paddr secsPa, int depth,
     }
     out << "\n";
     printed.insert(secsPa);
+    onPath.insert(secsPa);
     for (hw::Paddr inner : secs->innerEids) {
-        dumpSubtree(machine, inner, depth + 1, printed, out);
+        dumpSubtree(machine, inner, depth + 1, onPath, printed, out);
     }
+    onPath.erase(secsPa);
 }
 
 }  // namespace
@@ -56,16 +70,18 @@ dumpEnclaveTree(const sgx::Machine& machine)
 {
     std::ostringstream out;
     out << "enclave association forest:\n";
+    std::set<hw::Paddr> onPath;
     std::set<hw::Paddr> printed;
-    // Roots first (no outer), then anything unreachable (defensive).
+    // Roots first (no outer), then anything unreachable (defensive —
+    // this is where a pure cycle with no root surfaces).
     for (hw::Paddr pa : liveSecsPages(machine)) {
         const sgx::Secs* secs = machine.secsAt(pa);
         if (secs && secs->outerEids.empty()) {
-            dumpSubtree(machine, pa, 1, printed, out);
+            dumpSubtree(machine, pa, 1, onPath, printed, out);
         }
     }
     for (hw::Paddr pa : liveSecsPages(machine)) {
-        if (!printed.count(pa)) dumpSubtree(machine, pa, 1, printed, out);
+        if (!printed.count(pa)) dumpSubtree(machine, pa, 1, onPath, printed, out);
     }
     return out.str();
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sgx/chain.h"
+
 namespace nesgx::sdk {
 
 namespace {
@@ -70,6 +72,17 @@ TrustedEnv::ocall(const std::string& name, ByteView arg)
     auto it = urts_.ocalls_.find(name);
     if (it == urts_.ocalls_.end()) return Err::NoSuchCall;
 
+    // Switchless first: an armed relay serves the call over shared
+    // rings with zero transitions. It declines (before any side
+    // effect) when this enclave has no armed channel.
+    if (urts_.ocallRelay_) {
+        if (auto relayed = urts_.ocallRelay_->relayOcall(enclave_, core_, name,
+                                                         it->second, arg)) {
+            ++urts_.stats_.ocalls;
+            return std::move(*relayed);
+        }
+    }
+
     sgx::Machine& m = machine();
     // The model restricts synchronous EEXIT to depth 1; the SDK routes
     // inner-enclave ocalls through the outer (use nOcall + outer ocall).
@@ -119,6 +132,41 @@ TrustedEnv::nEcall(LoadedEnclave& inner, const std::string& name, ByteView arg)
     }
     TrustedEnv innerEnv(urts_, inner, core_);
     Result<Bytes> result = (*fn)(innerEnv, arg);
+    Status back = m.neexit(core_);
+    publishSdk(m, trace::EventKind::SdkNEcallEnd, core_, name.c_str());
+    if (!back) return back;
+    return result;
+}
+
+Result<Bytes>
+TrustedEnv::nEcallChain(const std::vector<LoadedEnclave*>& remaining,
+                        const std::string& name, ByteView arg)
+{
+    if (remaining.empty()) return Err::GeneralProtection;
+    if (remaining.size() == 1) return nEcall(*remaining[0], name, arg);
+
+    // Pass-through hop: NEENTER the next link and recurse. The named
+    // function only runs at the leaf; intermediate enclaves are
+    // traversed, each paying its own dispatch + NEENTER/NEEXIT cost.
+    LoadedEnclave& next = *remaining[0];
+    auto tcs = urts_.idleTcs(next);
+    if (!tcs) return tcs.status();
+
+    sgx::Machine& m = machine();
+    m.charge(m.costs().nEcallDispatch);
+    ++urts_.stats_.nEcalls;
+    urts_.kernel_.touchEnclave(next.secsPage_);
+    publishSdk(m, trace::EventKind::SdkNEcallBegin, core_, name.c_str());
+
+    Status st = m.neenter(core_, tcs.value());
+    if (!st) {
+        publishSdk(m, trace::EventKind::SdkNEcallEnd, core_, name.c_str());
+        return st;
+    }
+    TrustedEnv nextEnv(urts_, next, core_);
+    Result<Bytes> result = nextEnv.nEcallChain(
+        std::vector<LoadedEnclave*>(remaining.begin() + 1, remaining.end()),
+        name, arg);
     Status back = m.neexit(core_);
     publishSdk(m, trace::EventKind::SdkNEcallEnd, core_, name.c_str());
     if (!back) return back;
@@ -378,34 +426,64 @@ Result<Bytes>
 Urts::ecallNested(LoadedEnclave* outer, LoadedEnclave* inner,
                   const std::string& name, ByteView arg, hw::CoreId core)
 {
-    // Validate against the hardware-recorded association (any of the
-    // inner's outers qualifies under the multi-outer extension).
-    const sgx::Secs* innerSecs = machine().secsAt(inner->secsPage_);
-    if (!innerSecs || !innerSecs->hasOuter(outer->secsPage_)) {
-        return Err::GeneralProtection;
+    return ecallChain({outer, inner}, name, arg, core);
+}
+
+Result<Bytes>
+Urts::ecallChain(const std::vector<LoadedEnclave*>& chain,
+                 const std::string& name, ByteView arg, hw::CoreId core)
+{
+    if (chain.empty()) return Err::GeneralProtection;
+    if (chain.size() == 1) return ecall(chain[0], name, arg, core);
+
+    // Validate every hop against the hardware-recorded association
+    // before any transition (any of a link's outers qualifies under
+    // the multi-outer extension).
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+        const sgx::Secs* innerSecs = machine().secsAt(chain[i]->secsPage_);
+        if (!innerSecs ||
+            !sgx::chainAdjacent(*innerSecs, chain[i - 1]->secsPage_)) {
+            return Err::GeneralProtection;
+        }
     }
-    auto outerTcs = idleTcs(*outer);
-    if (!outerTcs) return outerTcs.status();
+    auto rootTcs = idleTcs(*chain[0]);
+    if (!rootTcs) return rootTcs.status();
 
     sgx::Machine& m = machine();
     m.charge(m.costs().ecallDispatch);
     m.charge(m.costs().copyBytes(arg.size()));
     ++stats_.ecalls;
-    kernel_.touchEnclave(outer->secsPage_);
-    kernel_.touchEnclave(inner->secsPage_);
+    for (LoadedEnclave* node : chain) kernel_.touchEnclave(node->secsPage_);
     publishSdk(m, trace::EventKind::SdkEcallBegin, core, name.c_str());
 
-    Status st = m.eenter(core, outerTcs.value());
+    Status st = m.eenter(core, rootTcs.value());
     if (!st) {
         publishSdk(m, trace::EventKind::SdkEcallEnd, core, name.c_str());
         return st;
     }
-    TrustedEnv outerEnv(*this, *outer, core);
-    Result<Bytes> result = outerEnv.nEcall(*inner, name, arg);
+    TrustedEnv rootEnv(*this, *chain[0], core);
+    Result<Bytes> result = rootEnv.nEcallChain(
+        std::vector<LoadedEnclave*>(chain.begin() + 1, chain.end()), name,
+        arg);
     Status back = m.eexit(core);
     publishSdk(m, trace::EventKind::SdkEcallEnd, core, name.c_str());
     if (!back) return back;
     return result;
+}
+
+std::vector<LoadedEnclave*>
+Urts::chainTo(LoadedEnclave* leaf)
+{
+    std::lock_guard<std::mutex> g(structM_);
+    std::vector<LoadedEnclave*> chain;
+    // Bounded by the loaded-enclave count: a corrupted association
+    // graph (cycle) terminates instead of spinning.
+    for (LoadedEnclave* node = leaf;
+         node && chain.size() <= enclaves_.size(); node = node->outer_) {
+        chain.push_back(node);
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
 }
 
 Result<hw::Paddr>

@@ -17,7 +17,9 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "os/kernel.h"
 #include "sdk/heap.h"
@@ -30,6 +32,30 @@
 namespace nesgx::sdk {
 
 class Urts;
+class LoadedEnclave;
+
+/**
+ * Hook the switchless layer implements to serve ocalls without an
+ * enclave exit. When armed, TrustedEnv::ocall offers the call here
+ * first; the relay ships the argument over shared-memory descriptor
+ * rings and runs the untrusted function on a host core while the
+ * enclave thread stays resident — zero EEXIT/EENTER transitions.
+ */
+class OcallRelay {
+  public:
+    virtual ~OcallRelay() = default;
+
+    /**
+     * Relays one ocall. Must return std::nullopt *before any side
+     * effect* when the calling enclave has no armed relay channel —
+     * the SDK then falls back to the classic EEXIT/EENTER path.
+     */
+    virtual std::optional<Result<Bytes>> relayOcall(LoadedEnclave& enclave,
+                                                    hw::CoreId core,
+                                                    const std::string& name,
+                                                    const UntrustedFn& fn,
+                                                    ByteView arg) = 0;
+};
 
 /** A loaded enclave instance. */
 class LoadedEnclave {
@@ -89,6 +115,16 @@ class TrustedEnv {
     /** n_ecall: outer -> inner enclave function (NEENTER/NEEXIT). */
     Result<Bytes> nEcall(LoadedEnclave& inner, const std::string& name,
                          ByteView arg);
+
+    /**
+     * Chain-routed n_ecall: NEENTERs each enclave in `remaining` in
+     * order (pass-through hops), runs `name` in the last one, and
+     * NEEXITs back symmetrically. A one-element chain is exactly
+     * nEcall(). Every hop pays the n_ecall dispatch cost and publishes
+     * its own SdkNEcallBegin/End bracket.
+     */
+    Result<Bytes> nEcallChain(const std::vector<LoadedEnclave*>& remaining,
+                              const std::string& name, ByteView arg);
 
     /** n_ocall: inner -> outer enclave function (NEEXIT/NEENTER). */
     Result<Bytes> nOcall(const std::string& name, ByteView arg);
@@ -166,10 +202,36 @@ class Urts {
     /**
      * Convenience for per-user inner calls: EENTER the outer enclave and
      * NEENTER the inner from there (ecall + n_ecall in one round trip).
+     * Equivalent to ecallChain({outer, inner}, ...).
      */
     Result<Bytes> ecallNested(LoadedEnclave* outer, LoadedEnclave* inner,
                               const std::string& name, ByteView arg,
                               hw::CoreId core = 0);
+
+    /**
+     * Depth-parametric entry: routes a call down an ancestor chain
+     * (root first, leaf last). Depth k costs one EENTER plus k-1
+     * NEENTERs in, and the symmetric NEEXIT unwind plus one EEXIT out.
+     * Every adjacent pair is validated against the hardware-recorded
+     * association before any transition. A one-element chain is exactly
+     * ecall(); a two-element chain is exactly ecallNested().
+     */
+    Result<Bytes> ecallChain(const std::vector<LoadedEnclave*>& chain,
+                             const std::string& name, ByteView arg,
+                             hw::CoreId core = 0);
+
+    /**
+     * The full ancestor chain of `leaf` along primary outers, root
+     * first and `leaf` last — ready to hand to ecallChain().
+     */
+    std::vector<LoadedEnclave*> chainTo(LoadedEnclave* leaf);
+
+    /**
+     * Arms (or with nullptr disarms) the switchless ocall relay.
+     * TrustedEnv::ocall offers every call to the relay first and falls
+     * back to the classic EEXIT/EENTER path when it declines.
+     */
+    void setOcallRelay(OcallRelay* relay) { ocallRelay_ = relay; }
 
     const CallStats& stats() const { return stats_; }
     void resetStats() { stats_ = CallStats{}; }
@@ -210,6 +272,7 @@ class Urts {
     std::vector<std::unique_ptr<LoadedEnclave>> enclaves_;
     hw::Vaddr nextEnclaveBase_ = 0x7000'0000'0000ull;
     CallStats stats_;
+    OcallRelay* ocallRelay_ = nullptr;
 };
 
 }  // namespace nesgx::sdk

@@ -7,8 +7,14 @@
  *
  *   nesgx_serve --tenants 8 --requests 200 [--batch 8] [--epc-pages 0]
  *               [--deadline 0] [--queue-depth 64] [--threads 1]
- *               [--chrome-trace p.json]
+ *               [--topology flat|cvm] [--chrome-trace p.json]
  *               [--faults SPEC] [--fault-seed N] [--chaos SEED]
+ *
+ * --topology cvm nests the whole fleet one level deeper: a single
+ * depth-1 "CVM" root enclave hosts every gateway as a depth-2 inner and
+ * tenants serve at depth 3 (paper §VIII). A dispatch is then one EENTER
+ * plus two NEENTERs down the validated ancestor chain. The default flat
+ * layout is byte-identical to the historical two-level registry.
  *
  * --threads N drains the queues with N real OS worker threads, each
  * pinning one simulated core (see WorkerPool::runParallel). N=1 is the
@@ -87,13 +93,23 @@ main(int argc, char** argv)
         flagU64(argc, argv, "chaos", kNoChaos);
     const bool chaos = chaosSeed != kNoChaos;
 
+    const std::string topology = flagStr(argc, argv, "topology", "flat");
+    if (topology != "flat" && topology != "cvm") {
+        std::fprintf(stderr, "error: --topology must be flat or cvm\n");
+        return 1;
+    }
+    const bool cvm = topology == "cvm";
+
     const std::uint64_t tenants =
         flagU64(argc, argv, "tenants", chaos ? 24 : 8);
     const std::uint64_t requests =
         flagU64(argc, argv, "requests", chaos ? 960 : 200);
     const std::uint64_t batch = flagU64(argc, argv, "batch", 8);
+    // The cvm tree's root + per-gateway TCS pools are unevictable, so
+    // its pressure runs need a slightly larger (still heavily
+    // oversubscribed) EPC floor.
     const std::uint64_t epcPages =
-        flagU64(argc, argv, "epc-pages", chaos ? 1024 : 0);
+        flagU64(argc, argv, "epc-pages", chaos ? (cvm ? 1280 : 1024) : 0);
     const std::uint64_t deadline = flagU64(argc, argv, "deadline", 0);
     const std::uint64_t queueDepth = flagU64(argc, argv, "queue-depth", 64);
     const bool switchless = flagU64(argc, argv, "switchless", 0) != 0;
@@ -108,13 +124,16 @@ main(int argc, char** argv)
     mc.dramBytes = 256ull << 20;
     mc.prmBase = 128ull << 20;
     mc.prmBytes = 64ull << 20;
+    const std::uint64_t tenantsPerOuter = 4;
+    const std::uint64_t gatewayEstimate =
+        (tenants + tenantsPerOuter - 1) / tenantsPerOuter;
     if (switchless) {
         // One parked poller core per tenant, one per gateway, plus the
         // host workers: polling trades cores for transitions, so the
-        // simulated socket grows with the fleet.
-        const std::uint64_t tenantsPerOuter = 4;
-        mc.coreCount = std::uint32_t(
-            tenants + (tenants + tenantsPerOuter - 1) / tenantsPerOuter + 2);
+        // simulated socket grows with the fleet. The cvm tree parks one
+        // more poller inside the shared root.
+        mc.coreCount =
+            std::uint32_t(tenants + gatewayEstimate + (cvm ? 3 : 2));
     }
     if (epcPages > 0) {
         // Shrink the PRM so EPC pressure kicks in at small scale.
@@ -162,6 +181,17 @@ main(int argc, char** argv)
     sc.pool.threads = threads;
     sc.switchless.enabled = switchless;
     sc.switchless.hostCores = 2;
+    if (cvm) {
+        sc.registry.topology = serve::Topology::Cvm;
+        // The CVM root's TCS pool carries every concurrent entry into
+        // the tree: worker threads, and under switchless one parked
+        // poller per tenant/gateway plus the root's own.
+        sc.registry.cvmTcs =
+            std::uint32_t(tenants + gatewayEstimate + threads + 4);
+        // Per-gateway ring pairs + staging live in the root's heap.
+        sc.registry.cvmHeapPages =
+            std::uint64_t(64 + 8 * gatewayEstimate);
+    }
     if (chaos) {
         // One failed batch opens the breaker, so the open -> half-open
         // probe -> close cycle is guaranteed to run within the chaos
@@ -315,9 +345,9 @@ main(int argc, char** argv)
     std::uint64_t failures = 0;
     for (const auto& client : clients) failures += client->failures();
 
-    std::printf("nesgx_serve: %llu tenants, %llu requests%s\n",
+    std::printf("nesgx_serve: %llu tenants, %llu requests%s%s\n",
                 (unsigned long long)tenants, (unsigned long long)submitted,
-                chaos ? " [chaos]" : "");
+                cvm ? " [cvm depth-3]" : "", chaos ? " [chaos]" : "");
     std::printf("  gateways            : %zu\n",
                 service.registry().gatewayCount());
     std::printf("  verified ok         : %llu\n",
@@ -387,8 +417,9 @@ main(int argc, char** argv)
                     (unsigned long long)silentEmpties);
         std::printf("  retries             : %llu\n",
                     (unsigned long long)pool.retries());
-        std::printf("  tenant rebuilds     : %llu\n",
-                    (unsigned long long)pool.rebuilds());
+        std::printf("  tenant rebuilds     : %llu (subtree %llu)\n",
+                    (unsigned long long)pool.rebuilds(),
+                    (unsigned long long)pool.subtreeRebuilds());
         std::printf("  breaker open/close  : %llu / %llu\n",
                     (unsigned long long)pool.breakerOpens(),
                     (unsigned long long)pool.breakerCloses());

@@ -99,6 +99,114 @@ TenantRegistry::find(TenantId id)
     return it == tenants_.end() ? nullptr : it->second.get();
 }
 
+Status
+TenantRegistry::ensureCvmRoot()
+{
+    if (config_.topology != Topology::Cvm || cvmRoot_ != nullptr) {
+        return Status::ok();
+    }
+    sdk::EnclaveSpec spec;
+    spec.name = "serve-cvm";
+    spec.codePages = config_.cvmCodePages;
+    spec.dataPages = 4;
+    spec.heapPages = config_.cvmHeapPages;
+    spec.stackPages = 4;
+    spec.tcsCount = config_.cvmTcs;
+    // The root hosts gateways exactly as gateways host tenants: by
+    // author signer, so the fleet can grow after EINIT.
+    spec.allowedInners.push_back(authorExpectation());
+
+    Status st = reserveEpc(spec.totalPages() + 1);
+    if (!st) return st;
+    auto loaded = urts_->load(sdk::buildImage(spec, core::defaultAuthorKey()));
+    if (!loaded) return loaded.status();
+    cvmRoot_ = loaded.value();
+    return Status::ok();
+}
+
+Result<TenantRegistry::Gateway>
+TenantRegistry::makeGateway(std::size_t index)
+{
+    Status root = ensureCvmRoot();
+    if (!root) return root;
+
+    sdk::EnclaveSpec spec;
+    spec.name = "serve-gw-" + std::to_string(index);
+    spec.codePages = config_.outerCodePages;
+    spec.dataPages = 4;
+    spec.heapPages = config_.outerHeapPages;
+    spec.stackPages = 4;
+    spec.tcsCount = config_.gatewayTcs;
+    spec.allowedInners.push_back(authorExpectation());
+    if (config_.topology == Topology::Cvm) {
+        // The gateway itself nests under the CVM root.
+        spec.expectedOuter = authorExpectation();
+    }
+
+    auto state = std::make_shared<GatewayState>();
+    state->slots.resize(config_.tenantsPerOuter, nullptr);
+
+    auto dispatch = [state](sdk::TrustedEnv& env,
+                            ByteView arg) -> Result<Bytes> {
+        auto batch = parseBatch(arg);
+        if (!batch) return batch.status();
+        if (batch.value().slot >= state->slots.size()) {
+            return Err::NotFound;
+        }
+        sdk::LoadedEnclave* inner = state->slots[batch.value().slot];
+        if (!inner) return Err::NotFound;
+
+        // Stage the whole sealed batch into the gateway heap once;
+        // responses come back through the same region, so the cap
+        // keeps a margin over the request size.
+        std::uint64_t need = arg.size() + 4096;
+        if (state->stagingCap < need) {
+            if (state->stagingVa != 0) env.free(state->stagingVa);
+            state->stagingVa = env.alloc(need);
+            if (state->stagingVa == 0) return Err::OutOfMemory;
+            state->stagingCap = need;
+        }
+        Status st = env.writeBytes(state->stagingVa, arg);
+        if (!st) return st;
+
+        Bytes desc(16);
+        storeLe64(desc.data(), state->stagingVa);
+        storeLe64(desc.data() + 8, arg.size());
+        // The single NEENTER of the whole batch.
+        auto respLen = env.nEcall(*inner, "serve_batch", desc);
+        if (!respLen) return respLen.status();
+        if (respLen.value().size() != 8) return Err::BadCallBuffer;
+        std::uint64_t len = loadLe64(respLen.value().data());
+        if (len > state->stagingCap) return Err::BadCallBuffer;
+        return env.readBytes(state->stagingVa, len);
+    };
+    spec.interface->addEcall("gw_dispatch", dispatch);
+    if (config_.topology == Topology::Cvm) {
+        // Under the CVM root the gateway is entered by NEENTER (the last
+        // hop of the dispatch chain resolves n_ecalls only), so the same
+        // body is registered under both call tables.
+        spec.interface->addNEcall("gw_dispatch", dispatch);
+    }
+
+    Status st = reserveEpc(spec.totalPages() + 1);
+    if (!st) return st;
+    auto image = sdk::buildImage(spec, core::defaultAuthorKey());
+    auto loaded = urts_->load(image);
+    if (!loaded) return loaded.status();
+    if (config_.topology == Topology::Cvm) {
+        st = urts_->associate(loaded.value(), cvmRoot_);
+        if (!st) {
+            (void)urts_->unload(loaded.value());
+            return st;
+        }
+    }
+
+    Gateway gw;
+    gw.outer = loaded.value();
+    gw.state = std::move(state);
+    return gw;
+}
+
 Result<std::size_t>
 TenantRegistry::gatewayWithRoom()
 {
@@ -106,65 +214,9 @@ TenantRegistry::gatewayWithRoom()
         gateways_.back().tenantCount < config_.tenantsPerOuter) {
         return gateways_.size() - 1;
     }
-
-    sdk::EnclaveSpec spec;
-    spec.name = "serve-gw-" + std::to_string(gateways_.size());
-    spec.codePages = config_.outerCodePages;
-    spec.dataPages = 4;
-    spec.heapPages = config_.outerHeapPages;
-    spec.stackPages = 4;
-    spec.tcsCount = config_.gatewayTcs;
-    spec.allowedInners.push_back(authorExpectation());
-
-    auto state = std::make_shared<GatewayState>();
-    state->slots.resize(config_.tenantsPerOuter, nullptr);
-
-    spec.interface->addEcall(
-        "gw_dispatch",
-        [state](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
-            auto batch = parseBatch(arg);
-            if (!batch) return batch.status();
-            if (batch.value().slot >= state->slots.size()) {
-                return Err::NotFound;
-            }
-            sdk::LoadedEnclave* inner = state->slots[batch.value().slot];
-            if (!inner) return Err::NotFound;
-
-            // Stage the whole sealed batch into the gateway heap once;
-            // responses come back through the same region, so the cap
-            // keeps a margin over the request size.
-            std::uint64_t need = arg.size() + 4096;
-            if (state->stagingCap < need) {
-                if (state->stagingVa != 0) env.free(state->stagingVa);
-                state->stagingVa = env.alloc(need);
-                if (state->stagingVa == 0) return Err::OutOfMemory;
-                state->stagingCap = need;
-            }
-            Status st = env.writeBytes(state->stagingVa, arg);
-            if (!st) return st;
-
-            Bytes desc(16);
-            storeLe64(desc.data(), state->stagingVa);
-            storeLe64(desc.data() + 8, arg.size());
-            // The single NEENTER of the whole batch.
-            auto respLen = env.nEcall(*inner, "serve_batch", desc);
-            if (!respLen) return respLen.status();
-            if (respLen.value().size() != 8) return Err::BadCallBuffer;
-            std::uint64_t len = loadLe64(respLen.value().data());
-            if (len > state->stagingCap) return Err::BadCallBuffer;
-            return env.readBytes(state->stagingVa, len);
-        });
-
-    Status st = reserveEpc(spec.totalPages() + 1);
-    if (!st) return st;
-    auto image = sdk::buildImage(spec, core::defaultAuthorKey());
-    auto loaded = urts_->load(image);
-    if (!loaded) return loaded.status();
-
-    Gateway gw;
-    gw.outer = loaded.value();
-    gw.state = std::move(state);
-    gateways_.push_back(std::move(gw));
+    auto gw = makeGateway(gateways_.size());
+    if (!gw) return gw.status();
+    gateways_.push_back(std::move(gw.value()));
     return gateways_.size() - 1;
 }
 
@@ -248,17 +300,37 @@ TenantRegistry::dispatch(TenantHandle& tenant, ByteView blob, hw::CoreId core)
 {
     if (!tenant.inner) return Err::Unavailable;
     Gateway& gateway = gateways_[tenant.gatewayIndex];
+    if (!gateway.outer) return Err::Unavailable;  // mid subtree rebuild
+    if (config_.topology == Topology::Cvm) {
+        // Depth-3 entry: EENTER the CVM root, NEENTER the gateway, and
+        // the gateway's dispatch body NEENTERs the tenant — the chain
+        // walk validates every adjacency on the way down.
+        return urts_->ecallChain({cvmRoot_, gateway.outer}, "gw_dispatch",
+                                 blob, core);
+    }
     return urts_->ecall(gateway.outer, "gw_dispatch", blob, core);
 }
 
-Result<std::uint64_t>
-TenantRegistry::ensureResident(TenantHandle& tenant)
+std::vector<sdk::LoadedEnclave*>
+TenantRegistry::dispatchChain(const TenantHandle& tenant)
 {
-    if (!tenant.inner) return Err::Unavailable;
+    if (config_.topology != Topology::Cvm || cvmRoot_ == nullptr ||
+        tenant.inner == nullptr) {
+        return {};
+    }
+    Gateway& gateway = gateways_[tenant.gatewayIndex];
+    if (!gateway.outer) return {};
+    return {cvmRoot_, gateway.outer, tenant.inner};
+}
+
+Status
+TenantRegistry::reloadEnclave(sdk::LoadedEnclave* enclave,
+                              std::uint64_t* pages)
+{
+    if (!enclave) return Status::ok();
     os::Kernel& kernel = urts_->kernel();
-    const os::EnclaveRecord* rec =
-        kernel.enclaveRecord(tenant.inner->secsPage());
-    if (!rec || rec->evicted.empty()) return std::uint64_t(0);
+    const os::EnclaveRecord* rec = kernel.enclaveRecord(enclave->secsPage());
+    if (!rec || rec->evicted.empty()) return Status::ok();
 
     // Make room for the whole reload up front (evicting colder tenants
     // if needed); a refusal is not fatal — the allocator may still cover
@@ -269,14 +341,36 @@ TenantRegistry::ensureResident(TenantHandle& tenant)
     vas.reserve(rec->evicted.size());
     for (const auto& [va, blob] : rec->evicted) vas.push_back(va);
     for (hw::Vaddr va : vas) {
-        Status st = kernel.reloadPage(tenant.inner->secsPage(), va);
+        Status st = kernel.reloadPage(enclave->secsPage(), va);
         if (!st) return st;
     }
+    *pages += vas.size();
+    return Status::ok();
+}
+
+Result<std::uint64_t>
+TenantRegistry::ensureResident(TenantHandle& tenant)
+{
+    if (!tenant.inner) return Err::Unavailable;
+    os::Kernel& kernel = urts_->kernel();
+
+    std::uint64_t reloaded = 0;
+    // The dispatch path enters the whole chain, so the tenant's
+    // ancestors must be resident too. Only subtree eviction ever pages
+    // a gateway (or the root) out, so flat runs never take these.
+    Status st = reloadEnclave(cvmRoot_, &reloaded);
+    if (!st) return st;
+    st = reloadEnclave(gateways_[tenant.gatewayIndex].outer, &reloaded);
+    if (!st) return st;
+    st = reloadEnclave(tenant.inner, &reloaded);
+    if (!st) return st;
+    if (reloaded == 0) return std::uint64_t(0);
+
     ++tenant.reloads;
     kernel.machine().trace().publishLight(
         trace::EventKind::ServeTenantReload, trace::kNoCore, 0, tenant.id,
-        vas.size());
-    return std::uint64_t(vas.size());
+        reloaded);
+    return reloaded;
 }
 
 std::uint64_t
@@ -315,6 +409,14 @@ Status
 TenantRegistry::rebuildTenant(TenantHandle& tenant)
 {
     Gateway& gateway = gateways_[tenant.gatewayIndex];
+    if (!gateway.outer) {
+        // A failed subtree rebuild left the gateway layer missing; the
+        // tenant cannot come back without it.
+        auto rebuilt = makeGateway(tenant.gatewayIndex);
+        if (!rebuilt) return rebuilt.status();
+        gateway.outer = rebuilt.value().outer;
+        gateway.state = std::move(rebuilt.value().state);
+    }
     if (tenant.inner) {
         // Detach from the gateway first so a failed unload cannot leave
         // the slot pointing at a half-dead enclave.
@@ -339,6 +441,103 @@ TenantRegistry::rebuildTenant(TenantHandle& tenant)
         trace::EventKind::ServeTenantRebuild, trace::kNoCore, 0, tenant.id,
         tenant.rebuilds);
     return Status::ok();
+}
+
+std::uint64_t
+TenantRegistry::evictSubtree(std::size_t gatewayIndex)
+{
+    if (gatewayIndex >= gateways_.size()) return 0;
+    std::uint64_t written = 0;
+    for (auto& [id, tenant] : tenants_) {
+        if (tenant->gatewayIndex == gatewayIndex) {
+            written += evictTenant(*tenant);
+        }
+    }
+    Gateway& gateway = gateways_[gatewayIndex];
+    if (!gateway.outer) return written;
+    os::Kernel& kernel = urts_->kernel();
+    const os::EnclaveRecord* rec =
+        kernel.enclaveRecord(gateway.outer->secsPage());
+    if (!rec) return written;
+    std::vector<hw::Vaddr> vas;
+    vas.reserve(rec->pages.size());
+    for (const auto& [va, pa] : rec->pages) vas.push_back(va);
+    for (hw::Vaddr va : vas) {
+        if (kernel.evictPage(gateway.outer->secsPage(), va)) ++written;
+    }
+    return written;
+}
+
+Status
+TenantRegistry::rebuildGatewaySubtree(std::size_t gatewayIndex,
+                                      TenantHandle* alreadyLocked)
+{
+    if (gatewayIndex >= gateways_.size()) return Err::NotFound;
+    Gateway& gateway = gateways_[gatewayIndex];
+
+    // Own every tenant of the subtree for the whole teardown/rebuild so
+    // the pressure manager (which try_locks from evictTenant) can never
+    // page a half-dead enclave. The caller's own tenant is already held.
+    std::vector<TenantHandle*> members;
+    for (auto& [id, tenant] : tenants_) {
+        if (tenant->gatewayIndex == gatewayIndex) {
+            members.push_back(tenant.get());
+        }
+    }
+    std::vector<std::unique_lock<std::mutex>> owned;
+    owned.reserve(members.size());
+    for (TenantHandle* tenant : members) {
+        if (tenant != alreadyLocked) owned.emplace_back(tenant->m);
+    }
+
+    // Leaves first: a gateway with live inner associations refuses
+    // destruction.
+    for (TenantHandle* tenant : members) {
+        if (!tenant->inner) continue;
+        sdk::LoadedEnclave* old = tenant->inner;
+        gateway.state->slots[tenant->slot] = nullptr;
+        tenant->inner = nullptr;
+        Status st = urts_->unload(old);
+        if (!st) {
+            tenant->inner = old;
+            gateway.state->slots[tenant->slot] = old;
+            return st;
+        }
+    }
+    if (gateway.outer) {
+        sdk::LoadedEnclave* old = gateway.outer;
+        gateway.outer = nullptr;
+        Status st = urts_->unload(old);
+        if (!st) {
+            gateway.outer = old;
+            return st;
+        }
+    }
+
+    // Bottom-up rebuild: gateway (re-associated under the CVM root when
+    // nested), then every tenant back into its old slot.
+    auto rebuilt = makeGateway(gatewayIndex);
+    if (!rebuilt) return rebuilt.status();  // whole subtree stays down
+    gateway.outer = rebuilt.value().outer;
+    gateway.state = std::move(rebuilt.value().state);
+
+    Status result = Status::ok();
+    for (TenantHandle* tenant : members) {
+        auto inner = buildInner(tenant->id, tenant->workload, gateway);
+        if (!inner) {
+            // Inner-less until a later rebuild succeeds (same lazy-retry
+            // contract as rebuildTenant); keep restoring the rest.
+            result = inner.status();
+            continue;
+        }
+        tenant->inner = inner.value();
+        gateway.state->slots[tenant->slot] = inner.value();
+        ++tenant->rebuilds;
+        urts_->machine().trace().publishLight(
+            trace::EventKind::ServeTenantRebuild, trace::kNoCore, 0,
+            tenant->id, tenant->rebuilds);
+    }
+    return result;
 }
 
 TenantHandle*

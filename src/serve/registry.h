@@ -38,6 +38,18 @@
 
 namespace nesgx::serve {
 
+/** Deployment shape of the enclave fleet. */
+enum class Topology {
+    /** Gateways are depth-1 roots, tenants depth-2 inners (historical
+     *  two-level layout; byte-identical to the pre-topology registry). */
+    Flat,
+    /** A single depth-1 "CVM" root enclave hosts every gateway as a
+     *  depth-2 inner, and tenants sit at depth 3 under their gateway —
+     *  the paper's §VIII arbitrary-depth nesting as a served tree. A
+     *  dispatch is one EENTER into the CVM plus one NEENTER per hop. */
+    Cvm,
+};
+
 struct TenantHandle {
     TenantId id = 0;
     Workload workload = Workload::Echo;
@@ -78,6 +90,17 @@ class TenantRegistry {
          *  headroom beyond the classic one-dispatch-at-a-time shape. */
         std::uint32_t gatewayTcs = 2;
         std::uint32_t innerTcs = 1;
+        /** Fleet shape; Cvm inserts a shared depth-1 root above the
+         *  gateways (see Topology). */
+        Topology topology = Topology::Flat;
+        /** CVM root enclave shape (Cvm topology only). The TCS pool must
+         *  cover every concurrent entry into the tree: one per worker
+         *  thread plus — under switchless — one per parked poller
+         *  (root + per-gateway + per-tenant), so callers size it to
+         *  roughly tenants + gateways + threads + spare. */
+        std::uint64_t cvmCodePages = 24;
+        std::uint64_t cvmHeapPages = 64;
+        std::uint32_t cvmTcs = 4;
     };
 
     TenantRegistry(sdk::Urts& urts, Config config);
@@ -117,11 +140,47 @@ class TenantRegistry {
      *  quarantined until a later rebuild succeeds. */
     Status rebuildTenant(TenantHandle& tenant);
 
+    /**
+     * Pages the whole gateway subtree out: every tenant inner of the
+     * gateway plus the gateway enclave's own evictable pages. Returns
+     * pages written back; ensureResident reloads the chain transparently
+     * before the next dispatch.
+     */
+    std::uint64_t evictSubtree(std::size_t gatewayIndex);
+
+    /**
+     * Destroys and rebuilds a whole gateway subtree: every tenant inner
+     * of the gateway, then the gateway enclave itself, then fresh
+     * instances bottom-up (gateway first, tenants re-associated into
+     * it). The recovery of last resort when the gateway layer itself is
+     * the casualty — every tenant of the subtree loses its in-enclave
+     * state exactly as rebuildTenant would lose one.
+     *
+     * `alreadyLocked` names a tenant whose `m` the caller holds (the
+     * worker mid-batch); every other tenant of the subtree is locked
+     * here so the pressure manager cannot evict a half-dead enclave.
+     * On partial failure affected tenants are left inner-less and are
+     * retried lazily, same contract as rebuildTenant.
+     */
+    Status rebuildGatewaySubtree(std::size_t gatewayIndex,
+                                 TenantHandle* alreadyLocked = nullptr);
+
     /** Tenant owning this inner SECS, or nullptr (victim filtering). */
     TenantHandle* tenantBySecs(hw::Paddr secsPage);
 
     std::size_t gatewayCount() const { return gateways_.size(); }
     std::size_t tenantCount() const { return tenants_.size(); }
+    Topology topology() const { return config_.topology; }
+
+    /** The shared depth-1 root (Cvm topology; nullptr under Flat). */
+    sdk::LoadedEnclave* cvmRoot() { return cvmRoot_; }
+
+    /**
+     * Root-first dispatch chain for the tenant's endpoint: {cvm,
+     * gateway, inner} under Cvm, empty under Flat (callers fall back to
+     * the classic {outer, inner} pair, keeping flat byte-identity).
+     */
+    std::vector<sdk::LoadedEnclave*> dispatchChain(const TenantHandle& tenant);
 
     /** Gateway outer enclave by index (switchless endpoint resolution). */
     sdk::LoadedEnclave* gatewayOuter(std::size_t index)
@@ -153,12 +212,20 @@ class TenantRegistry {
 
     Status reserveEpc(std::uint64_t pages);
     Result<std::size_t> gatewayWithRoom();
+    /** Builds (or rebuilds) the gateway enclave for `index` without
+     *  touching the gateways_ vector; Cvm associates it under the root. */
+    Result<Gateway> makeGateway(std::size_t index);
+    /** Lazily builds the shared CVM root (Cvm topology). */
+    Status ensureCvmRoot();
+    /** Reloads every evicted page of `enclave` (chain residency). */
+    Status reloadEnclave(sdk::LoadedEnclave* enclave, std::uint64_t* pages);
     Result<sdk::LoadedEnclave*> buildInner(TenantId id, Workload workload,
                                            Gateway& gateway);
 
     sdk::Urts* urts_;
     Config config_;
     std::function<Status(std::uint64_t)> epcReserve_;
+    sdk::LoadedEnclave* cvmRoot_ = nullptr;
     std::vector<Gateway> gateways_;
     std::map<TenantId, std::unique_ptr<TenantHandle>> tenants_;
 };

@@ -94,6 +94,22 @@ WorkerPool::breakerFor(TenantId tenant)
     return breakers_[tenant];
 }
 
+void
+WorkerPool::failQueuedRebuilt(TenantId tenantId)
+{
+    sgx::Machine& machine = registry_->urts().machine();
+    std::lock_guard<std::mutex> c(completionsM_);
+    for (Request& r : admission_->purge(tenantId)) {
+        Completion done;
+        done.id = r.id;
+        done.tenant = r.tenant;
+        done.latencyCycles = machine.clock().cycles() - r.enqueuedAt;
+        done.status = Err::Unavailable;
+        done.tenantRebuilt = true;
+        completions_.push_back(std::move(done));
+    }
+}
+
 Status
 WorkerPool::rebuildTenantNow(TenantHandle& tenant)
 {
@@ -105,20 +121,29 @@ WorkerPool::rebuildTenantNow(TenantHandle& tenant)
     // Everything the tenant still has queued was sealed against the
     // poisoned instance; fail it typed so the client reseals against
     // the rebuilt server instead of replaying stale sequence numbers.
-    {
-        std::lock_guard<std::mutex> c(completionsM_);
-        for (Request& r : admission_->purge(tenant.id)) {
-            Completion done;
-            done.id = r.id;
-            done.tenant = r.tenant;
-            done.latencyCycles = machine.clock().cycles() - r.enqueuedAt;
-            done.status = Err::Unavailable;
-            done.tenantRebuilt = true;
-            completions_.push_back(std::move(done));
-        }
-    }
+    failQueuedRebuilt(tenant.id);
     const std::uint64_t begin = machine.clock().cycles();
     Status st = registry_->rebuildTenant(tenant);
+    if (!st && registry_->topology() == Topology::Cvm) {
+        // Cvm escalation: the tenant refused to come back on its own —
+        // the gateway layer itself may be the casualty, so rebuild the
+        // whole subtree. Sibling tenants' pollers and queued requests
+        // ride on instances about to be destroyed; disarm and fail them
+        // typed first, exactly like the caller's own.
+        for (const auto& [id, sibling] : registry_->tenants()) {
+            if (sibling->gatewayIndex != tenant.gatewayIndex ||
+                sibling.get() == &tenant) {
+                continue;
+            }
+            if (engine_) engine_->disarm(id);
+            failQueuedRebuilt(id);
+        }
+        st = registry_->rebuildGatewaySubtree(tenant.gatewayIndex, &tenant);
+        ++subtreeRebuilds_;
+        machine.trace().publishLight(trace::EventKind::ServeTenantRebuild,
+                                     trace::kNoCore, 0, tenant.id,
+                                     tenant.gatewayIndex);
+    }
     {
         std::lock_guard<std::mutex> h(rebuildM_);
         rebuildLatency_.add(machine.clock().cycles() - begin);
@@ -136,6 +161,9 @@ WorkerPool::dispatchVia(TenantHandle& tenant, ByteView blob, hw::CoreId core)
         ep.inner = tenant.inner;
         ep.innerCall = "serve_batch";
         ep.slot = tenant.slot;
+        // Cvm topology: route rings through the full ancestor chain
+        // (empty chain = the classic two-tier shape, flat unchanged).
+        ep.chain = registry_->dispatchChain(tenant);
         if (engine_->ready(tenant.id, ep)) {
             return engine_->call(tenant.id, ep, blob, core);
         }
@@ -492,6 +520,7 @@ TenantService::armSwitchless()
         ep.inner = tenant->inner;
         ep.innerCall = "serve_batch";
         ep.slot = tenant->slot;
+        ep.chain = registry_.dispatchChain(*tenant);
         if (switchless_->ready(id, ep)) ++armed;
     }
     return armed;

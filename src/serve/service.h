@@ -141,6 +141,8 @@ class WorkerPool {
     std::uint64_t dispatchFailures() const { return dispatchFailures_; }
     std::uint64_t retries() const { return retries_; }
     std::uint64_t rebuilds() const { return rebuilds_; }
+    /** Whole-gateway-subtree rebuilds (Cvm topology escalation). */
+    std::uint64_t subtreeRebuilds() const { return subtreeRebuilds_; }
     std::uint64_t breakerOpens() const { return breakerOpens_; }
     std::uint64_t breakerCloses() const { return breakerCloses_; }
     bool breakerOpen(TenantId tenant) const;
@@ -156,8 +158,15 @@ class WorkerPool {
 
     /** Destroys and rebuilds a poisoned tenant: fails its whole queue
      *  typed (the seals target the dead instance) and times the rebuild.
-     *  On failure the tenant stays inner-less and is retried lazily. */
+     *  On failure the tenant stays inner-less and is retried lazily.
+     *  Under the Cvm topology a tenant-level rebuild that fails
+     *  escalates to rebuildGatewaySubtree — the gateway layer itself may
+     *  be the casualty. */
     Status rebuildTenantNow(TenantHandle& tenant);
+
+    /** Fails `tenantId`'s queued requests typed with the rebuilt flag
+     *  (the seals target an instance that is being destroyed). */
+    void failQueuedRebuilt(TenantId tenantId);
 
     /** One batched dispatch: through the armed switchless channel when
      *  available, classic gateway ecall otherwise. */
@@ -203,6 +212,7 @@ class WorkerPool {
     Counter dispatchFailures_;
     Counter retries_;
     Counter rebuilds_;
+    Counter subtreeRebuilds_;
     Counter breakerOpens_;
     Counter breakerCloses_;
 };

@@ -176,6 +176,13 @@ Machine::chargeDataPath(hw::Paddr pa, std::uint64_t len)
 const std::vector<hw::Paddr>&
 Machine::outerClosure(hw::Paddr secsPage) const
 {
+    bool cacheHit = false;
+    return outerClosure(secsPage, &cacheHit);
+}
+
+const std::vector<hw::Paddr>&
+Machine::outerClosure(hw::Paddr secsPage, bool* cacheHit) const
+{
     // Memoization under its own leaf mutex: shared-mode translation
     // misses race on the cache map, while the association graph itself
     // (secsTable_/outerEids) only changes under the exclusive lock. A
@@ -184,10 +191,12 @@ Machine::outerClosure(hw::Paddr secsPage) const
     std::lock_guard<std::mutex> lock(closureMutex_);
     auto cached = closureCache_.find(secsPage);
     if (cached != closureCache_.end()) {
+        *cacheHit = true;
         bus_.publishLight(trace::EventKind::ClosureCacheHit, trace::kNoCore, 0,
                           secsPage);
         return cached->second;
     }
+    *cacheHit = false;
     bus_.publishLight(trace::EventKind::ClosureCacheMiss, trace::kNoCore, 0,
                       secsPage);
 

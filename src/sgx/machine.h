@@ -85,6 +85,16 @@ class Machine {
         bool taggedTlb = true;
         /** Per-core TLB capacity in entries (FIFO eviction). */
         std::size_t tlbCapacity = hw::Tlb::kDefaultCapacity;
+        /**
+         * Price the memoized outer-closure as hardware (paper §VIII
+         * ablation): a closure-cache *hit* on the nested TLB-miss path
+         * charges one flat `nestedCheckExtra` (an associative lookaside
+         * probe) instead of one per visited ancestor, so validation
+         * stays flat in nesting depth. Off (the default) charges the
+         * full per-node walk every miss, the paper-faithful linear
+         * cost — and keeps every historical trace byte-identical.
+         */
+        bool closureCacheCosts = false;
     };
 
     Machine();
@@ -212,8 +222,14 @@ class Machine {
      * and EREMOVE, which drop the cache; a translation miss therefore
      * costs one map lookup instead of an allocating BFS. The returned
      * reference stays valid until the next NASSO/EREMOVE.
+     *
+     * The overload reports through `cacheHit` whether the memoized
+     * closure was served — the access path uses it to price a hit as a
+     * single flat check when `Config::closureCacheCosts` is on.
      */
     const std::vector<hw::Paddr>& outerClosure(hw::Paddr secsPage) const;
+    const std::vector<hw::Paddr>& outerClosure(hw::Paddr secsPage,
+                                               bool* cacheHit) const;
 
     // --- attestation (machine_attest.cpp) --------------------------------
     /** EREPORT: report of the current enclave, MAC'ed for `target`. */

@@ -93,11 +93,23 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
             // the page belongs to an enclave reachable through this
             // enclave's outer associations (a chain in the default
             // model, a DAG under kAttrMultiOuter). Each visited node
-            // costs extra validation time.
-            for (hw::Paddr cur : outerClosure(core.currentSecs())) {
+            // costs extra validation time — unless closureCacheCosts
+            // prices a memoized closure as one flat lookaside probe.
+            bool closureHit = false;
+            const auto& closure =
+                outerClosure(core.currentSecs(), &closureHit);
+            const bool flat = config_.closureCacheCosts && closureHit;
+            if (flat) {
                 charge(costs_.nestedCheckExtra);
                 bus_.publishLight(trace::EventKind::NestedCheck, coreId, eid,
-                                  cur);
+                                  core.currentSecs());
+            }
+            for (hw::Paddr cur : closure) {
+                if (!flat) {
+                    charge(costs_.nestedCheckExtra);
+                    bus_.publishLight(trace::EventKind::NestedCheck, coreId,
+                                      eid, cur);
+                }
                 if (entry.ownerSecs == cur) {
                     owner = secsAt(cur);
                     break;
@@ -132,10 +144,22 @@ Machine::validateAndFill(hw::CoreId coreId, hw::Vaddr va, hw::Access access)
         bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);
         return Err::PageFault;
     }
-    // Nested steps (1)-(2): same check for every reachable outer ELRANGE.
-    for (hw::Paddr cur : outerClosure(core.currentSecs())) {
+    // Nested steps (1)-(2): same check for every reachable outer ELRANGE
+    // (same flat pricing on a closure-cache hit as the EPC branch — the
+    // ELRANGE probes still run, they are just covered by one charge).
+    bool closureHit = false;
+    const auto& closure = outerClosure(core.currentSecs(), &closureHit);
+    const bool flat = config_.closureCacheCosts && closureHit;
+    if (flat) {
         charge(costs_.nestedCheckExtra);
-        bus_.publishLight(trace::EventKind::NestedCheck, coreId, eid, cur);
+        bus_.publishLight(trace::EventKind::NestedCheck, coreId, eid,
+                          core.currentSecs());
+    }
+    for (hw::Paddr cur : closure) {
+        if (!flat) {
+            charge(costs_.nestedCheckExtra);
+            bus_.publishLight(trace::EventKind::NestedCheck, coreId, eid, cur);
+        }
         const Secs* outer = secsAt(cur);
         if (outer && outer->inELRange(va)) {
             bus_.publishLight(trace::EventKind::AccessFault, coreId, eid, va);

@@ -29,7 +29,9 @@ Bytes
 NestedReport::macBody() const
 {
     Bytes out = base.macBody();
-    out.push_back(hasOuter ? 1 : 0);
+    std::uint8_t depth[4];
+    storeLe32(depth, chainDepth);
+    append(out, ByteView(depth, 4));
     append(out, ByteView(outerMeasurement.data(), 32));
     std::uint8_t count[4];
     storeLe32(count, std::uint32_t(outerMeasurements.size()));
@@ -114,14 +116,30 @@ Machine::nereportImpl(hw::CoreId coreId, const TargetInfo& target,
     // association relationship of the target enclaves" (§IV-B) — the
     // outer's measurement plus the measurements of every inner enclave
     // sharing this enclave (§IV-E remote attestation).
+    bool primarySet = false;
     for (hw::Paddr outerPa : secs->outerEids) {
         if (const Secs* outer = secsAt(outerPa)) {
-            if (!report.hasOuter) {
-                report.hasOuter = true;
+            if (!primarySet) {
+                primarySet = true;
                 report.outerMeasurement = outer->mrenclave;  // primary
             }
             report.outerMeasurements.push_back(outer->mrenclave);
         }
+    }
+    // chainDepth counts live hops along the primary-outer chain, so a
+    // depth-3 tenant's report is distinguishable from a depth-2 one.
+    // Bounded by the live-SECS count: a corrupted cyclic association
+    // graph terminates instead of hanging the leaf.
+    const std::size_t maxHops = secsTable_.size();
+    const Secs* hop = secs;
+    while (hop && report.chainDepth < maxHops) {
+        const Secs* outer = nullptr;
+        for (hw::Paddr outerPa : hop->outerEids) {
+            if ((outer = secsAt(outerPa)) != nullptr) break;
+        }
+        if (!outer) break;
+        ++report.chainDepth;
+        hop = outer;
     }
     for (hw::Paddr innerPa : secs->innerEids) {
         if (const Secs* inner = secsAt(innerPa)) {

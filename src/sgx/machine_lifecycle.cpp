@@ -243,7 +243,17 @@ Machine::eremoveImpl(hw::Paddr epcPage)
 #ifndef NESGX_BUG_EREMOVE_WEDGE
                 for (const auto& frame : it->second.savedFrames) {
                     if (frame.tcs == epcPage) continue;
-                    if (Tcs* t = tcsAt(frame.tcs)) t->busy = false;
+                    // Release only TCSes still belonging to the frame's
+                    // recorded enclave generation: a stale frame's PA may
+                    // have been recycled into a different enclave's TCS,
+                    // whose busy flag is not this nest's to clear.
+                    const Secs* owner = secsAt(frame.secs);
+                    if (!owner || owner->eid != frame.eid) continue;
+                    Tcs* t = tcsAt(frame.tcs);
+                    if (t && epcm_.entry(mem_.epcPageIndex(frame.tcs))
+                                     .ownerSecs == frame.secs) {
+                        t->busy = false;
+                    }
                 }
 #endif
                 tcsTable_.erase(it);

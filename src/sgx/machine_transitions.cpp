@@ -8,6 +8,7 @@
  * the bodies themselves no longer touch counters directly.
  */
 #include "fault/injector.h"
+#include "sgx/chain.h"
 #include "sgx/machine.h"
 
 namespace nesgx::sgx {
@@ -137,10 +138,19 @@ Machine::neenterImpl(hw::CoreId coreId, hw::Paddr tcsPage)
     // currently executing enclave (paper §IV-B; under kAttrMultiOuter
     // any of the target's outers qualifies).
     Secs* target = secsAt(entry.ownerSecs);
-    if (!target || !target->initialized ||
-        !target->hasOuter(core.currentSecs())) {
-        return Err::GeneralProtection;
-    }
+    if (!target || !target->initialized) return Err::GeneralProtection;
+#ifdef NESGX_BUG_CHAIN_SKIP
+    // Mutation: skip the adjacency check for hops past the first NEENTER
+    // — a depth>=2 core may enter *any* initialized enclave, poisoning
+    // the nest that AEX later saves. Caught by the SavedChainValidity
+    // oracle rule (the live-frame FrameValidity rule never sees it:
+    // ERESUME refuses the poisoned nest, so it only exists saved).
+    const bool adjacent = core.depth() >= 2 ||
+                          chainAdjacent(*target, core.currentSecs());
+#else
+    const bool adjacent = chainAdjacent(*target, core.currentSecs());
+#endif
+    if (!adjacent) return Err::GeneralProtection;
     Tcs* tcs = tcsAt(tcsPage);
     if (!tcs || tcs->busy) return Err::GeneralProtection;
 
@@ -173,7 +183,7 @@ Machine::neexitImpl(hw::CoreId coreId)
     if (core.depth() < 2) return Err::GeneralProtection;
     const Secs* inner = secsAt(core.currentSecs());
     const auto& frames = core.frames();
-    if (!inner || !inner->hasOuter(frames[frames.size() - 2].secs)) {
+    if (!inner || !chainAdjacent(*inner, frames[frames.size() - 2].secs)) {
         return Err::GeneralProtection;
     }
 
@@ -284,23 +294,23 @@ Machine::eresumeImpl(hw::CoreId coreId, hw::Paddr tcsPage)
     if (!tcs || !tcs->hasSavedFrames) return Err::GeneralProtection;
     const auto& saved = tcs->savedFrames;
 #ifndef NESGX_BUG_ERESUME_UNCHECKED
+    // The whole saved nest must still be a valid ancestor chain of live,
+    // id-matched enclaves (the id check distinguishes the saved enclave
+    // from a later one recreated at the same SECS frame — ids are never
+    // reused), with the same adjacency NEENTER checked hop by hop. The
+    // shared walk keeps the microcode and the oracle's SavedChainValidity
+    // rule agreeing on what a resumable nest is.
+    if (!validateFrameChain(saved, [&](hw::Paddr pa) { return secsAt(pa); })
+             .ok()) {
+        return Err::GeneralProtection;
+    }
     for (std::size_t i = 0; i < saved.size(); ++i) {
-        const Secs* secs = secsAt(saved[i].secs);
-        // The id check distinguishes the saved enclave from a later one
-        // recreated at the same SECS frame (ids are never reused).
-        if (!secs || !secs->initialized || secs->eid != saved[i].eid) {
-            return Err::GeneralProtection;
-        }
         const EpcmEntry fe = [&] {
             auto stripe = epcm_.lockFrame(mem_.epcPageIndex(saved[i].tcs));
             return epcm_.entry(mem_.epcPageIndex(saved[i].tcs));
         }();
         if (!fe.valid || fe.type != PageType::Tcs ||
             fe.ownerSecs != saved[i].secs || !tcsAt(saved[i].tcs)) {
-            return Err::GeneralProtection;
-        }
-        // Nesting structure must still hold, exactly as NEENTER checked.
-        if (i > 0 && !secs->hasOuter(saved[i - 1].secs)) {
             return Err::GeneralProtection;
         }
     }

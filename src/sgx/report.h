@@ -39,7 +39,15 @@ struct NestedReport {
     Report base;
     /** Measurement of the primary outer enclave (zero if none). */
     Measurement outerMeasurement{};
-    bool hasOuter = false;
+    /**
+     * Nesting depth along the primary-outer chain: 0 = not nested, 1 =
+     * one live outer above, 2 = outer-of-outer, ... A challenger can
+     * therefore tell a depth-3 tenant from a depth-2 one — the boolean
+     * it replaced collapsed every nested enclave into one bit.
+     */
+    std::uint32_t chainDepth = 0;
+
+    bool nested() const { return chainDepth != 0; }
     /** All associated outers (>1 only under kAttrMultiOuter, §VIII). */
     std::vector<Measurement> outerMeasurements;
     /** Measurements of all inner enclaves associated with this enclave. */

@@ -81,6 +81,14 @@ struct Config {
      * the inline pump keeps single-threaded traces byte-identical.
      */
     bool threadedPollers = false;
+    /**
+     * Serve enclave->host ocalls over shared-memory rings too: when on,
+     * the engine registers as the SDK's OcallRelay and an ocall from any
+     * enclave under an armed root pays zero EEXIT/EENTER transitions
+     * (dedicated per-root ocall rings, armed lazily on first use). Off
+     * by default: the classic ocall path stays byte-identical.
+     */
+    bool ocallRelay = false;
 };
 
 /** Per-call routing, resolved by the caller (serve layer). */
@@ -89,9 +97,39 @@ struct Endpoint {
     sdk::LoadedEnclave* inner = nullptr;
     /** Inner n_ecall the parked poller dispatches to. */
     std::string innerCall;
-    /** Caller slot id; the gateway cross-checks it against the payload
-     *  header before forwarding (defense in depth). */
+    /** Caller slot id; every relay hop cross-checks it against the
+     *  payload header before forwarding (defense in depth). */
     std::uint32_t slot = 0;
+    /**
+     * Full ancestor chain, root first, leaf last. Empty = the classic
+     * two-tier {outer, inner} shape. When set (size >= 2), the engine
+     * arms one ring pair per parent-chain hop: the root hop in host
+     * memory, every deeper hop in its parent's trusted heap, with a
+     * poller parked at each depth.
+     */
+    std::vector<sdk::LoadedEnclave*> chain;
+
+    /** Root of the chain: where the host-facing rings live. */
+    sdk::LoadedEnclave* root() const
+    {
+        return chain.empty() ? outer : chain.front();
+    }
+    /** The leaf's direct parent: its rings live in this hop's heap. */
+    sdk::LoadedEnclave* leafParent() const
+    {
+        return chain.empty() ? outer : chain[chain.size() - 2];
+    }
+    /** The serving leaf enclave. */
+    sdk::LoadedEnclave* leaf() const
+    {
+        return chain.empty() ? inner : chain.back();
+    }
+    /** The chain in canonical form (derived for the classic shape). */
+    std::vector<sdk::LoadedEnclave*> canonicalChain() const
+    {
+        if (!chain.empty()) return chain;
+        return {outer, inner};
+    }
 };
 
 /** Cumulative engine statistics (monotonic). */
@@ -101,12 +139,13 @@ struct EngineStats {
     Counter armings;        ///< channel park operations
     Counter idleFallbacks;  ///< pollers unparked for idleness
     Counter ringStalls;     ///< injected ring-stall faults
+    Counter ocallRelays;    ///< ocalls served over rings (no exit)
 };
 
-class SwitchlessEngine {
+class SwitchlessEngine : public sdk::OcallRelay {
   public:
     SwitchlessEngine(sdk::Urts& urts, Config config);
-    ~SwitchlessEngine();
+    ~SwitchlessEngine() override;
 
     SwitchlessEngine(const SwitchlessEngine&) = delete;
     SwitchlessEngine& operator=(const SwitchlessEngine&) = delete;
@@ -144,6 +183,18 @@ class SwitchlessEngine {
     /** Disarms every tenant channel and unparks the gateway pollers. */
     void disarmAll();
 
+    /**
+     * sdk::OcallRelay: serves one enclave->host ocall over per-root
+     * ocall rings with zero transitions. Declines (std::nullopt, no side
+     * effects) when Config::ocallRelay is off or no channel can be
+     * armed; the SDK then falls back to the classic EEXIT/EENTER path.
+     */
+    std::optional<Result<Bytes>> relayOcall(sdk::LoadedEnclave& enclave,
+                                            hw::CoreId core,
+                                            const std::string& name,
+                                            const sdk::UntrustedFn& fn,
+                                            ByteView arg) override;
+
   private:
     /** The parked-thread half of a threaded poller: the thread blocks on
      *  `cv` (that wait IS the park) until the caller posts a pump job,
@@ -174,21 +225,66 @@ class SwitchlessEngine {
         std::shared_ptr<std::mutex> coreM = std::make_shared<std::mutex>();
     };
 
+    /**
+     * One intermediate hop of a depth->=3 chain (e.g. the gateway of a
+     * CVM -> gateway -> tenant tree): rings + staging in its *parent's*
+     * trusted heap, a poller parked at this hop's depth. Refcounted by
+     * the leaf channels whose chains pass through it. Keyed by the hop
+     * enclave. Flat (depth-2) chains arm no mid channels at all, so
+     * that path is untouched.
+     */
+    struct MidChannel {
+        sdk::LoadedEnclave* parent = nullptr;  ///< heap owner of the rings
+        sdk::LoadedEnclave* self = nullptr;    ///< poller parks here
+        DescRing req;
+        DescRing resp;
+        hw::Vaddr ringReqVa = 0;  ///< parent-heap allocations to free
+        hw::Vaddr ringRespVa = 0;
+        hw::Vaddr stagingVa = 0;
+        hw::CoreId pollerCore = 0;
+        /** Park TCSes, bottom (chain root) first. */
+        std::vector<hw::Paddr> parkTcses;
+        bool parked = false;
+        std::uint64_t lastActive = 0;
+        std::uint64_t users = 0;  ///< leaf channels riding this hop
+        std::shared_ptr<std::mutex> coreM = std::make_shared<std::mutex>();
+    };
+
     struct TenantChannel {
-        sdk::LoadedEnclave* outer = nullptr;
-        sdk::LoadedEnclave* inner = nullptr;
+        sdk::LoadedEnclave* outer = nullptr;  ///< chain root (host rings)
+        sdk::LoadedEnclave* inner = nullptr;  ///< serving leaf
+        /** Heap owner of this channel's rings: the leaf's direct parent
+         *  (== outer for the classic depth-2 shape). */
+        sdk::LoadedEnclave* ringHost = nullptr;
+        /** Canonical chain, root first, leaf last (rebuild detection:
+         *  any pointer mismatch re-arms from scratch). */
+        std::vector<sdk::LoadedEnclave*> chain;
         DescRing req;
         DescRing resp;
         hw::Vaddr ringReqVa = 0;   ///< heap allocations to free on disarm
         hw::Vaddr ringRespVa = 0;
         hw::Vaddr stagingVa = 0;
         hw::CoreId pollerCore = 0;
-        hw::Paddr parkOuterTcs = 0;
-        hw::Paddr parkInnerTcs = 0;
+        /** Park TCSes, bottom (chain root) first. */
+        std::vector<hw::Paddr> parkTcses;
         bool parked = false;
         std::uint64_t lastActive = 0;
         /** Set only when Config::threadedPollers armed a real thread. */
         std::shared_ptr<PollerState> poller;
+    };
+
+    /**
+     * Per-root ocall relay plumbing: dedicated rings + staging in host
+     * memory, armed lazily on the first relayed ocall. Guarded by
+     * `ocallM_` (never the engine lock: an ocall can surface from a
+     * tenant function mid-pump on a poller thread while call() holds
+     * `m_`).
+     */
+    struct OcallChannel {
+        DescRing req;
+        DescRing resp;
+        hw::Vaddr stagingVa = 0;
+        std::uint64_t stagingBytes = 0;
     };
 
     sgx::Machine& machine();
@@ -200,26 +296,37 @@ class SwitchlessEngine {
     void releaseCore(hw::CoreId core);
 
     bool armGateway(sdk::LoadedEnclave* outer);
+    bool armMid(const std::vector<sdk::LoadedEnclave*>& prefix);
     bool armTenant(std::uint64_t key, const Endpoint& ep);
     void disarmGateway(GatewayChannel& gw);
+    void disarmMid(sdk::LoadedEnclave* self);
     void unparkTenant(TenantChannel& ch);
+    void unparkMid(MidChannel& mid);
     void unparkGateway(GatewayChannel& gw);
 
     /** Re-enters an AEX'd parked poller (ERESUME); false -> disarm. */
     bool resumeTenant(TenantChannel& ch);
+    bool resumeMid(MidChannel& mid);
     bool resumeGateway(GatewayChannel& gw);
 
-    /** Idle-fallback check for one tenant channel + its gateway. */
+    /** The mid channels ch's chain passes through, root-side first. */
+    std::vector<MidChannel*> midsFor(const TenantChannel& ch);
+
+    /** Idle-fallback check for one tenant channel + its chain root. */
     void idleCheck(std::uint64_t key, TenantChannel& ch);
 
     /**
-     * The in-enclave middle of a call: gateway poller drains tier 1 and
-     * forwards into tier 2, tenant poller serves without a transition,
-     * gateway poller relays the response back onto the tier-1 ring. In
-     * threaded mode this exact function runs on the channel's parked
-     * poller thread; inline otherwise — same operations, same trace.
+     * The in-enclave middle of a call: each relay hop's poller drains
+     * its own ring and forwards one hop deeper (root poller first, then
+     * every mid in chain order), the leaf poller serves without a
+     * transition, and the response is relayed back up hop by hop onto
+     * the host-facing ring. In threaded mode this exact function runs
+     * on the channel's parked poller thread; inline otherwise — same
+     * operations, same trace. A depth-2 chain has no mids and reduces
+     * exactly to the two-tier pump this generalises.
      */
     Status pumpEnclaveSide(TenantChannel& ch, GatewayChannel& gw,
+                           const std::vector<MidChannel*>& mids,
                            const Endpoint& ep, std::uint64_t reqId);
 
     void startPoller(TenantChannel& ch);
@@ -238,11 +345,16 @@ class SwitchlessEngine {
      */
     mutable std::recursive_mutex m_;
     std::map<sdk::LoadedEnclave*, GatewayChannel> gateways_;
+    std::map<sdk::LoadedEnclave*, MidChannel> mids_;
     std::map<std::uint64_t, TenantChannel> tenants_;
     std::vector<hw::CoreId> freeCores_;
     hw::CoreId nextHighCore_ = 0;
     bool coresInit_ = false;
     std::atomic<std::uint64_t> nextRequestId_{1};
+    /** Ocall relay channels, keyed by chain-root enclave. Own lock —
+     *  see OcallChannel. Lock order: never take m_ under ocallM_. */
+    std::mutex ocallM_;
+    std::map<sdk::LoadedEnclave*, OcallChannel> ocallChannels_;
 };
 
 }  // namespace nesgx::switchless

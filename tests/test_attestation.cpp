@@ -109,7 +109,8 @@ TEST_F(Attestation, NereportAttestsAssociations)
     sgx::ReportData data{};
     auto report = world_->machine.nereport(0, target, data);
     ASSERT_TRUE(report.isOk());
-    EXPECT_FALSE(report.value().hasOuter);
+    EXPECT_FALSE(report.value().nested());
+    EXPECT_EQ(report.value().chainDepth, 0u);
     ASSERT_EQ(report.value().innerMeasurements.size(), 1u);
     EXPECT_EQ(report.value().innerMeasurements[0],
               pair_.inner->mrenclave());
@@ -124,7 +125,8 @@ TEST_F(Attestation, NereportFromInnerNamesOuter)
     sgx::ReportData data{};
     auto report = world_->machine.nereport(0, target, data);
     ASSERT_TRUE(report.isOk());
-    EXPECT_TRUE(report.value().hasOuter);
+    EXPECT_TRUE(report.value().nested());
+    EXPECT_EQ(report.value().chainDepth, 1u);
     EXPECT_EQ(report.value().outerMeasurement, pair_.outer->mrenclave());
     EXPECT_TRUE(report.value().innerMeasurements.empty());
     EXPECT_TRUE(world_->machine.verifyNestedReport(
@@ -195,6 +197,87 @@ TEST_F(Attestation, PolicyFlagsUnexpectedSiblingInner)
     auto relaxed = core::verifyNestedAttestation(
         world_->machine, report.value(), pair_.outer->mrenclave(), policy);
     EXPECT_TRUE(relaxed.noUnexpectedInners);
+}
+
+TEST_F(Attestation, ChainDepthDistinguishesDepth3FromDepth2)
+{
+    // Build a depth-3 chain A -> B -> C (signer-based expectations so
+    // association order is free) and report from every level.
+    World world;
+    std::vector<sdk::LoadedEnclave*> levels;
+    sdk::SignedEnclave prevImage;
+    for (int i = 0; i < 3; ++i) {
+        auto spec = tinySpec("depth-" + std::to_string(i));
+        spec.allowedInners.push_back(expectSigner(authorKey()));
+        if (i > 0) spec.expectedOuter = expectSigner(authorKey());
+        spec.interface->addNEcall(
+            "depth_report",
+            [](sdk::TrustedEnv& env, ByteView) -> Result<Bytes> {
+                sgx::TargetInfo target;
+                target.mrenclave = env.enclave().mrenclave();
+                auto report = env.getNestedReport(target, {});
+                if (!report) return report.status();
+                Bytes out(4);
+                storeLe32(out.data(), report.value().chainDepth);
+                return out;
+            });
+        auto image = sdk::buildImage(spec, authorKey());
+        auto loaded = world.urts->load(image).orThrow("load level");
+        if (i > 0) {
+            world.urts->associate(loaded, levels.back()).orThrow("assoc");
+        }
+        levels.push_back(loaded);
+    }
+
+    auto depthAt = [&](std::vector<sdk::LoadedEnclave*> chain) {
+        auto raw = world.urts->ecallChain(chain, "depth_report", {});
+        EXPECT_TRUE(raw.isOk()) << raw.status().name();
+        return raw.isOk() ? loadLe32(raw.value().data()) : ~0u;
+    };
+    EXPECT_EQ(depthAt({levels[0]}), 0u);
+    EXPECT_EQ(depthAt({levels[0], levels[1]}), 1u);
+    EXPECT_EQ(depthAt({levels[0], levels[1], levels[2]}), 2u);
+
+    // A policy pinning the exact chain depth tells the two apart even
+    // when the outer measurement matches.
+    enter(pair_.inner);
+    sgx::TargetInfo target;
+    target.mrenclave = pair_.outer->mrenclave();
+    auto report = world_->machine.nereport(0, target, {});
+    ASSERT_TRUE(report.isOk());
+    ASSERT_TRUE(world_->machine.eexit(0).isOk());
+
+    core::AttestationPolicy policy;
+    policy.expectedMrEnclave = pair_.inner->mrenclave();
+    policy.expectedOuter = pair_.outer->mrenclave();
+    policy.expectedChainDepth = 1;
+    auto ok = core::verifyNestedAttestation(
+        world_->machine, report.value(), pair_.outer->mrenclave(), policy);
+    EXPECT_TRUE(ok.depthMatch);
+    EXPECT_TRUE(ok.trusted());
+
+    policy.expectedChainDepth = 2;  // demands depth 3; this is depth 2
+    auto rejected = core::verifyNestedAttestation(
+        world_->machine, report.value(), pair_.outer->mrenclave(), policy);
+    EXPECT_TRUE(rejected.macValid);
+    EXPECT_FALSE(rejected.depthMatch);
+    EXPECT_FALSE(rejected.trusted());
+}
+
+TEST_F(Attestation, ChainDepthIsMacProtected)
+{
+    enter(pair_.inner);
+    sgx::TargetInfo target;
+    target.mrenclave = pair_.outer->mrenclave();
+    auto report = world_->machine.nereport(0, target, {});
+    ASSERT_TRUE(report.isOk());
+    ASSERT_TRUE(world_->machine.eexit(0).isOk());
+
+    // Forging a deeper (or shallower) chain breaks the MAC.
+    sgx::NestedReport forged = report.value();
+    forged.chainDepth = 2;
+    EXPECT_FALSE(world_->machine.verifyNestedReport(
+        forged, pair_.outer->mrenclave()));
 }
 
 TEST_F(Attestation, NereportViaSdkEnvWorks)

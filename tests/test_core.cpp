@@ -143,6 +143,38 @@ TEST(Dump, StatsAndEpcUsageRender)
     EXPECT_NE(epc.find("owner eid 1"), std::string::npos);
 }
 
+TEST(Dump, CycleInAssociationGraphIsFlaggedAndTerminates)
+{
+    // Regression: a corrupted association graph containing a cycle (an
+    // enclave reachable as its own descendant) used to recurse
+    // dumpSubtree without bound. No legal NASSO sequence produces one —
+    // hand-wire A <-> B directly in the SECS table and check the dump
+    // reports the back edge and returns.
+    World world;
+    auto oa = tinySpec("cyc-a");
+    oa.allowedInners.push_back(expectSigner(authorKey()));
+    auto ib = tinySpec("cyc-b");
+    ib.expectedOuter = expectSigner(authorKey());
+    auto a = world.urts->load(sdk::buildImage(oa, authorKey())).orThrow("a");
+    auto b = world.urts->load(sdk::buildImage(ib, authorKey())).orThrow("b");
+    ASSERT_TRUE(world.urts->associate(b, a).isOk());
+
+    sgx::Secs* sa = world.machine.secsAt(a->secsPage());
+    sgx::Secs* sb = world.machine.secsAt(b->secsPage());
+    ASSERT_NE(sa, nullptr);
+    ASSERT_NE(sb, nullptr);
+    sa->outerEids.push_back(b->secsPage());
+    sb->innerEids.push_back(a->secsPage());
+
+    std::string tree = core::dumpEnclaveTree(world.machine);
+    EXPECT_NE(tree.find("[CYCLE"), std::string::npos);
+    // Both enclaves render as real nodes before the back edge fires.
+    EXPECT_NE(tree.find("- eid " + std::to_string(sa->eid) + " @"),
+              std::string::npos);
+    EXPECT_NE(tree.find("- eid " + std::to_string(sb->eid) + " @"),
+              std::string::npos);
+}
+
 TEST(Dump, MultiOuterAnnotated)
 {
     World world;

@@ -227,7 +227,8 @@ TEST_F(ThreeLevels, NereportNamesDirectRelationsOnly)
     sgx::TargetInfo target{mid_->mrenclave()};
     auto report = world_->machine.nereport(0, target, sgx::ReportData{});
     ASSERT_TRUE(report.isOk());
-    EXPECT_TRUE(report.value().hasOuter);
+    EXPECT_TRUE(report.value().nested());
+    EXPECT_EQ(report.value().chainDepth, 1u);  // mid sits one hop down
     EXPECT_EQ(report.value().outerMeasurement, top_->mrenclave());
     ASSERT_EQ(report.value().innerMeasurements.size(), 1u);
     EXPECT_EQ(report.value().innerMeasurements[0], leaf_->mrenclave());

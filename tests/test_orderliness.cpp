@@ -29,6 +29,50 @@ TEST_P(Orderliness, FixedSeedCorpusHoldsInvariants)
     }
 }
 
+/** The depth tier (--depth-ops): the DeepChain composite parks 2- and
+ *  3-deep nests in savedFrames every few steps; the invariants — and in
+ *  particular the SavedChainValidity rule those nests feed — must hold
+ *  across a fixed seed corpus. */
+TEST_P(Orderliness, DepthOpsCorpusHoldsInvariants)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        RunConfig config;
+        config.seed = seed;
+        config.steps = 240;
+        config.taggedTlb = GetParam();
+        config.depthOps = true;
+        auto failure = runSeed(config);
+        if (failure) {
+            RunFailure shrunk = shrinkFailure(*failure);
+            FAIL() << formatFailure(shrunk);
+        }
+    }
+}
+
+/** A hand-written DeepChain step (odd index = the third hop is
+ *  legitimately associated) parks a full depth-3 nest; the saved chain
+ *  must satisfy SavedChainValidity, and a later teardown must replay
+ *  violation-free. */
+TEST_P(Orderliness, DeepChainCompositeReplaysClean)
+{
+    std::vector<Step> steps;
+    // The composite builds root A and mid B itself; the leaf must
+    // already exist for the third hop to fire. index=5: leaf slot 5%3=2
+    // (C), odd -> C is associated under B before the hop, so the parked
+    // nest is the legitimate depth-3 chain A -> B -> C.
+    steps.push_back({Op::Build, 0, 2, 0, 0});
+    steps.push_back({Op::DeepChain, 0, 0, 1, 5});
+    // The nest is parked; resume it and unwind completely.
+    steps.push_back({Op::Eresume, 0, 0, 0, 0});
+    steps.push_back({Op::Neexit, 0, 0, 0, 0});
+    steps.push_back({Op::Neexit, 0, 0, 0, 0});
+    steps.push_back({Op::Eexit, 0, 0, 0, 0});
+
+    auto violation = replay(steps, GetParam());
+    ASSERT_FALSE(violation.has_value())
+        << ruleName(violation->rule) << ": " << violation->message;
+}
+
 /** Deterministic smoke of the machinery itself: a hand-written sequence
  *  that builds, nests, AEXes and resumes must replay violation-free. */
 TEST_P(Orderliness, HandWrittenNestSequenceReplaysClean)

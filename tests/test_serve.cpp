@@ -56,6 +56,19 @@ pressedConfig(bool taggedTlb)
     return config;
 }
 
+/** Cvm topology: one shared depth-1 root above the gateways, tenants
+ *  at depth 3. Root shape kept small so pressure tests stay fast. */
+serve::TenantService::Config
+cvmServiceConfig()
+{
+    auto sc = smallServiceConfig();
+    sc.registry.topology = serve::Topology::Cvm;
+    sc.registry.cvmCodePages = 8;
+    sc.registry.cvmHeapPages = 24;
+    sc.registry.cvmTcs = 4;
+    return sc;
+}
+
 TEST(ServeRegistry, SpillsIntoFreshGatewaysWhenFull)
 {
     World world;
@@ -536,6 +549,234 @@ TEST(ServeSelfHealing, TransientLeafFailureRetriesWithinBudget)
     EXPECT_EQ(service.pool().retries(), 1u);
     EXPECT_EQ(service.pool().rebuilds(), 0u);
     EXPECT_EQ(client.failures(), 0u);
+}
+
+/** Depth-3 dispatch accounting: under the Cvm topology one batch costs
+ *  exactly one EENTER (CVM root) plus two NEENTERs (gateway, tenant) no
+ *  matter how many requests ride in it — the flat amortization claim,
+ *  one level deeper. */
+void
+cvmBatchCostsOneEnterPlusTwoNeenters(bool taggedTlb)
+{
+    auto config = World::smallConfig();
+    config.taggedTlb = taggedTlb;
+    World world(config);
+    auto sc = cvmServiceConfig();
+    sc.pool.batchSize = 8;
+    serve::TenantService service(*world.urts, sc);
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    EXPECT_EQ(service.registry().topology(), serve::Topology::Cvm);
+    ASSERT_NE(service.registry().cvmRoot(), nullptr);
+    auto chain = service.registry().dispatchChain(
+        *service.registry().find(0));
+    ASSERT_EQ(chain.size(), 3u);
+    EXPECT_EQ(chain.front(), service.registry().cvmRoot());
+
+    const auto before = world.machine.trace().counters();
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    std::uint64_t verified = 0;
+    for (serve::Completion& done : service.drain()) {
+        if (client.onResponse(done.sealedResponse)) ++verified;
+    }
+    const auto& after = world.machine.trace().counters();
+
+    EXPECT_EQ(verified, 8u);
+    EXPECT_EQ(client.failures(), 0u);
+    EXPECT_EQ(after.eenterCount - before.eenterCount, 1u);
+    EXPECT_EQ(after.neenterCount - before.neenterCount, 2u);
+}
+
+TEST(ServeCvm, BatchCostsOneEnterPlusTwoNeentersFlushedTlb)
+{
+    cvmBatchCostsOneEnterPlusTwoNeenters(false);
+}
+
+TEST(ServeCvm, BatchCostsOneEnterPlusTwoNeentersTaggedTlb)
+{
+    cvmBatchCostsOneEnterPlusTwoNeenters(true);
+}
+
+/** Six depth-3 tenants on an EPC that cannot hold the whole tree: the
+ *  pressure manager pages tenant subtrees out, the registry reloads
+ *  chains transparently, and every response still verifies. The CVM
+ *  root's pool is unevictable, so the floor is a little above the flat
+ *  pressure test's. */
+void
+cvmSurvivesEpcPressure(bool taggedTlb)
+{
+    auto config = World::smallConfig();
+    config.taggedTlb = taggedTlb;
+    config.prmBytes = 240 * hw::kPageSize;
+    World world(config);
+    serve::TenantService service(*world.urts, cvmServiceConfig());
+
+    const Workload mix[] = {Workload::Echo, Workload::Sql, Workload::Svm};
+    std::vector<std::unique_ptr<serve::TenantClient>> clients;
+    for (TenantId t = 0; t < 6; ++t) {
+        ASSERT_TRUE(service.addTenant(t, mix[t % 3]).isOk()) << t;
+        clients.push_back(
+            std::make_unique<serve::TenantClient>(t, mix[t % 3]));
+    }
+
+    std::uint64_t verified = 0;
+    auto drainInto = [&]() {
+        for (serve::Completion& done : service.drain()) {
+            if (clients[done.tenant]->onResponse(done.sealedResponse)) {
+                ++verified;
+            }
+        }
+    };
+    for (int round = 0; round < 12; ++round) {
+        for (TenantId t = 0; t < 6; ++t) {
+            ASSERT_TRUE(
+                service.submit(t, clients[t]->nextRequest()).isOk());
+        }
+        if (round % 4 == 3) {
+            service.pump();
+            drainInto();
+        }
+    }
+    service.pump();
+    drainInto();
+
+    EXPECT_EQ(verified, 72u);
+    for (const auto& client : clients) {
+        EXPECT_EQ(client->failures(), 0u);
+    }
+    const auto& counters = world.machine.trace().counters();
+    EXPECT_GE(counters.serveTenantEvictions, 1u)
+        << "EPC was not actually under pressure";
+    EXPECT_GE(counters.serveTenantReloads, 1u);
+}
+
+TEST(ServeCvm, SurvivesEpcPressureFlushedTlb)
+{
+    cvmSurvivesEpcPressure(false);
+}
+
+TEST(ServeCvm, SurvivesEpcPressureTaggedTlb)
+{
+    cvmSurvivesEpcPressure(true);
+}
+
+/** The chaos scenario at depth 3: a depth-3 tenant whose swapped-out
+ *  state is corrupted in untrusted memory must be rebuilt in place
+ *  under its gateway and then serve verified responses again. */
+void
+cvmRebuildsPoisonedTenant(bool taggedTlb)
+{
+    auto config = World::smallConfig();
+    config.taggedTlb = taggedTlb;
+    World world(config);
+    serve::TenantService service(*world.urts, cvmServiceConfig());
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    serve::TenantClient client(0, Workload::Echo);
+
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    for (serve::Completion& done : service.drain()) {
+        ASSERT_TRUE(client.onResponse(done.sealedResponse));
+    }
+
+    auto plan = fault::FaultPlan::parse("ewb-corrupt@n=1").orThrow("plan");
+    fault::FaultInjector injector(plan, 7);
+    world.machine.setFaultInjector(&injector);
+
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    EXPECT_GT(service.registry().evictTenant(*service.registry().find(0)),
+              0u);
+    service.pump();
+
+    std::uint64_t rebuildMarked = 0;
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_FALSE(done.ok);
+        if (done.tenantRebuilt && rebuildMarked++ == 0) {
+            client.onTenantRebuilt();
+        }
+    }
+    EXPECT_GE(rebuildMarked, 1u);
+    EXPECT_GE(service.pool().rebuilds(), 1u);
+
+    // The rebuilt depth-3 tenant answers verified again: the fresh inner
+    // re-associated under the same gateway, still below the CVM root.
+    ASSERT_EQ(service.registry()
+                  .dispatchChain(*service.registry().find(0))
+                  .size(),
+              3u);
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(service.submit(0, client.nextRequest()).isOk());
+    }
+    service.pump();
+    std::uint64_t verifiedAfter = 0;
+    for (serve::Completion& done : service.drain()) {
+        EXPECT_TRUE(client.onResponse(done.sealedResponse));
+        ++verifiedAfter;
+    }
+    EXPECT_EQ(verifiedAfter, 4u);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST(ServeCvm, RebuildsPoisonedTenantFlushedTlb)
+{
+    cvmRebuildsPoisonedTenant(false);
+}
+
+TEST(ServeCvm, RebuildsPoisonedTenantTaggedTlb)
+{
+    cvmRebuildsPoisonedTenant(true);
+}
+
+TEST(ServeCvm, SubtreeEvictAndRebuildRoundTrip)
+{
+    // The registry's whole-subtree operations: page a gateway's subtree
+    // out and serve through the transparent chain reload, then rebuild
+    // the subtree bottom-up and verify the fleet recovers.
+    World world;
+    serve::TenantService service(*world.urts, cvmServiceConfig());
+    ASSERT_TRUE(service.addTenant(0, Workload::Echo).isOk());
+    ASSERT_TRUE(service.addTenant(1, Workload::Echo).isOk());
+    serve::TenantClient c0(0, Workload::Echo), c1(1, Workload::Echo);
+
+    auto serveRound = [&](serve::TenantClient& client, TenantId id) {
+        ASSERT_TRUE(service.submit(id, client.nextRequest()).isOk());
+        service.pump();
+        auto done = service.drain();
+        ASSERT_EQ(done.size(), 1u);
+        ASSERT_TRUE(done[0].ok) << done[0].status.name();
+        ASSERT_TRUE(client.onResponse(done[0].sealedResponse));
+    };
+    serveRound(c0, 0);
+    serveRound(c1, 1);
+
+    // Both tenants share gateway 0 (tenantsPerOuter = 3).
+    ASSERT_EQ(service.registry().find(0)->gatewayIndex, 0u);
+    ASSERT_EQ(service.registry().find(1)->gatewayIndex, 0u);
+    EXPECT_GT(service.registry().evictSubtree(0), 0u);
+
+    // Dispatch reloads the evicted chain transparently.
+    serveRound(c0, 0);
+    serveRound(c1, 1);
+    EXPECT_GE(service.registry().find(0)->reloads, 1u);
+
+    // The recovery of last resort: rebuild the whole gateway subtree.
+    // Every tenant in it loses its in-enclave state, so the clients
+    // reseal from fresh sequences.
+    ASSERT_TRUE(service.registry().rebuildGatewaySubtree(0).isOk());
+    c0.onTenantRebuilt();
+    c1.onTenantRebuilt();
+    serveRound(c0, 0);
+    serveRound(c1, 1);
+    EXPECT_EQ(c0.failures(), 0u);
+    EXPECT_EQ(c1.failures(), 0u);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include "harness.h"
 #include "serve/client.h"
 #include "serve/service.h"
+#include "switchless/engine.h"
 #include "switchless/ring.h"
 
 namespace nesgx::test {
@@ -238,6 +239,53 @@ TEST_P(SwitchlessTest, IdlePollerFallsBackThenRearmsOnNextCall)
     serveOne();
     EXPECT_EQ(counters.eenterCount + counters.neenterCount, transitionsBase);
     EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(SwitchlessTest, OcallRelayServesInEnclaveOcallWithZeroTransitions)
+{
+    // The engine registered as the SDK's OcallRelay serves an in-enclave
+    // ocall over shared-memory rings: the classic path would pay one
+    // EEXIT + one EENTER per ocall; the relayed path must pay none.
+    World world(machineConfig(4));
+    switchless::Config cfg;
+    cfg.enabled = true;
+    cfg.ocallRelay = true;
+    switchless::SwitchlessEngine engine(*world.urts, cfg);
+    world.urts->setOcallRelay(&engine);
+
+    world.urts->registerOcall(
+        "host_mark", [](ByteView arg) -> Result<Bytes> {
+            Bytes out(arg.begin(), arg.end());
+            out.push_back(0x7f);  // proof the host function actually ran
+            return out;
+        });
+    auto spec = tinySpec("oc-relay");
+    spec.interface->addEcall(
+        "do_ocall", [](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            return env.ocall("host_mark", arg);
+        });
+    auto e =
+        world.urts->load(sdk::buildImage(spec, authorKey())).orThrow("load");
+
+    const auto& counters = world.machine.trace().counters();
+    // First call arms the per-root ocall rings lazily.
+    Bytes expect = bytesOf("abc");
+    expect.push_back(0x7f);
+    EXPECT_EQ(world.urts->ecall(e, "do_ocall", bytesOf("abc")).orThrow("warm"),
+              expect);
+    EXPECT_EQ(engine.engineStats().ocallRelays, 1u);
+
+    // Steady state: the ecall itself is exactly one EENTER/EEXIT pair —
+    // the ocall inside it must not add a transition in either direction.
+    const std::uint64_t eenters = counters.eenterCount;
+    const std::uint64_t eexits = counters.eexitCount;
+    EXPECT_EQ(world.urts->ecall(e, "do_ocall", bytesOf("abc")).orThrow("call"),
+              expect);
+    EXPECT_EQ(counters.eenterCount, eenters + 1);
+    EXPECT_EQ(counters.eexitCount, eexits + 1);
+    EXPECT_EQ(engine.engineStats().ocallRelays, 2u);
+
+    world.urts->setOcallRelay(nullptr);
 }
 
 TEST_P(SwitchlessTest, ExpiredBatchCompletesTypedDeadlineNeverSilent)

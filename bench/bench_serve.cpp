@@ -32,10 +32,24 @@
  * while a wall-clock timer runs — requests/sec at 1, 2 and 4 threads,
  * every response still verified.
  *
- * The closing section nests the whole fleet one level deeper (Topology
+ * The CVM section nests the whole fleet one level deeper (Topology
  * ::Cvm): a depth-1 CVM root hosts every gateway as a depth-2 inner and
  * tenants serve at depth 3, over per-hop switchless rings under EPC
  * oversubscription — transitions per request must still collapse to ~0.
+ *
+ * Every run onboards through the attested trust path: tenants are
+ * admitted only after NEREPORT chain verification, and clients seal
+ * with the EGETKEY-rooted session key the verifier derived rather than
+ * an out-of-band secret.
+ *
+ * The migration section splits the 24-tenant 4x-oversubscribed fleet
+ * across two simulated host Machines behind a Fleet router and
+ * live-migrates every tenant mid-run — gateway moves on the same host
+ * plus cross-host moves that re-wrap the sealed snapshot between root
+ * of trust domains — while 480/480 sealed responses must still verify
+ * with sequence continuity. The closing chaos sweep re-runs the depth-3
+ * CVM tree with the fault injector armed (including migrate-stage
+ * faults) and migrations firing mid-storm.
  *
  * JSON keys asserted by CI: neenter_per_req_batch1 > neenter_per_req_batch8,
  * pressure_evictions >= 10, pressure_integrity_failures == 0,
@@ -43,8 +57,11 @@
  * transitions_per_request_switchless <= 0.01 <
  * transitions_per_request_batched < transitions_per_request_classic,
  * requests_per_sec_t1 <= requests_per_sec_t2 <= requests_per_sec_t4,
- * and cvm_verified == cvm_submitted with cvm_transitions_per_request
- * <= 0.01 under cvm_evictions >= 10.
+ * cvm_verified == cvm_submitted with cvm_transitions_per_request
+ * <= 0.01 under cvm_evictions >= 10, migrate_verified ==
+ * migrate_submitted with migrate_gateway_moves >= tenants and
+ * migrate_host_moves >= 1 at migrate_aborted == 0, and
+ * cvm_chaos_silent_empties == 0 with cvm_chaos_migrations >= 1.
  */
 #include <chrono>
 #include <memory>
@@ -53,6 +70,7 @@
 
 #include "bench_util.h"
 #include "fault/injector.h"
+#include "migrate/engine.h"
 #include "serve/client.h"
 #include "serve/service.h"
 #include "trace/chrome_sink.h"
@@ -91,6 +109,9 @@ struct ServeResult {
     std::uint64_t breakerCloses = 0;
     std::uint64_t recovered = 0;
     Histogram rebuildLatency;
+    // Migration-mode (migrateEvery > 0) extras.
+    std::uint64_t migrations = 0;       ///< committed gateway moves
+    std::uint64_t migrateAborted = 0;   ///< aborted attempts (source intact)
 };
 
 struct ServeParams {
@@ -104,6 +125,9 @@ struct ServeParams {
     bool cvm = false;               ///< depth-3 CVM -> gateway -> tenant tree
     std::string faultSpec;          ///< FaultPlan spec; empty = no injector
     std::uint64_t faultSeed = 1;
+    /** Every N submitted requests, live-migrate the next tenant (round
+     *  robin) to another gateway mid-run; 0 = no migrations. */
+    std::uint64_t migrateEvery = 0;
     std::string chromeTracePath;
 };
 
@@ -155,6 +179,10 @@ runServe(const ServeParams& params)
         sc.pool.breakerThreshold = 1;
         sc.pool.breakerCooldownCycles = 150000;
     }
+    // Attested trust path everywhere: onboarding runs the NEREPORT
+    // chain challenge and the clients below seal with the verifier's
+    // EGETKEY-rooted session keys instead of out-of-band secrets.
+    sc.attestOnboarding = true;
     serve::TenantService service(*world.urts, sc);
 
     // sql expectations replay on a client-side shadow database, which
@@ -173,8 +201,9 @@ runServe(const ServeParams& params)
     for (std::uint64_t t = 0; t < params.tenants; ++t) {
         auto workload = mix[t % mix.size()];
         service.addTenant(serve::TenantId(t), workload).orThrow("tenant");
+        const Bytes key = service.sessionKeyFor(serve::TenantId(t));
         clients.push_back(std::make_unique<serve::TenantClient>(
-            serve::TenantId(t), workload));
+            serve::TenantId(t), workload, key));
     }
 
     // Park the switchless pollers while the world is still fault-free,
@@ -220,7 +249,9 @@ runServe(const ServeParams& params)
         }
     };
 
+    migrate::MigrationEngine migrator;
     std::uint64_t cursor = 0;
+    std::uint64_t migrateCursor = 0;
     while (result.submitted < params.requests) {
         const serve::TenantId t = serve::TenantId(cursor % params.tenants);
         ++cursor;
@@ -235,6 +266,14 @@ runServe(const ServeParams& params)
         }
         st.orThrow("submit");
         ++result.submitted;
+        // Mid-run live migration: the tenant's sealed session (and any
+        // queued requests) must survive the gateway move transparently.
+        if (params.migrateEvery > 0 &&
+            result.submitted % params.migrateEvery == 0) {
+            (void)migrator.migrateToGateway(
+                service,
+                serve::TenantId(migrateCursor++ % params.tenants));
+        }
         // Closed loop pumps once per full round of batches; open loop
         // keeps bursting until backpressure does the pacing.
         const std::uint64_t window = params.openLoop
@@ -247,6 +286,8 @@ runServe(const ServeParams& params)
     }
     service.pump();
     drainInto();
+    result.migrations = migrator.stats().gatewayMoves;
+    result.migrateAborted = migrator.stats().aborted;
 
     if (injector) {
         // Recovery phase: stop injecting, then drive every tenant until
@@ -350,6 +391,7 @@ runThreadScaling(std::size_t threads, std::uint64_t tenants,
     // 24 tenants / 3 per outer = 8 gateways: divisible by every swept
     // thread count, so the gateway-partitioned workers stay balanced.
     sc.registry.tenantsPerOuter = 3;
+    sc.attestOnboarding = true;
     serve::TenantService service(*world.urts, sc);
 
     const std::vector<serve::Workload> mix = {serve::Workload::Echo,
@@ -359,8 +401,9 @@ runThreadScaling(std::size_t threads, std::uint64_t tenants,
     for (std::uint64_t t = 0; t < tenants; ++t) {
         auto workload = mix[t % mix.size()];
         service.addTenant(serve::TenantId(t), workload).orThrow("tenant");
+        const Bytes key = service.sessionKeyFor(serve::TenantId(t));
         clients.push_back(std::make_unique<serve::TenantClient>(
-            serve::TenantId(t), workload));
+            serve::TenantId(t), workload, key));
     }
 
     ScalingResult result;
@@ -396,6 +439,7 @@ runThreadScaling(std::size_t threads, std::uint64_t tenants,
 int
 main(int argc, char** argv)
 {
+    using namespace nesgx;
     using namespace nesgx::bench;
     Flags flags(argc, argv);
     std::uint64_t tenants = flags.u64("tenants", 6);
@@ -403,7 +447,7 @@ main(int argc, char** argv)
     const std::string chromeTrace = flags.str("chrome-trace", "");
     JsonReport json;
 
-    header("Serve bench 1/7: NEENTER per request vs worker batch size");
+    header("Serve bench 1/9: NEENTER per request vs worker batch size");
     note("closed loop, ample EPC; one EENTER+NEENTER per dispatched batch,");
     note("so transitions per request fall as batch occupancy rises");
     std::printf("\n  %6s %10s %12s %12s %14s %10s %10s\n", "batch", "verified",
@@ -430,7 +474,7 @@ main(int argc, char** argv)
                     (unsigned long long)r.latency.p99());
         json.set("neenter_per_req_batch" + std::to_string(batch), perReq);
         // Per-mode EENTER+NEENTER per request (post-arming snapshot),
-        // the axis the switchless ablation in section 5/6 completes:
+        // the axis the switchless ablation in section 5/9 completes:
         // batch-1 is the classic one-transition-pair-per-request mode,
         // batch-8 the amortized mode.
         if (batch == 1) {
@@ -446,7 +490,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 2/7: open-loop burst arrivals with deadlines");
+    header("Serve bench 2/9: open-loop burst arrivals with deadlines");
     note("the whole request volume arrives before the pool runs; bounded");
     note("queues push back (Err::Backpressure) and queued requests that");
     note("outlive their deadline are shed at dequeue, never dispatched");
@@ -479,7 +523,7 @@ main(int argc, char** argv)
         json.set("open_loop_p99_cycles", double(r.latency.p99()));
     }
 
-    header("Serve bench 3/7: correctness under EPC pressure");
+    header("Serve bench 3/9: correctness under EPC pressure");
     note("4x the tenants on a small EPC: the pressure manager pages cold");
     note("idle tenants out (EBLOCK/ETRACK/EWB) and the registry reloads");
     note("them transparently (ELDU); every sealed response must still");
@@ -523,7 +567,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 4/7: chaos — fault injection and self-healing");
+    header("Serve bench 4/9: chaos — fault injection and self-healing");
     note("the EPC-pressure scenario with the deterministic fault injector");
     note("armed: storage corruption, refused leaves, allocator failures and");
     note("interrupt storms; the pool retries transients, rebuilds poisoned");
@@ -595,7 +639,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 5/7: switchless ablation — killing the transition tax");
+    header("Serve bench 5/9: switchless ablation — killing the transition tax");
     note("the 4x-oversubscribed tenant fleet again, dispatched over the");
     note("exit-less ring channels: pollers park once up front (classic");
     note("EENTER/NEENTER, before the metric snapshot), then the steady");
@@ -654,7 +698,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 6/7: requests/sec vs real OS worker threads");
+    header("Serve bench 6/9: requests/sec vs real OS worker threads");
     note("a 24-tenant fleet with its whole request volume queued up front;");
     note("the parallel pool drains it with one OS thread per simulated core");
     note("(sharded EPCM, per-core TLBs, merged trace) and a wall-clock timer");
@@ -700,7 +744,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 7/7: depth-3 CVM tree — nesting the whole fleet");
+    header("Serve bench 7/9: depth-3 CVM tree — nesting the whole fleet");
     note("--topology cvm: one depth-1 CVM root hosts every gateway as a");
     note("depth-2 inner and tenants serve at depth 3 (paper §VIII). The");
     note("oversubscribed fleet again, dispatched over per-hop switchless");
@@ -769,6 +813,226 @@ main(int argc, char** argv)
                          "FAIL: cvm run expected >= 10 evictions, got "
                          "%llu\n",
                          (unsigned long long)r.evictions);
+            return 1;
+        }
+    }
+
+    header("Serve bench 8/9: live migration — two hosts, one sealed session");
+    note("the 24-tenant 4x-oversubscribed fleet split across two simulated");
+    note("host Machines (distinct root keys) behind a Fleet router; every");
+    note("tenant live-migrates to a different gateway mid-run and a rolling");
+    note("subset crosses hosts — EXPORT/DRAIN/STAGE/ATTEST/IMPORT/COMMIT");
+    note("with the snapshot re-wrapped between root of trust domains — and");
+    note("every sealed response must still verify with sequence continuity");
+    {
+        const std::uint64_t migrateTenants = 24;
+        const std::uint64_t perTenant = 20;
+        const std::uint64_t total = migrateTenants * perTenant;  // 480
+
+        auto mkConfig = [&](std::uint64_t seed) {
+            auto config = defaultConfig();
+            config.rngSeed = seed;  // distinct sealing-key root per host
+            config.prmBytes = (1024 + 64) * hw::kPageSize;
+            return config;
+        };
+        BenchWorld hostA(mkConfig(42));
+        BenchWorld hostB(mkConfig(99));
+
+        serve::TenantService::Config sc;
+        sc.pool.batchSize = 8;
+        sc.attestOnboarding = true;
+        serve::TenantService serviceA(*hostA.urts, sc);
+        serve::TenantService serviceB(*hostB.urts, sc);
+
+        migrate::Fleet fleet;
+        fleet.addHost(serviceA);
+        fleet.addHost(serviceB);
+        migrate::MigrationEngine engine;
+
+        const std::vector<serve::Workload> mix = {serve::Workload::Echo,
+                                                  serve::Workload::Sql,
+                                                  serve::Workload::Svm};
+        std::vector<std::unique_ptr<serve::TenantClient>> clients;
+        for (std::uint64_t t = 0; t < migrateTenants; ++t) {
+            auto workload = mix[t % mix.size()];
+            fleet.addTenant(serve::TenantId(t), workload, 0)
+                .orThrow("tenant");
+            const Bytes key =
+                fleet.hostOf(serve::TenantId(t))
+                    ->sessionKeyFor(serve::TenantId(t));
+            clients.push_back(std::make_unique<serve::TenantClient>(
+                serve::TenantId(t), workload, key));
+        }
+
+        ServeResult r;
+        std::vector<std::uint64_t> moves(migrateTenants, 0);
+        auto drainFleet = [&]() {
+            for (serve::Completion& done : fleet.drainAll()) {
+                r.latency.add(done.latencyCycles);
+                if (done.ok &&
+                    clients[done.tenant]->onResponse(done.sealedResponse)) {
+                    ++r.verified;
+                }
+            }
+        };
+
+        std::uint64_t gwCursor = 0;
+        for (std::uint64_t round = 0; round < perTenant; ++round) {
+            for (std::uint64_t t = 0; t < migrateTenants; ++t) {
+                fleet.submit(serve::TenantId(t), clients[t]->nextRequest())
+                    .orThrow("submit");
+                ++r.submitted;
+            }
+            fleet.pumpAll();
+            drainFleet();
+            // Two gateway moves per round (40 total: every tenant at
+            // least once) plus one cross-host move per round, round
+            // robin so tenants bounce between the two machines.
+            for (int g = 0; g < 2; ++g) {
+                const serve::TenantId id =
+                    serve::TenantId(gwCursor++ % migrateTenants);
+                if (engine.migrateToGateway(*fleet.hostOf(id), id)) {
+                    ++moves[id];
+                }
+            }
+            const serve::TenantId hop =
+                serve::TenantId(round % migrateTenants);
+            const std::size_t dst = 1 - fleet.hostIndexOf(hop);
+            if (fleet.migrateAcross(engine, hop, dst)) {
+                ++moves[hop];
+            }
+        }
+        fleet.pumpAll();
+        drainFleet();
+        for (const auto& client : clients) {
+            r.failures += client->failures();
+        }
+        std::uint64_t unmoved = 0;
+        for (std::uint64_t m : moves) {
+            if (m == 0) ++unmoved;
+        }
+
+        const auto& ms = engine.stats();
+        std::printf("\n  tenants %llu across %zu hosts, verified %llu/%llu, "
+                    "failures %llu\n",
+                    (unsigned long long)migrateTenants, fleet.hostCount(),
+                    (unsigned long long)r.verified,
+                    (unsigned long long)r.submitted,
+                    (unsigned long long)r.failures);
+        std::printf("  migrations: %llu attempted, %llu gateway + %llu "
+                    "cross-host committed, %llu aborted\n",
+                    (unsigned long long)ms.attempts,
+                    (unsigned long long)ms.gatewayMoves,
+                    (unsigned long long)ms.hostMoves,
+                    (unsigned long long)ms.aborted);
+        std::printf("  pages drained %llu, requests requeued %llu, tenants "
+                    "never moved %llu\n",
+                    (unsigned long long)ms.pagesDrained,
+                    (unsigned long long)ms.requeued,
+                    (unsigned long long)unmoved);
+        std::printf("  migration cycles: p50 %llu  p95 %llu\n",
+                    (unsigned long long)ms.latency.p50(),
+                    (unsigned long long)ms.latency.p95());
+        std::printf("  request cycles:   p50 %llu  p95 %llu  p99 %llu\n",
+                    (unsigned long long)r.latency.p50(),
+                    (unsigned long long)r.latency.p95(),
+                    (unsigned long long)r.latency.p99());
+        json.set("migrate_submitted", double(r.submitted));
+        json.set("migrate_verified", double(r.verified));
+        json.set("migrate_integrity_failures", double(r.failures));
+        json.set("migrate_attempts", double(ms.attempts));
+        json.set("migrate_gateway_moves", double(ms.gatewayMoves));
+        json.set("migrate_host_moves", double(ms.hostMoves));
+        json.set("migrate_aborted", double(ms.aborted));
+        json.set("migrate_pages_drained", double(ms.pagesDrained));
+        json.set("migrate_p50_cycles", double(ms.latency.p50()));
+        json.set("migrate_p95_cycles", double(ms.latency.p95()));
+        if (r.failures > 0 || r.verified != total || r.submitted != total) {
+            std::fprintf(stderr,
+                         "FAIL: migration run must verify every request "
+                         "(%llu/%llu, %llu failures)\n",
+                         (unsigned long long)r.verified,
+                         (unsigned long long)total,
+                         (unsigned long long)r.failures);
+            return 1;
+        }
+        if (ms.gatewayMoves < migrateTenants || ms.hostMoves < 1 ||
+            ms.aborted > 0 || unmoved > 0) {
+            std::fprintf(stderr,
+                         "FAIL: migration run must move every tenant (gw "
+                         "%llu, host %llu, aborted %llu, unmoved %llu)\n",
+                         (unsigned long long)ms.gatewayMoves,
+                         (unsigned long long)ms.hostMoves,
+                         (unsigned long long)ms.aborted,
+                         (unsigned long long)unmoved);
+            return 1;
+        }
+    }
+
+    header("Serve bench 9/9: chaos x topology — CVM tree under fault storm");
+    note("the depth-3 CVM fleet with the fault injector armed (paging");
+    note("corruption, refused leaves, allocator failures, interrupt storms");
+    note("AND migrate-stage faults) while live migrations fire mid-storm:");
+    note("aborted moves must roll back to an intact source, committed moves");
+    note("must carry the sealed session, and every request must end");
+    note("verified or with a typed error — never a silent empty");
+    {
+        ServeParams params;
+        params.tenants = tenants * 4;
+        params.requests = requests * 2;
+        params.batch = 8;
+        params.epcPages = 1280;
+        params.cvm = true;
+        params.faultSpec =
+            "ewb-corrupt@n=3; ewb-drop-slot@n=9; eldu-fail@n=15;"
+            "eenter-fail@every=40; neenter-fail@every=45;"
+            "epc-alloc-fail@every=150; aex-storm@every=100;"
+            "migrate-export-fail@n=2; migrate-import-fail@n=2";
+        params.faultSeed = flags.u64("fault-seed", 7);
+        params.migrateEvery = 20;
+        ServeResult r = runServe(params);
+        std::printf("\n  faults injected %llu at %llu sites; verified %llu, "
+                    "typed errors %llu, silent empties %llu\n",
+                    (unsigned long long)r.faultsInjected,
+                    (unsigned long long)r.faultSites,
+                    (unsigned long long)r.verified,
+                    (unsigned long long)r.typedErrors,
+                    (unsigned long long)r.silentEmpties);
+        std::printf("  migrations committed %llu, aborted %llu; rebuilds "
+                    "%llu, recovered %llu/%llu\n",
+                    (unsigned long long)r.migrations,
+                    (unsigned long long)r.migrateAborted,
+                    (unsigned long long)r.rebuilds,
+                    (unsigned long long)r.recovered,
+                    (unsigned long long)params.tenants);
+        json.set("cvm_chaos_submitted", double(r.submitted));
+        json.set("cvm_chaos_verified", double(r.verified));
+        json.set("cvm_chaos_faults_injected", double(r.faultsInjected));
+        json.set("cvm_chaos_fault_sites", double(r.faultSites));
+        json.set("cvm_chaos_rebuilds", double(r.rebuilds));
+        json.set("cvm_chaos_recovered", double(r.recovered));
+        json.set("cvm_chaos_typed_errors", double(r.typedErrors));
+        json.set("cvm_chaos_silent_empties", double(r.silentEmpties));
+        json.set("cvm_chaos_migrations", double(r.migrations));
+        json.set("cvm_chaos_migrate_aborted", double(r.migrateAborted));
+        if (r.failures > 0 || r.silentEmpties > 0) {
+            std::fprintf(stderr,
+                         "FAIL: cvm chaos run: %llu integrity failures, "
+                         "%llu silent empties\n",
+                         (unsigned long long)r.failures,
+                         (unsigned long long)r.silentEmpties);
+            return 1;
+        }
+        if (r.faultsInjected == 0 || r.migrations == 0 ||
+            r.recovered < params.tenants) {
+            std::fprintf(stderr,
+                         "FAIL: cvm chaos run must inject (got %llu), "
+                         "migrate (got %llu) and recover every tenant "
+                         "(got %llu/%llu)\n",
+                         (unsigned long long)r.faultsInjected,
+                         (unsigned long long)r.migrations,
+                         (unsigned long long)r.recovered,
+                         (unsigned long long)params.tenants);
             return 1;
         }
     }

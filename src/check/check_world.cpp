@@ -104,6 +104,15 @@ CheckWorld::slotBase(int slot)
     return 0x6000'0000'0000ull + std::uint64_t(slot) * 0x1'0000'0000ull;
 }
 
+const sdk::SignedEnclave&
+CheckWorld::deepImage()
+{
+    // Slot index kSlots (= 3, "chk-d"): same signer, no multi-outer —
+    // the depth enclave is always a plain chain tail.
+    static const sdk::SignedEnclave img = buildSlotImage(kSlots);
+    return img;
+}
+
 CheckWorld::CheckWorld(const Config& config)
     : machine_(machineConfig(config)),
       kernel_(machine_),
@@ -185,6 +194,55 @@ CheckWorld::recordedPage(int slot, std::uint8_t index) const
     auto it = rec->pages.begin();
     std::advance(it, index % rec->pages.size());
     return it->second;
+}
+
+Status
+CheckWorld::buildDeepSlot()
+{
+    if (deepSlot_.initialized) return Status::ok();
+    const auto& img = deepImage();
+    if (deepSlot_.secsPage == 0) {
+        auto secs = kernel_.createEnclave(pid_, slotBase(kSlots),
+                                          img.sizeBytes,
+                                          img.spec.attributes);
+        if (!secs) return secs.status();
+        deepSlot_ = Slot{};
+        deepSlot_.secsPage = secs.value();
+    }
+    while (deepSlot_.pagesAdded < img.pages.size()) {
+        const auto& page = img.pages[deepSlot_.pagesAdded];
+        Status st = kernel_.addPage(deepSlot_.secsPage,
+                                    slotBase(kSlots) + page.offset,
+                                    page.type, page.perms,
+                                    ByteView(page.content));
+        if (!st) return st;
+        ++deepSlot_.pagesAdded;
+    }
+    Status st = kernel_.initEnclave(deepSlot_.secsPage, img.sigstruct);
+    if (st) deepSlot_.initialized = true;
+    return st;
+}
+
+hw::Paddr
+CheckWorld::deepTcsPa(std::uint8_t index)
+{
+    std::vector<hw::Paddr> live;
+    if (const auto* rec = kernel_.enclaveRecord(deepSlot_.secsPage)) {
+        for (const auto& [va, pa] : rec->pages) {
+            if (machine_.epcm()
+                    .entry(machine_.mem().epcPageIndex(pa))
+                    .type == sgx::PageType::Tcs) {
+                live.push_back(pa);
+            }
+        }
+    }
+    if (!live.empty()) {
+        for (std::size_t i = 0; i < live.size() && i < kTcsPerSlot; ++i) {
+            deepTcs_[i] = live[i];
+        }
+        return live[index % live.size()];
+    }
+    return deepTcs_[index % kTcsPerSlot];
 }
 
 Status
@@ -448,11 +506,27 @@ CheckWorld::apply(const Step& step)
                 (void)kernel_.associate(slots_[leaf].secsPage,
                                         slots_[b].secsPage);
             }
+            Status third = Err::OsError;
             if (slots_[leaf].secsPage != 0) {
                 // May validly refuse (unassociated, busy TCS, leaf == a
                 // re-entry from depth 2); the AEX below parks whatever
                 // nest actually formed.
-                (void)machine_.neenter(core, tcsPa(leaf, 1));
+                third = machine_.neenter(core, tcsPa(leaf, 1));
+            }
+            // Fourth hop (bit 1): from depth 3, descend once more into
+            // the lazily-built depth enclave — deeper than any served
+            // topology ever nests, so the parked chain stresses
+            // SavedChainValidity past what the tenant stack exercises.
+            // Bit 2 makes the hop hostile (no association edge): the
+            // transition layer must refuse it at depth 3 exactly like it
+            // does at depth 1.
+            if (third.isOk() && (step.index & 2) &&
+                buildDeepSlot().isOk()) {
+                if (!(step.index & 4)) {
+                    (void)kernel_.associate(deepSlot_.secsPage,
+                                            slots_[leaf].secsPage);
+                }
+                (void)machine_.neenter(core, deepTcsPa(0));
             }
             return machine_.aex(core);
         }

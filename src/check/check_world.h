@@ -62,10 +62,15 @@ enum class Op : std::uint8_t {
     DeepChain,        ///< composite depth op (opt-in --depth-ops): build
                       ///< and associate a root->mid chain, enter both,
                       ///< attempt a third NEENTER hop picked by `index`
-                      ///< (associated or hostile), then AEX — all in ONE
-                      ///< step, so the whole nest is parked in the bottom
-                      ///< TCS's savedFrames where only the
-                      ///< SavedChainValidity rule inspects it.
+                      ///< (associated when bit 0, hostile otherwise), and
+                      ///< — when the third hop landed and bit 1 is set —
+                      ///< a FOURTH hop into a lazily-built depth enclave
+                      ///< outside the generator's slot set (hostile when
+                      ///< bit 2), then AEX — all in ONE step, so the
+                      ///< whole nest is parked in the bottom TCS's
+                      ///< savedFrames where only the SavedChainValidity
+                      ///< rule inspects it, at depths past anything the
+                      ///< serving topology ever builds.
 };
 
 /** Op count of the classic (pre-switchless) generator. The default
@@ -136,6 +141,10 @@ class CheckWorld {
     static const sdk::SignedEnclave& image(int slot);
     static hw::Vaddr slotBase(int slot);
 
+    /** The fourth, depth-only image ("chk-d", loaded at slotBase(3)).
+     *  Exposed so tests can size hand-written build sequences. */
+    static const sdk::SignedEnclave& deepImage();
+
   private:
     struct Slot {
         hw::Paddr secsPage = 0;
@@ -152,6 +161,12 @@ class CheckWorld {
     /** The index-th live page of the slot's driver record (0 if none). */
     hw::Paddr recordedPage(int slot, std::uint8_t index) const;
 
+    /** Builds (or finishes building) the lazily-created depth enclave
+     *  backing DeepChain's fourth hop. Outside the generator's slot
+     *  operand space, so classic 3-slot streams never touch it. */
+    Status buildDeepSlot();
+    hw::Paddr deepTcsPa(std::uint8_t index);
+
     sgx::Machine machine_;
     trace::RingBufferSink ring_;
     os::Kernel kernel_;
@@ -164,6 +179,12 @@ class CheckWorld {
     switchless::DescRing switchRing_;
     std::array<Slot, kSlots> slots_{};
     std::array<std::array<hw::Paddr, kTcsPerSlot>, kSlots> knownTcs_{};
+    /** DeepChain's fourth enclave: built on the first step that asks for
+     *  a depth-4 nest, never destroyed (Destroy only addresses the three
+     *  generator slots), so it keeps parking ever-deeper chains without
+     *  perturbing the classic slot lifecycle streams. */
+    Slot deepSlot_{};
+    std::array<hw::Paddr, kTcsPerSlot> deepTcs_{};
     std::set<hw::Paddr> orphans_;
 };
 

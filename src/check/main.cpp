@@ -94,9 +94,10 @@ parseArgs(int argc, char** argv, CliOptions* opts)
                 "           DescRing post/drain cycle (off by default so\n"
                 "           historical seeded streams stay identical)\n"
                 "  --depth-ops  widen to the full op set including the\n"
-                "           DeepChain composite (depth-3 nest build +\n"
+                "           DeepChain composite (depth-3/4 nest build +\n"
                 "           hostile hop + AEX in one step); exercises the\n"
-                "           SavedChainValidity rule\n");
+                "           SavedChainValidity rule past anything the\n"
+                "           serving topology nests\n");
             opts->helpOnly = true;
             return true;
         } else {

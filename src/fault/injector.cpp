@@ -19,6 +19,8 @@ siteName(FaultSite site)
       case FaultSite::EpcAllocFail: return "epc-alloc-fail";
       case FaultSite::AexStorm: return "aex-storm";
       case FaultSite::RingStall: return "ring-stall";
+      case FaultSite::MigrateExportFail: return "migrate-export-fail";
+      case FaultSite::MigrateImportFail: return "migrate-import-fail";
     }
     return "unknown";
 }

@@ -42,9 +42,15 @@ enum class FaultSite : std::uint8_t {
     EpcAllocFail,  ///< kernel EPC allocator refuses ("epc-alloc-fail")
     AexStorm,      ///< spurious AEX+ERESUME on an access ("aex-storm")
     RingStall,     ///< switchless ring wedges post-push ("ring-stall")
+    MigrateExportFail,  ///< migration export aborts pre-seal; the
+                        ///< source keeps serving ("migrate-export-fail")
+    MigrateImportFail,  ///< migration import aborts post-stage; the
+                        ///< destination instance is rolled back
+                        ///< ("migrate-import-fail")
 };
 
-constexpr std::size_t kFaultSiteCount = std::size_t(FaultSite::RingStall) + 1;
+constexpr std::size_t kFaultSiteCount =
+    std::size_t(FaultSite::MigrateImportFail) + 1;
 
 const char* siteName(FaultSite site);
 

@@ -1,0 +1,295 @@
+#include "migrate/engine.h"
+
+#include <iterator>
+
+#include "attest/verifier.h"
+#include "fault/injector.h"
+#include "trace/bus.h"
+
+namespace nesgx::migrate {
+
+Status
+MigrationEngine::abort(Status why)
+{
+    ++stats_.aborted;
+    return why;
+}
+
+Status
+MigrationEngine::migrateToGateway(serve::TenantService& svc,
+                                  serve::TenantId id)
+{
+    serve::TenantHandle* tenant = svc.registry().find(id);
+    if (!tenant) return Err::NotFound;
+    auto target = svc.registry().pickGatewayExcept(tenant->gatewayIndex);
+    if (!target) {
+        ++stats_.attempts;
+        return abort(target.status());
+    }
+    return migrateToGateway(svc, id, target.value());
+}
+
+Status
+MigrationEngine::migrateToGateway(serve::TenantService& svc,
+                                  serve::TenantId id,
+                                  std::size_t targetGateway)
+{
+    serve::TenantRegistry& registry = svc.registry();
+    serve::TenantHandle* tenant = registry.find(id);
+    if (!tenant) return Err::NotFound;
+    sgx::Machine& machine = registry.urts().machine();
+
+    ++stats_.attempts;
+    const std::uint64_t begin = machine.clock().cycles();
+
+    // Own the tenant for the whole move, exactly like a worker owns it
+    // for a batch: the pressure manager's try_lock skips us, and no
+    // batch can enter the source mid-export.
+    std::lock_guard<std::mutex> own(tenant->m);
+    if (!tenant->inner) return abort(Err::Unavailable);  // quarantined
+
+    // The source's parked poller holds inner TCSes; unpark before the
+    // instance can be torn down. The destination re-arms lazily on its
+    // first dispatch (the endpoint's chain pointers change, which the
+    // engine detects).
+    if (auto* engine = svc.switchlessEngine()) engine->disarm(id);
+
+    auto resident = registry.ensureResident(*tenant);
+    if (!resident) return abort(resident.status());
+
+    if (machine.faultFires(fault::FaultSite::MigrateExportFail)) {
+        return abort(Err::Unavailable);
+    }
+    // Same-host move: source and destination instances share identity
+    // and root of trust, so the transport key binds to the common
+    // measurement and no re-wrap is needed.
+    const sgx::Measurement selfMr = tenant->inner->mrenclave();
+    auto sealed = registry.exportInner(tenant->inner, selfMr);
+    if (!sealed) return abort(sealed.status());
+
+    // EWB-drain the source: the move leaves nothing resident behind.
+    stats_.pagesDrained += registry.drainTenantLocked(*tenant);
+
+    auto ticket = registry.stageRelocation(*tenant, targetGateway);
+    if (!ticket) return abort(ticket.status());
+
+    // Re-attest through the new ancestor chain before trusting the
+    // staged instance with the session. (Also re-derives its session
+    // key; outside attested deployments the fresh instance starts on
+    // the out-of-band key and the import below restores the real one.)
+    if (svc.attestationEnabled()) {
+        attest::Verdict verdict =
+            svc.attestInner(ticket.value().inner, id,
+                            ticket.value().gatewayIndex);
+        if (!verdict.trusted()) {
+            registry.abandonRelocation(ticket.value());
+            ++stats_.rolledBack;
+            return abort(Err::AttestationFailed);
+        }
+    }
+
+    if (machine.faultFires(fault::FaultSite::MigrateImportFail)) {
+        registry.abandonRelocation(ticket.value());
+        ++stats_.rolledBack;
+        return abort(Err::Unavailable);
+    }
+    Status imported = registry.importInner(ticket.value().inner, selfMr,
+                                           sealed.value());
+    if (!imported) {
+        registry.abandonRelocation(ticket.value());
+        ++stats_.rolledBack;
+        return abort(imported);
+    }
+
+    Status committed = registry.commitRelocation(*tenant, ticket.value());
+    if (!committed) {
+        registry.abandonRelocation(ticket.value());
+        ++stats_.rolledBack;
+        return abort(committed);
+    }
+
+    ++stats_.gatewayMoves;
+    stats_.latency.add(machine.clock().cycles() - begin);
+    return Status::ok();
+}
+
+Status
+MigrationEngine::migrateToHost(serve::TenantService& src,
+                               serve::TenantService& dst, serve::TenantId id)
+{
+    serve::TenantRegistry& srcReg = src.registry();
+    serve::TenantHandle* srcTenant = srcReg.find(id);
+    if (!srcTenant) return Err::NotFound;
+    if (dst.registry().find(id)) return Err::OsError;  // already there
+
+    sgx::Machine& srcMachine = srcReg.urts().machine();
+    sgx::Machine& dstMachine = dst.registry().urts().machine();
+
+    ++stats_.attempts;
+    const std::uint64_t begin = srcMachine.clock().cycles();
+
+    // Destination first: a fully onboarded (attested, under dst's trust
+    // path) fresh instance. Until the import commits, the source stays
+    // authoritative and any failure simply removes this instance.
+    auto dstTenant = dst.addTenant(id, srcTenant->workload);
+    if (!dstTenant) return abort(dstTenant.status());
+
+    sgx::Measurement mr{};
+    sgx::Measurement signer{};
+    Result<Bytes> rewrapped = Err::Unavailable;
+    {
+        std::lock_guard<std::mutex> own(srcTenant->m);
+        if (!srcTenant->inner) {
+            (void)dst.removeTenant(id);
+            return abort(Err::Unavailable);
+        }
+        if (auto* engine = src.switchlessEngine()) engine->disarm(id);
+        auto resident = srcReg.ensureResident(*srcTenant);
+        if (!resident) {
+            (void)dst.removeTenant(id);
+            return abort(resident.status());
+        }
+        if (srcMachine.faultFires(fault::FaultSite::MigrateExportFail)) {
+            (void)dst.removeTenant(id);
+            return abort(Err::Unavailable);
+        }
+        mr = srcTenant->inner->mrenclave();
+        signer = srcTenant->inner->mrsigner();
+        auto sealed = srcReg.exportInner(srcTenant->inner, mr);
+        if (!sealed) {
+            (void)dst.removeTenant(id);
+            return abort(sealed.status());
+        }
+        stats_.pagesDrained += srcReg.drainTenantLocked(*srcTenant);
+
+        // Re-wrap between root-of-trust domains: the engine stands in
+        // for the mutually-attested migration service both machines
+        // trust (each side's transport key is the provisioning-authority
+        // view of the *other* machine's identity seal derivation — the
+        // enclaves themselves never export their sealing keys).
+        Bytes srcKey = attest::migrationTransportKey(
+            srcMachine.identitySealingKey(mr, signer), mr);
+        Bytes dstKey = attest::migrationTransportKey(
+            dstMachine.identitySealingKey(mr, signer), mr);
+        auto opened = serve::openMessage(crypto::AesGcm(srcKey), id,
+                                         serve::kDirMigrate, sealed.value());
+        if (!opened) {
+            (void)dst.removeTenant(id);
+            ++stats_.rolledBack;
+            return abort(opened.status());
+        }
+        rewrapped = serve::sealMessage(crypto::AesGcm(dstKey), id,
+                                       serve::kDirMigrate,
+                                       opened.value().seq,
+                                       opened.value().plain);
+    }
+
+    if (dstMachine.faultFires(fault::FaultSite::MigrateImportFail)) {
+        (void)dst.removeTenant(id);
+        ++stats_.rolledBack;
+        return abort(Err::Unavailable);
+    }
+    Status imported = dst.registry().importInner(
+        dstTenant.value()->inner, mr, rewrapped.value());
+    if (!imported) {
+        (void)dst.removeTenant(id);
+        ++stats_.rolledBack;
+        return abort(imported);
+    }
+
+    // Committed: carry the source's queued requests across (same key,
+    // same still-unconsumed sequence numbers), then retire the source.
+    for (serve::Request& r : src.admission().purge(id)) {
+        if (dst.submit(id, std::move(r.sealed))) ++stats_.requeued;
+    }
+    Status retired = src.removeTenant(id);
+    if (!retired) return abort(retired);
+
+    ++stats_.hostMoves;
+    stats_.latency.add(srcMachine.clock().cycles() - begin);
+    dstMachine.trace().publishLight(trace::EventKind::ServeTenantMigrate,
+                                    trace::kNoCore, 0, id, 1);
+    return Status::ok();
+}
+
+std::size_t
+Fleet::addHost(serve::TenantService& svc)
+{
+    hosts_.push_back(&svc);
+    return hosts_.size() - 1;
+}
+
+serve::TenantService*
+Fleet::host(std::size_t index)
+{
+    return index < hosts_.size() ? hosts_[index] : nullptr;
+}
+
+std::size_t
+Fleet::hostIndexOf(serve::TenantId id) const
+{
+    auto it = route_.find(id);
+    return it == route_.end() ? 0 : it->second;
+}
+
+serve::TenantService*
+Fleet::hostOf(serve::TenantId id)
+{
+    return host(hostIndexOf(id));
+}
+
+Result<serve::TenantHandle*>
+Fleet::addTenant(serve::TenantId id, serve::Workload workload,
+                 std::size_t hostIndex)
+{
+    serve::TenantService* svc = host(hostIndex);
+    if (!svc) return Err::NotFound;
+    auto tenant = svc->addTenant(id, workload);
+    if (tenant) route_[id] = hostIndex;
+    return tenant;
+}
+
+Status
+Fleet::submit(serve::TenantId id, Bytes sealed)
+{
+    serve::TenantService* svc = hostOf(id);
+    if (!svc) return Err::NotFound;
+    return svc->submit(id, std::move(sealed));
+}
+
+std::size_t
+Fleet::pumpAll(std::size_t maxBatchesPerHost)
+{
+    std::size_t total = 0;
+    for (serve::TenantService* svc : hosts_) {
+        total += svc->pump(maxBatchesPerHost);
+    }
+    return total;
+}
+
+std::vector<serve::Completion>
+Fleet::drainAll()
+{
+    std::vector<serve::Completion> out;
+    for (serve::TenantService* svc : hosts_) {
+        auto got = svc->drain();
+        out.insert(out.end(), std::make_move_iterator(got.begin()),
+                   std::make_move_iterator(got.end()));
+    }
+    return out;
+}
+
+Status
+Fleet::migrateAcross(MigrationEngine& engine, serve::TenantId id,
+                     std::size_t dstHost)
+{
+    serve::TenantService* src = hostOf(id);
+    serve::TenantService* dst = host(dstHost);
+    if (!src || !dst) return Err::NotFound;
+    if (src == dst) return Err::OsError;
+    Status st = engine.migrateToHost(*src, *dst, id);
+    if (st) route_[id] = dstHost;
+    return st;
+}
+
+}  // namespace nesgx::migrate

@@ -251,6 +251,12 @@ TrustedEnv::getSealKey()
     return machine().egetkeySeal(core_);
 }
 
+Result<crypto::Sha256Digest>
+TrustedEnv::getSealKeyIdentity()
+{
+    return machine().egetkeySealIdentity(core_);
+}
+
 void
 TrustedEnv::chargeCycles(std::uint64_t cycles)
 {

@@ -145,6 +145,8 @@ class TrustedEnv {
     Result<sgx::NestedReport> getNestedReport(const sgx::TargetInfo& target,
                                               const sgx::ReportData& data);
     Result<crypto::Sha256Digest> getSealKey();
+    /** MRENCLAVE+MRSIGNER-bound seal key (stable across rebuilds). */
+    Result<crypto::Sha256Digest> getSealKeyIdentity();
 
     // --- modelling hooks ----------------------------------------------------
     /** Charges app compute work on the simulated clock. */

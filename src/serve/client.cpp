@@ -2,8 +2,11 @@
 
 namespace nesgx::serve {
 
-TenantClient::TenantClient(TenantId tenant, Workload workload)
-    : tenant_(tenant), workload_(workload), gcm_(tenantKey(tenant)),
+TenantClient::TenantClient(TenantId tenant, Workload workload,
+                           ByteView sessionKey)
+    : tenant_(tenant), workload_(workload),
+      gcm_(sessionKey.empty() ? crypto::AesGcm(tenantKey(tenant))
+                              : crypto::AesGcm(sessionKey)),
       rng_(0x5e7ea11ull * (tenant + 1))
 {
 }

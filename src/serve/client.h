@@ -21,7 +21,11 @@ namespace nesgx::serve {
 
 class TenantClient {
   public:
-    TenantClient(TenantId tenant, Workload workload);
+    /** `sessionKey` is the attested EGETKEY-rooted key handed out by
+     *  TenantService::sessionKeyFor; empty falls back to the legacy
+     *  out-of-band tenantKey() (pre-trust-path deployments). */
+    TenantClient(TenantId tenant, Workload workload,
+                 ByteView sessionKey = ByteView{});
 
     TenantId tenant() const { return tenant_; }
     Workload workload() const { return workload_; }

@@ -9,6 +9,22 @@
  *               [--deadline 0] [--queue-depth 64] [--threads 1]
  *               [--topology flat|cvm] [--chrome-trace p.json]
  *               [--faults SPEC] [--fault-seed N] [--chaos SEED]
+ *               [--attest 1] [--attest-expect-depth N] [--migrate K]
+ *
+ * --attest 1 (the default) onboards every tenant through the NEREPORT
+ * trust path: the tenant is admitted only after its evidence chain
+ * verifies, and clients seal with the EGETKEY-rooted session key from
+ * the attested exchange instead of an out-of-band secret. A tenant that
+ * fails attestation (e.g. a policy/topology mismatch forced with
+ * --attest-expect-depth) makes the run exit nonzero. --attest 0 reverts
+ * to legacy faith-based admission.
+ *
+ * --migrate K live-migrates one tenant (round-robin) to a different
+ * gateway after every K submissions — sealed snapshot export, EWB
+ * drain, staged rebuild, re-attestation, import — while the request
+ * stream keeps flowing; sessions must survive with sequence continuity.
+ * Under --chaos the default fault plan gains the migrate-export/import
+ * sites, so some moves abort mid-storm and must roll back cleanly.
  *
  * --topology cvm nests the whole fleet one level deeper: a single
  * depth-1 "CVM" root enclave hosts every gateway as a depth-2 inner and
@@ -40,6 +56,7 @@
 #include <vector>
 
 #include "fault/injector.h"
+#include "migrate/engine.h"
 #include "serve/client.h"
 #include "serve/service.h"
 #include "trace/chrome_sink.h"
@@ -115,8 +132,19 @@ main(int argc, char** argv)
     const bool switchless = flagU64(argc, argv, "switchless", 0) != 0;
     const std::uint64_t threads = flagU64(argc, argv, "threads", 1);
     const std::string tracePath = flagStr(argc, argv, "chrome-trace", "");
+    const bool attest = flagU64(argc, argv, "attest", 1) != 0;
+    const std::uint64_t attestExpectDepth =
+        flagU64(argc, argv, "attest-expect-depth", 0);
+    const std::uint64_t migrateEvery = flagU64(argc, argv, "migrate", 0);
+    // Mid-storm migrations: the chaos plan gains the migration sites so
+    // some moves abort at export or import and must roll back with the
+    // source still serving.
+    std::string chaosPlan = kChaosPlan;
+    if (chaos && migrateEvery > 0) {
+        chaosPlan += "; migrate-export-fail@n=2; migrate-import-fail@n=2";
+    }
     const std::string faultSpec =
-        flagStr(argc, argv, "faults", chaos ? kChaosPlan : "");
+        flagStr(argc, argv, "faults", chaos ? chaosPlan : "");
     const std::uint64_t faultSeed =
         flagU64(argc, argv, "fault-seed", chaos ? chaosSeed : 1);
 
@@ -199,6 +227,10 @@ main(int argc, char** argv)
         sc.pool.breakerThreshold = 1;
         sc.pool.breakerCooldownCycles = 150000;
     }
+    sc.attestOnboarding = attest;
+    if (attestExpectDepth > 0) {
+        sc.attestDepthOverride = std::uint32_t(attestExpectDepth);
+    }
     serve::TenantService service(urts, sc);
 
     // sql only when delivery is lossless (shadow-db expectations replay
@@ -217,12 +249,18 @@ main(int argc, char** argv)
         auto workload = mix[t % mix.size()];
         auto handle = service.addTenant(serve::TenantId(t), workload);
         if (!handle) {
-            std::fprintf(stderr, "error: tenant %llu: %s\n",
+            std::fprintf(stderr,
+                         "error: tenant %llu refused at onboarding: %s\n",
                          (unsigned long long)t, handle.status().name());
             return 1;
         }
+        // Attested onboarding hands the client the EGETKEY-rooted
+        // session key; an empty key falls back to the legacy
+        // out-of-band secret.
+        const Bytes sessionKey =
+            service.sessionKeyFor(serve::TenantId(t));
         clients.push_back(std::make_unique<serve::TenantClient>(
-            serve::TenantId(t), workload));
+            serve::TenantId(t), workload, sessionKey));
     }
 
     // Park the switchless pollers while the world is still fault-free,
@@ -284,8 +322,10 @@ main(int argc, char** argv)
     };
 
     // Closed loop: every tenant keeps one small window in flight.
+    migrate::MigrationEngine migrator;
     std::uint64_t submitted = 0;
     std::uint64_t cursor = 0;
+    std::uint64_t migrateCursor = 0;
     while (submitted < requests) {
         const serve::TenantId t = serve::TenantId(cursor % tenants);
         ++cursor;
@@ -303,6 +343,15 @@ main(int argc, char** argv)
             return 1;
         }
         ++submitted;
+        // Live migration mid-stream: the moved tenant's queued and
+        // future requests must keep verifying with no reseal — failed
+        // moves (chaos can hit the migrate fault sites) roll back to
+        // the intact source and are just counted.
+        if (migrateEvery > 0 && submitted % migrateEvery == 0) {
+            const serve::TenantId victim =
+                serve::TenantId(migrateCursor++ % tenants);
+            (void)migrator.migrateToGateway(service, victim);
+        }
         if (submitted % (batch * tenants) == 0) {
             pumpAll(std::size_t(-1));
             drainInto();
@@ -390,6 +439,26 @@ main(int argc, char** argv)
                 (unsigned long long)latency.p50(),
                 (unsigned long long)latency.p95(),
                 (unsigned long long)latency.p99());
+    if (attest) {
+        std::printf("  attested onboarding : %llu tenants (session keys "
+                    "EGETKEY-rooted)\n",
+                    (unsigned long long)tenants);
+    }
+    if (migrateEvery > 0) {
+        const auto& ms = migrator.stats();
+        std::printf("  --- live migration ---\n");
+        std::printf("  migrations          : %llu attempted, %llu "
+                    "committed, %llu aborted (%llu rolled back)\n",
+                    (unsigned long long)ms.attempts,
+                    (unsigned long long)ms.gatewayMoves,
+                    (unsigned long long)ms.aborted,
+                    (unsigned long long)ms.rolledBack);
+        std::printf("  pages drained       : %llu\n",
+                    (unsigned long long)ms.pagesDrained);
+        std::printf("  migration cycles    : p50 %llu  p95 %llu\n",
+                    (unsigned long long)ms.latency.p50(),
+                    (unsigned long long)ms.latency.p95());
+    }
 
     std::size_t distinctSites = 0;
     if (injector) {
@@ -479,6 +548,11 @@ main(int argc, char** argv)
             std::fprintf(stderr, "FAIL: chaos run rebuilt no tenant\n");
             fail = true;
         }
+    }
+    if (migrateEvery > 0 && migrator.stats().gatewayMoves == 0) {
+        std::fprintf(stderr, "FAIL: --migrate armed but no live "
+                             "migration committed\n");
+        fail = true;
     }
     if (fail) return 1;
     std::printf("OK\n");

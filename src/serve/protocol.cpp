@@ -106,6 +106,58 @@ sqlResultText(bool ok, const std::string& error, std::uint64_t rowsAffected,
 }
 
 Bytes
+packSnapshot(const TenantSnapshot& snap)
+{
+    Bytes out;
+    out.resize(4);
+    storeLe32(out.data(), std::uint32_t(snap.sessionKey.size()));
+    append(out, snap.sessionKey);
+    std::size_t at = out.size();
+    out.resize(at + 8 + 1 + 4);
+    storeLe64(out.data() + at, snap.lastSeq);
+    out[at + 8] = snap.seenAny ? 1 : 0;
+    storeLe32(out.data() + at + 9, std::uint32_t(snap.sqlJournal.size()));
+    for (const auto& stmt : snap.sqlJournal) {
+        at = out.size();
+        out.resize(at + 4);
+        storeLe32(out.data() + at, std::uint32_t(stmt.size()));
+        append(out, ByteView(
+            reinterpret_cast<const std::uint8_t*>(stmt.data()), stmt.size()));
+    }
+    return out;
+}
+
+Result<TenantSnapshot>
+parseSnapshot(ByteView blob)
+{
+    TenantSnapshot snap;
+    std::size_t off = 0;
+    if (blob.size() < 4) return Err::BadCallBuffer;
+    const std::uint32_t keyLen = loadLe32(blob.data());
+    off = 4;
+    if (blob.size() - off < keyLen) return Err::BadCallBuffer;
+    snap.sessionKey.assign(blob.begin() + off, blob.begin() + off + keyLen);
+    off += keyLen;
+    if (blob.size() - off < 8 + 1 + 4) return Err::BadCallBuffer;
+    snap.lastSeq = loadLe64(blob.data() + off);
+    snap.seenAny = blob[off + 8] != 0;
+    const std::uint32_t count = loadLe32(blob.data() + off + 9);
+    off += 13;
+    snap.sqlJournal.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        if (blob.size() - off < 4) return Err::BadCallBuffer;
+        const std::uint32_t len = loadLe32(blob.data() + off);
+        off += 4;
+        if (blob.size() - off < len) return Err::BadCallBuffer;
+        snap.sqlJournal.emplace_back(
+            reinterpret_cast<const char*>(blob.data() + off), len);
+        off += len;
+    }
+    if (off != blob.size()) return Err::BadCallBuffer;
+    return snap;
+}
+
+Bytes
 packBatch(std::uint32_t slot, const std::vector<ByteView>& msgs)
 {
     std::size_t total = 8;

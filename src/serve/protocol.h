@@ -46,6 +46,8 @@ Bytes tenantKey(TenantId tenant);
 
 constexpr std::uint8_t kDirRequest = 0;
 constexpr std::uint8_t kDirResponse = 1;
+/** Direction tag for sealed migration snapshots (inner -> inner). */
+constexpr std::uint8_t kDirMigrate = 2;
 
 /** Seals one message under the tenant session key. */
 Bytes sealMessage(const crypto::AesGcm& gcm, TenantId tenant,
@@ -68,6 +70,24 @@ std::int64_t svmScore(TenantId tenant, ByteView features);
 /** Deterministic response text for one minidb statement result. */
 std::string sqlResultText(bool ok, const std::string& error,
                           std::uint64_t rowsAffected, std::size_t rows);
+
+// --- migration snapshot codec -------------------------------------------
+
+/** Everything a tenant inner must carry across a live migration to
+ *  resume its sealed session with sequence continuity: the session key,
+ *  the replay high-water mark, and (for Sql tenants) the statement
+ *  journal that deterministically rebuilds the database. Packed inside
+ *  the enclave and sealed under a migration transport key — the
+ *  untrusted relocation machinery only ever sees ciphertext. */
+struct TenantSnapshot {
+    Bytes sessionKey;  ///< empty = tenant still on the out-of-band key
+    std::uint64_t lastSeq = 0;
+    bool seenAny = false;
+    std::vector<std::string> sqlJournal;
+};
+
+Bytes packSnapshot(const TenantSnapshot& snap);
+Result<TenantSnapshot> parseSnapshot(ByteView blob);
 
 // --- batch blob codec ---------------------------------------------------
 

@@ -1,5 +1,9 @@
 #include "serve/registry.h"
 
+#include <algorithm>
+
+#include "attest/verifier.h"
+#include "crypto/sha256.h"
 #include "db/executor.h"
 #include "trace/bus.h"
 
@@ -24,9 +28,15 @@ struct ServerState {
     TenantId tenant;
     Workload workload;
     crypto::AesGcm gcm;
+    /** EGETKEY-rooted session key once provisioned; empty while on the
+     *  legacy out-of-band tenantKey(). Carried by migration snapshots. */
+    Bytes sessionKey;
     std::uint64_t lastSeq = 0;
     bool seenAny = false;
     db::Database db;
+    /** Statement journal: deterministic replay rebuilds `db` on import
+     *  (the database itself has no serialization path). */
+    std::vector<std::string> sqlJournal;
 
     ServerState(TenantId t, Workload w)
         : tenant(t), workload(w), gcm(tenantKey(t))
@@ -43,6 +53,7 @@ struct ServerState {
             std::string stmt(plain.begin(), plain.end());
             std::uint64_t before = db.workUnits();
             db::QueryResult r = db.execute(stmt);
+            sqlJournal.push_back(std::move(stmt));
             env.chargeCycles((db.workUnits() - before) * 20 + 200);
             return bytesOf(sqlResultText(r.ok, r.error, r.rowsAffected,
                                          r.rows.size()));
@@ -259,6 +270,104 @@ TenantRegistry::buildInner(TenantId id, Workload workload, Gateway& gateway)
             return out;
         });
 
+    // Trust-path provisioning: the inner derives its session key from
+    // its EGETKEY identity sealing key and (mode 1) returns NEREPORT
+    // evidence binding the verifier's nonce and that key. Mode 0 only
+    // re-derives the key — the rebuild path's way to restore a verified
+    // tenant's key without a fresh challenge.
+    // arg = [u8 mode][32B verifier mrenclave][32B nonce]
+    spec.interface->addNEcall(
+        "tenant_provision",
+        [server](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            if (arg.size() != 1 + 32 + attest::kNonceSize) {
+                return Err::BadCallBuffer;
+            }
+            auto seal = env.getSealKeyIdentity();
+            if (!seal) return seal.status();
+            Bytes key = attest::sessionKeyFromSeal(seal.value(),
+                                                   server->tenant);
+            server->sessionKey = key;
+            server->gcm = crypto::AesGcm(key);
+            server->lastSeq = 0;
+            server->seenAny = false;
+            if (arg[0] == 0) return Bytes{};
+
+            sgx::TargetInfo target;
+            std::copy(arg.begin() + 1, arg.begin() + 33,
+                      target.mrenclave.begin());
+            const crypto::Sha256Digest nonceHash =
+                crypto::Sha256::hash(arg.subspan(33, attest::kNonceSize));
+            const crypto::Sha256Digest keyHash =
+                crypto::Sha256::hash(ByteView(key.data(), key.size()));
+            sgx::ReportData data{};
+            std::copy(nonceHash.begin(), nonceHash.end(), data.begin());
+            std::copy(keyHash.begin(), keyHash.end(), data.begin() + 32);
+            auto report = env.getNestedReport(target, data);
+            if (!report) return report.status();
+            return attest::encodeNestedReport(report.value());
+        });
+
+    // Migration export: seal the whole session (key, replay high-water
+    // mark, statement journal) under a transport key only an enclave of
+    // the same identity — on a machine whose root of trust vouches for
+    // it — can re-derive. arg = [32B destination mrenclave]
+    spec.interface->addNEcall(
+        "tenant_export",
+        [server](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            if (arg.size() != 32) return Err::BadCallBuffer;
+            sgx::Measurement dstMr{};
+            std::copy(arg.begin(), arg.end(), dstMr.begin());
+            auto seal = env.getSealKeyIdentity();
+            if (!seal) return seal.status();
+            Bytes tkey = attest::migrationTransportKey(seal.value(), dstMr);
+            TenantSnapshot snap;
+            snap.sessionKey = server->sessionKey;
+            snap.lastSeq = server->lastSeq;
+            snap.seenAny = server->seenAny;
+            snap.sqlJournal = server->sqlJournal;
+            Bytes blob = packSnapshot(snap);
+            env.chargeGcm(blob.size());
+            return sealMessage(crypto::AesGcm(tkey), server->tenant,
+                               kDirMigrate, snap.lastSeq, blob);
+        });
+
+    // Migration import: open a snapshot sealed by the source instance
+    // and resume the session. arg = [32B source mrenclave][sealed blob]
+    spec.interface->addNEcall(
+        "tenant_import",
+        [server](sdk::TrustedEnv& env, ByteView arg) -> Result<Bytes> {
+            if (arg.size() < 32) return Err::BadCallBuffer;
+            sgx::Measurement srcMr{};
+            std::copy(arg.begin(), arg.begin() + 32, srcMr.begin());
+            auto seal = env.getSealKeyIdentity();
+            if (!seal) return seal.status();
+            Bytes tkey = attest::migrationTransportKey(seal.value(), srcMr);
+            env.chargeGcm(arg.size() - 32);
+            auto opened = openMessage(crypto::AesGcm(tkey), server->tenant,
+                                      kDirMigrate, arg.subspan(32));
+            if (!opened) return opened.status();
+            auto snap = parseSnapshot(opened.value().plain);
+            if (!snap) return snap.status();
+            if (!snap.value().sessionKey.empty()) {
+                server->sessionKey = snap.value().sessionKey;
+                server->gcm = crypto::AesGcm(server->sessionKey);
+            }
+            server->sqlJournal = std::move(snap.value().sqlJournal);
+            server->db = db::Database{};
+            for (const auto& stmt : server->sqlJournal) {
+                (void)server->db.execute(stmt);
+            }
+            env.chargeCycles(server->sqlJournal.size() * 20 + 100);
+#ifndef NESGX_BUG_MIGRATE_REPLAY
+            // Sequence continuity: the replay high-water mark survives
+            // the move, so a request captured before the migration can
+            // never be replayed against the new instance.
+            server->lastSeq = snap.value().lastSeq;
+            server->seenAny = snap.value().seenAny;
+#endif
+            return Bytes{};
+        });
+
     Status st = reserveEpc(spec.totalPages() + 1);
     if (!st) return st;
     auto image = sdk::buildImage(spec, core::defaultAuthorKey());
@@ -286,7 +395,14 @@ TenantRegistry::ensure(TenantId id, Workload workload)
     tenant->workload = workload;
     tenant->inner = inner.value();
     tenant->gatewayIndex = gwIndex.value();
-    tenant->slot = gateway.tenantCount;
+    // First free slot: retirements and relocations leave holes, so the
+    // fill index is not simply the tenant count.
+    std::uint32_t slot = 0;
+    while (slot < gateway.state->slots.size() &&
+           gateway.state->slots[slot] != nullptr) {
+        ++slot;
+    }
+    tenant->slot = slot;
     gateway.state->slots[tenant->slot] = inner.value();
     ++gateway.tenantCount;
 
@@ -299,6 +415,9 @@ Result<Bytes>
 TenantRegistry::dispatch(TenantHandle& tenant, ByteView blob, hw::CoreId core)
 {
     if (!tenant.inner) return Err::Unavailable;
+    if (config_.requireVerification && !tenant.verified) {
+        return Err::AttestationFailed;
+    }
     Gateway& gateway = gateways_[tenant.gatewayIndex];
     if (!gateway.outer) return Err::Unavailable;  // mid subtree rebuild
     if (config_.topology == Topology::Cvm) {
@@ -434,6 +553,17 @@ TenantRegistry::rebuildTenant(TenantHandle& tenant)
     }
     auto inner = buildInner(tenant.id, tenant.workload, gateway);
     if (!inner) return inner.status();  // stays inner-less; retried lazily
+    if (tenant.provisioned) {
+        // The client holds the EGETKEY-rooted session key; the fresh
+        // instance must re-derive it or every post-rebuild reseal would
+        // be refused. On failure the tenant stays inner-less (the rekey
+        // entry itself can be hit by chaos faults) and is retried.
+        Status rk = rekeyInner(inner.value());
+        if (!rk) {
+            (void)urts_->unload(inner.value());
+            return rk;
+        }
+    }
     tenant.inner = inner.value();
     gateway.state->slots[tenant.slot] = inner.value();
     ++tenant.rebuilds;
@@ -530,6 +660,14 @@ TenantRegistry::rebuildGatewaySubtree(std::size_t gatewayIndex,
             result = inner.status();
             continue;
         }
+        if (tenant->provisioned) {
+            Status rk = rekeyInner(inner.value());
+            if (!rk) {
+                (void)urts_->unload(inner.value());
+                result = rk;
+                continue;
+            }
+        }
         tenant->inner = inner.value();
         gateway.state->slots[tenant->slot] = inner.value();
         ++tenant->rebuilds;
@@ -538,6 +676,181 @@ TenantRegistry::rebuildGatewaySubtree(std::size_t gatewayIndex,
             tenant->id, tenant->rebuilds);
     }
     return result;
+}
+
+Result<Bytes>
+TenantRegistry::provisionInner(sdk::LoadedEnclave* inner,
+                               const sgx::Measurement& verifierMr,
+                               ByteView nonce)
+{
+    if (!inner) return Err::Unavailable;
+    if (nonce.size() != attest::kNonceSize) return Err::BadCallBuffer;
+    Bytes arg(1 + 32 + attest::kNonceSize);
+    arg[0] = 1;
+    std::copy(verifierMr.begin(), verifierMr.end(), arg.begin() + 1);
+    std::copy(nonce.begin(), nonce.end(), arg.begin() + 33);
+    return urts_->ecallChain(urts_->chainTo(inner), "tenant_provision", arg);
+}
+
+Status
+TenantRegistry::rekeyInner(sdk::LoadedEnclave* inner)
+{
+    if (!inner) return Err::Unavailable;
+    Bytes arg(1 + 32 + attest::kNonceSize, 0);
+    auto r = urts_->ecallChain(urts_->chainTo(inner), "tenant_provision", arg);
+    return r.status();
+}
+
+Result<Bytes>
+TenantRegistry::exportInner(sdk::LoadedEnclave* inner,
+                            const sgx::Measurement& dstMr)
+{
+    if (!inner) return Err::Unavailable;
+    Bytes arg(dstMr.begin(), dstMr.end());
+    return urts_->ecallChain(urts_->chainTo(inner), "tenant_export", arg);
+}
+
+Status
+TenantRegistry::importInner(sdk::LoadedEnclave* inner,
+                            const sgx::Measurement& srcMr, ByteView sealed)
+{
+    if (!inner) return Err::Unavailable;
+    Bytes arg(srcMr.begin(), srcMr.end());
+    append(arg, sealed);
+    auto r = urts_->ecallChain(urts_->chainTo(inner), "tenant_import", arg);
+    return r.status();
+}
+
+std::uint64_t
+TenantRegistry::drainTenantLocked(TenantHandle& tenant)
+{
+    if (!tenant.inner) return 0;
+    os::Kernel& kernel = urts_->kernel();
+    const os::EnclaveRecord* rec =
+        kernel.enclaveRecord(tenant.inner->secsPage());
+    if (!rec) return 0;
+    std::vector<hw::Vaddr> vas;
+    vas.reserve(rec->pages.size());
+    for (const auto& [va, pa] : rec->pages) vas.push_back(va);
+    std::uint64_t written = 0;
+    for (hw::Vaddr va : vas) {
+        if (kernel.evictPage(tenant.inner->secsPage(), va)) ++written;
+    }
+    return written;
+}
+
+Result<std::size_t>
+TenantRegistry::pickGatewayExcept(std::size_t exclude)
+{
+    for (std::size_t i = 0; i < gateways_.size(); ++i) {
+        if (i == exclude) continue;
+        if (gateways_[i].outer != nullptr &&
+            gateways_[i].tenantCount < config_.tenantsPerOuter) {
+            return i;
+        }
+    }
+    auto gw = makeGateway(gateways_.size());
+    if (!gw) return gw.status();
+    gateways_.push_back(std::move(gw.value()));
+    return gateways_.size() - 1;
+}
+
+Result<TenantRegistry::RelocationTicket>
+TenantRegistry::stageRelocation(TenantHandle& tenant,
+                                std::size_t targetGateway)
+{
+    if (targetGateway >= gateways_.size() ||
+        targetGateway == tenant.gatewayIndex) {
+        return Err::NotFound;
+    }
+    Gateway& gateway = gateways_[targetGateway];
+    if (!gateway.outer || gateway.tenantCount >= config_.tenantsPerOuter) {
+        return Err::Backpressure;
+    }
+    std::uint32_t slot = 0;
+    while (slot < gateway.state->slots.size() &&
+           gateway.state->slots[slot] != nullptr) {
+        ++slot;
+    }
+    if (slot >= gateway.state->slots.size()) return Err::Backpressure;
+
+    auto inner = buildInner(tenant.id, tenant.workload, gateway);
+    if (!inner) return inner.status();  // source untouched, still serving
+
+    RelocationTicket ticket;
+    ticket.gatewayIndex = targetGateway;
+    ticket.slot = slot;
+    ticket.inner = inner.value();
+    // Claim the slot now so a concurrent ensure() cannot take it; the
+    // ticket is either committed or abandoned before dispatches see it.
+    gateway.state->slots[slot] = inner.value();
+    ++gateway.tenantCount;
+    return ticket;
+}
+
+void
+TenantRegistry::abandonRelocation(const RelocationTicket& ticket)
+{
+    Gateway& gateway = gateways_[ticket.gatewayIndex];
+    gateway.state->slots[ticket.slot] = nullptr;
+    --gateway.tenantCount;
+    (void)urts_->unload(ticket.inner);
+}
+
+Status
+TenantRegistry::commitRelocation(TenantHandle& tenant,
+                                 const RelocationTicket& ticket)
+{
+    Gateway& source = gateways_[tenant.gatewayIndex];
+    if (tenant.inner) {
+        sdk::LoadedEnclave* old = tenant.inner;
+        source.state->slots[tenant.slot] = nullptr;
+        tenant.inner = nullptr;
+        Status st = urts_->unload(old);
+        if (!st) {
+            // Source teardown refused (busy page): roll the swap back;
+            // the staged instance is abandoned by the caller.
+            tenant.inner = old;
+            source.state->slots[tenant.slot] = old;
+            return st;
+        }
+    }
+    --source.tenantCount;
+    tenant.inner = ticket.inner;
+    tenant.gatewayIndex = ticket.gatewayIndex;
+    tenant.slot = ticket.slot;
+    ++tenant.migrations;
+    urts_->machine().trace().publishLight(
+        trace::EventKind::ServeTenantMigrate, trace::kNoCore, 0, tenant.id,
+        0);
+    return Status::ok();
+}
+
+Status
+TenantRegistry::retireTenant(TenantId id)
+{
+    auto it = tenants_.find(id);
+    if (it == tenants_.end()) return Err::NotFound;
+    TenantHandle* tenant = it->second.get();
+    {
+        // Scoped: the handle (and its mutex) dies with the map entry.
+        std::lock_guard<std::mutex> own(tenant->m);
+        if (tenant->inner) {
+            Gateway& gateway = gateways_[tenant->gatewayIndex];
+            sdk::LoadedEnclave* old = tenant->inner;
+            gateway.state->slots[tenant->slot] = nullptr;
+            tenant->inner = nullptr;
+            Status st = urts_->unload(old);
+            if (!st) {
+                tenant->inner = old;
+                gateway.state->slots[tenant->slot] = old;
+                return st;
+            }
+            --gateway.tenantCount;
+        }
+    }
+    tenants_.erase(it);
+    return Status::ok();
 }
 
 TenantHandle*

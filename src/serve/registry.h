@@ -69,9 +69,17 @@ struct TenantHandle {
     /** A dispatch is in flight. Read lock-free by the eviction victim
      *  filter on other worker threads; `m` is the real exclusion. */
     std::atomic<bool> busy{false};
+    /** The inner holds an EGETKEY-rooted session key (installed by a
+     *  provisioning ecall); rebuilds must re-run provisioning so the
+     *  fresh instance re-derives the same key the client still holds. */
+    bool provisioned = false;
+    /** Onboarding attestation passed (service layer sets this; dispatch
+     *  refuses unverified tenants when Config::requireVerification). */
+    bool verified = false;
     Counter evictions;  ///< times paged out by pressure
     Counter reloads;    ///< cold-start reloads
     Counter rebuilds;   ///< destroy-and-rebuild recoveries
+    Counter migrations; ///< live relocations (gateway or host moves)
 };
 
 class TenantRegistry {
@@ -101,6 +109,10 @@ class TenantRegistry {
         std::uint64_t cvmCodePages = 24;
         std::uint64_t cvmHeapPages = 64;
         std::uint32_t cvmTcs = 4;
+        /** Refuse dispatch to tenants that have not passed onboarding
+         *  attestation (TenantHandle::verified). Off by default so the
+         *  raw registry stays usable without the trust path. */
+        bool requireVerification = false;
     };
 
     TenantRegistry(sdk::Urts& urts, Config config);
@@ -164,6 +176,67 @@ class TenantRegistry {
      */
     Status rebuildGatewaySubtree(std::size_t gatewayIndex,
                                  TenantHandle* alreadyLocked = nullptr);
+
+    // --- trust path / migration (registry side) --------------------------
+
+    /**
+     * Runs the in-enclave provisioning ecall on `inner` through its full
+     * ancestor chain: the enclave derives its EGETKEY-rooted session key,
+     * installs it (resetting replay state), and returns an encoded
+     * NEREPORT evidence blob MAC'ed for `verifierMr` whose reportData
+     * binds SHA256(nonce) || SHA256(sessionKey).
+     */
+    Result<Bytes> provisionInner(sdk::LoadedEnclave* inner,
+                                 const sgx::Measurement& verifierMr,
+                                 ByteView nonce);
+
+    /** Re-derives and installs the session key only (no evidence): the
+     *  rebuild path's way to keep a verified tenant's key stable. */
+    Status rekeyInner(sdk::LoadedEnclave* inner);
+
+    /** In-enclave export: the inner seals its TenantSnapshot under a
+     *  migration transport key bound to destination identity `dstMr`. */
+    Result<Bytes> exportInner(sdk::LoadedEnclave* inner,
+                              const sgx::Measurement& dstMr);
+
+    /** In-enclave import: the inner opens a snapshot sealed by source
+     *  identity `srcMr` and resumes the session (key, replay counter,
+     *  journal-replayed database). */
+    Status importInner(sdk::LoadedEnclave* inner,
+                       const sgx::Measurement& srcMr, ByteView sealed);
+
+    /** EWB-drains the tenant's inner pages (caller holds `tenant.m`).
+     *  Returns pages written back. */
+    std::uint64_t drainTenantLocked(TenantHandle& tenant);
+
+    /** A staged-but-uncommitted destination instance of a relocation. */
+    struct RelocationTicket {
+        std::size_t gatewayIndex = 0;
+        std::uint32_t slot = 0;
+        sdk::LoadedEnclave* inner = nullptr;
+    };
+
+    /** A gateway with a free slot other than `exclude` (building a fresh
+     *  one if every other gateway is full). */
+    Result<std::size_t> pickGatewayExcept(std::size_t exclude);
+
+    /** Builds a fresh inner for `tenant` inside `targetGateway` without
+     *  touching the live one — the destination half of a migration. The
+     *  source keeps serving until commitRelocation(). */
+    Result<RelocationTicket> stageRelocation(TenantHandle& tenant,
+                                             std::size_t targetGateway);
+
+    /** Destroys a staged destination instance (migration abort). */
+    void abandonRelocation(const RelocationTicket& ticket);
+
+    /** Tears down the source instance and swaps the staged one in;
+     *  `tenant` now lives in the ticket's gateway slot. */
+    Status commitRelocation(TenantHandle& tenant,
+                            const RelocationTicket& ticket);
+
+    /** Unloads a tenant's inner and forgets the tenant entirely (the
+     *  source half of a cross-host move, or an onboarding rejection). */
+    Status retireTenant(TenantId id);
 
     /** Tenant owning this inner SECS, or nullptr (victim filtering). */
     TenantHandle* tenantBySecs(hw::Paddr secsPage);

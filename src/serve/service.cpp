@@ -475,6 +475,9 @@ WorkerPool::drain()
 TenantService::Config
 TenantService::tuned(Config config)
 {
+    // Attested onboarding implies the registry refuses dispatch to any
+    // tenant that has not passed verification.
+    if (config.attestOnboarding) config.registry.requireVerification = true;
     if (config.switchless.enabled) {
         // Parked pollers hold real TCSes: one outer slot for the gateway
         // poller plus one per tenant poller entering through the
@@ -506,6 +509,10 @@ TenantService::TenantService(sdk::Urts& urts, Config config)
             urts, config_.switchless);
         pool_.setSwitchless(switchless_.get());
     }
+    if (config_.attestOnboarding) {
+        verifier_ = std::make_unique<attest::TenantVerifier>(
+            urts.machine(), config_.attestNonceSeed);
+    }
 }
 
 std::size_t
@@ -526,10 +533,76 @@ TenantService::armSwitchless()
     return armed;
 }
 
+attest::Verdict
+TenantService::attestInner(sdk::LoadedEnclave* inner, TenantId id,
+                           std::size_t gatewayIndex)
+{
+    attest::Verdict verdict;
+    if (!verifier_ || !inner) return verdict;  // untrusted by default
+
+    const Bytes nonce = verifier_->nextNonce();
+    auto evidence =
+        registry_.provisionInner(inner, verifier_->measurement(), nonce);
+    if (TenantHandle* tenant = registry_.find(id)) {
+        // The provisioning entry ran (even if the evidence is later
+        // rejected): the instance now holds a derived session key, and
+        // rebuilds must re-run it.
+        if (evidence) tenant->provisioned = true;
+    }
+    if (!evidence) return verdict;
+    auto report = attest::decodeNestedReport(evidence.value());
+    if (!report) return verdict;
+
+    attest::TenantPolicy policy;
+    policy.expectedMrEnclave = inner->mrenclave();
+    policy.expectedMrSigner = core::defaultAuthorKey().pub.signerMeasurement();
+    if (sdk::LoadedEnclave* outer = registry_.gatewayOuter(gatewayIndex)) {
+        policy.expectedOuter = outer->mrenclave();
+    }
+    policy.expectedChainDepth =
+        config_.attestDepthOverride
+            ? *config_.attestDepthOverride
+            : std::uint32_t(registry_.topology() == Topology::Cvm ? 2 : 1);
+
+    verdict = verifier_->verify(id, report.value(), policy, nonce);
+    if (verdict.trusted()) sessionKeys_[id] = verdict.sessionKey;
+    return verdict;
+}
+
+Bytes
+TenantService::sessionKeyFor(TenantId id) const
+{
+    auto it = sessionKeys_.find(id);
+    return it == sessionKeys_.end() ? Bytes{} : it->second;
+}
+
+Status
+TenantService::removeTenant(TenantId id)
+{
+    if (!registry_.find(id)) return Err::NotFound;
+    if (switchless_) switchless_->disarm(id);
+    (void)admission_.purge(id);
+    sessionKeys_.erase(id);
+    return registry_.retireTenant(id);
+}
+
 Result<TenantHandle*>
 TenantService::addTenant(TenantId id, Workload workload)
 {
-    return registry_.ensure(id, workload);
+    auto tenant = registry_.ensure(id, workload);
+    if (!tenant || !config_.attestOnboarding) return tenant;
+    if (tenant.value()->verified) return tenant;  // pre-existing tenant
+
+    attest::Verdict verdict =
+        attestInner(tenant.value()->inner, id, tenant.value()->gatewayIndex);
+    if (!verdict.trusted()) {
+        // Admission on faith is exactly what the trust path forbids:
+        // tear the instance straight back down.
+        (void)removeTenant(id);
+        return Err::AttestationFailed;
+    }
+    tenant.value()->verified = true;
+    return tenant;
 }
 
 Status

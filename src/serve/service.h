@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 
+#include "attest/verifier.h"
 #include "serve/admission.h"
 #include "serve/histogram.h"
 #include "serve/registry.h"
@@ -228,12 +229,48 @@ class TenantService {
         /** Exit-less dispatch (src/switchless). Off by default so the
          *  classic trace/counter streams stay byte-identical. */
         switchless::Config switchless;
+        /**
+         * NEREPORT-gated onboarding (src/attest): addTenant admits a
+         * tenant only after its evidence chain verifies — inner identity,
+         * author signer, gateway-outer binding, topology-implied chain
+         * depth, nonce freshness, and EGETKEY-rooted session-key binding.
+         * Off = the legacy faith-based admission with out-of-band keys.
+         */
+        bool attestOnboarding = false;
+        std::uint64_t attestNonceSeed = 0x0a77e57;
+        /** Override of the chain depth the verifier demands (tests/CI
+         *  prove end-to-end refusal on a topology/depth mismatch). */
+        std::optional<std::uint32_t> attestDepthOverride;
     };
 
     TenantService(sdk::Urts& urts, Config config);
 
-    /** Lazily instantiates the tenant (registry + pressure headroom). */
+    /** Lazily instantiates the tenant (registry + pressure headroom).
+     *  Under attestOnboarding the tenant is admitted only after NEREPORT
+     *  chain verification; a failed verification tears the instance back
+     *  down and returns Err::AttestationFailed. */
     Result<TenantHandle*> addTenant(TenantId id, Workload workload);
+
+    /** Attestation-gated onboarding active? (Migration re-attests.) */
+    bool attestationEnabled() const { return config_.attestOnboarding; }
+
+    /** The tenant's EGETKEY-rooted session key (empty = never attested:
+     *  the client should fall back to the out-of-band tenantKey). */
+    Bytes sessionKeyFor(TenantId id) const;
+
+    /**
+     * Challenges `inner` (freshly built, associated, and reachable via
+     * its ancestor chain) and verifies the evidence against this
+     * service's policy for tenant `id` hosted by gateway `gatewayIndex`.
+     * On success the session key is recorded. Used at onboarding and by
+     * the migration engine to re-attest a staged destination instance.
+     */
+    attest::Verdict attestInner(sdk::LoadedEnclave* inner, TenantId id,
+                                std::size_t gatewayIndex);
+
+    /** Disarms, purges, forgets, and unloads a tenant (onboarding
+     *  rejection or the source half of a cross-host move). */
+    Status removeTenant(TenantId id);
 
     /** Admits one sealed request for an existing tenant. */
     Status submit(TenantId tenant, Bytes sealed);
@@ -277,6 +314,10 @@ class TenantService {
     EpcPressureManager pressure_;
     WorkerPool pool_;
     std::unique_ptr<switchless::SwitchlessEngine> switchless_;
+    std::unique_ptr<attest::TenantVerifier> verifier_;
+    /** Session keys recorded by attestInner (service-side copy handed to
+     *  clients; the authoritative copy lives inside the inner). */
+    std::map<TenantId, Bytes> sessionKeys_;
 };
 
 }  // namespace nesgx::serve

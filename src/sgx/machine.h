@@ -246,6 +246,21 @@ class Machine {
     /** EGETKEY(seal key): bound to MRSIGNER. */
     Result<crypto::Sha256Digest> egetkeySeal(hw::CoreId core);
 
+    /** EGETKEY(identity seal key): bound to MRENCLAVE *and* MRSIGNER.
+     *  The same enclave identity re-derives the same key across rebuilds
+     *  and relocations (even on another gateway outer); any other code
+     *  or owner identity derives an unrelated key. This is the root the
+     *  serving trust path hangs tenant session keys off. */
+    Result<crypto::Sha256Digest> egetkeySealIdentity(hw::CoreId core);
+
+    /** Infrastructure view of the identity seal key: what
+     *  egetkeySealIdentity returns *inside* an enclave with exactly this
+     *  identity. Like verifyNestedReport, this models a party sharing
+     *  the device root of trust (the paper's provisioning/verifier
+     *  role); nothing in the untrusted stack can recompute it. */
+    crypto::Sha256Digest identitySealingKey(const Measurement& mrenclave,
+                                            const Measurement& mrsigner) const;
+
     /** Verifies a report's MAC as the target enclave would. */
     bool verifyReport(const Report& report, const Measurement& targetMr) const;
     bool verifyNestedReport(const NestedReport& report,
@@ -343,6 +358,7 @@ class Machine {
                                       const ReportData& data);
     Result<crypto::Sha256Digest> egetkeyReportImpl(hw::CoreId core);
     Result<crypto::Sha256Digest> egetkeySealImpl(hw::CoreId core);
+    Result<crypto::Sha256Digest> egetkeySealIdentityImpl(hw::CoreId core);
 
     /** Enclave id of the core's current (innermost) frame, 0 outside
      *  enclave mode or for the no-core ENCLS context. */

@@ -7,6 +7,8 @@
  */
 #include "sgx/machine.h"
 
+#include <algorithm>
+
 #include "crypto/hmac.h"
 #include "crypto/kdf.h"
 
@@ -190,6 +192,36 @@ Machine::egetkeySealImpl(hw::CoreId coreId)
     if (!secs) return Err::GeneralProtection;
     return crypto::deriveKey256(rootKey_, "seal-key",
                                 ByteView(secs->mrsigner.data(), 32));
+}
+
+Result<crypto::Sha256Digest>
+Machine::egetkeySealIdentity(hw::CoreId coreId)
+{
+    std::shared_lock<std::shared_mutex> g(stateMutex_);
+    return tracedLeaf(trace::Leaf::Egetkey, coreId, 0,
+                      [&] { return egetkeySealIdentityImpl(coreId); });
+}
+
+Result<crypto::Sha256Digest>
+Machine::egetkeySealIdentityImpl(hw::CoreId coreId)
+{
+    charge(costs_.egetkey);
+    hw::Core& core = cores_[coreId];
+    if (!core.inEnclaveMode()) return Err::GeneralProtection;
+    const Secs* secs = secsAt(core.currentSecs());
+    if (!secs) return Err::GeneralProtection;
+    return identitySealingKey(secs->mrenclave, secs->mrsigner);
+}
+
+crypto::Sha256Digest
+Machine::identitySealingKey(const Measurement& mrenclave,
+                            const Measurement& mrsigner) const
+{
+    std::array<std::uint8_t, 64> context{};
+    std::copy(mrenclave.begin(), mrenclave.end(), context.begin());
+    std::copy(mrsigner.begin(), mrsigner.end(), context.begin() + 32);
+    return crypto::deriveKey256(rootKey_, "seal-key-identity",
+                                ByteView(context.data(), context.size()));
 }
 
 bool

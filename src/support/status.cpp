@@ -26,6 +26,7 @@ errName(Err e)
       case Err::Unavailable: return "Unavailable";
       case Err::SealRejected: return "SealRejected";
       case Err::Deadline: return "Deadline";
+      case Err::AttestationFailed: return "AttestationFailed";
     }
     return "Unknown";
 }

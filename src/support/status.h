@@ -57,10 +57,13 @@ enum class Err : std::uint32_t {
     SealRejected,
     /// Serving layer: request shed because its deadline passed in queue.
     Deadline,
+    /// Trust path: NEREPORT evidence chain failed verification (bad MAC,
+    /// identity/signer mismatch, wrong chain depth, or stale nonce).
+    AttestationFailed,
 };
 
 /** Number of Err enumerators (exhaustive errName round-trip tests). */
-constexpr std::size_t kErrCount = std::size_t(Err::Deadline) + 1;
+constexpr std::size_t kErrCount = std::size_t(Err::AttestationFailed) + 1;
 
 /** Human-readable name for an error code. */
 const char* errName(Err e);

@@ -59,6 +59,7 @@ kindName(EventKind kind)
       case EventKind::SwitchlessPoll: return "SwitchlessPoll";
       case EventKind::LogWarn: return "LogWarn";
       case EventKind::LogError: return "LogError";
+      case EventKind::ServeTenantMigrate: return "ServeTenantMigrate";
     }
     return "?";
 }

@@ -98,10 +98,12 @@ enum class EventKind : std::uint8_t {
                         ///< (`arg0` = ring id)
     LogWarn,            ///< model warning routed off the logger
     LogError,           ///< model error routed off the logger
+    ServeTenantMigrate, ///< live tenant relocated (`arg0` tenant,
+                        ///< `arg1` = 0 gateway move / 1 host move)
 };
 
 constexpr std::size_t kEventKindCount =
-    std::size_t(EventKind::LogError) + 1;
+    std::size_t(EventKind::ServeTenantMigrate) + 1;
 
 /** Which leaf a LeafEnter/LeafExit refers to. */
 enum class Leaf : std::uint8_t {

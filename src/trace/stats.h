@@ -64,6 +64,7 @@ struct StatsCounters {
     Counter faultsInjected;       ///< FaultInjector hits fired
     Counter serveRetries;         ///< transient redispatches
     Counter serveTenantRebuilds;  ///< poisoned inners rebuilt
+    Counter serveTenantMigrations; ///< live tenants relocated
     Counter serveBreakerOpens;    ///< circuit-breaker opens
     Counter serveBreakerCloses;   ///< half-open probes passed
     Counter serveWatermarkMisses; ///< relieve() watermark unmet
@@ -123,6 +124,9 @@ class StatsSink : public TraceSink {
           case EventKind::ServeRetry: ++counters_.serveRetries; break;
           case EventKind::ServeTenantRebuild:
             ++counters_.serveTenantRebuilds;
+            break;
+          case EventKind::ServeTenantMigrate:
+            ++counters_.serveTenantMigrations;
             break;
           case EventKind::ServeBreakerOpen:
             ++counters_.serveBreakerOpens;

@@ -1,0 +1,333 @@
+/**
+ * Live-migration tests: gateway moves preserve the sealed session
+ * (key, replay high-water mark, sql journal), replay of pre-migration
+ * traffic is refused after the move (the NESGX_BUG_MIGRATE_REPLAY
+ * mutation breaks exactly this), aborted moves leave the source
+ * serving, and cross-host moves through a two-Machine Fleet re-wrap
+ * the snapshot between root-of-trust domains and keep serving.
+ */
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "harness.h"
+#include "migrate/engine.h"
+#include "serve/client.h"
+#include "serve/service.h"
+#include "trace/sink.h"
+
+namespace nesgx::test {
+namespace {
+
+using serve::TenantId;
+using serve::Workload;
+
+serve::TenantService::Config
+attestedConfig()
+{
+    serve::TenantService::Config sc;
+    sc.attestOnboarding = true;
+    sc.registry.tenantsPerOuter = 2;
+    return sc;
+}
+
+/** Submits n requests, pumps, and verifies every response. */
+void
+serveRound(serve::TenantService& service, serve::TenantClient& client,
+           TenantId id, int n)
+{
+    for (int i = 0; i < n; ++i) {
+        ASSERT_TRUE(service.submit(id, client.nextRequest()).isOk());
+    }
+    service.pump();
+    std::uint64_t verified = 0;
+    for (auto& done : service.drain()) {
+        if (client.onResponse(done.sealedResponse)) ++verified;
+    }
+    ASSERT_EQ(verified, std::uint64_t(n));
+}
+
+class GatewayMigration : public ::testing::TestWithParam<bool> {
+  protected:
+    void SetUp() override
+    {
+        auto config = World::smallConfig();
+        config.taggedTlb = GetParam();
+        world_ = std::make_unique<World>(config);
+        service_ = std::make_unique<serve::TenantService>(*world_->urts,
+                                                          attestedConfig());
+    }
+
+    void arm(const std::string& spec)
+    {
+        auto plan = fault::FaultPlan::parse(spec);
+        ASSERT_TRUE(plan.isOk()) << spec;
+        injector_ =
+            std::make_unique<fault::FaultInjector>(plan.value(), 1);
+        world_->machine.setFaultInjector(injector_.get());
+    }
+
+    std::unique_ptr<World> world_;
+    std::unique_ptr<serve::TenantService> service_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    migrate::MigrationEngine engine_;
+};
+
+TEST_P(GatewayMigration, SessionSurvivesTheMoveWithSequenceContinuity)
+{
+    ASSERT_TRUE(service_->addTenant(1, Workload::Echo).isOk());
+    serve::TenantClient client(1, Workload::Echo,
+                               service_->sessionKeyFor(1));
+    serveRound(*service_, client, 1, 5);
+
+    const auto before = service_->registry().find(1)->gatewayIndex;
+    ASSERT_TRUE(engine_.migrateToGateway(*service_, 1).isOk());
+    const auto& tenant = *service_->registry().find(1);
+    EXPECT_NE(tenant.gatewayIndex, before);
+    EXPECT_EQ(tenant.migrations.load(), 1u);
+    EXPECT_EQ(engine_.stats().gatewayMoves, 1u);
+    EXPECT_GT(engine_.stats().pagesDrained, 0u);
+    EXPECT_EQ(engine_.stats().latency.count(), 1u);
+
+    // No reseal, no sequence reset: the client keeps counting from 6.
+    // A fresh (rebuilt-style) instance would refuse these as replays of
+    // nothing — only imported replay state makes them verify.
+    serveRound(*service_, client, 1, 5);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(GatewayMigration, SqlStateTravelsViaJournalReplay)
+{
+    ASSERT_TRUE(service_->addTenant(2, Workload::Sql).isOk());
+    serve::TenantClient client(2, Workload::Sql,
+                               service_->sessionKeyFor(2));
+    // CREATE + a few INSERT/SELECT/UPDATEs build real table state.
+    serveRound(*service_, client, 2, 7);
+
+    ASSERT_TRUE(engine_.migrateToGateway(*service_, 2).isOk());
+
+    // The client's shadow database keeps mirroring statement for
+    // statement: SELECT/UPDATE results only match if the destination
+    // rebuilt the exact same tables from the journal.
+    serveRound(*service_, client, 2, 6);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(GatewayMigration, PreMigrationTrafficIsRefusedAfterTheMove)
+{
+    ASSERT_TRUE(service_->addTenant(3, Workload::Echo).isOk());
+    serve::TenantClient client(3, Workload::Echo,
+                               service_->sessionKeyFor(3));
+    serveRound(*service_, client, 3, 3);
+
+    // Capture a request sealed before the move (seq 4), serve it once,
+    // then migrate and replay the capture. The snapshot carries the
+    // replay high-water mark, so the destination must refuse it —
+    // NESGX_BUG_MIGRATE_REPLAY (skipping that restore) accepts it and
+    // fails exactly this assertion.
+    Bytes captured = client.nextRequest();
+    ASSERT_TRUE(service_->submit(3, Bytes(captured)).isOk());
+    service_->pump();
+    for (auto& done : service_->drain()) {
+        EXPECT_TRUE(client.onResponse(done.sealedResponse));
+    }
+
+    ASSERT_TRUE(engine_.migrateToGateway(*service_, 3).isOk());
+
+    ASSERT_TRUE(service_->submit(3, std::move(captured)).isOk());
+    service_->pump();
+    auto done = service_->drain();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_FALSE(done[0].ok) << "stale pre-migration seal accepted: "
+                                "replay window did not survive the move";
+    EXPECT_TRUE(done[0].sealedResponse.empty());
+
+    // And the session itself still works past the refused replay.
+    serveRound(*service_, client, 3, 2);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(GatewayMigration, ImportFaultRollsBackAndSourceKeepsServing)
+{
+    ASSERT_TRUE(service_->addTenant(4, Workload::Echo).isOk());
+    serve::TenantClient client(4, Workload::Echo,
+                               service_->sessionKeyFor(4));
+    serveRound(*service_, client, 4, 3);
+
+    arm("migrate-import-fail@n=1");
+    const auto before = service_->registry().find(4)->gatewayIndex;
+    const auto gateways = service_->registry().gatewayCount();
+
+    EXPECT_FALSE(engine_.migrateToGateway(*service_, 4).isOk());
+    EXPECT_EQ(engine_.stats().aborted, 1u);
+    EXPECT_EQ(engine_.stats().rolledBack, 1u);
+    EXPECT_EQ(engine_.stats().gatewayMoves, 0u);
+
+    // Source untouched: same gateway, staged slot abandoned, and the
+    // session serves on without any reseal.
+    EXPECT_EQ(service_->registry().find(4)->gatewayIndex, before);
+    EXPECT_GE(service_->registry().gatewayCount(), gateways);
+    serveRound(*service_, client, 4, 3);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(GatewayMigration, ExportFaultAbortsBeforeAnyStaging)
+{
+    ASSERT_TRUE(service_->addTenant(5, Workload::Echo).isOk());
+    serve::TenantClient client(5, Workload::Echo,
+                               service_->sessionKeyFor(5));
+    serveRound(*service_, client, 5, 2);
+
+    arm("migrate-export-fail@n=1");
+
+    EXPECT_FALSE(engine_.migrateToGateway(*service_, 5).isOk());
+    EXPECT_EQ(engine_.stats().aborted, 1u);
+    EXPECT_EQ(engine_.stats().rolledBack, 0u);  // nothing was staged
+    serveRound(*service_, client, 5, 2);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TlbModes, GatewayMigration, ::testing::Bool(),
+                         [](const auto& info) {
+                             return info.param ? "taggedTlb" : "flushTlb";
+                         });
+
+/** Counts ServeTenantMigrate events and their host/gateway flavor. */
+struct MigrateSink : trace::TraceSink {
+    std::uint64_t gatewayMoves = 0;
+    std::uint64_t hostMoves = 0;
+    void onEvent(const trace::TraceEvent& event) override
+    {
+        if (event.kind != trace::EventKind::ServeTenantMigrate) return;
+        if (event.arg1 == 0) ++gatewayMoves;
+        else ++hostMoves;
+    }
+};
+
+class HostMigration : public ::testing::TestWithParam<bool> {
+  protected:
+    void SetUp() override
+    {
+        auto config = World::smallConfig();
+        config.taggedTlb = GetParam();
+        worldA_ = std::make_unique<World>(config);
+        config.rngSeed = 99;  // genuinely different root of trust
+        worldB_ = std::make_unique<World>(config);
+        serviceA_ = std::make_unique<serve::TenantService>(
+            *worldA_->urts, attestedConfig());
+        serviceB_ = std::make_unique<serve::TenantService>(
+            *worldB_->urts, attestedConfig());
+        fleet_.addHost(*serviceA_);
+        fleet_.addHost(*serviceB_);
+    }
+
+    void armOnB(const std::string& spec)
+    {
+        auto plan = fault::FaultPlan::parse(spec);
+        ASSERT_TRUE(plan.isOk()) << spec;
+        injector_ =
+            std::make_unique<fault::FaultInjector>(plan.value(), 1);
+        worldB_->machine.setFaultInjector(injector_.get());
+    }
+
+    std::unique_ptr<World> worldA_;
+    std::unique_ptr<World> worldB_;
+    std::unique_ptr<serve::TenantService> serviceA_;
+    std::unique_ptr<serve::TenantService> serviceB_;
+    std::unique_ptr<fault::FaultInjector> injector_;
+    migrate::Fleet fleet_;
+    migrate::MigrationEngine engine_;
+};
+
+TEST_P(HostMigration, SessionSurvivesAcrossMachines)
+{
+    ASSERT_TRUE(fleet_.addTenant(1, Workload::Sql, 0).isOk());
+    serve::TenantClient client(1, Workload::Sql,
+                               serviceA_->sessionKeyFor(1));
+    auto fleetRound = [&](int n) {
+        for (int i = 0; i < n; ++i) {
+            ASSERT_TRUE(fleet_.submit(1, client.nextRequest()).isOk());
+        }
+        fleet_.pumpAll();
+        std::uint64_t verified = 0;
+        for (auto& done : fleet_.drainAll()) {
+            if (client.onResponse(done.sealedResponse)) ++verified;
+        }
+        ASSERT_EQ(verified, std::uint64_t(n));
+    };
+    fleetRound(6);
+
+    MigrateSink sink;
+    worldB_->machine.trace().subscribe(&sink);
+    ASSERT_TRUE(fleet_.migrateAcross(engine_, 1, 1).isOk());
+    worldB_->machine.trace().unsubscribe(&sink);
+
+    // Routing flipped, the source forgot the tenant, the destination
+    // owns it (attested under its own trust path), and the event
+    // stream records a host move.
+    EXPECT_EQ(fleet_.hostIndexOf(1), 1u);
+    EXPECT_EQ(serviceA_->registry().find(1), nullptr);
+    ASSERT_NE(serviceB_->registry().find(1), nullptr);
+    EXPECT_TRUE(serviceB_->registry().find(1)->verified);
+    EXPECT_EQ(engine_.stats().hostMoves, 1u);
+    EXPECT_EQ(sink.hostMoves, 1u);
+
+    // Same client object, same key, same sequence counter — the sql
+    // journal replayed on machine B, so SELECTs keep matching the
+    // client's shadow database.
+    fleetRound(6);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(HostMigration, QueuedRequestsTravelWithTheTenant)
+{
+    ASSERT_TRUE(fleet_.addTenant(2, Workload::Echo, 0).isOk());
+    serve::TenantClient client(2, Workload::Echo,
+                               serviceA_->sessionKeyFor(2));
+    // Enqueue without pumping: the move must carry the backlog.
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(fleet_.submit(2, client.nextRequest()).isOk());
+    }
+    ASSERT_TRUE(fleet_.migrateAcross(engine_, 2, 1).isOk());
+    EXPECT_EQ(engine_.stats().requeued, 4u);
+
+    fleet_.pumpAll();
+    std::uint64_t verified = 0;
+    for (auto& done : fleet_.drainAll()) {
+        if (client.onResponse(done.sealedResponse)) ++verified;
+    }
+    EXPECT_EQ(verified, 4u);
+    EXPECT_EQ(client.failures(), 0u);
+}
+
+TEST_P(HostMigration, DestinationImportFaultLeavesSourceAuthoritative)
+{
+    ASSERT_TRUE(fleet_.addTenant(3, Workload::Echo, 0).isOk());
+    serve::TenantClient client(3, Workload::Echo,
+                               serviceA_->sessionKeyFor(3));
+
+    armOnB("migrate-import-fail@n=1");
+
+    EXPECT_FALSE(fleet_.migrateAcross(engine_, 3, 1).isOk());
+    EXPECT_EQ(engine_.stats().rolledBack, 1u);
+    EXPECT_EQ(fleet_.hostIndexOf(3), 0u);
+    EXPECT_EQ(serviceB_->registry().find(3), nullptr);
+    ASSERT_NE(serviceA_->registry().find(3), nullptr);
+
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_TRUE(fleet_.submit(3, client.nextRequest()).isOk());
+    }
+    fleet_.pumpAll();
+    std::uint64_t verified = 0;
+    for (auto& done : fleet_.drainAll()) {
+        if (client.onResponse(done.sealedResponse)) ++verified;
+    }
+    EXPECT_EQ(verified, 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(TlbModes, HostMigration, ::testing::Bool(),
+                         [](const auto& info) {
+                             return info.param ? "taggedTlb" : "flushTlb";
+                         });
+
+}  // namespace
+}  // namespace nesgx::test

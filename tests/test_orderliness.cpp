@@ -73,6 +73,64 @@ TEST_P(Orderliness, DeepChainCompositeReplaysClean)
         << ruleName(violation->rule) << ": " << violation->message;
 }
 
+/** index=23 (leaf 23%3=2, bits 0..2 = associated third hop, fourth hop
+ *  requested, hostile fourth hop): the depth enclave exists but has no
+ *  association edge to the leaf, so the transition layer must refuse
+ *  the depth-3->4 descent and the parked nest stays the legitimate
+ *  depth-3 chain. A transition layer that stops validating adjacency
+ *  past the served depth would park a 4-frame chain with a missing edge
+ *  — exactly what SavedChainValidity flags. */
+TEST_P(Orderliness, DeepChainHostileFourthHopRefusedAndReplaysClean)
+{
+    std::vector<Step> steps;
+    steps.push_back({Op::Build, 0, 2, 0, 0});
+    steps.push_back({Op::DeepChain, 0, 0, 1, 23});
+    steps.push_back({Op::Eresume, 0, 0, 0, 0});
+    steps.push_back({Op::Neexit, 0, 0, 0, 0});
+    steps.push_back({Op::Neexit, 0, 0, 0, 0});
+    steps.push_back({Op::Eexit, 0, 0, 0, 0});
+
+    auto violation = replay(steps, GetParam());
+    ASSERT_FALSE(violation.has_value())
+        << ruleName(violation->rule) << ": " << violation->message;
+}
+
+/** index=11 (leaf 11%3=2, associated third hop + legitimate fourth
+ *  hop): DeepChain lazily builds the fourth "chk-d" enclave, associates
+ *  it under the leaf and descends to depth 4 — one level past anything
+ *  the serving topology (host -> gateway -> tenant) ever nests. Driven
+ *  against a live world (not replay) so the test can positively assert
+ *  the resumed nest really is 4 frames deep — a vacuous pass where the
+ *  fourth hop silently refused would show depth 3. The parked 4-frame
+ *  chain must satisfy SavedChainValidity edge by edge, and the full
+ *  unwind (ERESUME + three NEEXITs + EEXIT) must hold every invariant
+ *  at every step. */
+TEST_P(Orderliness, DeepChainDepthFourParksAndUnwindsClean)
+{
+    CheckWorld::Config wc;
+    wc.taggedTlb = GetParam();
+    CheckWorld world(wc);
+    InvariantOracle oracle;
+    auto applyOk = [&](Step s) {
+        Status st = world.apply(s);
+        ASSERT_TRUE(st.isOk()) << opName(s.op) << ": " << errName(st.code());
+        auto v = oracle.check(world.machine(), world.kernel(),
+                              world.orphans());
+        ASSERT_FALSE(v.has_value()) << ruleName(v->rule) << ": " << v->message;
+    };
+
+    applyOk({Op::Build, 0, 2, 0, 0});
+    applyOk({Op::DeepChain, 0, 0, 1, 11});
+    ASSERT_EQ(world.coreDepth(0), 0u);  // whole nest parked by the AEX
+    applyOk({Op::Eresume, 0, 0, 0, 0});
+    ASSERT_EQ(world.coreDepth(0), 4u);  // A -> B -> C -> chk-d
+    applyOk({Op::Neexit, 0, 0, 0, 0});
+    applyOk({Op::Neexit, 0, 0, 0, 0});
+    applyOk({Op::Neexit, 0, 0, 0, 0});
+    applyOk({Op::Eexit, 0, 0, 0, 0});
+    ASSERT_EQ(world.coreDepth(0), 0u);
+}
+
 /** Deterministic smoke of the machinery itself: a hand-written sequence
  *  that builds, nests, AEXes and resumes must replay violation-free. */
 TEST_P(Orderliness, HandWrittenNestSequenceReplaysClean)

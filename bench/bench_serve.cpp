@@ -60,8 +60,18 @@
  * cvm_verified == cvm_submitted with cvm_transitions_per_request
  * <= 0.01 under cvm_evictions >= 10, migrate_verified ==
  * migrate_submitted with migrate_gateway_moves >= tenants and
- * migrate_host_moves >= 1 at migrate_aborted == 0, and
- * cvm_chaos_silent_empties == 0 with cvm_chaos_migrations >= 1.
+ * migrate_host_moves >= 1 at migrate_aborted == 0,
+ * cvm_chaos_silent_empties == 0 with cvm_chaos_migrations >= 1, and
+ * (supervision section) evac_verified == evac_target at
+ * evac_silent_empties == 0 with supervise_wedges >= 1,
+ * evac_evacuations >= 1 and evac_redirects >= 1.
+ *
+ * The closing supervision section re-runs the two-host fleet with a
+ * per-host health Supervisor (src/supervise) watching heartbeats:
+ * mid-run the injector crashes a gateway on host A (subtree rebuild)
+ * and then degrades the whole host (epoch-fenced mass evacuation to
+ * host B) — detection latency, evacuation p50/p95 and time to full
+ * recovery are reported, and every response must still verify.
  */
 #include <chrono>
 #include <memory>
@@ -73,6 +83,7 @@
 #include "migrate/engine.h"
 #include "serve/client.h"
 #include "serve/service.h"
+#include "supervise/supervisor.h"
 #include "trace/chrome_sink.h"
 
 namespace nesgx::bench {
@@ -447,7 +458,7 @@ main(int argc, char** argv)
     const std::string chromeTrace = flags.str("chrome-trace", "");
     JsonReport json;
 
-    header("Serve bench 1/9: NEENTER per request vs worker batch size");
+    header("Serve bench 1/10: NEENTER per request vs worker batch size");
     note("closed loop, ample EPC; one EENTER+NEENTER per dispatched batch,");
     note("so transitions per request fall as batch occupancy rises");
     std::printf("\n  %6s %10s %12s %12s %14s %10s %10s\n", "batch", "verified",
@@ -474,7 +485,7 @@ main(int argc, char** argv)
                     (unsigned long long)r.latency.p99());
         json.set("neenter_per_req_batch" + std::to_string(batch), perReq);
         // Per-mode EENTER+NEENTER per request (post-arming snapshot),
-        // the axis the switchless ablation in section 5/9 completes:
+        // the axis the switchless ablation in section 5/10 completes:
         // batch-1 is the classic one-transition-pair-per-request mode,
         // batch-8 the amortized mode.
         if (batch == 1) {
@@ -490,7 +501,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 2/9: open-loop burst arrivals with deadlines");
+    header("Serve bench 2/10: open-loop burst arrivals with deadlines");
     note("the whole request volume arrives before the pool runs; bounded");
     note("queues push back (Err::Backpressure) and queued requests that");
     note("outlive their deadline are shed at dequeue, never dispatched");
@@ -523,7 +534,7 @@ main(int argc, char** argv)
         json.set("open_loop_p99_cycles", double(r.latency.p99()));
     }
 
-    header("Serve bench 3/9: correctness under EPC pressure");
+    header("Serve bench 3/10: correctness under EPC pressure");
     note("4x the tenants on a small EPC: the pressure manager pages cold");
     note("idle tenants out (EBLOCK/ETRACK/EWB) and the registry reloads");
     note("them transparently (ELDU); every sealed response must still");
@@ -567,7 +578,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 4/9: chaos — fault injection and self-healing");
+    header("Serve bench 4/10: chaos — fault injection and self-healing");
     note("the EPC-pressure scenario with the deterministic fault injector");
     note("armed: storage corruption, refused leaves, allocator failures and");
     note("interrupt storms; the pool retries transients, rebuilds poisoned");
@@ -639,7 +650,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 5/9: switchless ablation — killing the transition tax");
+    header("Serve bench 5/10: switchless ablation — killing the transition tax");
     note("the 4x-oversubscribed tenant fleet again, dispatched over the");
     note("exit-less ring channels: pollers park once up front (classic");
     note("EENTER/NEENTER, before the metric snapshot), then the steady");
@@ -698,7 +709,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 6/9: requests/sec vs real OS worker threads");
+    header("Serve bench 6/10: requests/sec vs real OS worker threads");
     note("a 24-tenant fleet with its whole request volume queued up front;");
     note("the parallel pool drains it with one OS thread per simulated core");
     note("(sharded EPCM, per-core TLBs, merged trace) and a wall-clock timer");
@@ -744,7 +755,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 7/9: depth-3 CVM tree — nesting the whole fleet");
+    header("Serve bench 7/10: depth-3 CVM tree — nesting the whole fleet");
     note("--topology cvm: one depth-1 CVM root hosts every gateway as a");
     note("depth-2 inner and tenants serve at depth 3 (paper §VIII). The");
     note("oversubscribed fleet again, dispatched over per-hop switchless");
@@ -817,7 +828,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 8/9: live migration — two hosts, one sealed session");
+    header("Serve bench 8/10: live migration — two hosts, one sealed session");
     note("the 24-tenant 4x-oversubscribed fleet split across two simulated");
     note("host Machines (distinct root keys) behind a Fleet router; every");
     note("tenant live-migrates to a different gateway mid-run and a rolling");
@@ -969,7 +980,7 @@ main(int argc, char** argv)
         }
     }
 
-    header("Serve bench 9/9: chaos x topology — CVM tree under fault storm");
+    header("Serve bench 9/10: chaos x topology — CVM tree under fault storm");
     note("the depth-3 CVM fleet with the fault injector armed (paging");
     note("corruption, refused leaves, allocator failures, interrupt storms");
     note("AND migrate-stage faults) while live migrations fire mid-storm:");
@@ -1033,6 +1044,287 @@ main(int argc, char** argv)
                          (unsigned long long)r.migrations,
                          (unsigned long long)r.recovered,
                          (unsigned long long)params.tenants);
+            return 1;
+        }
+    }
+
+    header("Serve bench 10/10: failure-domain supervision — evacuation "
+           "under chaos");
+    note("the two-host fleet again, now with a per-host supervisor watching");
+    note("heartbeat counters: mid-run the injector crashes a gateway on");
+    note("host A (wedge -> subtree rebuild) and later degrades the whole");
+    note("host (wedge -> epoch-fenced mass evacuation to host B). Every");
+    note("placement change bumps the tenant's epoch, so stale submits are");
+    note("refused with a typed WrongEpoch redirect and clients re-resolve");
+    note("with exponential backoff — 480/480 responses must still verify");
+    {
+        const std::uint64_t nTenants = 24;
+        const std::uint64_t perTenant = 20;
+        const std::uint64_t total = nTenants * perTenant;  // 480
+
+        auto mkConfig = [&](std::uint64_t seed) {
+            auto config = defaultConfig();
+            config.rngSeed = seed;  // distinct sealing-key root per host
+            config.prmBytes = (1024 + 64) * hw::kPageSize;
+            return config;
+        };
+        BenchWorld hostA(mkConfig(42));
+        BenchWorld hostB(mkConfig(99));
+
+        serve::TenantService::Config sc;
+        sc.pool.batchSize = 8;
+        sc.attestOnboarding = true;
+        serve::TenantService serviceA(*hostA.urts, sc);
+        serve::TenantService serviceB(*hostB.urts, sc);
+
+        migrate::Fleet fleet;
+        fleet.addHost(serviceA);
+        fleet.addHost(serviceB);
+        migrate::MigrationEngine engine;
+
+        supervise::Config supCfg;
+        supCfg.wedgeTicks = 1;
+        supCfg.rungPatience = 1;
+        supervise::Supervisor supA(serviceA, supCfg);
+        supA.attachFleet(fleet, engine, 0);
+        supervise::Supervisor supB(serviceB, supCfg);
+        supB.attachFleet(fleet, engine, 1);
+
+        const std::vector<serve::Workload> mix = {serve::Workload::Echo,
+                                                  serve::Workload::Sql,
+                                                  serve::Workload::Svm};
+        std::vector<std::unique_ptr<serve::TenantClient>> clients;
+        std::vector<std::uint64_t> verifiedPer(nTenants, 0);
+        std::vector<std::uint64_t> owed(nTenants, 0);  // failed, resubmit
+        for (std::uint64_t t = 0; t < nTenants; ++t) {
+            auto workload = mix[t % mix.size()];
+            fleet.addTenant(serve::TenantId(t), workload, 0)
+                .orThrow("tenant");
+            const Bytes key =
+                fleet.hostOf(serve::TenantId(t))
+                    ->sessionKeyFor(serve::TenantId(t));
+            clients.push_back(std::make_unique<serve::TenantClient>(
+                serve::TenantId(t), workload, key));
+            const auto p = fleet.placement(serve::TenantId(t));
+            clients[t]->onPlacement(p.epoch, p.incarnation);
+        }
+
+        std::uint64_t submitted = 0;
+        std::uint64_t verified = 0;
+        std::uint64_t redirects = 0;
+        std::uint64_t typedErrors = 0;
+        std::uint64_t silentEmpties = 0;
+        Histogram latency;
+
+        // Fenced submit: the request carries the client's placement
+        // epoch; a WrongEpoch refusal backs off (deterministic jitter,
+        // burned on the current host's sim clock), re-resolves the
+        // placement through the fleet router and restamps.
+        auto submitFenced = [&](serve::TenantId id) {
+            serve::TenantClient& c = *clients[id];
+            for (int attempt = 0; attempt < 6; ++attempt) {
+                Status st =
+                    fleet.submitStamped(id, c.nextStampedRequest());
+                if (st.isOk()) {
+                    ++submitted;
+                    return true;
+                }
+                c.onDropped();  // that seal never reached a server
+                if (st.code() != Err::WrongEpoch) return false;
+                ++redirects;
+                const std::uint64_t backoff = c.onWrongEpoch();
+                if (serve::TenantService* host = fleet.hostOf(id)) {
+                    host->registry().urts().machine().charge(backoff);
+                }
+                const auto p = fleet.placement(id);
+                if (p.epoch != 0) c.onPlacement(p.epoch, p.incarnation);
+            }
+            return false;
+        };
+
+        auto drainFleet = [&]() {
+            std::set<serve::TenantId> rebuiltSeen;
+            for (serve::Completion& done : fleet.drainAll()) {
+                latency.add(done.latencyCycles);
+                if (done.tenantRebuilt &&
+                    rebuiltSeen.insert(done.tenant).second) {
+                    clients[done.tenant]->onTenantRebuilt();
+                }
+                if (done.ok) {
+                    if (clients[done.tenant]->onResponse(
+                            done.sealedResponse)) {
+                        ++verifiedPer[done.tenant];
+                        ++verified;
+                    }
+                } else if (done.status.isOk()) {
+                    ++silentEmpties;
+                } else {
+                    ++typedErrors;
+                    if (!done.tenantRebuilt) {
+                        clients[done.tenant]->onDropped();
+                    }
+                    ++owed[done.tenant];
+                }
+            }
+        };
+
+        // Resubmits everything owed (requests that failed typed during a
+        // wedge) until the fleet settles or the bound trips.
+        auto settle = [&](int bound) {
+            for (int i = 0; i < bound; ++i) {
+                std::uint64_t pending = 0;
+                for (std::uint64_t t = 0; t < nTenants; ++t) {
+                    while (owed[t] > 0) {
+                        --owed[t];
+                        if (!submitFenced(serve::TenantId(t))) {
+                            ++owed[t];
+                            break;
+                        }
+                        ++pending;
+                    }
+                }
+                if (pending == 0) return;
+                fleet.pumpAll();
+                supA.tick();
+                supB.tick();
+                drainFleet();
+            }
+        };
+
+        auto crashPlan = fault::FaultPlan::parse("gateway-crash@n=1");
+        auto degradePlan = fault::FaultPlan::parse("host-degrade@n=1");
+        crashPlan.orThrow("crash plan");
+        degradePlan.orThrow("degrade plan");
+        fault::FaultInjector crashInjector(crashPlan.value(), 11);
+        fault::FaultInjector degradeInjector(degradePlan.value(), 13);
+
+        std::uint64_t bClockAtDegrade = 0;
+        for (std::uint64_t round = 0; round < perTenant; ++round) {
+            if (round == 6) {
+                hostA.machine.setFaultInjector(&crashInjector);
+            }
+            if (round == 12) {
+                hostA.machine.setFaultInjector(&degradeInjector);
+                bClockAtDegrade = hostB.machine.clock().cycles();
+            }
+            for (std::uint64_t t = 0; t < nTenants; ++t) {
+                if (!submitFenced(serve::TenantId(t))) {
+                    ++owed[t];  // retried by settle below
+                }
+            }
+            fleet.pumpAll();
+            supA.tick();
+            supB.tick();
+            drainFleet();
+            settle(12);
+        }
+        settle(40);
+        fleet.pumpAll();
+        drainFleet();
+        const std::uint64_t recoveryCycles =
+            hostB.machine.clock().cycles() - bClockAtDegrade;
+
+        std::uint64_t failures = 0;
+        for (const auto& client : clients) {
+            failures += client->failures();
+        }
+        std::uint64_t shortTenants = 0;
+        for (std::uint64_t v : verifiedPer) {
+            if (v < perTenant) ++shortTenants;
+        }
+        const auto& sa = supA.stats();
+        const std::uint64_t wedges = sa.wedges + supB.stats().wedges;
+        const std::uint64_t faultsFired = crashInjector.totalInjected() +
+                                          degradeInjector.totalInjected();
+
+        std::printf("\n  tenants %llu, verified %llu/%llu, failures %llu, "
+                    "silent empties %llu\n",
+                    (unsigned long long)nTenants,
+                    (unsigned long long)verified,
+                    (unsigned long long)total,
+                    (unsigned long long)failures,
+                    (unsigned long long)silentEmpties);
+        std::printf("  wedges %llu (kick %llu, tenant rebuild %llu, "
+                    "subtree rebuild %llu, evacuations %llu/%llu)\n",
+                    (unsigned long long)wedges,
+                    (unsigned long long)sa.kicks,
+                    (unsigned long long)sa.tenantRebuilds,
+                    (unsigned long long)sa.subtreeRebuilds,
+                    (unsigned long long)sa.evacuations,
+                    (unsigned long long)nTenants);
+        std::printf("  epoch redirects %llu, typed errors %llu, "
+                    "faults fired %llu\n",
+                    (unsigned long long)redirects,
+                    (unsigned long long)typedErrors,
+                    (unsigned long long)faultsFired);
+        std::printf("  detection cycles:  p50 %llu  p95 %llu\n",
+                    (unsigned long long)sa.detectionLatency.p50(),
+                    (unsigned long long)sa.detectionLatency.p95());
+        std::printf("  evacuation cycles: p50 %llu  p95 %llu\n",
+                    (unsigned long long)sa.evacuationLatency.p50(),
+                    (unsigned long long)sa.evacuationLatency.p95());
+        std::printf("  time to full recovery after degrade: %llu cycles\n",
+                    (unsigned long long)recoveryCycles);
+
+        json.set("evac_target", double(total));
+        json.set("evac_submitted", double(submitted));
+        json.set("evac_verified", double(verified));
+        json.set("evac_integrity_failures", double(failures));
+        json.set("evac_silent_empties", double(silentEmpties));
+        json.set("evac_typed_errors", double(typedErrors));
+        json.set("evac_redirects", double(redirects));
+        json.set("evac_evacuations", double(sa.evacuations));
+        json.set("evac_failed", double(sa.evacuationFailures));
+        json.set("evac_p50_cycles", double(sa.evacuationLatency.p50()));
+        json.set("evac_p95_cycles", double(sa.evacuationLatency.p95()));
+        json.set("evac_recovery_cycles", double(recoveryCycles));
+        json.set("supervise_wedges", double(wedges));
+        json.set("supervise_kicks", double(sa.kicks));
+        json.set("supervise_tenant_rebuilds", double(sa.tenantRebuilds));
+        json.set("supervise_subtree_rebuilds", double(sa.subtreeRebuilds));
+        json.set("supervise_detection_p50",
+                 double(sa.detectionLatency.p50()));
+        json.set("supervise_detection_p95",
+                 double(sa.detectionLatency.p95()));
+        json.set("supervise_faults_fired", double(faultsFired));
+
+        if (verified != total || failures > 0 || silentEmpties > 0 ||
+            shortTenants > 0) {
+            std::fprintf(stderr,
+                         "FAIL: supervision run must verify every request "
+                         "(%llu/%llu, %llu failures, %llu silent empties, "
+                         "%llu tenants short)\n",
+                         (unsigned long long)verified,
+                         (unsigned long long)total,
+                         (unsigned long long)failures,
+                         (unsigned long long)silentEmpties,
+                         (unsigned long long)shortTenants);
+            return 1;
+        }
+        if (faultsFired < 2 || wedges < 1 || sa.subtreeRebuilds < 1 ||
+            sa.evacuations < nTenants || sa.evacuationFailures > 0) {
+            std::fprintf(stderr,
+                         "FAIL: supervision run must fire both faults "
+                         "(got %llu), wedge (got %llu), subtree-rebuild "
+                         "(got %llu) and evacuate every tenant "
+                         "(got %llu/%llu with %llu failures)\n",
+                         (unsigned long long)faultsFired,
+                         (unsigned long long)wedges,
+                         (unsigned long long)sa.subtreeRebuilds,
+                         (unsigned long long)sa.evacuations,
+                         (unsigned long long)nTenants,
+                         (unsigned long long)sa.evacuationFailures);
+            return 1;
+        }
+        if (redirects < 1 || sa.detectionLatency.count() == 0 ||
+            sa.evacuationLatency.count() == 0) {
+            std::fprintf(stderr,
+                         "FAIL: supervision run must fence epochs "
+                         "(%llu redirects) and record latencies "
+                         "(%zu detection, %zu evacuation samples)\n",
+                         (unsigned long long)redirects,
+                         sa.detectionLatency.count(),
+                         sa.evacuationLatency.count());
             return 1;
         }
     }

@@ -1,7 +1,9 @@
 #include "fault/injector.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
+#include <vector>
 
 namespace nesgx::fault {
 
@@ -21,6 +23,9 @@ siteName(FaultSite site)
       case FaultSite::RingStall: return "ring-stall";
       case FaultSite::MigrateExportFail: return "migrate-export-fail";
       case FaultSite::MigrateImportFail: return "migrate-import-fail";
+      case FaultSite::PollerWedge: return "poller-wedge";
+      case FaultSite::GatewayCrash: return "gateway-crash";
+      case FaultSite::HostDegrade: return "host-degrade";
     }
     return "unknown";
 }
@@ -93,10 +98,55 @@ trimmed(std::string_view s)
     return s;
 }
 
+/** Levenshtein distance, for the "did you mean" suggestion below. */
+std::size_t
+editDistance(std::string_view a, std::string_view b)
+{
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            diag = row[j];
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+        }
+    }
+    return row[b.size()];
+}
+
+/** Closest known site name to a typo'd one, or "" if nothing is close. */
+std::string
+closestSiteName(std::string_view name)
+{
+    std::size_t best = std::size_t(-1);
+    const char* bestName = nullptr;
+    for (std::size_t i = 0; i < kFaultSiteCount; ++i) {
+        const char* candidate = siteName(FaultSite(i));
+        const std::size_t d = editDistance(name, candidate);
+        if (d < best) {
+            best = d;
+            bestName = candidate;
+        }
+    }
+    // A suggestion further than half the typo's length away is noise.
+    if (bestName != nullptr && best <= std::max<std::size_t>(2, name.size() / 2)) {
+        return bestName;
+    }
+    return {};
+}
+
+void
+setError(std::string* error, const std::string& message)
+{
+    if (error != nullptr) *error = message;
+}
+
 }  // namespace
 
 Result<FaultPlan>
-FaultPlan::parse(const std::string& spec)
+FaultPlan::parse(const std::string& spec, std::string* error)
 {
     FaultPlan plan;
     std::size_t pos = 0;
@@ -109,34 +159,72 @@ FaultPlan::parse(const std::string& spec)
         if (clause.empty()) continue;
 
         std::size_t at = clause.find('@');
-        if (at == std::string_view::npos) return Err::BadCallBuffer;
+        if (at == std::string_view::npos) {
+            setError(error, "clause '" + std::string(clause) +
+                                "' has no '@' (expected site@trigger)");
+            return Err::BadCallBuffer;
+        }
         FaultSite site;
-        if (!siteFromName(trimmed(clause.substr(0, at)), site)) {
+        const std::string name(trimmed(clause.substr(0, at)));
+        if (!siteFromName(name, site)) {
+            std::string message = "unknown fault site '" + name + "'";
+            const std::string suggestion = closestSiteName(name);
+            if (!suggestion.empty()) {
+                message += " — did you mean '" + suggestion + "'?";
+            }
+            setError(error, message);
             return Err::NotFound;
         }
         std::string_view trig = trimmed(clause.substr(at + 1));
         std::size_t eq = trig.find('=');
-        if (eq == std::string_view::npos) return Err::BadCallBuffer;
+        if (eq == std::string_view::npos) {
+            setError(error, "trigger '" + std::string(trig) + "' for site '" +
+                                name + "' has no '=' (expected n=<N>, "
+                                "every=<K> or p=<float>)");
+            return Err::BadCallBuffer;
+        }
         std::string_view key = trimmed(trig.substr(0, eq));
         std::string value(trimmed(trig.substr(eq + 1)));
-        if (value.empty()) return Err::BadCallBuffer;
+        if (value.empty()) {
+            setError(error, "trigger '" + std::string(key) + "' for site '" +
+                                name + "' has an empty value");
+            return Err::BadCallBuffer;
+        }
 
         char* parseEnd = nullptr;
         if (key == "n") {
             std::uint64_t n = std::strtoull(value.c_str(), &parseEnd, 10);
-            if (*parseEnd != '\0' || n == 0) return Err::BadCallBuffer;
+            if (*parseEnd != '\0' || n == 0) {
+                setError(error, "bad occurrence count '" + value +
+                                    "' for site '" + name +
+                                    "' (expected a positive integer)");
+                return Err::BadCallBuffer;
+            }
             plan.set(site, Trigger::nth(n));
         } else if (key == "every") {
             std::uint64_t k = std::strtoull(value.c_str(), &parseEnd, 10);
-            if (*parseEnd != '\0' || k == 0) return Err::BadCallBuffer;
+            if (*parseEnd != '\0' || k == 0) {
+                setError(error, "bad period '" + value + "' for site '" +
+                                    name +
+                                    "' (expected a positive integer)");
+                return Err::BadCallBuffer;
+            }
             plan.set(site, Trigger::every(k));
         } else if (key == "p") {
             double p = std::strtod(value.c_str(), &parseEnd);
             if (*parseEnd != '\0' || p < 0.0 || p > 1.0) {
+                setError(error, "bad probability '" + value + "' for site '" +
+                                    name + "' (expected 0.0 <= p <= 1.0)");
                 return Err::BadCallBuffer;
             }
             plan.set(site, Trigger::probability(p));
         } else {
+            std::string message = "unknown trigger '" + std::string(key) +
+                                  "' for site '" + name + "'";
+            if (editDistance(key, "every") <= 2) {
+                message += " — did you mean 'every'?";
+            }
+            setError(error, message);
             return Err::BadCallBuffer;
         }
     }

@@ -47,10 +47,18 @@ enum class FaultSite : std::uint8_t {
     MigrateImportFail,  ///< migration import aborts post-stage; the
                         ///< destination instance is rolled back
                         ///< ("migrate-import-fail")
+    PollerWedge,   ///< switchless channel wedges: posts land but the
+                   ///< poller stops draining until disarm ("poller-wedge")
+    GatewayCrash,  ///< gateway outer marked crashed; data-plane
+                   ///< dispatches refuse until the subtree is rebuilt
+                   ///< ("gateway-crash")
+    HostDegrade,   ///< whole host marked degraded; data plane refuses
+                   ///< while control plane (export/import) still works,
+                   ///< so evacuation can drain it ("host-degrade")
 };
 
 constexpr std::size_t kFaultSiteCount =
-    std::size_t(FaultSite::MigrateImportFail) + 1;
+    std::size_t(FaultSite::HostDegrade) + 1;
 
 const char* siteName(FaultSite site);
 
@@ -92,8 +100,14 @@ struct FaultPlan {
      * tokens is ignored. Example:
      *
      *   ewb-corrupt@n=3; eldu-fail@every=7; aex-storm@p=0.001
+     *
+     * On failure `error` (when non-null) receives a human-readable
+     * diagnostic naming the offending clause — unknown sites come back
+     * with a "did you mean" suggestion so a typo'd chaos plan fails
+     * loudly instead of running fault-free.
      */
-    static Result<FaultPlan> parse(const std::string& spec);
+    static Result<FaultPlan> parse(const std::string& spec,
+                                   std::string* error = nullptr);
 
     /** Round-trippable description (parse(describe()) == *this). */
     std::string describe() const;

@@ -197,6 +197,17 @@ MigrationEngine::migrateToHost(serve::TenantService& src,
         return abort(imported);
     }
 
+    // The move is one epoch step: requests still stamped with the
+    // source placement get a WrongEpoch redirect and re-resolve. The
+    // incarnation carries over unchanged — session state survived, so
+    // clients must NOT reset their seal/replay bookkeeping.
+    dstTenant.value()->epoch.store(
+        srcTenant->epoch.load(std::memory_order_relaxed) + 1,
+        std::memory_order_relaxed);
+    dstTenant.value()->incarnation.store(
+        srcTenant->incarnation.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+
     // Committed: carry the source's queued requests across (same key,
     // same still-unconsumed sequence numbers), then retire the source.
     for (serve::Request& r : src.admission().purge(id)) {
@@ -255,6 +266,21 @@ Fleet::submit(serve::TenantId id, Bytes sealed)
     serve::TenantService* svc = hostOf(id);
     if (!svc) return Err::NotFound;
     return svc->submit(id, std::move(sealed));
+}
+
+Status
+Fleet::submitStamped(serve::TenantId id, Bytes stamped)
+{
+    serve::TenantService* svc = hostOf(id);
+    if (!svc) return Err::NotFound;
+    return svc->submitStamped(id, std::move(stamped));
+}
+
+serve::TenantService::Placement
+Fleet::placement(serve::TenantId id)
+{
+    serve::TenantService* svc = hostOf(id);
+    return svc ? svc->placement(id) : serve::TenantService::Placement{};
 }
 
 std::size_t

@@ -104,6 +104,14 @@ class Fleet {
     /** Routes one sealed request to the tenant's current host. */
     Status submit(serve::TenantId id, Bytes sealed);
 
+    /** Routes one epoch-stamped request (see serve::stampEpoch) to the
+     *  tenant's current host; stale stamps come back Err::WrongEpoch. */
+    Status submitStamped(serve::TenantId id, Bytes stamped);
+
+    /** Resolves the tenant's current placement on its current host —
+     *  what a redirected client re-reads before retrying. */
+    serve::TenantService::Placement placement(serve::TenantId id);
+
     /** Pumps every host's queues; returns total batches. */
     std::size_t pumpAll(std::size_t maxBatchesPerHost = std::size_t(-1));
 

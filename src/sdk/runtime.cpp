@@ -302,7 +302,13 @@ Urts::load(const SignedEnclave& image)
         Status st = kernel_.addPage(enclave->secsPage_,
                                     enclave->base_ + page.offset, page.type,
                                     page.perms, page.content);
-        if (!st) return st;
+        if (!st) {
+            // Abandoning the half-built enclave would leak its SECS and
+            // every page added so far: no handle ever maps them, so the
+            // EPC pressure manager could never reclaim them.
+            (void)kernel_.destroyEnclave(enclave->secsPage_);
+            return st;
+        }
         if (page.type == sgx::PageType::Tcs) {
             const os::EnclaveRecord* rec =
                 kernel_.enclaveRecord(enclave->secsPage_);
@@ -312,7 +318,10 @@ Urts::load(const SignedEnclave& image)
     }
 
     Status st = kernel_.initEnclave(enclave->secsPage_, image.sigstruct);
-    if (!st) return st;
+    if (!st) {
+        (void)kernel_.destroyEnclave(enclave->secsPage_);
+        return st;
+    }
 
     enclave->heap_ =
         TrustedHeap(enclave->base_ + image.heapOffset, image.heapBytes);

@@ -7,7 +7,8 @@ TenantClient::TenantClient(TenantId tenant, Workload workload,
     : tenant_(tenant), workload_(workload),
       gcm_(sessionKey.empty() ? crypto::AesGcm(tenantKey(tenant))
                               : crypto::AesGcm(sessionKey)),
-      rng_(0x5e7ea11ull * (tenant + 1))
+      rng_(0x5e7ea11ull * (tenant + 1)),
+      backoffRng_(0xbac0ffull * (tenant + 1))
 {
 }
 
@@ -72,6 +73,34 @@ TenantClient::nextRequest()
     Bytes plain = makePlaintext(seq, expectedResponse);
     expected_[seq] = std::move(expectedResponse);
     return sealMessage(gcm_, tenant_, kDirRequest, seq, plain);
+}
+
+Bytes
+TenantClient::nextStampedRequest()
+{
+    return stampEpoch(epoch_, nextRequest());
+}
+
+void
+TenantClient::onPlacement(std::uint64_t epoch, std::uint64_t incarnation)
+{
+    if (incarnation_ != 0 && incarnation != incarnation_) onTenantRebuilt();
+    epoch_ = epoch;
+    incarnation_ = incarnation;
+    consecutiveRedirects_ = 0;
+}
+
+std::uint64_t
+TenantClient::onWrongEpoch()
+{
+    ++redirects_;
+    // 1k cycles doubling per consecutive redirect, capped at ~1M, with
+    // up to 50% seeded jitter on top.
+    const std::uint64_t shift =
+        consecutiveRedirects_ < 10 ? consecutiveRedirects_ : 10;
+    ++consecutiveRedirects_;
+    const std::uint64_t base = 1000ull << shift;
+    return base + backoffRng_.next() % (base / 2 + 1);
 }
 
 bool

@@ -34,6 +34,28 @@ class TenantClient {
      *  if the service later sheds it). */
     Bytes nextRequest();
 
+    // --- epoch fencing (placement-aware clients) ---------------------
+
+    /** nextRequest() wrapped in the host-side epoch envelope for
+     *  TenantService::submitStamped. Call onPlacement first. */
+    Bytes nextStampedRequest();
+
+    /** Adopts a freshly resolved placement: `epoch` stamps every future
+     *  request; an `incarnation` change means the server lost in-enclave
+     *  state, so the client resets exactly as onTenantRebuilt (the seal
+     *  targets a fresh instance). Resets the redirect backoff. */
+    void onPlacement(std::uint64_t epoch, std::uint64_t incarnation);
+
+    /** One Err::WrongEpoch redirect: counts it and returns how many
+     *  cycles to back off before re-resolving placement and retrying —
+     *  exponential in the consecutive-redirect count, with deterministic
+     *  seeded jitter so a fleet of redirected clients never thunders
+     *  back in lockstep. */
+    std::uint64_t onWrongEpoch();
+
+    std::uint64_t epoch() const { return epoch_; }
+    std::uint64_t redirectsSeen() const { return redirects_; }
+
     /** Verifies one sealed response; false on any mismatch. An empty
      *  response (shed/refused marker) counts as a failure here — track
      *  those separately with `onDropped`. */
@@ -71,6 +93,14 @@ class TenantClient {
     std::uint64_t verified_ = 0;
     std::uint64_t failures_ = 0;
     std::uint64_t rebuildsSeen_ = 0;
+    /** Placement cache for epoch fencing (0 = never resolved). */
+    std::uint64_t epoch_ = 0;
+    std::uint64_t incarnation_ = 0;
+    std::uint64_t redirects_ = 0;
+    std::uint64_t consecutiveRedirects_ = 0;
+    /** Separate stream from rng_ so backoff jitter never perturbs the
+     *  deterministic request payloads. */
+    Rng backoffRng_;
 };
 
 }  // namespace nesgx::serve

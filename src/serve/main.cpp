@@ -10,6 +10,21 @@
  *               [--topology flat|cvm] [--chrome-trace p.json]
  *               [--faults SPEC] [--fault-seed N] [--chaos SEED]
  *               [--attest 1] [--attest-expect-depth N] [--migrate K]
+ *               [--supervise 1] [--help]
+ *
+ * Exit codes are part of the CI contract: 0 = success, 1 = integrity /
+ * attestation / self-healing failure (a refused onboarding, a sealed
+ * response that failed verification, a chaos gate missed), 2 = flag
+ * error (unknown topology, malformed --faults spec — the parse
+ * diagnostic, including its "did you mean" suggestion, goes to stderr).
+ *
+ * --supervise 1 attaches the failure-domain supervisor (src/supervise):
+ * a health watchdog ticks after every pump, classifies wedged tenants
+ * from heartbeat counters and climbs the escalation ladder (kick ->
+ * tenant rebuild -> gateway-subtree rebuild -> evacuate). Under --chaos
+ * the fault plan gains the gateway-crash and poller-wedge sites — a
+ * crashed gateway can ONLY heal through the supervisor's subtree rung,
+ * so the chaos gates require the watchdog to have fired.
  *
  * --attest 1 (the default) onboards every tenant through the NEREPORT
  * trust path: the tenant is admitted only after its evidence chain
@@ -55,10 +70,13 @@
 #include <set>
 #include <vector>
 
+#include <cstring>
+
 #include "fault/injector.h"
 #include "migrate/engine.h"
 #include "serve/client.h"
 #include "serve/service.h"
+#include "supervise/supervisor.h"
 #include "trace/chrome_sink.h"
 
 namespace {
@@ -101,11 +119,40 @@ const char* kChaosPlan =
 
 constexpr std::uint64_t kNoChaos = std::uint64_t(-1);
 
+const char* kUsage =
+    "usage: nesgx_serve [--tenants N] [--requests N] [--batch N]\n"
+    "                   [--epc-pages N] [--deadline CYCLES]\n"
+    "                   [--queue-depth N] [--threads N]\n"
+    "                   [--topology flat|cvm] [--switchless 1]\n"
+    "                   [--chrome-trace PATH] [--faults SPEC]\n"
+    "                   [--fault-seed N] [--chaos SEED] [--attest 0|1]\n"
+    "                   [--attest-expect-depth N] [--migrate K]\n"
+    "                   [--supervise 1] [--help]\n"
+    "\n"
+    "  --faults arms the deterministic injector with a site@trigger\n"
+    "  spec, e.g. \"ewb-corrupt@n=3;eenter-fail@every=40\"; a typo'd\n"
+    "  site or trigger name is a flag error with a suggestion.\n"
+    "  --supervise 1 attaches the failure-domain watchdog (wedge\n"
+    "  detection, escalation ladder, evacuation).\n"
+    "\n"
+    "exit codes:\n"
+    "  0  every sealed response verified and all gates passed\n"
+    "  1  integrity/attestation/self-healing failure\n"
+    "  2  flag error (unknown topology, malformed --faults spec)\n";
+
 }  // namespace
 
 int
 main(int argc, char** argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            std::printf("%s", kUsage);
+            return 0;
+        }
+    }
+
     const std::uint64_t chaosSeed =
         flagU64(argc, argv, "chaos", kNoChaos);
     const bool chaos = chaosSeed != kNoChaos;
@@ -113,7 +160,7 @@ main(int argc, char** argv)
     const std::string topology = flagStr(argc, argv, "topology", "flat");
     if (topology != "flat" && topology != "cvm") {
         std::fprintf(stderr, "error: --topology must be flat or cvm\n");
-        return 1;
+        return 2;
     }
     const bool cvm = topology == "cvm";
 
@@ -136,12 +183,20 @@ main(int argc, char** argv)
     const std::uint64_t attestExpectDepth =
         flagU64(argc, argv, "attest-expect-depth", 0);
     const std::uint64_t migrateEvery = flagU64(argc, argv, "migrate", 0);
+    const bool supervise = flagU64(argc, argv, "supervise", 0) != 0;
     // Mid-storm migrations: the chaos plan gains the migration sites so
     // some moves abort at export or import and must roll back with the
     // source still serving.
     std::string chaosPlan = kChaosPlan;
     if (chaos && migrateEvery > 0) {
         chaosPlan += "; migrate-export-fail@n=2; migrate-import-fail@n=2";
+    }
+    // Supervised chaos adds the failure-domain sites: a crashed gateway
+    // refuses every dispatch until the supervisor's subtree rung rebuilds
+    // it, and a wedged poller refuses until the kick rung disarms it
+    // (poller-wedge only has occurrences on the switchless path).
+    if (chaos && supervise) {
+        chaosPlan += "; gateway-crash@n=2; poller-wedge@n=2";
     }
     const std::string faultSpec =
         flagStr(argc, argv, "faults", chaos ? chaosPlan : "");
@@ -192,11 +247,12 @@ main(int argc, char** argv)
 
     std::unique_ptr<fault::FaultInjector> injector;
     if (!faultSpec.empty()) {
-        auto plan = fault::FaultPlan::parse(faultSpec);
+        std::string parseError;
+        auto plan = fault::FaultPlan::parse(faultSpec, &parseError);
         if (!plan) {
-            std::fprintf(stderr, "error: --faults '%s': %s\n",
-                         faultSpec.c_str(), plan.status().name());
-            return 1;
+            std::fprintf(stderr, "error: --faults: %s\n",
+                         parseError.c_str());
+            return 2;
         }
         injector = std::make_unique<fault::FaultInjector>(plan.value(),
                                                           faultSeed);
@@ -284,11 +340,27 @@ main(int argc, char** argv)
     std::uint64_t backpressured = 0;
     std::uint64_t typedByErr[kErrCount] = {};
 
+    // The failure-domain watchdog (--supervise 1): ticks after every
+    // pump, so wedges are detected at batch granularity and the ladder's
+    // actions (kick/rebuild/evacuate-to-another-gateway) run between
+    // pumps on the main thread.
+    migrate::MigrationEngine migrator;
+    std::unique_ptr<supervise::Supervisor> supervisor;
+    if (supervise) {
+        supervisor =
+            std::make_unique<supervise::Supervisor>(service,
+                                                    supervise::Config{});
+        supervisor->attachEngine(migrator);
+    }
+
     // The parallel pool drains its owned queues completely per call, so
     // maxBatches only applies to the serial path (where it always did).
     auto pumpAll = [&](std::size_t maxBatches) {
-        if (threads > 1) return service.pumpParallel(threads);
-        return service.pump(maxBatches);
+        const std::size_t batches = threads > 1
+                                        ? service.pumpParallel(threads)
+                                        : service.pump(maxBatches);
+        if (supervisor) supervisor->tick();
+        return batches;
     };
 
     auto drainInto = [&]() {
@@ -322,7 +394,6 @@ main(int argc, char** argv)
     };
 
     // Closed loop: every tenant keeps one small window in flight.
-    migrate::MigrationEngine migrator;
     std::uint64_t submitted = 0;
     std::uint64_t cursor = 0;
     std::uint64_t migrateCursor = 0;
@@ -387,6 +458,39 @@ main(int argc, char** argv)
                 }
             }
             machine.charge(sc.pool.breakerCooldownCycles + 1);
+        }
+        // A tenant that never healed is a bug somewhere in the recovery
+        // machinery; dump its failure-domain state next to the FAIL.
+        if (recovered < tenants) {
+            std::size_t resident = 0;
+            for (const auto& [secs, rec] :
+                 urts.kernel().enclaveTable()) {
+                resident += 1 + rec.pages.size();
+            }
+            std::fprintf(stderr,
+                         "epc: %zu free, %zu enclaves (%zu resident "
+                         "pages), %zu gateways\n",
+                         urts.kernel().freeEpcPages(),
+                         urts.kernel().enclaveTable().size(),
+                         resident, service.registry().gatewayCount());
+        }
+        for (std::uint64_t t = 0; t < tenants; ++t) {
+            if (healed[t]) continue;
+            const serve::TenantHandle* h =
+                service.registry().find(serve::TenantId(t));
+            std::fprintf(stderr,
+                         "unrecovered tenant %llu: queued %zu, breaker "
+                         "%s, gateway %s, inner %s\n",
+                         (unsigned long long)t,
+                         service.admission().depth(serve::TenantId(t)),
+                         service.pool().breakerOpen(serve::TenantId(t))
+                             ? "open"
+                             : "closed",
+                         h && service.registry().gatewayCrashed(
+                                  h->gatewayIndex)
+                             ? "crashed"
+                             : "up",
+                         h ? (h->inner ? "alive" : "missing") : "gone");
         }
     }
 
@@ -503,6 +607,24 @@ main(int argc, char** argv)
                     (unsigned long long)recovered,
                     (unsigned long long)tenants);
     }
+    if (supervisor) {
+        const auto& ss = supervisor->stats();
+        std::printf("  --- supervision ---\n");
+        std::printf("  watchdog ticks      : %llu (wedges %llu)\n",
+                    (unsigned long long)ss.ticks,
+                    (unsigned long long)ss.wedges);
+        std::printf("  ladder actions      : kick %llu, tenant rebuild "
+                    "%llu, subtree rebuild %llu, evacuate %llu\n",
+                    (unsigned long long)ss.kicks,
+                    (unsigned long long)ss.tenantRebuilds,
+                    (unsigned long long)ss.subtreeRebuilds,
+                    (unsigned long long)ss.evacuations);
+        if (!ss.detectionLatency.empty()) {
+            std::printf("  detection cycles    : p50 %llu  p95 %llu\n",
+                        (unsigned long long)ss.detectionLatency.p50(),
+                        (unsigned long long)ss.detectionLatency.p95());
+        }
+    }
 
     if (sink) {
         // Parallel mode buffers events per shard; drain the merged,
@@ -547,6 +669,26 @@ main(int argc, char** argv)
         if (service.pool().rebuilds() == 0) {
             std::fprintf(stderr, "FAIL: chaos run rebuilt no tenant\n");
             fail = true;
+        }
+        // Supervised chaos armed the failure-domain sites, and a
+        // crashed gateway / wedged poller only heals through the
+        // watchdog: the run is broken if the ladder never fired. (Which
+        // rung fires depends on the dispatch path — classic dispatch
+        // trips gateway-crash into subtree rebuilds, the switchless path
+        // trips poller-wedge into kicks.)
+        if (supervisor) {
+            const auto& ss = supervisor->stats();
+            const std::uint64_t ladderActions =
+                ss.kicks + ss.tenantRebuilds + ss.subtreeRebuilds +
+                ss.evacuations;
+            if (ss.wedges == 0 || ladderActions == 0) {
+                std::fprintf(stderr,
+                             "FAIL: supervised chaos run must wedge (got "
+                             "%llu) and act (got %llu ladder actions)\n",
+                             (unsigned long long)ss.wedges,
+                             (unsigned long long)ladderActions);
+                fail = true;
+            }
         }
     }
     if (migrateEvery > 0 && migrator.stats().gatewayMoves == 0) {

@@ -68,6 +68,24 @@ sealMessage(const crypto::AesGcm& gcm, TenantId tenant, std::uint8_t dir,
     return out;
 }
 
+Bytes
+stampEpoch(std::uint64_t epoch, ByteView sealed)
+{
+    Bytes out(8);
+    storeLe64(out.data(), epoch);
+    out.insert(out.end(), sealed.begin(), sealed.end());
+    return out;
+}
+
+bool
+splitEpoch(ByteView stamped, std::uint64_t* epoch, Bytes* sealed)
+{
+    if (stamped.size() < 8) return false;
+    *epoch = loadLe64(stamped.data());
+    sealed->assign(stamped.begin() + 8, stamped.end());
+    return true;
+}
+
 Result<OpenedMessage>
 openMessage(const crypto::AesGcm& gcm, TenantId tenant, std::uint8_t dir,
             ByteView sealed)

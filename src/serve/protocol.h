@@ -71,6 +71,20 @@ std::int64_t svmScore(TenantId tenant, ByteView features);
 std::string sqlResultText(bool ok, const std::string& error,
                           std::uint64_t rowsAffected, std::size_t rows);
 
+// --- placement epoch stamp (host-side envelope) -------------------------
+
+/**
+ * Epoch-fenced submits wrap the sealed request in a host-side envelope:
+ * [u64 epoch LE] + sealed bytes. The stamp is stripped by the service
+ * *before* the sealed request is enqueued, so enclave-visible traffic —
+ * and therefore the machine trace — is byte-identical whether or not a
+ * client fences. Stale stamps are refused with Err::WrongEpoch.
+ */
+Bytes stampEpoch(std::uint64_t epoch, ByteView sealed);
+
+/** Splits a stamped envelope; false on truncation. */
+bool splitEpoch(ByteView stamped, std::uint64_t* epoch, Bytes* sealed);
+
 // --- migration snapshot codec -------------------------------------------
 
 /** Everything a tenant inner must carry across a live migration to

@@ -5,6 +5,7 @@
 #include "attest/verifier.h"
 #include "crypto/sha256.h"
 #include "db/executor.h"
+#include "fault/injector.h"
 #include "trace/bus.h"
 
 namespace nesgx::serve {
@@ -411,9 +412,36 @@ TenantRegistry::ensure(TenantId id, Workload workload)
     return out;
 }
 
+void
+TenantRegistry::crashGateway(std::size_t index)
+{
+    std::lock_guard<std::mutex> g(healthM_);
+    crashedGateways_.insert(index);
+}
+
+bool
+TenantRegistry::gatewayCrashed(std::size_t index) const
+{
+    std::lock_guard<std::mutex> g(healthM_);
+    return crashedGateways_.count(index) != 0;
+}
+
 Result<Bytes>
 TenantRegistry::dispatch(TenantHandle& tenant, ByteView blob, hw::CoreId core)
 {
+    // Failure-domain fault sites: a gateway-crash hit marks this batch's
+    // gateway dead (until its subtree is rebuilt), a host-degrade hit
+    // marks the whole host's data plane refusing. Both are front-checked
+    // below, so with no injector armed this is two predictable branches.
+    sgx::Machine& machine = urts_->machine();
+    if (machine.faultFires(fault::FaultSite::GatewayCrash, core)) {
+        crashGateway(tenant.gatewayIndex);
+    }
+    if (machine.faultFires(fault::FaultSite::HostDegrade, core)) {
+        setDegraded(true);
+    }
+    if (degraded()) return Err::Unavailable;
+    if (gatewayCrashed(tenant.gatewayIndex)) return Err::Unavailable;
     if (!tenant.inner) return Err::Unavailable;
     if (config_.requireVerification && !tenant.verified) {
         return Err::AttestationFailed;
@@ -530,11 +558,17 @@ TenantRegistry::rebuildTenant(TenantHandle& tenant)
     Gateway& gateway = gateways_[tenant.gatewayIndex];
     if (!gateway.outer) {
         // A failed subtree rebuild left the gateway layer missing; the
-        // tenant cannot come back without it.
-        auto rebuilt = makeGateway(tenant.gatewayIndex);
-        if (!rebuilt) return rebuilt.status();
-        gateway.outer = rebuilt.value().outer;
-        gateway.state = std::move(rebuilt.value().state);
+        // tenant cannot come back without it. Double-checked under the
+        // rebuild lock: a sibling's self-heal may already have restored
+        // it, and two concurrent makeGateway calls would orphan one
+        // gateway enclave (unevictable pages — eventual EPC exhaustion).
+        std::lock_guard<std::mutex> g(gatewayRebuildM_);
+        if (!gateway.outer) {
+            auto rebuilt = makeGateway(tenant.gatewayIndex);
+            if (!rebuilt) return rebuilt.status();
+            gateway.outer = rebuilt.value().outer;
+            gateway.state = std::move(rebuilt.value().state);
+        }
     }
     if (tenant.inner) {
         // Detach from the gateway first so a failed unload cannot leave
@@ -567,6 +601,10 @@ TenantRegistry::rebuildTenant(TenantHandle& tenant)
     tenant.inner = inner.value();
     gateway.state->slots[tenant.slot] = inner.value();
     ++tenant.rebuilds;
+    // In-enclave state was lost: clients must re-resolve placement (new
+    // epoch) and learn it is a fresh incarnation (reseal from scratch).
+    tenant.epoch.fetch_add(1, std::memory_order_relaxed);
+    tenant.incarnation.fetch_add(1, std::memory_order_relaxed);
     urts_->machine().trace().publishLight(
         trace::EventKind::ServeTenantRebuild, trace::kNoCore, 0, tenant.id,
         tenant.rebuilds);
@@ -619,6 +657,10 @@ TenantRegistry::rebuildGatewaySubtree(std::size_t gatewayIndex,
     for (TenantHandle* tenant : members) {
         if (tenant != alreadyLocked) owned.emplace_back(tenant->m);
     }
+    // After the tenant mutexes (lock order: tenant before gateway):
+    // the gateway layer must not be torn down while a sibling's
+    // self-heal is mid-recreate on the same index.
+    std::lock_guard<std::mutex> gw(gatewayRebuildM_);
 
     // Leaves first: a gateway with live inner associations refuses
     // destruction.
@@ -671,9 +713,17 @@ TenantRegistry::rebuildGatewaySubtree(std::size_t gatewayIndex,
         tenant->inner = inner.value();
         gateway.state->slots[tenant->slot] = inner.value();
         ++tenant->rebuilds;
+        tenant->epoch.fetch_add(1, std::memory_order_relaxed);
+        tenant->incarnation.fetch_add(1, std::memory_order_relaxed);
         urts_->machine().trace().publishLight(
             trace::EventKind::ServeTenantRebuild, trace::kNoCore, 0,
             tenant->id, tenant->rebuilds);
+    }
+    if (result.isOk()) {
+        // The subtree is whole again: a crashed marker on this gateway
+        // has been healed by the rebuild.
+        std::lock_guard<std::mutex> g(healthM_);
+        crashedGateways_.erase(gatewayIndex);
     }
     return result;
 }
@@ -820,6 +870,9 @@ TenantRegistry::commitRelocation(TenantHandle& tenant,
     tenant.gatewayIndex = ticket.gatewayIndex;
     tenant.slot = ticket.slot;
     ++tenant.migrations;
+    // Placement changed but the session survived the move: new epoch,
+    // same incarnation (clients keep their key and sequence counter).
+    tenant.epoch.fetch_add(1, std::memory_order_relaxed);
     urts_->machine().trace().publishLight(
         trace::EventKind::ServeTenantMigrate, trace::kNoCore, 0, tenant.id,
         0);

@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "core/compose.h"
@@ -80,6 +81,19 @@ struct TenantHandle {
     Counter reloads;    ///< cold-start reloads
     Counter rebuilds;   ///< destroy-and-rebuild recoveries
     Counter migrations; ///< live relocations (gateway or host moves)
+    /**
+     * Placement epoch: monotonically bumped by every rebuild, subtree
+     * rebuild and committed relocation. Epoch-fenced submits compare a
+     * client's stamped epoch against this and refuse stale ones with
+     * Err::WrongEpoch, so a client can never silently talk past a move.
+     */
+    std::atomic<std::uint64_t> epoch{1};
+    /** Incarnation: bumps only when in-enclave state was lost (tenant or
+     *  subtree rebuild), never on a live relocation — re-resolving
+     *  clients use it to decide whether to reseal from scratch. */
+    std::atomic<std::uint64_t> incarnation{1};
+    Counter okServed;   ///< verified-ok completions (supervisor heartbeat)
+    Counter wrongEpochs; ///< stale-epoch submits refused
 };
 
 class TenantRegistry {
@@ -241,6 +255,27 @@ class TenantRegistry {
     /** Tenant owning this inner SECS, or nullptr (victim filtering). */
     TenantHandle* tenantBySecs(hw::Paddr secsPage);
 
+    // --- failure-domain health markers -----------------------------------
+
+    /** Marks a gateway crashed: every data-plane dispatch through it
+     *  refuses with Err::Unavailable until rebuildGatewaySubtree brings
+     *  the subtree back (which clears the marker). The gateway-crash
+     *  fault site sets this from the dispatch path. */
+    void crashGateway(std::size_t index);
+    bool gatewayCrashed(std::size_t index) const;
+
+    /** Marks the whole host degraded: the data plane refuses while the
+     *  control plane (provision/export/import/rebuild) keeps working, so
+     *  a supervisor can still evacuate tenants off the dying host. */
+    void setDegraded(bool on)
+    {
+        degraded_.store(on, std::memory_order_relaxed);
+    }
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
     std::size_t gatewayCount() const { return gateways_.size(); }
     std::size_t tenantCount() const { return tenants_.size(); }
     Topology topology() const { return config_.topology; }
@@ -301,6 +336,19 @@ class TenantRegistry {
     sdk::LoadedEnclave* cvmRoot_ = nullptr;
     std::vector<Gateway> gateways_;
     std::map<TenantId, std::unique_ptr<TenantHandle>> tenants_;
+    /** Crash markers are read on every dispatch from every worker
+     *  thread; a small mutex keeps the set coherent (the hot path takes
+     *  it once per batch, not per request). */
+    mutable std::mutex healthM_;
+    /** Serializes gateway-layer reconstruction. Two workers self-healing
+     *  different tenants of the same downed gateway (each under its own
+     *  tenant mutex only) would otherwise both makeGateway and the
+     *  second assignment would orphan the first's enclave — pages the
+     *  pressure manager can never evict. Ordering: tenant mutexes are
+     *  always taken before this one, never after. */
+    std::mutex gatewayRebuildM_;
+    std::set<std::size_t> crashedGateways_;
+    std::atomic<bool> degraded_{false};
 };
 
 }  // namespace nesgx::serve

@@ -152,6 +152,35 @@ WorkerPool::rebuildTenantNow(TenantHandle& tenant)
     return st;
 }
 
+Status
+WorkerPool::rebuildTenant(TenantHandle& tenant)
+{
+    std::lock_guard<std::mutex> own(tenant.m);
+    return rebuildTenantNow(tenant);
+}
+
+Status
+WorkerPool::rebuildSubtree(std::size_t gatewayIndex)
+{
+    sgx::Machine& machine = registry_->urts().machine();
+    const std::uint64_t begin = machine.clock().cycles();
+    // Every member's poller parks inside an instance about to be torn
+    // down, and every queued request was sealed against one: disarm and
+    // fail typed first, same contract as the in-batch Cvm escalation.
+    for (const auto& [id, member] : registry_->tenants()) {
+        if (member->gatewayIndex != gatewayIndex) continue;
+        if (engine_) engine_->disarm(id);
+        failQueuedRebuilt(id);
+    }
+    Status st = registry_->rebuildGatewaySubtree(gatewayIndex);
+    ++subtreeRebuilds_;
+    {
+        std::lock_guard<std::mutex> h(rebuildM_);
+        rebuildLatency_.add(machine.clock().cycles() - begin);
+    }
+    return st;
+}
+
 Result<Bytes>
 WorkerPool::dispatchVia(TenantHandle& tenant, ByteView blob, hw::CoreId core)
 {
@@ -371,6 +400,7 @@ WorkerPool::serveBatch(TenantHandle& tenant, std::vector<Request> batch,
             // expectations these responses verify against.
             if (done.ok) {
                 ++served_;
+                ++tenant.okServed;  // supervisor liveness heartbeat
             } else {
                 // The batch round-tripped but the server refused this
                 // request (bad seal, or a sequence already consumed by a
@@ -609,6 +639,41 @@ Status
 TenantService::submit(TenantId tenant, Bytes sealed)
 {
     if (!registry_.find(tenant)) return Err::NotFound;
+    return admission_.submit(tenant, std::move(sealed));
+}
+
+TenantService::Placement
+TenantService::placement(TenantId id)
+{
+    Placement p;
+    if (TenantHandle* tenant = registry_.find(id)) {
+        p.epoch = tenant->epoch.load(std::memory_order_relaxed);
+        p.incarnation = tenant->incarnation.load(std::memory_order_relaxed);
+    }
+    return p;
+}
+
+Status
+TenantService::submitStamped(TenantId tenant, Bytes stamped)
+{
+    TenantHandle* handle = registry_.find(tenant);
+    if (!handle) return Err::NotFound;
+    std::uint64_t epoch = 0;
+    Bytes sealed;
+    if (!splitEpoch(stamped, &epoch, &sealed)) return Err::BadCallBuffer;
+#ifndef NESGX_BUG_EPOCH_STALE
+    // The fence: a stamp resolved before the tenant's last rebuild or
+    // relocation is refused typed, never served — stale clients would
+    // otherwise burn sequence numbers against a placement they cannot
+    // verify responses from.
+    if (epoch != handle->epoch.load(std::memory_order_relaxed)) {
+        ++handle->wrongEpochs;
+        registry_.urts().machine().trace().publishLight(
+            trace::EventKind::ServeWrongEpoch, trace::kNoCore, 0, tenant,
+            epoch);
+        return Err::WrongEpoch;
+    }
+#endif
     return admission_.submit(tenant, std::move(sealed));
 }
 

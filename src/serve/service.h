@@ -137,6 +137,16 @@ class WorkerPool {
         engine_ = engine;
     }
 
+    /** Supervisor entry (escalation ladder's tenant-rebuild rung): owns
+     *  the tenant's lock for the whole destroy-and-rebuild, exactly like
+     *  the in-batch recovery path. */
+    Status rebuildTenant(TenantHandle& tenant);
+
+    /** Supervisor entry (subtree-rebuild rung): disarms every member's
+     *  switchless channel, fails their queued requests typed, then
+     *  rebuilds the whole gateway subtree bottom-up. */
+    Status rebuildSubtree(std::size_t gatewayIndex);
+
     std::uint64_t batchesDispatched() const { return batches_; }
     std::uint64_t requestsServed() const { return served_; }
     std::uint64_t dispatchFailures() const { return dispatchFailures_; }
@@ -150,11 +160,14 @@ class WorkerPool {
     const Histogram& rebuildLatency() const { return rebuildLatency_; }
 
   private:
-    /** Per-tenant circuit breaker (DESIGN.md §11 state machine). */
+    /** Per-tenant circuit breaker (DESIGN.md §11 state machine). The
+     *  fields are written only by the tenant's owning worker thread, but
+     *  the supervisor reads them from its own thread (breakerOpen), so
+     *  they are relaxed atomics rather than plain ints. */
     struct Breaker {
-        std::uint32_t consecutiveFailures = 0;
-        bool open = false;
-        std::uint64_t probeAt = 0;  ///< absolute cycles; half-open gate
+        Counter consecutiveFailures;
+        std::atomic<bool> open{false};
+        std::atomic<std::uint64_t> probeAt{0};  ///< cycles; half-open gate
     };
 
     /** Destroys and rebuilds a poisoned tenant: fails its whole queue
@@ -274,6 +287,25 @@ class TenantService {
 
     /** Admits one sealed request for an existing tenant. */
     Status submit(TenantId tenant, Bytes sealed);
+
+    /** What an epoch-fenced client resolves before stamping requests. */
+    struct Placement {
+        std::uint64_t epoch = 0;        ///< 0 = tenant unknown here
+        std::uint64_t incarnation = 0;  ///< bumps only on state loss
+    };
+
+    /** Current placement of a tenant ({0, 0} when unknown). */
+    Placement placement(TenantId id);
+
+    /**
+     * Epoch-fenced admission: `stamped` is stampEpoch(epoch, sealed) —
+     * a host-side [u64 epoch LE] prefix the server strips before the
+     * sealed bytes ever reach an enclave (machine-visible traffic stays
+     * byte-identical to the unfenced path). A stale epoch refuses with
+     * Err::WrongEpoch: the redirect telling the client to re-resolve
+     * placement and reseal/restamp. Plain submit() stays unfenced.
+     */
+    Status submitStamped(TenantId tenant, Bytes stamped);
 
     /** Runs worker steps until the queues drain (or maxBatches). */
     std::size_t pump(std::size_t maxBatches = std::size_t(-1));

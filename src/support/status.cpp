@@ -27,6 +27,7 @@ errName(Err e)
       case Err::SealRejected: return "SealRejected";
       case Err::Deadline: return "Deadline";
       case Err::AttestationFailed: return "AttestationFailed";
+      case Err::WrongEpoch: return "WrongEpoch";
     }
     return "Unknown";
 }

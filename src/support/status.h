@@ -60,10 +60,14 @@ enum class Err : std::uint32_t {
     /// Trust path: NEREPORT evidence chain failed verification (bad MAC,
     /// identity/signer mismatch, wrong chain depth, or stale nonce).
     AttestationFailed,
+    /// Serving layer: request stamped with a stale placement epoch — the
+    /// tenant moved or rebuilt since the client last resolved it. The
+    /// client must re-resolve placement and retry (redirect semantics).
+    WrongEpoch,
 };
 
 /** Number of Err enumerators (exhaustive errName round-trip tests). */
-constexpr std::size_t kErrCount = std::size_t(Err::AttestationFailed) + 1;
+constexpr std::size_t kErrCount = std::size_t(Err::WrongEpoch) + 1;
 
 /** Human-readable name for an error code. */
 const char* errName(Err e);

@@ -599,6 +599,19 @@ SwitchlessEngine::disarmAll()
     }
 }
 
+ChannelProgress
+SwitchlessEngine::channelProgress(std::uint64_t key) const
+{
+    std::lock_guard<std::recursive_mutex> g(m_);
+    ChannelProgress out;
+    auto it = tenants_.find(key);
+    if (it == tenants_.end()) return out;
+    out.armed = true;
+    out.wedged = it->second.wedged;
+    out.lastActive = it->second.lastActive;
+    return out;
+}
+
 void
 SwitchlessEngine::idleCheck(std::uint64_t key, TenantChannel& ch)
 {
@@ -708,6 +721,19 @@ SwitchlessEngine::call(std::uint64_t key, const Endpoint& ep, ByteView blob,
     }
 
     sgx::Machine& m = machine();
+
+    // Deterministic poller-wedge fault site: the poller core stops
+    // draining but the channel stays armed, so the caller sees typed
+    // Err::Unavailable on every attempt while okServed flatlines — the
+    // exact signature the supervisor's watchdog keys on. Recovery is a
+    // disarm (the supervisor's kick rung); the next ready() re-arms a
+    // fresh channel. The wedge refuses *before* posting so no descriptor
+    // is ever orphaned.
+    if (m.faultFires(fault::FaultSite::PollerWedge, hostCore)) {
+        ch.wedged = true;
+        ++stats_.pollerWedges;
+    }
+    if (ch.wedged) return Err::Unavailable;
 
     idleCheck(key, ch);
     if (!ch.parked || !gw.parked) {

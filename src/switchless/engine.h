@@ -139,7 +139,15 @@ struct EngineStats {
     Counter armings;        ///< channel park operations
     Counter idleFallbacks;  ///< pollers unparked for idleness
     Counter ringStalls;     ///< injected ring-stall faults
+    Counter pollerWedges;   ///< injected poller-wedge faults
     Counter ocallRelays;    ///< ocalls served over rings (no exit)
+};
+
+/** Snapshot of one tenant channel's liveness for external supervision. */
+struct ChannelProgress {
+    bool armed = false;    ///< a channel exists for the key
+    bool wedged = false;   ///< poller stopped draining (injected wedge)
+    std::uint64_t lastActive = 0;  ///< sim cycles of last successful pump
 };
 
 class SwitchlessEngine : public sdk::OcallRelay {
@@ -182,6 +190,14 @@ class SwitchlessEngine : public sdk::OcallRelay {
 
     /** Disarms every tenant channel and unparks the gateway pollers. */
     void disarmAll();
+
+    /**
+     * Liveness snapshot for `key` — the supervisor's view of ring
+     * progress. A wedged channel stays armed but refuses every call
+     * (Err::Unavailable) until something disarms it; disarm + re-arm is
+     * the recovery (the supervisor's "kick" rung).
+     */
+    ChannelProgress channelProgress(std::uint64_t key) const;
 
     /**
      * sdk::OcallRelay: serves one enclave->host ocall over per-root
@@ -269,6 +285,10 @@ class SwitchlessEngine : public sdk::OcallRelay {
         std::vector<hw::Paddr> parkTcses;
         bool parked = false;
         std::uint64_t lastActive = 0;
+        /** Injected poller-wedge: posts land but nothing drains. The
+         *  channel stays armed and every call fails typed until a
+         *  disarm (supervisor kick) tears it down. */
+        bool wedged = false;
         /** Set only when Config::threadedPollers armed a real thread. */
         std::shared_ptr<PollerState> poller;
     };

@@ -60,6 +60,10 @@ kindName(EventKind kind)
       case EventKind::LogWarn: return "LogWarn";
       case EventKind::LogError: return "LogError";
       case EventKind::ServeTenantMigrate: return "ServeTenantMigrate";
+      case EventKind::SuperviseWedge: return "SuperviseWedge";
+      case EventKind::SuperviseEscalate: return "SuperviseEscalate";
+      case EventKind::SuperviseEvacuate: return "SuperviseEvacuate";
+      case EventKind::ServeWrongEpoch: return "ServeWrongEpoch";
     }
     return "?";
 }

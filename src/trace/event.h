@@ -100,10 +100,18 @@ enum class EventKind : std::uint8_t {
     LogError,           ///< model error routed off the logger
     ServeTenantMigrate, ///< live tenant relocated (`arg0` tenant,
                         ///< `arg1` = 0 gateway move / 1 host move)
+    SuperviseWedge,     ///< supervisor flagged a wedged tenant (`arg0`
+                        ///< tenant, `arg1` = supervise::WedgeReason)
+    SuperviseEscalate,  ///< supervisor climbed one ladder rung (`arg0`
+                        ///< tenant, `arg1` = supervise::Rung taken)
+    SuperviseEvacuate,  ///< supervisor evacuated a tenant (`arg0`
+                        ///< tenant, `arg1` = 0 gateway hop / 1 host hop)
+    ServeWrongEpoch,    ///< stale-epoch request refused with a typed
+                        ///< redirect (`arg0` tenant, `arg1` = stale epoch)
 };
 
 constexpr std::size_t kEventKindCount =
-    std::size_t(EventKind::ServeTenantMigrate) + 1;
+    std::size_t(EventKind::ServeWrongEpoch) + 1;
 
 /** Which leaf a LeafEnter/LeafExit refers to. */
 enum class Leaf : std::uint8_t {

@@ -73,6 +73,11 @@ struct StatsCounters {
     Counter switchlessDrains;     ///< descriptors drained in-enclave
     Counter switchlessFallbacks;  ///< rings abandoned to classic path
     Counter switchlessPolls;      ///< ring-header polls by pollers
+    // --- supervision / epoch fencing ---------------------------------
+    Counter superviseWedges;      ///< wedge conditions flagged
+    Counter superviseEscalations; ///< ladder rungs taken
+    Counter superviseEvacuations; ///< tenants evacuated by the ladder
+    Counter serveWrongEpochs;     ///< stale-epoch requests refused
 };
 
 class StatsSink : public TraceSink {
@@ -143,6 +148,16 @@ class StatsSink : public TraceSink {
             ++counters_.switchlessFallbacks;
             break;
           case EventKind::SwitchlessPoll: ++counters_.switchlessPolls; break;
+          case EventKind::SuperviseWedge: ++counters_.superviseWedges; break;
+          case EventKind::SuperviseEscalate:
+            ++counters_.superviseEscalations;
+            break;
+          case EventKind::SuperviseEvacuate:
+            ++counters_.superviseEvacuations;
+            break;
+          case EventKind::ServeWrongEpoch:
+            ++counters_.serveWrongEpochs;
+            break;
           default: break;
         }
     }
